@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension — miss classification on the instruction cache.
+ *
+ * §4: the techniques "should, in general, also apply to the
+ * instruction cache."  This bench demonstrates it: synthetic
+ * instruction-fetch streams (hot loop / colliding calls / huge code /
+ * a mixed program) run through a 16KB DM I-cache with the MCT and the
+ * oracle, then through a victim-buffered configuration with and
+ * without conflict filtering.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "mct/classify_run.hh"
+#include "sim/experiment.hh"
+#include "trace/vector_trace.hh"
+#include "workloads/code_stream.hh"
+
+int
+main()
+{
+    using namespace ccm;
+
+    constexpr std::size_t instrs = 400'000;
+
+    std::cout << "Extension: the MCT on instruction-fetch streams "
+              << "(16KB DM I-cache)\n\n";
+
+    TextTable cls({"program", "miss%", "conflict share%",
+                   "conf acc%", "cap acc%"});
+    TextTable timing({"program", "victim speedup",
+                      "filtered-victim speedup", "V$ hit%"});
+
+    CodeStreamWorkload programs[] = {
+        CodeStreamWorkload::hotLoop(instrs),
+        CodeStreamWorkload::collidingCalls(instrs),
+        CodeStreamWorkload::hugeCode(instrs),
+        CodeStreamWorkload::mixed(instrs),
+    };
+
+    for (auto &prog : programs) {
+        // Classification accuracy.
+        ClassifyConfig ccfg;
+        ClassifyResult cres = classifyRun(prog, ccfg);
+        auto row = cls.addRow(prog.name());
+        cls.setNum(row, 1, 100.0 * cres.missRate, 2);
+        cls.setNum(row, 2,
+                   100.0 * cres.scorer.conflictFraction(), 1);
+        if (cres.scorer.oracleConflicts() > 0)
+            cls.setNum(row, 3, cres.scorer.conflictAccuracy(), 1);
+        else
+            cls.set(row, 3, "-");
+        if (cres.scorer.oracleCapacities() > 0)
+            cls.setNum(row, 4, cres.scorer.capacityAccuracy(), 1);
+        else
+            cls.set(row, 4, "-");
+
+        // Timing with a victim buffer on the fetch path.
+        VectorTrace trace = VectorTrace::capture(prog);
+        RunOutput base = runTiming(trace, baselineConfig());
+        RunOutput vict = runTiming(trace, victimConfig(false, false));
+        RunOutput filt = runTiming(trace, victimConfig(true, true));
+        auto trow = timing.addRow(prog.name());
+        timing.setNum(trow, 1, speedup(base, vict), 3);
+        timing.setNum(trow, 2, speedup(base, filt), 3);
+        timing.setNum(trow, 3, filt.mem.bufHitRatePct(), 1);
+    }
+
+    cls.print(std::cout);
+    std::cout << "\n";
+    timing.print(std::cout);
+    std::cout << "\nshape: the colliding-call program is pure "
+              << "conflict, fully identified and fully covered by a "
+              << "victim buffer; the huge-code program is pure "
+              << "capacity (correctly left alone).  Note the policy "
+              << "inversion vs the data cache: with 16 sequential "
+              << "fetches per line, *swapping* on a victim hit wins "
+              << "(the promoted line serves the next 15 fetches at "
+              << "L1 latency), so the no-swap filter that helped the "
+              << "D-cache hurts the I-cache — policy still wants to "
+              << "be per-structure, which is exactly the kind of "
+              << "decision the MCT's classification enables\n";
+    return 0;
+}

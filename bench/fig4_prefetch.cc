@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 4 — Next-line prefetch strategies.
+ *
+ * Five configurations: an unfiltered next-line prefetcher, then
+ * capacity-only prefetching using each conflict filter (in / out /
+ * and / or).  Reports prefetch accuracy (useful/issued), coverage
+ * (prefetch-buffer hits / L1 misses), and speedup over no prefetching
+ * on the paper's slow L1<->L2 bus variant ("The speedup results shown
+ * are for a system with a slower memory bus ... than modeled in the
+ * rest of the paper").
+ *
+ * Paper: filtering raises accuracy ~25% by eliminating low-
+ * probability prefetches; speedups are roughly flat — the payoff of
+ * classification is *doing something better* with conflict misses
+ * (§5.5), not merely skipping them.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace ccm;
+    using namespace ccm::bench;
+
+    struct Strategy
+    {
+        const char *label;
+        bool filtered;
+        ConflictFilter filter;
+    };
+    const Strategy strategies[] = {
+        {"nextline", false, ConflictFilter::Out},
+        {"in-filter", true, ConflictFilter::In},
+        {"out-filter", true, ConflictFilter::Out},
+        {"and-filter", true, ConflictFilter::And},
+        {"or-filter", true, ConflictFilter::Or},
+    };
+    constexpr std::size_t n_strat = 5;
+
+    auto slow_bus = [](SystemConfig cfg) {
+        cfg.mem.busCyclesPerTransfer = 6;
+        return cfg;
+    };
+
+    std::cout << "Figure 4: next-line prefetch strategies\n\n";
+
+    TextTable acc({"workload", "nextline acc%", "in acc%", "out acc%",
+                   "and acc%", "or acc%", "nextline cov%", "or cov%"});
+
+    double acc_sum[n_strat] = {};
+    double cov_sum[n_strat] = {};
+    double geo[n_strat] = {1, 1, 1, 1, 1};
+    std::size_t n = 0;
+
+    for (const auto &name : timingSuite()) {
+        VectorTrace trace = captureWorkload(name);
+        RunOutput base = runTiming(trace, slow_bus(baselineConfig()));
+
+        auto row = acc.addRow(name);
+        double covs[n_strat];
+        for (std::size_t s = 0; s < n_strat; ++s) {
+            SystemConfig cfg = slow_bus(prefetchConfig(
+                strategies[s].filtered, strategies[s].filter));
+            RunOutput r = runTiming(trace, cfg);
+            double a = r.mem.prefAccuracyPct();
+            covs[s] = r.mem.prefCoveragePct();
+            acc_sum[s] += a;
+            cov_sum[s] += covs[s];
+            geo[s] *= speedup(base, r);
+            if (s < n_strat)
+                acc.setNum(row, s + 1, a, 1);
+        }
+        acc.setNum(row, 6, covs[0], 1);
+        acc.setNum(row, 7, covs[4], 1);
+        ++n;
+    }
+
+    auto avg = acc.addRow("AVG");
+    for (std::size_t s = 0; s < n_strat; ++s)
+        acc.setNum(avg, s + 1, acc_sum[s] / n, 1);
+    acc.setNum(avg, 6, cov_sum[0] / n, 1);
+    acc.setNum(avg, 7, cov_sum[4] / n, 1);
+    acc.print(std::cout);
+
+    std::cout << "\n(b) average speedup over no prefetching "
+              << "(slow L1<->L2 bus):\n";
+    TextTable sp({"strategy", "geomean speedup"});
+    for (std::size_t s = 0; s < n_strat; ++s) {
+        auto row = sp.addRow(strategies[s].label);
+        sp.setNum(row, 1, std::pow(geo[s], 1.0 / double(n)), 3);
+    }
+    sp.print(std::cout);
+
+    std::cout << "\npaper: filtered prefetching raises accuracy by "
+              << "~25%; or-conflict is the most discriminating; "
+              << "speedup differences are not significant\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 5 — Cache-exclusion policies.
+ *
+ * Six configurations over the timing suite: no extra buffer
+ * (baseline), Johnson & Hwu's memory access table (MAT), and four
+ * MCT-based filters — conflict, conflict-history, capacity,
+ * capacity-history — each steering excluded lines into a 16-entry
+ * bypass buffer.
+ *
+ * Paper: simply excluding MCT-capacity misses performs best, beating
+ * the MAT with a far simpler structure that is only touched on
+ * misses; it yields both a higher overall hit rate and higher
+ * performance.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace ccm;
+    using namespace ccm::bench;
+
+    struct Policy
+    {
+        const char *label;
+        ExcludeAlgo algo;
+    };
+    const Policy policies[] = {
+        {"MAT", ExcludeAlgo::Mat},
+        {"TysonPC", ExcludeAlgo::TysonPc},
+        {"conflict", ExcludeAlgo::Conflict},
+        {"conf-hist", ExcludeAlgo::ConflictHistory},
+        {"capacity", ExcludeAlgo::Capacity},
+        {"cap-hist", ExcludeAlgo::CapacityHistory},
+    };
+    constexpr std::size_t n_pol = 6;
+
+    std::cout << "Figure 5: cache-exclusion policies "
+              << "(speedup over no exclusion; 16-entry bypass "
+              << "buffer)\n\n";
+
+    std::vector<std::string> headers = {"workload"};
+    for (const auto &p : policies)
+        headers.push_back(p.label);
+    TextTable table(headers);
+
+    double geo[n_pol] = {1, 1, 1, 1, 1, 1};
+    double hr_sum[n_pol] = {};
+    double base_hr = 0;
+    std::size_t n = 0;
+
+    for (const auto &name : timingSuite()) {
+        VectorTrace trace = captureWorkload(name);
+        RunOutput base = runTiming(trace, baselineConfig());
+        base_hr += base.mem.totalHitRatePct();
+
+        auto row = table.addRow(name);
+        for (std::size_t p = 0; p < n_pol; ++p) {
+            RunOutput r =
+                runTiming(trace, excludeConfig(policies[p].algo));
+            double s = speedup(base, r);
+            table.setNum(row, p + 1, s, 3);
+            geo[p] *= s;
+            hr_sum[p] += r.mem.totalHitRatePct();
+        }
+        ++n;
+    }
+
+    auto avg = table.addRow("GEOMEAN");
+    for (std::size_t p = 0; p < n_pol; ++p)
+        table.setNum(avg, p + 1, std::pow(geo[p], 1.0 / double(n)), 3);
+    table.print(std::cout);
+
+    std::cout << "\naverage total hit rate (% of accesses): no-buffer "
+              << base_hr / n;
+    for (std::size_t p = 0; p < n_pol; ++p)
+        std::cout << ", " << policies[p].label << " "
+                  << hr_sum[p] / n;
+    std::cout << "\n\npaper: the plain capacity filter wins, beating "
+              << "the MAT and the history variants with the simplest "
+              << "structure\n";
+    return 0;
+}

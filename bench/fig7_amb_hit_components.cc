@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 7 — Average data-cache and buffer hit-rate components for
+ * the adaptive-miss-buffer policies (suite averages, % of accesses).
+ *
+ * The stacked components: D$ hits, buffer hits by entry source
+ * (victim / prefetch / bypass), and the residual miss rate.  Paper:
+ * the AMB derives its win by covering each miss class with the right
+ * mechanism — about a 1.4x improvement (30% reduction) in total miss
+ * rate over the best individual policy.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace ccm;
+    using namespace ccm::bench;
+
+    struct Policy
+    {
+        const char *label;
+        SystemConfig cfg;
+    };
+    const Policy policies[] = {
+        {"none", baselineConfig()},
+        {"Vict", ambSingleVict(8)},
+        {"Pref", ambSinglePref(8)},
+        {"Excl", ambSingleExcl(8)},
+        {"VictPref", ambConfig(true, true, false, 8)},
+        {"PrefExcl", ambConfig(false, true, true, 8)},
+        {"VicPreExc", ambConfig(true, true, true, 8)},
+    };
+
+    std::cout << "Figure 7: hit-rate components "
+              << "(% of all accesses, suite averages)\n\n";
+
+    TextTable table({"policy", "D$", "victim", "prefetch", "bypass",
+                     "total", "miss"});
+
+    std::vector<VectorTrace> traces;
+    for (const auto &name : timingSuite())
+        traces.push_back(captureWorkload(name));
+    const double n = double(traces.size());
+
+    for (const auto &p : policies) {
+        double d = 0, v = 0, pf = 0, by = 0, tot = 0, miss = 0;
+        for (auto &trace : traces) {
+            RunOutput r = runTiming(trace, p.cfg);
+            d += r.mem.l1HitRatePct();
+            v += pct(r.mem.bufHitVictim, r.mem.accesses);
+            pf += pct(r.mem.bufHitPrefetch, r.mem.accesses);
+            by += pct(r.mem.bufHitBypass, r.mem.accesses);
+            tot += r.mem.totalHitRatePct();
+            miss += r.mem.missRatePct();
+        }
+        auto row = table.addRow(p.label);
+        table.setNum(row, 1, d / n, 1);
+        table.setNum(row, 2, v / n, 1);
+        table.setNum(row, 3, pf / n, 1);
+        table.setNum(row, 4, by / n, 1);
+        table.setNum(row, 5, tot / n, 1);
+        table.setNum(row, 6, miss / n, 1);
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: the AMB optimizes the coverage of each "
+              << "miss type; ~30% total miss-rate reduction over the "
+              << "best individual policy\n";
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * MCT classification, cache access, the fully-associative LRU, the
+ * assist buffer, and end-to-end simulated-instruction throughput.
+ * These guard the simulation speed that keeps every figure bench
+ * runnable in seconds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assist/buffer.hh"
+#include "cache/cache.hh"
+#include "cache/fa_lru.hh"
+#include "common/random.hh"
+#include "cpu/core.hh"
+#include "mct/mct.hh"
+#include "sim/experiment.hh"
+#include "trace/vector_trace.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace ccm;
+
+void
+BM_MctClassify(benchmark::State &state)
+{
+    MissClassificationTable mct(256,
+                                static_cast<unsigned>(state.range(0)));
+    for (std::size_t s = 0; s < 256; ++s)
+        mct.recordEviction(s, s * 31);
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mct.classify(rng.next() & 255, rng.next()));
+    }
+}
+BENCHMARK(BM_MctClassify)->Arg(0)->Arg(8);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheGeometry g(16 * 1024, static_cast<unsigned>(state.range(0)),
+                    64);
+    Cache cache(g);
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        Addr a = (rng.next() & 0xFFFFF) << 3;
+        if (!cache.access(a, false))
+            cache.fill(a, false, false);
+    }
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(8);
+
+void
+BM_FaLruTouch(benchmark::State &state)
+{
+    FaLru fa(static_cast<std::size_t>(state.range(0)));
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        Addr a = rng.next() & 0x3FF;
+        if (!fa.touch(a))
+            fa.insert(a);
+    }
+}
+BENCHMARK(BM_FaLruTouch)->Arg(8)->Arg(256);
+
+void
+BM_AssistBufferProbe(benchmark::State &state)
+{
+    AssistBuffer buf(static_cast<unsigned>(state.range(0)));
+    for (unsigned i = 0; i < buf.entries(); ++i)
+        buf.insert(i * 64, BufSource::Victim, false, false, 0);
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            buf.find((rng.next() & 31) * 64));
+    }
+}
+BENCHMARK(BM_AssistBufferProbe)->Arg(8)->Arg(16);
+
+void
+BM_MemSysAccess(benchmark::State &state)
+{
+    SystemConfig cfg = ambConfig(true, true, true);
+    MemorySystem mem(cfg.mem);
+    Pcg32 rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        Addr a = (rng.next() & 0x7FFFF) << 3;
+        benchmark::DoNotOptimize(mem.access(0, a, false, now));
+        now += 2;
+    }
+}
+BENCHMARK(BM_MemSysAccess);
+
+void
+BM_EndToEndSim(benchmark::State &state)
+{
+    auto wl = makeWorkload("compress", 50'000, 42);
+    VectorTrace trace = VectorTrace::capture(*wl);
+    SystemConfig cfg = baselineConfig();
+    for (auto _ : state) {
+        RunOutput r = runTiming(trace, cfg);
+        benchmark::DoNotOptimize(r.sim.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_EndToEndSim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §5.4 (text results) — Pseudo-associative cache with MCT-guided
+ * replacement.
+ *
+ * Three machines per workload: the baseline column-associative cache
+ * (LRU between the two candidate lines), the MCT-modified version
+ * (conflict bit vetoes LRU once), and a true 2-way set-associative
+ * cache of the same size.
+ *
+ * Paper: the MCT modification improves the pseudo-associative cache
+ * by 1.5% on average (up to 7%); the modified cache runs only 0.9%
+ * slower than a true 2-way cache, and tomcatv/turb3d/wave5 beat the
+ * 2-way cache; average miss rate improves from 10.22% to 9.83%.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+int
+main()
+{
+    using namespace ccm;
+    using namespace ccm::bench;
+
+    std::cout << "Section 5.4: pseudo-associative cache "
+              << "(speedups relative to the base pseudo-associative "
+              << "cache)\n\n";
+
+    TextTable table({"workload", "MCT speedup", "2-way speedup",
+                     "base miss%", "MCT miss%", "2way miss%"});
+
+    double geo_mct = 1, geo_2w = 1;
+    double mr_base = 0, mr_mct = 0, mr_2w = 0;
+    std::size_t n = 0;
+
+    for (const auto &name : timingSuite()) {
+        VectorTrace trace = captureWorkload(name);
+        RunOutput base = runTiming(trace, pseudoConfig(false));
+        RunOutput mct = runTiming(trace, pseudoConfig(true));
+        RunOutput twoway = runTiming(trace, twoWayConfig());
+
+        auto miss_pct = [](const RunOutput &r) {
+            return pct(r.mem.l1Misses, r.mem.accesses);
+        };
+
+        auto row = table.addRow(name);
+        double s_mct = speedup(base, mct);
+        double s_2w = speedup(base, twoway);
+        table.setNum(row, 1, s_mct, 3);
+        table.setNum(row, 2, s_2w, 3);
+        table.setNum(row, 3, miss_pct(base), 2);
+        table.setNum(row, 4, miss_pct(mct), 2);
+        table.setNum(row, 5, miss_pct(twoway), 2);
+
+        geo_mct *= s_mct;
+        geo_2w *= s_2w;
+        mr_base += miss_pct(base);
+        mr_mct += miss_pct(mct);
+        mr_2w += miss_pct(twoway);
+        ++n;
+    }
+
+    auto avg = table.addRow("AVG/GEO");
+    table.setNum(avg, 1, std::pow(geo_mct, 1.0 / double(n)), 3);
+    table.setNum(avg, 2, std::pow(geo_2w, 1.0 / double(n)), 3);
+    table.setNum(avg, 3, mr_base / n, 2);
+    table.setNum(avg, 4, mr_mct / n, 2);
+    table.setNum(avg, 5, mr_2w / n, 2);
+    table.print(std::cout);
+
+    std::cout << "\npaper: MCT replacement +1.5% avg (up to 7%); "
+              << "within 0.9% of a true 2-way cache; average miss "
+              << "rate 10.22% -> 9.83%\n";
+    return 0;
+}

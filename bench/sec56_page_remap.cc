@@ -1,0 +1,90 @@
+/**
+ * @file
+ * §5.6 "Runtime conflict avoidance" — CML-buffer page recoloring.
+ *
+ * The cache-miss-lookaside approach (Bershad/Romer) re-colors pages
+ * with high miss counts.  The paper's addition: count only conflict
+ * misses, so "reallocation could be avoided when the majority of
+ * misses are capacity misses (in which case reallocation typically
+ * would not help)."
+ *
+ * For each workload: misses and page moves when the OS counts all
+ * misses vs conflict misses only.  The shape to see: conflict-only
+ * keeps (or improves) the miss reduction while performing far fewer
+ * remaps — dramatically so on capacity-dominated programs like swim.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "remap/remap_sim.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+constexpr std::size_t memRefs = 500'000;
+constexpr std::uint64_t seed = 42;
+
+} // namespace
+
+int
+main()
+{
+    using namespace ccm;
+
+    std::cout << "Section 5.6: page recoloring driven by the CML "
+              << "buffer (16KB DM cache, 4KB pages)\n\n";
+
+    TextTable table({"workload", "static miss%", "all-miss miss%",
+                     "all-miss remaps", "conflict miss%",
+                     "conflict remaps"});
+
+    double s0 = 0, s1 = 0, s2 = 0;
+    Count r1 = 0, r2 = 0;
+    std::size_t n = 0;
+
+    for (const auto &spec : workloadSuite()) {
+        auto wl = spec.make(memRefs, seed);
+
+        RemapConfig none;
+        none.hotThreshold = ~0u;     // never remap: static coloring
+        RemapResult base = PageRemapSim(none).run(*wl);
+
+        RemapConfig all;
+        all.conflictOnly = false;
+        RemapResult ra = PageRemapSim(all).run(*wl);
+
+        RemapConfig conf;
+        conf.conflictOnly = true;
+        RemapResult rc = PageRemapSim(conf).run(*wl);
+
+        auto row = table.addRow(spec.name);
+        table.setNum(row, 1, 100.0 * base.missRate, 2);
+        table.setNum(row, 2, 100.0 * ra.missRate, 2);
+        table.set(row, 3, std::to_string(ra.remaps));
+        table.setNum(row, 4, 100.0 * rc.missRate, 2);
+        table.set(row, 5, std::to_string(rc.remaps));
+
+        s0 += 100.0 * base.missRate;
+        s1 += 100.0 * ra.missRate;
+        s2 += 100.0 * rc.missRate;
+        r1 += ra.remaps;
+        r2 += rc.remaps;
+        ++n;
+    }
+
+    auto avg = table.addRow("AVG/SUM");
+    table.setNum(avg, 1, s0 / n, 2);
+    table.setNum(avg, 2, s1 / n, 2);
+    table.set(avg, 3, std::to_string(r1));
+    table.setNum(avg, 4, s2 / n, 2);
+    table.set(avg, 5, std::to_string(r2));
+    table.print(std::cout);
+
+    std::cout << "\nshape: conflict-only counting performs far fewer "
+              << "page moves for a similar miss-rate benefit — "
+              << "classification filters out remaps that could not "
+              << "have helped\n";
+    return 0;
+}

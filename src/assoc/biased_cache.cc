@@ -1,0 +1,99 @@
+#include "assoc/biased_cache.hh"
+
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+BiasedAssocCache::BiasedAssocCache(const CacheGeometry &geometry,
+                                   bool use_bias,
+                                   unsigned mct_tag_bits)
+    : cache(geometry), useBias(use_bias),
+      mct(geometry.numSets(), mct_tag_bits)
+{
+}
+
+unsigned
+BiasedAssocCache::chooseVictim(std::size_t set,
+                               bool &bias_applied) const
+{
+    const CacheGeometry &g = cache.geometry();
+    bias_applied = false;
+
+    // Free way first.
+    for (unsigned w = 0; w < g.assoc(); ++w) {
+        if (!cache.lineAt(set, w).valid)
+            return w;
+    }
+
+    // Plain LRU victim for reference.
+    unsigned lru = 0;
+    for (unsigned w = 1; w < g.assoc(); ++w) {
+        if (cache.lineAt(set, w).lastUse <
+            cache.lineAt(set, lru).lastUse)
+            lru = w;
+    }
+    if (!useBias)
+        return lru;
+
+    // Biased: LRU among capacity-miss (unmarked) lines.
+    bool found = false;
+    unsigned victim = 0;
+    for (unsigned w = 0; w < g.assoc(); ++w) {
+        const CacheLine &l = cache.lineAt(set, w);
+        if (l.conflictBit)
+            continue;
+        if (!found || l.lastUse < cache.lineAt(set, victim).lastUse) {
+            victim = w;
+            found = true;
+        }
+    }
+    if (!found)
+        return lru;       // every line protected: plain LRU
+    bias_applied = victim != lru;
+    return victim;
+}
+
+BiasedAccess
+BiasedAssocCache::access(Addr addr, bool is_store)
+{
+    BiasedAccess out;
+    if (cache.access(addr, is_store)) {
+        ++nHits;
+        out.hit = true;
+        return out;
+    }
+    ++nMisses;
+
+    const CacheGeometry &g = cache.geometry();
+    const std::size_t set = g.setIndex(addr);
+    const Addr tag = g.tag(addr);
+
+    out.wasConflict = mct.isConflictMiss(set, tag);
+
+    bool bias_applied = false;
+    unsigned way = chooseVictim(set, bias_applied);
+    out.biasApplied = bias_applied;
+    if (bias_applied)
+        ++nOverrides;
+
+    FillResult ev = cache.fillWay(addr, way, out.wasConflict,
+                                  is_store);
+    if (ev.valid) {
+        out.evictedValid = true;
+        out.evictedLineAddr = ev.lineAddr;
+        out.evictedDirty = ev.dirty;
+        mct.recordEviction(set, g.tag(ev.lineAddr));
+    }
+    return out;
+}
+
+void
+BiasedAssocCache::clear()
+{
+    cache.clear();
+    mct.clear();
+    nHits = nMisses = nOverrides = 0;
+}
+
+} // namespace ccm

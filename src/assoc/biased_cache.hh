@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MCT-biased replacement for set-associative caches — the first
+ * "other application" of paper §5.6 (also the use Stone/Pomerene
+ * suggested for the shadow directory): bias the replacement algorithm
+ * against lines that entered on capacity misses, so streaming data
+ * "moves out of the cache set quickly once it is no longer being
+ * used" while conflict-miss lines are retained.
+ *
+ * Policy: on a miss, evict the LRU line among those whose conflict
+ * bit is clear; only when every line in the set is marked conflict
+ * does plain LRU run (and the survivor set keeps its bits).  The
+ * incoming line's bit comes from the MCT, exactly as in §3.
+ */
+
+#ifndef CCM_ASSOC_BIASED_CACHE_HH
+#define CCM_ASSOC_BIASED_CACHE_HH
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "mct/mct.hh"
+
+namespace ccm
+{
+
+/** Outcome of one biased-cache access. */
+struct BiasedAccess
+{
+    bool hit = false;
+    /** For misses: the MCT classification of the miss. */
+    bool wasConflict = false;
+    /** For misses: whether the bias overrode the plain-LRU choice. */
+    bool biasApplied = false;
+    bool evictedValid = false;
+    Addr evictedLineAddr = 0;
+    bool evictedDirty = false;
+};
+
+/** Set-associative cache with optional MCT-biased replacement. */
+class BiasedAssocCache
+{
+  public:
+    /**
+     * @param geometry any associativity >= 2 is interesting
+     * @param use_bias false = plain LRU baseline
+     * @param mct_tag_bits stored-tag width (0 = full)
+     */
+    BiasedAssocCache(const CacheGeometry &geometry, bool use_bias,
+                     unsigned mct_tag_bits = 0);
+
+    /** Access @p addr, filling on a miss. */
+    BiasedAccess access(Addr addr, bool is_store);
+
+    const CacheGeometry &geometry() const { return cache.geometry(); }
+
+    Count hits() const { return nHits; }
+    Count misses() const { return nMisses; }
+    Count accesses() const { return nHits + nMisses; }
+    double missRate() const { return safeRatio(nMisses, accesses()); }
+    /** Misses where the bias changed the LRU victim. */
+    Count biasOverrides() const { return nOverrides; }
+
+    void clear();
+
+  private:
+    unsigned chooseVictim(std::size_t set, bool &bias_applied) const;
+
+    Cache cache;
+    bool useBias;
+    MissClassificationTable mct;
+
+    Count nHits = 0;
+    Count nMisses = 0;
+    Count nOverrides = 0;
+};
+
+} // namespace ccm
+
+#endif // CCM_ASSOC_BIASED_CACHE_HH

@@ -1,0 +1,211 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+Cache::Cache(const CacheGeometry &geometry, ReplPolicy policy,
+             std::uint32_t random_seed)
+    : geom(geometry), repl(policy),
+      lines(geometry.numLines()),
+      rngState(random_seed == 0 ? 1 : random_seed)
+{
+}
+
+const CacheLine *
+Cache::probe(Addr addr) const
+{
+    std::size_t set = geom.setIndex(addr);
+    Addr t = geom.tag(addr);
+    for (unsigned w = 0; w < geom.assoc(); ++w) {
+        const CacheLine &l = lines[set * geom.assoc() + w];
+        if (l.valid && l.tag == t)
+            return &l;
+    }
+    return nullptr;
+}
+
+CacheLine *
+Cache::lookupMutable(Addr addr)
+{
+    std::size_t set = geom.setIndex(addr);
+    Addr t = geom.tag(addr);
+    for (unsigned w = 0; w < geom.assoc(); ++w) {
+        CacheLine &l = lines[set * geom.assoc() + w];
+        if (l.valid && l.tag == t)
+            return &l;
+    }
+    return nullptr;
+}
+
+CacheLine *
+Cache::findLine(Addr addr)
+{
+    return lookupMutable(addr);
+}
+
+bool
+Cache::access(Addr addr, bool is_store)
+{
+    ++tick;
+    CacheLine *l = lookupMutable(addr);
+    if (l) {
+        l->lastUse = tick;
+        if (is_store)
+            l->dirty = true;
+        ++nHits;
+        return true;
+    }
+    ++nMisses;
+    return false;
+}
+
+unsigned
+Cache::chooseVictimWay(std::size_t set) const
+{
+    const CacheLine *base = &lines[set * geom.assoc()];
+
+    // An invalid way always wins.
+    for (unsigned w = 0; w < geom.assoc(); ++w) {
+        if (!base[w].valid)
+            return w;
+    }
+
+    switch (repl) {
+      case ReplPolicy::Lru: {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < geom.assoc(); ++w) {
+            if (base[w].lastUse < base[victim].lastUse)
+                victim = w;
+        }
+        return victim;
+      }
+      case ReplPolicy::Fifo: {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < geom.assoc(); ++w) {
+            if (base[w].insertTime < base[victim].insertTime)
+                victim = w;
+        }
+        return victim;
+      }
+      case ReplPolicy::Random: {
+        // xorshift64*; mutable state so probe/victimFor stay const.
+        std::uint64_t x = rngState;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        rngState = x;
+        return static_cast<unsigned>(
+            (x * 2685821657736338717ULL) % geom.assoc());
+      }
+    }
+    ccm_panic("unreachable replacement policy");
+}
+
+const CacheLine *
+Cache::victimFor(Addr addr) const
+{
+    std::size_t set = geom.setIndex(addr);
+    const CacheLine *base = &lines[set * geom.assoc()];
+    for (unsigned w = 0; w < geom.assoc(); ++w) {
+        if (!base[w].valid)
+            return nullptr;
+    }
+    // Note: for ReplPolicy::Random this advances the RNG; the paper's
+    // configurations all use LRU, where this is stateless.
+    return &base[chooseVictimWay(set)];
+}
+
+FillResult
+Cache::fill(Addr addr, bool conflict_bit, bool is_store)
+{
+    std::size_t set = geom.setIndex(addr);
+    return fillWay(addr, chooseVictimWay(set), conflict_bit, is_store);
+}
+
+FillResult
+Cache::fillWay(Addr addr, unsigned way, bool conflict_bit, bool is_store)
+{
+    if (way >= geom.assoc())
+        ccm_panic("fillWay: way ", way, " out of range");
+
+    std::size_t set = geom.setIndex(addr);
+    CacheLine &l = lines[set * geom.assoc() + way];
+
+    FillResult evicted;
+    if (l.valid) {
+        evicted.valid = true;
+        evicted.lineAddr = geom.buildLineAddr(l.tag, set);
+        evicted.dirty = l.dirty;
+        evicted.conflictBit = l.conflictBit;
+        ++nEvictions;
+    }
+
+    ++tick;
+    l.valid = true;
+    l.tag = geom.tag(addr);
+    l.dirty = is_store;
+    l.conflictBit = conflict_bit;
+    l.lastUse = tick;
+    l.insertTime = tick;
+    ++nFills;
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    CacheLine *l = lookupMutable(addr);
+    if (!l)
+        return false;
+    l->valid = false;
+    l->dirty = false;
+    l->conflictBit = false;
+    return true;
+}
+
+CacheLine &
+Cache::lineAt(std::size_t set, unsigned way)
+{
+    if (set >= geom.numSets() || way >= geom.assoc())
+        ccm_panic("lineAt(", set, ",", way, ") out of range");
+    return lines[set * geom.assoc() + way];
+}
+
+const CacheLine &
+Cache::lineAt(std::size_t set, unsigned way) const
+{
+    if (set >= geom.numSets() || way >= geom.assoc())
+        ccm_panic("lineAt(", set, ",", way, ") out of range");
+    return lines[set * geom.assoc() + way];
+}
+
+Addr
+Cache::lineAddrAt(std::size_t set, unsigned way) const
+{
+    const CacheLine &l = lineAt(set, way);
+    if (!l.valid)
+        return invalidAddr;
+    return geom.buildLineAddr(l.tag, set);
+}
+
+std::size_t
+Cache::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lines)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+void
+Cache::clear()
+{
+    for (auto &l : lines)
+        l = CacheLine{};
+    tick = 0;
+    nHits = nMisses = nFills = nEvictions = 0;
+}
+
+} // namespace ccm

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A functional set-associative cache with pluggable replacement, line
+ * conflict bits, and explicit victim-selection/fill hooks.
+ *
+ * The cache is purely functional (tags only; no data payloads — the
+ * simulation never needs values).  Timing lives in the hierarchy
+ * layer, which decides *when* to call these methods.
+ */
+
+#ifndef CCM_CACHE_CACHE_HH
+#define CCM_CACHE_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/line.hh"
+#include "common/stats.hh"
+
+namespace ccm
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy
+{
+    Lru,
+    Fifo,
+    Random,
+};
+
+/** What a fill pushed out of the cache. */
+struct EvictedLine
+{
+    bool valid = false;      ///< false when the fill used an empty way
+    Addr lineAddr = 0;       ///< line-aligned address of the victim
+    bool dirty = false;
+    bool conflictBit = false;
+};
+
+/** Result of a fill: the victim (if any). */
+using FillResult = EvictedLine;
+
+/** Functional set-associative cache. */
+class Cache
+{
+  public:
+    Cache(const CacheGeometry &geometry, ReplPolicy policy = ReplPolicy::Lru,
+          std::uint32_t random_seed = 1);
+
+    const CacheGeometry &geometry() const { return geom; }
+
+    /**
+     * Look up @p addr without disturbing replacement state.
+     * @return the line, or nullptr on miss
+     */
+    const CacheLine *probe(Addr addr) const;
+
+    /**
+     * Access @p addr: on a hit, update replacement state and the dirty
+     * bit (for stores).
+     *
+     * @retval true hit
+     * @retval false miss — caller decides whether/where to fill
+     */
+    bool access(Addr addr, bool is_store);
+
+    /**
+     * The line a fill of @p addr would evict (replacement choice), or
+     * nullptr if the set still has an invalid way.  Does not modify
+     * any state; a subsequent fill() makes the same choice.
+     */
+    const CacheLine *victimFor(Addr addr) const;
+
+    /**
+     * Install the line containing @p addr, evicting victimFor(addr).
+     *
+     * @param addr address being filled (any byte in the line)
+     * @param conflict_bit value for the new line's conflict bit
+     * @param is_store whether the triggering access was a store
+     * @return description of the evicted line (valid=false if none)
+     */
+    FillResult fill(Addr addr, bool conflict_bit, bool is_store);
+
+    /**
+     * Install into an explicit way of the set (used by the
+     * pseudo-associative cache, which makes its own victim choice).
+     */
+    FillResult fillWay(Addr addr, unsigned way, bool conflict_bit,
+                       bool is_store);
+
+    /** Remove the line containing @p addr; @return it existed. */
+    bool invalidate(Addr addr);
+
+    /** Direct set access for policy code (pseudo-assoc, tests). */
+    CacheLine &lineAt(std::size_t set, unsigned way);
+    const CacheLine &lineAt(std::size_t set, unsigned way) const;
+
+    /** Mutable lookup (used to flip conflict bits on resident lines). */
+    CacheLine *findLine(Addr addr);
+
+    /** Line-aligned address of the line in (set, way). */
+    Addr lineAddrAt(std::size_t set, unsigned way) const;
+
+    /** Number of valid lines currently resident. */
+    std::size_t occupancy() const;
+
+    /** Clear all lines and statistics. */
+    void clear();
+
+    // Statistics ----------------------------------------------------
+    Count hits() const { return nHits; }
+    Count misses() const { return nMisses; }
+    Count accesses() const { return nHits + nMisses; }
+    Count fills() const { return nFills; }
+    Count evictions() const { return nEvictions; }
+    double missRate() const { return safeRatio(nMisses, accesses()); }
+
+  private:
+    CacheLine *lookupMutable(Addr addr);
+    unsigned chooseVictimWay(std::size_t set) const;
+
+    CacheGeometry geom;
+    ReplPolicy repl;
+    std::vector<CacheLine> lines;   ///< sets_ * assoc_, set-major
+    Count tick = 0;                 ///< logical access clock for LRU/FIFO
+    mutable std::uint64_t rngState; ///< for ReplPolicy::Random
+
+    Count nHits = 0;
+    Count nMisses = 0;
+    Count nFills = 0;
+    Count nEvictions = 0;
+};
+
+} // namespace ccm
+
+#endif // CCM_CACHE_CACHE_HH

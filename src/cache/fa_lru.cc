@@ -1,0 +1,75 @@
+#include "cache/fa_lru.hh"
+
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+FaLru::FaLru(std::size_t num_lines) : cap(num_lines)
+{
+    if (num_lines == 0)
+        ccm_fatal("FaLru capacity must be > 0");
+    map.reserve(num_lines * 2);
+}
+
+bool
+FaLru::contains(Addr line) const
+{
+    return map.find(line) != map.end();
+}
+
+bool
+FaLru::touch(Addr line)
+{
+    auto it = map.find(line);
+    if (it == map.end())
+        return false;
+    order.splice(order.begin(), order, it->second);
+    return true;
+}
+
+std::optional<Addr>
+FaLru::insert(Addr line)
+{
+    if (map.find(line) != map.end())
+        ccm_panic("FaLru::insert of resident line");
+
+    std::optional<Addr> evicted;
+    if (map.size() == cap) {
+        Addr victim = order.back();
+        order.pop_back();
+        map.erase(victim);
+        evicted = victim;
+    }
+    order.push_front(line);
+    map[line] = order.begin();
+    return evicted;
+}
+
+bool
+FaLru::erase(Addr line)
+{
+    auto it = map.find(line);
+    if (it == map.end())
+        return false;
+    order.erase(it->second);
+    map.erase(it);
+    return true;
+}
+
+std::optional<Addr>
+FaLru::lruLine() const
+{
+    if (order.empty())
+        return std::nullopt;
+    return order.back();
+}
+
+void
+FaLru::clear()
+{
+    order.clear();
+    map.clear();
+}
+
+} // namespace ccm

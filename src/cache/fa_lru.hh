@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A fully-associative LRU cache over line addresses.
+ *
+ * Two roles in this repo:
+ *  - the oracle in the classic (Hill) conflict/capacity classifier: a
+ *    miss is a conflict miss iff a fully-associative LRU cache of the
+ *    same capacity would have hit;
+ *  - the tag store of small fully-associative assist buffers.
+ *
+ * Implemented as an intrusive doubly-linked LRU list over a hash map,
+ * so every operation is O(1) expected.
+ */
+
+#ifndef CCM_CACHE_FA_LRU_HH
+#define CCM_CACHE_FA_LRU_HH
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Fully-associative LRU set of line addresses. */
+class FaLru
+{
+  public:
+    /** @param num_lines capacity in cache lines (> 0) */
+    explicit FaLru(std::size_t num_lines);
+
+    /** @return true iff @p line is resident (no LRU update). */
+    bool contains(Addr line) const;
+
+    /**
+     * Access @p line: on hit, move to MRU.
+     * @retval true hit
+     */
+    bool touch(Addr line);
+
+    /**
+     * Insert @p line (must not be resident) as MRU.
+     * @return the evicted LRU line, if the cache was full
+     */
+    std::optional<Addr> insert(Addr line);
+
+    /** Remove @p line if resident; @return it was resident. */
+    bool erase(Addr line);
+
+    /** Least-recently-used resident line (empty if none). */
+    std::optional<Addr> lruLine() const;
+
+    std::size_t size() const { return map.size(); }
+    std::size_t capacity() const { return cap; }
+    bool full() const { return map.size() == cap; }
+
+    void clear();
+
+  private:
+    std::size_t cap;
+    std::list<Addr> order;  ///< front = MRU, back = LRU
+    std::unordered_map<Addr, std::list<Addr>::iterator> map;
+};
+
+} // namespace ccm
+
+#endif // CCM_CACHE_FA_LRU_HH

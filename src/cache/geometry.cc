@@ -1,0 +1,49 @@
+#include "cache/geometry.hh"
+
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+CacheGeometry::CacheGeometry(std::size_t size_bytes,
+                             unsigned associativity,
+                             unsigned line_bytes)
+    : size_(size_bytes), assoc_(associativity), line_(line_bytes)
+{
+    if (!isPowerOfTwo(size_bytes))
+        ccm_fatal("cache size must be a power of two: ", size_bytes);
+    if (!isPowerOfTwo(line_bytes))
+        ccm_fatal("line size must be a power of two: ", line_bytes);
+    if (associativity == 0)
+        ccm_fatal("associativity must be >= 1");
+    if (size_bytes % (static_cast<std::size_t>(line_bytes) *
+                      associativity) != 0) {
+        ccm_fatal("cache size ", size_bytes,
+                  " not divisible by line*assoc");
+    }
+
+    sets_ = size_bytes / line_bytes / associativity;
+    if (!isPowerOfTwo(sets_))
+        ccm_fatal("number of sets must be a power of two: ", sets_);
+
+    offBits = floorLog2(line_bytes);
+    idxBits = floorLog2(sets_);
+    idxMask = lowMask(idxBits);
+}
+
+std::string
+CacheGeometry::describe() const
+{
+    std::ostringstream os;
+    if (size_ >= 1024 && size_ % 1024 == 0)
+        os << (size_ / 1024) << "KB";
+    else
+        os << size_ << "B";
+    os << "/" << assoc_ << "way/" << line_ << "B";
+    return os.str();
+}
+
+} // namespace ccm

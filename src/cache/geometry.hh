@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cache geometry: size/associativity/line-size plus the derived
+ * address decomposition (offset | set index | tag) used by the cache,
+ * the MCT and the pseudo-associative rehash function.
+ */
+
+#ifndef CCM_CACHE_GEOMETRY_HH
+#define CCM_CACHE_GEOMETRY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/**
+ * Immutable description of a cache's shape.  All fields must be powers
+ * of two; construction validates and precomputes shift/mask values so
+ * the hot-path address math is two shifts and a mask.
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes total capacity in bytes
+     * @param associativity ways per set (>= 1)
+     * @param line_bytes cache line size in bytes
+     */
+    CacheGeometry(std::size_t size_bytes, unsigned associativity,
+                  unsigned line_bytes);
+
+    std::size_t sizeBytes() const { return size_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned lineBytes() const { return line_; }
+    std::size_t numSets() const { return sets_; }
+    std::size_t numLines() const { return sets_ * assoc_; }
+
+    unsigned offsetBits() const { return offBits; }
+    unsigned setBits() const { return idxBits; }
+
+    /** Line-aligned address (offset bits cleared). */
+    Addr lineAddr(Addr a) const { return a & ~Addr{line_ - 1}; }
+
+    /** Set index of @p a. */
+    std::size_t
+    setIndex(Addr a) const
+    {
+        return static_cast<std::size_t>((a >> offBits) & idxMask);
+    }
+
+    /** Full tag of @p a (address above offset+index bits). */
+    Addr tag(Addr a) const { return a >> (offBits + idxBits); }
+
+    /** Rebuild a line address from (tag, set) — inverse of the above. */
+    Addr
+    buildLineAddr(Addr tag_v, std::size_t set) const
+    {
+        return (tag_v << (offBits + idxBits)) |
+               (static_cast<Addr>(set) << offBits);
+    }
+
+    /** "16KB/1way/64B" style description. */
+    std::string describe() const;
+
+  private:
+    std::size_t size_;
+    unsigned assoc_;
+    unsigned line_;
+    std::size_t sets_;
+    unsigned offBits;
+    unsigned idxBits;
+    Addr idxMask;
+};
+
+} // namespace ccm
+
+#endif // CCM_CACHE_GEOMETRY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache models.
+ */
+
+#ifndef CCM_COMMON_BITUTIL_HH
+#define CCM_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Integer log base 2 of a power of two.
+ *
+ * @param v a power of two
+ * @return floor(log2(v))
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** @return a mask with the low @p bits bits set. */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Extract bit field [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bitField(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & lowMask(len);
+}
+
+} // namespace ccm
+
+#endif // CCM_COMMON_BITUTIL_HH

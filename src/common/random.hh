@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All workload generators draw from this PCG32 implementation so that a
+ * given (workload, seed) pair always produces the identical address
+ * stream, on any host, which keeps every experiment reproducible.
+ */
+
+#ifndef CCM_COMMON_RANDOM_HH
+#define CCM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace ccm
+{
+
+/**
+ * PCG32 generator (O'Neill, 2014): small state, good statistical
+ * quality, and fully deterministic across platforms.
+ */
+class Pcg32
+{
+  public:
+    /** Seed with a stream-selector so parallel streams don't correlate. */
+    explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 1)
+        : state(0), inc((stream << 1) | 1)
+    {
+        next();
+        state += seed;
+        next();
+    }
+
+    /** @return the next 32 uniformly distributed bits. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be nonzero. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        // Debiased modulo via rejection sampling.
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace ccm
+
+#endif // CCM_COMMON_RANDOM_HH

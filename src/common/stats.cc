@@ -1,0 +1,50 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace ccm
+{
+
+Counter &
+StatGroup::add(const std::string &stat_name)
+{
+    auto *e = new Entry{stat_name, Counter{}};
+    entries.push_back(e);
+    return e->counter;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *e : entries)
+        e->counter.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto *e : entries) {
+        os << name_ << "." << e->name << " " << e->counter.value()
+           << "\n";
+    }
+}
+
+StatGroup::~StatGroup()
+{
+    for (auto *e : entries)
+        delete e;
+}
+
+double
+safeRatio(std::uint64_t a, std::uint64_t b)
+{
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+double
+pct(std::uint64_t a, std::uint64_t b)
+{
+    return 100.0 * safeRatio(a, b);
+}
+
+} // namespace ccm

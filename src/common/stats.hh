@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters and derived
+ * ratios, grouped per component, with text dumping.
+ *
+ * Modelled loosely on gem5's stats but kept minimal: each simulated
+ * component owns a StatGroup; counters register themselves by name so a
+ * whole-system dump is one call.
+ */
+
+#ifndef CCM_COMMON_STATS_HH
+#define CCM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** A single named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A group of related counters belonging to one component; supports
+ * registration and formatted dumping.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p stat_name; returns the counter. */
+    Counter &add(const std::string &stat_name);
+
+    /** Zero every registered counter. */
+    void resetAll();
+
+    /** Write "group.stat value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Counter counter;
+    };
+
+    std::string name_;
+    // Deque-like stability: entries are never removed, and we hand out
+    // references, so store pointers.
+    std::vector<Entry *> entries;
+
+  public:
+    ~StatGroup();
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+};
+
+/** @return a / b as a double, or 0.0 when b == 0. */
+double safeRatio(std::uint64_t a, std::uint64_t b);
+
+/** @return a / b as a percentage, or 0.0 when b == 0. */
+double pct(std::uint64_t a, std::uint64_t b);
+
+} // namespace ccm
+
+#endif // CCM_COMMON_STATS_HH

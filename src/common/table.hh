@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text result tables used by the benchmark harness to print the
+ * rows/series the paper's figures and tables report.
+ */
+
+#ifndef CCM_COMMON_TABLE_HH
+#define CCM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccm
+{
+
+/**
+ * A simple column-aligned text table.  Cells are strings; numeric
+ * convenience setters format with fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** @param column_headers header row, first cell names the row label */
+    explicit TextTable(std::vector<std::string> column_headers);
+
+    /** Begin a new row with the given label; returns the row index. */
+    std::size_t addRow(const std::string &label);
+
+    /** Set cell (row, col) to a string; col 0 is the label column. */
+    void set(std::size_t row, std::size_t col, const std::string &v);
+
+    /** Set cell to a fixed-precision number. */
+    void setNum(std::size_t row, std::size_t col, double v,
+                int precision = 2);
+
+    /** Append a column-aligned rendering to @p os. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+    std::size_t cols() const { return headers.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace ccm
+
+#endif // CCM_COMMON_TABLE_HH

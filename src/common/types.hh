@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every subsystem.
+ */
+
+#ifndef CCM_COMMON_TYPES_HH
+#define CCM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace ccm
+{
+
+/** A byte address in the simulated 64-bit address space. */
+using Addr = std::uint64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A monotonically increasing event/instruction counter. */
+using Count = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace ccm
+
+#endif // CCM_COMMON_TYPES_HH

@@ -1,0 +1,115 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace ccm
+{
+
+SimResult
+Core::run(TraceSource &trace, MemorySystem &mem)
+{
+    trace.reset();
+
+    // Deterministic wrong-path generator (squashed speculative
+    // loads; see CoreConfig::wrongPathRate).
+    Pcg32 wp_rng(0xbadb07);
+    Addr last_mem_addr = 0;
+
+    // Ring buffer of completion cycles: the reorder window.
+    std::vector<Cycle> rob(cfg.robSize, 0);
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    Cycle now = cfg.pipelineFill;   // fill the 7-stage front end
+    Count instrs = 0;
+    Count mem_refs = 0;
+    Cycle last_load_complete = 0;
+
+    MemRecord rec;
+    bool have = trace.next(rec);
+
+    while (have || count > 0) {
+        // In-order retire, up to retireWidth per cycle.
+        unsigned retired = 0;
+        while (count > 0 && retired < cfg.retireWidth &&
+               rob[head] <= now) {
+            head = (head + 1) % cfg.robSize;
+            --count;
+            ++retired;
+        }
+
+        // Fetch/dispatch, bounded by width, window space, and
+        // load/store units.
+        unsigned dispatched = 0;
+        unsigned lsu_used = 0;
+        while (have && dispatched < cfg.fetchWidth &&
+               count < cfg.robSize) {
+            Cycle complete;
+            if (rec.isMem()) {
+                if (lsu_used >= cfg.loadStoreUnits)
+                    break;
+                ++lsu_used;
+                Cycle issue = now;
+                if (rec.dependsOnPrevLoad)
+                    issue = std::max(issue, last_load_complete);
+                AccessResult r =
+                    mem.access(rec.pc, rec.addr, rec.isStore(), issue);
+                ++mem_refs;
+                last_mem_addr = rec.addr;
+                if (rec.isStore()) {
+                    // Store buffer: retire without waiting for data.
+                    complete = now + 1;
+                } else {
+                    complete = r.ready;
+                    last_load_complete = r.ready;
+                }
+            } else {
+                complete = now + 1;
+                // Branch-mispredict wrong path: a burst of squashed
+                // speculative loads near the recent access region —
+                // they disturb the caches and the MCT but never
+                // enter the window.
+                if (cfg.wrongPathRate != 0 &&
+                    wp_rng.below(cfg.wrongPathRate) == 0) {
+                    for (unsigned w = 0; w < cfg.wrongPathBurst;
+                         ++w) {
+                        Addr wild = last_mem_addr +
+                                    (Addr(wp_rng.below(256)) -
+                                     128) * 64;
+                        mem.access(rec.pc ^ 0x4, wild, false, now);
+                    }
+                }
+            }
+            rob[(head + count) % cfg.robSize] = complete;
+            ++count;
+            ++instrs;
+            ++dispatched;
+            have = trace.next(rec);
+        }
+
+        // Advance time; when the window is blocked, jump straight to
+        // the head's completion instead of idling cycle by cycle.
+        bool blocked = count > 0 && rob[head] > now &&
+                       (count == cfg.robSize || !have);
+        if (blocked)
+            now = rob[head];
+        else
+            ++now;
+    }
+
+    SimResult res;
+    res.cycles = now;
+    res.instructions = instrs;
+    res.memRefs = mem_refs;
+    res.ipc = res.cycles == 0
+                  ? 0.0
+                  : static_cast<double>(instrs) /
+                        static_cast<double>(res.cycles);
+    return res;
+}
+
+} // namespace ccm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model.
+ *
+ * Stands in for SMTSIM's emulation-driven pipeline (see DESIGN.md):
+ * 8-wide fetch/dispatch/retire, a reorder window sized to the paper's
+ * two 32-entry instruction queues, four load/store units, in-order
+ * retirement.  Loads complete when the memory system delivers their
+ * data; pointer-chasing loads (dependsOnPrevLoad) cannot issue before
+ * the previous load completes; stores retire without waiting.  This
+ * captures the first-order effect the paper's speedups ride on: how
+ * much miss latency an out-of-order window can overlap.
+ */
+
+#ifndef CCM_CPU_CORE_HH
+#define CCM_CPU_CORE_HH
+
+#include "common/types.hh"
+#include "hierarchy/memsys.hh"
+#include "trace/source.hh"
+
+namespace ccm
+{
+
+/** Core width/window parameters (defaults = paper §4). */
+struct CoreConfig
+{
+    unsigned fetchWidth = 8;    ///< instructions fetched per cycle
+    unsigned retireWidth = 8;   ///< instructions retired per cycle
+    unsigned robSize = 64;      ///< 2 x 32-entry instruction queues
+    unsigned loadStoreUnits = 4;
+    Cycle pipelineFill = 7;     ///< 7-stage front end
+
+    /**
+     * Wrong-path modelling (SMTSIM "models execution and memory
+     * access along wrong paths following branch mispredictions").
+     * With probability 1/wrongPathRate per instruction, a burst of
+     * speculative loads near recently-seen addresses is issued to the
+     * memory system — polluting caches and the MCT — before being
+     * squashed (they never retire).  0 disables.
+     */
+    unsigned wrongPathRate = 0;
+    unsigned wrongPathBurst = 4;   ///< wrong-path loads per event
+};
+
+/** Outcome of one timing run. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    Count instructions = 0;
+    Count memRefs = 0;
+    double ipc = 0.0;
+};
+
+/** The out-of-order core model. */
+class Core
+{
+  public:
+    explicit Core(const CoreConfig &config) : cfg(config) {}
+
+    /**
+     * Run @p trace (reset first) to completion against @p mem.
+     */
+    SimResult run(TraceSource &trace, MemorySystem &mem);
+
+  private:
+    CoreConfig cfg;
+};
+
+} // namespace ccm
+
+#endif // CCM_CPU_CORE_HH

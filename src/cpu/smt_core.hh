@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simultaneous-multithreading core timing model.
+ *
+ * The paper's host simulator, SMTSIM, is an SMT processor simulator,
+ * and §5.6 argues the paper's techniques "apply to an even greater
+ * extent with multithreaded caches".  This model makes that claim
+ * measurable: N hardware contexts share the fetch/issue bandwidth,
+ * the load/store units and the entire memory system (hence the L1,
+ * the MCT and the assist buffer).
+ *
+ * Fetch follows the ICOUNT-style policy of Tullsen et al.: each
+ * cycle, ready threads are served in order of fewest instructions in
+ * the window, which naturally throttles threads blocked on misses.
+ */
+
+#ifndef CCM_CPU_SMT_CORE_HH
+#define CCM_CPU_SMT_CORE_HH
+
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace ccm
+{
+
+/** Results of one SMT run. */
+struct SmtResult
+{
+    Cycle cycles = 0;
+    Count totalInstructions = 0;
+    double throughputIpc = 0.0;          ///< all threads combined
+    std::vector<Count> perThreadInstrs;  ///< committed per context
+};
+
+/** N-context SMT core sharing one memory system. */
+class SmtCore
+{
+  public:
+    /**
+     * @param config per-core width/window parameters; the reorder
+     *        window is partitioned evenly between contexts
+     * @param threads hardware contexts (>= 1)
+     */
+    SmtCore(const CoreConfig &config, unsigned threads);
+
+    /**
+     * Run every trace (reset first) to completion against the shared
+     * memory system; the run ends when all traces are drained.
+     */
+    SmtResult run(const std::vector<TraceSource *> &traces,
+                  MemorySystem &mem);
+
+  private:
+    CoreConfig cfg;
+    unsigned nThreads;
+};
+
+} // namespace ccm
+
+#endif // CCM_CPU_SMT_CORE_HH

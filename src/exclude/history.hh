@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Region miss-classification history table — the "conflict history"
+ * and "capacity history" exclusion variants of paper §5.3 ("a
+ * structure somewhat similar to the MAT"): per memory region, a
+ * saturating counter tracks whether recent misses from that region
+ * were conflict or capacity misses; a line is excluded when its region
+ * has a consistent history of the targeted miss class.
+ */
+
+#ifndef CCM_EXCLUDE_HISTORY_HH
+#define CCM_EXCLUDE_HISTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mct/miss_class.hh"
+
+namespace ccm
+{
+
+/** Per-region conflict/capacity miss history. */
+class MissHistoryTable
+{
+  public:
+    /**
+     * @param entries table size (power of two, direct-mapped)
+     * @param region_bytes region granularity
+     */
+    explicit MissHistoryTable(std::size_t entries = 1024,
+                              std::size_t region_bytes = 1024);
+
+    /** Record a classified miss from @p addr's region. */
+    void recordMiss(Addr addr, MissClass cls);
+
+    /**
+     * @retval true the region's recent misses have mostly been
+     *         conflict misses
+     */
+    bool conflictHistory(Addr addr) const;
+
+    /** @retval true the region's recent misses have mostly been
+     *          capacity misses */
+    bool capacityHistory(Addr addr) const;
+
+    void clear();
+
+  private:
+    // 3-bit saturating counter per region: 0 = strongly capacity,
+    // 7 = strongly conflict; thresholds at the outer quarters so an
+    // inconsistent region excludes nothing.
+    struct Entry
+    {
+        Addr tag = 0;
+        std::uint8_t counter = 4;
+        bool valid = false;
+    };
+
+    std::size_t indexOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    const Entry *lookup(Addr addr) const;
+
+    std::vector<Entry> table;
+    std::size_t regionShift;
+    std::size_t mask;
+};
+
+} // namespace ccm
+
+#endif // CCM_EXCLUDE_HISTORY_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tyson et al. PC-indexed cache exclusion — the other exclusion
+ * comparator the paper describes (§5.3): "Tyson uses a table, indexed
+ * by program counter, to track hit/miss frequency, and excludes from
+ * the cache accesses predicted to miss with high likelihood."
+ *
+ * Like the MAT (and unlike the MCT), the table must be read and
+ * updated on every memory access.  Each entry is a tagged 2-bit
+ * saturating counter of an instruction's recent miss behaviour;
+ * instructions that usually miss are marked non-allocating.
+ */
+
+#ifndef CCM_EXCLUDE_TYSON_HH
+#define CCM_EXCLUDE_TYSON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Per-instruction miss-frequency predictor. */
+class PcMissTable
+{
+  public:
+    /** @param entries table size (power of two, direct-mapped) */
+    explicit PcMissTable(std::size_t entries = 1024);
+
+    /** Record the outcome of one access by instruction @p pc. */
+    void recordOutcome(Addr pc, bool missed);
+
+    /**
+     * @retval true @p pc's accesses are predicted to miss with high
+     *         likelihood: exclude them from the cache
+     */
+    bool shouldBypass(Addr pc) const;
+
+    /** Current counter for @p pc (0..3; 0 on tag mismatch). */
+    std::uint8_t counterFor(Addr pc) const;
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        /** 0 = strongly hits ... 3 = strongly misses. */
+        std::uint8_t counter = 0;
+        bool valid = false;
+    };
+
+    std::size_t indexOf(Addr pc) const;
+    Addr tagOf(Addr pc) const { return pc >> 2; }
+
+    std::vector<Entry> table;
+    std::size_t mask;
+};
+
+} // namespace ccm
+
+#endif // CCM_EXCLUDE_TYSON_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Event counters collected by the memory system — the raw numbers
+ * behind Table 1 and Figures 3-7.
+ */
+
+#ifndef CCM_HIERARCHY_MEMSTATS_HH
+#define CCM_HIERARCHY_MEMSTATS_HH
+
+#include <ostream>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Memory-system event counters. */
+struct MemStats
+{
+    Count accesses = 0;
+    Count loads = 0;
+    Count stores = 0;
+
+    Count l1Hits = 0;
+    Count l1Misses = 0;
+
+    /** Assist-buffer hits by entry source. */
+    Count bufHitVictim = 0;
+    Count bufHitPrefetch = 0;
+    Count bufHitBypass = 0;
+
+    Count l2Hits = 0;
+    Count l2Misses = 0;
+
+    /** MCT classification of misses that reached the fetch path. */
+    Count conflictMisses = 0;
+    Count capacityMisses = 0;
+
+    /** Victim-cache accounting (Table 1). */
+    Count swaps = 0;       ///< cache<->buffer line swaps
+    Count victimFills = 0; ///< evicted lines inserted into the buffer
+
+    /** Prefetch accounting (Figure 4). */
+    Count prefIssued = 0;
+    Count prefUseful = 0;
+    Count prefDropped = 0;   ///< MSHRs full
+    Count prefFiltered = 0;  ///< suppressed by conflict filter
+    Count prefWasted = 0;    ///< evicted from the buffer unused
+
+    /** Exclusion accounting (Figure 5). */
+    Count excluded = 0;
+
+    Count writebacks = 0;
+    Count mshrStallCycles = 0;
+
+    /** Pseudo-associative cache (§5.4). */
+    Count pseudoPrimaryHits = 0;
+    Count pseudoSecondaryHits = 0;
+    Count pseudoOverrides = 0;
+
+    // Derived --------------------------------------------------------
+    Count bufHits() const
+    {
+        return bufHitVictim + bufHitPrefetch + bufHitBypass;
+    }
+
+    /** D$ hit rate, % of all accesses (Table 1 convention). */
+    double l1HitRatePct() const { return pct(l1Hits, accesses); }
+
+    /** Buffer hit rate, % of all accesses. */
+    double bufHitRatePct() const { return pct(bufHits(), accesses); }
+
+    /** Combined hit rate, % of all accesses. */
+    double totalHitRatePct() const
+    {
+        return pct(l1Hits + bufHits(), accesses);
+    }
+
+    /** Misses that go to L2, % of all accesses. */
+    double missRatePct() const
+    {
+        return pct(accesses - l1Hits - bufHits(), accesses);
+    }
+
+    double swapRatePct() const { return pct(swaps, accesses); }
+    double fillRatePct() const { return pct(victimFills, accesses); }
+
+    /** Prefetch accuracy: useful / issued. */
+    double prefAccuracyPct() const
+    {
+        return pct(prefUseful, prefIssued);
+    }
+
+    /** Write "mem.<stat> <value>" lines (gem5-style stats dump). */
+    void
+    dump(std::ostream &os, const char *prefix = "mem") const
+    {
+        auto line = [&](const char *name, Count v) {
+            os << prefix << "." << name << " " << v << "\n";
+        };
+        line("accesses", accesses);
+        line("loads", loads);
+        line("stores", stores);
+        line("l1_hits", l1Hits);
+        line("l1_misses", l1Misses);
+        line("buf_hit_victim", bufHitVictim);
+        line("buf_hit_prefetch", bufHitPrefetch);
+        line("buf_hit_bypass", bufHitBypass);
+        line("l2_hits", l2Hits);
+        line("l2_misses", l2Misses);
+        line("conflict_misses", conflictMisses);
+        line("capacity_misses", capacityMisses);
+        line("swaps", swaps);
+        line("victim_fills", victimFills);
+        line("pref_issued", prefIssued);
+        line("pref_useful", prefUseful);
+        line("pref_dropped", prefDropped);
+        line("pref_filtered", prefFiltered);
+        line("pref_wasted", prefWasted);
+        line("excluded", excluded);
+        line("writebacks", writebacks);
+        line("mshr_stall_cycles", mshrStallCycles);
+        line("pseudo_primary_hits", pseudoPrimaryHits);
+        line("pseudo_secondary_hits", pseudoSecondaryHits);
+        line("pseudo_overrides", pseudoOverrides);
+    }
+
+    /** Prefetch coverage: buffer prefetch hits / all L1 misses. */
+    double prefCoveragePct() const
+    {
+        return pct(bufHitPrefetch, l1Misses);
+    }
+};
+
+} // namespace ccm
+
+#endif // CCM_HIERARCHY_MEMSTATS_HH

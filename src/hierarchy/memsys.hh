@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The simulated memory system: banked non-blocking L1D, the
+ * configurable assist buffer (victim / prefetch / bypass / AMB), a
+ * 1 MB 2-way L2, main memory, the MCT, and contention for banks,
+ * buffer ports, the L1<->L2 bus and MSHRs.
+ *
+ * The CPU model calls access() once per memory instruction with the
+ * cycle the access issues; the return value says when the data is
+ * available.  All policy behaviour from paper §5 lives here.
+ */
+
+#ifndef CCM_HIERARCHY_MEMSYS_HH
+#define CCM_HIERARCHY_MEMSYS_HH
+
+#include <memory>
+
+#include "assist/buffer.hh"
+#include "cache/cache.hh"
+#include "exclude/history.hh"
+#include "exclude/mat.hh"
+#include "exclude/tyson.hh"
+#include "hierarchy/config.hh"
+#include "hierarchy/memstats.hh"
+#include "hierarchy/mshr.hh"
+#include "hierarchy/resource.hh"
+#include "mct/mct.hh"
+#include "prefetch/nextline.hh"
+#include "prefetch/rpt.hh"
+#include "pseudo/pseudo_cache.hh"
+
+namespace ccm
+{
+
+/** What one access did and when its data arrives. */
+struct AccessResult
+{
+    /** Cycle the requested word is available to the CPU. */
+    Cycle ready = 0;
+    bool l1Hit = false;
+    bool bufHit = false;
+    bool l2Hit = false;
+    /** MCT classification (valid when the L1 missed). */
+    MissClass missClass = MissClass::Capacity;
+};
+
+/** The paper's three-level memory system with pluggable assists. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemSysConfig &config);
+
+    /**
+     * Perform one data access.
+     *
+     * @param pc instruction address (drives PC-indexed predictors)
+     * @param addr effective address
+     * @param is_store store vs load
+     * @param now issue cycle (approximately nondecreasing)
+     */
+    AccessResult access(Addr pc, Addr addr, bool is_store, Cycle now);
+
+    const MemStats &stats() const { return st; }
+    const MemSysConfig &config() const { return cfg; }
+
+    /** The L1 (null in pseudo-associative mode). */
+    const Cache *l1Cache() const { return l1.get(); }
+    const PseudoAssocCache *pseudoCache() const { return pseudo.get(); }
+    const AssistBuffer *buffer() const { return buf.get(); }
+    const MissClassificationTable &mct() const { return mct_; }
+
+  private:
+    bool hasBuffer() const;
+
+    /**
+     * Fetch a line from L2/memory through the MSHRs and bus.
+     *
+     * @param line_addr line to fetch
+     * @param start earliest start cycle
+     * @param is_prefetch prefetches are dropped when MSHRs are full
+     * @return data-ready cycle, or nullopt for a dropped prefetch
+     */
+    std::optional<Cycle> fetchLine(Addr line_addr, Cycle start,
+                                   bool is_prefetch);
+
+    /** Write back a dirty line (bus occupancy + accounting). */
+    void writeback(Addr line_addr, Cycle when);
+
+    /**
+     * Install @p addr into the L1, updating the MCT with the evicted
+     * tag and routing the evicted line per the active victim policy.
+     *
+     * @param miss_is_conflict MCT class of the triggering miss
+     * @param when fill time (for buffer-port occupancy)
+     * @param to_buffer whether an evicted line may enter the buffer
+     */
+    void fillL1(Addr addr, bool miss_is_conflict, bool is_store,
+                Cycle when, bool allow_victim_fill);
+
+    /** Insert a line into the assist buffer, handling displacement. */
+    void bufferInsert(Addr line_addr, BufSource source,
+                      bool conflict_bit, bool dirty, Cycle ready,
+                      Cycle when);
+
+    /** Issue a next-line prefetch for the line after @p line_addr. */
+    void issuePrefetch(Addr line_addr, Cycle start);
+
+    /** Issue a prefetch of @p target_line itself (RPT targets). */
+    void issuePrefetchLine(Addr target_line, Cycle start);
+
+    /** Exclusion decision for a miss (BypassBuffer / AMB modes). */
+    bool shouldExclude(Addr pc, Addr addr, bool miss_is_conflict);
+
+    AccessResult accessPseudo(Addr addr, bool is_store, Cycle now);
+
+    MemSysConfig cfg;
+    CacheGeometry l1Geom;
+
+    std::unique_ptr<Cache> l1;
+    std::unique_ptr<PseudoAssocCache> pseudo;
+    Cache l2;
+    MissClassificationTable mct_;
+    std::unique_ptr<AssistBuffer> buf;
+    NextLinePrefetcher nextLine;
+    std::unique_ptr<RptPrefetcher> rpt;
+    std::unique_ptr<MemoryAccessTable> mat;
+    std::unique_ptr<PcMissTable> pcTable;
+    std::unique_ptr<MissHistoryTable> history;
+
+    MshrFile mshrs;
+    ResourcePool banks;
+    ResourcePool bufReadPorts;
+    ResourcePool bufWritePorts;
+    ResourcePool bus;
+
+    MemStats st;
+};
+
+} // namespace ccm
+
+#endif // CCM_HIERARCHY_MEMSYS_HH

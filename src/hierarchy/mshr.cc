@@ -1,0 +1,51 @@
+#include "hierarchy/mshr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+MshrFile::MshrFile(unsigned entries) : cap(entries)
+{
+    if (entries == 0)
+        ccm_fatal("MSHR file needs at least one entry");
+    active.reserve(entries);
+}
+
+void
+MshrFile::expire(Cycle now)
+{
+    std::erase_if(active,
+                  [now](const Entry &e) { return e.ready <= now; });
+}
+
+std::optional<Cycle>
+MshrFile::inFlight(Addr line_addr) const
+{
+    for (const auto &e : active) {
+        if (e.lineAddr == line_addr)
+            return e.ready;
+    }
+    return std::nullopt;
+}
+
+Cycle
+MshrFile::earliestReady() const
+{
+    Cycle best = 0;
+    for (const auto &e : active)
+        best = best == 0 ? e.ready : std::min(best, e.ready);
+    return best;
+}
+
+void
+MshrFile::allocate(Addr line_addr, Cycle ready)
+{
+    if (full())
+        ccm_panic("MSHR allocate while full");
+    active.push_back({line_addr, ready});
+}
+
+} // namespace ccm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Miss status holding registers: the non-blocking cache's bookkeeping
+ * of in-flight line fetches.  "The caches are non-blocking with up to
+ * 16 misses in-flight at once.  When the miss limit is exceeded,
+ * further misses stall the pipeline, but prefetches are discarded."
+ *
+ * Misses to a line already in flight merge into the existing entry.
+ */
+
+#ifndef CCM_HIERARCHY_MSHR_HH
+#define CCM_HIERARCHY_MSHR_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** The in-flight miss file. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries);
+
+    /** Retire every entry whose fetch completed by @p now. */
+    void expire(Cycle now);
+
+    /** @return the completion cycle of an in-flight fetch of
+     *          @p line_addr, if one exists (a merge opportunity). */
+    std::optional<Cycle> inFlight(Addr line_addr) const;
+
+    /** @return true when no entry is free (call expire() first). */
+    bool full() const { return active.size() >= cap; }
+
+    /** Earliest completion among active entries (0 if none). */
+    Cycle earliestReady() const;
+
+    /** Track a new in-flight fetch completing at @p ready. */
+    void allocate(Addr line_addr, Cycle ready);
+
+    std::size_t occupancy() const { return active.size(); }
+    unsigned capacity() const { return cap; }
+
+    void clear() { active.clear(); }
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr;
+        Cycle ready;
+    };
+
+    unsigned cap;
+    std::vector<Entry> active;
+};
+
+} // namespace ccm
+
+#endif // CCM_HIERARCHY_MSHR_HH

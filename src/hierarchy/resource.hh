@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Occupancy-based timing resources: cache banks, buffer ports, the
+ * L1<->L2 bus.  Each unit tracks a busy-until cycle; an acquisition
+ * starts at the later of the requested cycle and the earliest unit's
+ * free cycle.
+ */
+
+#ifndef CCM_HIERARCHY_RESOURCE_HH
+#define CCM_HIERARCHY_RESOURCE_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/**
+ * A pool of identical units (banks/ports).  acquire() picks the unit
+ * that frees earliest.
+ *
+ * Each unit keeps a single busy-until value, so occupancy must be
+ * charged at (or near) the request's initiation time: charging far in
+ * the future would block every earlier request on the same unit.
+ * Callers therefore charge bandwidth when an operation *starts*
+ * (fetch issue, fill initiation) and account latency separately —
+ * the classic trace-simulator throughput/latency split.
+ */
+class ResourcePool
+{
+  public:
+    explicit ResourcePool(unsigned units) : busy(units, 0) {}
+
+    /**
+     * Occupy the earliest-free unit for @p duration cycles, no
+     * earlier than @p start.
+     *
+     * @return the cycle the occupancy actually begins
+     */
+    Cycle
+    acquire(Cycle start, Cycle duration)
+    {
+        auto it = std::min_element(busy.begin(), busy.end());
+        Cycle begin = std::max(start, *it);
+        *it = begin + duration;
+        return begin;
+    }
+
+    /**
+     * Occupy a *specific* unit (e.g. the bank an address maps to).
+     */
+    Cycle
+    acquireUnit(unsigned unit, Cycle start, Cycle duration)
+    {
+        Cycle begin = std::max(start, busy[unit]);
+        busy[unit] = begin + duration;
+        return begin;
+    }
+
+    unsigned units() const { return unsigned(busy.size()); }
+
+    void reset() { std::fill(busy.begin(), busy.end(), 0); }
+
+  private:
+    std::vector<Cycle> busy;
+};
+
+} // namespace ccm
+
+#endif // CCM_HIERARCHY_RESOURCE_HH

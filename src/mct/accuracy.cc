@@ -1,0 +1,53 @@
+#include "mct/classify_run.hh"
+
+#include "cache/cache.hh"
+#include "mct/oracle.hh"
+#include "mct/shadow.hh"
+
+namespace ccm
+{
+
+ClassifyResult
+classifyRun(TraceSource &trace, const ClassifyConfig &cfg)
+{
+    CacheGeometry geom(cfg.cacheBytes, cfg.assoc, cfg.lineBytes);
+    Cache cache(geom);
+    // Depth 1 is exactly the MCT; deeper is the shadow directory.
+    ShadowDirectory mct(geom.numSets(), cfg.mctDepth, cfg.mctTagBits);
+    OracleClassifier oracle(geom.numLines());
+
+    ClassifyResult res;
+
+    trace.reset();
+    MemRecord r;
+    while (trace.next(r)) {
+        if (!r.isMem())
+            continue;
+        ++res.references;
+
+        Addr line = geom.lineAddr(r.addr);
+        bool hit = cache.access(r.addr, r.isStore());
+        MissClass oracle_cls = oracle.observe(line, !hit);
+        if (hit)
+            continue;
+
+        ++res.misses;
+        std::size_t set = geom.setIndex(r.addr);
+        Addr tag = geom.tag(r.addr);
+
+        MissClass mct_cls = mct.classify(set, tag);
+        res.scorer.record(mct_cls, oracle_cls);
+
+        // Fill and remember the evicted tag, exactly as the hardware
+        // would: MCT is written only with evicted-line tags.
+        FillResult ev = cache.fill(r.addr, isConflict(mct_cls),
+                                   r.isStore());
+        if (ev.valid)
+            mct.recordEviction(set, geom.tag(ev.lineAddr));
+    }
+
+    res.missRate = safeRatio(res.misses, res.references);
+    return res;
+}
+
+} // namespace ccm

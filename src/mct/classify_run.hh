@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Functional (timing-free) classification experiment: run a trace
+ * through a cache + MCT + oracle and score the MCT's accuracy.  This
+ * is exactly the measurement behind Figures 1 and 2.
+ */
+
+#ifndef CCM_MCT_CLASSIFY_RUN_HH
+#define CCM_MCT_CLASSIFY_RUN_HH
+
+#include "cache/geometry.hh"
+#include "mct/accuracy.hh"
+#include "trace/source.hh"
+
+namespace ccm
+{
+
+/** Parameters of one classification run. */
+struct ClassifyConfig
+{
+    std::size_t cacheBytes = 16 * 1024;
+    unsigned assoc = 1;
+    unsigned lineBytes = 64;
+    /** Stored-tag width; 0 = full tag. */
+    unsigned mctTagBits = 0;
+    /**
+     * Evicted tags remembered per set.  1 = the paper's MCT; more
+     * implements the Stone/Pomerene shadow directory (§2/§3), which
+     * also identifies higher-order conflict misses.
+     */
+    unsigned mctDepth = 1;
+};
+
+/** Outcome of a classification run. */
+struct ClassifyResult
+{
+    AccuracyScorer scorer;
+    Count references = 0;    ///< memory references simulated
+    Count misses = 0;
+    double missRate = 0.0;
+};
+
+/**
+ * Replay @p trace (reset first) against the configured cache,
+ * classifying every miss with both the MCT and the oracle.
+ */
+ClassifyResult classifyRun(TraceSource &trace, const ClassifyConfig &cfg);
+
+} // namespace ccm
+
+#endif // CCM_MCT_CLASSIFY_RUN_HH

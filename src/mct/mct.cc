@@ -1,0 +1,27 @@
+#include "mct/mct.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+MissClassificationTable::MissClassificationTable(std::size_t num_sets,
+                                                 unsigned tag_bits)
+    : entries(num_sets), tagBits_(tag_bits),
+      tagMask(tag_bits == 0 ? ~Addr{0} : lowMask(tag_bits))
+{
+    if (num_sets == 0)
+        ccm_fatal("MCT needs at least one set");
+    if (tag_bits > 64)
+        ccm_fatal("MCT tag bits out of range: ", tag_bits);
+}
+
+void
+MissClassificationTable::clear()
+{
+    for (auto &e : entries)
+        e = Entry{};
+}
+
+} // namespace ccm

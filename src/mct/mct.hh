@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Miss Classification Table — the paper's primary contribution.
+ *
+ * One entry per cache set, each holding (part of) the tag of the line
+ * most recently evicted from that set.  A miss whose tag matches the
+ * stored tag is classified as a conflict miss: the line would have hit
+ * in a slightly more associative cache (a conflict "near-miss").
+ *
+ * The table is accessed only on cache misses and is therefore off the
+ * cache's critical path.  Storing only the low @c tagBits bits of the
+ * tag trades a little accuracy (false conflict matches) for storage;
+ * the paper shows 8-12 bits is enough (Figure 2), and the Fig. 2 bench
+ * in this repo sweeps exactly that parameter.
+ */
+
+#ifndef CCM_MCT_MCT_HH
+#define CCM_MCT_MCT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mct/miss_class.hh"
+
+namespace ccm
+{
+
+/** Per-set table of most-recently-evicted tags. */
+class MissClassificationTable
+{
+  public:
+    /**
+     * @param num_sets one entry per cache set
+     * @param tag_bits how many low-order tag bits to store;
+     *        0 means store the full tag
+     */
+    explicit MissClassificationTable(std::size_t num_sets,
+                                     unsigned tag_bits = 0);
+
+    /**
+     * Classify a miss to @p set with full tag @p tag.
+     *
+     * Pure lookup; does not modify the table.  Call on every cache
+     * miss before the fill updates the table via recordEviction().
+     */
+    MissClass
+    classify(std::size_t set, Addr tag) const
+    {
+        const Entry &e = entries[set];
+        bool conflict = e.valid && e.storedTag == maskTag(tag);
+        return conflict ? MissClass::Conflict : MissClass::Capacity;
+    }
+
+    /** Convenience: classify(set, tag) == Conflict. */
+    bool
+    isConflictMiss(std::size_t set, Addr tag) const
+    {
+        return classify(set, tag) == MissClass::Conflict;
+    }
+
+    /**
+     * Record that the line with full tag @p tag was evicted from
+     * @p set (or, for the exclusion policy's modification in §5.3,
+     * that it was diverted to the bypass buffer instead of being
+     * cached — same table update either way).
+     */
+    void
+    recordEviction(std::size_t set, Addr tag)
+    {
+        Entry &e = entries[set];
+        e.valid = true;
+        e.storedTag = maskTag(tag);
+    }
+
+    /** Drop the entry for @p set (e.g. after an invalidate). */
+    void
+    invalidateEntry(std::size_t set)
+    {
+        entries[set].valid = false;
+    }
+
+    /** @return the stored-tag width in bits (0 = full tag). */
+    unsigned tagBits() const { return tagBits_; }
+
+    std::size_t numSets() const { return entries.size(); }
+
+    /**
+     * Storage cost in bits: stored tag bits + a valid bit, per set.
+     * (The optional per-line conflict bit is accounted by the cache.)
+     */
+    std::size_t
+    storageBits() const
+    {
+        unsigned per_entry = (tagBits_ == 0 ? 64u : tagBits_) + 1u;
+        return entries.size() * per_entry;
+    }
+
+    /** Forget everything. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Addr storedTag = 0;
+        bool valid = false;
+    };
+
+    Addr
+    maskTag(Addr tag) const
+    {
+        return tagBits_ == 0 ? tag : (tag & tagMask);
+    }
+
+    std::vector<Entry> entries;
+    unsigned tagBits_;
+    Addr tagMask;
+};
+
+} // namespace ccm
+
+#endif // CCM_MCT_MCT_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Miss classification vocabulary shared by the MCT, the oracle and
+ * every consumer policy, plus the paper's four conflict filters.
+ */
+
+#ifndef CCM_MCT_MISS_CLASS_HH
+#define CCM_MCT_MISS_CLASS_HH
+
+#include <string>
+
+namespace ccm
+{
+
+/**
+ * Classification of a cache miss.  Following the paper, consumers
+ * group Compulsory with Capacity ("we'll group compulsory and capacity
+ * misses together and call them capacity misses"); the oracle keeps
+ * them distinct for reporting.
+ */
+enum class MissClass
+{
+    Conflict,
+    Capacity,
+    Compulsory,
+};
+
+/** @return true iff @p c counts as a conflict miss. */
+constexpr bool
+isConflict(MissClass c)
+{
+    return c == MissClass::Conflict;
+}
+
+/** @return "conflict" / "capacity" / "compulsory". */
+inline std::string
+toString(MissClass c)
+{
+    switch (c) {
+      case MissClass::Conflict: return "conflict";
+      case MissClass::Capacity: return "capacity";
+      case MissClass::Compulsory: return "compulsory";
+    }
+    return "?";
+}
+
+/**
+ * The paper's four filters over (new-miss classification, evicted-line
+ * conflict bit) — §3:
+ *  - In: the evicted line originally came in as a conflict miss
+ *  - Out: the evicted line is being forced out by a conflict miss
+ *  - And: both
+ *  - Or: either
+ */
+enum class ConflictFilter
+{
+    In,
+    Out,
+    And,
+    Or,
+};
+
+/**
+ * Evaluate a conflict filter.
+ *
+ * @param f the filter flavour
+ * @param new_miss_is_conflict MCT classification of the incoming miss
+ * @param evicted_conflict_bit conflict bit of the line being evicted
+ * @return true iff the filter labels this eviction event "conflict"
+ */
+constexpr bool
+filterSaysConflict(ConflictFilter f, bool new_miss_is_conflict,
+                   bool evicted_conflict_bit)
+{
+    switch (f) {
+      case ConflictFilter::In: return evicted_conflict_bit;
+      case ConflictFilter::Out: return new_miss_is_conflict;
+      case ConflictFilter::And:
+        return new_miss_is_conflict && evicted_conflict_bit;
+      case ConflictFilter::Or:
+        return new_miss_is_conflict || evicted_conflict_bit;
+    }
+    return false;
+}
+
+/** @return "in" / "out" / "and" / "or". */
+inline std::string
+toString(ConflictFilter f)
+{
+    switch (f) {
+      case ConflictFilter::In: return "in-conflict";
+      case ConflictFilter::Out: return "out-conflict";
+      case ConflictFilter::And: return "and-conflict";
+      case ConflictFilter::Or: return "or-conflict";
+    }
+    return "?";
+}
+
+} // namespace ccm
+
+#endif // CCM_MCT_MISS_CLASS_HH

@@ -1,0 +1,37 @@
+#include "mct/oracle.hh"
+
+namespace ccm
+{
+
+OracleClassifier::OracleClassifier(std::size_t num_lines) : fa(num_lines)
+{
+}
+
+MissClass
+OracleClassifier::observe(Addr line_addr, bool real_cache_miss)
+{
+    MissClass cls = MissClass::Capacity;
+    if (real_cache_miss) {
+        if (!seen.count(line_addr))
+            cls = MissClass::Compulsory;
+        else if (fa.contains(line_addr))
+            cls = MissClass::Conflict;
+        else
+            cls = MissClass::Capacity;
+    }
+
+    // Update the fully-associative model with this reference.
+    if (!fa.touch(line_addr))
+        fa.insert(line_addr);
+    seen.insert(line_addr);
+    return cls;
+}
+
+void
+OracleClassifier::clear()
+{
+    fa.clear();
+    seen.clear();
+}
+
+} // namespace ccm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ground-truth miss classifier following the classic three-C
+ * definition (Hill, 1987): for a reference that misses in the real
+ * cache,
+ *   - compulsory if the line has never been referenced before,
+ *   - conflict if a fully-associative LRU cache of the same total
+ *     capacity would have hit,
+ *   - capacity otherwise.
+ *
+ * The paper scores the MCT against this oracle (Figures 1 and 2).
+ * The oracle is simulation-only bookkeeping — no hardware analogue.
+ */
+
+#ifndef CCM_MCT_ORACLE_HH
+#define CCM_MCT_ORACLE_HH
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "cache/fa_lru.hh"
+#include "mct/miss_class.hh"
+
+namespace ccm
+{
+
+/** Classic-definition conflict/capacity/compulsory classifier. */
+class OracleClassifier
+{
+  public:
+    /** @param num_lines capacity (in lines) of the cache being scored */
+    explicit OracleClassifier(std::size_t num_lines);
+
+    /**
+     * Observe one reference to @p line_addr (every reference, hits and
+     * misses alike, in program order) and, when @p real_cache_miss,
+     * return its classic classification.
+     *
+     * @param line_addr line-aligned address of the reference
+     * @param real_cache_miss whether the real cache missed
+     * @return the classification (meaningful only on a miss; on a hit
+     *         returns MissClass::Capacity as a don't-care)
+     */
+    MissClass observe(Addr line_addr, bool real_cache_miss);
+
+    /** Reset both the FA model and the seen-set. */
+    void clear();
+
+    std::size_t faOccupancy() const { return fa.size(); }
+
+  private:
+    FaLru fa;
+    std::unordered_set<Addr> seen;
+};
+
+} // namespace ccm
+
+#endif // CCM_MCT_ORACLE_HH

@@ -1,0 +1,83 @@
+#include "mct/shadow.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+ShadowDirectory::ShadowDirectory(std::size_t num_sets, unsigned depth,
+                                 unsigned tag_bits)
+    : sets(num_sets), depth_(depth), tagBits(tag_bits),
+      tagMask(tag_bits == 0 ? ~Addr{0} : lowMask(tag_bits)),
+      slots(num_sets * depth)
+{
+    if (num_sets == 0)
+        ccm_fatal("shadow directory needs at least one set");
+    if (depth == 0)
+        ccm_fatal("shadow directory depth must be >= 1");
+    if (tag_bits > 64)
+        ccm_fatal("shadow tag bits out of range: ", tag_bits);
+}
+
+Addr
+ShadowDirectory::maskTag(Addr tag) const
+{
+    return tag & tagMask;
+}
+
+MissClass
+ShadowDirectory::classify(std::size_t set, Addr tag) const
+{
+    return matchDepth(set, tag) != 0 ? MissClass::Conflict
+                                     : MissClass::Capacity;
+}
+
+unsigned
+ShadowDirectory::matchDepth(std::size_t set, Addr tag) const
+{
+    const Slot *r = row(set);
+    Addr t = maskTag(tag);
+    for (unsigned d = 0; d < depth_; ++d) {
+        if (r[d].valid && r[d].tag == t)
+            return d + 1;
+    }
+    return 0;
+}
+
+void
+ShadowDirectory::recordEviction(std::size_t set, Addr tag)
+{
+    Slot *r = row(set);
+    Addr t = maskTag(tag);
+
+    // If the tag is already remembered, move it to the front;
+    // otherwise shift everything down and insert at the front.
+    unsigned found = depth_ - 1;
+    for (unsigned d = 0; d < depth_; ++d) {
+        if (r[d].valid && r[d].tag == t) {
+            found = d;
+            break;
+        }
+    }
+    for (unsigned d = found; d > 0; --d)
+        r[d] = r[d - 1];
+    r[0].tag = t;
+    r[0].valid = true;
+}
+
+std::size_t
+ShadowDirectory::storageBits() const
+{
+    unsigned per_slot = (tagBits == 0 ? 64u : tagBits) + 1u;
+    return slots.size() * per_slot;
+}
+
+void
+ShadowDirectory::clear()
+{
+    for (auto &s : slots)
+        s = Slot{};
+}
+
+} // namespace ccm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The shadow directory: a k-deep generalization of the MCT.
+ *
+ * Stone attributes to Pomerene a structure keeping "some number of
+ * evicted line addresses per cache set" (paper §2); the MCT is its
+ * depth-1 special case.  The paper notes the extension ("we could
+ * store multiple evicted tags per set to identify higher-order
+ * conflict misses, but we do not consider that optimization", §3) —
+ * this class implements it so the depth/accuracy trade-off can be
+ * measured (see bench/ablation_mct_depth).
+ *
+ * Each set keeps the tags of its @c depth most recently evicted
+ * lines, LRU-ordered; a miss matching any of them is a conflict miss
+ * that depth extra ways would have caught.
+ */
+
+#ifndef CCM_MCT_SHADOW_HH
+#define CCM_MCT_SHADOW_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "mct/miss_class.hh"
+
+namespace ccm
+{
+
+/** k-deep per-set table of recently evicted tags. */
+class ShadowDirectory
+{
+  public:
+    /**
+     * @param num_sets one row per cache set
+     * @param depth evicted tags remembered per set (>= 1)
+     * @param tag_bits stored-tag width; 0 = full tag
+     */
+    ShadowDirectory(std::size_t num_sets, unsigned depth,
+                    unsigned tag_bits = 0);
+
+    /** Classify a miss: conflict iff any remembered tag matches. */
+    MissClass classify(std::size_t set, Addr tag) const;
+
+    /** Convenience: classify() == Conflict. */
+    bool
+    isConflictMiss(std::size_t set, Addr tag) const
+    {
+        return classify(set, tag) == MissClass::Conflict;
+    }
+
+    /**
+     * Depth (1-based) at which @p tag matches, or 0 for no match —
+     * i.e. how many extra ways would have been needed.
+     */
+    unsigned matchDepth(std::size_t set, Addr tag) const;
+
+    /** Record an eviction: @p tag becomes the set's most recent. */
+    void recordEviction(std::size_t set, Addr tag);
+
+    unsigned depth() const { return depth_; }
+    std::size_t numSets() const { return sets; }
+
+    /** Storage cost in bits (tags + valid bits). */
+    std::size_t storageBits() const;
+
+    void clear();
+
+  private:
+    struct Slot
+    {
+        Addr tag = 0;
+        bool valid = false;
+    };
+
+    Addr maskTag(Addr tag) const;
+    Slot *row(std::size_t set) { return &slots[set * depth_]; }
+    const Slot *
+    row(std::size_t set) const
+    {
+        return &slots[set * depth_];
+    }
+
+    std::size_t sets;
+    unsigned depth_;
+    unsigned tagBits;
+    Addr tagMask;
+    /** sets x depth, row-major; index 0 = most recent eviction. */
+    std::vector<Slot> slots;
+};
+
+} // namespace ccm
+
+#endif // CCM_MCT_SHADOW_HH

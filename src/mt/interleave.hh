@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Round-robin interleaving of several traces — the instruction
+ * streams of threads sharing a cache on a multithreaded processor
+ * (paper §5.6, "Multithreaded architectures").
+ */
+
+#ifndef CCM_MT_INTERLEAVE_HH
+#define CCM_MT_INTERLEAVE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace ccm
+{
+
+/**
+ * Interleaves N child traces, @c granularity records at a time,
+ * until every child is exhausted.  The id of the thread that produced
+ * the most recent record is exposed so consumers can attribute
+ * misses.
+ */
+class InterleavedTrace : public TraceSource
+{
+  public:
+    /**
+     * @param sources child traces (ownership shared with caller)
+     * @param granularity consecutive records taken per thread turn
+     */
+    InterleavedTrace(std::vector<TraceSource *> sources,
+                     unsigned granularity = 4);
+
+    bool next(MemRecord &out) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Thread index of the record most recently returned. */
+    unsigned lastThread() const { return lastProducer; }
+
+    unsigned threads() const { return unsigned(children.size()); }
+
+  private:
+    void advanceTurn();
+
+    std::vector<TraceSource *> children;
+    std::vector<bool> exhausted;
+    unsigned gran;
+    unsigned current = 0;
+    unsigned taken = 0;
+    unsigned lastProducer = 0;
+};
+
+} // namespace ccm
+
+#endif // CCM_MT_INTERLEAVE_HH

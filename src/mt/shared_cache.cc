@@ -1,0 +1,64 @@
+#include "mt/shared_cache.hh"
+
+namespace ccm
+{
+
+SharedCacheStudy::SharedCacheStudy(std::size_t cache_bytes,
+                                   unsigned assoc,
+                                   unsigned line_bytes)
+    : geom(cache_bytes, assoc, line_bytes)
+{
+}
+
+SharedCacheResult
+SharedCacheStudy::run(InterleavedTrace &trace)
+{
+    Cache cache(geom);
+    MissClassificationTable mct(geom.numSets());
+    // Which thread forced the most recent eviction in each set
+    // (parallels the MCT entry).
+    std::vector<unsigned> evictorThread(geom.numSets(), 0);
+
+    SharedCacheResult res;
+    res.perThread.assign(trace.threads(), ThreadShareStats{});
+
+    trace.reset();
+    MemRecord r;
+    while (trace.next(r)) {
+        if (!r.isMem())
+            continue;
+        unsigned tid = trace.lastThread();
+        ThreadShareStats &ts = res.perThread[tid];
+        ++ts.references;
+        ++res.references;
+
+        if (cache.access(r.addr, r.isStore()))
+            continue;
+
+        ++ts.misses;
+        ++res.misses;
+        const std::size_t set = geom.setIndex(r.addr);
+        const Addr tag = geom.tag(r.addr);
+
+        bool conflict = mct.isConflictMiss(set, tag);
+        if (conflict) {
+            ++ts.conflictMisses;
+            if (evictorThread[set] != tid) {
+                ++ts.crossThreadConflicts;
+                ++res.crossThreadConflicts;
+            }
+        }
+
+        FillResult ev = cache.fill(r.addr, conflict, r.isStore());
+        if (ev.valid) {
+            mct.recordEviction(set, geom.tag(ev.lineAddr));
+            // Remember who forced the line out: when its owner later
+            // re-misses on it (the MCT match), a different evictor
+            // marks the conflict as inter-thread interference.
+            evictorThread[set] = tid;
+        }
+    }
+    return res;
+}
+
+} // namespace ccm

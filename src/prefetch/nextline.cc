@@ -1,0 +1,28 @@
+#include "prefetch/nextline.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned line_bytes)
+    : lineBytes(line_bytes)
+{
+    if (!isPowerOfTwo(line_bytes))
+        ccm_fatal("line size must be a power of two: ", line_bytes);
+}
+
+Addr
+NextLinePrefetcher::nextLine(Addr line_addr) const
+{
+    return (line_addr & ~Addr{lineBytes - 1}) + lineBytes;
+}
+
+void
+NextLinePrefetcher::clearStats()
+{
+    nIssued = nDropped = nFiltered = nUseful = 0;
+}
+
+} // namespace ccm

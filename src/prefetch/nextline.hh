@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Next-line prefetcher (paper §5.2): on a cache miss to line L,
+ * prefetch line L+1 into the assist buffer (unless already present in
+ * the cache or buffer).  On a prefetch-buffer hit, the line moves into
+ * the cache and the next line is prefetched.
+ *
+ * With miss-classification filtering, the prefetch is suppressed when
+ * the configured conflict filter fires — conflict misses are poorly
+ * predicted by a next-line pattern, so skipping them raises accuracy
+ * ~25% while barely affecting coverage.
+ *
+ * This object only computes *what* to prefetch and keeps the
+ * accuracy/coverage accounting; the memory system decides whether the
+ * prefetch can be issued (MSHR/bus availability) and owns the buffer.
+ */
+
+#ifndef CCM_PREFETCH_NEXTLINE_HH
+#define CCM_PREFETCH_NEXTLINE_HH
+
+#include <optional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Next-line prefetch address generator with accounting. */
+class NextLinePrefetcher
+{
+  public:
+    /** @param line_bytes cache line size */
+    explicit NextLinePrefetcher(unsigned line_bytes);
+
+    /**
+     * Address to prefetch in response to a demand miss (or a prefetch
+     * buffer hit) on @p line_addr.
+     */
+    Addr nextLine(Addr line_addr) const;
+
+    // Accounting (driven by the memory system) ----------------------
+    void countIssued() { ++nIssued; }
+    void countDropped() { ++nDropped; }
+    void countFiltered() { ++nFiltered; }
+    void countUseful() { ++nUseful; }
+
+    Count issued() const { return nIssued; }
+    Count dropped() const { return nDropped; }
+    Count filtered() const { return nFiltered; }
+    Count useful() const { return nUseful; }
+
+    /** Useful / issued — the paper's prefetch accuracy. */
+    double accuracy() const { return safeRatio(nUseful, nIssued); }
+
+    void clearStats();
+
+  private:
+    unsigned lineBytes;
+    Count nIssued = 0;    ///< prefetches sent to the memory system
+    Count nDropped = 0;   ///< suppressed: MSHRs full
+    Count nFiltered = 0;  ///< suppressed: conflict-miss filter
+    Count nUseful = 0;    ///< prefetched lines that served a hit
+};
+
+} // namespace ccm
+
+#endif // CCM_PREFETCH_NEXTLINE_HH

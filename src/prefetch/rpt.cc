@@ -1,0 +1,81 @@
+#include "prefetch/rpt.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+RptPrefetcher::RptPrefetcher(std::size_t entries)
+    : table(entries), mask(entries - 1)
+{
+    if (!isPowerOfTwo(entries))
+        ccm_fatal("RPT entries must be a power of two: ", entries);
+}
+
+std::optional<Addr>
+RptPrefetcher::observe(Addr pc, Addr addr)
+{
+    Entry &e = table[indexOf(pc)];
+
+    if (!e.valid || e.tag != pc) {
+        e.valid = true;
+        e.tag = pc;
+        e.prevAddr = addr;
+        e.stride = 0;
+        e.state = State::Initial;
+        return std::nullopt;
+    }
+
+    std::int64_t new_stride =
+        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(e.prevAddr);
+    bool correct = new_stride == e.stride;
+
+    switch (e.state) {
+      case State::Initial:
+        e.state = correct ? State::Steady : State::Transient;
+        break;
+      case State::Transient:
+        e.state = correct ? State::Steady : State::NoPred;
+        break;
+      case State::Steady:
+        if (!correct)
+            e.state = State::Initial;
+        break;
+      case State::NoPred:
+        if (correct)
+            e.state = State::Transient;
+        break;
+    }
+
+    if (!correct)
+        e.stride = new_stride;
+    e.prevAddr = addr;
+
+    if (e.state == State::Steady && e.stride != 0) {
+        ++nPred;
+        return static_cast<Addr>(
+            static_cast<std::int64_t>(addr) + e.stride);
+    }
+    return std::nullopt;
+}
+
+RptPrefetcher::State
+RptPrefetcher::stateFor(Addr pc) const
+{
+    const Entry &e = table[indexOf(pc)];
+    if (!e.valid || e.tag != pc)
+        return State::Initial;
+    return e.state;
+}
+
+void
+RptPrefetcher::clear()
+{
+    for (auto &e : table)
+        e = Entry{};
+    nPred = 0;
+}
+
+} // namespace ccm

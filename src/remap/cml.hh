@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cache miss lookaside (CML) buffer — the OS-page-remapping
+ * application of paper §5.6 ("Runtime conflict avoidance"), after
+ * Bershad et al. [2] and Romer et al. [13].
+ *
+ * The CML buffer counts cache misses by the page that suffered them;
+ * the OS polls it each epoch and re-colors pages whose miss counts
+ * are high.  The paper's addition: "Miss classification would allow
+ * this technique to only count conflict misses.  Reallocation could
+ * be avoided when the majority of misses are capacity misses (in
+ * which case reallocation typically would not help)."  This class
+ * supports both counting modes so the bench can compare them.
+ */
+
+#ifndef CCM_REMAP_CML_HH
+#define CCM_REMAP_CML_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Per-page miss counter with epoch-based harvesting. */
+class CmlBuffer
+{
+  public:
+    /** @param page_bytes page size (power of two) */
+    explicit CmlBuffer(std::size_t page_bytes = 4096);
+
+    /** Record a miss by @p vaddr's page. */
+    void recordMiss(Addr vaddr);
+
+    /** Miss count of @p vaddr's page this epoch. */
+    std::uint32_t count(Addr vaddr) const;
+
+    /** Virtual page number of @p vaddr. */
+    Addr pageOf(Addr vaddr) const { return vaddr >> pageShift; }
+
+    /** Pages whose count is at least @p threshold, hottest first. */
+    std::vector<Addr> hotPages(std::uint32_t threshold) const;
+
+    /** Zero every counter (start of a new epoch). */
+    void newEpoch();
+
+    unsigned pageShiftBits() const { return pageShift; }
+
+  private:
+    unsigned pageShift;
+    std::unordered_map<Addr, std::uint32_t> counts;
+};
+
+} // namespace ccm
+
+#endif // CCM_REMAP_CML_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Experiment driver shared by the benchmark binaries and examples:
+ * whole-system configuration, single timing runs, suite sweeps, and
+ * the named policy configurations of paper §5.
+ */
+
+#ifndef CCM_SIM_EXPERIMENT_HH
+#define CCM_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "hierarchy/config.hh"
+#include "hierarchy/memstats.hh"
+#include "trace/source.hh"
+
+namespace ccm
+{
+
+/** A complete simulated machine. */
+struct SystemConfig
+{
+    MemSysConfig mem;
+    CoreConfig core;
+};
+
+/** Everything one timing run produces. */
+struct RunOutput
+{
+    SimResult sim;
+    MemStats mem;
+};
+
+/** Run @p trace (reset first) on a machine built from @p config. */
+RunOutput runTiming(TraceSource &trace, const SystemConfig &config);
+
+/** Speedup of @p test over @p base (cycles ratio). */
+double speedup(const RunOutput &base, const RunOutput &test);
+
+// ---- Named configurations from paper §5 ---------------------------
+
+/** §4 baseline: no assist buffer. */
+SystemConfig baselineConfig();
+
+/** §5.1 victim cache variants (Figure 3 / Table 1). */
+SystemConfig victimConfig(bool filter_swaps, bool filter_fills,
+                          ConflictFilter filter = ConflictFilter::Or);
+
+/** §5.2 next-line prefetcher variants (Figure 4). */
+SystemConfig prefetchConfig(bool filtered,
+                            ConflictFilter filter = ConflictFilter::Out);
+
+/** §5.3 cache-exclusion variants (Figure 5); uses 16 buffer entries. */
+SystemConfig excludeConfig(ExcludeAlgo algo);
+
+/** §5.4 pseudo-associative cache (MCT-guided or baseline LRU). */
+SystemConfig pseudoConfig(bool use_mct);
+
+/** §5.4 comparison point: true 2-way set-associative L1. */
+SystemConfig twoWayConfig();
+
+/** §5.5 adaptive miss buffer. */
+SystemConfig ambConfig(bool victim_conflicts, bool prefetch_capacity,
+                       bool exclude_capacity, unsigned buf_entries = 8);
+
+/** §5.5 single-policy reference points (best filtered variants). */
+SystemConfig ambSingleVict(unsigned buf_entries = 8);
+SystemConfig ambSinglePref(unsigned buf_entries = 8);
+SystemConfig ambSingleExcl(unsigned buf_entries = 8);
+
+} // namespace ccm
+
+#endif // CCM_SIM_EXPERIMENT_HH

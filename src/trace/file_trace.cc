@@ -1,0 +1,134 @@
+#include "trace/file_trace.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'C', 'C', 'M', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t traceVersion = 1;
+constexpr std::size_t recordBytes = 24;
+
+constexpr std::uint8_t flagDependsOnPrevLoad = 0x1;
+
+void
+packRecord(const MemRecord &r, std::uint8_t *buf)
+{
+    std::memcpy(buf + 0, &r.pc, 8);
+    std::memcpy(buf + 8, &r.addr, 8);
+    buf[16] = static_cast<std::uint8_t>(r.type);
+    buf[17] = r.dependsOnPrevLoad ? flagDependsOnPrevLoad : 0;
+    std::memset(buf + 18, 0, 6);
+}
+
+MemRecord
+unpackRecord(const std::uint8_t *buf)
+{
+    MemRecord r;
+    std::memcpy(&r.pc, buf + 0, 8);
+    std::memcpy(&r.addr, buf + 8, 8);
+    r.type = static_cast<RecordType>(buf[16]);
+    r.dependsOnPrevLoad = (buf[17] & flagDependsOnPrevLoad) != 0;
+    return r;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
+{
+    fp = std::fopen(path.c_str(), "wb");
+    if (!fp)
+        ccm_fatal("cannot open trace file for writing: ", path);
+    std::fwrite(magic, 1, 8, fp);
+    std::uint32_t ver = traceVersion, reserved = 0;
+    std::fwrite(&ver, 4, 1, fp);
+    std::fwrite(&reserved, 4, 1, fp);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::write(const MemRecord &r)
+{
+    if (!fp)
+        ccm_panic("write to closed trace file ", path_);
+    std::uint8_t buf[recordBytes];
+    packRecord(r, buf);
+    if (std::fwrite(buf, 1, recordBytes, fp) != recordBytes)
+        ccm_fatal("short write to trace file ", path_);
+}
+
+std::size_t
+TraceFileWriter::writeAll(TraceSource &src)
+{
+    src.reset();
+    MemRecord r;
+    std::size_t n = 0;
+    while (src.next(r)) {
+        write(r);
+        ++n;
+    }
+    return n;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (fp) {
+        std::fclose(fp);
+        fp = nullptr;
+    }
+}
+
+TraceFileReader::TraceFileReader(const std::string &path) : label(path)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp)
+        ccm_fatal("cannot open trace file: ", path);
+
+    char got_magic[8];
+    std::uint32_t ver = 0, reserved = 0;
+    if (std::fread(got_magic, 1, 8, fp) != 8 ||
+        std::fread(&ver, 4, 1, fp) != 1 ||
+        std::fread(&reserved, 4, 1, fp) != 1) {
+        std::fclose(fp);
+        ccm_fatal("truncated trace header: ", path);
+    }
+    if (std::memcmp(got_magic, magic, 8) != 0) {
+        std::fclose(fp);
+        ccm_fatal("bad trace magic in ", path);
+    }
+    if (ver != traceVersion) {
+        std::fclose(fp);
+        ccm_fatal("unsupported trace version ", ver, " in ", path);
+    }
+
+    std::uint8_t buf[recordBytes];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, recordBytes, fp)) == recordBytes)
+        records.push_back(unpackRecord(buf));
+    bool partial = got != 0;
+    std::fclose(fp);
+    if (partial)
+        ccm_fatal("trailing partial record in trace ", path);
+}
+
+bool
+TraceFileReader::next(MemRecord &out)
+{
+    if (pos >= records.size())
+        return false;
+    out = records[pos++];
+    return true;
+}
+
+} // namespace ccm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Format: 16-byte header ("CCMTRACE", u32 version, u32 reserved)
+ * followed by packed little-endian records:
+ *   u64 pc | u64 addr | u8 type | u8 flags | 6 bytes padding
+ * 24 bytes per record.  Simple enough to write from any tracer (e.g. a
+ * Pin/DynamoRIO tool or a converted ChampSim trace) and replay here.
+ */
+
+#ifndef CCM_TRACE_FILE_TRACE_HH
+#define CCM_TRACE_FILE_TRACE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace ccm
+{
+
+/** Write records to a binary trace file. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. */
+    void write(const MemRecord &r);
+
+    /** Drain @p src (reset first) into the file; @return record count. */
+    std::size_t writeAll(TraceSource &src);
+
+    /** Flush and close; implied by destruction. */
+    void close();
+
+  private:
+    std::FILE *fp = nullptr;
+    std::string path_;
+};
+
+/**
+ * Replay a binary trace file.  The whole file is validated and loaded
+ * at construction (traces here are small); fatal on malformed input.
+ */
+class TraceFileReader : public TraceSource
+{
+  public:
+    explicit TraceFileReader(const std::string &path);
+
+    bool next(MemRecord &out) override;
+    void reset() override { pos = 0; }
+    std::string name() const override { return label; }
+
+    std::size_t size() const { return records.size(); }
+
+  private:
+    std::vector<MemRecord> records;
+    std::size_t pos = 0;
+    std::string label;
+};
+
+} // namespace ccm
+
+#endif // CCM_TRACE_FILE_TRACE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The unit of work flowing from a workload into the simulated core:
+ * one dynamic instruction, optionally carrying a memory reference.
+ *
+ * This replaces the paper's emulation-driven Alpha instruction stream
+ * (see DESIGN.md, substitutions table).  All of the mechanisms studied
+ * by the paper observe only (pc, address, load/store) on cache misses,
+ * so this record carries exactly that, plus a dependence flag that lets
+ * the timing model serialize pointer-chasing loads.
+ */
+
+#ifndef CCM_TRACE_RECORD_HH
+#define CCM_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Kind of dynamic instruction. */
+enum class RecordType : std::uint8_t
+{
+    NonMem = 0,  ///< no data-memory access (ALU, branch, ...)
+    Load = 1,
+    Store = 2,
+};
+
+/** One dynamic instruction in a trace. */
+struct MemRecord
+{
+    Addr pc = 0;              ///< program counter of the instruction
+    Addr addr = 0;            ///< effective address (loads/stores only)
+    RecordType type = RecordType::NonMem;
+    /**
+     * True when this load's address depends on the value of the
+     * previous load (linked-list traversal); the core may not issue it
+     * until that load completes.
+     */
+    bool dependsOnPrevLoad = false;
+
+    bool isMem() const { return type != RecordType::NonMem; }
+    bool isLoad() const { return type == RecordType::Load; }
+    bool isStore() const { return type == RecordType::Store; }
+};
+
+} // namespace ccm
+
+#endif // CCM_TRACE_RECORD_HH

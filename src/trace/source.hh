@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Abstract producer of MemRecords.  Workload generators, file readers
+ * and in-memory traces all implement this interface; the core and the
+ * functional experiment drivers consume it.
+ */
+
+#ifndef CCM_TRACE_SOURCE_HH
+#define CCM_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/record.hh"
+
+namespace ccm
+{
+
+/** A replayable, finite stream of dynamic instructions. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     *
+     * @param out filled in on success
+     * @retval true a record was produced
+     * @retval false the trace is exhausted
+     */
+    virtual bool next(MemRecord &out) = 0;
+
+    /** Rewind to the beginning so the trace can be replayed. */
+    virtual void reset() = 0;
+
+    /** Human-readable name (used as a row label in result tables). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace ccm
+
+#endif // CCM_TRACE_SOURCE_HH

@@ -1,0 +1,58 @@
+#include "trace/vector_trace.hh"
+
+namespace ccm
+{
+
+VectorTrace
+VectorTrace::capture(TraceSource &src)
+{
+    VectorTrace t;
+    t.setName(src.name());
+    src.reset();
+    MemRecord r;
+    while (src.next(r))
+        t.push(r);
+    return t;
+}
+
+bool
+VectorTrace::next(MemRecord &out)
+{
+    if (pos >= records.size())
+        return false;
+    out = records[pos++];
+    return true;
+}
+
+void
+VectorTrace::pushLoad(Addr addr, Addr pc)
+{
+    MemRecord r;
+    r.pc = pc == invalidAddr ? records.size() * 4 : pc;
+    r.addr = addr;
+    r.type = RecordType::Load;
+    records.push_back(r);
+}
+
+void
+VectorTrace::pushStore(Addr addr, Addr pc)
+{
+    MemRecord r;
+    r.pc = pc == invalidAddr ? records.size() * 4 : pc;
+    r.addr = addr;
+    r.type = RecordType::Store;
+    records.push_back(r);
+}
+
+void
+VectorTrace::pushNonMem(std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        MemRecord r;
+        r.pc = records.size() * 4;
+        r.type = RecordType::NonMem;
+        records.push_back(r);
+    }
+}
+
+} // namespace ccm

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * An in-memory trace: a vector of records replayed in order.  Useful
+ * for tests (hand-written access patterns) and for capturing a
+ * generator's output once and replaying it against many configurations.
+ */
+
+#ifndef CCM_TRACE_VECTOR_TRACE_HH
+#define CCM_TRACE_VECTOR_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace ccm
+{
+
+/** TraceSource backed by a std::vector of records. */
+class VectorTrace : public TraceSource
+{
+  public:
+    VectorTrace() = default;
+
+    VectorTrace(std::string trace_name, std::vector<MemRecord> recs)
+        : records(std::move(recs)), label(std::move(trace_name))
+    {}
+
+    /** Capture every record of @p src (which is reset first). */
+    static VectorTrace capture(TraceSource &src);
+
+    bool next(MemRecord &out) override;
+    void reset() override { pos = 0; }
+    std::string name() const override { return label; }
+
+    /** Append one record (builder-style use in tests). */
+    void push(const MemRecord &r) { records.push_back(r); }
+
+    /** Append a load to @p addr (pc defaults to the record index). */
+    void pushLoad(Addr addr, Addr pc = invalidAddr);
+    /** Append a store to @p addr. */
+    void pushStore(Addr addr, Addr pc = invalidAddr);
+    /** Append @p n non-memory instructions. */
+    void pushNonMem(std::size_t n = 1);
+
+    std::size_t size() const { return records.size(); }
+    const MemRecord &at(std::size_t i) const { return records.at(i); }
+
+    void setName(std::string n) { label = std::move(n); }
+
+  private:
+    std::vector<MemRecord> records;
+    std::size_t pos = 0;
+    std::string label = "vector";
+};
+
+} // namespace ccm
+
+#endif // CCM_TRACE_VECTOR_TRACE_HH

@@ -1,0 +1,539 @@
+#include "workloads/fp_workloads.hh"
+
+namespace ccm
+{
+
+namespace
+{
+
+constexpr Addr elemSize = 8;            // double
+constexpr Addr l1Span = 16 * 1024;      // the L1 size arrays collide mod
+constexpr Addr lineSize = 64;
+
+/** Base of array @p k inside region @p reg, colliding with array 0. */
+Addr
+collidingBase(unsigned reg, unsigned k, Addr array_bytes)
+{
+    // Round the array up to a multiple of the L1 span so equal indices
+    // in different arrays map to the same set.
+    Addr span = (array_bytes + l1Span - 1) / l1Span * l1Span;
+    return wl::region(reg) + k * span;
+}
+
+/** Base of array @p k offset by odd line counts (no collisions). */
+Addr
+skewedBase(unsigned reg, unsigned k, Addr array_bytes)
+{
+    Addr span = (array_bytes + l1Span - 1) / l1Span * l1Span;
+    return wl::region(reg) + k * span + (2 * k + 1) * 13 * lineSize;
+}
+
+} // namespace
+
+// TomcatvLike ------------------------------------------------------
+//
+// Arrays 0,1,2 collide mod the L1; 3..6 are skewed.  Most rows access
+// the colliding arrays as an a0/a1 ping-pong (conflict near-misses the
+// MCT identifies); every eighth row rotates a0->a1->a2 in a 3-cycle,
+// which a direct-mapped MCT cannot catch (it needs 2 extra ways) but a
+// 2-way cache's MCT can — reproducing the paper's imperfect-but-high
+// accuracy on both configurations.
+
+TomcatvLike::TomcatvLike(std::size_t mem_refs, std::uint64_t seed,
+                         std::size_t rows, std::size_t cols,
+                         unsigned ping_sweeps)
+    : SyntheticWorkload("tomcatv", mem_refs, 2, seed),
+      rows_(rows), cols_(cols), pingSweeps(ping_sweeps)
+{
+    restart();
+}
+
+void
+TomcatvLike::restart()
+{
+    r = 1;
+    c = 1;
+    phase = 0;
+    sweep = 0;
+    tailMode = false;
+}
+
+MemRecord
+TomcatvLike::genMem()
+{
+    const Addr bytes = rows_ * cols_ * elemSize;
+    const std::size_t idx = r * cols_ + c;
+    const bool triple_row = (r % 16) == 15;
+
+    // The colliding arrays are row-shaped workspace arrays re-swept
+    // pingSweeps times per row (the real program's relaxation loop
+    // runs several sweeps per time step), so their conflicts recur at
+    // the same addresses all run long.  The relaxation sweeps and the
+    // streaming-array loop are separate program phases, as in the
+    // original Fortran.  256 KB spacing keeps the arrays colliding in
+    // every cache configuration of Figure 1 (16-64 KB).
+    auto coll = [&](unsigned arr, std::size_t i) {
+        return wl::region(0) + arr * 16 * l1Span + i * elemSize;
+    };
+    auto skew = [&](unsigned arr, std::size_t i) {
+        return skewedBase(0, arr, bytes) + i * elemSize;
+    };
+
+    MemRecord rec;
+    const Addr pc = 0x1000 + phase * 4 + (tailMode ? 0x200 : 0) +
+                    (triple_row ? 0x100 : 0);
+
+    if (!tailMode) {
+        // Relaxation sweep: A, B, A load + A store (A, B, C on
+        // 3-cycle rows) over the colliding row-arrays.
+        switch (phase) {
+          case 0: rec = load(pc, coll(0, c)); break;
+          case 1: rec = load(pc, coll(1, c)); break;
+          case 2:
+            rec = triple_row ? load(pc, coll(2, c))   // 3-cycle
+                             : load(pc, coll(0, c));  // ping-pong
+            break;
+          default:
+            rec = triple_row ? store(pc, coll(2, c))
+                             : store(pc, coll(0, c));
+            break;
+        }
+        if (++phase == 4) {
+            phase = 0;
+            if (++c >= cols_ - 1) {
+                c = 1;
+                if (++sweep >= pingSweeps) {
+                    sweep = 0;
+                    tailMode = true;
+                }
+            }
+        }
+        return rec;
+    }
+
+    // Streaming stencil phase over the big 2D arrays.
+    switch (phase) {
+      case 0: rec = load(pc, skew(3, idx - cols_)); break;
+      case 1: rec = load(pc, skew(4, idx)); break;
+      case 2: rec = store(pc, skew(5, idx)); break;
+      default: rec = load(pc, skew(6, idx + 1)); break;
+    }
+    if (++phase == 4) {
+        phase = 0;
+        if (++c >= cols_ - 1) {
+            c = 1;
+            tailMode = false;
+            if (++r >= rows_ - 1)
+                r = 1;
+        }
+    }
+    return rec;
+}
+
+// SwimLike ---------------------------------------------------------
+
+SwimLike::SwimLike(std::size_t mem_refs, std::uint64_t seed,
+                   std::size_t elems)
+    : SyntheticWorkload("swim", mem_refs, 2, seed), elems_(elems)
+{
+    restart();
+}
+
+void
+SwimLike::restart()
+{
+    i = 0;
+    phase = 0;
+}
+
+MemRecord
+SwimLike::genMem()
+{
+    const Addr bytes = elems_ * elemSize;
+    const Addr pc = 0x2000 + phase * 4;
+
+    MemRecord rec;
+    switch (phase) {
+      case 0: rec = load(pc, skewedBase(1, 0, bytes) + i * elemSize);
+              break;
+      case 1: rec = load(pc, skewedBase(1, 1, bytes) + i * elemSize);
+              break;
+      case 2: rec = load(pc, skewedBase(1, 2, bytes) + i * elemSize);
+              break;
+      default: rec = store(pc, skewedBase(1, 3, bytes) + i * elemSize);
+              break;
+    }
+
+    if (++phase == 4) {
+        phase = 0;
+        if (++i >= elems_)
+            i = 0;
+    }
+    return rec;
+}
+
+// MgridLike --------------------------------------------------------
+//
+// Long unit-stride smoothing sweeps (capacity misses, 1 in 8) are
+// punctuated by a short restriction phase whose x[k] / x[k + plane]
+// operands sit exactly 32 KB apart — the same L1 set — producing a
+// burst of MCT-identifiable conflict misses.
+
+MgridLike::MgridLike(std::size_t mem_refs, std::uint64_t seed,
+                     std::size_t dim)
+    : SyntheticWorkload("mgrid", mem_refs, 2, seed), dim_(dim)
+{
+    restart();
+}
+
+void
+MgridLike::restart()
+{
+    idx = 0;
+    phase = 0;
+    phaseLeft = 8 * dim_ * dim_;
+    planeCursor = 0;
+}
+
+MemRecord
+MgridLike::genMem()
+{
+    const std::size_t plane = dim_ * dim_;
+    const std::size_t elems = plane * dim_;
+    const Addr base = wl::region(2);
+    const Addr pc = 0x3000 + phase * 4;
+
+    if (phase == 0) {
+        // Unit-stride smoothing sweep.
+        MemRecord rec = load(pc, base + idx * elemSize);
+        idx = (idx + 1) % elems;
+        if (--phaseLeft == 0) {
+            phase = 1;
+            phaseLeft = 3 * (plane / 4);
+        }
+        return rec;
+    }
+
+    // Restriction: x[k] / x[k + plane] ping-pong (the plane is 32 KB,
+    // an even multiple of the 16 KB L1: same set).
+    const std::size_t sub = phaseLeft % 3;   // 2,1,0 -> A, B, A-store
+    MemRecord rec;
+    std::size_t k = planeCursor % plane;
+    switch (sub) {
+      case 2: rec = load(pc, base + k * elemSize); break;
+      case 1: rec = load(pc, base + (k + plane) * elemSize); break;
+      default: rec = store(pc, base + k * elemSize);
+               planeCursor = (planeCursor + 1) % plane;
+               break;
+    }
+    if (--phaseLeft == 0) {
+        phase = 0;
+        phaseLeft = 8 * plane;
+    }
+    return rec;
+}
+
+// AppluLike --------------------------------------------------------
+//
+// Blocked SSOR: each 2 KB block is processed for several passes; the
+// five arrays fit a block-working-set under the L1 except that arrays
+// 0 and 1 collide, so the pass touching both thrashes that block.
+
+AppluLike::AppluLike(std::size_t mem_refs, std::uint64_t seed,
+                     std::size_t elems, std::size_t block,
+                     unsigned passes)
+    : SyntheticWorkload("applu", mem_refs, 2, seed),
+      elems_(elems), block_(block), passes_(passes)
+{
+    restart();
+}
+
+void
+AppluLike::restart()
+{
+    blockStart = 0;
+    cursor = 0;
+    pass = 0;
+    arr = 0;
+}
+
+MemRecord
+AppluLike::genMem()
+{
+    const Addr bytes = elems_ * elemSize;
+    const Addr pc = 0x4000 + arr * 4;
+
+    // Arrays 0 and 1 collide; 2..4 are skewed.
+    auto at = [&](unsigned a, std::size_t i) {
+        Addr base = (a < 2) ? collidingBase(3, a, bytes)
+                            : skewedBase(3, a, bytes);
+        return base + i * elemSize;
+    };
+
+    const std::size_t i = blockStart + cursor;
+    MemRecord rec;
+    switch (arr) {
+      case 0: rec = load(pc, at(pass % 5, i)); break;
+      case 1: rec = load(pc, at((pass + 1) % 5, i)); break;
+      default: rec = store(pc, at(pass % 5, i)); break;
+    }
+
+    if (++arr == 3) {
+        arr = 0;
+        if (++cursor >= block_) {
+            cursor = 0;
+            if (++pass >= passes_) {
+                pass = 0;
+                blockStart += block_;
+                if (blockStart + block_ > elems_)
+                    blockStart = 0;
+            }
+        }
+    }
+    return rec;
+}
+
+// Turb3dLike -------------------------------------------------------
+//
+// Butterfly passes over a 16 K-element window; the stride doubles per
+// pass.  Once stride*8 is a multiple of 16 KB the two operands share a
+// set and ping-pong; small-stride passes stream through the window.
+
+Turb3dLike::Turb3dLike(std::size_t mem_refs, std::uint64_t seed,
+                       std::size_t elems)
+    : SyntheticWorkload("turb3d", mem_refs, 2, seed), elems_(elems)
+{
+    restart();
+}
+
+void
+Turb3dLike::restart()
+{
+    strideElems = 1;
+    i = 0;
+    phase = 0;
+}
+
+MemRecord
+Turb3dLike::genMem()
+{
+    const Addr base = wl::region(4);
+    const Addr pc = 0x5000 + phase * 4;
+    // Butterflies per pass: a 16 K-element window, so every stride up
+    // to elems_/2 is exercised within a reasonable trace length.
+    const std::size_t window = 16 * 1024;
+
+    // Twiddle-factor table: 2 KB, cache-resident.
+    const Addr twiddle = wl::region(4) + 0x2000000 + 5 * 13 * lineSize;
+
+    MemRecord rec;
+    switch (phase) {
+      case 0: rec = load(pc, base + i * elemSize); break;
+      case 1: rec = load(pc, base + (i + strideElems) * elemSize);
+              break;
+      case 2: rec = load(pc, twiddle + (i % 256) * elemSize); break;
+      case 3: rec = store(pc, base + i * elemSize); break;
+      default: rec = store(pc,
+                           base + (i + strideElems) * elemSize);
+              break;
+    }
+
+    if (++phase == 5) {
+        phase = 0;
+        ++i;
+        if (i >= window || i + strideElems >= elems_) {
+            i = 0;
+            strideElems *= 2;
+            if (strideElems >= elems_ / 2)
+                strideElems = 1;
+        }
+    }
+    return rec;
+}
+
+// Su2corLike -------------------------------------------------------
+
+Su2corLike::Su2corLike(std::size_t mem_refs, std::uint64_t seed,
+                       std::size_t matrix_elems, std::size_t vec_block)
+    : SyntheticWorkload("su2cor", mem_refs, 2, seed),
+      matrixElems(matrix_elems), vecBlock(vec_block)
+{
+    restart();
+}
+
+void
+Su2corLike::restart()
+{
+    mi = 0;
+    vi = 0;
+    phase = 0;
+    updateLeft = 0;
+    ui = 0;
+}
+
+MemRecord
+Su2corLike::genMem()
+{
+    const Addr bytes = matrixElems * elemSize;
+    const Addr matrix = skewedBase(7, 0, bytes);
+    const Addr vec = skewedBase(7, 4, bytes);           // 4KB block
+    // Lattice update pair: bases equal mod the L1 span.
+    const Addr lat_a = wl::region(7) + 0x1000000;
+    const Addr lat_b = lat_a + 16 * l1Span;
+    const Addr pc = 0x1800 + phase * 4;
+
+    if (updateLeft > 0) {
+        // Lattice update: A, B, A ping-pong over a recurring row.
+        MemRecord rec;
+        std::size_t k = ui % (l1Span / elemSize);
+        switch (updateLeft % 3) {
+          case 2: rec = load(pc, lat_a + k * elemSize); break;
+          case 1: rec = load(pc, lat_b + k * elemSize); break;
+          default: rec = store(pc, lat_a + k * elemSize);
+                   ++ui;
+                   break;
+        }
+        --updateLeft;
+        return rec;
+    }
+
+    MemRecord rec;
+    switch (phase) {
+      case 0:  // stream the matrix
+        rec = load(pc, matrix + mi * elemSize);
+        mi = (mi + 1) % matrixElems;
+        break;
+      case 1:  // reused vector block (4KB: cache-resident)
+        rec = load(pc, vec + (vi % vecBlock) * elemSize);
+        ++vi;
+        break;
+      default: // accumulate back into the vector block
+        rec = store(pc, vec + (vi % vecBlock) * elemSize);
+        break;
+    }
+    if (++phase == 3) {
+        phase = 0;
+        // Every matrix row (vecBlock elements), do a burst of
+        // lattice updates.
+        if (mi % vecBlock == 0)
+            updateLeft = 96;
+    }
+    return rec;
+}
+
+// Hydro2dLike ------------------------------------------------------
+
+Hydro2dLike::Hydro2dLike(std::size_t mem_refs, std::uint64_t seed,
+                         std::size_t rows, std::size_t cols)
+    : SyntheticWorkload("hydro2d", mem_refs, 2, seed),
+      rows_(rows), cols_(cols)
+{
+    restart();
+}
+
+void
+Hydro2dLike::restart()
+{
+    r = 1;
+    c = 1;
+    phase = 0;
+}
+
+MemRecord
+Hydro2dLike::genMem()
+{
+    const Addr bytes = rows_ * cols_ * elemSize;
+    const std::size_t idx = r * cols_ + c;
+    const Addr pc = 0x1900 + phase * 4;
+
+    auto at = [&](unsigned arr, std::size_t i) {
+        return skewedBase(14, arr, bytes) + i * elemSize;
+    };
+
+    MemRecord rec;
+    switch (phase) {
+      case 0: rec = load(pc, at(0, idx)); break;
+      case 1: rec = load(pc, at(0, idx - cols_)); break;  // north
+      case 2: rec = load(pc, at(1, idx)); break;
+      case 3: rec = load(pc, at(2, idx + 1)); break;      // east
+      case 4: rec = store(pc, at(3, idx)); break;
+      default: rec = load(pc, at(1, idx - 1)); break;     // west
+    }
+
+    if (++phase == 6) {
+        phase = 0;
+        if (++c >= cols_ - 1) {
+            c = 1;
+            if (++r >= rows_ - 1)
+                r = 1;
+        }
+    }
+    return rec;
+}
+
+// Wave5Like --------------------------------------------------------
+
+Wave5Like::Wave5Like(std::size_t mem_refs, std::uint64_t seed,
+                     std::size_t grid_bytes, std::size_t particles)
+    : SyntheticWorkload("wave5", mem_refs, 2, seed),
+      gridBytes(grid_bytes), particles_(particles)
+{
+    restart();
+}
+
+void
+Wave5Like::restart()
+{
+    p = 0;
+    phase = 0;
+    gridAddr = 0;
+}
+
+MemRecord
+Wave5Like::genMem()
+{
+    const Addr particle_base = wl::region(5);
+    const Addr grid_base = wl::region(6) + 5 * 13 * lineSize;
+    const Addr rec_bytes = 16;
+    const Addr pc = 0x6000 + phase * 4;
+
+    // Interpolation coefficients: 2 KB, cache-resident.
+    const Addr coeffs = wl::region(6) + 0x2000000 + 7 * 13 * lineSize;
+
+    MemRecord rec;
+    switch (phase) {
+      case 0:
+        rec = load(pc, particle_base + p * rec_bytes);
+        break;
+      case 1:
+        // Random gather into the big grid (fresh cell per particle).
+        gridAddr = grid_base +
+                   (rng.below(static_cast<std::uint32_t>(
+                        gridBytes / elemSize))) * elemSize;
+        rec = load(pc, gridAddr);
+        break;
+      case 2:
+        rec = store(pc, gridAddr);
+        break;
+      case 3:
+        // Field interpolation: neighbouring cell, usually same line.
+        rec = load(pc, gridAddr + elemSize);
+        break;
+      case 4:
+      case 5:
+        rec = load(pc, coeffs + rng.below(2 * 1024 / 8) * 8);
+        break;
+      default:
+        rec = load(pc, particle_base + p * rec_bytes + 8);
+        break;
+    }
+
+    if (++phase == 7) {
+        phase = 0;
+        if (++p >= particles_)
+            p = 0;
+    }
+    return rec;
+}
+
+} // namespace ccm

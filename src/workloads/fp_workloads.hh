@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Floating-point SPEC95-inspired synthetic workloads.
+ *
+ * Each class reproduces the *structural* memory behaviour of the
+ * benchmark it is named after — the array layouts and sweep patterns
+ * that generate its characteristic conflict/capacity miss mix on a
+ * 16 KB direct-mapped L1 — not its computation.  See DESIGN.md.
+ *
+ * Conventions: element size 8 B (double), arrays live in disjoint 64 MB
+ * address regions, and "colliding" arrays have bases that are equal
+ * modulo the 16 KB L1 size so equal indices map to the same cache set.
+ * Subclass constructors call restart(); callers should still reset()
+ * before use (all drivers in this repo do).
+ */
+
+#ifndef CCM_WORKLOADS_FP_WORKLOADS_HH
+#define CCM_WORKLOADS_FP_WORKLOADS_HH
+
+#include "workloads/synthetic.hh"
+
+namespace ccm
+{
+
+namespace wl
+{
+/** Base address of workload region @p k (64 MB apart). */
+constexpr Addr
+region(unsigned k)
+{
+    return 0x40000000ULL + static_cast<Addr>(k) * 0x04000000ULL;
+}
+} // namespace wl
+
+/**
+ * tomcatv: vectorized mesh generation.  Seven 2 MB arrays; two of them
+ * deliberately collide modulo the L1 size and are accessed
+ * alternately per grid point (pairwise ping-pong the MCT can catch),
+ * while row-sized stencil reuse distances generate capacity misses.
+ * The paper reports a 38% L1 miss rate for tomcatv.
+ */
+class TomcatvLike : public SyntheticWorkload
+{
+  public:
+    TomcatvLike(std::size_t mem_refs, std::uint64_t seed,
+                std::size_t rows = 128, std::size_t cols = 2048,
+                unsigned ping_sweeps = 2);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t rows_, cols_;
+    unsigned pingSweeps;
+    std::size_t r = 1, c = 1;
+    unsigned phase = 0;
+    unsigned sweep = 0;      ///< which ping sweep of the row
+    bool tailMode = false;   ///< ping sweeps done; streaming arrays
+};
+
+/**
+ * swim: shallow-water streaming.  Four large arrays swept with unit
+ * stride, bases offset by odd line counts so they do not collide:
+ * almost pure capacity misses, ideal next-line prefetch territory.
+ */
+class SwimLike : public SyntheticWorkload
+{
+  public:
+    SwimLike(std::size_t mem_refs, std::uint64_t seed,
+             std::size_t elems = 512 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t elems_;
+    std::size_t i = 0;
+    unsigned phase = 0;
+};
+
+/**
+ * mgrid: 3D multigrid.  Unit-stride smoothing phases alternate with
+ * plane-stride (32 KB jump) phases whose consecutive accesses collide
+ * pairwise in the L1 — a clean source of conflict near-misses.
+ */
+class MgridLike : public SyntheticWorkload
+{
+  public:
+    MgridLike(std::size_t mem_refs, std::uint64_t seed,
+              std::size_t dim = 64);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t dim_;
+    std::size_t idx = 0;
+    unsigned phase = 0;       ///< 0 = unit stride, 1 = plane stride
+    std::size_t phaseLeft = 0;
+    std::size_t planeCursor = 0;
+};
+
+/**
+ * applu: blocked SSOR solver.  Five arrays, two colliding mod L1,
+ * processed in 4 KB blocks with multiple passes per block: in-block
+ * reuse hits, inter-array conflicts, block-boundary capacity misses.
+ */
+class AppluLike : public SyntheticWorkload
+{
+  public:
+    AppluLike(std::size_t mem_refs, std::uint64_t seed,
+              std::size_t elems = 256 * 1024, std::size_t block = 256,
+              unsigned passes = 6);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t elems_, block_;
+    unsigned passes_;
+    std::size_t blockStart = 0;
+    std::size_t cursor = 0;
+    unsigned pass = 0;
+    unsigned arr = 0;
+};
+
+/**
+ * turb3d: FFT-style butterflies.  Pass strides grow by powers of two;
+ * once the stride is a multiple of the 16 KB L1 size the two butterfly
+ * operands ping-pong in one set (textbook conflict misses), while the
+ * small-stride passes stream (capacity).
+ */
+class Turb3dLike : public SyntheticWorkload
+{
+  public:
+    Turb3dLike(std::size_t mem_refs, std::uint64_t seed,
+               std::size_t elems = 256 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t elems_;
+    std::size_t strideElems = 1;
+    std::size_t i = 0;
+    unsigned phase = 0;   ///< 0: load x[i], 1: load x[i+s], 2: store x[i]
+};
+
+/**
+ * su2cor: quantum chromodynamics.  Blocked matrix-vector products: a
+ * streaming gauge-field matrix (capacity misses) against a
+ * cache-resident vector block (hits), plus a pair of colliding
+ * lattice arrays ping-ponged during the update phase.
+ */
+class Su2corLike : public SyntheticWorkload
+{
+  public:
+    Su2corLike(std::size_t mem_refs, std::uint64_t seed,
+               std::size_t matrix_elems = 256 * 1024,
+               std::size_t vec_block = 512);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t matrixElems, vecBlock;
+    std::size_t mi = 0;       ///< matrix cursor
+    std::size_t vi = 0;       ///< vector cursor within the block
+    unsigned phase = 0;
+    std::size_t updateLeft = 0;
+    std::size_t ui = 0;
+};
+
+/**
+ * hydro2d: hydrodynamics stencil.  Row sweeps over several skewed 2D
+ * arrays: capacity-dominated with row-distance reuse, the
+ * low-conflict FP counterpoint to tomcatv.
+ */
+class Hydro2dLike : public SyntheticWorkload
+{
+  public:
+    Hydro2dLike(std::size_t mem_refs, std::uint64_t seed,
+                std::size_t rows = 128, std::size_t cols = 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t rows_, cols_;
+    std::size_t r = 1, c = 1;
+    unsigned phase = 0;
+};
+
+/**
+ * wave5: particle-in-cell.  Sequential particle records drive random
+ * gather/scatter into a grid far larger than the cache — dominated by
+ * capacity misses with poor spatial locality.
+ */
+class Wave5Like : public SyntheticWorkload
+{
+  public:
+    Wave5Like(std::size_t mem_refs, std::uint64_t seed,
+              std::size_t grid_bytes = 1024 * 1024,
+              std::size_t particles = 128 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t gridBytes, particles_;
+    std::size_t p = 0;
+    unsigned phase = 0;
+    Addr gridAddr = 0;
+};
+
+} // namespace ccm
+
+#endif // CCM_WORKLOADS_FP_WORKLOADS_HH

@@ -1,0 +1,571 @@
+#include "workloads/int_workloads.hh"
+
+#include "workloads/fp_workloads.hh"  // wl::region
+
+namespace ccm
+{
+
+namespace
+{
+
+constexpr Addr l1Span = 16 * 1024;
+constexpr Addr lineSize = 64;
+
+/** Skew an intra-region offset off the 16 KB grid by odd lines. */
+constexpr Addr
+skew(Addr offset, unsigned k)
+{
+    return offset + (2 * k + 1) * 13 * lineSize;
+}
+
+} // namespace
+
+// GoLike -----------------------------------------------------------
+
+GoLike::GoLike(std::size_t mem_refs, std::uint64_t seed,
+               std::size_t tree_bytes)
+    : SyntheticWorkload("go", mem_refs, 3, seed), treeBytes(tree_bytes)
+{
+    restart();
+}
+
+void
+GoLike::restart()
+{
+    evalPhase = 0;
+    evalIdx = 0;
+    treeCursor = 0;
+}
+
+MemRecord
+GoLike::genMem()
+{
+    const Addr board = wl::region(8) + skew(0, 3);    // 8 KB, hot
+    const Addr stack = wl::region(8) + skew(0x80000, 4);  // 2 KB, hot
+    const Addr tree = wl::region(8) + skew(0x100000, 1);
+    // Two eval tables whose bases are equal mod 16 KB: same-set pairs.
+    const Addr eval_a = wl::region(8) + 0x200000;
+    const Addr eval_b = eval_a + 4 * l1Span;
+
+    // Mix: 62% board (hits), 14% stack (hits), 7% tree (random),
+    // 12% eval ping-pong, 5% pattern table.
+    std::uint32_t pick = rng.below(100);
+    if (pick < 62) {
+        return load(0x7000, board + rng.below(8 * 1024 / 8) * 8);
+    } else if (pick < 76) {
+        return load(0x7004, stack + rng.below(2 * 1024 / 8) * 8);
+    } else if (pick < 83) {
+        // Tree nodes are laid out in allocation (DFS) order, so a
+        // search frequently advances to the sequentially next node.
+        if (rng.chance(0.5)) {
+            treeCursor = (treeCursor + lineSize) % treeBytes;
+        } else {
+            treeCursor = rng.below(static_cast<std::uint32_t>(
+                             treeBytes / lineSize)) * lineSize;
+        }
+        return load(0x7010, tree + treeCursor);
+    } else if (pick < 95) {
+        // Evaluation burst: A[i], B[i], A[i] at one set index.
+        MemRecord rec;
+        switch (evalPhase) {
+          case 0: rec = load(0x7020, eval_a + evalIdx); break;
+          case 1: rec = load(0x7024, eval_b + evalIdx); break;
+          default: rec = load(0x7028, eval_a + evalIdx); break;
+        }
+        if (++evalPhase == 3) {
+            evalPhase = 0;
+            // Walk only a 4 KB window so the ping-pong pollutes a
+            // quarter of the sets rather than all of them.
+            evalIdx = (evalIdx + 8) % (4 * 1024);
+        }
+        return rec;
+    }
+    // Pattern library: 4 KB region, mostly resident.
+    const Addr patterns = wl::region(8) + skew(0x300000, 2);
+    return load(0x7030, patterns + rng.below(4 * 1024 / 8) * 8);
+}
+
+// GccLike ----------------------------------------------------------
+
+GccLike::GccLike(std::size_t mem_refs, std::uint64_t seed,
+                 std::size_t heap_bytes, std::size_t symtab_bytes)
+    : SyntheticWorkload("gcc", mem_refs, 3, seed),
+      heapBytes(heap_bytes), symtabBytes(symtab_bytes)
+{
+    restart();
+}
+
+void
+GccLike::restart()
+{
+    frontier = 0;
+    chasePtr = 0;
+    optIdx = 0;
+    burst = 0;
+    mode = 0;
+}
+
+MemRecord
+GccLike::genMem()
+{
+    const Addr heap = wl::region(9);
+    const Addr symtab = wl::region(9) + skew(0x400000, 1);
+    const Addr stack = wl::region(9) + skew(0x600000, 2);  // 4 KB hot
+    // Insn list and its matching RTL templates collide mod the L1 and
+    // are walked together during the optimize pass: A, B, A triples.
+    const Addr insns = wl::region(9) + 0x800000;
+    const Addr rtl = insns + 2 * l1Span;
+
+    switch (mode) {
+      case 0: {
+        // Parse: stack traffic + allocation stores at the frontier.
+        MemRecord rec;
+        if (burst % 4 != 0) {
+            rec = load(0x8000, stack + rng.below(4 * 1024 / 8) * 8);
+        } else {
+            rec = store(0x8004, heap + frontier);
+            frontier = (frontier + 32) % heapBytes;
+        }
+        if (++burst >= 16) {
+            burst = 0;
+            mode = 1;
+            chasePtr = rng.below(static_cast<std::uint32_t>(
+                           heapBytes / 32)) * 32;
+        }
+        return rec;
+      }
+      case 1: {
+        // Optimize: one A, B, A triple over colliding insn/RTL
+        // regions per visit, walking a recurring 4 KB window (the
+        // same IR is revisited by successive passes).
+        Addr off = optIdx % (4 * 1024);
+        MemRecord rec;
+        switch (burst % 3) {
+          case 0: rec = load(0x8010, insns + off); break;
+          case 1: rec = load(0x8014, rtl + off); break;
+          default: rec = load(0x8018, insns + off); break;
+        }
+        if (++burst >= 3) {
+            burst = 0;
+            mode = 2;
+            optIdx += 64;
+        }
+        return rec;
+      }
+      default: {
+        // Dataflow: short pointer chain + symbol probes + stack.
+        MemRecord rec;
+        if (burst % 3 == 0) {
+            rec = load(0x8020, heap + chasePtr, true);
+            chasePtr = (chasePtr + 40 + rng.below(4) * 24) % heapBytes;
+        } else if (burst % 3 == 1) {
+            rec = load(0x8024, symtab +
+                       rng.below(static_cast<std::uint32_t>(
+                           symtabBytes / 16)) * 16);
+        } else {
+            rec = load(0x8028, stack + rng.below(4 * 1024 / 8) * 8);
+        }
+        if (++burst >= 6) {
+            burst = 0;
+            mode = 0;
+        }
+        return rec;
+      }
+    }
+}
+
+// CompressLike -----------------------------------------------------
+
+CompressLike::CompressLike(std::size_t mem_refs, std::uint64_t seed,
+                           std::size_t table_bytes)
+    : SyntheticWorkload("compress", mem_refs, 3, seed),
+      tableBytes(table_bytes)
+{
+    restart();
+}
+
+void
+CompressLike::restart()
+{
+    in = 0;
+    out = 0;
+    phase = 0;
+    probeAddr = 0;
+}
+
+MemRecord
+CompressLike::genMem()
+{
+    const Addr input = wl::region(10);
+    const Addr table = wl::region(10) + skew(0x400000, 1);
+    const Addr output = wl::region(10) + skew(0x800000, 2);
+    const Addr codes = wl::region(10) + skew(0xc00000, 3);  // 4 KB hot
+
+    MemRecord rec;
+    switch (phase) {
+      case 0:
+        rec = load(0x9000, input + in);
+        in = (in + 1) % 0x200000;
+        break;
+      case 1:
+        // Hash with linear probing: collisions walk into the next
+        // bucket (and frequently the next cache line).
+        if (rng.chance(0.45)) {
+            probeAddr = table +
+                        (probeAddr - table + 64) % tableBytes;
+        } else {
+            probeAddr = table + rng.below(static_cast<std::uint32_t>(
+                                    tableBytes / 8)) * 8;
+        }
+        rec = load(0x9010, probeAddr);
+        break;
+      case 2:
+        rec = store(0x9014, probeAddr);
+        break;
+      case 3:
+        rec = load(0x9018, probeAddr + 8);  // chain field, same line
+        break;
+      case 4:
+      case 5:
+        rec = load(0x901c, codes + rng.below(4 * 1024 / 8) * 8);
+        break;
+      default:
+        rec = store(0x9020, output + out);
+        out = (out + 1) % 0x200000;
+        break;
+    }
+    phase = (phase + 1) % 7;
+    return rec;
+}
+
+// LiLike -----------------------------------------------------------
+
+LiLike::LiLike(std::size_t mem_refs, std::uint64_t seed,
+               std::size_t heap_bytes, unsigned chase_len,
+               unsigned sweep_every)
+    : SyntheticWorkload("li", mem_refs, 3, seed),
+      heapBytes(heap_bytes), chaseLen(chase_len),
+      sweepEvery(sweep_every)
+{
+    restart();
+}
+
+void
+LiLike::restart()
+{
+    cur = 0;
+    chaseLeft = chaseLen;
+    chases = 0;
+    sweepLeft = 0;
+    sweepCursor = 0;
+}
+
+Addr
+LiLike::cellAddr(std::uint64_t idx) const
+{
+    // A fixed pseudo-random permutation of cell indices emulates a
+    // heap shuffled by many allocations/collections.  80% of chases
+    // land on a hot ~8 KB working set of cells that is *scattered*
+    // through the heap (live cells interleave with garbage after
+    // collections), so no 1 KB region is uniformly hot — the
+    // heterogeneity that distinguishes per-line classification from
+    // region-granularity schemes like the MAT.
+    std::uint64_t x = idx * 2654435761ULL + 0x9e3779b9ULL;
+    x ^= x >> 16;
+    const std::uint64_t cells = heapBytes / 16;
+    if (x % 10 < 8) {
+        // Hot cells: 128-byte chunks scattered through the heap at
+        // an odd-line stride (17 lines), so every 1 KB region mixes
+        // hot and cold data and the chunks spread over all cache
+        // sets.
+        const std::uint64_t chunks = 48;
+        std::uint64_t chunk = (x / 8) % chunks;
+        std::uint64_t cell = x % 8;
+        return wl::region(11) + chunk * (17 * 64) + cell * 16;
+    }
+    return wl::region(11) + (x % cells) * 16;
+}
+
+MemRecord
+LiLike::genMem()
+{
+    const Addr env = wl::region(11) + skew(0x200000, 1);  // 4 KB hot
+
+    if (sweepLeft > 0) {
+        // GC sweep: sequential scan of the heap.
+        MemRecord rec = load(0xa020, wl::region(11) + sweepCursor);
+        sweepCursor = (sweepCursor + lineSize) % heapBytes;
+        --sweepLeft;
+        return rec;
+    }
+
+    // Interpreter: environment lookups dominate; every third access
+    // chases a cons cell, whose address depends on the previous load.
+    if (chaseLeft % 3 != 0) {
+        --chaseLeft;
+        if (chaseLeft == 0)
+            chaseLeft = chaseLen;
+        return load(0xa010, env + rng.below(4 * 1024 / 8) * 8);
+    }
+
+    MemRecord rec = load(0xa000, cellAddr(cur), true);
+    cur = cur * 6364136223846793005ULL + 1442695040888963407ULL;
+    if (--chaseLeft == 0) {
+        chaseLeft = chaseLen;
+        cur = rng.next();
+        if (++chases % sweepEvery == 0)
+            sweepLeft = heapBytes / lineSize / 8;
+    }
+    return rec;
+}
+
+// PerlLike ---------------------------------------------------------
+
+PerlLike::PerlLike(std::size_t mem_refs, std::uint64_t seed,
+                   std::size_t hash_bytes, std::size_t string_bytes)
+    : SyntheticWorkload("perl", mem_refs, 3, seed),
+      hashBytes(hash_bytes), stringBytes(string_bytes)
+{
+    restart();
+}
+
+void
+PerlLike::restart()
+{
+    scan = 0;
+    hashCursor = 0;
+    phase = 0;
+}
+
+MemRecord
+PerlLike::genMem()
+{
+    const Addr hash = wl::region(12);
+    const Addr strings = wl::region(12) + skew(0x200000, 1);
+    const Addr dispatch = wl::region(12) + skew(0x600000, 2);  // hot
+    const Addr pad = wl::region(12) + skew(0x700000, 3);  // 2 KB hot
+
+    MemRecord rec;
+    switch (phase) {
+      case 0:
+      case 1:
+        rec = load(0xb000, dispatch + rng.below(8 * 1024 / 8) * 8);
+        break;
+      case 2:
+        // Hash probes with linear-probing spill-over.
+        if (rng.chance(0.4)) {
+            hashCursor = (hashCursor + 64) % hashBytes;
+        } else {
+            hashCursor = rng.below(static_cast<std::uint32_t>(
+                             hashBytes / 16)) * 16;
+        }
+        rec = load(0xb010, hash + hashCursor);
+        break;
+      case 3:
+      case 4:
+        rec = load(0xb020, strings + scan);
+        scan = (scan + 8) % stringBytes;
+        break;
+      case 5:
+      case 6:
+        rec = load(0xb024, pad + rng.below(2 * 1024 / 8) * 8);
+        break;
+      default:
+        rec = store(0xb030, strings + scan);
+        break;
+    }
+    phase = (phase + 1) % 8;
+    return rec;
+}
+
+// M88ksimLike ------------------------------------------------------
+
+M88ksimLike::M88ksimLike(std::size_t mem_refs, std::uint64_t seed,
+                         std::size_t image_bytes)
+    : SyntheticWorkload("m88ksim", mem_refs, 3, seed),
+      imageBytes(image_bytes)
+{
+    restart();
+}
+
+void
+M88ksimLike::restart()
+{
+    imgCursor = 0;
+    burst = 0;
+    phase = 0;
+}
+
+MemRecord
+M88ksimLike::genMem()
+{
+    const Addr regs = wl::region(15) + skew(0, 1);       // 1 KB hot
+    const Addr decode = wl::region(15) + skew(0x10000, 2);  // 4 KB
+    const Addr image = wl::region(15) + skew(0x400000, 3);
+
+    MemRecord rec;
+    switch (phase) {
+      case 0:
+      case 1:
+        rec = load(0xd000, regs + rng.below(1024 / 8) * 8);
+        break;
+      case 2:
+        rec = store(0xd004, regs + rng.below(1024 / 8) * 8);
+        break;
+      case 3:
+      case 4:
+        rec = load(0xd010, decode + rng.below(4 * 1024 / 8) * 8);
+        break;
+      default:
+        // Simulated program memory: short sequential bursts with
+        // occasional jumps (the simulated PC).
+        rec = load(0xd020, image + imgCursor);
+        imgCursor += 4;
+        if (++burst >= 24) {
+            burst = 0;
+            imgCursor = rng.below(static_cast<std::uint32_t>(
+                            imageBytes / 64)) * 64;
+        }
+        imgCursor %= imageBytes;
+        break;
+    }
+    phase = (phase + 1) % 7;
+    return rec;
+}
+
+// IjpegLike --------------------------------------------------------
+
+IjpegLike::IjpegLike(std::size_t mem_refs, std::uint64_t seed,
+                     std::size_t image_rows, std::size_t image_cols)
+    : SyntheticWorkload("ijpeg", mem_refs, 3, seed),
+      imgRows(image_rows), imgCols(image_cols)
+{
+    restart();
+}
+
+void
+IjpegLike::restart()
+{
+    blockRow = 0;
+    blockCol = 0;
+    px = 0;
+    phase = 0;
+    out = 0;
+}
+
+MemRecord
+IjpegLike::genMem()
+{
+    const Addr image = wl::region(16) + skew(0, 1);
+    const Addr quant = wl::region(16) + skew(0x400000, 2);  // 512 B
+    const Addr output = wl::region(16) + skew(0x800000, 3);
+
+    MemRecord rec;
+    switch (phase) {
+      case 0: {
+        // One pixel of the current 8x8 block, row-major within the
+        // block; rows are imgCols bytes apart.
+        std::size_t py = px / 8, pxx = px % 8;
+        Addr a = image + (blockRow * 8 + py) * imgCols +
+                 blockCol * 8 + pxx;
+        rec = load(0xe000, a);
+        if (++px == 64) {
+            px = 0;
+            if (++blockCol >= imgCols / 8) {
+                blockCol = 0;
+                if (++blockRow >= imgRows / 8)
+                    blockRow = 0;
+            }
+        }
+        break;
+      }
+      case 1:
+        rec = load(0xe010, quant + rng.below(512 / 8) * 8);
+        break;
+      default:
+        rec = store(0xe020, output + out);
+        out = (out + 2) % 0x100000;
+        break;
+    }
+    phase = (phase + 1) % 3;
+    return rec;
+}
+
+// VortexLike -------------------------------------------------------
+
+VortexLike::VortexLike(std::size_t mem_refs, std::uint64_t seed,
+                       std::size_t store_bytes, std::size_t meta_bytes)
+    : SyntheticWorkload("vortex", mem_refs, 3, seed),
+      storeBytes(store_bytes), metaBytes(meta_bytes)
+{
+    restart();
+}
+
+void
+VortexLike::restart()
+{
+    phase = 0;
+    objAddr = 0;
+    metaIdx = 0;
+}
+
+MemRecord
+VortexLike::genMem()
+{
+    const Addr objects = wl::region(13);
+    // Metadata index and transaction log: bases equal mod 16 KB, so
+    // entry i of each maps to the same L1 set — alternating accesses
+    // ping-pong in a direct-mapped cache.
+    const Addr meta = wl::region(13) + 0x800000;
+    const Addr log = meta + 8 * l1Span;
+    const Addr cache_region = wl::region(13) + skew(0xc00000, 1);
+
+    // A "transaction" is 12 references; the metadata/log ping-pong
+    // fires on one transaction in two, object reads on one in two.
+    const bool ping_txn = (metaIdx / 8) % 2 == 0;
+
+    MemRecord rec;
+    switch (phase) {
+      case 0:
+        rec = load(0xc000, meta + metaIdx);           // index lookup
+        break;
+      case 1:
+        rec = ping_txn ? store(0xc004, log + metaIdx) // log append
+                       : load(0xc005, cache_region +
+                              rng.below(8 * 1024 / 8) * 8);
+        break;
+      case 2:
+        rec = load(0xc008, meta + metaIdx);           // index re-read
+        metaIdx = (metaIdx + 8) % metaBytes;
+        break;
+      case 3:
+        if (!ping_txn) {
+            objAddr = objects +
+                      rng.below(static_cast<std::uint32_t>(
+                          storeBytes / 128)) * 128;
+        }
+        rec = load(0xc010, objAddr);                  // object header
+        break;
+      case 4:
+        rec = load(0xc014, objAddr + 8);              // object field
+        break;
+      case 5:
+      case 6:
+      case 7:
+      case 8:
+      case 9:
+        // Hot in-memory object cache, 8 KB.
+        rec = load(0xc020, cache_region + rng.below(8 * 1024 / 8) * 8);
+        break;
+      case 10:
+        rec = load(0xc024, objAddr + lineSize);       // object body
+        break;
+      default:
+        rec = load(0xc028, objAddr + lineSize + 8);   // body, same line
+        break;
+    }
+    phase = (phase + 1) % 12;
+    return rec;
+}
+
+} // namespace ccm

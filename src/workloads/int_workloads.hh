@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Integer SPEC95-inspired synthetic workloads: the "messier",
+ * irregular applications the paper deliberately keeps in its suite.
+ * See fp_workloads.hh for layout conventions.
+ */
+
+#ifndef CCM_WORKLOADS_INT_WORKLOADS_HH
+#define CCM_WORKLOADS_INT_WORKLOADS_HH
+
+#include "workloads/synthetic.hh"
+
+namespace ccm
+{
+
+/**
+ * go: game tree search.  A small hot board (cache-resident), random
+ * tree-node touches over a medium region, and two evaluation tables
+ * that collide in the L1 and are probed alternately — a modest miss
+ * rate with a genuine conflict component.
+ */
+class GoLike : public SyntheticWorkload
+{
+  public:
+    GoLike(std::size_t mem_refs, std::uint64_t seed,
+           std::size_t tree_bytes = 128 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t treeBytes;
+    unsigned evalPhase = 0;
+    Addr evalIdx = 0;
+    Addr treeCursor = 0;
+};
+
+/**
+ * gcc: compiler passes.  Allocation-frontier stores, short pointer
+ * chains through the allocated heap (dependent loads), and random
+ * symbol-table probes.
+ */
+class GccLike : public SyntheticWorkload
+{
+  public:
+    GccLike(std::size_t mem_refs, std::uint64_t seed,
+            std::size_t heap_bytes = 192 * 1024,
+            std::size_t symtab_bytes = 48 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t heapBytes, symtabBytes;
+    Addr frontier = 0;
+    Addr chasePtr = 0;
+    Addr optIdx = 0;
+    unsigned burst = 0;
+    unsigned mode = 0;
+};
+
+/**
+ * compress: LZW.  Random hash-table probes over a table far larger
+ * than the L1 (capacity misses with no spatial locality), fed by a
+ * sequentially scanned input and output buffer.
+ */
+class CompressLike : public SyntheticWorkload
+{
+  public:
+    CompressLike(std::size_t mem_refs, std::uint64_t seed,
+                 std::size_t table_bytes = 512 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t tableBytes;
+    Addr in = 0, out = 0;
+    unsigned phase = 0;
+    Addr probeAddr = 0;
+};
+
+/**
+ * li: lisp interpreter.  Dependent-load cons-cell chases through a
+ * shuffled heap (latency-bound), punctuated by sequential GC sweeps.
+ */
+class LiLike : public SyntheticWorkload
+{
+  public:
+    LiLike(std::size_t mem_refs, std::uint64_t seed,
+           std::size_t heap_bytes = 96 * 1024,
+           unsigned chase_len = 32, unsigned sweep_every = 48);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    Addr cellAddr(std::uint64_t idx) const;
+
+    std::size_t heapBytes;
+    unsigned chaseLen, sweepEvery;
+    std::uint64_t cur = 0;
+    unsigned chaseLeft = 0;
+    unsigned chases = 0;
+    std::size_t sweepLeft = 0;
+    Addr sweepCursor = 0;
+};
+
+/**
+ * perl: interpreter.  Random probes into a hash a few times the L1
+ * size, sequential string scans, and a hot, cache-resident dispatch
+ * table.
+ */
+class PerlLike : public SyntheticWorkload
+{
+  public:
+    PerlLike(std::size_t mem_refs, std::uint64_t seed,
+             std::size_t hash_bytes = 48 * 1024,
+             std::size_t string_bytes = 256 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t hashBytes, stringBytes;
+    Addr scan = 0;
+    Addr hashCursor = 0;
+    unsigned phase = 0;
+};
+
+/**
+ * m88ksim: microprocessor simulator.  A small, hot simulated machine
+ * state (register file, decode tables) plus bursty accesses into the
+ * simulated memory image — the classic low-miss-rate SPECint member.
+ */
+class M88ksimLike : public SyntheticWorkload
+{
+  public:
+    M88ksimLike(std::size_t mem_refs, std::uint64_t seed,
+                std::size_t image_bytes = 256 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t imageBytes;
+    Addr imgCursor = 0;
+    unsigned burst = 0;
+    unsigned phase = 0;
+};
+
+/**
+ * ijpeg: image compression.  8x8-blocked DCT sweeps over an image
+ * whose row stride spreads each block over eight cache sets, with
+ * hot quantization tables and a sequential output stream.
+ */
+class IjpegLike : public SyntheticWorkload
+{
+  public:
+    IjpegLike(std::size_t mem_refs, std::uint64_t seed,
+              std::size_t image_rows = 512,
+              std::size_t image_cols = 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t imgRows, imgCols;
+    std::size_t blockRow = 0, blockCol = 0;
+    unsigned px = 0;       ///< pixel within the 8x8 block
+    unsigned phase = 0;
+    Addr out = 0;
+};
+
+/**
+ * vortex: object database.  Random two-line object reads over a large
+ * store, plus a metadata index and a transaction log laid out to
+ * collide in the L1 and touched alternately per transaction — the
+ * kind of structural conflict a victim cache eats for breakfast.
+ */
+class VortexLike : public SyntheticWorkload
+{
+  public:
+    VortexLike(std::size_t mem_refs, std::uint64_t seed,
+               std::size_t store_bytes = 4 * 1024 * 1024,
+               std::size_t meta_bytes = 32 * 1024);
+
+  protected:
+    MemRecord genMem() override;
+    void restart() override;
+
+  private:
+    std::size_t storeBytes, metaBytes;
+    unsigned phase = 0;
+    Addr objAddr = 0;
+    Addr metaIdx = 0;
+};
+
+} // namespace ccm
+
+#endif // CCM_WORKLOADS_INT_WORKLOADS_HH

@@ -1,0 +1,70 @@
+#include "workloads/registry.hh"
+
+#include "workloads/fp_workloads.hh"
+#include "workloads/int_workloads.hh"
+
+namespace ccm
+{
+
+namespace
+{
+
+template <typename T>
+WorkloadSpec
+spec(const std::string &name, bool fp)
+{
+    return WorkloadSpec{
+        name, fp,
+        [](std::size_t refs, std::uint64_t seed)
+            -> std::unique_ptr<TraceSource> {
+            return std::make_unique<T>(refs, seed);
+        }};
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+workloadSuite()
+{
+    static const std::vector<WorkloadSpec> suite = {
+        spec<TomcatvLike>("tomcatv", true),
+        spec<SwimLike>("swim", true),
+        spec<Su2corLike>("su2cor", true),
+        spec<Hydro2dLike>("hydro2d", true),
+        spec<MgridLike>("mgrid", true),
+        spec<AppluLike>("applu", true),
+        spec<Turb3dLike>("turb3d", true),
+        spec<Wave5Like>("wave5", true),
+        spec<GoLike>("go", false),
+        spec<M88ksimLike>("m88ksim", false),
+        spec<GccLike>("gcc", false),
+        spec<CompressLike>("compress", false),
+        spec<LiLike>("li", false),
+        spec<IjpegLike>("ijpeg", false),
+        spec<PerlLike>("perl", false),
+        spec<VortexLike>("vortex", false),
+    };
+    return suite;
+}
+
+std::unique_ptr<TraceSource>
+makeWorkload(const std::string &name, std::size_t mem_refs,
+             std::uint64_t seed)
+{
+    for (const auto &s : workloadSuite()) {
+        if (s.name == name)
+            return s.make(mem_refs, seed);
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &s : workloadSuite())
+        names.push_back(s.name);
+    return names;
+}
+
+} // namespace ccm

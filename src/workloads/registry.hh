@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The workload registry: named factories for the full SPEC95-inspired
+ * suite, so benches/examples can iterate "every workload" the way the
+ * paper iterates its benchmark suite.
+ */
+
+#ifndef CCM_WORKLOADS_REGISTRY_HH
+#define CCM_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace ccm
+{
+
+/** Factory signature: (memory references, seed) -> generator. */
+using WorkloadFactory = std::function<
+    std::unique_ptr<TraceSource>(std::size_t mem_refs,
+                                 std::uint64_t seed)>;
+
+/** One registered workload. */
+struct WorkloadSpec
+{
+    std::string name;
+    bool floatingPoint;
+    WorkloadFactory make;
+};
+
+/** The full suite, in canonical (paper-style) order: FP then INT. */
+const std::vector<WorkloadSpec> &workloadSuite();
+
+/**
+ * Instantiate a workload by name.
+ * @return nullptr when the name is unknown
+ */
+std::unique_ptr<TraceSource> makeWorkload(const std::string &name,
+                                          std::size_t mem_refs,
+                                          std::uint64_t seed);
+
+/** Names of every workload in suite order. */
+std::vector<std::string> workloadNames();
+
+} // namespace ccm
+
+#endif // CCM_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for MCT-biased replacement in set-associative caches
+ * (§5.6 application).
+ */
+
+#include <gtest/gtest.h>
+
+#include "assoc/biased_cache.hh"
+
+namespace ccm
+{
+namespace
+{
+
+/** 2 sets x 2 ways x 64B. */
+CacheGeometry
+geom2w()
+{
+    return CacheGeometry(256, 2, 64);
+}
+
+Addr
+mkAddr(const CacheGeometry &g, std::size_t set, Addr t)
+{
+    return g.buildLineAddr(t, set);
+}
+
+TEST(Biased, HitMissBasics)
+{
+    BiasedAssocCache c(geom2w(), true);
+    EXPECT_FALSE(c.access(0x0, false).hit);
+    EXPECT_TRUE(c.access(0x0, false).hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_NEAR(c.missRate(), 0.5, 1e-12);
+}
+
+TEST(Biased, ConflictClassificationFollowsMct)
+{
+    CacheGeometry g = geom2w();
+    BiasedAssocCache c(g, true);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.access(a, false);
+    c.access(b, false);
+    BiasedAccess res = c.access(d, false);   // evicts a (LRU)
+    EXPECT_FALSE(res.wasConflict);
+    ASSERT_TRUE(res.evictedValid);
+    EXPECT_EQ(res.evictedLineAddr, a);
+    // a's re-miss matches the recorded eviction: conflict.
+    res = c.access(a, false);
+    EXPECT_TRUE(res.wasConflict);
+}
+
+TEST(Biased, BiasEvictsCapacityLineOverLruConflictLine)
+{
+    CacheGeometry g = geom2w();
+    BiasedAssocCache c(g, true);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+
+    // Get a resident WITH its conflict bit: fill, evict, refill.
+    c.access(a, false);
+    c.access(b, false);
+    c.access(d, false);      // evicts a
+    c.access(a, false);      // conflict: a back with bit set,
+                             // evicting b (LRU); set = {d, a}
+    // Touch a so d is LRU... actually make a the LRU to force the
+    // interesting case: touch d.
+    c.access(d, false);      // hit; a is now LRU but has the bit
+    BiasedAccess res = c.access(mkAddr(g, 0, 4), false);
+    ASSERT_TRUE(res.evictedValid);
+    // Plain LRU would evict a; the bias protects it and evicts d.
+    EXPECT_EQ(res.evictedLineAddr, d);
+    EXPECT_TRUE(res.biasApplied);
+    EXPECT_EQ(c.biasOverrides(), 1u);
+    EXPECT_TRUE(c.access(a, false).hit);
+}
+
+TEST(Biased, UnbiasedBaselineUsesPlainLru)
+{
+    CacheGeometry g = geom2w();
+    BiasedAssocCache c(g, false);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.access(a, false);
+    c.access(b, false);
+    c.access(d, false);
+    c.access(a, false);
+    c.access(d, false);
+    BiasedAccess res = c.access(mkAddr(g, 0, 4), false);
+    ASSERT_TRUE(res.evictedValid);
+    EXPECT_EQ(res.evictedLineAddr, a);   // plain LRU
+    EXPECT_EQ(c.biasOverrides(), 0u);
+}
+
+TEST(Biased, AllProtectedFallsBackToLru)
+{
+    CacheGeometry g = geom2w();
+    BiasedAssocCache c(g, true);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
+    // Make both residents conflict-marked: ping them in.
+    c.access(a, false);
+    c.access(b, false);
+    c.access(mkAddr(g, 0, 3), false);    // evict a
+    c.access(a, false);                  // conflict; bit set
+    c.access(b, false);                  // hit or conflict refill
+    // Force b to also be conflict-marked.
+    c.access(mkAddr(g, 0, 5), false);
+    c.access(b, false);
+    // Now a miss must still find a victim (plain LRU among all).
+    BiasedAccess res = c.access(mkAddr(g, 0, 6), false);
+    EXPECT_TRUE(res.evictedValid);
+}
+
+TEST(Biased, StreamingThroughConflictSetIsCheapWithBias)
+{
+    // A protected hot pair + a stream: with bias, stream lines evict
+    // each other, not the pair.
+    CacheGeometry g = geom2w();
+    BiasedAssocCache c(g, true);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
+    c.access(a, false);
+    c.access(b, false);
+    c.access(mkAddr(g, 0, 9), false);   // evict a
+    c.access(a, false);                 // a back, conflict bit
+    // Stream 10 single-use lines through the set.
+    for (Addr t = 20; t < 30; ++t)
+        c.access(mkAddr(g, 0, t), false);
+    // a survived the stream.
+    EXPECT_TRUE(c.access(a, false).hit);
+}
+
+TEST(Biased, ClearResets)
+{
+    BiasedAssocCache c(geom2w(), true);
+    c.access(0x0, false);
+    c.clear();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.access(0x0, false).hit);
+}
+
+} // namespace
+} // namespace ccm

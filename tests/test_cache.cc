@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache: hits/misses, replacement
+ * policies, conflict bits, victim selection, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/random.hh"
+
+namespace ccm
+{
+namespace
+{
+
+/** Tiny 2-set, 2-way cache: easy to reason about exactly. */
+CacheGeometry
+tinyGeom()
+{
+    return CacheGeometry(256, 2, 64);  // 2 sets x 2 ways x 64B
+}
+
+/** Address in set @p set with tag index @p t. */
+Addr
+mkAddr(const CacheGeometry &g, std::size_t set, Addr t)
+{
+    return g.buildLineAddr(t, set);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tinyGeom());
+    EXPECT_FALSE(c.access(0x0, false));
+    c.fill(0x0, false, false);
+    EXPECT_TRUE(c.access(0x0, false));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, HitAnywhereInLine)
+{
+    Cache c(tinyGeom());
+    c.fill(0x40, false, false);
+    EXPECT_TRUE(c.access(0x40, false));
+    EXPECT_TRUE(c.access(0x7F, false));
+    EXPECT_FALSE(c.access(0x80, false));
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.fill(a, false, false);
+    c.fill(b, false, false);
+    // a is LRU.  Probing a must not refresh it.
+    EXPECT_NE(c.probe(a), nullptr);
+    FillResult ev = c.fill(d, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, a);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.fill(a, false, false);
+    c.fill(b, false, false);
+    c.access(a, false);          // refresh a; b becomes LRU
+    FillResult ev = c.fill(d, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, b);
+    EXPECT_NE(c.probe(a), nullptr);
+    EXPECT_NE(c.probe(d), nullptr);
+}
+
+TEST(Cache, FifoIgnoresAccessRecency)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g, ReplPolicy::Fifo);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.fill(a, false, false);
+    c.fill(b, false, false);
+    c.access(a, false);          // would save a under LRU
+    FillResult ev = c.fill(d, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, a);   // FIFO still evicts the oldest fill
+}
+
+TEST(Cache, RandomReplacementEvictsSomeValidWay)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g, ReplPolicy::Random, 99);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.fill(a, false, false);
+    c.fill(b, false, false);
+    FillResult ev = c.fill(d, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.lineAddr == a || ev.lineAddr == b);
+    EXPECT_NE(c.probe(d), nullptr);
+}
+
+TEST(Cache, EmptyWayUsedBeforeEviction)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
+    EXPECT_FALSE(c.fill(a, false, false).valid);
+    EXPECT_FALSE(c.fill(b, false, false).valid);
+    EXPECT_NE(c.probe(a), nullptr);
+    EXPECT_NE(c.probe(b), nullptr);
+}
+
+TEST(Cache, VictimForMatchesSubsequentFill)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 1, 1), b = mkAddr(g, 1, 2), d = mkAddr(g, 1, 3);
+    c.fill(a, false, false);
+    c.fill(b, false, false);
+    const CacheLine *victim = c.victimFor(d);
+    ASSERT_NE(victim, nullptr);
+    Addr predicted = g.buildLineAddr(victim->tag, g.setIndex(d));
+    FillResult ev = c.fill(d, false, false);
+    EXPECT_EQ(ev.lineAddr, predicted);
+}
+
+TEST(Cache, VictimForNullWhenSetHasRoom)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    c.fill(mkAddr(g, 0, 1), false, false);
+    EXPECT_EQ(c.victimFor(mkAddr(g, 0, 2)), nullptr);
+}
+
+TEST(Cache, ConflictBitStoredAndEvicted)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1);
+    c.fill(a, true, false);
+    EXPECT_TRUE(c.probe(a)->conflictBit);
+
+    Addr b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.fill(b, false, false);
+    FillResult ev = c.fill(d, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, a);
+    EXPECT_TRUE(ev.conflictBit);
+}
+
+TEST(Cache, StoreSetsDirtyAndEvictionReportsIt)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1);
+    c.fill(a, false, false);
+    c.access(a, true);   // dirtying store hit
+    Addr b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    c.fill(b, false, false);
+    FillResult ev = c.fill(d, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, FillWithStoreIsDirty)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    c.fill(mkAddr(g, 0, 1), false, true);
+    EXPECT_TRUE(c.probe(mkAddr(g, 0, 1))->dirty);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1);
+    c.fill(a, false, false);
+    EXPECT_TRUE(c.invalidate(a));
+    EXPECT_EQ(c.probe(a), nullptr);
+    EXPECT_FALSE(c.invalidate(a));
+}
+
+TEST(Cache, OccupancyTracksFills)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    EXPECT_EQ(c.occupancy(), 0u);
+    c.fill(mkAddr(g, 0, 1), false, false);
+    c.fill(mkAddr(g, 1, 1), false, false);
+    EXPECT_EQ(c.occupancy(), 2u);
+    c.invalidate(mkAddr(g, 0, 1));
+    EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(Cache, ClearResetsEverything)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    c.fill(mkAddr(g, 0, 1), false, false);
+    c.access(mkAddr(g, 0, 1), false);
+    c.clear();
+    EXPECT_EQ(c.occupancy(), 0u);
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_EQ(c.fills(), 0u);
+}
+
+TEST(Cache, FillWayPlacesExactly)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 7);
+    c.fillWay(a, 1, true, false);
+    EXPECT_TRUE(c.lineAt(0, 1).valid);
+    EXPECT_FALSE(c.lineAt(0, 0).valid);
+    EXPECT_EQ(c.lineAddrAt(0, 1), a);
+    EXPECT_EQ(c.lineAddrAt(0, 0), invalidAddr);
+}
+
+TEST(Cache, FindLineAllowsBitMutation)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1);
+    c.fill(a, false, false);
+    CacheLine *l = c.findLine(a);
+    ASSERT_NE(l, nullptr);
+    l->conflictBit = true;
+    EXPECT_TRUE(c.probe(a)->conflictBit);
+}
+
+TEST(Cache, MissRateComputation)
+{
+    CacheGeometry g = tinyGeom();
+    Cache c(g);
+    Addr a = mkAddr(g, 0, 1);
+    c.access(a, false);          // miss
+    c.fill(a, false, false);
+    c.access(a, false);          // hit
+    c.access(a, false);          // hit
+    EXPECT_NEAR(c.missRate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(CacheDeath, FillWayOutOfRange)
+{
+    Cache c(tinyGeom());
+    EXPECT_DEATH(c.fillWay(0, 5, false, false), "out of range");
+}
+
+TEST(CacheDeath, LineAtOutOfRange)
+{
+    Cache c(tinyGeom());
+    EXPECT_DEATH(c.lineAt(99, 0), "out of range");
+}
+
+/**
+ * Property sweep: a direct-mapped cache of N lines, accessed with a
+ * cyclic pattern of N+1 distinct lines mapping to distinct sets,
+ * never hits (classic capacity thrash), while a pattern of N lines
+ * always hits after warmup.
+ */
+class CacheThrash : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CacheThrash, ExactWorkingSetFits)
+{
+    std::size_t cache_bytes = GetParam();
+    CacheGeometry g(cache_bytes, 1, 64);
+    Cache c(g);
+    std::size_t n = g.numLines();
+
+    // Warmup: one pass over exactly n distinct lines.
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr a = i * 64;
+        if (!c.access(a, false))
+            c.fill(a, false, false);
+    }
+    // Every subsequent pass hits.
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(c.access(i * 64, false));
+    }
+}
+
+TEST_P(CacheThrash, AliasedLinesAlwaysMiss)
+{
+    std::size_t cache_bytes = GetParam();
+    CacheGeometry g(cache_bytes, 1, 64);
+    Cache c(g);
+    // Two lines 1 cache-size apart ping-pong forever.
+    Addr a = 0x40, b = a + cache_bytes;
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(c.access(a, false));
+        c.fill(a, false, false);
+        EXPECT_FALSE(c.access(b, false));
+        c.fill(b, false, false);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheThrash,
+                         ::testing::Values(1024, 4096, 16 * 1024));
+
+/**
+ * Reference-model property test: under a random access/fill/
+ * invalidate mix, the cache's hit/miss outcomes and LRU choices
+ * match a straightforward per-set model.
+ */
+class CacheModelCheck
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>>
+{
+};
+
+TEST_P(CacheModelCheck, MatchesReferenceModel)
+{
+    auto [bytes, assoc] = GetParam();
+    CacheGeometry g(bytes, assoc, 64);
+    Cache cache(g);
+
+    // Reference: per set, a recency-ordered list (front = MRU).
+    std::vector<std::list<Addr>> model(g.numSets());
+    auto model_find = [&](Addr line) {
+        auto &s = model[g.setIndex(line)];
+        return std::find(s.begin(), s.end(), line);
+    };
+
+    Pcg32 rng(77);
+    for (int step = 0; step < 30000; ++step) {
+        Addr line =
+            (Addr(rng.below(64)) * bytes / 4) & ~Addr{63};
+        auto &s = model[g.setIndex(line)];
+        switch (rng.below(4)) {
+          case 0:
+          case 1: {  // access
+            bool hit = cache.access(line, false);
+            auto it = model_find(line);
+            EXPECT_EQ(hit, it != s.end());
+            if (it != s.end()) {
+                s.erase(it);
+                s.push_front(line);
+            }
+            break;
+          }
+          case 2: {  // fill (if not resident)
+            if (model_find(line) != s.end())
+                break;
+            FillResult ev = cache.fill(line, false, false);
+            if (s.size() == assoc) {
+                ASSERT_TRUE(ev.valid);
+                EXPECT_EQ(ev.lineAddr, s.back());  // LRU victim
+                s.pop_back();
+            } else {
+                EXPECT_FALSE(ev.valid);
+            }
+            s.push_front(line);
+            break;
+          }
+          default: {  // invalidate
+            bool had = model_find(line) != s.end();
+            EXPECT_EQ(cache.invalidate(line), had);
+            if (had)
+                s.erase(model_find(line));
+            break;
+          }
+        }
+    }
+
+    // Final residency agrees exactly.
+    std::size_t model_lines = 0;
+    for (const auto &s : model) {
+        model_lines += s.size();
+        for (Addr line : s)
+            EXPECT_NE(cache.probe(line), nullptr);
+    }
+    EXPECT_EQ(cache.occupancy(), model_lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheModelCheck,
+    ::testing::Combine(::testing::Values(std::size_t{1024},
+                                         std::size_t{4096}),
+                       ::testing::Values(1u, 2u, 4u)));
+
+} // namespace
+} // namespace ccm

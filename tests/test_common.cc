@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, the PCG32 generator, the
+ * statistics helpers and the text-table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace ccm
+{
+namespace
+{
+
+// ---- bitutil ------------------------------------------------------
+
+TEST(BitUtil, PowerOfTwoDetection)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(65));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(16 * 1024), 14u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(BitUtil, FloorLog2RoundsDown)
+{
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(63), 5u);
+    EXPECT_EQ(floorLog2(65), 6u);
+}
+
+TEST(BitUtil, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xFFu);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+    EXPECT_EQ(lowMask(65), ~std::uint64_t{0});
+}
+
+TEST(BitUtil, BitField)
+{
+    EXPECT_EQ(bitField(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bitField(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bitField(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(bitField(~std::uint64_t{0}, 10, 3), 0x7u);
+}
+
+// ---- Pcg32 --------------------------------------------------------
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BelowStaysInRange)
+{
+    Pcg32 g(42);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(g.below(17), 17u);
+}
+
+TEST(Pcg32, BelowCoversRange)
+{
+    Pcg32 g(42);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[g.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 g(42);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = g.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, ChanceMatchesProbability)
+{
+    Pcg32 g(42);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += g.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+// ---- stats --------------------------------------------------------
+
+TEST(Stats, CounterIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, SafeRatioHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(1, 2), 0.5);
+}
+
+TEST(Stats, PctScales)
+{
+    EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(pct(0, 0), 0.0);
+}
+
+TEST(Stats, GroupRegistersAndDumps)
+{
+    StatGroup g("l1");
+    Counter &hits = g.add("hits");
+    Counter &misses = g.add("misses");
+    ++hits;
+    ++hits;
+    ++misses;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "l1.hits 2\nl1.misses 1\n");
+    g.resetAll();
+    EXPECT_EQ(hits.value(), 0u);
+    EXPECT_EQ(misses.value(), 0u);
+}
+
+// ---- TextTable ----------------------------------------------------
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "v"});
+    auto r = t.addRow("x");
+    t.setNum(r, 1, 1.5, 1);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumericPrecision)
+{
+    TextTable t({"r", "v"});
+    auto r = t.addRow("a");
+    t.setNum(r, 1, 3.14159, 3);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, RowAndColCounts)
+{
+    TextTable t({"a", "b", "c"});
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow("r1");
+    t.addRow("r2");
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableDeath, OutOfRangeCellPanics)
+{
+    TextTable t({"a", "b"});
+    t.addRow("r");
+    EXPECT_DEATH(t.set(0, 5, "x"), "out of range");
+    EXPECT_DEATH(t.set(3, 0, "x"), "out of range");
+}
+
+} // namespace
+} // namespace ccm

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the experiment driver: the named §5 configurations,
+ * speedup math, determinism, and the stats dump format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "trace/vector_trace.hh"
+#include "workloads/registry.hh"
+
+namespace ccm
+{
+namespace
+{
+
+TEST(Configs, BaselineMatchesPaperSection4)
+{
+    SystemConfig cfg = baselineConfig();
+    EXPECT_EQ(cfg.mem.l1Bytes, 16u * 1024);
+    EXPECT_EQ(cfg.mem.l1Assoc, 1u);
+    EXPECT_EQ(cfg.mem.lineBytes, 64u);
+    EXPECT_EQ(cfg.mem.l1Banks, 8u);
+    EXPECT_EQ(cfg.mem.l2Bytes, 1024u * 1024);
+    EXPECT_EQ(cfg.mem.l2Assoc, 2u);
+    EXPECT_EQ(cfg.mem.l2Latency, 20u);
+    EXPECT_EQ(cfg.mem.memLatency, 100u);
+    EXPECT_EQ(cfg.mem.mshrs, 16u);
+    EXPECT_EQ(cfg.mem.bufEntries, 8u);
+    EXPECT_EQ(cfg.mem.mode, AssistMode::None);
+    EXPECT_EQ(cfg.core.fetchWidth, 8u);
+    EXPECT_EQ(cfg.core.robSize, 64u);
+    EXPECT_EQ(cfg.core.loadStoreUnits, 4u);
+    EXPECT_EQ(cfg.core.pipelineFill, 7u);
+}
+
+TEST(Configs, VictimConfigSetsPolicy)
+{
+    SystemConfig cfg = victimConfig(true, false, ConflictFilter::And);
+    EXPECT_EQ(cfg.mem.mode, AssistMode::VictimCache);
+    EXPECT_TRUE(cfg.mem.victim.filterSwaps);
+    EXPECT_FALSE(cfg.mem.victim.filterFills);
+    EXPECT_EQ(cfg.mem.victim.filter, ConflictFilter::And);
+}
+
+TEST(Configs, ExcludeUsesSixteenEntries)
+{
+    // "The Johnson algorithm ... did poorly with an 8-entry buffer,
+    // which is why we use the slightly larger structure here."
+    SystemConfig cfg = excludeConfig(ExcludeAlgo::Mat);
+    EXPECT_EQ(cfg.mem.bufEntries, 16u);
+    EXPECT_EQ(cfg.mem.exclude.algo, ExcludeAlgo::Mat);
+}
+
+TEST(Configs, AmbPresetsComposeComponents)
+{
+    SystemConfig cfg = ambConfig(true, false, true, 16);
+    EXPECT_EQ(cfg.mem.mode, AssistMode::Amb);
+    EXPECT_TRUE(cfg.mem.amb.victimConflicts);
+    EXPECT_FALSE(cfg.mem.amb.prefetchCapacity);
+    EXPECT_TRUE(cfg.mem.amb.excludeCapacity);
+    EXPECT_EQ(cfg.mem.bufEntries, 16u);
+}
+
+TEST(Configs, SingleBestVariants)
+{
+    EXPECT_TRUE(ambSingleVict().mem.victim.filterSwaps);
+    EXPECT_TRUE(ambSingleVict().mem.victim.filterFills);
+    EXPECT_TRUE(ambSinglePref().mem.prefetch.filtered);
+    EXPECT_EQ(ambSingleExcl().mem.exclude.algo,
+              ExcludeAlgo::Capacity);
+}
+
+TEST(Configs, TwoWayAndPseudo)
+{
+    EXPECT_EQ(twoWayConfig().mem.l1Assoc, 2u);
+    EXPECT_EQ(pseudoConfig(true).mem.mode, AssistMode::PseudoAssoc);
+    EXPECT_TRUE(pseudoConfig(true).mem.pseudoUseMct);
+    EXPECT_FALSE(pseudoConfig(false).mem.pseudoUseMct);
+}
+
+TEST(Experiment, SpeedupMath)
+{
+    RunOutput base, test;
+    base.sim.cycles = 200;
+    test.sim.cycles = 100;
+    EXPECT_DOUBLE_EQ(speedup(base, test), 2.0);
+    test.sim.cycles = 0;
+    EXPECT_DOUBLE_EQ(speedup(base, test), 0.0);
+}
+
+TEST(Experiment, RunTimingDeterministic)
+{
+    auto wl = makeWorkload("perl", 5000, 3);
+    VectorTrace t = VectorTrace::capture(*wl);
+    RunOutput a = runTiming(t, ambConfig(true, true, true));
+    RunOutput b = runTiming(t, ambConfig(true, true, true));
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.mem.excluded, b.mem.excluded);
+    EXPECT_EQ(a.mem.prefIssued, b.mem.prefIssued);
+}
+
+TEST(Experiment, StatsDumpFormat)
+{
+    auto wl = makeWorkload("go", 2000, 3);
+    VectorTrace t = VectorTrace::capture(*wl);
+    RunOutput r = runTiming(t, victimConfig(false, false));
+    std::ostringstream os;
+    r.mem.dump(os, "test");
+    std::string s = os.str();
+    EXPECT_NE(s.find("test.accesses 2000"), std::string::npos);
+    EXPECT_NE(s.find("test.l1_hits "), std::string::npos);
+    EXPECT_NE(s.find("test.swaps "), std::string::npos);
+    // One line per counter, all prefixed.
+    std::size_t lines = 0, pos = 0;
+    while ((pos = s.find('\n', pos)) != std::string::npos) {
+        ++lines;
+        ++pos;
+    }
+    EXPECT_EQ(lines, 25u);
+}
+
+TEST(Experiment, RunOutputCarriesBothViews)
+{
+    auto wl = makeWorkload("swim", 4000, 1);
+    VectorTrace t = VectorTrace::capture(*wl);
+    RunOutput r = runTiming(t, baselineConfig());
+    EXPECT_EQ(r.sim.memRefs, 4000u);
+    EXPECT_EQ(r.mem.accesses, 4000u);
+    EXPECT_GT(r.sim.cycles, 0u);
+}
+
+} // namespace
+} // namespace ccm

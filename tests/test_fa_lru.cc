@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit + property tests for the fully-associative LRU structure used
+ * by the oracle classifier and the assist buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_set>
+
+#include "cache/fa_lru.hh"
+#include "common/random.hh"
+
+namespace ccm
+{
+namespace
+{
+
+TEST(FaLru, InsertAndContains)
+{
+    FaLru f(4);
+    EXPECT_FALSE(f.contains(0x40));
+    EXPECT_FALSE(f.insert(0x40).has_value());
+    EXPECT_TRUE(f.contains(0x40));
+    EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(FaLru, EvictsLruWhenFull)
+{
+    FaLru f(3);
+    f.insert(1);
+    f.insert(2);
+    f.insert(3);
+    EXPECT_TRUE(f.full());
+    auto ev = f.insert(4);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(*ev, 1u);
+    EXPECT_FALSE(f.contains(1));
+    EXPECT_TRUE(f.contains(4));
+}
+
+TEST(FaLru, TouchMovesToMru)
+{
+    FaLru f(3);
+    f.insert(1);
+    f.insert(2);
+    f.insert(3);
+    EXPECT_TRUE(f.touch(1));          // 1 now MRU; 2 is LRU
+    auto ev = f.insert(4);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(*ev, 2u);
+    EXPECT_TRUE(f.contains(1));
+}
+
+TEST(FaLru, TouchMissReturnsFalse)
+{
+    FaLru f(2);
+    EXPECT_FALSE(f.touch(42));
+}
+
+TEST(FaLru, EraseFreesSlot)
+{
+    FaLru f(2);
+    f.insert(1);
+    f.insert(2);
+    EXPECT_TRUE(f.erase(1));
+    EXPECT_FALSE(f.erase(1));
+    EXPECT_FALSE(f.insert(3).has_value());  // no eviction needed
+    EXPECT_TRUE(f.contains(2));
+    EXPECT_TRUE(f.contains(3));
+}
+
+TEST(FaLru, LruLineReportsOldest)
+{
+    FaLru f(3);
+    EXPECT_FALSE(f.lruLine().has_value());
+    f.insert(10);
+    f.insert(20);
+    EXPECT_EQ(*f.lruLine(), 10u);
+    f.touch(10);
+    EXPECT_EQ(*f.lruLine(), 20u);
+}
+
+TEST(FaLru, ClearEmpties)
+{
+    FaLru f(2);
+    f.insert(1);
+    f.clear();
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_FALSE(f.contains(1));
+}
+
+TEST(FaLruDeath, ZeroCapacityRejected)
+{
+    EXPECT_DEATH(FaLru{0}, "capacity");
+}
+
+TEST(FaLruDeath, DoubleInsertPanics)
+{
+    FaLru f(2);
+    f.insert(1);
+    EXPECT_DEATH(f.insert(1), "resident");
+}
+
+/**
+ * Property test: FaLru behaves identically to a reference
+ * std::list-based LRU model under a random operation mix, for several
+ * capacities.
+ */
+class FaLruProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FaLruProperty, MatchesReferenceModel)
+{
+    const std::size_t cap = GetParam();
+    FaLru f(cap);
+
+    std::list<Addr> ref;  // front = MRU
+    auto ref_contains = [&](Addr a) {
+        for (Addr x : ref)
+            if (x == a)
+                return true;
+        return false;
+    };
+
+    Pcg32 rng(2024);
+    for (int step = 0; step < 20000; ++step) {
+        Addr a = rng.below(static_cast<std::uint32_t>(cap * 3));
+        switch (rng.below(3)) {
+          case 0: {  // access (touch-or-insert)
+            bool hit = f.touch(a);
+            EXPECT_EQ(hit, ref_contains(a));
+            if (hit) {
+                ref.remove(a);
+                ref.push_front(a);
+            } else {
+                auto ev = f.insert(a);
+                if (ref.size() == cap) {
+                    ASSERT_TRUE(ev.has_value());
+                    EXPECT_EQ(*ev, ref.back());
+                    ref.pop_back();
+                } else {
+                    EXPECT_FALSE(ev.has_value());
+                }
+                ref.push_front(a);
+            }
+            break;
+          }
+          case 1: {  // erase
+            bool had = ref_contains(a);
+            EXPECT_EQ(f.erase(a), had);
+            if (had)
+                ref.remove(a);
+            break;
+          }
+          default: {  // read-only checks
+            EXPECT_EQ(f.contains(a), ref_contains(a));
+            EXPECT_EQ(f.size(), ref.size());
+            if (!ref.empty()) {
+                EXPECT_EQ(*f.lruLine(), ref.back());
+            }
+            break;
+          }
+        }
+        ASSERT_LE(f.size(), cap);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, FaLruProperty,
+                         ::testing::Values(1, 2, 8, 64, 256));
+
+} // namespace
+} // namespace ccm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for CacheGeometry: address decomposition, derived sizes,
+ * and validation, swept over the paper's cache configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+
+namespace ccm
+{
+namespace
+{
+
+TEST(Geometry, PaperDefaultL1)
+{
+    CacheGeometry g(16 * 1024, 1, 64);
+    EXPECT_EQ(g.numSets(), 256u);
+    EXPECT_EQ(g.numLines(), 256u);
+    EXPECT_EQ(g.offsetBits(), 6u);
+    EXPECT_EQ(g.setBits(), 8u);
+}
+
+TEST(Geometry, PaperL2)
+{
+    CacheGeometry g(1024 * 1024, 2, 64);
+    EXPECT_EQ(g.numSets(), 8192u);
+    EXPECT_EQ(g.numLines(), 16384u);
+}
+
+TEST(Geometry, LineAddrClearsOffset)
+{
+    CacheGeometry g(16 * 1024, 1, 64);
+    EXPECT_EQ(g.lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(g.lineAddr(0x12340), 0x12340u);
+    EXPECT_EQ(g.lineAddr(0x1237F), 0x12340u);
+}
+
+TEST(Geometry, SetIndexWraps)
+{
+    CacheGeometry g(16 * 1024, 1, 64);
+    // Addresses 16KB apart map to the same set.
+    EXPECT_EQ(g.setIndex(0x100), g.setIndex(0x100 + 16 * 1024));
+    EXPECT_NE(g.setIndex(0x100), g.setIndex(0x100 + 8 * 1024));
+}
+
+TEST(Geometry, TagDistinguishesAliases)
+{
+    CacheGeometry g(16 * 1024, 1, 64);
+    Addr a = 0x100;
+    Addr b = a + 16 * 1024;
+    EXPECT_EQ(g.setIndex(a), g.setIndex(b));
+    EXPECT_NE(g.tag(a), g.tag(b));
+}
+
+TEST(Geometry, BuildLineAddrInvertsDecomposition)
+{
+    CacheGeometry g(64 * 1024, 2, 64);
+    for (Addr a : {Addr{0}, Addr{0x40}, Addr{0xdeadbe80},
+                   Addr{0x123456789ABCC0}}) {
+        Addr line = g.lineAddr(a);
+        EXPECT_EQ(g.buildLineAddr(g.tag(a), g.setIndex(a)), line);
+    }
+}
+
+TEST(Geometry, Describe)
+{
+    EXPECT_EQ(CacheGeometry(16 * 1024, 1, 64).describe(),
+              "16KB/1way/64B");
+    EXPECT_EQ(CacheGeometry(1024 * 1024, 2, 64).describe(),
+              "1024KB/2way/64B");
+    EXPECT_EQ(CacheGeometry(512, 1, 64).describe(), "512B/1way/64B");
+}
+
+TEST(GeometryDeath, RejectsNonPowerOfTwoSize)
+{
+    EXPECT_DEATH(CacheGeometry(15000, 1, 64), "power of two");
+}
+
+TEST(GeometryDeath, RejectsNonPowerOfTwoLine)
+{
+    EXPECT_DEATH(CacheGeometry(16 * 1024, 1, 60), "power of two");
+}
+
+TEST(GeometryDeath, RejectsZeroAssoc)
+{
+    EXPECT_DEATH(CacheGeometry(16 * 1024, 0, 64), "associativity");
+}
+
+/** Parameterized sweep over the paper's Figure 1 configurations. */
+class GeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>>
+{
+};
+
+TEST_P(GeometrySweep, InvariantsHold)
+{
+    auto [bytes, assoc] = GetParam();
+    CacheGeometry g(bytes, assoc, 64);
+    EXPECT_EQ(g.numSets() * g.assoc() * g.lineBytes(), bytes);
+    EXPECT_EQ(g.sizeBytes(), bytes);
+
+    // Every address's (tag, set) round-trips to its line address.
+    for (Addr a = 0; a < 4 * bytes; a += 4096 + 64) {
+        EXPECT_EQ(g.buildLineAddr(g.tag(a), g.setIndex(a)),
+                  g.lineAddr(a));
+        EXPECT_LT(g.setIndex(a), g.numSets());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig1Configs, GeometrySweep,
+    ::testing::Combine(::testing::Values(std::size_t{16 * 1024},
+                                         std::size_t{64 * 1024},
+                                         std::size_t{1024 * 1024}),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+} // namespace
+} // namespace ccm

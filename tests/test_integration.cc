@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Cross-module integration tests: full timing runs over the workload
+ * suite for every §5 architecture, checking system-level invariants
+ * and the qualitative relationships the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mct/classify_run.hh"
+#include "sim/experiment.hh"
+#include "trace/vector_trace.hh"
+#include "workloads/registry.hh"
+
+namespace ccm
+{
+namespace
+{
+
+constexpr std::size_t refs = 30000;
+
+VectorTrace
+capture(const std::string &name)
+{
+    auto wl = makeWorkload(name, refs, 42);
+    return VectorTrace::capture(*wl);
+}
+
+// ---- invariants over (workload x architecture) ---------------------
+
+struct ModeSpec
+{
+    const char *label;
+    SystemConfig cfg;
+};
+
+std::vector<ModeSpec>
+allModes()
+{
+    return {
+        {"baseline", baselineConfig()},
+        {"victim", victimConfig(false, false)},
+        {"victim-filtered", victimConfig(true, true)},
+        {"prefetch", prefetchConfig(false)},
+        {"prefetch-filtered", prefetchConfig(true)},
+        {"exclude-capacity", excludeConfig(ExcludeAlgo::Capacity)},
+        {"exclude-mat", excludeConfig(ExcludeAlgo::Mat)},
+        {"pseudo", pseudoConfig(true)},
+        {"two-way", twoWayConfig()},
+        {"amb-victpref", ambConfig(true, true, false)},
+        {"amb-all", ambConfig(true, true, true)},
+    };
+}
+
+class ArchWorkload
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(ArchWorkload, StatsInvariantsHold)
+{
+    auto [wl_name, mode_idx] = GetParam();
+    ModeSpec mode = allModes()[mode_idx];
+    VectorTrace trace = capture(wl_name);
+    RunOutput r = runTiming(trace, mode.cfg);
+
+    const MemStats &st = r.mem;
+    EXPECT_EQ(st.accesses, refs) << mode.label;
+    EXPECT_EQ(st.loads + st.stores, st.accesses);
+    EXPECT_EQ(st.l1Hits + st.l1Misses, st.accesses);
+    EXPECT_LE(st.bufHits(), st.l1Misses);
+    EXPECT_EQ(st.conflictMisses + st.capacityMisses, st.l1Misses);
+    EXPECT_LE(st.prefUseful, st.prefIssued);
+    EXPECT_LE(st.prefWasted, st.prefIssued);
+
+    EXPECT_GT(r.sim.cycles, 0u);
+    EXPECT_EQ(r.sim.memRefs, refs);
+    EXPECT_GT(r.sim.ipc, 0.0);
+    EXPECT_LE(r.sim.ipc, 8.0);
+
+    // Timing runs are deterministic.
+    RunOutput again = runTiming(trace, mode.cfg);
+    EXPECT_EQ(again.sim.cycles, r.sim.cycles);
+    EXPECT_EQ(again.mem.l1Misses, st.l1Misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ArchWorkload,
+    ::testing::Combine(::testing::Values("tomcatv", "swim", "go",
+                                         "compress", "li"),
+                       ::testing::Range(0, 11)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---- qualitative paper relationships -------------------------------
+
+TEST(Integration, TwoWayBeatsDirectMappedOnConflictHeavyCode)
+{
+    VectorTrace t = capture("tomcatv");
+    RunOutput dm = runTiming(t, baselineConfig());
+    RunOutput tw = runTiming(t, twoWayConfig());
+    EXPECT_LT(tw.mem.l1Misses, dm.mem.l1Misses);
+}
+
+TEST(Integration, VictimCacheCatchesTomcatvConflicts)
+{
+    VectorTrace t = capture("tomcatv");
+    RunOutput base = runTiming(t, baselineConfig());
+    RunOutput vict = runTiming(t, victimConfig(true, true));
+    // A large share of the misses become buffer hits.
+    EXPECT_GT(vict.mem.bufHits(), vict.mem.l1Misses / 4);
+    EXPECT_GT(speedup(base, vict), 1.0);
+}
+
+TEST(Integration, VictimCacheBarelyHelpsStreamingCode)
+{
+    VectorTrace t = capture("swim");
+    RunOutput vict = runTiming(t, victimConfig(false, false));
+    EXPECT_LT(vict.mem.bufHitRatePct(), 1.0);
+}
+
+TEST(Integration, PrefetchCoversStreamingCode)
+{
+    VectorTrace t = capture("swim");
+    RunOutput base = runTiming(t, baselineConfig());
+    RunOutput pref = runTiming(t, prefetchConfig(false));
+    EXPECT_GT(pref.mem.prefAccuracyPct(), 95.0);
+    EXPECT_GT(pref.mem.prefCoveragePct(), 90.0);
+    EXPECT_GT(speedup(base, pref), 1.0);
+}
+
+TEST(Integration, FilteringRaisesPrefetchAccuracy)
+{
+    // On a conflict-heavy workload, or-conflict filtering cuts
+    // useless prefetches.
+    VectorTrace t = capture("go");
+    RunOutput plain = runTiming(t, prefetchConfig(false));
+    RunOutput filt =
+        runTiming(t, prefetchConfig(true, ConflictFilter::Or));
+    EXPECT_GT(filt.mem.prefAccuracyPct(),
+              plain.mem.prefAccuracyPct());
+    EXPECT_LT(filt.mem.prefIssued, plain.mem.prefIssued);
+}
+
+TEST(Integration, NoSwapPolicyEliminatesSwaps)
+{
+    VectorTrace t = capture("tomcatv");
+    RunOutput trad = runTiming(t, victimConfig(false, false));
+    RunOutput noswap = runTiming(t, victimConfig(true, false));
+    EXPECT_GT(trad.mem.swaps, 0u);
+    EXPECT_LT(noswap.mem.swapRatePct(),
+              trad.mem.swapRatePct() / 5.0);
+    // Hits shift from the data cache into the buffer.
+    EXPECT_GE(noswap.mem.bufHitRatePct(), trad.mem.bufHitRatePct());
+}
+
+TEST(Integration, FillFilterCutsFills)
+{
+    VectorTrace t = capture("compress");
+    RunOutput trad = runTiming(t, victimConfig(false, false));
+    RunOutput nofill = runTiming(t, victimConfig(false, true));
+    EXPECT_LT(nofill.mem.victimFills, trad.mem.victimFills);
+}
+
+TEST(Integration, CapacityExclusionRaisesTotalHitRate)
+{
+    VectorTrace t = capture("compress");
+    RunOutput base = runTiming(t, baselineConfig());
+    RunOutput excl = runTiming(t, excludeConfig(ExcludeAlgo::Capacity));
+    EXPECT_GT(excl.mem.totalHitRatePct(),
+              base.mem.totalHitRatePct());
+}
+
+TEST(Integration, AmbBeatsSinglePoliciesOnMixedWorkload)
+{
+    // tomcatv has both conflict misses (victim fodder) and capacity
+    // misses (prefetch fodder): the combination wins (Figure 6).
+    VectorTrace t = capture("tomcatv");
+    RunOutput base = runTiming(t, baselineConfig());
+    double vict = speedup(base, runTiming(t, ambSingleVict()));
+    double pref = speedup(base, runTiming(t, ambSinglePref()));
+    double both = speedup(base, runTiming(t, ambConfig(true, true,
+                                                       false)));
+    EXPECT_GT(both, vict);
+    EXPECT_GT(both, pref);
+}
+
+TEST(Integration, PseudoAssocTracksTwoWayMissRate)
+{
+    for (const char *name : {"tomcatv", "go"}) {
+        VectorTrace t = capture(name);
+        RunOutput ps = runTiming(t, pseudoConfig(false));
+        RunOutput tw = runTiming(t, twoWayConfig());
+        double ps_miss = pct(ps.mem.l1Misses, ps.mem.accesses);
+        double tw_miss = pct(tw.mem.l1Misses, tw.mem.accesses);
+        EXPECT_NEAR(ps_miss, tw_miss, 3.0) << name;
+    }
+}
+
+TEST(Integration, MctAccuracyHighOnSuiteSample)
+{
+    // The headline claim: the vast majority of misses classified in
+    // agreement with the classic definition.
+    for (const char *name : {"tomcatv", "compress", "vortex"}) {
+        auto wl = makeWorkload(name, 100000, 42);
+        ClassifyConfig cfg;
+        ClassifyResult res = classifyRun(*wl, cfg);
+        EXPECT_GT(res.scorer.overallAccuracy(), 80.0) << name;
+    }
+}
+
+TEST(Integration, SlowBusHurtsEveryone)
+{
+    VectorTrace t = capture("swim");
+    SystemConfig fast = baselineConfig();
+    SystemConfig slow = baselineConfig();
+    slow.mem.busCyclesPerTransfer = 16;
+    RunOutput rf = runTiming(t, fast);
+    RunOutput rs = runTiming(t, slow);
+    EXPECT_GT(rs.sim.cycles, rf.sim.cycles);
+}
+
+TEST(Integration, LargerBufferNeverHurtsMuch)
+{
+    VectorTrace t = capture("li");
+    RunOutput b8 = runTiming(t, ambConfig(true, true, true, 8));
+    RunOutput b16 = runTiming(t, ambConfig(true, true, true, 16));
+    EXPECT_GE(b16.mem.totalHitRatePct(),
+              b8.mem.totalHitRatePct() - 0.5);
+}
+
+} // namespace
+} // namespace ccm

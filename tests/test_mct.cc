@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the Miss Classification Table — the paper's core
+ * mechanism — and the four conflict filters of §3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mct/mct.hh"
+
+namespace ccm
+{
+namespace
+{
+
+TEST(Mct, ColdTableClassifiesCapacity)
+{
+    MissClassificationTable mct(4);
+    EXPECT_EQ(mct.classify(0, 0x123), MissClass::Capacity);
+    EXPECT_FALSE(mct.isConflictMiss(2, 0x7));
+}
+
+TEST(Mct, MatchingEvictedTagIsConflict)
+{
+    MissClassificationTable mct(4);
+    mct.recordEviction(1, 0xAB);
+    EXPECT_EQ(mct.classify(1, 0xAB), MissClass::Conflict);
+    EXPECT_EQ(mct.classify(1, 0xAC), MissClass::Capacity);
+    // Other sets unaffected.
+    EXPECT_EQ(mct.classify(0, 0xAB), MissClass::Capacity);
+}
+
+TEST(Mct, OnlyMostRecentEvictionRemembered)
+{
+    MissClassificationTable mct(2);
+    mct.recordEviction(0, 0x1);
+    mct.recordEviction(0, 0x2);
+    EXPECT_EQ(mct.classify(0, 0x1), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(0, 0x2), MissClass::Conflict);
+}
+
+TEST(Mct, PaperScenario)
+{
+    // "Cache line B is accessed, resulting in a cache miss, and
+    //  evicts line A from the cache.  The next miss to the same cache
+    //  set is an access to line A.  The second miss is a conflict
+    //  miss."
+    MissClassificationTable mct(256);
+    const std::size_t set = 17;
+    const Addr tag_a = 100, tag_b = 200;
+    // B misses, evicting A:
+    EXPECT_EQ(mct.classify(set, tag_b), MissClass::Capacity);
+    mct.recordEviction(set, tag_a);
+    // A misses next: conflict.
+    EXPECT_EQ(mct.classify(set, tag_a), MissClass::Conflict);
+}
+
+TEST(Mct, InvalidateEntryForgetsSet)
+{
+    MissClassificationTable mct(4);
+    mct.recordEviction(3, 0x9);
+    mct.invalidateEntry(3);
+    EXPECT_EQ(mct.classify(3, 0x9), MissClass::Capacity);
+}
+
+TEST(Mct, ClearForgetsEverything)
+{
+    MissClassificationTable mct(4);
+    mct.recordEviction(0, 1);
+    mct.recordEviction(1, 2);
+    mct.clear();
+    EXPECT_EQ(mct.classify(0, 1), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(1, 2), MissClass::Capacity);
+}
+
+TEST(Mct, PartialTagsMatchOnLowBits)
+{
+    MissClassificationTable mct(4, 8);
+    mct.recordEviction(0, 0xABCD);
+    // Same low 8 bits -> (false) conflict match.
+    EXPECT_EQ(mct.classify(0, 0xFFCD), MissClass::Conflict);
+    // Different low bits -> capacity.
+    EXPECT_EQ(mct.classify(0, 0xABCE), MissClass::Capacity);
+}
+
+TEST(Mct, FullTagHasNoFalseMatches)
+{
+    MissClassificationTable mct(4, 0);
+    mct.recordEviction(0, 0xABCD);
+    EXPECT_EQ(mct.classify(0, 0xFFCD), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(0, 0xABCD), MissClass::Conflict);
+}
+
+TEST(Mct, SingleBitTagMatchesHalfTheTags)
+{
+    MissClassificationTable mct(1, 1);
+    mct.recordEviction(0, 0x0);
+    EXPECT_EQ(mct.classify(0, 0x2), MissClass::Conflict);  // even
+    EXPECT_EQ(mct.classify(0, 0x3), MissClass::Capacity);  // odd
+}
+
+TEST(Mct, StorageBitsAccounting)
+{
+    // 10 bits + valid, 256 sets -> paper's "1.25KB of storage for a
+    // direct-mapped 64KB cache" is (10+...) per entry; we count the
+    // valid bit explicitly.
+    MissClassificationTable mct(256, 10);
+    EXPECT_EQ(mct.storageBits(), 256u * 11u);
+    MissClassificationTable full(256, 0);
+    EXPECT_EQ(full.storageBits(), 256u * 65u);
+}
+
+TEST(Mct, TagBitsAccessor)
+{
+    EXPECT_EQ(MissClassificationTable(4, 12).tagBits(), 12u);
+    EXPECT_EQ(MissClassificationTable(4).tagBits(), 0u);
+}
+
+TEST(MctDeath, ZeroSetsRejected)
+{
+    EXPECT_DEATH(MissClassificationTable(0), "at least one");
+}
+
+TEST(MctDeath, OversizedTagRejected)
+{
+    EXPECT_DEATH(MissClassificationTable(4, 65), "out of range");
+}
+
+// ---- conflict filters (§3) ----------------------------------------
+
+TEST(Filters, InUsesEvictedBitOnly)
+{
+    using F = ConflictFilter;
+    EXPECT_TRUE(filterSaysConflict(F::In, false, true));
+    EXPECT_FALSE(filterSaysConflict(F::In, true, false));
+}
+
+TEST(Filters, OutUsesNewMissOnly)
+{
+    using F = ConflictFilter;
+    EXPECT_TRUE(filterSaysConflict(F::Out, true, false));
+    EXPECT_FALSE(filterSaysConflict(F::Out, false, true));
+}
+
+TEST(Filters, AndRequiresBoth)
+{
+    using F = ConflictFilter;
+    EXPECT_TRUE(filterSaysConflict(F::And, true, true));
+    EXPECT_FALSE(filterSaysConflict(F::And, true, false));
+    EXPECT_FALSE(filterSaysConflict(F::And, false, true));
+    EXPECT_FALSE(filterSaysConflict(F::And, false, false));
+}
+
+TEST(Filters, OrAcceptsEither)
+{
+    using F = ConflictFilter;
+    EXPECT_TRUE(filterSaysConflict(F::Or, true, false));
+    EXPECT_TRUE(filterSaysConflict(F::Or, false, true));
+    EXPECT_TRUE(filterSaysConflict(F::Or, true, true));
+    EXPECT_FALSE(filterSaysConflict(F::Or, false, false));
+}
+
+TEST(Filters, OrIsMostLiberalAndMostConservative)
+{
+    // For every input combination: And => Out/In => Or (implication
+    // chain the policies rely on).
+    using F = ConflictFilter;
+    for (bool n : {false, true}) {
+        for (bool e : {false, true}) {
+            if (filterSaysConflict(F::And, n, e)) {
+                EXPECT_TRUE(filterSaysConflict(F::Out, n, e));
+                EXPECT_TRUE(filterSaysConflict(F::In, n, e));
+            }
+            if (filterSaysConflict(F::Out, n, e) ||
+                filterSaysConflict(F::In, n, e)) {
+                EXPECT_TRUE(filterSaysConflict(F::Or, n, e));
+            }
+        }
+    }
+}
+
+TEST(Filters, Names)
+{
+    EXPECT_EQ(toString(ConflictFilter::In), "in-conflict");
+    EXPECT_EQ(toString(ConflictFilter::Out), "out-conflict");
+    EXPECT_EQ(toString(ConflictFilter::And), "and-conflict");
+    EXPECT_EQ(toString(ConflictFilter::Or), "or-conflict");
+}
+
+TEST(MissClassNames, ToString)
+{
+    EXPECT_EQ(toString(MissClass::Conflict), "conflict");
+    EXPECT_EQ(toString(MissClass::Capacity), "capacity");
+    EXPECT_EQ(toString(MissClass::Compulsory), "compulsory");
+    EXPECT_TRUE(isConflict(MissClass::Conflict));
+    EXPECT_FALSE(isConflict(MissClass::Compulsory));
+}
+
+/** Tag-width sweep: with w bits the false-match rate over random
+ *  tags is ~2^-w. */
+class MctTagWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MctTagWidth, FalseMatchRateShrinksWithWidth)
+{
+    unsigned bits = GetParam();
+    MissClassificationTable mct(1, bits);
+    mct.recordEviction(0, 0x12345678);
+
+    // Count matches over tags differing from the stored one.
+    unsigned matches = 0;
+    const unsigned trials = 4096;
+    for (unsigned i = 1; i <= trials; ++i) {
+        Addr t = 0x12345678 ^ (i * 2654435761u);
+        if (mct.classify(0, t) == MissClass::Conflict)
+            ++matches;
+    }
+    double rate = double(matches) / trials;
+    double expected =
+        (bits == 0 || bits >= 12) ? 0.0 : 1.0 / double(1u << bits);
+    EXPECT_NEAR(rate, expected, expected * 0.5 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MctTagWidth,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 0));
+
+} // namespace
+} // namespace ccm

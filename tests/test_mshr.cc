@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the MSHR file and the occupancy resource pools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/mshr.hh"
+#include "hierarchy/resource.hh"
+
+namespace ccm
+{
+namespace
+{
+
+// ---- MshrFile -------------------------------------------------------
+
+TEST(Mshr, AllocateAndMerge)
+{
+    MshrFile m(4);
+    m.allocate(0x40, 100);
+    auto ready = m.inFlight(0x40);
+    ASSERT_TRUE(ready.has_value());
+    EXPECT_EQ(*ready, 100u);
+    EXPECT_FALSE(m.inFlight(0x80).has_value());
+    EXPECT_EQ(m.occupancy(), 1u);
+}
+
+TEST(Mshr, ExpireRetiresCompleted)
+{
+    MshrFile m(4);
+    m.allocate(0x40, 100);
+    m.allocate(0x80, 200);
+    m.expire(99);
+    EXPECT_EQ(m.occupancy(), 2u);
+    m.expire(100);
+    EXPECT_EQ(m.occupancy(), 1u);
+    EXPECT_FALSE(m.inFlight(0x40).has_value());
+    m.expire(500);
+    EXPECT_EQ(m.occupancy(), 0u);
+}
+
+TEST(Mshr, FullAndEarliest)
+{
+    MshrFile m(2);
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.earliestReady(), 0u);
+    m.allocate(0x40, 150);
+    m.allocate(0x80, 120);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.earliestReady(), 120u);
+}
+
+TEST(Mshr, PaperCapacity)
+{
+    MshrFile m(16);
+    for (unsigned i = 0; i < 16; ++i)
+        m.allocate(i * 64, 100 + i);
+    EXPECT_TRUE(m.full());
+    m.expire(100);
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.occupancy(), 15u);
+}
+
+TEST(Mshr, ClearEmpties)
+{
+    MshrFile m(4);
+    m.allocate(0x40, 10);
+    m.clear();
+    EXPECT_EQ(m.occupancy(), 0u);
+}
+
+TEST(MshrDeath, ZeroEntriesRejected)
+{
+    EXPECT_DEATH(MshrFile{0}, "at least one");
+}
+
+TEST(MshrDeath, AllocateWhileFullPanics)
+{
+    MshrFile m(1);
+    m.allocate(0x40, 10);
+    EXPECT_DEATH(m.allocate(0x80, 20), "full");
+}
+
+// ---- ResourcePool ---------------------------------------------------
+
+TEST(Resource, FreeUnitStartsImmediately)
+{
+    ResourcePool p(2);
+    EXPECT_EQ(p.acquire(10, 3), 10u);
+}
+
+TEST(Resource, PicksEarliestFreeUnit)
+{
+    ResourcePool p(2);
+    p.acquire(0, 10);   // unit busy until 10
+    p.acquire(0, 4);    // second unit until 4
+    // Third request at t=0 waits for the unit freeing at 4.
+    EXPECT_EQ(p.acquire(0, 1), 4u);
+}
+
+TEST(Resource, SerializesOnSingleUnit)
+{
+    ResourcePool p(1);
+    EXPECT_EQ(p.acquire(0, 5), 0u);
+    EXPECT_EQ(p.acquire(0, 5), 5u);
+    EXPECT_EQ(p.acquire(3, 5), 10u);
+    EXPECT_EQ(p.acquire(100, 5), 100u);
+}
+
+TEST(Resource, AcquireUnitTargetsSpecificUnit)
+{
+    ResourcePool p(4);
+    EXPECT_EQ(p.acquireUnit(2, 0, 10), 0u);
+    EXPECT_EQ(p.acquireUnit(2, 0, 1), 10u);   // same bank: waits
+    EXPECT_EQ(p.acquireUnit(3, 0, 1), 0u);    // other bank: free
+}
+
+TEST(Resource, ResetFrees)
+{
+    ResourcePool p(1);
+    p.acquire(0, 100);
+    p.reset();
+    EXPECT_EQ(p.acquire(0, 1), 0u);
+}
+
+TEST(Resource, UnitsAccessor)
+{
+    EXPECT_EQ(ResourcePool(8).units(), 8u);
+}
+
+} // namespace
+} // namespace ccm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the classic-definition (Hill) oracle classifier and
+ * the accuracy scorer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mct/accuracy.hh"
+#include "mct/oracle.hh"
+
+namespace ccm
+{
+namespace
+{
+
+TEST(Oracle, FirstTouchIsCompulsory)
+{
+    OracleClassifier o(4);
+    EXPECT_EQ(o.observe(0x40, true), MissClass::Compulsory);
+}
+
+TEST(Oracle, RecentLineMissIsConflict)
+{
+    OracleClassifier o(4);
+    o.observe(0x40, true);   // compulsory; now in FA model
+    // The real cache misses 0x40 again while the FA model still holds
+    // it: a conflict miss.
+    EXPECT_EQ(o.observe(0x40, true), MissClass::Conflict);
+}
+
+TEST(Oracle, EvictedFromFaIsCapacity)
+{
+    OracleClassifier o(2);   // tiny FA model
+    o.observe(0x000, true);
+    o.observe(0x040, true);
+    o.observe(0x080, true);  // evicts 0x000 from the FA model
+    EXPECT_EQ(o.observe(0x000, true), MissClass::Capacity);
+}
+
+TEST(Oracle, HitsStillUpdateFaRecency)
+{
+    OracleClassifier o(2);
+    o.observe(0x000, true);
+    o.observe(0x040, true);
+    o.observe(0x000, false);  // real-cache hit refreshes 0x000
+    o.observe(0x080, true);   // evicts 0x040 (LRU), not 0x000
+    EXPECT_EQ(o.observe(0x000, true), MissClass::Conflict);
+    EXPECT_EQ(o.observe(0x040, true), MissClass::Capacity);
+}
+
+TEST(Oracle, FaOccupancyBounded)
+{
+    OracleClassifier o(3);
+    for (Addr a = 0; a < 100 * 64; a += 64)
+        o.observe(a, true);
+    EXPECT_LE(o.faOccupancy(), 3u);
+}
+
+TEST(Oracle, ClearForgetsSeenSet)
+{
+    OracleClassifier o(4);
+    o.observe(0x40, true);
+    o.clear();
+    EXPECT_EQ(o.observe(0x40, true), MissClass::Compulsory);
+}
+
+TEST(Oracle, WorkingSetLargerThanFaIsCapacity)
+{
+    // Cyclic sweep over twice the FA capacity: after warmup, every
+    // miss is a capacity miss (the defining anti-conflict pattern).
+    OracleClassifier o(8);
+    for (int pass = 0; pass < 3; ++pass) {
+        for (Addr a = 0; a < 16 * 64; a += 64) {
+            MissClass c = o.observe(a, true);
+            if (pass > 0) {
+                EXPECT_EQ(c, MissClass::Capacity);
+            }
+        }
+    }
+}
+
+// ---- AccuracyScorer ------------------------------------------------
+
+TEST(Accuracy, PerfectAgreement)
+{
+    AccuracyScorer s;
+    s.record(MissClass::Conflict, MissClass::Conflict);
+    s.record(MissClass::Capacity, MissClass::Capacity);
+    EXPECT_DOUBLE_EQ(s.conflictAccuracy(), 100.0);
+    EXPECT_DOUBLE_EQ(s.capacityAccuracy(), 100.0);
+    EXPECT_DOUBLE_EQ(s.overallAccuracy(), 100.0);
+}
+
+TEST(Accuracy, ConfusionMatrixMath)
+{
+    AccuracyScorer s;
+    // 3 oracle conflicts: 2 identified, 1 missed.
+    s.record(MissClass::Conflict, MissClass::Conflict);
+    s.record(MissClass::Conflict, MissClass::Conflict);
+    s.record(MissClass::Capacity, MissClass::Conflict);
+    // 2 oracle capacities: 1 identified, 1 wrongly conflict.
+    s.record(MissClass::Capacity, MissClass::Capacity);
+    s.record(MissClass::Conflict, MissClass::Capacity);
+
+    EXPECT_NEAR(s.conflictAccuracy(), 200.0 / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.capacityAccuracy(), 50.0);
+    EXPECT_DOUBLE_EQ(s.overallAccuracy(), 60.0);
+    EXPECT_EQ(s.oracleConflicts(), 3u);
+    EXPECT_EQ(s.oracleCapacities(), 2u);
+    EXPECT_EQ(s.totalMisses(), 5u);
+    EXPECT_DOUBLE_EQ(s.conflictFraction(), 0.6);
+}
+
+TEST(Accuracy, CompulsoryGroupsWithCapacity)
+{
+    AccuracyScorer s;
+    s.record(MissClass::Capacity, MissClass::Compulsory);
+    EXPECT_EQ(s.oracleCapacities(), 1u);
+    EXPECT_EQ(s.compulsoryMisses(), 1u);
+    EXPECT_DOUBLE_EQ(s.capacityAccuracy(), 100.0);
+}
+
+TEST(Accuracy, EmptyScorerIsZeroNotNan)
+{
+    AccuracyScorer s;
+    EXPECT_DOUBLE_EQ(s.conflictAccuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(s.capacityAccuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(s.overallAccuracy(), 0.0);
+}
+
+TEST(Accuracy, MergePoolsCounts)
+{
+    AccuracyScorer a, b;
+    a.record(MissClass::Conflict, MissClass::Conflict);
+    b.record(MissClass::Capacity, MissClass::Conflict);
+    b.record(MissClass::Capacity, MissClass::Capacity);
+    a.merge(b);
+    EXPECT_EQ(a.totalMisses(), 3u);
+    EXPECT_DOUBLE_EQ(a.conflictAccuracy(), 50.0);
+    EXPECT_DOUBLE_EQ(a.capacityAccuracy(), 100.0);
+}
+
+TEST(Accuracy, ClearResets)
+{
+    AccuracyScorer s;
+    s.record(MissClass::Conflict, MissClass::Conflict);
+    s.clear();
+    EXPECT_EQ(s.totalMisses(), 0u);
+}
+
+} // namespace
+} // namespace ccm

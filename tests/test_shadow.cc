@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the k-deep shadow directory (the MCT
+ * generalization).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mct/shadow.hh"
+
+namespace ccm
+{
+namespace
+{
+
+TEST(Shadow, DepthOneMatchesMctSemantics)
+{
+    ShadowDirectory sd(4, 1);
+    EXPECT_EQ(sd.classify(0, 0x1), MissClass::Capacity);
+    sd.recordEviction(0, 0x1);
+    EXPECT_EQ(sd.classify(0, 0x1), MissClass::Conflict);
+    sd.recordEviction(0, 0x2);
+    EXPECT_EQ(sd.classify(0, 0x1), MissClass::Capacity);
+    EXPECT_EQ(sd.classify(0, 0x2), MissClass::Conflict);
+}
+
+TEST(Shadow, DeeperDirectoryRemembersMore)
+{
+    ShadowDirectory sd(4, 3);
+    sd.recordEviction(0, 0x1);
+    sd.recordEviction(0, 0x2);
+    sd.recordEviction(0, 0x3);
+    EXPECT_TRUE(sd.isConflictMiss(0, 0x1));
+    EXPECT_TRUE(sd.isConflictMiss(0, 0x2));
+    EXPECT_TRUE(sd.isConflictMiss(0, 0x3));
+    EXPECT_FALSE(sd.isConflictMiss(0, 0x4));
+    // A fourth eviction pushes the oldest out.
+    sd.recordEviction(0, 0x4);
+    EXPECT_FALSE(sd.isConflictMiss(0, 0x1));
+    EXPECT_TRUE(sd.isConflictMiss(0, 0x4));
+}
+
+TEST(Shadow, MatchDepthReportsPosition)
+{
+    ShadowDirectory sd(2, 4);
+    sd.recordEviction(1, 0xA);
+    sd.recordEviction(1, 0xB);
+    sd.recordEviction(1, 0xC);
+    EXPECT_EQ(sd.matchDepth(1, 0xC), 1u);   // most recent
+    EXPECT_EQ(sd.matchDepth(1, 0xB), 2u);
+    EXPECT_EQ(sd.matchDepth(1, 0xA), 3u);
+    EXPECT_EQ(sd.matchDepth(1, 0xD), 0u);
+    EXPECT_EQ(sd.matchDepth(0, 0xA), 0u);   // other set
+}
+
+TEST(Shadow, ReEvictionMovesToFront)
+{
+    ShadowDirectory sd(1, 3);
+    sd.recordEviction(0, 0x1);
+    sd.recordEviction(0, 0x2);
+    sd.recordEviction(0, 0x1);   // 0x1 re-evicted: front, no dup
+    EXPECT_EQ(sd.matchDepth(0, 0x1), 1u);
+    EXPECT_EQ(sd.matchDepth(0, 0x2), 2u);
+    // Room still for a third distinct tag.
+    sd.recordEviction(0, 0x3);
+    EXPECT_TRUE(sd.isConflictMiss(0, 0x2));
+}
+
+TEST(Shadow, PartialTagsMask)
+{
+    ShadowDirectory sd(1, 2, 4);
+    sd.recordEviction(0, 0xAB);
+    EXPECT_TRUE(sd.isConflictMiss(0, 0xFB));   // low nibble matches
+    EXPECT_FALSE(sd.isConflictMiss(0, 0xAC));
+}
+
+TEST(Shadow, StorageBits)
+{
+    EXPECT_EQ(ShadowDirectory(256, 2, 10).storageBits(),
+              256u * 2u * 11u);
+    EXPECT_EQ(ShadowDirectory(4, 1, 0).storageBits(), 4u * 65u);
+}
+
+TEST(Shadow, ClearForgets)
+{
+    ShadowDirectory sd(2, 2);
+    sd.recordEviction(0, 0x1);
+    sd.clear();
+    EXPECT_FALSE(sd.isConflictMiss(0, 0x1));
+}
+
+TEST(ShadowDeath, BadParams)
+{
+    EXPECT_DEATH(ShadowDirectory(0, 1), "at least one");
+    EXPECT_DEATH(ShadowDirectory(4, 0), "depth");
+    EXPECT_DEATH(ShadowDirectory(4, 1, 70), "out of range");
+}
+
+/** Depth sweep: a cyclic pattern of k+1 tags in one set is fully
+ *  identified at depth k+... precisely, depth >= k. */
+class ShadowCycle : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ShadowCycle, CycleOfDepthPlusOneTagsNeedsDepth)
+{
+    unsigned k = GetParam();   // cycle length
+    // Simulate a DM set receiving a round-robin of k distinct tags:
+    // each miss on tag t evicts the previous resident.
+    auto run = [&](unsigned depth) {
+        ShadowDirectory sd(1, depth);
+        unsigned caught = 0, total = 0;
+        Addr resident = 0;     // tag currently "in the cache"
+        bool has_resident = false;
+        for (int i = 0; i < 100; ++i) {
+            Addr tag = 1 + (i % k);
+            if (has_resident && resident == tag)
+                continue;      // would be a hit
+            ++total;
+            if (i >= int(k) && sd.isConflictMiss(0, tag))
+                ++caught;
+            if (has_resident)
+                sd.recordEviction(0, resident);
+            resident = tag;
+            has_resident = true;
+        }
+        return std::pair<unsigned, unsigned>(caught, total);
+    };
+
+    // Depth k-1 catches the whole cycle; depth k-2 catches none of
+    // it (each tag was evicted exactly k-1 evictions ago).
+    auto [caught_hi, total_hi] = run(k - 1);
+    EXPECT_GT(caught_hi, 80u);
+    (void)total_hi;
+    if (k >= 3) {
+        auto [caught_lo, total_lo] = run(k - 2);
+        (void)total_lo;
+        EXPECT_EQ(caught_lo, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CycleLengths, ShadowCycle,
+                         ::testing::Values(2, 3, 4, 6, 8));
+
+} // namespace
+} // namespace ccm

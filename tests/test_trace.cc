@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the trace layer: records, in-memory traces, and the
+ * binary trace-file round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/file_trace.hh"
+#include "trace/vector_trace.hh"
+
+namespace ccm
+{
+namespace
+{
+
+TEST(MemRecord, TypePredicates)
+{
+    MemRecord r;
+    EXPECT_FALSE(r.isMem());
+    r.type = RecordType::Load;
+    EXPECT_TRUE(r.isMem());
+    EXPECT_TRUE(r.isLoad());
+    EXPECT_FALSE(r.isStore());
+    r.type = RecordType::Store;
+    EXPECT_TRUE(r.isStore());
+    EXPECT_FALSE(r.isLoad());
+}
+
+TEST(VectorTrace, PushAndReplay)
+{
+    VectorTrace t;
+    t.pushLoad(0x100);
+    t.pushStore(0x200);
+    t.pushNonMem(2);
+    EXPECT_EQ(t.size(), 4u);
+
+    MemRecord r;
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.addr, 0x100u);
+    EXPECT_TRUE(r.isLoad());
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.addr, 0x200u);
+    EXPECT_TRUE(r.isStore());
+    ASSERT_TRUE(t.next(r));
+    EXPECT_FALSE(r.isMem());
+    ASSERT_TRUE(t.next(r));
+    EXPECT_FALSE(t.next(r));
+}
+
+TEST(VectorTrace, ResetReplaysFromStart)
+{
+    VectorTrace t;
+    t.pushLoad(0xAAA);
+    MemRecord r;
+    ASSERT_TRUE(t.next(r));
+    ASSERT_FALSE(t.next(r));
+    t.reset();
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.addr, 0xAAAu);
+}
+
+TEST(VectorTrace, ExplicitPcIsKept)
+{
+    VectorTrace t;
+    t.pushLoad(0x100, 0x42);
+    MemRecord r;
+    ASSERT_TRUE(t.next(r));
+    EXPECT_EQ(r.pc, 0x42u);
+}
+
+TEST(VectorTrace, DefaultPcAdvances)
+{
+    VectorTrace t;
+    t.pushLoad(0x100);
+    t.pushLoad(0x200);
+    EXPECT_NE(t.at(0).pc, t.at(1).pc);
+}
+
+TEST(VectorTrace, CaptureCopiesSourceAndName)
+{
+    VectorTrace src({}, {});
+    src.setName("mini");
+    src.pushLoad(0x10);
+    src.pushStore(0x20);
+    VectorTrace copy = VectorTrace::capture(src);
+    EXPECT_EQ(copy.name(), "mini");
+    EXPECT_EQ(copy.size(), 2u);
+    EXPECT_EQ(copy.at(0).addr, 0x10u);
+    EXPECT_EQ(copy.at(1).addr, 0x20u);
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Unique per test: ctest runs suites in parallel.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path = ::testing::TempDir() + "ccm_trace_" +
+               info->name() + ".bin";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesRecords)
+{
+    {
+        TraceFileWriter w(path);
+        MemRecord r;
+        r.pc = 0x1000;
+        r.addr = 0xdeadbeef;
+        r.type = RecordType::Load;
+        r.dependsOnPrevLoad = true;
+        w.write(r);
+        r.pc = 0x1004;
+        r.addr = 0x12345678;
+        r.type = RecordType::Store;
+        r.dependsOnPrevLoad = false;
+        w.write(r);
+    }
+    TraceFileReader rd(path);
+    EXPECT_EQ(rd.size(), 2u);
+    MemRecord r;
+    ASSERT_TRUE(rd.next(r));
+    EXPECT_EQ(r.pc, 0x1000u);
+    EXPECT_EQ(r.addr, 0xdeadbeefu);
+    EXPECT_TRUE(r.isLoad());
+    EXPECT_TRUE(r.dependsOnPrevLoad);
+    ASSERT_TRUE(rd.next(r));
+    EXPECT_EQ(r.addr, 0x12345678u);
+    EXPECT_TRUE(r.isStore());
+    EXPECT_FALSE(r.dependsOnPrevLoad);
+    EXPECT_FALSE(rd.next(r));
+}
+
+TEST_F(TraceFileTest, WriteAllDrainsASource)
+{
+    VectorTrace src;
+    for (int i = 0; i < 100; ++i)
+        src.pushLoad(0x1000 + i * 64);
+    {
+        TraceFileWriter w(path);
+        EXPECT_EQ(w.writeAll(src), 100u);
+    }
+    TraceFileReader rd(path);
+    EXPECT_EQ(rd.size(), 100u);
+    MemRecord r;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(rd.next(r));
+        EXPECT_EQ(r.addr, 0x1000u + i * 64);
+    }
+}
+
+TEST_F(TraceFileTest, ReaderResets)
+{
+    {
+        TraceFileWriter w(path);
+        MemRecord r;
+        r.type = RecordType::Load;
+        r.addr = 0x40;
+        w.write(r);
+    }
+    TraceFileReader rd(path);
+    MemRecord r;
+    ASSERT_TRUE(rd.next(r));
+    ASSERT_FALSE(rd.next(r));
+    rd.reset();
+    ASSERT_TRUE(rd.next(r));
+    EXPECT_EQ(r.addr, 0x40u);
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(TraceFileReader("/nonexistent/nope.bin"),
+                 "cannot open");
+}
+
+TEST_F(TraceFileTest, BadMagicIsFatal)
+{
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fwrite("NOTATRACEFILE!!!", 1, 16, f);
+        std::fclose(f);
+    }
+    EXPECT_DEATH(TraceFileReader{path}, "bad trace magic");
+}
+
+TEST_F(TraceFileTest, TruncatedRecordIsFatal)
+{
+    {
+        TraceFileWriter w(path);
+        MemRecord r;
+        r.type = RecordType::Load;
+        w.write(r);
+    }
+    // Chop off the last byte.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long len = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), len - 1), 0);
+    EXPECT_DEATH(TraceFileReader{path}, "partial record");
+}
+
+} // namespace
+} // namespace ccm

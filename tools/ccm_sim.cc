@@ -1,0 +1,287 @@
+/**
+ * @file
+ * ccm-sim — command-line driver for the simulator: run any workload
+ * (synthetic or a binary trace file) against any architecture from
+ * paper §5 and print a full statistics report.
+ *
+ *   ccm-sim --workload tomcatv --arch victim --filter-swaps
+ *   ccm-sim --trace foo.bin --arch amb --victim --prefetch --exclude
+ *   ccm-sim --workload gcc --arch exclude --exclude-algo mat
+ *   ccm-sim --list
+ *
+ * Exit status 0 on success, 1 on usage errors.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "trace/file_trace.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace ccm;
+
+struct Options
+{
+    std::string workload = "tomcatv";
+    std::string tracePath;
+    std::string arch = "baseline";
+    std::size_t refs = 1'000'000;
+    std::uint64_t seed = 42;
+
+    // cache geometry
+    std::size_t l1Kb = 16;
+    unsigned l1Assoc = 1;
+    std::size_t l2Kb = 1024;
+    unsigned bufEntries = 8;
+    unsigned mctTagBits = 0;
+
+    // victim policy
+    bool filterSwaps = false;
+    bool filterFills = false;
+    std::string filter = "or";
+
+    // prefetch policy
+    bool prefFiltered = false;
+    std::string prefKind = "nextline";
+
+    // exclusion policy
+    std::string excludeAlgo = "capacity";
+
+    // AMB composition
+    bool ambVictim = false;
+    bool ambPrefetch = false;
+    bool ambExclude = false;
+
+    bool dumpRaw = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: ccm-sim [options]\n"
+        "  --list                     list synthetic workloads\n"
+        "  --workload NAME            synthetic workload (default "
+        "tomcatv)\n"
+        "  --trace PATH               binary trace file instead\n"
+        "  --refs N                   memory references (default 1M)\n"
+        "  --seed N                   workload seed (default 42)\n"
+        "  --arch A                   baseline | victim | prefetch |\n"
+        "                             exclude | pseudo | pseudo-lru |\n"
+        "                             twoway | amb\n"
+        "  --l1-kb N --l1-assoc N     L1 geometry (default 16, 1)\n"
+        "  --l2-kb N                  L2 size (default 1024)\n"
+        "  --buf-entries N            assist buffer entries\n"
+        "  --mct-bits N               stored tag bits (0 = full)\n"
+        "  --filter F                 in | out | and | or\n"
+        "  --filter-swaps             victim: no swap on conflict\n"
+        "  --filter-fills             victim: no fill on capacity\n"
+        "  --pref-filtered            prefetch: capacity-only\n"
+        "  --pref-kind K              nextline | rpt\n"
+        "  --exclude-algo A           mat | tyson | capacity |\n"
+        "                             conflict | cap-hist | conf-hist\n"
+        "  --victim --prefetch --exclude   AMB components\n"
+        "  --raw                      also dump raw counters\n";
+}
+
+ConflictFilter
+parseFilter(const std::string &f)
+{
+    if (f == "in")
+        return ConflictFilter::In;
+    if (f == "out")
+        return ConflictFilter::Out;
+    if (f == "and")
+        return ConflictFilter::And;
+    if (f == "or")
+        return ConflictFilter::Or;
+    std::cerr << "unknown filter '" << f << "'\n";
+    std::exit(1);
+}
+
+ExcludeAlgo
+parseExcludeAlgo(const std::string &a)
+{
+    if (a == "mat")
+        return ExcludeAlgo::Mat;
+    if (a == "tyson")
+        return ExcludeAlgo::TysonPc;
+    if (a == "capacity")
+        return ExcludeAlgo::Capacity;
+    if (a == "conflict")
+        return ExcludeAlgo::Conflict;
+    if (a == "cap-hist")
+        return ExcludeAlgo::CapacityHistory;
+    if (a == "conf-hist")
+        return ExcludeAlgo::ConflictHistory;
+    std::cerr << "unknown exclusion algorithm '" << a << "'\n";
+    std::exit(1);
+}
+
+SystemConfig
+buildConfig(const Options &o)
+{
+    SystemConfig cfg;
+    if (o.arch == "baseline") {
+        cfg = baselineConfig();
+    } else if (o.arch == "victim") {
+        cfg = victimConfig(o.filterSwaps, o.filterFills,
+                           parseFilter(o.filter));
+    } else if (o.arch == "prefetch") {
+        cfg = prefetchConfig(o.prefFiltered, parseFilter(o.filter));
+        cfg.mem.prefetch.kind = o.prefKind == "rpt"
+                                    ? PrefetchKind::Rpt
+                                    : PrefetchKind::NextLine;
+    } else if (o.arch == "exclude") {
+        cfg = excludeConfig(parseExcludeAlgo(o.excludeAlgo));
+    } else if (o.arch == "pseudo") {
+        cfg = pseudoConfig(true);
+    } else if (o.arch == "pseudo-lru") {
+        cfg = pseudoConfig(false);
+    } else if (o.arch == "twoway") {
+        cfg = twoWayConfig();
+    } else if (o.arch == "amb") {
+        cfg = ambConfig(o.ambVictim, o.ambPrefetch, o.ambExclude);
+    } else {
+        std::cerr << "unknown arch '" << o.arch << "'\n";
+        std::exit(1);
+    }
+
+    cfg.mem.l1Bytes = o.l1Kb * 1024;
+    if (o.arch == "twoway")
+        cfg.mem.l1Assoc = 2;
+    else if (o.arch != "pseudo" && o.arch != "pseudo-lru")
+        cfg.mem.l1Assoc = o.l1Assoc;
+    cfg.mem.l2Bytes = o.l2Kb * 1024;
+    cfg.mem.bufEntries = o.bufEntries;
+    cfg.mem.mctTagBits = o.mctTagBits;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << a << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--list") {
+            for (const auto &n : workloadNames())
+                std::cout << n << "\n";
+            return 0;
+        } else if (a == "--workload") {
+            o.workload = val();
+        } else if (a == "--trace") {
+            o.tracePath = val();
+        } else if (a == "--refs") {
+            o.refs = std::atol(val().c_str());
+        } else if (a == "--seed") {
+            o.seed = std::atol(val().c_str());
+        } else if (a == "--arch") {
+            o.arch = val();
+        } else if (a == "--l1-kb") {
+            o.l1Kb = std::atol(val().c_str());
+        } else if (a == "--l1-assoc") {
+            o.l1Assoc = std::atoi(val().c_str());
+        } else if (a == "--l2-kb") {
+            o.l2Kb = std::atol(val().c_str());
+        } else if (a == "--buf-entries") {
+            o.bufEntries = std::atoi(val().c_str());
+        } else if (a == "--mct-bits") {
+            o.mctTagBits = std::atoi(val().c_str());
+        } else if (a == "--filter") {
+            o.filter = val();
+        } else if (a == "--filter-swaps") {
+            o.filterSwaps = true;
+        } else if (a == "--filter-fills") {
+            o.filterFills = true;
+        } else if (a == "--pref-filtered") {
+            o.prefFiltered = true;
+        } else if (a == "--pref-kind") {
+            o.prefKind = val();
+        } else if (a == "--exclude-algo") {
+            o.excludeAlgo = val();
+        } else if (a == "--victim") {
+            o.ambVictim = true;
+        } else if (a == "--prefetch") {
+            o.ambPrefetch = true;
+        } else if (a == "--exclude") {
+            o.ambExclude = true;
+        } else if (a == "--raw") {
+            o.dumpRaw = true;
+        } else {
+            std::cerr << "unknown option '" << a << "'\n";
+            usage();
+            return 1;
+        }
+    }
+
+    using namespace ccm;
+
+    std::unique_ptr<TraceSource> src;
+    if (!o.tracePath.empty()) {
+        src = std::make_unique<TraceFileReader>(o.tracePath);
+    } else {
+        src = makeWorkload(o.workload, o.refs, o.seed);
+        if (!src) {
+            std::cerr << "unknown workload '" << o.workload
+                      << "' (try --list)\n";
+            return 1;
+        }
+    }
+
+    SystemConfig cfg = buildConfig(o);
+    RunOutput r = runTiming(*src, cfg);
+    const MemStats &m = r.mem;
+
+    std::cout << "== ccm-sim: " << src->name() << " on " << o.arch
+              << " ==\n"
+              << "instructions      " << r.sim.instructions << "\n"
+              << "memory refs       " << r.sim.memRefs << "\n"
+              << "cycles            " << r.sim.cycles << "\n"
+              << "ipc               " << r.sim.ipc << "\n\n"
+              << "L1 hit rate       " << m.l1HitRatePct() << "%\n"
+              << "buffer hit rate   " << m.bufHitRatePct() << "%\n"
+              << "total hit rate    " << m.totalHitRatePct() << "%\n"
+              << "miss rate         " << m.missRatePct() << "%\n"
+              << "conflict misses   " << m.conflictMisses << " ("
+              << pct(m.conflictMisses, m.l1Misses)
+              << "% of L1 misses)\n"
+              << "capacity misses   " << m.capacityMisses << "\n";
+    if (m.swaps || m.victimFills)
+        std::cout << "swaps/fills       " << m.swapRatePct() << "% / "
+                  << m.fillRatePct() << "% of accesses\n";
+    if (m.prefIssued)
+        std::cout << "prefetch acc/cov  " << m.prefAccuracyPct()
+                  << "% / " << m.prefCoveragePct() << "%\n";
+    if (m.excluded)
+        std::cout << "excluded lines    " << m.excluded << "\n";
+    if (m.pseudoSecondaryHits)
+        std::cout << "pseudo 1st/2nd    " << m.pseudoPrimaryHits
+                  << " / " << m.pseudoSecondaryHits << "\n";
+
+    if (o.dumpRaw) {
+        std::cout << "\n";
+        m.dump(std::cout);
+    }
+    return 0;
+}

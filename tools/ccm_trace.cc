@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ccm-trace — trace-file utility: generate binary traces from the
+ * synthetic workloads, and inspect existing trace files.
+ *
+ *   ccm-trace gen tomcatv out.bin --refs 1000000 --seed 7
+ *   ccm-trace info out.bin
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "trace/file_trace.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+int
+cmdGen(int argc, char **argv)
+{
+    using namespace ccm;
+    if (argc < 4) {
+        std::cerr << "usage: ccm-trace gen WORKLOAD OUT.bin "
+                  << "[--refs N] [--seed N]\n";
+        return 1;
+    }
+    std::string name = argv[2];
+    std::string path = argv[3];
+    std::size_t refs = 1'000'000;
+    std::uint64_t seed = 42;
+    for (int i = 4; i + 1 < argc; i += 2) {
+        std::string a = argv[i];
+        if (a == "--refs")
+            refs = std::atol(argv[i + 1]);
+        else if (a == "--seed")
+            seed = std::atol(argv[i + 1]);
+    }
+
+    auto wl = makeWorkload(name, refs, seed);
+    if (!wl) {
+        std::cerr << "unknown workload '" << name << "'\n";
+        return 1;
+    }
+    TraceFileWriter writer(path);
+    std::size_t n = writer.writeAll(*wl);
+    std::cout << "wrote " << n << " records (" << refs
+              << " memory refs) to " << path << "\n";
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    using namespace ccm;
+    if (argc < 3) {
+        std::cerr << "usage: ccm-trace info TRACE.bin\n";
+        return 1;
+    }
+    TraceFileReader rd(argv[2]);
+    std::size_t loads = 0, stores = 0, nonmem = 0, deps = 0;
+    Addr lo = invalidAddr, hi = 0;
+    MemRecord r;
+    while (rd.next(r)) {
+        if (r.isLoad())
+            ++loads;
+        else if (r.isStore())
+            ++stores;
+        else
+            ++nonmem;
+        if (r.isMem()) {
+            lo = std::min(lo, r.addr);
+            hi = std::max(hi, r.addr);
+            deps += r.dependsOnPrevLoad ? 1 : 0;
+        }
+    }
+    std::cout << "records        " << rd.size() << "\n"
+              << "loads          " << loads << "\n"
+              << "stores         " << stores << "\n"
+              << "non-memory     " << nonmem << "\n"
+              << "dependent lds  " << deps << "\n";
+    if (loads + stores > 0) {
+        std::cout << std::hex << "addr range     [0x" << lo << ", 0x"
+                  << hi << "]" << std::dec << "\n"
+                  << "footprint      " << (hi - lo) / 1024
+                  << " KB span\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: ccm-trace gen|info ...\n";
+        return 1;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "gen")
+        return cmdGen(argc, argv);
+    if (cmd == "info")
+        return cmdInfo(argc, argv);
+    std::cerr << "unknown subcommand '" << cmd << "'\n";
+    return 1;
+}
