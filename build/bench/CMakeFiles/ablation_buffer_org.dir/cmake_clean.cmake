@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_org.dir/ablation_buffer_org.cc.o"
+  "CMakeFiles/ablation_buffer_org.dir/ablation_buffer_org.cc.o.d"
+  "ablation_buffer_org"
+  "ablation_buffer_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

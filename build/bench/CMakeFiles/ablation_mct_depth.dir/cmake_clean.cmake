@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mct_depth.dir/ablation_mct_depth.cc.o"
+  "CMakeFiles/ablation_mct_depth.dir/ablation_mct_depth.cc.o.d"
+  "ablation_mct_depth"
+  "ablation_mct_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mct_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rpt_prefetch.dir/ablation_rpt_prefetch.cc.o"
+  "CMakeFiles/ablation_rpt_prefetch.dir/ablation_rpt_prefetch.cc.o.d"
+  "ablation_rpt_prefetch"
+  "ablation_rpt_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rpt_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

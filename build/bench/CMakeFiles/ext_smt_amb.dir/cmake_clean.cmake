@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_smt_amb.dir/ext_smt_amb.cc.o"
+  "CMakeFiles/ext_smt_amb.dir/ext_smt_amb.cc.o.d"
+  "ext_smt_amb"
+  "ext_smt_amb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_smt_amb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tag_bits.dir/fig2_tag_bits.cc.o"
+  "CMakeFiles/fig2_tag_bits.dir/fig2_tag_bits.cc.o.d"
+  "fig2_tag_bits"
+  "fig2_tag_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tag_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

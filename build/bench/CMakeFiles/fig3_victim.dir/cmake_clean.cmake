@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_victim.dir/fig3_victim.cc.o"
+  "CMakeFiles/fig3_victim.dir/fig3_victim.cc.o.d"
+  "fig3_victim"
+  "fig3_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_exclusion.dir/fig5_exclusion.cc.o"
+  "CMakeFiles/fig5_exclusion.dir/fig5_exclusion.cc.o.d"
+  "fig5_exclusion"
+  "fig5_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

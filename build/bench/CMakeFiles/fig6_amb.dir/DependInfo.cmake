@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_amb.cc" "bench/CMakeFiles/fig6_amb.dir/fig6_amb.cc.o" "gcc" "bench/CMakeFiles/fig6_amb.dir/fig6_amb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ccm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/ccm_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/assist/CMakeFiles/ccm_assist.dir/DependInfo.cmake"
+  "/root/repo/build/src/exclude/CMakeFiles/ccm_exclude.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/ccm_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pseudo/CMakeFiles/ccm_pseudo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/ccm_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ccm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_amb.dir/fig6_amb.cc.o"
+  "CMakeFiles/fig6_amb.dir/fig6_amb.cc.o.d"
+  "fig6_amb"
+  "fig6_amb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_amb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

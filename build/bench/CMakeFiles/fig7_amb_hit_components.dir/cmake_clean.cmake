@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_amb_hit_components.dir/fig7_amb_hit_components.cc.o"
+  "CMakeFiles/fig7_amb_hit_components.dir/fig7_amb_hit_components.cc.o.d"
+  "fig7_amb_hit_components"
+  "fig7_amb_hit_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_amb_hit_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

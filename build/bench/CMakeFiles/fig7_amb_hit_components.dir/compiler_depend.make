@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_amb_hit_components.
+# This may be replaced when dependencies are built.

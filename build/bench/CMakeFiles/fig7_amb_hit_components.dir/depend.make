@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_amb_hit_components.
+# This may be replaced when dependencies are built.

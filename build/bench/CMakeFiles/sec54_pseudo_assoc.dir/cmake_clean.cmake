@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_pseudo_assoc.dir/sec54_pseudo_assoc.cc.o"
+  "CMakeFiles/sec54_pseudo_assoc.dir/sec54_pseudo_assoc.cc.o.d"
+  "sec54_pseudo_assoc"
+  "sec54_pseudo_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_pseudo_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

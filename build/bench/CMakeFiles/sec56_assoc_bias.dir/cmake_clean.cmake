@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_assoc_bias.dir/sec56_assoc_bias.cc.o"
+  "CMakeFiles/sec56_assoc_bias.dir/sec56_assoc_bias.cc.o.d"
+  "sec56_assoc_bias"
+  "sec56_assoc_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_assoc_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec56_assoc_bias.
+# This may be replaced when dependencies are built.

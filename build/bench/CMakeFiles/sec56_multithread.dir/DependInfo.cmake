@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec56_multithread.cc" "bench/CMakeFiles/sec56_multithread.dir/sec56_multithread.cc.o" "gcc" "bench/CMakeFiles/sec56_multithread.dir/sec56_multithread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mt/CMakeFiles/ccm_mt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mct/CMakeFiles/ccm_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ccm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

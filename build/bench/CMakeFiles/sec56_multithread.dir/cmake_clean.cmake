@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_multithread.dir/sec56_multithread.cc.o"
+  "CMakeFiles/sec56_multithread.dir/sec56_multithread.cc.o.d"
+  "sec56_multithread"
+  "sec56_multithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

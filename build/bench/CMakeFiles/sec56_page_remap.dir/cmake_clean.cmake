@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_page_remap.dir/sec56_page_remap.cc.o"
+  "CMakeFiles/sec56_page_remap.dir/sec56_page_remap.cc.o.d"
+  "sec56_page_remap"
+  "sec56_page_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_page_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amb_explorer.dir/amb_explorer.cpp.o"
+  "CMakeFiles/amb_explorer.dir/amb_explorer.cpp.o.d"
+  "amb_explorer"
+  "amb_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amb_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

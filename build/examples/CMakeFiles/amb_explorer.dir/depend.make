@@ -1,0 +1,2 @@
+# Empty dependencies file for amb_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_workload.dir/classify_workload.cpp.o"
+  "CMakeFiles/classify_workload.dir/classify_workload.cpp.o.d"
+  "classify_workload"
+  "classify_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coschedule_advisor.dir/coschedule_advisor.cpp.o"
+  "CMakeFiles/coschedule_advisor.dir/coschedule_advisor.cpp.o.d"
+  "coschedule_advisor"
+  "coschedule_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coschedule_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/victim_filter_tuning.dir/victim_filter_tuning.cpp.o"
+  "CMakeFiles/victim_filter_tuning.dir/victim_filter_tuning.cpp.o.d"
+  "victim_filter_tuning"
+  "victim_filter_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/victim_filter_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

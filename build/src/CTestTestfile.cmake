@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("workloads")
+subdirs("cache")
+subdirs("mct")
+subdirs("assist")
+subdirs("assoc")
+subdirs("prefetch")
+subdirs("exclude")
+subdirs("pseudo")
+subdirs("remap")
+subdirs("mt")
+subdirs("hierarchy")
+subdirs("cpu")
+subdirs("sim")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_assist.dir/buffer.cc.o"
+  "CMakeFiles/ccm_assist.dir/buffer.cc.o.d"
+  "libccm_assist.a"
+  "libccm_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

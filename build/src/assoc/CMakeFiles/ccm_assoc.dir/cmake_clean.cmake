@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_assoc.dir/biased_cache.cc.o"
+  "CMakeFiles/ccm_assoc.dir/biased_cache.cc.o.d"
+  "libccm_assoc.a"
+  "libccm_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_cache.dir/cache.cc.o"
+  "CMakeFiles/ccm_cache.dir/cache.cc.o.d"
+  "CMakeFiles/ccm_cache.dir/fa_lru.cc.o"
+  "CMakeFiles/ccm_cache.dir/fa_lru.cc.o.d"
+  "CMakeFiles/ccm_cache.dir/geometry.cc.o"
+  "CMakeFiles/ccm_cache.dir/geometry.cc.o.d"
+  "libccm_cache.a"
+  "libccm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_common.dir/logging.cc.o"
+  "CMakeFiles/ccm_common.dir/logging.cc.o.d"
+  "CMakeFiles/ccm_common.dir/stats.cc.o"
+  "CMakeFiles/ccm_common.dir/stats.cc.o.d"
+  "CMakeFiles/ccm_common.dir/table.cc.o"
+  "CMakeFiles/ccm_common.dir/table.cc.o.d"
+  "libccm_common.a"
+  "libccm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_cpu.dir/core.cc.o"
+  "CMakeFiles/ccm_cpu.dir/core.cc.o.d"
+  "CMakeFiles/ccm_cpu.dir/smt_core.cc.o"
+  "CMakeFiles/ccm_cpu.dir/smt_core.cc.o.d"
+  "libccm_cpu.a"
+  "libccm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_exclude.dir/history.cc.o"
+  "CMakeFiles/ccm_exclude.dir/history.cc.o.d"
+  "CMakeFiles/ccm_exclude.dir/mat.cc.o"
+  "CMakeFiles/ccm_exclude.dir/mat.cc.o.d"
+  "CMakeFiles/ccm_exclude.dir/tyson.cc.o"
+  "CMakeFiles/ccm_exclude.dir/tyson.cc.o.d"
+  "libccm_exclude.a"
+  "libccm_exclude.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_exclude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

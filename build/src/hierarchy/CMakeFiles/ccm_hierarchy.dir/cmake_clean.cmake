@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_hierarchy.dir/memsys.cc.o"
+  "CMakeFiles/ccm_hierarchy.dir/memsys.cc.o.d"
+  "CMakeFiles/ccm_hierarchy.dir/mshr.cc.o"
+  "CMakeFiles/ccm_hierarchy.dir/mshr.cc.o.d"
+  "libccm_hierarchy.a"
+  "libccm_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

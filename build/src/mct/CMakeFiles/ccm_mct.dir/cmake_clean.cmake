@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_mct.dir/accuracy.cc.o"
+  "CMakeFiles/ccm_mct.dir/accuracy.cc.o.d"
+  "CMakeFiles/ccm_mct.dir/mct.cc.o"
+  "CMakeFiles/ccm_mct.dir/mct.cc.o.d"
+  "CMakeFiles/ccm_mct.dir/oracle.cc.o"
+  "CMakeFiles/ccm_mct.dir/oracle.cc.o.d"
+  "CMakeFiles/ccm_mct.dir/shadow.cc.o"
+  "CMakeFiles/ccm_mct.dir/shadow.cc.o.d"
+  "libccm_mct.a"
+  "libccm_mct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

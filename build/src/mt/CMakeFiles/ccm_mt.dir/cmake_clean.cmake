@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_mt.dir/interleave.cc.o"
+  "CMakeFiles/ccm_mt.dir/interleave.cc.o.d"
+  "CMakeFiles/ccm_mt.dir/shared_cache.cc.o"
+  "CMakeFiles/ccm_mt.dir/shared_cache.cc.o.d"
+  "libccm_mt.a"
+  "libccm_mt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/nextline.cc" "src/prefetch/CMakeFiles/ccm_prefetch.dir/nextline.cc.o" "gcc" "src/prefetch/CMakeFiles/ccm_prefetch.dir/nextline.cc.o.d"
+  "/root/repo/src/prefetch/rpt.cc" "src/prefetch/CMakeFiles/ccm_prefetch.dir/rpt.cc.o" "gcc" "src/prefetch/CMakeFiles/ccm_prefetch.dir/rpt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/ccm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_prefetch.dir/nextline.cc.o"
+  "CMakeFiles/ccm_prefetch.dir/nextline.cc.o.d"
+  "CMakeFiles/ccm_prefetch.dir/rpt.cc.o"
+  "CMakeFiles/ccm_prefetch.dir/rpt.cc.o.d"
+  "libccm_prefetch.a"
+  "libccm_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pseudo/pseudo_cache.cc" "src/pseudo/CMakeFiles/ccm_pseudo.dir/pseudo_cache.cc.o" "gcc" "src/pseudo/CMakeFiles/ccm_pseudo.dir/pseudo_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mct/CMakeFiles/ccm_mct.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ccm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

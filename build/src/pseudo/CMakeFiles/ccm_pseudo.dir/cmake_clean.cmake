@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_pseudo.dir/pseudo_cache.cc.o"
+  "CMakeFiles/ccm_pseudo.dir/pseudo_cache.cc.o.d"
+  "libccm_pseudo.a"
+  "libccm_pseudo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_pseudo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

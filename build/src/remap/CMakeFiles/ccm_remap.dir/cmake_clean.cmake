@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_remap.dir/cml.cc.o"
+  "CMakeFiles/ccm_remap.dir/cml.cc.o.d"
+  "CMakeFiles/ccm_remap.dir/remap_sim.cc.o"
+  "CMakeFiles/ccm_remap.dir/remap_sim.cc.o.d"
+  "libccm_remap.a"
+  "libccm_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

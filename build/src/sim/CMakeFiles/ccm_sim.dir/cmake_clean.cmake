@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_sim.dir/experiment.cc.o"
+  "CMakeFiles/ccm_sim.dir/experiment.cc.o.d"
+  "libccm_sim.a"
+  "libccm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

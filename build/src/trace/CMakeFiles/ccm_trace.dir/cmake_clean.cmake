@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_trace.dir/file_trace.cc.o"
+  "CMakeFiles/ccm_trace.dir/file_trace.cc.o.d"
+  "CMakeFiles/ccm_trace.dir/vector_trace.cc.o"
+  "CMakeFiles/ccm_trace.dir/vector_trace.cc.o.d"
+  "libccm_trace.a"
+  "libccm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/code_stream.cc" "src/workloads/CMakeFiles/ccm_workloads.dir/code_stream.cc.o" "gcc" "src/workloads/CMakeFiles/ccm_workloads.dir/code_stream.cc.o.d"
+  "/root/repo/src/workloads/fp_workloads.cc" "src/workloads/CMakeFiles/ccm_workloads.dir/fp_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ccm_workloads.dir/fp_workloads.cc.o.d"
+  "/root/repo/src/workloads/int_workloads.cc" "src/workloads/CMakeFiles/ccm_workloads.dir/int_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ccm_workloads.dir/int_workloads.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/ccm_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/ccm_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/ccm_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/ccm_workloads.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ccm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

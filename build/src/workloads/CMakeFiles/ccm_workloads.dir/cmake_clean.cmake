@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_workloads.dir/code_stream.cc.o"
+  "CMakeFiles/ccm_workloads.dir/code_stream.cc.o.d"
+  "CMakeFiles/ccm_workloads.dir/fp_workloads.cc.o"
+  "CMakeFiles/ccm_workloads.dir/fp_workloads.cc.o.d"
+  "CMakeFiles/ccm_workloads.dir/int_workloads.cc.o"
+  "CMakeFiles/ccm_workloads.dir/int_workloads.cc.o.d"
+  "CMakeFiles/ccm_workloads.dir/registry.cc.o"
+  "CMakeFiles/ccm_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/ccm_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/ccm_workloads.dir/synthetic.cc.o.d"
+  "libccm_workloads.a"
+  "libccm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

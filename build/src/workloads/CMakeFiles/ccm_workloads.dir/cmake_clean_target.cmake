@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccm_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assist.dir/test_assist.cc.o"
+  "CMakeFiles/test_assist.dir/test_assist.cc.o.d"
+  "test_assist"
+  "test_assist.pdb"
+  "test_assist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_stream.dir/test_code_stream.cc.o"
+  "CMakeFiles/test_code_stream.dir/test_code_stream.cc.o.d"
+  "test_code_stream"
+  "test_code_stream.pdb"
+  "test_code_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

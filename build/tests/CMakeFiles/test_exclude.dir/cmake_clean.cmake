@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exclude.dir/test_exclude.cc.o"
+  "CMakeFiles/test_exclude.dir/test_exclude.cc.o.d"
+  "test_exclude"
+  "test_exclude.pdb"
+  "test_exclude[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exclude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa_lru.dir/test_fa_lru.cc.o"
+  "CMakeFiles/test_fa_lru.dir/test_fa_lru.cc.o.d"
+  "test_fa_lru"
+  "test_fa_lru.pdb"
+  "test_fa_lru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

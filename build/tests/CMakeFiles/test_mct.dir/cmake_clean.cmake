@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mct.dir/test_mct.cc.o"
+  "CMakeFiles/test_mct.dir/test_mct.cc.o.d"
+  "test_mct"
+  "test_mct.pdb"
+  "test_mct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

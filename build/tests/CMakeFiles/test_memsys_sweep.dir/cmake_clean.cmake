@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsys_sweep.dir/test_memsys_sweep.cc.o"
+  "CMakeFiles/test_memsys_sweep.dir/test_memsys_sweep.cc.o.d"
+  "test_memsys_sweep"
+  "test_memsys_sweep.pdb"
+  "test_memsys_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsys_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mt.dir/test_mt.cc.o"
+  "CMakeFiles/test_mt.dir/test_mt.cc.o.d"
+  "test_mt"
+  "test_mt.pdb"
+  "test_mt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pseudo.dir/test_pseudo.cc.o"
+  "CMakeFiles/test_pseudo.dir/test_pseudo.cc.o.d"
+  "test_pseudo"
+  "test_pseudo.pdb"
+  "test_pseudo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pseudo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

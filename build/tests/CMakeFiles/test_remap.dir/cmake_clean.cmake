@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remap.dir/test_remap.cc.o"
+  "CMakeFiles/test_remap.dir/test_remap.cc.o.d"
+  "test_remap"
+  "test_remap.pdb"
+  "test_remap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

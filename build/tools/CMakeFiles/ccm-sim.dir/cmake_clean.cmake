@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm-sim.dir/ccm_sim.cc.o"
+  "CMakeFiles/ccm-sim.dir/ccm_sim.cc.o.d"
+  "ccm-sim"
+  "ccm-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm-trace.dir/ccm_trace.cc.o"
+  "CMakeFiles/ccm-trace.dir/ccm_trace.cc.o.d"
+  "ccm-trace"
+  "ccm-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
