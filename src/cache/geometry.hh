@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <string>
 
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -28,9 +29,22 @@ class CacheGeometry
      * @param size_bytes total capacity in bytes
      * @param associativity ways per set (>= 1)
      * @param line_bytes cache line size in bytes
+     *
+     * Fatal on invalid parameters; use validate()/make() to reject
+     * a bad configuration without dying.
      */
     CacheGeometry(std::size_t size_bytes, unsigned associativity,
                   unsigned line_bytes);
+
+    /** Check the parameters the constructor would reject. */
+    static Status validate(std::size_t size_bytes,
+                           unsigned associativity,
+                           unsigned line_bytes);
+
+    /** Validating factory: a geometry, or why there isn't one. */
+    static Expected<CacheGeometry> make(std::size_t size_bytes,
+                                        unsigned associativity,
+                                        unsigned line_bytes);
 
     std::size_t sizeBytes() const { return size_; }
     unsigned assoc() const { return assoc_; }

@@ -6,6 +6,23 @@
 namespace ccm
 {
 
+namespace
+{
+
+thread_local int fatalThrowDepth = 0;
+
+} // namespace
+
+ScopedFatalThrow::ScopedFatalThrow()
+{
+    ++fatalThrowDepth;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    --fatalThrowDepth;
+}
+
 namespace detail
 {
 
@@ -20,6 +37,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalThrowDepth > 0)
+        throw FatalError(msg);
     std::cerr << "fatal: " << msg << " @ " << file << ":" << line
               << std::endl;
     std::exit(1);

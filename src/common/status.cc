@@ -1,0 +1,43 @@
+#include "common/status.hh"
+
+namespace ccm
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::BadConfig:
+        return "bad-config";
+      case ErrorCode::CorruptTrace:
+        return "corrupt-trace";
+      case ErrorCode::IoError:
+        return "io-error";
+      case ErrorCode::NotFound:
+        return "not-found";
+      case ErrorCode::Unsupported:
+        return "unsupported";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + msg;
+}
+
+void
+fatalIfError(const Status &s)
+{
+    if (!s.isOk())
+        ccm_fatal(s.message());
+}
+
+} // namespace ccm

@@ -7,10 +7,17 @@
 namespace ccm
 {
 
-MshrFile::MshrFile(unsigned entries) : cap(entries)
+Status
+MshrFile::validate(unsigned entries)
 {
     if (entries == 0)
-        ccm_fatal("MSHR file needs at least one entry");
+        return Status::badConfig("MSHR file needs at least one entry");
+    return Status::ok();
+}
+
+MshrFile::MshrFile(unsigned entries) : cap(entries)
+{
+    fatalIfError(validate(entries));
     active.reserve(entries);
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -24,6 +25,9 @@ class MshrFile
 {
   public:
     explicit MshrFile(unsigned entries);
+
+    /** Check the parameters the constructor would reject. */
+    static Status validate(unsigned entries);
 
     /** Retire every entry whose fetch completed by @p now. */
     void expire(Cycle now);

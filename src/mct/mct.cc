@@ -6,15 +6,25 @@
 namespace ccm
 {
 
+Status
+MissClassificationTable::validate(std::size_t num_sets,
+                                  unsigned tag_bits)
+{
+    if (num_sets == 0)
+        return Status::badConfig("MCT needs at least one set");
+    if (tag_bits > 64) {
+        return Status::badConfig("MCT tag bits out of range: ",
+                                 tag_bits);
+    }
+    return Status::ok();
+}
+
 MissClassificationTable::MissClassificationTable(std::size_t num_sets,
                                                  unsigned tag_bits)
     : entries(num_sets), tagBits_(tag_bits),
       tagMask(tag_bits == 0 ? ~Addr{0} : lowMask(tag_bits))
 {
-    if (num_sets == 0)
-        ccm_fatal("MCT needs at least one set");
-    if (tag_bits > 64)
-        ccm_fatal("MCT tag bits out of range: ", tag_bits);
+    fatalIfError(validate(num_sets, tag_bits));
 }
 
 void

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "common/types.hh"
 #include "mct/miss_class.hh"
 
@@ -38,6 +39,9 @@ class MissClassificationTable
      */
     explicit MissClassificationTable(std::size_t num_sets,
                                      unsigned tag_bits = 0);
+
+    /** Check the parameters the constructor would reject. */
+    static Status validate(std::size_t num_sets, unsigned tag_bits);
 
     /**
      * Classify a miss to @p set with full tag @p tag.

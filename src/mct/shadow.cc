@@ -6,18 +6,32 @@
 namespace ccm
 {
 
+Status
+ShadowDirectory::validate(std::size_t num_sets, unsigned depth,
+                          unsigned tag_bits)
+{
+    if (num_sets == 0) {
+        return Status::badConfig(
+            "shadow directory needs at least one set");
+    }
+    if (depth == 0) {
+        return Status::badConfig(
+            "shadow directory depth must be >= 1");
+    }
+    if (tag_bits > 64) {
+        return Status::badConfig("shadow tag bits out of range: ",
+                                 tag_bits);
+    }
+    return Status::ok();
+}
+
 ShadowDirectory::ShadowDirectory(std::size_t num_sets, unsigned depth,
                                  unsigned tag_bits)
     : sets(num_sets), depth_(depth), tagBits(tag_bits),
       tagMask(tag_bits == 0 ? ~Addr{0} : lowMask(tag_bits)),
       slots(num_sets * depth)
 {
-    if (num_sets == 0)
-        ccm_fatal("shadow directory needs at least one set");
-    if (depth == 0)
-        ccm_fatal("shadow directory depth must be >= 1");
-    if (tag_bits > 64)
-        ccm_fatal("shadow tag bits out of range: ", tag_bits);
+    fatalIfError(validate(num_sets, depth, tag_bits));
 }
 
 Addr

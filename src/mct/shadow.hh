@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 #include "mct/miss_class.hh"
 
@@ -38,6 +39,10 @@ class ShadowDirectory
      */
     ShadowDirectory(std::size_t num_sets, unsigned depth,
                     unsigned tag_bits = 0);
+
+    /** Check the parameters the constructor would reject. */
+    static Status validate(std::size_t num_sets, unsigned depth,
+                           unsigned tag_bits);
 
     /** Classify a miss: conflict iff any remembered tag matches. */
     MissClass classify(std::size_t set, Addr tag) const;

@@ -1,6 +1,10 @@
 #include "sim/experiment.hh"
 
+#include <exception>
+
+#include "common/logging.hh"
 #include "hierarchy/memsys.hh"
+#include "workloads/registry.hh"
 
 namespace ccm
 {
@@ -14,6 +18,84 @@ runTiming(TraceSource &trace, const SystemConfig &config)
     out.sim = core.run(trace, mem);
     out.mem = mem.stats();
     return out;
+}
+
+Expected<RunOutput>
+tryRunTiming(TraceSource &trace, const SystemConfig &config)
+{
+    try {
+        ScopedFatalThrow guard;
+        return runTiming(trace, config);
+    } catch (const FatalError &e) {
+        return Status::badConfig(e.what());
+    } catch (const std::exception &e) {
+        return Status::internal("run failed: ", e.what());
+    }
+}
+
+const SuiteRow *
+SuiteReport::row(const std::string &name) const
+{
+    for (const auto &r : rows) {
+        if (r.workload == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+SuiteReport
+runSuite(const std::vector<std::string> &names,
+         const SuiteTraceFactory &factory, const SystemConfig &config)
+{
+    SuiteReport report;
+    report.rows.reserve(names.size());
+    for (const auto &name : names) {
+        SuiteRow row;
+        row.workload = name;
+
+        auto trace = [&]() -> Expected<std::unique_ptr<TraceSource>> {
+            try {
+                ScopedFatalThrow guard;
+                return factory(name);
+            } catch (const FatalError &e) {
+                return Status::badConfig(e.what());
+            } catch (const std::exception &e) {
+                return Status::internal("trace factory failed: ",
+                                        e.what());
+            }
+        }();
+
+        if (!trace.ok()) {
+            row.status =
+                trace.status().withContext("workload '" + name + "'");
+        } else if (!trace.value()) {
+            row.status = Status::internal(
+                "trace factory returned null for '", name, "'");
+        } else {
+            Expected<RunOutput> run =
+                tryRunTiming(*trace.value(), config);
+            if (run.ok()) {
+                row.out = run.take();
+            } else {
+                row.status = run.status().withContext("workload '" +
+                                                      name + "'");
+            }
+        }
+        report.rows.push_back(std::move(row));
+    }
+    return report;
+}
+
+SuiteReport
+runSuite(const std::vector<std::string> &names, std::size_t mem_refs,
+         std::uint64_t seed, const SystemConfig &config)
+{
+    return runSuite(
+        names,
+        [&](const std::string &name) {
+            return makeWorkloadChecked(name, mem_refs, seed);
+        },
+        config);
 }
 
 double

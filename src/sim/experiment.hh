@@ -8,9 +8,12 @@
 #ifndef CCM_SIM_EXPERIMENT_HH
 #define CCM_SIM_EXPERIMENT_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "cpu/core.hh"
 #include "hierarchy/config.hh"
 #include "hierarchy/memstats.hh"
@@ -36,8 +39,70 @@ struct RunOutput
 /** Run @p trace (reset first) on a machine built from @p config. */
 RunOutput runTiming(TraceSource &trace, const SystemConfig &config);
 
+/**
+ * Like runTiming, but recoverable: a bad configuration (or any other
+ * would-be-fatal user error raised while building and running the
+ * machine) comes back as an error status instead of exiting.
+ */
+Expected<RunOutput> tryRunTiming(TraceSource &trace,
+                                 const SystemConfig &config);
+
 /** Speedup of @p test over @p base (cycles ratio). */
 double speedup(const RunOutput &base, const RunOutput &test);
+
+// ---- Suite sweeps with per-workload failure isolation -------------
+
+/** One row of a suite sweep: a result, or why this run failed. */
+struct SuiteRow
+{
+    std::string workload;
+    Status status;
+    RunOutput out; ///< meaningful only when status.isOk()
+
+    bool ok() const { return status.isOk(); }
+};
+
+/** Every row of a sweep, failed runs included. */
+struct SuiteReport
+{
+    std::vector<SuiteRow> rows;
+
+    std::size_t
+    failures() const
+    {
+        std::size_t n = 0;
+        for (const auto &r : rows)
+            n += r.ok() ? 0 : 1;
+        return n;
+    }
+
+    bool allOk() const { return failures() == 0; }
+
+    /** Row for @p name, or nullptr when absent. */
+    const SuiteRow *row(const std::string &name) const;
+};
+
+/**
+ * Produces the trace for one named suite entry — or the Status that
+ * explains why it can't (unknown workload, corrupt trace file, ...).
+ */
+using SuiteTraceFactory = std::function<
+    Expected<std::unique_ptr<TraceSource>>(const std::string &name)>;
+
+/**
+ * Sweep @p config over every workload in @p names, isolating
+ * failures: a run whose trace can't be produced or whose simulation
+ * dies on a user error is recorded as an errored row and the rest of
+ * the suite still completes.  Row order matches @p names.
+ */
+SuiteReport runSuite(const std::vector<std::string> &names,
+                     const SuiteTraceFactory &factory,
+                     const SystemConfig &config);
+
+/** runSuite over the synthetic workload registry. */
+SuiteReport runSuite(const std::vector<std::string> &names,
+                     std::size_t mem_refs, std::uint64_t seed,
+                     const SystemConfig &config);
 
 // ---- Named configurations from paper §5 ---------------------------
 

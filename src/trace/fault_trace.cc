@@ -1,0 +1,90 @@
+#include "trace/fault_trace.hh"
+
+#include "common/logging.hh"
+
+namespace ccm
+{
+
+namespace
+{
+
+// Distinct PCG32 stream selector so fault decisions never correlate
+// with the workload generators (which use the default stream).
+constexpr std::uint64_t faultStream = 0xfau;
+
+} // namespace
+
+FaultInjectingSource::FaultInjectingSource(TraceSource &inner,
+                                           const FaultPlan &plan)
+    : inner_(inner), plan_(plan), rng(plan.seed, faultStream)
+{
+    if (plan.bitFlipRate < 0 || plan.bitFlipRate > 1 ||
+        plan.dropRate < 0 || plan.dropRate > 1 ||
+        plan.duplicateRate < 0 || plan.duplicateRate > 1) {
+        ccm_fatal("fault rates must be within [0, 1]");
+    }
+}
+
+bool
+FaultInjectingSource::next(MemRecord &out)
+{
+    if (plan_.truncateAfter > 0 && emitted >= plan_.truncateAfter) {
+        // Drain nothing further: the dirty trace ends here even
+        // though the clean source has more.
+        if (!stats_.truncated) {
+            MemRecord probe;
+            stats_.truncated = inner_.next(probe);
+        }
+        return false;
+    }
+
+    if (havePendingDup) {
+        havePendingDup = false;
+        out = pendingDup;
+        ++emitted;
+        return true;
+    }
+
+    MemRecord r;
+    for (;;) {
+        if (!inner_.next(r))
+            return false;
+        if (plan_.dropRate > 0 && rng.chance(plan_.dropRate)) {
+            ++stats_.drops;
+            continue;
+        }
+        break;
+    }
+
+    if (plan_.bitFlipRate > 0 && rng.chance(plan_.bitFlipRate)) {
+        // Flip one of the 128 pc/addr bits.
+        std::uint32_t bit = rng.below(128);
+        if (bit < 64)
+            r.pc ^= Addr{1} << bit;
+        else
+            r.addr ^= Addr{1} << (bit - 64);
+        ++stats_.bitFlips;
+    }
+
+    if (plan_.duplicateRate > 0 && rng.chance(plan_.duplicateRate)) {
+        pendingDup = r;
+        havePendingDup = true;
+        ++stats_.duplicates;
+    }
+
+    out = r;
+    ++emitted;
+    return true;
+}
+
+void
+FaultInjectingSource::reset()
+{
+    inner_.reset();
+    rng = Pcg32(plan_.seed, faultStream);
+    stats_ = FaultStats{};
+    emitted = 0;
+    havePendingDup = false;
+}
+
+} // namespace ccm

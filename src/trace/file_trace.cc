@@ -1,6 +1,6 @@
 #include "trace/file_trace.hh"
 
-#include <array>
+#include <cerrno>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -13,9 +13,11 @@ namespace
 
 constexpr char magic[8] = {'C', 'C', 'M', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t traceVersion = 1;
+constexpr std::size_t headerBytes = 16;
 constexpr std::size_t recordBytes = 24;
 
 constexpr std::uint8_t flagDependsOnPrevLoad = 0x1;
+constexpr std::uint8_t knownFlags = flagDependsOnPrevLoad;
 
 void
 packRecord(const MemRecord &r, std::uint8_t *buf)
@@ -38,22 +40,84 @@ unpackRecord(const std::uint8_t *buf)
     return r;
 }
 
+/**
+ * A 24-byte window can only be a record if the type is a known
+ * RecordType, no unknown flag bits are set, and the padding is zero —
+ * the invariants packRecord establishes.  Used to find the next
+ * believable record boundary when resyncing past garbage.
+ */
+bool
+plausibleRecord(const std::uint8_t *buf)
+{
+    if (buf[16] > static_cast<std::uint8_t>(RecordType::Store))
+        return false;
+    if ((buf[17] & ~knownFlags) != 0)
+        return false;
+    for (int i = 18; i < 24; ++i) {
+        if (buf[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+std::string
+errnoSuffix()
+{
+    return std::string(" (") + std::strerror(errno) + ")";
+}
+
 } // namespace
+
+// ---- Writer -------------------------------------------------------
 
 TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
 {
-    fp = std::fopen(path.c_str(), "wb");
-    if (!fp)
-        ccm_fatal("cannot open trace file for writing: ", path);
+    fatalIfError(openFile());
+}
+
+TraceFileWriter::TraceFileWriter(Unchecked, const std::string &path)
+    : path_(path)
+{
+}
+
+Expected<std::unique_ptr<TraceFileWriter>>
+TraceFileWriter::create(const std::string &path)
+{
+    std::unique_ptr<TraceFileWriter> w(
+        new TraceFileWriter(Unchecked{}, path));
+    Status s = w->openFile();
+    if (!s.isOk())
+        return s;
+    return w;
+}
+
+Status
+TraceFileWriter::openFile()
+{
+    fp = std::fopen(path_.c_str(), "wb");
+    if (!fp) {
+        return Status::ioError(
+            "cannot open trace file for writing: ", path_,
+            errnoSuffix());
+    }
     std::fwrite(magic, 1, 8, fp);
     std::uint32_t ver = traceVersion, reserved = 0;
     std::fwrite(&ver, 4, 1, fp);
-    std::fwrite(&reserved, 4, 1, fp);
+    if (std::fwrite(&reserved, 4, 1, fp) != 1) {
+        Status s = Status::ioError(
+            "short write of trace header to ", path_, errnoSuffix());
+        std::fclose(fp);
+        fp = nullptr;
+        return s;
+    }
+    return Status::ok();
 }
 
 TraceFileWriter::~TraceFileWriter()
 {
-    close();
+    Status s = close();
+    if (!s.isOk())
+        ccm_warn(s.message());
 }
 
 void
@@ -61,10 +125,22 @@ TraceFileWriter::write(const MemRecord &r)
 {
     if (!fp)
         ccm_panic("write to closed trace file ", path_);
+    fatalIfError(writeChecked(r));
+}
+
+Status
+TraceFileWriter::writeChecked(const MemRecord &r)
+{
+    if (!fp) {
+        return Status::ioError("write to closed trace file ", path_);
+    }
     std::uint8_t buf[recordBytes];
     packRecord(r, buf);
-    if (std::fwrite(buf, 1, recordBytes, fp) != recordBytes)
-        ccm_fatal("short write to trace file ", path_);
+    if (std::fwrite(buf, 1, recordBytes, fp) != recordBytes) {
+        return Status::ioError("short write to trace file ", path_,
+                               errnoSuffix());
+    }
+    return Status::ok();
 }
 
 std::size_t
@@ -80,46 +156,228 @@ TraceFileWriter::writeAll(TraceSource &src)
     return n;
 }
 
-void
+Status
 TraceFileWriter::close()
 {
-    if (fp) {
-        std::fclose(fp);
-        fp = nullptr;
+    if (!fp)
+        return Status::ok();
+    Status s = Status::ok();
+    if (std::fflush(fp) != 0) {
+        s = Status::ioError("flush failed for trace file ", path_,
+                            errnoSuffix());
     }
+    if (std::fclose(fp) != 0 && s.isOk()) {
+        s = Status::ioError("close failed for trace file ", path_,
+                            errnoSuffix());
+    }
+    fp = nullptr;
+    return s;
+}
+
+// ---- Reader -------------------------------------------------------
+
+const char *
+traceDefectName(TraceDefect d)
+{
+    switch (d) {
+      case TraceDefect::None:
+        return "none";
+      case TraceDefect::IoError:
+        return "io-error";
+      case TraceDefect::ZeroLength:
+        return "zero-length";
+      case TraceDefect::TruncatedHeader:
+        return "truncated-header";
+      case TraceDefect::BadMagic:
+        return "bad-magic";
+      case TraceDefect::BadVersion:
+        return "bad-version";
+      case TraceDefect::PartialTail:
+        return "partial-tail";
+      case TraceDefect::MidFileGarbage:
+        return "mid-file-garbage";
+    }
+    return "unknown";
+}
+
+void
+TraceReadStats::dump(std::ostream &os, const char *prefix) const
+{
+    auto line = [&](const char *name, Count v) {
+        os << prefix << "." << name << " " << v << "\n";
+    };
+    line("records_read", recordsRead);
+    line("resync_events", resyncEvents);
+    line("bytes_skipped", bytesSkipped);
+    line("truncated_tail", truncatedTail ? 1 : 0);
+    os << prefix << ".first_defect " << traceDefectName(firstDefect)
+       << "\n";
+}
+
+namespace
+{
+
+/** Record the first (most significant) defect seen during a load. */
+void
+noteDefect(TraceReadStats &stats, TraceDefect d)
+{
+    if (stats.firstDefect == TraceDefect::None)
+        stats.firstDefect = d;
+}
+
+} // namespace
+
+Status
+loadTraceFile(const std::string &path, const TraceReadOptions &opts,
+              std::vector<MemRecord> &out, TraceReadStats &stats)
+{
+    out.clear();
+    stats = TraceReadStats{};
+
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp) {
+        noteDefect(stats, TraceDefect::IoError);
+        return Status::ioError("cannot open trace file: ", path,
+                               errnoSuffix());
+    }
+
+    std::uint8_t header[headerBytes];
+    std::size_t got = std::fread(header, 1, headerBytes, fp);
+    if (got < headerBytes) {
+        // A read error (e.g. the path is a directory, EISDIR) also
+        // surfaces as a short read; don't mistake it for truncation.
+        bool bad = std::ferror(fp) != 0;
+        std::fclose(fp);
+        if (bad) {
+            noteDefect(stats, TraceDefect::IoError);
+            return Status::ioError("cannot read trace file: ", path,
+                                   errnoSuffix());
+        }
+        if (got == 0) {
+            // Distinguish the completely empty file: it usually means
+            // a producer crashed before writing anything.
+            noteDefect(stats, TraceDefect::ZeroLength);
+            return Status::corruptTrace("empty trace file: ", path);
+        }
+        noteDefect(stats, TraceDefect::TruncatedHeader);
+        return Status::corruptTrace("truncated trace header: ", path);
+    }
+    if (std::memcmp(header, magic, 8) != 0) {
+        std::fclose(fp);
+        noteDefect(stats, TraceDefect::BadMagic);
+        return Status::corruptTrace("bad trace magic in ", path);
+    }
+    std::uint32_t ver = 0;
+    std::memcpy(&ver, header + 8, 4);
+    if (ver != traceVersion) {
+        std::fclose(fp);
+        noteDefect(stats, TraceDefect::BadVersion);
+        return Status::unsupported("unsupported trace version ", ver,
+                                   " in ", path);
+    }
+
+    // Slurp the record area so resync can scan byte-by-byte.
+    std::vector<std::uint8_t> body;
+    {
+        std::uint8_t chunk[4096];
+        std::size_t n;
+        while ((n = std::fread(chunk, 1, sizeof chunk, fp)) > 0)
+            body.insert(body.end(), chunk, chunk + n);
+        bool bad = std::ferror(fp) != 0;
+        std::fclose(fp);
+        if (bad) {
+            noteDefect(stats, TraceDefect::IoError);
+            return Status::ioError("read failed for trace file ",
+                                   path, errnoSuffix());
+        }
+    }
+
+    std::size_t off = 0;
+    while (off + recordBytes <= body.size()) {
+        if (plausibleRecord(body.data() + off)) {
+            out.push_back(unpackRecord(body.data() + off));
+            ++stats.recordsRead;
+            off += recordBytes;
+            continue;
+        }
+
+        // Garbage: resync to the next plausible record boundary.
+        noteDefect(stats, TraceDefect::MidFileGarbage);
+        if (stats.resyncEvents >= opts.corruptionBudget) {
+            out.clear();
+            return Status::corruptTrace(
+                "mid-file garbage in trace ", path, " at byte ",
+                headerBytes + off,
+                opts.corruptionBudget == 0
+                    ? ""
+                    : " (corruption budget exhausted)");
+        }
+        ++stats.resyncEvents;
+        std::size_t start = off;
+        ++off;
+        while (off + recordBytes <= body.size() &&
+               !plausibleRecord(body.data() + off)) {
+            ++off;
+        }
+        stats.bytesSkipped += off - start;
+        if (!opts.quiet) {
+            ccm_warn("trace ", path, ": skipped ", off - start,
+                     " garbage bytes at byte ", headerBytes + start);
+        }
+    }
+
+    if (off < body.size()) {
+        // Trailing bytes too short to form a record.
+        noteDefect(stats, TraceDefect::PartialTail);
+        if (!opts.tolerateTruncatedTail) {
+            out.clear();
+            return Status::corruptTrace(
+                "trailing partial record in trace ", path);
+        }
+        stats.truncatedTail = true;
+        stats.bytesSkipped += body.size() - off;
+        if (!opts.quiet) {
+            ccm_warn("trace ", path, ": truncated tail (",
+                     body.size() - off,
+                     " bytes); treating as end of trace");
+        }
+    }
+
+    return Status::ok();
+}
+
+TraceDefect
+probeTraceFile(const std::string &path, TraceReadStats *stats)
+{
+    TraceReadOptions opts;
+    opts.corruptionBudget = ~std::size_t{0};
+    opts.tolerateTruncatedTail = true;
+    opts.quiet = true;
+
+    std::vector<MemRecord> records;
+    TraceReadStats local;
+    loadTraceFile(path, opts, records, local);
+    if (stats)
+        *stats = local;
+    return local.firstDefect;
 }
 
 TraceFileReader::TraceFileReader(const std::string &path) : label(path)
 {
-    std::FILE *fp = std::fopen(path.c_str(), "rb");
-    if (!fp)
-        ccm_fatal("cannot open trace file: ", path);
+    fatalIfError(loadTraceFile(path, TraceReadOptions{}, records,
+                               stats_));
+}
 
-    char got_magic[8];
-    std::uint32_t ver = 0, reserved = 0;
-    if (std::fread(got_magic, 1, 8, fp) != 8 ||
-        std::fread(&ver, 4, 1, fp) != 1 ||
-        std::fread(&reserved, 4, 1, fp) != 1) {
-        std::fclose(fp);
-        ccm_fatal("truncated trace header: ", path);
-    }
-    if (std::memcmp(got_magic, magic, 8) != 0) {
-        std::fclose(fp);
-        ccm_fatal("bad trace magic in ", path);
-    }
-    if (ver != traceVersion) {
-        std::fclose(fp);
-        ccm_fatal("unsupported trace version ", ver, " in ", path);
-    }
-
-    std::uint8_t buf[recordBytes];
-    std::size_t got;
-    while ((got = std::fread(buf, 1, recordBytes, fp)) == recordBytes)
-        records.push_back(unpackRecord(buf));
-    bool partial = got != 0;
-    std::fclose(fp);
-    if (partial)
-        ccm_fatal("trailing partial record in trace ", path);
+Expected<std::unique_ptr<TraceFileReader>>
+TraceFileReader::open(const std::string &path,
+                      const TraceReadOptions &opts)
+{
+    std::unique_ptr<TraceFileReader> rd(new TraceFileReader());
+    rd->label = path;
+    Status s = loadTraceFile(path, opts, rd->records, rd->stats_);
+    if (!s.isOk())
+        return s;
+    return rd;
 }
 
 bool

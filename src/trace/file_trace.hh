@@ -7,15 +7,26 @@
  *   u64 pc | u64 addr | u8 type | u8 flags | 6 bytes padding
  * 24 bytes per record.  Simple enough to write from any tracer (e.g. a
  * Pin/DynamoRIO tool or a converted ChampSim trace) and replay here.
+ * The full on-disk layout and its error-recovery semantics are
+ * documented in docs/TRACE_FORMAT.md.
+ *
+ * Reading comes in two flavours: the strict constructor (any defect
+ * is fatal — unchanged legacy behaviour) and TraceFileReader::open,
+ * which returns a Status instead of dying and can optionally tolerate
+ * bounded corruption: garbage bytes are resynced past (up to a
+ * configurable budget) and a truncated tail is demoted to a warning.
  */
 
 #ifndef CCM_TRACE_FILE_TRACE_HH
 #define CCM_TRACE_FILE_TRACE_HH
 
 #include <cstdio>
+#include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "trace/source.hh"
 
 namespace ccm
@@ -32,28 +43,125 @@ class TraceFileWriter
     TraceFileWriter(const TraceFileWriter &) = delete;
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
-    /** Append one record. */
+    /** Open @p path for writing; error status instead of dying. */
+    static Expected<std::unique_ptr<TraceFileWriter>>
+    create(const std::string &path);
+
+    /** Append one record; fatal on a short write. */
     void write(const MemRecord &r);
+
+    /** Append one record; error status on a short write. */
+    Status writeChecked(const MemRecord &r);
 
     /** Drain @p src (reset first) into the file; @return record count. */
     std::size_t writeAll(TraceSource &src);
 
-    /** Flush and close; implied by destruction. */
-    void close();
+    /**
+     * Flush and close, reporting flush/close failures (a full disk
+     * often only surfaces here).  Safe to call repeatedly; the
+     * destructor calls it and warns on error.
+     */
+    Status close();
 
   private:
+    struct Unchecked
+    {
+    };
+    TraceFileWriter(Unchecked, const std::string &path);
+
+    Status openFile();
+
     std::FILE *fp = nullptr;
     std::string path_;
 };
 
+/** What, if anything, is wrong with a trace file. */
+enum class TraceDefect
+{
+    None = 0,
+    IoError,         ///< cannot open/read the file
+    ZeroLength,      ///< file is completely empty
+    TruncatedHeader, ///< shorter than the 16-byte header
+    BadMagic,        ///< leading bytes are not "CCMTRACE"
+    BadVersion,      ///< recognized header, unsupported version
+    PartialTail,     ///< trailing bytes form no complete record
+    MidFileGarbage,  ///< implausible record bytes inside the body
+};
+
+/** Stable lower-case name of @p d (e.g. "bad-magic"). */
+const char *traceDefectName(TraceDefect d);
+
+/** Knobs for tolerant trace loading (defaults are fully strict). */
+struct TraceReadOptions
+{
+    /**
+     * Maximum number of resync events (runs of garbage bytes skipped
+     * to the next plausible record boundary).  0 = any garbage is an
+     * error.
+     */
+    std::size_t corruptionBudget = 0;
+
+    /** Treat a trailing partial record as end-of-trace + warning. */
+    bool tolerateTruncatedTail = false;
+
+    /** Suppress the warnings normally emitted for tolerated defects. */
+    bool quiet = false;
+};
+
+/** Diagnostics from one load, MemStats-style dumpable. */
+struct TraceReadStats
+{
+    Count recordsRead = 0;
+    Count resyncEvents = 0;   ///< garbage runs skipped
+    Count bytesSkipped = 0;   ///< total garbage bytes passed over
+    bool truncatedTail = false;
+
+    /** First defect seen, including ones that were tolerated. */
+    TraceDefect firstDefect = TraceDefect::None;
+
+    bool clean() const
+    {
+        return firstDefect == TraceDefect::None;
+    }
+
+    /** Write "trace.<stat> <value>" lines (gem5-style stats dump). */
+    void dump(std::ostream &os, const char *prefix = "trace") const;
+};
+
+/**
+ * Load @p path into @p out according to @p opts.
+ *
+ * On error @p out is left empty; @p stats is always filled in (its
+ * firstDefect identifies what went wrong or what was tolerated).
+ */
+Status loadTraceFile(const std::string &path,
+                     const TraceReadOptions &opts,
+                     std::vector<MemRecord> &out,
+                     TraceReadStats &stats);
+
+/**
+ * Classify @p path without failing: loads with unlimited corruption
+ * budget and tail tolerance and reports the first defect found
+ * (TraceDefect::None for a clean file).  @p stats, when non-null,
+ * receives the full load diagnostics.
+ */
+TraceDefect probeTraceFile(const std::string &path,
+                           TraceReadStats *stats = nullptr);
+
 /**
  * Replay a binary trace file.  The whole file is validated and loaded
- * at construction (traces here are small); fatal on malformed input.
+ * up front (traces here are small); the legacy constructor is fatal
+ * on malformed input, open() reports a Status instead.
  */
 class TraceFileReader : public TraceSource
 {
   public:
+    /** Strict load; fatal on any defect. */
     explicit TraceFileReader(const std::string &path);
+
+    /** Load according to @p opts; error status instead of dying. */
+    static Expected<std::unique_ptr<TraceFileReader>>
+    open(const std::string &path, const TraceReadOptions &opts = {});
 
     bool next(MemRecord &out) override;
     void reset() override { pos = 0; }
@@ -61,10 +169,16 @@ class TraceFileReader : public TraceSource
 
     std::size_t size() const { return records.size(); }
 
+    /** Diagnostics from the load (skips, resyncs, truncation). */
+    const TraceReadStats &readStats() const { return stats_; }
+
   private:
+    TraceFileReader() = default;
+
     std::vector<MemRecord> records;
     std::size_t pos = 0;
     std::string label;
+    TraceReadStats stats_;
 };
 
 } // namespace ccm

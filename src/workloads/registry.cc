@@ -58,6 +58,31 @@ makeWorkload(const std::string &name, std::size_t mem_refs,
     return nullptr;
 }
 
+Status
+validateWorkloadRequest(const std::string &name, std::size_t mem_refs)
+{
+    bool known = false;
+    for (const auto &s : workloadSuite())
+        known = known || s.name == name;
+    if (!known)
+        return Status::notFound("unknown workload '", name, "'");
+    if (mem_refs == 0) {
+        return Status::badConfig("workload '", name,
+                                 "' needs mem_refs > 0");
+    }
+    return Status::ok();
+}
+
+Expected<std::unique_ptr<TraceSource>>
+makeWorkloadChecked(const std::string &name, std::size_t mem_refs,
+                    std::uint64_t seed)
+{
+    Status s = validateWorkloadRequest(name, mem_refs);
+    if (!s.isOk())
+        return s;
+    return makeWorkload(name, mem_refs, seed);
+}
+
 std::vector<std::string>
 workloadNames()
 {

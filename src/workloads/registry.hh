@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "trace/source.hh"
 
 namespace ccm
@@ -41,6 +42,18 @@ const std::vector<WorkloadSpec> &workloadSuite();
 std::unique_ptr<TraceSource> makeWorkload(const std::string &name,
                                           std::size_t mem_refs,
                                           std::uint64_t seed);
+
+/** Reject an unknown name or invalid parameters without dying. */
+Status validateWorkloadRequest(const std::string &name,
+                               std::size_t mem_refs);
+
+/**
+ * Validating factory: the generator, or a NotFound/BadConfig status
+ * explaining why the request is unservable.
+ */
+Expected<std::unique_ptr<TraceSource>>
+makeWorkloadChecked(const std::string &name, std::size_t mem_refs,
+                    std::uint64_t seed);
 
 /** Names of every workload in suite order. */
 std::vector<std::string> workloadNames();

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/experiment.hh"
 #include "trace/vector_trace.hh"
@@ -121,6 +123,95 @@ TEST(Experiment, StatsDumpFormat)
         ++pos;
     }
     EXPECT_EQ(lines, 25u);
+}
+
+TEST(Experiment, TryRunTimingMatchesRunTiming)
+{
+    auto wl = makeWorkload("go", 3000, 5);
+    VectorTrace t = VectorTrace::capture(*wl);
+    RunOutput direct = runTiming(t, baselineConfig());
+    Expected<RunOutput> checked = tryRunTiming(t, baselineConfig());
+    ASSERT_TRUE(checked.ok());
+    EXPECT_EQ(checked.value().sim.cycles, direct.sim.cycles);
+    EXPECT_EQ(checked.value().mem.l1Misses, direct.mem.l1Misses);
+}
+
+TEST(Experiment, TryRunTimingReportsBadConfigInsteadOfDying)
+{
+    auto wl = makeWorkload("go", 1000, 5);
+    VectorTrace t = VectorTrace::capture(*wl);
+    SystemConfig cfg = baselineConfig();
+    cfg.mem.l1Bytes = 15000; // not a power of two
+    Expected<RunOutput> r = tryRunTiming(t, cfg);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::BadConfig);
+    EXPECT_NE(r.status().message().find("power of two"),
+              std::string::npos);
+}
+
+TEST(Suite, CompletesDespiteOneFailingWorkload)
+{
+    std::vector<std::string> names = {"go", "gcc", "perl"};
+    auto factory = [](const std::string &name)
+        -> Expected<std::unique_ptr<TraceSource>> {
+        if (name == "gcc")
+            return Status::corruptTrace("bad trace magic in gcc.bin");
+        return makeWorkloadChecked(name, 2000, 3);
+    };
+    SuiteReport report =
+        runSuite(names, factory, baselineConfig());
+
+    ASSERT_EQ(report.rows.size(), 3u);
+    EXPECT_EQ(report.failures(), 1u);
+    EXPECT_FALSE(report.allOk());
+
+    // Row order matches the request, and the healthy runs completed.
+    EXPECT_EQ(report.rows[0].workload, "go");
+    EXPECT_TRUE(report.rows[0].ok());
+    EXPECT_GT(report.rows[0].out.sim.cycles, 0u);
+    EXPECT_TRUE(report.rows[2].ok());
+    EXPECT_GT(report.rows[2].out.sim.cycles, 0u);
+
+    const SuiteRow *bad = report.row("gcc");
+    ASSERT_NE(bad, nullptr);
+    EXPECT_FALSE(bad->ok());
+    EXPECT_EQ(bad->status.code(), ErrorCode::CorruptTrace);
+    // Context names the workload, outermost first.
+    EXPECT_NE(bad->status.message().find("workload 'gcc'"),
+              std::string::npos);
+}
+
+TEST(Suite, UnknownWorkloadBecomesErroredRow)
+{
+    SuiteReport report = runSuite({"go", "nonesuch"}, 2000, 3,
+                                  baselineConfig());
+    ASSERT_EQ(report.rows.size(), 2u);
+    EXPECT_TRUE(report.rows[0].ok());
+    EXPECT_FALSE(report.rows[1].ok());
+    EXPECT_EQ(report.rows[1].status.code(), ErrorCode::NotFound);
+}
+
+TEST(Suite, ThrowingFactoryIsIsolated)
+{
+    auto factory = [](const std::string &name)
+        -> Expected<std::unique_ptr<TraceSource>> {
+        if (name == "go")
+            throw std::runtime_error("factory exploded");
+        return makeWorkloadChecked(name, 1000, 3);
+    };
+    SuiteReport report =
+        runSuite({"go", "perl"}, factory, baselineConfig());
+    EXPECT_FALSE(report.rows[0].ok());
+    EXPECT_EQ(report.rows[0].status.code(), ErrorCode::Internal);
+    EXPECT_TRUE(report.rows[1].ok());
+}
+
+TEST(Suite, FullSuiteSweepAllOk)
+{
+    SuiteReport report =
+        runSuite(workloadNames(), 1000, 3, baselineConfig());
+    EXPECT_EQ(report.rows.size(), 16u);
+    EXPECT_TRUE(report.allOk());
 }
 
 TEST(Experiment, RunOutputCarriesBothViews)

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * The corrupted-trace matrix: every on-disk defect class against the
+ * tolerant reader, the probe, and the fault-injection decorator.
+ *
+ * File damage (bad magic, partial tails, mid-file garbage) is staged
+ * by writing raw bytes; record-level dirt (bit flips, drops,
+ * duplicates, truncation) comes from FaultInjectingSource.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/fault_trace.hh"
+#include "trace/file_trace.hh"
+#include "trace/vector_trace.hh"
+
+namespace ccm
+{
+namespace
+{
+
+class CorruptTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path = ::testing::TempDir() + "ccm_fault_" + info->name() +
+               ".bin";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    void
+    writeBytes(const std::vector<std::uint8_t> &bytes)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        if (!bytes.empty())
+            ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                      bytes.size());
+        std::fclose(f);
+    }
+
+    static std::vector<std::uint8_t>
+    header(std::uint32_t version = 1)
+    {
+        std::vector<std::uint8_t> h = {'C', 'C', 'M', 'T',
+                                       'R', 'A', 'C', 'E'};
+        for (int i = 0; i < 4; ++i)
+            h.push_back((version >> (8 * i)) & 0xff);
+        for (int i = 0; i < 4; ++i)
+            h.push_back(0);
+        return h;
+    }
+
+    /**
+     * One packed record with every pc/addr byte nonzero, so garbage
+     * resync can never find a false record boundary inside it.
+     */
+    static std::vector<std::uint8_t>
+    record(std::uint8_t fill, std::uint8_t type = 1)
+    {
+        std::vector<std::uint8_t> r(24, 0);
+        for (int i = 0; i < 16; ++i)
+            r[i] = fill;
+        r[16] = type;
+        r[17] = 0;
+        return r;
+    }
+
+    static void
+    append(std::vector<std::uint8_t> &to,
+           const std::vector<std::uint8_t> &bytes)
+    {
+        to.insert(to.end(), bytes.begin(), bytes.end());
+    }
+
+    std::string path;
+};
+
+TEST_F(CorruptTraceTest, ZeroLengthFile)
+{
+    writeBytes({});
+    EXPECT_EQ(probeTraceFile(path), TraceDefect::ZeroLength);
+
+    auto rd = TraceFileReader::open(path);
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::CorruptTrace);
+    EXPECT_NE(rd.status().message().find("empty trace file"),
+              std::string::npos);
+}
+
+TEST_F(CorruptTraceTest, TruncatedHeader)
+{
+    writeBytes({'C', 'C', 'M', 'T', 'R', 'A', 'C', 'E'});
+    EXPECT_EQ(probeTraceFile(path), TraceDefect::TruncatedHeader);
+
+    auto rd = TraceFileReader::open(path);
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::CorruptTrace);
+    EXPECT_NE(rd.status().message().find("truncated trace header"),
+              std::string::npos);
+}
+
+TEST_F(CorruptTraceTest, BadMagic)
+{
+    std::vector<std::uint8_t> bytes(16, 'X');
+    writeBytes(bytes);
+    EXPECT_EQ(probeTraceFile(path), TraceDefect::BadMagic);
+
+    auto rd = TraceFileReader::open(path);
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::CorruptTrace);
+}
+
+TEST_F(CorruptTraceTest, UnsupportedVersion)
+{
+    writeBytes(header(99));
+    EXPECT_EQ(probeTraceFile(path), TraceDefect::BadVersion);
+
+    auto rd = TraceFileReader::open(path);
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::Unsupported);
+}
+
+TEST_F(CorruptTraceTest, MissingFileIsIoError)
+{
+    auto rd = TraceFileReader::open(path + ".does-not-exist");
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::IoError);
+    EXPECT_EQ(probeTraceFile(path + ".does-not-exist"),
+              TraceDefect::IoError);
+}
+
+TEST_F(CorruptTraceTest, DirectoryIsIoErrorNotZeroLength)
+{
+    // fopen("rb") on a directory succeeds on Linux; the first fread
+    // then fails with EISDIR. That is an I/O problem, not an empty
+    // trace.
+    auto rd = TraceFileReader::open(::testing::TempDir());
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::IoError);
+    EXPECT_EQ(probeTraceFile(::testing::TempDir()),
+              TraceDefect::IoError);
+}
+
+TEST_F(CorruptTraceTest, CleanFileProbesClean)
+{
+    auto bytes = header();
+    append(bytes, record(0x11));
+    append(bytes, record(0x22, 2));
+    writeBytes(bytes);
+
+    TraceReadStats stats;
+    EXPECT_EQ(probeTraceFile(path, &stats), TraceDefect::None);
+    EXPECT_TRUE(stats.clean());
+    EXPECT_EQ(stats.recordsRead, 2u);
+    EXPECT_EQ(stats.resyncEvents, 0u);
+    EXPECT_EQ(stats.bytesSkipped, 0u);
+    EXPECT_FALSE(stats.truncatedTail);
+}
+
+TEST_F(CorruptTraceTest, PartialTailStrictFails)
+{
+    auto bytes = header();
+    append(bytes, record(0x11));
+    bytes.resize(bytes.size() - 5); // chop the record
+    writeBytes(bytes);
+
+    EXPECT_EQ(probeTraceFile(path), TraceDefect::PartialTail);
+
+    auto rd = TraceFileReader::open(path);
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::CorruptTrace);
+    EXPECT_NE(rd.status().message().find("partial record"),
+              std::string::npos);
+}
+
+TEST_F(CorruptTraceTest, PartialTailToleratedIsEndOfTrace)
+{
+    auto bytes = header();
+    append(bytes, record(0x11));
+    append(bytes, record(0x22));
+    bytes.resize(bytes.size() - 7);
+    writeBytes(bytes);
+
+    TraceReadOptions opts;
+    opts.tolerateTruncatedTail = true;
+    opts.quiet = true;
+    auto rd = TraceFileReader::open(path, opts);
+    ASSERT_TRUE(rd.ok()) << rd.status().toString();
+    EXPECT_EQ(rd.value()->size(), 1u);
+
+    const TraceReadStats &stats = rd.value()->readStats();
+    EXPECT_TRUE(stats.truncatedTail);
+    EXPECT_EQ(stats.firstDefect, TraceDefect::PartialTail);
+    EXPECT_EQ(stats.bytesSkipped, 17u);
+
+    MemRecord r;
+    ASSERT_TRUE(rd.value()->next(r));
+    EXPECT_EQ(r.addr, 0x1111111111111111u);
+}
+
+TEST_F(CorruptTraceTest, MidFileGarbageStrictFails)
+{
+    auto bytes = header();
+    append(bytes, record(0x11));
+    append(bytes, std::vector<std::uint8_t>(24, 0xFF));
+    append(bytes, record(0x22));
+    writeBytes(bytes);
+
+    EXPECT_EQ(probeTraceFile(path), TraceDefect::MidFileGarbage);
+
+    auto rd = TraceFileReader::open(path); // budget defaults to 0
+    ASSERT_FALSE(rd.ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::CorruptTrace);
+    EXPECT_NE(rd.status().message().find("garbage"),
+              std::string::npos);
+}
+
+TEST_F(CorruptTraceTest, MidFileGarbageResyncsWithinBudget)
+{
+    auto bytes = header();
+    append(bytes, record(0x11));
+    append(bytes, std::vector<std::uint8_t>(24, 0xFF));
+    append(bytes, record(0x22, 2));
+    writeBytes(bytes);
+
+    TraceReadOptions opts;
+    opts.corruptionBudget = 1;
+    opts.quiet = true;
+    auto rd = TraceFileReader::open(path, opts);
+    ASSERT_TRUE(rd.ok()) << rd.status().toString();
+    EXPECT_EQ(rd.value()->size(), 2u);
+
+    const TraceReadStats &stats = rd.value()->readStats();
+    EXPECT_EQ(stats.resyncEvents, 1u);
+    EXPECT_EQ(stats.bytesSkipped, 24u);
+    EXPECT_EQ(stats.firstDefect, TraceDefect::MidFileGarbage);
+
+    // Resync landed exactly on the next true record.
+    MemRecord r;
+    ASSERT_TRUE(rd.value()->next(r));
+    EXPECT_EQ(r.addr, 0x1111111111111111u);
+    ASSERT_TRUE(rd.value()->next(r));
+    EXPECT_EQ(r.addr, 0x2222222222222222u);
+    EXPECT_TRUE(r.isStore());
+}
+
+TEST_F(CorruptTraceTest, CorruptionBudgetIsEnforced)
+{
+    auto bytes = header();
+    append(bytes, record(0x11));
+    append(bytes, std::vector<std::uint8_t>(24, 0xFF));
+    append(bytes, record(0x22));
+    append(bytes, std::vector<std::uint8_t>(24, 0xFF));
+    append(bytes, record(0x33));
+    writeBytes(bytes);
+
+    TraceReadOptions opts;
+    opts.corruptionBudget = 1;
+    opts.quiet = true;
+    auto rd = TraceFileReader::open(path, opts);
+    ASSERT_FALSE(rd.ok());
+    EXPECT_NE(rd.status().message().find("budget exhausted"),
+              std::string::npos);
+
+    opts.corruptionBudget = 2;
+    auto rd2 = TraceFileReader::open(path, opts);
+    ASSERT_TRUE(rd2.ok()) << rd2.status().toString();
+    EXPECT_EQ(rd2.value()->size(), 3u);
+    EXPECT_EQ(rd2.value()->readStats().resyncEvents, 2u);
+}
+
+TEST_F(CorruptTraceTest, RepairProducesCleanTrace)
+{
+    auto bytes = header();
+    append(bytes, record(0x11));
+    append(bytes, std::vector<std::uint8_t>(24, 0xFF));
+    append(bytes, record(0x22));
+    bytes.resize(bytes.size() - 3); // and a truncated tail
+    writeBytes(bytes);
+
+    TraceReadOptions opts;
+    opts.corruptionBudget = ~std::size_t{0};
+    opts.tolerateTruncatedTail = true;
+    opts.quiet = true;
+    std::vector<MemRecord> records;
+    TraceReadStats stats;
+    ASSERT_TRUE(loadTraceFile(path, opts, records, stats).isOk());
+    EXPECT_EQ(records.size(), 1u);
+
+    std::string repaired = path + ".repaired";
+    {
+        auto w = TraceFileWriter::create(repaired);
+        ASSERT_TRUE(w.ok());
+        for (const auto &r : records)
+            ASSERT_TRUE(w.value()->writeChecked(r).isOk());
+        ASSERT_TRUE(w.value()->close().isOk());
+    }
+    EXPECT_EQ(probeTraceFile(repaired), TraceDefect::None);
+    std::remove(repaired.c_str());
+}
+
+TEST_F(CorruptTraceTest, DefectNamesAreStable)
+{
+    EXPECT_STREQ(traceDefectName(TraceDefect::None), "none");
+    EXPECT_STREQ(traceDefectName(TraceDefect::IoError), "io-error");
+    EXPECT_STREQ(traceDefectName(TraceDefect::ZeroLength),
+                 "zero-length");
+    EXPECT_STREQ(traceDefectName(TraceDefect::TruncatedHeader),
+                 "truncated-header");
+    EXPECT_STREQ(traceDefectName(TraceDefect::BadMagic), "bad-magic");
+    EXPECT_STREQ(traceDefectName(TraceDefect::BadVersion),
+                 "bad-version");
+    EXPECT_STREQ(traceDefectName(TraceDefect::PartialTail),
+                 "partial-tail");
+    EXPECT_STREQ(traceDefectName(TraceDefect::MidFileGarbage),
+                 "mid-file-garbage");
+}
+
+// ---- FaultInjectingSource -----------------------------------------
+
+VectorTrace
+cleanTrace(std::size_t n)
+{
+    VectorTrace t;
+    t.setName("clean");
+    for (std::size_t i = 0; i < n; ++i)
+        t.pushLoad(0x10000 + i * 64);
+    return t;
+}
+
+std::vector<MemRecord>
+drain(TraceSource &src)
+{
+    std::vector<MemRecord> out;
+    MemRecord r;
+    while (src.next(r))
+        out.push_back(r);
+    return out;
+}
+
+TEST(FaultInjectingSource, NoFaultsIsPassthrough)
+{
+    VectorTrace t = cleanTrace(50);
+    FaultInjectingSource f(t, FaultPlan{});
+    auto dirty = drain(f);
+    ASSERT_EQ(dirty.size(), 50u);
+    for (std::size_t i = 0; i < dirty.size(); ++i)
+        EXPECT_EQ(dirty[i].addr, 0x10000u + i * 64);
+    EXPECT_EQ(f.stats().bitFlips, 0u);
+    EXPECT_EQ(f.stats().drops, 0u);
+    EXPECT_EQ(f.name(), "clean+faults");
+}
+
+TEST(FaultInjectingSource, DropRateOneDropsEverything)
+{
+    VectorTrace t = cleanTrace(30);
+    FaultPlan plan;
+    plan.dropRate = 1.0;
+    FaultInjectingSource f(t, plan);
+    EXPECT_TRUE(drain(f).empty());
+    EXPECT_EQ(f.stats().drops, 30u);
+}
+
+TEST(FaultInjectingSource, DuplicateRateOneDoublesTheTrace)
+{
+    VectorTrace t = cleanTrace(10);
+    FaultPlan plan;
+    plan.duplicateRate = 1.0;
+    FaultInjectingSource f(t, plan);
+    auto dirty = drain(f);
+    ASSERT_EQ(dirty.size(), 20u);
+    for (std::size_t i = 0; i < dirty.size(); i += 2)
+        EXPECT_EQ(dirty[i].addr, dirty[i + 1].addr);
+    EXPECT_EQ(f.stats().duplicates, 10u);
+}
+
+TEST(FaultInjectingSource, TruncationEndsTheStreamEarly)
+{
+    VectorTrace t = cleanTrace(100);
+    FaultPlan plan;
+    plan.truncateAfter = 25;
+    FaultInjectingSource f(t, plan);
+    EXPECT_EQ(drain(f).size(), 25u);
+    EXPECT_TRUE(f.stats().truncated);
+
+    // Truncation at/after the end is not truncation.
+    VectorTrace t2 = cleanTrace(10);
+    plan.truncateAfter = 10;
+    FaultInjectingSource f2(t2, plan);
+    EXPECT_EQ(drain(f2).size(), 10u);
+    EXPECT_FALSE(f2.stats().truncated);
+}
+
+TEST(FaultInjectingSource, BitFlipsTouchExactlyOneBit)
+{
+    VectorTrace t = cleanTrace(40);
+    FaultPlan plan;
+    plan.bitFlipRate = 1.0;
+    FaultInjectingSource f(t, plan);
+    auto dirty = drain(f);
+    ASSERT_EQ(dirty.size(), 40u);
+    EXPECT_EQ(f.stats().bitFlips, 40u);
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+        Addr cleanAddr = 0x10000 + i * 64;
+        Addr cleanPc = t.at(i).pc;
+        std::uint64_t diff = (dirty[i].addr ^ cleanAddr) |
+                             (dirty[i].pc ^ cleanPc);
+        // Exactly one bit across pc|addr differs, types untouched.
+        EXPECT_EQ(__builtin_popcountll(dirty[i].addr ^ cleanAddr) +
+                      __builtin_popcountll(dirty[i].pc ^ cleanPc),
+                  1)
+            << "record " << i;
+        EXPECT_NE(diff, 0u);
+        EXPECT_EQ(dirty[i].type, RecordType::Load);
+    }
+}
+
+TEST(FaultInjectingSource, DeterministicAcrossReset)
+{
+    VectorTrace t = cleanTrace(200);
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.bitFlipRate = 0.1;
+    plan.dropRate = 0.1;
+    plan.duplicateRate = 0.1;
+    FaultInjectingSource f(t, plan);
+
+    auto first = drain(f);
+    FaultStats firstStats = f.stats();
+    f.reset();
+    auto second = drain(f);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].addr, second[i].addr);
+        EXPECT_EQ(first[i].pc, second[i].pc);
+    }
+    EXPECT_EQ(f.stats().bitFlips, firstStats.bitFlips);
+    EXPECT_EQ(f.stats().drops, firstStats.drops);
+    EXPECT_EQ(f.stats().duplicates, firstStats.duplicates);
+
+    // Some faults actually fired on a 200-record trace at 10% rates.
+    EXPECT_GT(firstStats.bitFlips + firstStats.drops +
+                  firstStats.duplicates,
+              0u);
+}
+
+TEST(FaultInjectingSource, DifferentSeedsDiffer)
+{
+    VectorTrace t = cleanTrace(200);
+    FaultPlan a;
+    a.seed = 1;
+    a.dropRate = 0.5;
+    FaultPlan b = a;
+    b.seed = 2;
+
+    FaultInjectingSource fa(t, a);
+    auto da = drain(fa);
+    t.reset();
+    FaultInjectingSource fb(t, b);
+    auto db = drain(fb);
+
+    bool differ = da.size() != db.size();
+    for (std::size_t i = 0; !differ && i < da.size(); ++i)
+        differ = da[i].addr != db[i].addr;
+    EXPECT_TRUE(differ);
+}
+
+TEST(FaultInjectingSource, InvalidRatesAreFatal)
+{
+    VectorTrace t = cleanTrace(1);
+    FaultPlan plan;
+    plan.dropRate = 1.5;
+    EXPECT_DEATH(FaultInjectingSource(t, plan), "within");
+}
+
+TEST(FaultInjectingSource, DirtyTraceStillSimulatesRoundTrip)
+{
+    // A dirty trace written to disk and read back strictly is still a
+    // structurally valid trace: faults corrupt content, not format.
+    VectorTrace t = cleanTrace(100);
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.bitFlipRate = 0.2;
+    plan.dropRate = 0.1;
+    plan.duplicateRate = 0.1;
+    FaultInjectingSource f(t, plan);
+
+    std::string path = ::testing::TempDir() + "ccm_dirty_rt.bin";
+    std::size_t n;
+    {
+        TraceFileWriter w(path);
+        n = w.writeAll(f);
+    }
+    TraceFileReader rd(path);
+    EXPECT_EQ(rd.size(), n);
+    EXPECT_EQ(probeTraceFile(path), TraceDefect::None);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ccm

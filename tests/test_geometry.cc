@@ -73,6 +73,31 @@ TEST(Geometry, Describe)
     EXPECT_EQ(CacheGeometry(512, 1, 64).describe(), "512B/1way/64B");
 }
 
+TEST(Geometry, ValidateRejectsWithoutDying)
+{
+    EXPECT_TRUE(CacheGeometry::validate(16 * 1024, 1, 64).isOk());
+    Status s = CacheGeometry::validate(15000, 1, 64);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::BadConfig);
+    EXPECT_NE(s.message().find("power of two"), std::string::npos);
+    EXPECT_FALSE(CacheGeometry::validate(16 * 1024, 1, 60).isOk());
+    EXPECT_FALSE(CacheGeometry::validate(16 * 1024, 0, 64).isOk());
+    // 128B cache, 1 way, 64B lines -> 2 sets: fine.  3-way doesn't
+    // divide the capacity.
+    EXPECT_FALSE(CacheGeometry::validate(128, 3, 64).isOk());
+}
+
+TEST(Geometry, MakeReturnsGeometryOrStatus)
+{
+    auto g = CacheGeometry::make(16 * 1024, 2, 64);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g.value().numSets(), 128u);
+
+    auto bad = CacheGeometry::make(15000, 1, 64);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::BadConfig);
+}
+
 TEST(GeometryDeath, RejectsNonPowerOfTwoSize)
 {
     EXPECT_DEATH(CacheGeometry(15000, 1, 64), "power of two");

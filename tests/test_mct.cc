@@ -116,6 +116,16 @@ TEST(Mct, TagBitsAccessor)
     EXPECT_EQ(MissClassificationTable(4).tagBits(), 0u);
 }
 
+TEST(Mct, ValidateRejectsWithoutDying)
+{
+    EXPECT_TRUE(MissClassificationTable::validate(4, 12).isOk());
+    EXPECT_TRUE(MissClassificationTable::validate(4, 0).isOk());
+    EXPECT_EQ(MissClassificationTable::validate(0, 0).code(),
+              ErrorCode::BadConfig);
+    EXPECT_EQ(MissClassificationTable::validate(4, 65).code(),
+              ErrorCode::BadConfig);
+}
+
 TEST(MctDeath, ZeroSetsRejected)
 {
     EXPECT_DEATH(MissClassificationTable(0), "at least one");

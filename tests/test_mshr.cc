@@ -70,6 +70,12 @@ TEST(Mshr, ClearEmpties)
     EXPECT_EQ(m.occupancy(), 0u);
 }
 
+TEST(Mshr, ValidateRejectsWithoutDying)
+{
+    EXPECT_TRUE(MshrFile::validate(16).isOk());
+    EXPECT_EQ(MshrFile::validate(0).code(), ErrorCode::BadConfig);
+}
+
 TEST(MshrDeath, ZeroEntriesRejected)
 {
     EXPECT_DEATH(MshrFile{0}, "at least one");

@@ -89,6 +89,17 @@ TEST(Shadow, ClearForgets)
     EXPECT_FALSE(sd.isConflictMiss(0, 0x1));
 }
 
+TEST(Shadow, ValidateRejectsWithoutDying)
+{
+    EXPECT_TRUE(ShadowDirectory::validate(4, 2, 12).isOk());
+    EXPECT_EQ(ShadowDirectory::validate(0, 1, 0).code(),
+              ErrorCode::BadConfig);
+    EXPECT_EQ(ShadowDirectory::validate(4, 0, 0).code(),
+              ErrorCode::BadConfig);
+    EXPECT_EQ(ShadowDirectory::validate(4, 1, 70).code(),
+              ErrorCode::BadConfig);
+}
+
 TEST(ShadowDeath, BadParams)
 {
     EXPECT_DEATH(ShadowDirectory(0, 1), "at least one");

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 
 #include "trace/file_trace.hh"
@@ -178,6 +179,67 @@ TEST_F(TraceFileTest, ReaderResets)
     rd.reset();
     ASSERT_TRUE(rd.next(r));
     EXPECT_EQ(r.addr, 0x40u);
+}
+
+TEST_F(TraceFileTest, WriterCreateReportsUnwritablePath)
+{
+    auto w = TraceFileWriter::create("/nonexistent/dir/out.bin");
+    ASSERT_FALSE(w.ok());
+    EXPECT_EQ(w.status().code(), ErrorCode::IoError);
+    // The status carries the OS diagnostic, not just the path.
+    EXPECT_NE(w.status().message().find("("), std::string::npos);
+}
+
+TEST_F(TraceFileTest, WriterCloseReportsStatusAndIsIdempotent)
+{
+    auto w = TraceFileWriter::create(path);
+    ASSERT_TRUE(w.ok());
+    MemRecord r;
+    r.type = RecordType::Load;
+    r.addr = 0x40;
+    EXPECT_TRUE(w.value()->writeChecked(r).isOk());
+    EXPECT_TRUE(w.value()->close().isOk());
+    EXPECT_TRUE(w.value()->close().isOk()); // second close is a no-op
+
+    // Writes after close are recoverable errors via the checked path.
+    Status s = w.value()->writeChecked(r);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::IoError);
+}
+
+TEST_F(TraceFileTest, OpenReturnsReaderWithCleanStats)
+{
+    {
+        TraceFileWriter w(path);
+        MemRecord r;
+        r.type = RecordType::Store;
+        r.addr = 0x80;
+        w.write(r);
+    }
+    auto rd = TraceFileReader::open(path);
+    ASSERT_TRUE(rd.ok()) << rd.status().toString();
+    EXPECT_EQ(rd.value()->size(), 1u);
+    EXPECT_TRUE(rd.value()->readStats().clean());
+    EXPECT_EQ(rd.value()->readStats().recordsRead, 1u);
+}
+
+TEST_F(TraceFileTest, ReadStatsDumpFormat)
+{
+    {
+        TraceFileWriter w(path);
+        MemRecord r;
+        r.type = RecordType::Load;
+        w.write(r);
+    }
+    TraceFileReader rd(path);
+    std::ostringstream os;
+    rd.readStats().dump(os, "t");
+    std::string s = os.str();
+    EXPECT_NE(s.find("t.records_read 1"), std::string::npos);
+    EXPECT_NE(s.find("t.resync_events 0"), std::string::npos);
+    EXPECT_NE(s.find("t.bytes_skipped 0"), std::string::npos);
+    EXPECT_NE(s.find("t.truncated_tail 0"), std::string::npos);
+    EXPECT_NE(s.find("t.first_defect none"), std::string::npos);
 }
 
 TEST_F(TraceFileTest, MissingFileIsFatal)

@@ -278,5 +278,30 @@ TEST(WorkloadsDeath, ZeroRefsIsFatal)
     EXPECT_DEATH(SwimLike(0, 1), "mem_refs");
 }
 
+TEST(Registry, ValidateWorkloadRequest)
+{
+    EXPECT_TRUE(validateWorkloadRequest("gcc", 100).isOk());
+    EXPECT_EQ(validateWorkloadRequest("nonesuch", 100).code(),
+              ErrorCode::NotFound);
+    EXPECT_EQ(validateWorkloadRequest("gcc", 0).code(),
+              ErrorCode::BadConfig);
+}
+
+TEST(Registry, MakeWorkloadCheckedReturnsStatusNotDeath)
+{
+    auto ok = makeWorkloadChecked("gcc", 100, 1);
+    ASSERT_TRUE(ok.ok());
+    ASSERT_TRUE(ok.value() != nullptr);
+    EXPECT_EQ(ok.value()->name(), "gcc");
+
+    auto unknown = makeWorkloadChecked("nonesuch", 100, 1);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), ErrorCode::NotFound);
+
+    auto zero = makeWorkloadChecked("gcc", 0, 1);
+    ASSERT_FALSE(zero.ok());
+    EXPECT_EQ(zero.status().code(), ErrorCode::BadConfig);
+}
+
 } // namespace
 } // namespace ccm

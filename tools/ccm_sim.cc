@@ -7,9 +7,16 @@
  *   ccm-sim --workload tomcatv --arch victim --filter-swaps
  *   ccm-sim --trace foo.bin --arch amb --victim --prefetch --exclude
  *   ccm-sim --workload gcc --arch exclude --exclude-algo mat
+ *   ccm-sim --suite --arch victim
+ *   ccm-sim --suite --trace-dir traces/ --arch baseline
  *   ccm-sim --list
  *
- * Exit status 0 on success, 1 on usage errors.
+ * Suite mode sweeps the whole workload suite with per-run failure
+ * isolation: a corrupt trace or failing run becomes an ERROR row and
+ * the remaining runs still complete.
+ *
+ * Exit status 0 on success, 1 on usage errors, 2 when a suite sweep
+ * finished with one or more errored rows.
  */
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "common/table.hh"
 #include "sim/experiment.hh"
 #include "trace/file_trace.hh"
 #include "workloads/registry.hh"
@@ -35,6 +43,12 @@ struct Options
     std::string arch = "baseline";
     std::size_t refs = 1'000'000;
     std::uint64_t seed = 42;
+
+    // suite sweep
+    bool suite = false;
+    std::string traceDir;
+    std::size_t budget = 0;
+    bool tolerateTruncation = false;
 
     // cache geometry
     std::size_t l1Kb = 16;
@@ -72,6 +86,12 @@ usage()
         "  --workload NAME            synthetic workload (default "
         "tomcatv)\n"
         "  --trace PATH               binary trace file instead\n"
+        "  --suite                    sweep the whole suite; failed\n"
+        "                             runs become ERROR rows\n"
+        "  --trace-dir DIR            suite traces from DIR/NAME.bin\n"
+        "  --budget N                 tolerate N garbage runs per "
+        "trace\n"
+        "  --tolerate-truncation      truncated tail = end of trace\n"
         "  --refs N                   memory references (default 1M)\n"
         "  --seed N                   workload seed (default 42)\n"
         "  --arch A                   baseline | victim | prefetch |\n"
@@ -166,6 +186,58 @@ buildConfig(const Options &o)
     return cfg;
 }
 
+int
+runSuiteMode(const Options &o)
+{
+    SystemConfig cfg = buildConfig(o);
+
+    TraceReadOptions ropts;
+    ropts.corruptionBudget = o.budget;
+    ropts.tolerateTruncatedTail = o.tolerateTruncation;
+
+    auto factory = [&](const std::string &name)
+        -> Expected<std::unique_ptr<TraceSource>> {
+        if (o.traceDir.empty())
+            return makeWorkloadChecked(name, o.refs, o.seed);
+        std::string path = o.traceDir + "/" + name + ".bin";
+        auto rd = TraceFileReader::open(path, ropts);
+        if (!rd.ok())
+            return rd.status();
+        return std::unique_ptr<TraceSource>(rd.take().release());
+    };
+
+    SuiteReport report = runSuite(workloadNames(), factory, cfg);
+
+    TextTable table({"workload", "status", "cycles", "ipc", "miss%"});
+    for (const auto &row : report.rows) {
+        std::size_t r = table.addRow(row.workload);
+        if (row.ok()) {
+            table.set(r, 1, "ok");
+            table.set(r, 2, std::to_string(row.out.sim.cycles));
+            table.setNum(r, 3, row.out.sim.ipc);
+            table.setNum(r, 4, row.out.mem.missRatePct());
+        } else {
+            table.set(r, 1,
+                      std::string("ERROR[") +
+                          errorCodeName(row.status.code()) + "]");
+            table.set(r, 2, "-");
+            table.set(r, 3, "-");
+            table.set(r, 4, "-");
+        }
+    }
+    std::cout << "== ccm-sim suite: " << o.arch << " ==\n";
+    table.print(std::cout);
+
+    for (const auto &row : report.rows) {
+        if (!row.ok())
+            std::cerr << "error: " << row.status.toString() << "\n";
+    }
+    std::cout << report.rows.size() - report.failures() << "/"
+              << report.rows.size() << " runs ok, "
+              << report.failures() << " errored\n";
+    return report.allOk() ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -192,6 +264,14 @@ main(int argc, char **argv)
             o.workload = val();
         } else if (a == "--trace") {
             o.tracePath = val();
+        } else if (a == "--suite") {
+            o.suite = true;
+        } else if (a == "--trace-dir") {
+            o.traceDir = val();
+        } else if (a == "--budget") {
+            o.budget = std::atol(val().c_str());
+        } else if (a == "--tolerate-truncation") {
+            o.tolerateTruncation = true;
         } else if (a == "--refs") {
             o.refs = std::atol(val().c_str());
         } else if (a == "--seed") {
@@ -236,6 +316,9 @@ main(int argc, char **argv)
     }
 
     using namespace ccm;
+
+    if (o.suite)
+        return runSuiteMode(o);
 
     std::unique_ptr<TraceSource> src;
     if (!o.tracePath.empty()) {

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * tracecheck — validate and repair CCMTRACE files.
+ *
+ *   tracecheck validate TRACE.bin [--quiet]
+ *   tracecheck repair IN.bin OUT.bin [--budget N]
+ *
+ * `validate` classifies the file and exits with a deterministic code
+ * per defect class, so sweep scripts can triage a directory of traces
+ * without parsing output:
+ *
+ *   0  clean
+ *   1  usage error
+ *   2  cannot open / read (io-error)
+ *   3  zero-length file
+ *   4  truncated header
+ *   5  bad magic
+ *   6  unsupported version
+ *   7  trailing partial record
+ *   8  mid-file garbage
+ *   9  repair failed
+ *
+ * `repair` re-reads IN tolerantly (resyncing past garbage, treating a
+ * truncated tail as end-of-trace) and writes the surviving records to
+ * OUT as a clean v1 trace.  It exits 0 when OUT was written — even
+ * when records had to be dropped (that is the point) — and nonzero
+ * when IN's header is unusable or OUT cannot be written.
+ *
+ * The format and these semantics are documented in
+ * docs/TRACE_FORMAT.md.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/file_trace.hh"
+
+namespace
+{
+
+using namespace ccm;
+
+constexpr int exitOk = 0;
+constexpr int exitUsage = 1;
+constexpr int exitRepairFailed = 9;
+
+/** Deterministic defect -> exit-code mapping (documented above). */
+int
+defectExitCode(TraceDefect d)
+{
+    switch (d) {
+      case TraceDefect::None:
+        return exitOk;
+      case TraceDefect::IoError:
+        return 2;
+      case TraceDefect::ZeroLength:
+        return 3;
+      case TraceDefect::TruncatedHeader:
+        return 4;
+      case TraceDefect::BadMagic:
+        return 5;
+      case TraceDefect::BadVersion:
+        return 6;
+      case TraceDefect::PartialTail:
+        return 7;
+      case TraceDefect::MidFileGarbage:
+        return 8;
+    }
+    return exitUsage;
+}
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: tracecheck validate TRACE.bin [--quiet]\n"
+        "       tracecheck repair IN.bin OUT.bin [--budget N]\n"
+        "validate exit codes: 0 ok, 2 io-error, 3 zero-length,\n"
+        "  4 truncated-header, 5 bad-magic, 6 bad-version,\n"
+        "  7 partial-tail, 8 mid-file-garbage\n";
+}
+
+int
+cmdValidate(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage();
+        return exitUsage;
+    }
+    std::string path = argv[2];
+    bool quiet = argc > 3 && std::strcmp(argv[3], "--quiet") == 0;
+
+    TraceReadStats stats;
+    TraceDefect defect = probeTraceFile(path, &stats);
+    if (!quiet) {
+        std::cout << "file           " << path << "\n"
+                  << "verdict        " << traceDefectName(defect)
+                  << "\n";
+        stats.dump(std::cout);
+    }
+    return defectExitCode(defect);
+}
+
+int
+cmdRepair(int argc, char **argv)
+{
+    if (argc < 4) {
+        usage();
+        return exitUsage;
+    }
+    std::string in = argv[2];
+    std::string out = argv[3];
+    TraceReadOptions opts;
+    opts.corruptionBudget = ~std::size_t{0};
+    opts.tolerateTruncatedTail = true;
+    for (int i = 4; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--budget") == 0) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(argv[i + 1], &end, 10);
+            if (end == argv[i + 1] || *end != '\0') {
+                std::cerr << "--budget needs a number, got '"
+                          << argv[i + 1] << "'\n";
+                return exitUsage;
+            }
+            opts.corruptionBudget = v;
+        }
+    }
+
+    std::vector<MemRecord> records;
+    TraceReadStats stats;
+    Status s = loadTraceFile(in, opts, records, stats);
+    if (!s.isOk()) {
+        // Header-level damage (or budget exhaustion): nothing we can
+        // trust enough to salvage.
+        std::cerr << "cannot repair: " << s.toString() << "\n";
+        return stats.firstDefect == TraceDefect::None
+                   ? exitRepairFailed
+                   : defectExitCode(stats.firstDefect);
+    }
+
+    auto writer = TraceFileWriter::create(out);
+    if (!writer.ok()) {
+        std::cerr << "cannot repair: " << writer.status().toString()
+                  << "\n";
+        return exitRepairFailed;
+    }
+    for (const auto &r : records) {
+        Status ws = writer.value()->writeChecked(r);
+        if (!ws.isOk()) {
+            std::cerr << "cannot repair: " << ws.toString() << "\n";
+            return exitRepairFailed;
+        }
+    }
+    Status cs = writer.value()->close();
+    if (!cs.isOk()) {
+        std::cerr << "cannot repair: " << cs.toString() << "\n";
+        return exitRepairFailed;
+    }
+
+    std::cout << "repaired       " << in << " -> " << out << "\n"
+              << "records kept   " << records.size() << "\n"
+              << "resync events  " << stats.resyncEvents << "\n"
+              << "bytes dropped  " << stats.bytesSkipped << "\n"
+              << "truncated tail " << (stats.truncatedTail ? "yes"
+                                                           : "no")
+              << "\n";
+    return exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return exitUsage;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "validate")
+        return cmdValidate(argc, argv);
+    if (cmd == "repair")
+        return cmdRepair(argc, argv);
+    usage();
+    return exitUsage;
+}
