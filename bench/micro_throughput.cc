@@ -30,11 +30,12 @@ BM_MctClassify(benchmark::State &state)
     MissClassificationTable mct(256,
                                 static_cast<unsigned>(state.range(0)));
     for (std::size_t s = 0; s < 256; ++s)
-        mct.recordEviction(s, s * 31);
+        mct.recordEviction(SetIndex{s}, Tag{s * 31});
     Pcg32 rng(1);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            mct.classify(rng.next() & 255, rng.next()));
+            mct.classify(SetIndex{rng.next() & 255},
+                         Tag{rng.next()}));
     }
 }
 BENCHMARK(BM_MctClassify)->Arg(0)->Arg(8);
@@ -48,8 +49,8 @@ BM_CacheAccess(benchmark::State &state)
     Pcg32 rng(1);
     for (auto _ : state) {
         Addr a = (rng.next() & 0xFFFFF) << 3;
-        if (!cache.access(a, false))
-            cache.fill(a, false, false);
+        if (!cache.access(ByteAddr{a}, false))
+            cache.fill(ByteAddr{a}, false, false);
     }
 }
 BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(8);
@@ -60,7 +61,7 @@ BM_FaLruTouch(benchmark::State &state)
     FaLru fa(static_cast<std::size_t>(state.range(0)));
     Pcg32 rng(1);
     for (auto _ : state) {
-        Addr a = rng.next() & 0x3FF;
+        LineAddr a{rng.next() & 0x3FF};
         if (!fa.touch(a))
             fa.insert(a);
     }
@@ -72,11 +73,12 @@ BM_AssistBufferProbe(benchmark::State &state)
 {
     AssistBuffer buf(static_cast<unsigned>(state.range(0)));
     for (unsigned i = 0; i < buf.entries(); ++i)
-        buf.insert(i * 64, BufSource::Victim, false, false, 0);
+        buf.insert(LineAddr{i * 64}, BufSource::Victim, false,
+                   false, 0);
     Pcg32 rng(1);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            buf.find((rng.next() & 31) * 64));
+            buf.find(LineAddr{(rng.next() & 31) * 64}));
     }
 }
 BENCHMARK(BM_AssistBufferProbe)->Arg(8)->Arg(16);
@@ -90,7 +92,8 @@ BM_MemSysAccess(benchmark::State &state)
     Cycle now = 0;
     for (auto _ : state) {
         Addr a = (rng.next() & 0x7FFFF) << 3;
-        benchmark::DoNotOptimize(mem.access(0, a, false, now));
+        benchmark::DoNotOptimize(
+            mem.access(ByteAddr{0}, ByteAddr{a}, false, now));
         now += 2;
     }
 }

@@ -34,7 +34,7 @@ runMissRate(ccm::TraceSource &trace, unsigned assoc, bool bias,
     MemRecord r;
     while (trace.next(r)) {
         if (r.isMem())
-            cache.access(r.addr, r.isStore());
+            cache.access(r.dataAddr(), r.isStore());
     }
     if (overrides)
         *overrides = cache.biasOverrides();

@@ -25,16 +25,16 @@ main()
 
     // Two addresses exactly one cache-size apart: same set, different
     // tags — the canonical conflict pair.
-    const Addr line_a = 0x100040;
-    const Addr line_b = line_a + 16 * 1024;
+    const ByteAddr line_a{0x100040};
+    const ByteAddr line_b = line_a.advancedBy(16 * 1024);
 
-    auto access = [&](const char *label, Addr addr) {
+    auto access = [&](const char *label, ByteAddr addr) {
         if (cache.access(addr, false)) {
             std::cout << label << ": hit\n";
             return;
         }
-        std::size_t set = geom.setIndex(addr);
-        MissClass cls = mct.classify(set, geom.tag(addr));
+        SetIndex set = geom.setOf(addr);
+        MissClass cls = mct.classify(set, geom.tagOf(addr));
         std::cout << label << ": miss, classified "
                   << toString(cls) << "\n";
 
@@ -42,7 +42,7 @@ main()
         // would — the MCT is only ever written with evicted tags.
         FillResult ev = cache.fill(addr, isConflict(cls), false);
         if (ev.valid)
-            mct.recordEviction(set, geom.tag(ev.lineAddr));
+            mct.recordEviction(set, geom.tagOf(ev.lineAddr));
     };
 
     access("A (cold)     ", line_a);  // capacity (compulsory)

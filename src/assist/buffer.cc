@@ -13,7 +13,7 @@ AssistBuffer::AssistBuffer(unsigned num_entries, BufRepl repl_)
 }
 
 BufEntry *
-AssistBuffer::find(Addr line_addr)
+AssistBuffer::find(LineAddr line_addr)
 {
     for (auto &e : slots) {
         if (e.valid && e.lineAddr == line_addr)
@@ -23,7 +23,7 @@ AssistBuffer::find(Addr line_addr)
 }
 
 const BufEntry *
-AssistBuffer::find(Addr line_addr) const
+AssistBuffer::find(LineAddr line_addr) const
 {
     for (const auto &e : slots) {
         if (e.valid && e.lineAddr == line_addr)
@@ -59,7 +59,7 @@ AssistBuffer::victimSlot()
 }
 
 BufEvicted
-AssistBuffer::insert(Addr line_addr, BufSource source,
+AssistBuffer::insert(LineAddr line_addr, BufSource source,
                      bool conflict_bit, bool dirty, Cycle ready)
 {
     if (find(line_addr))
@@ -93,7 +93,7 @@ AssistBuffer::insert(Addr line_addr, BufSource source,
 }
 
 bool
-AssistBuffer::erase(Addr line_addr)
+AssistBuffer::erase(LineAddr line_addr)
 {
     BufEntry *e = find(line_addr);
     if (!e)

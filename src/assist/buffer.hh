@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -54,7 +55,7 @@ enum class BufRepl : std::uint8_t
 /** One assist-buffer entry. */
 struct BufEntry
 {
-    Addr lineAddr = invalidAddr;
+    LineAddr lineAddr = invalidLineAddr;
     bool valid = false;
     bool dirty = false;
     BufSource source = BufSource::Victim;
@@ -72,7 +73,7 @@ struct BufEntry
 struct BufEvicted
 {
     bool valid = false;
-    Addr lineAddr = 0;
+    LineAddr lineAddr{};
     bool dirty = false;
     BufSource source = BufSource::Victim;
     bool wasUsed = false;
@@ -86,8 +87,8 @@ class AssistBuffer
                           BufRepl repl = BufRepl::Lru);
 
     /** Look up a line; no replacement-state update. */
-    BufEntry *find(Addr line_addr);
-    const BufEntry *find(Addr line_addr) const;
+    BufEntry *find(LineAddr line_addr);
+    const BufEntry *find(LineAddr line_addr) const;
 
     /**
      * Record a hit on @p e: LRU update, per-source hit counters,
@@ -100,11 +101,11 @@ class AssistBuffer
      * full.  Counts wasted prefetches (prefetched entries evicted
      * before any use).
      */
-    BufEvicted insert(Addr line_addr, BufSource source,
+    BufEvicted insert(LineAddr line_addr, BufSource source,
                       bool conflict_bit, bool dirty, Cycle ready);
 
     /** Remove a line (e.g. promoted into the cache). */
-    bool erase(Addr line_addr);
+    bool erase(LineAddr line_addr);
 
     /** Invalidate everything (statistics kept). */
     void flush();

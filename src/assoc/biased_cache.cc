@@ -13,8 +13,8 @@ BiasedAssocCache::BiasedAssocCache(const CacheGeometry &geometry,
 {
 }
 
-unsigned
-BiasedAssocCache::chooseVictim(std::size_t set,
+WayIndex
+BiasedAssocCache::chooseVictim(SetIndex set,
                                bool &bias_applied) const
 {
     const CacheGeometry &g = cache.geometry();
@@ -22,40 +22,41 @@ BiasedAssocCache::chooseVictim(std::size_t set,
 
     // Free way first.
     for (unsigned w = 0; w < g.assoc(); ++w) {
-        if (!cache.lineAt(set, w).valid)
-            return w;
+        if (!cache.lineAt(set, WayIndex{w}).valid)
+            return WayIndex{w};
     }
 
     // Plain LRU victim for reference.
     unsigned lru = 0;
     for (unsigned w = 1; w < g.assoc(); ++w) {
-        if (cache.lineAt(set, w).lastUse <
-            cache.lineAt(set, lru).lastUse)
+        if (cache.lineAt(set, WayIndex{w}).lastUse <
+            cache.lineAt(set, WayIndex{lru}).lastUse)
             lru = w;
     }
     if (!useBias)
-        return lru;
+        return WayIndex{lru};
 
     // Biased: LRU among capacity-miss (unmarked) lines.
     bool found = false;
     unsigned victim = 0;
     for (unsigned w = 0; w < g.assoc(); ++w) {
-        const CacheLine &l = cache.lineAt(set, w);
+        const CacheLine &l = cache.lineAt(set, WayIndex{w});
         if (l.conflictBit)
             continue;
-        if (!found || l.lastUse < cache.lineAt(set, victim).lastUse) {
+        if (!found ||
+            l.lastUse < cache.lineAt(set, WayIndex{victim}).lastUse) {
             victim = w;
             found = true;
         }
     }
     if (!found)
-        return lru;       // every line protected: plain LRU
+        return WayIndex{lru};  // every line protected: plain LRU
     bias_applied = victim != lru;
-    return victim;
+    return WayIndex{victim};
 }
 
 BiasedAccess
-BiasedAssocCache::access(Addr addr, bool is_store)
+BiasedAssocCache::access(ByteAddr addr, bool is_store)
 {
     BiasedAccess out;
     if (cache.access(addr, is_store)) {
@@ -66,13 +67,13 @@ BiasedAssocCache::access(Addr addr, bool is_store)
     ++nMisses;
 
     const CacheGeometry &g = cache.geometry();
-    const std::size_t set = g.setIndex(addr);
-    const Addr tag = g.tag(addr);
+    const SetIndex set = g.setOf(addr);
+    const Tag tag = g.tagOf(addr);
 
     out.wasConflict = mct.isConflictMiss(set, tag);
 
     bool bias_applied = false;
-    unsigned way = chooseVictim(set, bias_applied);
+    WayIndex way = chooseVictim(set, bias_applied);
     out.biasApplied = bias_applied;
     if (bias_applied)
         ++nOverrides;
@@ -83,7 +84,7 @@ BiasedAssocCache::access(Addr addr, bool is_store)
         out.evictedValid = true;
         out.evictedLineAddr = ev.lineAddr;
         out.evictedDirty = ev.dirty;
-        mct.recordEviction(set, g.tag(ev.lineAddr));
+        mct.recordEviction(set, g.tagOf(ev.lineAddr));
     }
     return out;
 }

@@ -32,7 +32,7 @@ struct BiasedAccess
     /** For misses: whether the bias overrode the plain-LRU choice. */
     bool biasApplied = false;
     bool evictedValid = false;
-    Addr evictedLineAddr = 0;
+    LineAddr evictedLineAddr{};
     bool evictedDirty = false;
 };
 
@@ -49,7 +49,7 @@ class BiasedAssocCache
                      unsigned mct_tag_bits = 0);
 
     /** Access @p addr, filling on a miss. */
-    BiasedAccess access(Addr addr, bool is_store);
+    BiasedAccess access(ByteAddr addr, bool is_store);
 
     const CacheGeometry &geometry() const { return cache.geometry(); }
 
@@ -63,7 +63,7 @@ class BiasedAssocCache
     void clear();
 
   private:
-    unsigned chooseVictim(std::size_t set, bool &bias_applied) const;
+    WayIndex chooseVictim(SetIndex set, bool &bias_applied) const;
 
     Cache cache;
     bool useBias;

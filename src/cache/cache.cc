@@ -14,12 +14,12 @@ Cache::Cache(const CacheGeometry &geometry, ReplPolicy policy,
 }
 
 const CacheLine *
-Cache::probe(Addr addr) const
+Cache::probe(ByteAddr addr) const
 {
-    std::size_t set = geom.setIndex(addr);
-    Addr t = geom.tag(addr);
+    SetIndex set = geom.setOf(addr);
+    Tag t = geom.tagOf(addr);
     for (unsigned w = 0; w < geom.assoc(); ++w) {
-        const CacheLine &l = lines[set * geom.assoc() + w];
+        const CacheLine &l = lines[slotOf(set, WayIndex{w})];
         if (l.valid && l.tag == t)
             return &l;
     }
@@ -27,12 +27,12 @@ Cache::probe(Addr addr) const
 }
 
 CacheLine *
-Cache::lookupMutable(Addr addr)
+Cache::lookupMutable(ByteAddr addr)
 {
-    std::size_t set = geom.setIndex(addr);
-    Addr t = geom.tag(addr);
+    SetIndex set = geom.setOf(addr);
+    Tag t = geom.tagOf(addr);
     for (unsigned w = 0; w < geom.assoc(); ++w) {
-        CacheLine &l = lines[set * geom.assoc() + w];
+        CacheLine &l = lines[slotOf(set, WayIndex{w})];
         if (l.valid && l.tag == t)
             return &l;
     }
@@ -40,13 +40,13 @@ Cache::lookupMutable(Addr addr)
 }
 
 CacheLine *
-Cache::findLine(Addr addr)
+Cache::findLine(ByteAddr addr)
 {
     return lookupMutable(addr);
 }
 
 bool
-Cache::access(Addr addr, bool is_store)
+Cache::access(ByteAddr addr, bool is_store)
 {
     ++tick;
     CacheLine *l = lookupMutable(addr);
@@ -61,15 +61,15 @@ Cache::access(Addr addr, bool is_store)
     return false;
 }
 
-unsigned
-Cache::chooseVictimWay(std::size_t set) const
+WayIndex
+Cache::chooseVictimWay(SetIndex set) const
 {
-    const CacheLine *base = &lines[set * geom.assoc()];
+    const CacheLine *base = &lines[slotOf(set, WayIndex{0})];
 
     // An invalid way always wins.
     for (unsigned w = 0; w < geom.assoc(); ++w) {
         if (!base[w].valid)
-            return w;
+            return WayIndex{w};
     }
 
     switch (repl) {
@@ -79,7 +79,7 @@ Cache::chooseVictimWay(std::size_t set) const
             if (base[w].lastUse < base[victim].lastUse)
                 victim = w;
         }
-        return victim;
+        return WayIndex{victim};
       }
       case ReplPolicy::Fifo: {
         unsigned victim = 0;
@@ -87,7 +87,7 @@ Cache::chooseVictimWay(std::size_t set) const
             if (base[w].insertTime < base[victim].insertTime)
                 victim = w;
         }
-        return victim;
+        return WayIndex{victim};
       }
       case ReplPolicy::Random: {
         // xorshift64*; mutable state so probe/victimFor stay const.
@@ -96,47 +96,48 @@ Cache::chooseVictimWay(std::size_t set) const
         x ^= x << 25;
         x ^= x >> 27;
         rngState = x;
-        return static_cast<unsigned>(
-            (x * 2685821657736338717ULL) % geom.assoc());
+        return WayIndex{static_cast<unsigned>(
+            (x * 2685821657736338717ULL) % geom.assoc())};
       }
     }
     ccm_panic("unreachable replacement policy");
 }
 
 const CacheLine *
-Cache::victimFor(Addr addr) const
+Cache::victimFor(ByteAddr addr) const
 {
-    std::size_t set = geom.setIndex(addr);
-    const CacheLine *base = &lines[set * geom.assoc()];
+    SetIndex set = geom.setOf(addr);
+    const CacheLine *base = &lines[slotOf(set, WayIndex{0})];
     for (unsigned w = 0; w < geom.assoc(); ++w) {
         if (!base[w].valid)
             return nullptr;
     }
     // Note: for ReplPolicy::Random this advances the RNG; the paper's
     // configurations all use LRU, where this is stateless.
-    return &base[chooseVictimWay(set)];
+    return &base[chooseVictimWay(set).value()];
 }
 
 FillResult
-Cache::fill(Addr addr, bool conflict_bit, bool is_store)
+Cache::fill(ByteAddr addr, bool conflict_bit, bool is_store)
 {
-    std::size_t set = geom.setIndex(addr);
+    SetIndex set = geom.setOf(addr);
     return fillWay(addr, chooseVictimWay(set), conflict_bit, is_store);
 }
 
 FillResult
-Cache::fillWay(Addr addr, unsigned way, bool conflict_bit, bool is_store)
+Cache::fillWay(ByteAddr addr, WayIndex way, bool conflict_bit,
+               bool is_store)
 {
-    if (way >= geom.assoc())
-        ccm_panic("fillWay: way ", way, " out of range");
+    if (way.value() >= geom.assoc())
+        ccm_panic("fillWay: way ", way.value(), " out of range");
 
-    std::size_t set = geom.setIndex(addr);
-    CacheLine &l = lines[set * geom.assoc() + way];
+    SetIndex set = geom.setOf(addr);
+    CacheLine &l = lines[slotOf(set, way)];
 
     FillResult evicted;
     if (l.valid) {
         evicted.valid = true;
-        evicted.lineAddr = geom.buildLineAddr(l.tag, set);
+        evicted.lineAddr = geom.recompose(l.tag, set);
         evicted.dirty = l.dirty;
         evicted.conflictBit = l.conflictBit;
         ++nEvictions;
@@ -144,7 +145,7 @@ Cache::fillWay(Addr addr, unsigned way, bool conflict_bit, bool is_store)
 
     ++tick;
     l.valid = true;
-    l.tag = geom.tag(addr);
+    l.tag = geom.tagOf(addr);
     l.dirty = is_store;
     l.conflictBit = conflict_bit;
     l.lastUse = tick;
@@ -154,7 +155,7 @@ Cache::fillWay(Addr addr, unsigned way, bool conflict_bit, bool is_store)
 }
 
 bool
-Cache::invalidate(Addr addr)
+Cache::invalidate(ByteAddr addr)
 {
     CacheLine *l = lookupMutable(addr);
     if (!l)
@@ -166,28 +167,30 @@ Cache::invalidate(Addr addr)
 }
 
 CacheLine &
-Cache::lineAt(std::size_t set, unsigned way)
+Cache::lineAt(SetIndex set, WayIndex way)
 {
-    if (set >= geom.numSets() || way >= geom.assoc())
-        ccm_panic("lineAt(", set, ",", way, ") out of range");
-    return lines[set * geom.assoc() + way];
+    if (set.value() >= geom.numSets() || way.value() >= geom.assoc())
+        ccm_panic("lineAt(", set.value(), ",", way.value(),
+                  ") out of range");
+    return lines[slotOf(set, way)];
 }
 
 const CacheLine &
-Cache::lineAt(std::size_t set, unsigned way) const
+Cache::lineAt(SetIndex set, WayIndex way) const
 {
-    if (set >= geom.numSets() || way >= geom.assoc())
-        ccm_panic("lineAt(", set, ",", way, ") out of range");
-    return lines[set * geom.assoc() + way];
+    if (set.value() >= geom.numSets() || way.value() >= geom.assoc())
+        ccm_panic("lineAt(", set.value(), ",", way.value(),
+                  ") out of range");
+    return lines[slotOf(set, way)];
 }
 
-Addr
-Cache::lineAddrAt(std::size_t set, unsigned way) const
+LineAddr
+Cache::lineAddrAt(SetIndex set, WayIndex way) const
 {
     const CacheLine &l = lineAt(set, way);
     if (!l.valid)
-        return invalidAddr;
-    return geom.buildLineAddr(l.tag, set);
+        return invalidLineAddr;
+    return geom.recompose(l.tag, set);
 }
 
 std::size_t

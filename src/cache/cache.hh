@@ -33,7 +33,7 @@ enum class ReplPolicy
 struct EvictedLine
 {
     bool valid = false;      ///< false when the fill used an empty way
-    Addr lineAddr = 0;       ///< line-aligned address of the victim
+    LineAddr lineAddr{};     ///< line-aligned address of the victim
     bool dirty = false;
     bool conflictBit = false;
 };
@@ -54,7 +54,7 @@ class Cache
      * Look up @p addr without disturbing replacement state.
      * @return the line, or nullptr on miss
      */
-    const CacheLine *probe(Addr addr) const;
+    const CacheLine *probe(ByteAddr addr) const;
 
     /**
      * Access @p addr: on a hit, update replacement state and the dirty
@@ -63,14 +63,14 @@ class Cache
      * @retval true hit
      * @retval false miss — caller decides whether/where to fill
      */
-    bool access(Addr addr, bool is_store);
+    bool access(ByteAddr addr, bool is_store);
 
     /**
      * The line a fill of @p addr would evict (replacement choice), or
      * nullptr if the set still has an invalid way.  Does not modify
      * any state; a subsequent fill() makes the same choice.
      */
-    const CacheLine *victimFor(Addr addr) const;
+    const CacheLine *victimFor(ByteAddr addr) const;
 
     /**
      * Install the line containing @p addr, evicting victimFor(addr).
@@ -80,27 +80,27 @@ class Cache
      * @param is_store whether the triggering access was a store
      * @return description of the evicted line (valid=false if none)
      */
-    FillResult fill(Addr addr, bool conflict_bit, bool is_store);
+    FillResult fill(ByteAddr addr, bool conflict_bit, bool is_store);
 
     /**
      * Install into an explicit way of the set (used by the
      * pseudo-associative cache, which makes its own victim choice).
      */
-    FillResult fillWay(Addr addr, unsigned way, bool conflict_bit,
+    FillResult fillWay(ByteAddr addr, WayIndex way, bool conflict_bit,
                        bool is_store);
 
     /** Remove the line containing @p addr; @return it existed. */
-    bool invalidate(Addr addr);
+    bool invalidate(ByteAddr addr);
 
     /** Direct set access for policy code (pseudo-assoc, tests). */
-    CacheLine &lineAt(std::size_t set, unsigned way);
-    const CacheLine &lineAt(std::size_t set, unsigned way) const;
+    CacheLine &lineAt(SetIndex set, WayIndex way);
+    const CacheLine &lineAt(SetIndex set, WayIndex way) const;
 
     /** Mutable lookup (used to flip conflict bits on resident lines). */
-    CacheLine *findLine(Addr addr);
+    CacheLine *findLine(ByteAddr addr);
 
     /** Line-aligned address of the line in (set, way). */
-    Addr lineAddrAt(std::size_t set, unsigned way) const;
+    LineAddr lineAddrAt(SetIndex set, WayIndex way) const;
 
     /** Number of valid lines currently resident. */
     std::size_t occupancy() const;
@@ -117,15 +117,21 @@ class Cache
     double missRate() const { return safeRatio(nMisses, accesses()); }
 
   private:
-    CacheLine *lookupMutable(Addr addr);
-    unsigned chooseVictimWay(std::size_t set) const;
+    CacheLine *lookupMutable(ByteAddr addr);
+    WayIndex chooseVictimWay(SetIndex set) const;
+
+    /** Flat index of (set, way) in the set-major line array. */
+    std::size_t
+    slotOf(SetIndex set, WayIndex way) const
+    {
+        return set.value() * geom.assoc() + way.value();
+    }
 
     CacheGeometry geom;
     ReplPolicy repl;
     std::vector<CacheLine> lines;   ///< sets_ * assoc_, set-major
     Count tick = 0;                 ///< logical access clock for LRU/FIFO
     mutable std::uint64_t rngState; ///< for ReplPolicy::Random
-
     Count nHits = 0;
     Count nMisses = 0;
     Count nFills = 0;

@@ -13,13 +13,13 @@ FaLru::FaLru(std::size_t num_lines) : cap(num_lines)
 }
 
 bool
-FaLru::contains(Addr line) const
+FaLru::contains(LineAddr line) const
 {
     return map.find(line) != map.end();
 }
 
 bool
-FaLru::touch(Addr line)
+FaLru::touch(LineAddr line)
 {
     auto it = map.find(line);
     if (it == map.end())
@@ -28,15 +28,15 @@ FaLru::touch(Addr line)
     return true;
 }
 
-std::optional<Addr>
-FaLru::insert(Addr line)
+std::optional<LineAddr>
+FaLru::insert(LineAddr line)
 {
     if (map.find(line) != map.end())
         ccm_panic("FaLru::insert of resident line");
 
-    std::optional<Addr> evicted;
+    std::optional<LineAddr> evicted;
     if (map.size() == cap) {
-        Addr victim = order.back();
+        LineAddr victim = order.back();
         order.pop_back();
         map.erase(victim);
         evicted = victim;
@@ -47,7 +47,7 @@ FaLru::insert(Addr line)
 }
 
 bool
-FaLru::erase(Addr line)
+FaLru::erase(LineAddr line)
 {
     auto it = map.find(line);
     if (it == map.end())
@@ -57,7 +57,7 @@ FaLru::erase(Addr line)
     return true;
 }
 
-std::optional<Addr>
+std::optional<LineAddr>
 FaLru::lruLine() const
 {
     if (order.empty())

@@ -20,6 +20,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/addr_types.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -33,25 +34,25 @@ class FaLru
     explicit FaLru(std::size_t num_lines);
 
     /** @return true iff @p line is resident (no LRU update). */
-    bool contains(Addr line) const;
+    bool contains(LineAddr line) const;
 
     /**
      * Access @p line: on hit, move to MRU.
      * @retval true hit
      */
-    bool touch(Addr line);
+    bool touch(LineAddr line);
 
     /**
      * Insert @p line (must not be resident) as MRU.
      * @return the evicted LRU line, if the cache was full
      */
-    std::optional<Addr> insert(Addr line);
+    std::optional<LineAddr> insert(LineAddr line);
 
     /** Remove @p line if resident; @return it was resident. */
-    bool erase(Addr line);
+    bool erase(LineAddr line);
 
     /** Least-recently-used resident line (empty if none). */
-    std::optional<Addr> lruLine() const;
+    std::optional<LineAddr> lruLine() const;
 
     std::size_t size() const { return map.size(); }
     std::size_t capacity() const { return cap; }
@@ -61,8 +62,8 @@ class FaLru
 
   private:
     std::size_t cap;
-    std::list<Addr> order;  ///< front = MRU, back = LRU
-    std::unordered_map<Addr, std::list<Addr>::iterator> map;
+    std::list<LineAddr> order;  ///< front = MRU, back = LRU
+    std::unordered_map<LineAddr, std::list<LineAddr>::iterator> map;
 };
 
 } // namespace ccm

@@ -3,6 +3,12 @@
  * Cache geometry: size/associativity/line-size plus the derived
  * address decomposition (offset | set index | tag) used by the cache,
  * the MCT and the pseudo-associative rehash function.
+ *
+ * The decomposition helpers are the only blessed way to move between
+ * address domains (see common/addr_types.hh): byte address -> line
+ * address -> (set index, tag) -> line address.  Ad-hoc shifting and
+ * masking at call sites is exactly the bug class the strong types
+ * exist to kill.
  */
 
 #ifndef CCM_CACHE_GEOMETRY_HH
@@ -11,6 +17,7 @@
 #include <cstddef>
 #include <string>
 
+#include "common/addr_types.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 
@@ -55,25 +62,60 @@ class CacheGeometry
     unsigned offsetBits() const { return offBits; }
     unsigned setBits() const { return idxBits; }
 
-    /** Line-aligned address (offset bits cleared). */
-    Addr lineAddr(Addr a) const { return a & ~Addr{line_ - 1}; }
-
-    /** Set index of @p a. */
-    std::size_t
-    setIndex(Addr a) const
+    /** Line-aligned address of @p a (offset bits cleared). */
+    LineAddr
+    lineOf(ByteAddr a) const
     {
-        return static_cast<std::size_t>((a >> offBits) & idxMask);
+        return LineAddr{a.value() & ~Addr{line_ - 1u}};
+    }
+
+    /** Set index of the line containing @p a. */
+    SetIndex
+    setOf(ByteAddr a) const
+    {
+        return SetIndex{
+            static_cast<std::size_t>((a.value() >> offBits) & idxMask)};
+    }
+
+    /** Set index of line @p a. */
+    SetIndex
+    setOf(LineAddr a) const
+    {
+        return SetIndex{
+            static_cast<std::size_t>((a.value() >> offBits) & idxMask)};
     }
 
     /** Full tag of @p a (address above offset+index bits). */
-    Addr tag(Addr a) const { return a >> (offBits + idxBits); }
-
-    /** Rebuild a line address from (tag, set) — inverse of the above. */
-    Addr
-    buildLineAddr(Addr tag_v, std::size_t set) const
+    Tag
+    tagOf(ByteAddr a) const
     {
-        return (tag_v << (offBits + idxBits)) |
-               (static_cast<Addr>(set) << offBits);
+        return Tag{a.value() >> (offBits + idxBits)};
+    }
+
+    /** Full tag of line @p a. */
+    Tag
+    tagOf(LineAddr a) const
+    {
+        return Tag{a.value() >> (offBits + idxBits)};
+    }
+
+    /**
+     * Rebuild a line address from (tag, set) — the inverse of
+     * tagOf/setOf, used by eviction paths, the pseudo-associative
+     * rehash and the MCT: recompose(tagOf(a), setOf(a)) == lineOf(a).
+     */
+    LineAddr
+    recompose(Tag tag, SetIndex set) const
+    {
+        return LineAddr{(tag.value() << (offBits + idxBits)) |
+                        (static_cast<Addr>(set.value()) << offBits)};
+    }
+
+    /** The line after @p a (next-line prefetch target). */
+    LineAddr
+    nextLineOf(LineAddr a) const
+    {
+        return LineAddr{a.value() + line_};
     }
 
     /** "16KB/1way/64B" style description. */

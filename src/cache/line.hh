@@ -8,6 +8,7 @@
 #ifndef CCM_CACHE_LINE_HH
 #define CCM_CACHE_LINE_HH
 
+#include "common/addr_types.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -16,7 +17,7 @@ namespace ccm
 /** State of one cache line frame. */
 struct CacheLine
 {
-    Addr tag = 0;
+    Tag tag{};
     bool valid = false;
     bool dirty = false;
     /**

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Strongly-typed address domains.
+ *
+ * Every quantity derived from a memory address lives in its own
+ * domain — byte address, line-aligned address, set index, tag, way —
+ * and the classic cache-simulator bug is silently crossing domains
+ * (e.g. passing a byte address where a line address is expected: an
+ * off-by-log2(lineBytes) error that corrupts conflict/capacity
+ * classification without crashing anything).  These zero-overhead
+ * wrapper structs make such mix-ups compile errors: construction from
+ * a raw integer is explicit, and no two domains convert into each
+ * other.  CacheGeometry owns the only blessed conversions
+ * (lineOf/setOf/tagOf/recompose).
+ *
+ * The raw value is recoverable via value(); treat that as the escape
+ * hatch for serialization and for arithmetic that genuinely has no
+ * domain-typed form.
+ */
+
+#ifndef CCM_COMMON_ADDR_TYPES_HH
+#define CCM_COMMON_ADDR_TYPES_HH
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+namespace detail
+{
+
+/**
+ * CRTP base of a strongly-typed integral wrapper: explicit
+ * construction from the representation, full comparison set, and
+ * nothing else.  Derived types opt into domain-specific operations.
+ */
+template <typename Derived, typename Rep>
+class StrongValue
+{
+  public:
+    using rep_type = Rep;
+
+    constexpr StrongValue() = default;
+
+    /** Explicit: raw integers never silently enter a domain. */
+    explicit constexpr StrongValue(Rep raw) : v(raw) {}
+
+    /** The raw untyped value — the escape hatch. */
+    constexpr Rep value() const { return v; }
+
+    friend constexpr bool
+    operator==(Derived a, Derived b)
+    {
+        return a.v == b.v;
+    }
+
+    friend constexpr bool
+    operator!=(Derived a, Derived b)
+    {
+        return a.v != b.v;
+    }
+
+    friend constexpr bool
+    operator<(Derived a, Derived b)
+    {
+        return a.v < b.v;
+    }
+
+    friend constexpr bool
+    operator<=(Derived a, Derived b)
+    {
+        return a.v <= b.v;
+    }
+
+    friend constexpr bool
+    operator>(Derived a, Derived b)
+    {
+        return a.v > b.v;
+    }
+
+    friend constexpr bool
+    operator>=(Derived a, Derived b)
+    {
+        return a.v >= b.v;
+    }
+
+  private:
+    Rep v{};
+};
+
+} // namespace detail
+
+/** A byte address in the simulated 64-bit address space. */
+struct ByteAddr : detail::StrongValue<ByteAddr, Addr>
+{
+    using StrongValue::StrongValue;
+
+    /** This address displaced by @p bytes (wraps like Addr). */
+    constexpr ByteAddr
+    advancedBy(Addr bytes) const
+    {
+        return ByteAddr{value() + bytes};
+    }
+};
+
+/**
+ * A line-aligned byte address (offset bits zero).  Produced only by
+ * CacheGeometry::lineOf / recompose, never by ad-hoc masking.
+ */
+struct LineAddr : detail::StrongValue<LineAddr, Addr>
+{
+    using StrongValue::StrongValue;
+
+    /**
+     * A line address is itself a (line-aligned) byte address, so this
+     * direction is always safe; the reverse conversion requires a
+     * CacheGeometry (lineOf) because it must drop the offset bits.
+     */
+    constexpr ByteAddr
+    asByte() const
+    {
+        return ByteAddr{value()};
+    }
+};
+
+/** Index of a set within one cache's set array. */
+struct SetIndex : detail::StrongValue<SetIndex, std::size_t>
+{
+    using StrongValue::StrongValue;
+};
+
+/** The tag of a line: address bits above offset + index. */
+struct Tag : detail::StrongValue<Tag, Addr>
+{
+    using StrongValue::StrongValue;
+};
+
+/** A way within a set (0 .. assoc-1). */
+struct WayIndex : detail::StrongValue<WayIndex, unsigned>
+{
+    using StrongValue::StrongValue;
+};
+
+/** Sentinels for "no address" in each address-valued domain. */
+inline constexpr ByteAddr invalidByteAddr{invalidAddr};
+inline constexpr LineAddr invalidLineAddr{invalidAddr};
+
+// The wrappers are free abstractions: same size, trivially copyable,
+// and (unlike the raw integers) mutually non-convertible.
+static_assert(sizeof(ByteAddr) == sizeof(Addr));
+static_assert(sizeof(LineAddr) == sizeof(Addr));
+static_assert(std::is_trivially_copyable_v<ByteAddr>);
+static_assert(std::is_trivially_copyable_v<LineAddr>);
+static_assert(std::is_trivially_copyable_v<SetIndex>);
+static_assert(std::is_trivially_copyable_v<Tag>);
+static_assert(std::is_trivially_copyable_v<WayIndex>);
+static_assert(!std::is_convertible_v<ByteAddr, LineAddr>);
+static_assert(!std::is_convertible_v<LineAddr, ByteAddr>);
+static_assert(!std::is_convertible_v<Addr, ByteAddr>);
+static_assert(!std::is_convertible_v<ByteAddr, Addr>);
+
+} // namespace ccm
+
+// Hash support so line addresses and tags can key hash containers.
+template <>
+struct std::hash<ccm::ByteAddr>
+{
+    std::size_t
+    operator()(ccm::ByteAddr a) const noexcept
+    {
+        return std::hash<ccm::Addr>{}(a.value());
+    }
+};
+
+template <>
+struct std::hash<ccm::LineAddr>
+{
+    std::size_t
+    operator()(ccm::LineAddr a) const noexcept
+    {
+        return std::hash<ccm::Addr>{}(a.value());
+    }
+};
+
+template <>
+struct std::hash<ccm::Tag>
+{
+    std::size_t
+    operator()(ccm::Tag t) const noexcept
+    {
+        return std::hash<ccm::Addr>{}(t.value());
+    }
+};
+
+template <>
+struct std::hash<ccm::SetIndex>
+{
+    std::size_t
+    operator()(ccm::SetIndex s) const noexcept
+    {
+        return std::hash<std::size_t>{}(s.value());
+    }
+};
+
+#endif // CCM_COMMON_ADDR_TYPES_HH

@@ -56,8 +56,9 @@ Core::run(TraceSource &trace, MemorySystem &mem)
                 Cycle issue = now;
                 if (rec.dependsOnPrevLoad)
                     issue = std::max(issue, last_load_complete);
-                AccessResult r =
-                    mem.access(rec.pc, rec.addr, rec.isStore(), issue);
+                AccessResult r = mem.access(
+                    rec.pcAddr(), rec.dataAddr(), rec.isStore(),
+                    issue);
                 ++mem_refs;
                 last_mem_addr = rec.addr;
                 if (rec.isStore()) {
@@ -80,7 +81,8 @@ Core::run(TraceSource &trace, MemorySystem &mem)
                         Addr wild = last_mem_addr +
                                     (Addr(wp_rng.below(256)) -
                                      128) * 64;
-                        mem.access(rec.pc ^ 0x4, wild, false, now);
+                        mem.access(ByteAddr{rec.pc ^ 0x4},
+                                   ByteAddr{wild}, false, now);
                     }
                 }
             }

@@ -99,8 +99,9 @@ SmtCore::run(const std::vector<TraceSource *> &traces,
                     Cycle issue = now;
                     if (rec.dependsOnPrevLoad)
                         issue = std::max(issue, c.lastLoadComplete);
-                    AccessResult r = mem.access(
-                        rec.pc, rec.addr, rec.isStore(), issue);
+                    AccessResult r =
+                        mem.access(rec.pcAddr(), rec.dataAddr(),
+                                   rec.isStore(), issue);
                     if (rec.isStore()) {
                         complete = now + 1;
                     } else {

@@ -43,8 +43,9 @@ MissHistoryTable::lookup(Addr addr) const
 }
 
 void
-MissHistoryTable::recordMiss(Addr addr, MissClass cls)
+MissHistoryTable::recordMiss(ByteAddr baddr, MissClass cls)
 {
+    const Addr addr = baddr.value();
     Entry &e = table[indexOf(addr)];
     if (!e.valid || e.tag != tagOf(addr)) {
         e.valid = true;
@@ -61,16 +62,16 @@ MissHistoryTable::recordMiss(Addr addr, MissClass cls)
 }
 
 bool
-MissHistoryTable::conflictHistory(Addr addr) const
+MissHistoryTable::conflictHistory(ByteAddr addr) const
 {
-    const Entry *e = lookup(addr);
+    const Entry *e = lookup(addr.value());
     return e && e->counter >= 6;
 }
 
 bool
-MissHistoryTable::capacityHistory(Addr addr) const
+MissHistoryTable::capacityHistory(ByteAddr addr) const
 {
-    const Entry *e = lookup(addr);
+    const Entry *e = lookup(addr.value());
     return e && e->counter <= 1;
 }
 

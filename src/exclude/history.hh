@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/types.hh"
 #include "mct/miss_class.hh"
 
@@ -32,17 +33,17 @@ class MissHistoryTable
                               std::size_t region_bytes = 1024);
 
     /** Record a classified miss from @p addr's region. */
-    void recordMiss(Addr addr, MissClass cls);
+    void recordMiss(ByteAddr addr, MissClass cls);
 
     /**
      * @retval true the region's recent misses have mostly been
      *         conflict misses
      */
-    bool conflictHistory(Addr addr) const;
+    bool conflictHistory(ByteAddr addr) const;
 
     /** @retval true the region's recent misses have mostly been
      *          capacity misses */
-    bool capacityHistory(Addr addr) const;
+    bool capacityHistory(ByteAddr addr) const;
 
     void clear();
 

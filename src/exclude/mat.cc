@@ -34,8 +34,9 @@ MemoryAccessTable::tagOf(Addr addr) const
 }
 
 void
-MemoryAccessTable::recordAccess(Addr addr)
+MemoryAccessTable::recordAccess(ByteAddr baddr)
 {
+    const Addr addr = baddr.value();
     Entry &e = table[indexOf(addr)];
     if (!e.valid) {
         e.valid = true;
@@ -63,7 +64,7 @@ MemoryAccessTable::recordAccess(Addr addr)
 }
 
 std::uint32_t
-MemoryAccessTable::countFor(Addr addr) const
+MemoryAccessTable::countForRaw(Addr addr) const
 {
     const Entry &e = table[indexOf(addr)];
     if (!e.valid || e.tag != tagOf(addr))
@@ -71,11 +72,18 @@ MemoryAccessTable::countFor(Addr addr) const
     return e.count;
 }
 
-bool
-MemoryAccessTable::shouldBypass(Addr incoming_addr,
-                                Addr victim_addr) const
+std::uint32_t
+MemoryAccessTable::countFor(ByteAddr addr) const
 {
-    return countFor(incoming_addr) < countFor(victim_addr);
+    return countForRaw(addr.value());
+}
+
+bool
+MemoryAccessTable::shouldBypass(ByteAddr incoming_addr,
+                                LineAddr victim_addr) const
+{
+    return countForRaw(incoming_addr.value()) <
+           countForRaw(victim_addr.value());
 }
 
 void

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -41,7 +42,7 @@ class MemoryAccessTable
                                std::uint64_t decay_period = 64 * 1024);
 
     /** Record one access to @p addr (call on every reference). */
-    void recordAccess(Addr addr);
+    void recordAccess(ByteAddr addr);
 
     /**
      * Exclusion decision on a miss.
@@ -50,10 +51,11 @@ class MemoryAccessTable
      * @param victim_addr address of the line that would be replaced
      * @retval true bypass the cache (victim's region is hotter)
      */
-    bool shouldBypass(Addr incoming_addr, Addr victim_addr) const;
+    bool shouldBypass(ByteAddr incoming_addr,
+                      LineAddr victim_addr) const;
 
     /** Current count for @p addr's region (0 on tag mismatch). */
-    std::uint32_t countFor(Addr addr) const;
+    std::uint32_t countFor(ByteAddr addr) const;
 
     void clear();
 
@@ -67,6 +69,7 @@ class MemoryAccessTable
 
     std::size_t indexOf(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    std::uint32_t countForRaw(Addr addr) const;
 
     std::vector<Entry> table;
     std::size_t regionShift;

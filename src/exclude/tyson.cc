@@ -24,8 +24,9 @@ PcMissTable::indexOf(Addr pc) const
 }
 
 void
-PcMissTable::recordOutcome(Addr pc, bool missed)
+PcMissTable::recordOutcome(ByteAddr bpc, bool missed)
 {
+    const Addr pc = bpc.value();
     Entry &e = table[indexOf(pc)];
     if (!e.valid || e.tag != tagOf(pc)) {
         e.valid = true;
@@ -43,15 +44,17 @@ PcMissTable::recordOutcome(Addr pc, bool missed)
 }
 
 bool
-PcMissTable::shouldBypass(Addr pc) const
+PcMissTable::shouldBypass(ByteAddr bpc) const
 {
+    const Addr pc = bpc.value();
     const Entry &e = table[indexOf(pc)];
     return e.valid && e.tag == tagOf(pc) && e.counter == 3;
 }
 
 std::uint8_t
-PcMissTable::counterFor(Addr pc) const
+PcMissTable::counterFor(ByteAddr bpc) const
 {
+    const Addr pc = bpc.value();
     const Entry &e = table[indexOf(pc)];
     if (!e.valid || e.tag != tagOf(pc))
         return 0;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -30,16 +31,16 @@ class PcMissTable
     explicit PcMissTable(std::size_t entries = 1024);
 
     /** Record the outcome of one access by instruction @p pc. */
-    void recordOutcome(Addr pc, bool missed);
+    void recordOutcome(ByteAddr pc, bool missed);
 
     /**
      * @retval true @p pc's accesses are predicted to miss with high
      *         likelihood: exclude them from the cache
      */
-    bool shouldBypass(Addr pc) const;
+    bool shouldBypass(ByteAddr pc) const;
 
     /** Current counter for @p pc (0..3; 0 on tag mismatch). */
-    std::uint8_t counterFor(Addr pc) const;
+    std::uint8_t counterFor(ByteAddr pc) const;
 
     void clear();
 

@@ -10,9 +10,9 @@ namespace
 
 /** Bank selection: low line-address bits (paper: 8-way banking). */
 unsigned
-bankOf(const CacheGeometry &g, Addr addr, unsigned banks)
+bankOf(const CacheGeometry &g, ByteAddr addr, unsigned banks)
 {
-    return static_cast<unsigned>((addr >> g.offsetBits()) &
+    return static_cast<unsigned>((addr.value() >> g.offsetBits()) &
                                  (banks - 1));
 }
 
@@ -74,7 +74,8 @@ MemorySystem::hasBuffer() const
 }
 
 std::optional<Cycle>
-MemorySystem::fetchLine(Addr line_addr, Cycle start, bool is_prefetch)
+MemorySystem::fetchLine(LineAddr line_addr, Cycle start,
+                        bool is_prefetch)
 {
     mshrs.expire(start);
 
@@ -95,12 +96,12 @@ MemorySystem::fetchLine(Addr line_addr, Cycle start, bool is_prefetch)
     Cycle bus_start = bus.acquire(start, cfg.busCyclesPerTransfer);
 
     Cycle ready;
-    if (l2.access(line_addr, false)) {
+    if (l2.access(line_addr.asByte(), false)) {
         ++st.l2Hits;
         ready = bus_start + cfg.l2Latency;
     } else {
         ++st.l2Misses;
-        l2.fill(line_addr, false, false);
+        l2.fill(line_addr.asByte(), false, false);
         ready = bus_start + cfg.memLatency;
     }
 
@@ -109,16 +110,16 @@ MemorySystem::fetchLine(Addr line_addr, Cycle start, bool is_prefetch)
 }
 
 void
-MemorySystem::writeback(Addr line_addr, Cycle when)
+MemorySystem::writeback(LineAddr line_addr, Cycle when)
 {
     ++st.writebacks;
     bus.acquire(when, cfg.busCyclesPerTransfer);
-    if (!l2.access(line_addr, true))
-        l2.fill(line_addr, false, true);
+    if (!l2.access(line_addr.asByte(), true))
+        l2.fill(line_addr.asByte(), false, true);
 }
 
 void
-MemorySystem::bufferInsert(Addr line_addr, BufSource source,
+MemorySystem::bufferInsert(LineAddr line_addr, BufSource source,
                            bool conflict_bit, bool dirty, Cycle ready,
                            Cycle when)
 {
@@ -134,15 +135,17 @@ MemorySystem::bufferInsert(Addr line_addr, BufSource source,
 }
 
 void
-MemorySystem::fillL1(Addr addr, bool miss_is_conflict, bool is_store,
-                     Cycle when, bool allow_victim_fill)
+MemorySystem::fillL1(ByteAddr addr, bool miss_is_conflict,
+                     bool is_store, Cycle when,
+                     bool allow_victim_fill)
 {
     banks.acquireUnit(bankOf(l1Geom, addr, cfg.l1Banks), when, 1);
     FillResult ev = l1->fill(addr, miss_is_conflict, is_store);
     if (!ev.valid)
         return;
 
-    mct_.recordEviction(l1Geom.setIndex(addr), l1Geom.tag(ev.lineAddr));
+    mct_.recordEviction(l1Geom.setOf(addr),
+                        l1Geom.tagOf(ev.lineAddr));
 
     bool to_buffer = false;
     if (allow_victim_fill) {
@@ -167,15 +170,15 @@ MemorySystem::fillL1(Addr addr, bool miss_is_conflict, bool is_store,
 }
 
 void
-MemorySystem::issuePrefetch(Addr line_addr, Cycle start)
+MemorySystem::issuePrefetch(LineAddr line_addr, Cycle start)
 {
     issuePrefetchLine(nextLine.nextLine(line_addr), start);
 }
 
 void
-MemorySystem::issuePrefetchLine(Addr target, Cycle start)
+MemorySystem::issuePrefetchLine(LineAddr target, Cycle start)
 {
-    if (l1->probe(target) || buf->find(target))
+    if (l1->probe(target.asByte()) || buf->find(target))
         return;
     if (mshrs.inFlight(target))
         return;
@@ -194,7 +197,8 @@ MemorySystem::issuePrefetchLine(Addr target, Cycle start)
 }
 
 bool
-MemorySystem::shouldExclude(Addr pc, Addr addr, bool miss_is_conflict)
+MemorySystem::shouldExclude(ByteAddr pc, ByteAddr addr,
+                            bool miss_is_conflict)
 {
     switch (cfg.exclude.algo) {
       case ExcludeAlgo::TysonPc:
@@ -203,8 +207,8 @@ MemorySystem::shouldExclude(Addr pc, Addr addr, bool miss_is_conflict)
         const CacheLine *victim = l1->victimFor(addr);
         if (!victim)
             return false;   // empty way: no one to protect
-        Addr victim_line = l1Geom.buildLineAddr(
-            victim->tag, l1Geom.setIndex(addr));
+        LineAddr victim_line =
+            l1Geom.recompose(victim->tag, l1Geom.setOf(addr));
         return mat->shouldBypass(addr, victim_line);
       }
       case ExcludeAlgo::Capacity:
@@ -220,7 +224,8 @@ MemorySystem::shouldExclude(Addr pc, Addr addr, bool miss_is_conflict)
 }
 
 AccessResult
-MemorySystem::access(Addr pc, Addr addr, bool is_store, Cycle now)
+MemorySystem::access(ByteAddr pc, ByteAddr addr, bool is_store,
+                     Cycle now)
 {
     ++st.accesses;
     if (is_store)
@@ -240,7 +245,7 @@ MemorySystem::access(Addr pc, Addr addr, bool is_store, Cycle now)
 
     // The RPT is read and updated on *every* access (the structural
     // cost the paper contrasts with the misses-only MCT).
-    std::optional<Addr> rpt_target;
+    std::optional<ByteAddr> rpt_target;
     if (rpt)
         rpt_target = rpt->observe(pc, addr);
 
@@ -251,15 +256,15 @@ MemorySystem::access(Addr pc, Addr addr, bool is_store, Cycle now)
         if (pcTable)
             pcTable->recordOutcome(pc, false);
         if (rpt_target)
-            issuePrefetchLine(l1Geom.lineAddr(*rpt_target), t0 + 1);
+            issuePrefetchLine(l1Geom.lineOf(*rpt_target), t0 + 1);
         return out;
     }
 
     // ---- L1 miss ----------------------------------------------------
     ++st.l1Misses;
-    const Addr line = l1Geom.lineAddr(addr);
-    const std::size_t set = l1Geom.setIndex(addr);
-    const Addr tag = l1Geom.tag(addr);
+    const LineAddr line = l1Geom.lineOf(addr);
+    const SetIndex set = l1Geom.setOf(addr);
+    const Tag tag = l1Geom.tagOf(addr);
 
     const MissClass miss_class = mct_.classify(set, tag);
     const bool is_conflict = isConflict(miss_class);
@@ -310,7 +315,7 @@ MemorySystem::access(Addr pc, Addr addr, bool is_store, Cycle now)
                     FillResult ev = l1->fill(addr, true, dirty);
                     if (ev.valid) {
                         mct_.recordEviction(set,
-                                            l1Geom.tag(ev.lineAddr));
+                                            l1Geom.tagOf(ev.lineAddr));
                         ++st.victimFills;
                         bufferInsert(ev.lineAddr, BufSource::Victim,
                                      ev.conflictBit, ev.dirty, ready,
@@ -360,7 +365,7 @@ MemorySystem::access(Addr pc, Addr addr, bool is_store, Cycle now)
                 if (chains)
                     issuePrefetch(line, port);
                 else if (rpt_target)
-                    issuePrefetchLine(l1Geom.lineAddr(*rpt_target),
+                    issuePrefetchLine(l1Geom.lineOf(*rpt_target),
                                       port);
                 break;
               }
@@ -420,7 +425,7 @@ MemorySystem::access(Addr pc, Addr addr, bool is_store, Cycle now)
             // speculative traffic queues behind demand traffic.
             issuePrefetch(line, t0 + 1);
         } else if (rpt_target) {
-            issuePrefetchLine(l1Geom.lineAddr(*rpt_target), t0 + 1);
+            issuePrefetchLine(l1Geom.lineOf(*rpt_target), t0 + 1);
         }
     } else if (cfg.mode == AssistMode::Amb &&
                cfg.amb.prefetchCapacity && !is_conflict) {
@@ -431,7 +436,7 @@ MemorySystem::access(Addr pc, Addr addr, bool is_store, Cycle now)
 }
 
 AccessResult
-MemorySystem::accessPseudo(Addr addr, bool is_store, Cycle now)
+MemorySystem::accessPseudo(ByteAddr addr, bool is_store, Cycle now)
 {
     AccessResult out;
     unsigned bank = bankOf(l1Geom, addr, cfg.l1Banks);
@@ -467,7 +472,7 @@ MemorySystem::accessPseudo(Addr addr, bool is_store, Cycle now)
     out.missClass = res.wasConflict ? MissClass::Conflict
                                     : MissClass::Capacity;
     Cycle probe_done = t0 + cfg.l1HitLatency + cfg.pseudoSecondaryPenalty;
-    auto fetched = fetchLine(l1Geom.lineAddr(addr), probe_done, false);
+    auto fetched = fetchLine(l1Geom.lineOf(addr), probe_done, false);
     out.ready = *fetched;
     banks.acquireUnit(bank, probe_done, 1);  // the fill
     if (res.evictedValid && res.evictedDirty)

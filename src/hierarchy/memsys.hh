@@ -58,7 +58,8 @@ class MemorySystem
      * @param is_store store vs load
      * @param now issue cycle (approximately nondecreasing)
      */
-    AccessResult access(Addr pc, Addr addr, bool is_store, Cycle now);
+    AccessResult access(ByteAddr pc, ByteAddr addr, bool is_store,
+                        Cycle now);
 
     const MemStats &stats() const { return st; }
     const MemSysConfig &config() const { return cfg; }
@@ -80,11 +81,11 @@ class MemorySystem
      * @param is_prefetch prefetches are dropped when MSHRs are full
      * @return data-ready cycle, or nullopt for a dropped prefetch
      */
-    std::optional<Cycle> fetchLine(Addr line_addr, Cycle start,
+    std::optional<Cycle> fetchLine(LineAddr line_addr, Cycle start,
                                    bool is_prefetch);
 
     /** Write back a dirty line (bus occupancy + accounting). */
-    void writeback(Addr line_addr, Cycle when);
+    void writeback(LineAddr line_addr, Cycle when);
 
     /**
      * Install @p addr into the L1, updating the MCT with the evicted
@@ -94,24 +95,26 @@ class MemorySystem
      * @param when fill time (for buffer-port occupancy)
      * @param to_buffer whether an evicted line may enter the buffer
      */
-    void fillL1(Addr addr, bool miss_is_conflict, bool is_store,
+    void fillL1(ByteAddr addr, bool miss_is_conflict, bool is_store,
                 Cycle when, bool allow_victim_fill);
 
     /** Insert a line into the assist buffer, handling displacement. */
-    void bufferInsert(Addr line_addr, BufSource source,
+    void bufferInsert(LineAddr line_addr, BufSource source,
                       bool conflict_bit, bool dirty, Cycle ready,
                       Cycle when);
 
     /** Issue a next-line prefetch for the line after @p line_addr. */
-    void issuePrefetch(Addr line_addr, Cycle start);
+    void issuePrefetch(LineAddr line_addr, Cycle start);
 
     /** Issue a prefetch of @p target_line itself (RPT targets). */
-    void issuePrefetchLine(Addr target_line, Cycle start);
+    void issuePrefetchLine(LineAddr target_line, Cycle start);
 
     /** Exclusion decision for a miss (BypassBuffer / AMB modes). */
-    bool shouldExclude(Addr pc, Addr addr, bool miss_is_conflict);
+    bool shouldExclude(ByteAddr pc, ByteAddr addr,
+                       bool miss_is_conflict);
 
-    AccessResult accessPseudo(Addr addr, bool is_store, Cycle now);
+    AccessResult accessPseudo(ByteAddr addr, bool is_store,
+                              Cycle now);
 
     MemSysConfig cfg;
     CacheGeometry l1Geom;

@@ -29,7 +29,7 @@ MshrFile::expire(Cycle now)
 }
 
 std::optional<Cycle>
-MshrFile::inFlight(Addr line_addr) const
+MshrFile::inFlight(LineAddr line_addr) const
 {
     for (const auto &e : active) {
         if (e.lineAddr == line_addr)
@@ -48,7 +48,7 @@ MshrFile::earliestReady() const
 }
 
 void
-MshrFile::allocate(Addr line_addr, Cycle ready)
+MshrFile::allocate(LineAddr line_addr, Cycle ready)
 {
     if (full())
         ccm_panic("MSHR allocate while full");

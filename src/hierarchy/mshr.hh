@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 
@@ -34,7 +35,7 @@ class MshrFile
 
     /** @return the completion cycle of an in-flight fetch of
      *          @p line_addr, if one exists (a merge opportunity). */
-    std::optional<Cycle> inFlight(Addr line_addr) const;
+    std::optional<Cycle> inFlight(LineAddr line_addr) const;
 
     /** @return true when no entry is free (call expire() first). */
     bool full() const { return active.size() >= cap; }
@@ -43,7 +44,7 @@ class MshrFile
     Cycle earliestReady() const;
 
     /** Track a new in-flight fetch completing at @p ready. */
-    void allocate(Addr line_addr, Cycle ready);
+    void allocate(LineAddr line_addr, Cycle ready);
 
     std::size_t occupancy() const { return active.size(); }
     unsigned capacity() const { return cap; }
@@ -53,7 +54,7 @@ class MshrFile
   private:
     struct Entry
     {
-        Addr lineAddr;
+        LineAddr lineAddr;
         Cycle ready;
     };
 

@@ -25,25 +25,26 @@ classifyRun(TraceSource &trace, const ClassifyConfig &cfg)
             continue;
         ++res.references;
 
-        Addr line = geom.lineAddr(r.addr);
-        bool hit = cache.access(r.addr, r.isStore());
+        const ByteAddr addr = r.dataAddr();
+        LineAddr line = geom.lineOf(addr);
+        bool hit = cache.access(addr, r.isStore());
         MissClass oracle_cls = oracle.observe(line, !hit);
         if (hit)
             continue;
 
         ++res.misses;
-        std::size_t set = geom.setIndex(r.addr);
-        Addr tag = geom.tag(r.addr);
+        SetIndex set = geom.setOf(addr);
+        Tag tag = geom.tagOf(addr);
 
         MissClass mct_cls = mct.classify(set, tag);
         res.scorer.record(mct_cls, oracle_cls);
 
         // Fill and remember the evicted tag, exactly as the hardware
         // would: MCT is written only with evicted-line tags.
-        FillResult ev = cache.fill(r.addr, isConflict(mct_cls),
+        FillResult ev = cache.fill(addr, isConflict(mct_cls),
                                    r.isStore());
         if (ev.valid)
-            mct.recordEviction(set, geom.tag(ev.lineAddr));
+            mct.recordEviction(set, geom.tagOf(ev.lineAddr));
     }
 
     res.missRate = safeRatio(res.misses, res.references);

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
 #include "common/types.hh"
@@ -50,16 +51,16 @@ class MissClassificationTable
      * miss before the fill updates the table via recordEviction().
      */
     MissClass
-    classify(std::size_t set, Addr tag) const
+    classify(SetIndex set, Tag tag) const
     {
-        const Entry &e = entries[set];
+        const Entry &e = entries[set.value()];
         bool conflict = e.valid && e.storedTag == maskTag(tag);
         return conflict ? MissClass::Conflict : MissClass::Capacity;
     }
 
     /** Convenience: classify(set, tag) == Conflict. */
     bool
-    isConflictMiss(std::size_t set, Addr tag) const
+    isConflictMiss(SetIndex set, Tag tag) const
     {
         return classify(set, tag) == MissClass::Conflict;
     }
@@ -71,18 +72,18 @@ class MissClassificationTable
      * cached — same table update either way).
      */
     void
-    recordEviction(std::size_t set, Addr tag)
+    recordEviction(SetIndex set, Tag tag)
     {
-        Entry &e = entries[set];
+        Entry &e = entries[set.value()];
         e.valid = true;
         e.storedTag = maskTag(tag);
     }
 
     /** Drop the entry for @p set (e.g. after an invalidate). */
     void
-    invalidateEntry(std::size_t set)
+    invalidateEntry(SetIndex set)
     {
-        entries[set].valid = false;
+        entries[set.value()].valid = false;
     }
 
     /** @return the stored-tag width in bits (0 = full tag). */
@@ -107,14 +108,15 @@ class MissClassificationTable
   private:
     struct Entry
     {
+        /** Truncated-tag domain: low maskTag() bits of a full Tag. */
         Addr storedTag = 0;
         bool valid = false;
     };
 
     Addr
-    maskTag(Addr tag) const
+    maskTag(Tag tag) const
     {
-        return tagBits_ == 0 ? tag : (tag & tagMask);
+        return tagBits_ == 0 ? tag.value() : (tag.value() & tagMask);
     }
 
     std::vector<Entry> entries;

@@ -8,7 +8,7 @@ OracleClassifier::OracleClassifier(std::size_t num_lines) : fa(num_lines)
 }
 
 MissClass
-OracleClassifier::observe(Addr line_addr, bool real_cache_miss)
+OracleClassifier::observe(LineAddr line_addr, bool real_cache_miss)
 {
     MissClass cls = MissClass::Capacity;
     if (real_cache_miss) {

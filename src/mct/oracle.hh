@@ -19,6 +19,7 @@
 #include <unordered_set>
 
 #include "cache/fa_lru.hh"
+#include "common/addr_types.hh"
 #include "mct/miss_class.hh"
 
 namespace ccm
@@ -41,7 +42,7 @@ class OracleClassifier
      * @return the classification (meaningful only on a miss; on a hit
      *         returns MissClass::Capacity as a don't-care)
      */
-    MissClass observe(Addr line_addr, bool real_cache_miss);
+    MissClass observe(LineAddr line_addr, bool real_cache_miss);
 
     /** Reset both the FA model and the seen-set. */
     void clear();
@@ -50,7 +51,7 @@ class OracleClassifier
 
   private:
     FaLru fa;
-    std::unordered_set<Addr> seen;
+    std::unordered_set<LineAddr> seen;
 };
 
 } // namespace ccm

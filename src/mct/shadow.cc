@@ -35,22 +35,22 @@ ShadowDirectory::ShadowDirectory(std::size_t num_sets, unsigned depth,
 }
 
 Addr
-ShadowDirectory::maskTag(Addr tag) const
+ShadowDirectory::maskTag(Tag tag) const
 {
-    return tag & tagMask;
+    return tag.value() & tagMask;
 }
 
 MissClass
-ShadowDirectory::classify(std::size_t set, Addr tag) const
+ShadowDirectory::classify(SetIndex set, Tag tag) const
 {
     return matchDepth(set, tag) != 0 ? MissClass::Conflict
                                      : MissClass::Capacity;
 }
 
 unsigned
-ShadowDirectory::matchDepth(std::size_t set, Addr tag) const
+ShadowDirectory::matchDepth(SetIndex set, Tag tag) const
 {
-    const Slot *r = row(set);
+    const Slot *r = row(set.value());
     Addr t = maskTag(tag);
     for (unsigned d = 0; d < depth_; ++d) {
         if (r[d].valid && r[d].tag == t)
@@ -60,9 +60,9 @@ ShadowDirectory::matchDepth(std::size_t set, Addr tag) const
 }
 
 void
-ShadowDirectory::recordEviction(std::size_t set, Addr tag)
+ShadowDirectory::recordEviction(SetIndex set, Tag tag)
 {
-    Slot *r = row(set);
+    Slot *r = row(set.value());
     Addr t = maskTag(tag);
 
     // If the tag is already remembered, move it to the front;

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 #include "mct/miss_class.hh"
@@ -45,11 +46,11 @@ class ShadowDirectory
                            unsigned tag_bits);
 
     /** Classify a miss: conflict iff any remembered tag matches. */
-    MissClass classify(std::size_t set, Addr tag) const;
+    MissClass classify(SetIndex set, Tag tag) const;
 
     /** Convenience: classify() == Conflict. */
     bool
-    isConflictMiss(std::size_t set, Addr tag) const
+    isConflictMiss(SetIndex set, Tag tag) const
     {
         return classify(set, tag) == MissClass::Conflict;
     }
@@ -58,10 +59,10 @@ class ShadowDirectory
      * Depth (1-based) at which @p tag matches, or 0 for no match —
      * i.e. how many extra ways would have been needed.
      */
-    unsigned matchDepth(std::size_t set, Addr tag) const;
+    unsigned matchDepth(SetIndex set, Tag tag) const;
 
     /** Record an eviction: @p tag becomes the set's most recent. */
-    void recordEviction(std::size_t set, Addr tag);
+    void recordEviction(SetIndex set, Tag tag);
 
     unsigned depth() const { return depth_; }
     std::size_t numSets() const { return sets; }
@@ -74,11 +75,12 @@ class ShadowDirectory
   private:
     struct Slot
     {
+        /** Truncated-tag domain: low maskTag() bits of a full Tag. */
         Addr tag = 0;
         bool valid = false;
     };
 
-    Addr maskTag(Addr tag) const;
+    Addr maskTag(Tag tag) const;
     Slot *row(std::size_t set) { return &slots[set * depth_]; }
     const Slot *
     row(std::size_t set) const

@@ -32,30 +32,31 @@ SharedCacheStudy::run(InterleavedTrace &trace)
         ++ts.references;
         ++res.references;
 
-        if (cache.access(r.addr, r.isStore()))
+        const ByteAddr addr = r.dataAddr();
+        if (cache.access(addr, r.isStore()))
             continue;
 
         ++ts.misses;
         ++res.misses;
-        const std::size_t set = geom.setIndex(r.addr);
-        const Addr tag = geom.tag(r.addr);
+        const SetIndex set = geom.setOf(addr);
+        const Tag tag = geom.tagOf(addr);
 
         bool conflict = mct.isConflictMiss(set, tag);
         if (conflict) {
             ++ts.conflictMisses;
-            if (evictorThread[set] != tid) {
+            if (evictorThread[set.value()] != tid) {
                 ++ts.crossThreadConflicts;
                 ++res.crossThreadConflicts;
             }
         }
 
-        FillResult ev = cache.fill(r.addr, conflict, r.isStore());
+        FillResult ev = cache.fill(addr, conflict, r.isStore());
         if (ev.valid) {
-            mct.recordEviction(set, geom.tag(ev.lineAddr));
+            mct.recordEviction(set, geom.tagOf(ev.lineAddr));
             // Remember who forced the line out: when its owner later
             // re-misses on it (the MCT match), a different evictor
             // marks the conflict as inter-thread interference.
-            evictorThread[set] = tid;
+            evictorThread[set.value()] = tid;
         }
     }
     return res;

@@ -13,10 +13,11 @@ NextLinePrefetcher::NextLinePrefetcher(unsigned line_bytes)
         ccm_fatal("line size must be a power of two: ", line_bytes);
 }
 
-Addr
-NextLinePrefetcher::nextLine(Addr line_addr) const
+LineAddr
+NextLinePrefetcher::nextLine(LineAddr line_addr) const
 {
-    return (line_addr & ~Addr{lineBytes - 1}) + lineBytes;
+    return LineAddr{(line_addr.value() & ~Addr{lineBytes - 1u}) +
+                    lineBytes};
 }
 
 void

@@ -20,6 +20,7 @@
 
 #include <optional>
 
+#include "common/addr_types.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -37,7 +38,7 @@ class NextLinePrefetcher
      * Address to prefetch in response to a demand miss (or a prefetch
      * buffer hit) on @p line_addr.
      */
-    Addr nextLine(Addr line_addr) const;
+    LineAddr nextLine(LineAddr line_addr) const;
 
     // Accounting (driven by the memory system) ----------------------
     void countIssued() { ++nIssued; }

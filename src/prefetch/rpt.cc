@@ -13,22 +13,22 @@ RptPrefetcher::RptPrefetcher(std::size_t entries)
         ccm_fatal("RPT entries must be a power of two: ", entries);
 }
 
-std::optional<Addr>
-RptPrefetcher::observe(Addr pc, Addr addr)
+std::optional<ByteAddr>
+RptPrefetcher::observe(ByteAddr pc, ByteAddr addr)
 {
     Entry &e = table[indexOf(pc)];
 
-    if (!e.valid || e.tag != pc) {
+    if (!e.valid || e.tag != pc.value()) {
         e.valid = true;
-        e.tag = pc;
-        e.prevAddr = addr;
+        e.tag = pc.value();
+        e.prevAddr = addr.value();
         e.stride = 0;
         e.state = State::Initial;
         return std::nullopt;
     }
 
     std::int64_t new_stride =
-        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(addr.value()) -
         static_cast<std::int64_t>(e.prevAddr);
     bool correct = new_stride == e.stride;
 
@@ -51,21 +51,21 @@ RptPrefetcher::observe(Addr pc, Addr addr)
 
     if (!correct)
         e.stride = new_stride;
-    e.prevAddr = addr;
+    e.prevAddr = addr.value();
 
     if (e.state == State::Steady && e.stride != 0) {
         ++nPred;
-        return static_cast<Addr>(
-            static_cast<std::int64_t>(addr) + e.stride);
+        return ByteAddr{static_cast<Addr>(
+            static_cast<std::int64_t>(addr.value()) + e.stride)};
     }
     return std::nullopt;
 }
 
 RptPrefetcher::State
-RptPrefetcher::stateFor(Addr pc) const
+RptPrefetcher::stateFor(ByteAddr pc) const
 {
     const Entry &e = table[indexOf(pc)];
-    if (!e.valid || e.tag != pc)
+    if (!e.valid || e.tag != pc.value())
         return State::Initial;
     return e.state;
 }

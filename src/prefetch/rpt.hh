@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -50,10 +51,10 @@ class RptPrefetcher
      * @param addr the effective address
      * @return predicted next address, if in steady state
      */
-    std::optional<Addr> observe(Addr pc, Addr addr);
+    std::optional<ByteAddr> observe(ByteAddr pc, ByteAddr addr);
 
     /** Peek at an entry's state (testing). */
-    State stateFor(Addr pc) const;
+    State stateFor(ByteAddr pc) const;
 
     Count predictions() const { return nPred; }
     void clear();
@@ -68,7 +69,10 @@ class RptPrefetcher
         bool valid = false;
     };
 
-    std::size_t indexOf(Addr pc) const { return (pc >> 2) & mask; }
+    std::size_t indexOf(ByteAddr pc) const
+    {
+        return static_cast<std::size_t>(pc.value() >> 2) & mask;
+    }
 
     std::vector<Entry> table;
     std::size_t mask;

@@ -9,11 +9,20 @@ namespace
 {
 
 /** Lines are identified by address >> offsetBits ("line tag"), which
- *  keeps tag+index together so a displaced line is unambiguous. */
-Addr
-lineTagOf(const CacheGeometry &g, Addr addr)
+ *  keeps tag+index together so a displaced line is unambiguous across
+ *  its two candidate sets; the pseudo-associative MCT stores these
+ *  line tags (tag+index), not plain tags. */
+Tag
+lineTagOf(const CacheGeometry &g, ByteAddr addr)
 {
-    return addr >> g.offsetBits();
+    return Tag{addr.value() >> g.offsetBits()};
+}
+
+/** Inverse of lineTagOf. */
+LineAddr
+lineAddrOfLineTag(const CacheGeometry &g, Tag line_tag)
+{
+    return LineAddr{line_tag.value() << g.offsetBits()};
 }
 
 } // namespace
@@ -38,28 +47,28 @@ PseudoAssocCache::secondaryIndex(std::size_t set) const
     return set ^ (geom.numSets() >> 1);
 }
 
-Addr
+LineAddr
 PseudoAssocCache::residentLineAddr(std::size_t set) const
 {
-    return lines[set].tag << geom.offsetBits();
+    return lineAddrOfLineTag(geom, lines[set].tag);
 }
 
 bool
-PseudoAssocCache::probe(Addr addr) const
+PseudoAssocCache::probe(ByteAddr addr) const
 {
-    Addr lt = lineTagOf(geom, addr);
-    std::size_t p = geom.setIndex(addr);
+    Tag lt = lineTagOf(geom, addr);
+    std::size_t p = geom.setOf(addr).value();
     std::size_t s = secondaryIndex(p);
     return (lines[p].valid && lines[p].tag == lt) ||
            (lines[s].valid && lines[s].tag == lt);
 }
 
 PseudoAccess
-PseudoAssocCache::access(Addr addr, bool is_store)
+PseudoAssocCache::access(ByteAddr addr, bool is_store)
 {
     ++tick;
-    const Addr lt = lineTagOf(geom, addr);
-    const std::size_t p = geom.setIndex(addr);
+    const Tag lt = lineTagOf(geom, addr);
+    const std::size_t p = geom.setOf(addr).value();
     const std::size_t s = secondaryIndex(p);
 
     PseudoAccess out;
@@ -90,7 +99,7 @@ PseudoAssocCache::access(Addr addr, bool is_store)
     ++nMisses;
     out.kind = PseudoAccess::Kind::Miss;
     const bool new_conflict =
-        useMct && mct.isConflictMiss(p, lt);
+        useMct && mct.isConflictMiss(SetIndex{p}, lt);
     out.wasConflict = new_conflict;
 
     CacheLine &lp = lines[p];
@@ -108,7 +117,7 @@ PseudoAssocCache::access(Addr addr, bool is_store)
     auto record_eviction = [&](const CacheLine &victim,
                                std::size_t physical_set) {
         out.evictedValid = true;
-        Addr victim_line = victim.tag << geom.offsetBits();
+        LineAddr victim_line = lineAddrOfLineTag(geom, victim.tag);
         out.evictedLineAddr = victim_line;
         out.evictedDirty = victim.dirty;
         // "The MCT entry at a particular index holds the tag of the
@@ -118,7 +127,7 @@ PseudoAssocCache::access(Addr addr, bool is_store)
         // looks — so a line evicted while sitting in its secondary
         // slot is still recorded at its primary entry.
         (void)physical_set;
-        mct.recordEviction(geom.setIndex(victim_line), victim.tag);
+        mct.recordEviction(geom.setOf(victim_line), victim.tag);
     };
 
     if (!lp.valid) {

@@ -46,7 +46,7 @@ struct PseudoAccess
     bool wasConflict = false;
     /** For a miss: the evicted line, if any. */
     bool evictedValid = false;
-    Addr evictedLineAddr = 0;
+    LineAddr evictedLineAddr{};
     bool evictedDirty = false;
 };
 
@@ -68,10 +68,10 @@ class PseudoAssocCache
      * Access @p addr, filling on a miss (this cache owns its fill
      * policy because placement and replacement are intertwined).
      */
-    PseudoAccess access(Addr addr, bool is_store);
+    PseudoAccess access(ByteAddr addr, bool is_store);
 
     /** Probe only (no state change): is the line resident? */
-    bool probe(Addr addr) const;
+    bool probe(ByteAddr addr) const;
 
     const CacheGeometry &geometry() const { return geom; }
 
@@ -90,7 +90,7 @@ class PseudoAssocCache
   private:
     std::size_t secondaryIndex(std::size_t set) const;
     /** Line-aligned address of the line stored in @p set. */
-    Addr residentLineAddr(std::size_t set) const;
+    LineAddr residentLineAddr(std::size_t set) const;
 
     CacheGeometry geom;
     bool useMct;

@@ -16,13 +16,13 @@ CmlBuffer::CmlBuffer(std::size_t page_bytes)
 }
 
 void
-CmlBuffer::recordMiss(Addr vaddr)
+CmlBuffer::recordMiss(ByteAddr vaddr)
 {
     ++counts[pageOf(vaddr)];
 }
 
 std::uint32_t
-CmlBuffer::count(Addr vaddr) const
+CmlBuffer::count(ByteAddr vaddr) const
 {
     auto it = counts.find(pageOf(vaddr));
     return it == counts.end() ? 0 : it->second;

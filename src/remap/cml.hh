@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/addr_types.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -33,13 +34,16 @@ class CmlBuffer
     explicit CmlBuffer(std::size_t page_bytes = 4096);
 
     /** Record a miss by @p vaddr's page. */
-    void recordMiss(Addr vaddr);
+    void recordMiss(ByteAddr vaddr);
 
     /** Miss count of @p vaddr's page this epoch. */
-    std::uint32_t count(Addr vaddr) const;
+    std::uint32_t count(ByteAddr vaddr) const;
 
-    /** Virtual page number of @p vaddr. */
-    Addr pageOf(Addr vaddr) const { return vaddr >> pageShift; }
+    /** Virtual page number of @p vaddr (its own raw domain). */
+    Addr pageOf(ByteAddr vaddr) const
+    {
+        return vaddr.value() >> pageShift;
+    }
 
     /** Pages whose count is at least @p threshold, hottest first. */
     std::vector<Addr> hotPages(std::uint32_t threshold) const;

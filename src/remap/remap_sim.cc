@@ -25,12 +25,12 @@ PageRemapSim::PageRemapSim(const RemapConfig &config)
         ccm_fatal("colors must be a power of two: ", numColors);
 }
 
-Addr
-PageRemapSim::translate(Addr vaddr)
+ByteAddr
+PageRemapSim::translate(ByteAddr vaddr)
 {
     const unsigned page_shift = floorLog2(cfg.pageBytes);
     const unsigned color_bits = floorLog2(numColors);
-    Addr vpage = vaddr >> page_shift;
+    Addr vpage = vaddr.value() >> page_shift;
 
     auto it = colorOf.find(vpage);
     if (it == colorOf.end()) {
@@ -45,8 +45,8 @@ PageRemapSim::translate(Addr vaddr)
     // Synthesize a unique physical frame whose index bits inside the
     // cache equal the assigned color.
     Addr frame = (vpage << color_bits) | it->second;
-    return (frame << page_shift) |
-           (vaddr & (cfg.pageBytes - 1));
+    return ByteAddr{(frame << page_shift) |
+                    (vaddr.value() & (cfg.pageBytes - 1))};
 }
 
 void
@@ -101,16 +101,16 @@ PageRemapSim::run(TraceSource &trace)
             continue;
         ++res.references;
 
-        Addr paddr = translate(r.addr);
+        ByteAddr paddr = translate(r.dataAddr());
         if (!cache.access(paddr, r.isStore())) {
             ++res.misses;
-            std::size_t set = geom.setIndex(paddr);
-            bool conflict = mct.isConflictMiss(set, geom.tag(paddr));
+            SetIndex set = geom.setOf(paddr);
+            bool conflict = mct.isConflictMiss(set, geom.tagOf(paddr));
             if (conflict || !cfg.conflictOnly)
-                cml.recordMiss(r.addr);
+                cml.recordMiss(r.dataAddr());
             FillResult ev = cache.fill(paddr, conflict, r.isStore());
             if (ev.valid)
-                mct.recordEviction(set, geom.tag(ev.lineAddr));
+                mct.recordEviction(set, geom.tagOf(ev.lineAddr));
         }
 
         if (++since_epoch >= cfg.epochRefs) {

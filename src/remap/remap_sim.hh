@@ -69,7 +69,7 @@ class PageRemapSim
     unsigned colors() const { return numColors; }
 
   private:
-    Addr translate(Addr vaddr);
+    ByteAddr translate(ByteAddr vaddr);
     void pollAndRemap();
 
     RemapConfig cfg;

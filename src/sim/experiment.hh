@@ -72,7 +72,8 @@ struct SuiteReport
     {
         std::size_t n = 0;
         for (const auto &r : rows)
-            n += r.ok() ? 0 : 1;
+            if (!r.ok())
+                ++n;
         return n;
     }
 

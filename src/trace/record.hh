@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/addr_types.hh"
 #include "common/types.hh"
 
 namespace ccm
@@ -28,7 +29,14 @@ enum class RecordType : std::uint8_t
     Store = 2,
 };
 
-/** One dynamic instruction in a trace. */
+/**
+ * One dynamic instruction in a trace.
+ *
+ * The pc/addr fields stay raw Addr because this struct is the wire
+ * format (workload generators and trace files produce it with plain
+ * integer arithmetic); consumers enter the typed address domains
+ * through pcAddr()/dataAddr() at the simulation boundary.
+ */
 struct MemRecord
 {
     Addr pc = 0;              ///< program counter of the instruction
@@ -40,6 +48,12 @@ struct MemRecord
      * until that load completes.
      */
     bool dependsOnPrevLoad = false;
+
+    /** The instruction address as a typed byte address. */
+    ByteAddr pcAddr() const { return ByteAddr{pc}; }
+
+    /** The effective data address as a typed byte address. */
+    ByteAddr dataAddr() const { return ByteAddr{addr}; }
 
     bool isMem() const { return type != RecordType::NonMem; }
     bool isLoad() const { return type == RecordType::Load; }

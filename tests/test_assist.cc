@@ -17,11 +17,11 @@ namespace
 TEST(AssistBuffer, InsertAndFind)
 {
     AssistBuffer b(4);
-    EXPECT_EQ(b.find(0x40), nullptr);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    BufEntry *e = b.find(0x40);
+    EXPECT_EQ(b.find(LineAddr{0x40}), nullptr);
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    BufEntry *e = b.find(LineAddr{0x40});
     ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->lineAddr, 0x40u);
+    EXPECT_EQ(e->lineAddr, LineAddr{0x40});
     EXPECT_EQ(e->source, BufSource::Victim);
     EXPECT_EQ(b.occupancy(), 1u);
 }
@@ -29,44 +29,44 @@ TEST(AssistBuffer, InsertAndFind)
 TEST(AssistBuffer, LruEvictionOrder)
 {
     AssistBuffer b(2);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    b.insert(0x80, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
     // Touch 0x40 so 0x80 becomes LRU.
-    b.recordHit(*b.find(0x40));
-    BufEvicted ev = b.insert(0xC0, BufSource::Victim, false, false, 0);
+    b.recordHit(*b.find(LineAddr{0x40}));
+    BufEvicted ev = b.insert(LineAddr{0xC0}, BufSource::Victim, false, false, 0);
     ASSERT_TRUE(ev.valid);
-    EXPECT_EQ(ev.lineAddr, 0x80u);
-    EXPECT_NE(b.find(0x40), nullptr);
+    EXPECT_EQ(ev.lineAddr, LineAddr{0x80});
+    EXPECT_NE(b.find(LineAddr{0x40}), nullptr);
 }
 
 TEST(AssistBuffer, InvalidSlotsUsedFirst)
 {
     AssistBuffer b(3);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    EXPECT_FALSE(b.insert(0x80, BufSource::Victim, false, false, 0)
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    EXPECT_FALSE(b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0)
                      .valid);
-    EXPECT_FALSE(b.insert(0xC0, BufSource::Victim, false, false, 0)
+    EXPECT_FALSE(b.insert(LineAddr{0xC0}, BufSource::Victim, false, false, 0)
                      .valid);
-    EXPECT_TRUE(b.insert(0x100, BufSource::Victim, false, false, 0)
+    EXPECT_TRUE(b.insert(LineAddr{0x100}, BufSource::Victim, false, false, 0)
                     .valid);
 }
 
 TEST(AssistBuffer, EraseFreesSlot)
 {
     AssistBuffer b(1);
-    b.insert(0x40, BufSource::Bypass, false, true, 0);
-    EXPECT_TRUE(b.erase(0x40));
-    EXPECT_FALSE(b.erase(0x40));
+    b.insert(LineAddr{0x40}, BufSource::Bypass, false, true, 0);
+    EXPECT_TRUE(b.erase(LineAddr{0x40}));
+    EXPECT_FALSE(b.erase(LineAddr{0x40}));
     EXPECT_EQ(b.occupancy(), 0u);
-    EXPECT_FALSE(b.insert(0x80, BufSource::Victim, false, false, 0)
+    EXPECT_FALSE(b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0)
                      .valid);
 }
 
 TEST(AssistBuffer, EvictionReportsDirtyAndSource)
 {
     AssistBuffer b(1);
-    b.insert(0x40, BufSource::Bypass, true, true, 0);
-    BufEvicted ev = b.insert(0x80, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x40}, BufSource::Bypass, true, true, 0);
+    BufEvicted ev = b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
     ASSERT_TRUE(ev.valid);
     EXPECT_TRUE(ev.dirty);
     EXPECT_EQ(ev.source, BufSource::Bypass);
@@ -76,12 +76,12 @@ TEST(AssistBuffer, EvictionReportsDirtyAndSource)
 TEST(AssistBuffer, HitAccountingPerSource)
 {
     AssistBuffer b(4);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    b.insert(0x80, BufSource::Prefetch, false, false, 0);
-    b.insert(0xC0, BufSource::Bypass, false, false, 0);
-    b.recordHit(*b.find(0x40));
-    b.recordHit(*b.find(0x40));
-    b.recordHit(*b.find(0x80));
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Prefetch, false, false, 0);
+    b.insert(LineAddr{0xC0}, BufSource::Bypass, false, false, 0);
+    b.recordHit(*b.find(LineAddr{0x40}));
+    b.recordHit(*b.find(LineAddr{0x40}));
+    b.recordHit(*b.find(LineAddr{0x80}));
     EXPECT_EQ(b.hits(BufSource::Victim), 2u);
     EXPECT_EQ(b.hits(BufSource::Prefetch), 1u);
     EXPECT_EQ(b.hits(BufSource::Bypass), 0u);
@@ -91,9 +91,9 @@ TEST(AssistBuffer, HitAccountingPerSource)
 TEST(AssistBuffer, InsertionAccountingPerSource)
 {
     AssistBuffer b(8);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    b.insert(0x80, BufSource::Victim, false, false, 0);
-    b.insert(0xC0, BufSource::Prefetch, false, false, 0);
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0xC0}, BufSource::Prefetch, false, false, 0);
     EXPECT_EQ(b.insertions(BufSource::Victim), 2u);
     EXPECT_EQ(b.insertions(BufSource::Prefetch), 1u);
     EXPECT_EQ(b.fills(), 3u);
@@ -102,25 +102,25 @@ TEST(AssistBuffer, InsertionAccountingPerSource)
 TEST(AssistBuffer, WastedPrefetchCountedOnUnusedEviction)
 {
     AssistBuffer b(1);
-    b.insert(0x40, BufSource::Prefetch, false, false, 0);
-    b.insert(0x80, BufSource::Victim, false, false, 0);  // evicts
+    b.insert(LineAddr{0x40}, BufSource::Prefetch, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);  // evicts
     EXPECT_EQ(b.wastedPrefetches(), 1u);
 }
 
 TEST(AssistBuffer, UsedPrefetchNotWasted)
 {
     AssistBuffer b(1);
-    b.insert(0x40, BufSource::Prefetch, false, false, 0);
-    b.recordHit(*b.find(0x40));
-    b.insert(0x80, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x40}, BufSource::Prefetch, false, false, 0);
+    b.recordHit(*b.find(LineAddr{0x40}));
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
     EXPECT_EQ(b.wastedPrefetches(), 0u);
 }
 
 TEST(AssistBuffer, EvictedVictimNotCountedAsWastedPrefetch)
 {
     AssistBuffer b(1);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    b.insert(0x80, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
     EXPECT_EQ(b.wastedPrefetches(), 0u);
 }
 
@@ -129,39 +129,39 @@ TEST(AssistBuffer, SourceTransitionKeepsEntry)
     // The AMB re-marks a prefetched line as an exclusion line on a
     // hit (§5.5); the entry object supports in-place transition.
     AssistBuffer b(2);
-    b.insert(0x40, BufSource::Prefetch, false, false, 0);
-    BufEntry *e = b.find(0x40);
+    b.insert(LineAddr{0x40}, BufSource::Prefetch, false, false, 0);
+    BufEntry *e = b.find(LineAddr{0x40});
     b.recordHit(*e);
     e->source = BufSource::Bypass;
-    EXPECT_EQ(b.find(0x40)->source, BufSource::Bypass);
+    EXPECT_EQ(b.find(LineAddr{0x40})->source, BufSource::Bypass);
     // Its later eviction is not a wasted prefetch.
-    b.insert(0x80, BufSource::Victim, false, false, 0);
-    b.insert(0xC0, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0xC0}, BufSource::Victim, false, false, 0);
     EXPECT_EQ(b.wastedPrefetches(), 0u);
 }
 
 TEST(AssistBuffer, ReadyCycleStored)
 {
     AssistBuffer b(2);
-    b.insert(0x40, BufSource::Prefetch, false, false, 123);
-    EXPECT_EQ(b.find(0x40)->ready, 123u);
+    b.insert(LineAddr{0x40}, BufSource::Prefetch, false, false, 123);
+    EXPECT_EQ(b.find(LineAddr{0x40})->ready, 123u);
 }
 
 TEST(AssistBuffer, ConflictBitStored)
 {
     AssistBuffer b(2);
-    b.insert(0x40, BufSource::Victim, true, false, 0);
-    EXPECT_TRUE(b.find(0x40)->conflictBit);
+    b.insert(LineAddr{0x40}, BufSource::Victim, true, false, 0);
+    EXPECT_TRUE(b.find(LineAddr{0x40})->conflictBit);
 }
 
 TEST(AssistBuffer, FlushInvalidatesButKeepsStats)
 {
     AssistBuffer b(2);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    b.recordHit(*b.find(0x40));
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    b.recordHit(*b.find(LineAddr{0x40}));
     b.flush();
     EXPECT_EQ(b.occupancy(), 0u);
-    EXPECT_EQ(b.find(0x40), nullptr);
+    EXPECT_EQ(b.find(LineAddr{0x40}), nullptr);
     EXPECT_EQ(b.totalHits(), 1u);
     b.clearStats();
     EXPECT_EQ(b.totalHits(), 0u);
@@ -171,24 +171,24 @@ TEST(AssistBuffer, FlushInvalidatesButKeepsStats)
 TEST(AssistBuffer, FifoIgnoresHitRecency)
 {
     AssistBuffer b(2, BufRepl::Fifo);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    b.insert(0x80, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
     // Touch the older entry: FIFO still evicts it first.
-    b.recordHit(*b.find(0x40));
-    BufEvicted ev = b.insert(0xC0, BufSource::Victim, false, false, 0);
+    b.recordHit(*b.find(LineAddr{0x40}));
+    BufEvicted ev = b.insert(LineAddr{0xC0}, BufSource::Victim, false, false, 0);
     ASSERT_TRUE(ev.valid);
-    EXPECT_EQ(ev.lineAddr, 0x40u);
+    EXPECT_EQ(ev.lineAddr, LineAddr{0x40});
 }
 
 TEST(AssistBuffer, LruRespectsHitRecency)
 {
     AssistBuffer b(2, BufRepl::Lru);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    b.insert(0x80, BufSource::Victim, false, false, 0);
-    b.recordHit(*b.find(0x40));
-    BufEvicted ev = b.insert(0xC0, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    b.insert(LineAddr{0x80}, BufSource::Victim, false, false, 0);
+    b.recordHit(*b.find(LineAddr{0x40}));
+    BufEvicted ev = b.insert(LineAddr{0xC0}, BufSource::Victim, false, false, 0);
     ASSERT_TRUE(ev.valid);
-    EXPECT_EQ(ev.lineAddr, 0x80u);
+    EXPECT_EQ(ev.lineAddr, LineAddr{0x80});
 }
 
 TEST(AssistBufferDeath, ZeroEntriesRejected)
@@ -199,8 +199,8 @@ TEST(AssistBufferDeath, ZeroEntriesRejected)
 TEST(AssistBufferDeath, DoubleInsertPanics)
 {
     AssistBuffer b(2);
-    b.insert(0x40, BufSource::Victim, false, false, 0);
-    EXPECT_DEATH(b.insert(0x40, BufSource::Victim, false, false, 0),
+    b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0);
+    EXPECT_DEATH(b.insert(LineAddr{0x40}, BufSource::Victim, false, false, 0),
                  "resident");
 }
 
@@ -215,12 +215,12 @@ TEST_P(AssistBufferSize, HoldsExactlyCapacity)
     AssistBuffer b(n);
     for (unsigned i = 0; i < n; ++i)
         EXPECT_FALSE(
-            b.insert(0x1000 + i * 64, BufSource::Victim, false,
+            b.insert(LineAddr{0x1000 + i * 64}, BufSource::Victim, false,
                      false, 0)
                 .valid);
     EXPECT_EQ(b.occupancy(), n);
     EXPECT_TRUE(
-        b.insert(0x1000 + n * 64, BufSource::Victim, false, false, 0)
+        b.insert(LineAddr{0x1000 + n * 64}, BufSource::Victim, false, false, 0)
             .valid);
     EXPECT_EQ(b.occupancy(), n);
 }

@@ -20,17 +20,17 @@ geom2w()
     return CacheGeometry(256, 2, 64);
 }
 
-Addr
+ByteAddr
 mkAddr(const CacheGeometry &g, std::size_t set, Addr t)
 {
-    return g.buildLineAddr(t, set);
+    return g.recompose(Tag{t}, SetIndex{set}).asByte();
 }
 
 TEST(Biased, HitMissBasics)
 {
     BiasedAssocCache c(geom2w(), true);
-    EXPECT_FALSE(c.access(0x0, false).hit);
-    EXPECT_TRUE(c.access(0x0, false).hit);
+    EXPECT_FALSE(c.access(ByteAddr{0x0}, false).hit);
+    EXPECT_TRUE(c.access(ByteAddr{0x0}, false).hit);
     EXPECT_EQ(c.hits(), 1u);
     EXPECT_EQ(c.misses(), 1u);
     EXPECT_NEAR(c.missRate(), 0.5, 1e-12);
@@ -40,13 +40,14 @@ TEST(Biased, ConflictClassificationFollowsMct)
 {
     CacheGeometry g = geom2w();
     BiasedAssocCache c(g, true);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2),
+             d = mkAddr(g, 0, 3);
     c.access(a, false);
     c.access(b, false);
     BiasedAccess res = c.access(d, false);   // evicts a (LRU)
     EXPECT_FALSE(res.wasConflict);
     ASSERT_TRUE(res.evictedValid);
-    EXPECT_EQ(res.evictedLineAddr, a);
+    EXPECT_EQ(res.evictedLineAddr, g.lineOf(a));
     // a's re-miss matches the recorded eviction: conflict.
     res = c.access(a, false);
     EXPECT_TRUE(res.wasConflict);
@@ -56,7 +57,8 @@ TEST(Biased, BiasEvictsCapacityLineOverLruConflictLine)
 {
     CacheGeometry g = geom2w();
     BiasedAssocCache c(g, true);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2),
+             d = mkAddr(g, 0, 3);
 
     // Get a resident WITH its conflict bit: fill, evict, refill.
     c.access(a, false);
@@ -70,7 +72,7 @@ TEST(Biased, BiasEvictsCapacityLineOverLruConflictLine)
     BiasedAccess res = c.access(mkAddr(g, 0, 4), false);
     ASSERT_TRUE(res.evictedValid);
     // Plain LRU would evict a; the bias protects it and evicts d.
-    EXPECT_EQ(res.evictedLineAddr, d);
+    EXPECT_EQ(res.evictedLineAddr, g.lineOf(d));
     EXPECT_TRUE(res.biasApplied);
     EXPECT_EQ(c.biasOverrides(), 1u);
     EXPECT_TRUE(c.access(a, false).hit);
@@ -80,7 +82,8 @@ TEST(Biased, UnbiasedBaselineUsesPlainLru)
 {
     CacheGeometry g = geom2w();
     BiasedAssocCache c(g, false);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2),
+             d = mkAddr(g, 0, 3);
     c.access(a, false);
     c.access(b, false);
     c.access(d, false);
@@ -88,7 +91,7 @@ TEST(Biased, UnbiasedBaselineUsesPlainLru)
     c.access(d, false);
     BiasedAccess res = c.access(mkAddr(g, 0, 4), false);
     ASSERT_TRUE(res.evictedValid);
-    EXPECT_EQ(res.evictedLineAddr, a);   // plain LRU
+    EXPECT_EQ(res.evictedLineAddr, g.lineOf(a));  // plain LRU
     EXPECT_EQ(c.biasOverrides(), 0u);
 }
 
@@ -96,7 +99,7 @@ TEST(Biased, AllProtectedFallsBackToLru)
 {
     CacheGeometry g = geom2w();
     BiasedAssocCache c(g, true);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
     // Make both residents conflict-marked: ping them in.
     c.access(a, false);
     c.access(b, false);
@@ -117,7 +120,7 @@ TEST(Biased, StreamingThroughConflictSetIsCheapWithBias)
     // each other, not the pair.
     CacheGeometry g = geom2w();
     BiasedAssocCache c(g, true);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
     c.access(a, false);
     c.access(b, false);
     c.access(mkAddr(g, 0, 9), false);   // evict a
@@ -132,10 +135,10 @@ TEST(Biased, StreamingThroughConflictSetIsCheapWithBias)
 TEST(Biased, ClearResets)
 {
     BiasedAssocCache c(geom2w(), true);
-    c.access(0x0, false);
+    c.access(ByteAddr{0x0}, false);
     c.clear();
     EXPECT_EQ(c.accesses(), 0u);
-    EXPECT_FALSE(c.access(0x0, false).hit);
+    EXPECT_FALSE(c.access(ByteAddr{0x0}, false).hit);
 }
 
 } // namespace

@@ -26,18 +26,18 @@ tinyGeom()
 }
 
 /** Address in set @p set with tag index @p t. */
-Addr
+ByteAddr
 mkAddr(const CacheGeometry &g, std::size_t set, Addr t)
 {
-    return g.buildLineAddr(t, set);
+    return g.recompose(Tag{t}, SetIndex{set}).asByte();
 }
 
 TEST(Cache, ColdMissThenHit)
 {
     Cache c(tinyGeom());
-    EXPECT_FALSE(c.access(0x0, false));
-    c.fill(0x0, false, false);
-    EXPECT_TRUE(c.access(0x0, false));
+    EXPECT_FALSE(c.access(ByteAddr{0x0}, false));
+    c.fill(ByteAddr{0x0}, false, false);
+    EXPECT_TRUE(c.access(ByteAddr{0x0}, false));
     EXPECT_EQ(c.hits(), 1u);
     EXPECT_EQ(c.misses(), 1u);
 }
@@ -45,37 +45,39 @@ TEST(Cache, ColdMissThenHit)
 TEST(Cache, HitAnywhereInLine)
 {
     Cache c(tinyGeom());
-    c.fill(0x40, false, false);
-    EXPECT_TRUE(c.access(0x40, false));
-    EXPECT_TRUE(c.access(0x7F, false));
-    EXPECT_FALSE(c.access(0x80, false));
+    c.fill(ByteAddr{0x40}, false, false);
+    EXPECT_TRUE(c.access(ByteAddr{0x40}, false));
+    EXPECT_TRUE(c.access(ByteAddr{0x7F}, false));
+    EXPECT_FALSE(c.access(ByteAddr{0x80}, false));
 }
 
 TEST(Cache, ProbeDoesNotDisturbState)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2),
+             d = mkAddr(g, 0, 3);
     c.fill(a, false, false);
     c.fill(b, false, false);
     // a is LRU.  Probing a must not refresh it.
     EXPECT_NE(c.probe(a), nullptr);
     FillResult ev = c.fill(d, false, false);
     ASSERT_TRUE(ev.valid);
-    EXPECT_EQ(ev.lineAddr, a);
+    EXPECT_EQ(ev.lineAddr, g.lineOf(a));
 }
 
 TEST(Cache, LruEvictsLeastRecentlyUsed)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2),
+             d = mkAddr(g, 0, 3);
     c.fill(a, false, false);
     c.fill(b, false, false);
     c.access(a, false);          // refresh a; b becomes LRU
     FillResult ev = c.fill(d, false, false);
     ASSERT_TRUE(ev.valid);
-    EXPECT_EQ(ev.lineAddr, b);
+    EXPECT_EQ(ev.lineAddr, g.lineOf(b));
     EXPECT_NE(c.probe(a), nullptr);
     EXPECT_NE(c.probe(d), nullptr);
 }
@@ -84,25 +86,28 @@ TEST(Cache, FifoIgnoresAccessRecency)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g, ReplPolicy::Fifo);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2),
+             d = mkAddr(g, 0, 3);
     c.fill(a, false, false);
     c.fill(b, false, false);
     c.access(a, false);          // would save a under LRU
     FillResult ev = c.fill(d, false, false);
     ASSERT_TRUE(ev.valid);
-    EXPECT_EQ(ev.lineAddr, a);   // FIFO still evicts the oldest fill
+    EXPECT_EQ(ev.lineAddr, g.lineOf(a));  // FIFO evicts oldest fill
 }
 
 TEST(Cache, RandomReplacementEvictsSomeValidWay)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g, ReplPolicy::Random, 99);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2),
+             d = mkAddr(g, 0, 3);
     c.fill(a, false, false);
     c.fill(b, false, false);
     FillResult ev = c.fill(d, false, false);
     ASSERT_TRUE(ev.valid);
-    EXPECT_TRUE(ev.lineAddr == a || ev.lineAddr == b);
+    EXPECT_TRUE(ev.lineAddr == g.lineOf(a) ||
+                ev.lineAddr == g.lineOf(b));
     EXPECT_NE(c.probe(d), nullptr);
 }
 
@@ -110,7 +115,7 @@ TEST(Cache, EmptyWayUsedBeforeEviction)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
+    ByteAddr a = mkAddr(g, 0, 1), b = mkAddr(g, 0, 2);
     EXPECT_FALSE(c.fill(a, false, false).valid);
     EXPECT_FALSE(c.fill(b, false, false).valid);
     EXPECT_NE(c.probe(a), nullptr);
@@ -121,12 +126,13 @@ TEST(Cache, VictimForMatchesSubsequentFill)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 1, 1), b = mkAddr(g, 1, 2), d = mkAddr(g, 1, 3);
+    ByteAddr a = mkAddr(g, 1, 1), b = mkAddr(g, 1, 2),
+             d = mkAddr(g, 1, 3);
     c.fill(a, false, false);
     c.fill(b, false, false);
     const CacheLine *victim = c.victimFor(d);
     ASSERT_NE(victim, nullptr);
-    Addr predicted = g.buildLineAddr(victim->tag, g.setIndex(d));
+    LineAddr predicted = g.recompose(victim->tag, g.setOf(d));
     FillResult ev = c.fill(d, false, false);
     EXPECT_EQ(ev.lineAddr, predicted);
 }
@@ -143,15 +149,15 @@ TEST(Cache, ConflictBitStoredAndEvicted)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1);
+    ByteAddr a = mkAddr(g, 0, 1);
     c.fill(a, true, false);
     EXPECT_TRUE(c.probe(a)->conflictBit);
 
-    Addr b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
     c.fill(b, false, false);
     FillResult ev = c.fill(d, false, false);
     ASSERT_TRUE(ev.valid);
-    EXPECT_EQ(ev.lineAddr, a);
+    EXPECT_EQ(ev.lineAddr, g.lineOf(a));
     EXPECT_TRUE(ev.conflictBit);
 }
 
@@ -159,10 +165,10 @@ TEST(Cache, StoreSetsDirtyAndEvictionReportsIt)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1);
+    ByteAddr a = mkAddr(g, 0, 1);
     c.fill(a, false, false);
     c.access(a, true);   // dirtying store hit
-    Addr b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
+    ByteAddr b = mkAddr(g, 0, 2), d = mkAddr(g, 0, 3);
     c.fill(b, false, false);
     FillResult ev = c.fill(d, false, false);
     ASSERT_TRUE(ev.valid);
@@ -181,7 +187,7 @@ TEST(Cache, InvalidateRemovesLine)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1);
+    ByteAddr a = mkAddr(g, 0, 1);
     c.fill(a, false, false);
     EXPECT_TRUE(c.invalidate(a));
     EXPECT_EQ(c.probe(a), nullptr);
@@ -217,19 +223,20 @@ TEST(Cache, FillWayPlacesExactly)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 7);
-    c.fillWay(a, 1, true, false);
-    EXPECT_TRUE(c.lineAt(0, 1).valid);
-    EXPECT_FALSE(c.lineAt(0, 0).valid);
-    EXPECT_EQ(c.lineAddrAt(0, 1), a);
-    EXPECT_EQ(c.lineAddrAt(0, 0), invalidAddr);
+    ByteAddr a = mkAddr(g, 0, 7);
+    c.fillWay(a, WayIndex{1}, true, false);
+    EXPECT_TRUE(c.lineAt(SetIndex{0}, WayIndex{1}).valid);
+    EXPECT_FALSE(c.lineAt(SetIndex{0}, WayIndex{0}).valid);
+    EXPECT_EQ(c.lineAddrAt(SetIndex{0}, WayIndex{1}), g.lineOf(a));
+    EXPECT_EQ(c.lineAddrAt(SetIndex{0}, WayIndex{0}),
+              invalidLineAddr);
 }
 
 TEST(Cache, FindLineAllowsBitMutation)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1);
+    ByteAddr a = mkAddr(g, 0, 1);
     c.fill(a, false, false);
     CacheLine *l = c.findLine(a);
     ASSERT_NE(l, nullptr);
@@ -241,7 +248,7 @@ TEST(Cache, MissRateComputation)
 {
     CacheGeometry g = tinyGeom();
     Cache c(g);
-    Addr a = mkAddr(g, 0, 1);
+    ByteAddr a = mkAddr(g, 0, 1);
     c.access(a, false);          // miss
     c.fill(a, false, false);
     c.access(a, false);          // hit
@@ -252,13 +259,15 @@ TEST(Cache, MissRateComputation)
 TEST(CacheDeath, FillWayOutOfRange)
 {
     Cache c(tinyGeom());
-    EXPECT_DEATH(c.fillWay(0, 5, false, false), "out of range");
+    EXPECT_DEATH(c.fillWay(ByteAddr{0}, WayIndex{5}, false, false),
+                 "out of range");
 }
 
 TEST(CacheDeath, LineAtOutOfRange)
 {
     Cache c(tinyGeom());
-    EXPECT_DEATH(c.lineAt(99, 0), "out of range");
+    EXPECT_DEATH(c.lineAt(SetIndex{99}, WayIndex{0}),
+                 "out of range");
 }
 
 /**
@@ -280,14 +289,14 @@ TEST_P(CacheThrash, ExactWorkingSetFits)
 
     // Warmup: one pass over exactly n distinct lines.
     for (std::size_t i = 0; i < n; ++i) {
-        Addr a = i * 64;
+        ByteAddr a{i * 64};
         if (!c.access(a, false))
             c.fill(a, false, false);
     }
     // Every subsequent pass hits.
     for (int pass = 0; pass < 3; ++pass) {
         for (std::size_t i = 0; i < n; ++i)
-            EXPECT_TRUE(c.access(i * 64, false));
+            EXPECT_TRUE(c.access(ByteAddr{i * 64}, false));
     }
 }
 
@@ -297,7 +306,7 @@ TEST_P(CacheThrash, AliasedLinesAlwaysMiss)
     CacheGeometry g(cache_bytes, 1, 64);
     Cache c(g);
     // Two lines 1 cache-size apart ping-pong forever.
-    Addr a = 0x40, b = a + cache_bytes;
+    ByteAddr a{0x40}, b = a.advancedBy(cache_bytes);
     for (int i = 0; i < 20; ++i) {
         EXPECT_FALSE(c.access(a, false));
         c.fill(a, false, false);
@@ -326,21 +335,21 @@ TEST_P(CacheModelCheck, MatchesReferenceModel)
     Cache cache(g);
 
     // Reference: per set, a recency-ordered list (front = MRU).
-    std::vector<std::list<Addr>> model(g.numSets());
-    auto model_find = [&](Addr line) {
-        auto &s = model[g.setIndex(line)];
+    std::vector<std::list<LineAddr>> model(g.numSets());
+    auto model_find = [&](LineAddr line) {
+        auto &s = model[g.setOf(line).value()];
         return std::find(s.begin(), s.end(), line);
     };
 
     Pcg32 rng(77);
     for (int step = 0; step < 30000; ++step) {
-        Addr line =
-            (Addr(rng.below(64)) * bytes / 4) & ~Addr{63};
-        auto &s = model[g.setIndex(line)];
+        LineAddr line{(Addr(rng.below(64)) * bytes / 4) &
+                      ~Addr{63}};
+        auto &s = model[g.setOf(line).value()];
         switch (rng.below(4)) {
           case 0:
           case 1: {  // access
-            bool hit = cache.access(line, false);
+            bool hit = cache.access(line.asByte(), false);
             auto it = model_find(line);
             EXPECT_EQ(hit, it != s.end());
             if (it != s.end()) {
@@ -352,7 +361,7 @@ TEST_P(CacheModelCheck, MatchesReferenceModel)
           case 2: {  // fill (if not resident)
             if (model_find(line) != s.end())
                 break;
-            FillResult ev = cache.fill(line, false, false);
+            FillResult ev = cache.fill(line.asByte(), false, false);
             if (s.size() == assoc) {
                 ASSERT_TRUE(ev.valid);
                 EXPECT_EQ(ev.lineAddr, s.back());  // LRU victim
@@ -365,7 +374,7 @@ TEST_P(CacheModelCheck, MatchesReferenceModel)
           }
           default: {  // invalidate
             bool had = model_find(line) != s.end();
-            EXPECT_EQ(cache.invalidate(line), had);
+            EXPECT_EQ(cache.invalidate(line.asByte()), had);
             if (had)
                 s.erase(model_find(line));
             break;
@@ -377,8 +386,8 @@ TEST_P(CacheModelCheck, MatchesReferenceModel)
     std::size_t model_lines = 0;
     for (const auto &s : model) {
         model_lines += s.size();
-        for (Addr line : s)
-            EXPECT_NE(cache.probe(line), nullptr);
+        for (LineAddr line : s)
+            EXPECT_NE(cache.probe(line.asByte()), nullptr);
     }
     EXPECT_EQ(cache.occupancy(), model_lines);
 }

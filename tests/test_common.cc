@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "common/addr_types.hh"
 #include "common/bitutil.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -17,6 +18,71 @@ namespace ccm
 {
 namespace
 {
+
+// ---- address-domain types -----------------------------------------
+
+// The deliberate domain mix-up IS the test: every cross-domain
+// conversion that used to be a silent off-by-offsetBits bug must now
+// fail to compile.  is_convertible checks exactly "would an implicit
+// pass compile", so these asserts are the negative compile tests.
+static_assert(!std::is_convertible_v<ByteAddr, LineAddr>,
+              "byte->line must go through CacheGeometry::lineOf");
+static_assert(!std::is_convertible_v<LineAddr, ByteAddr>,
+              "line->byte must be explicit (LineAddr::asByte)");
+static_assert(!std::is_convertible_v<Tag, SetIndex>);
+static_assert(!std::is_convertible_v<SetIndex, Tag>);
+static_assert(!std::is_convertible_v<Tag, LineAddr>);
+static_assert(!std::is_convertible_v<WayIndex, SetIndex>);
+static_assert(!std::is_convertible_v<Addr, ByteAddr>,
+              "raw integers never silently enter a domain");
+static_assert(!std::is_convertible_v<Addr, Tag>);
+static_assert(!std::is_convertible_v<ByteAddr, Addr>,
+              "leaving a domain requires .value()");
+// ...and the wrappers must stay free: same size as the raw integer,
+// trivially copyable, so they vanish at -O1.
+static_assert(sizeof(ByteAddr) == sizeof(Addr));
+static_assert(sizeof(LineAddr) == sizeof(Addr));
+static_assert(std::is_trivially_copyable_v<ByteAddr>);
+
+TEST(AddrTypes, ValueRoundTrips)
+{
+    EXPECT_EQ(ByteAddr{0xDEAD}.value(), 0xDEADu);
+    EXPECT_EQ(Tag{42}.value(), 42u);
+    EXPECT_EQ(SetIndex{7}.value(), 7u);
+    EXPECT_EQ(WayIndex{3}.value(), 3u);
+}
+
+TEST(AddrTypes, ComparisonsWithinDomain)
+{
+    EXPECT_EQ(ByteAddr{5}, ByteAddr{5});
+    EXPECT_NE(ByteAddr{5}, ByteAddr{6});
+    EXPECT_LT(LineAddr{0x40}, LineAddr{0x80});
+    EXPECT_GE(Tag{9}, Tag{9});
+}
+
+TEST(AddrTypes, AdvancedByDisplacesBytes)
+{
+    EXPECT_EQ(ByteAddr{0x100}.advancedBy(0x40), ByteAddr{0x140});
+}
+
+TEST(AddrTypes, LineAsByteKeepsValue)
+{
+    EXPECT_EQ(LineAddr{0x12340}.asByte(), ByteAddr{0x12340});
+}
+
+TEST(AddrTypes, HashableInUnorderedContainers)
+{
+    EXPECT_EQ(std::hash<LineAddr>{}(LineAddr{0x40}),
+              std::hash<LineAddr>{}(LineAddr{0x40}));
+    EXPECT_EQ(std::hash<Tag>{}(Tag{1}), std::hash<Tag>{}(Tag{1}));
+}
+
+TEST(AddrTypes, InvalidSentinels)
+{
+    EXPECT_EQ(invalidByteAddr.value(), invalidAddr);
+    EXPECT_EQ(invalidLineAddr.value(), invalidAddr);
+    EXPECT_NE(invalidLineAddr, LineAddr{0});
+}
 
 // ---- bitutil ------------------------------------------------------
 

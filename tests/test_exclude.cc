@@ -20,48 +20,48 @@ namespace
 TEST(Mat, CountsAccumulatePerRegion)
 {
     MemoryAccessTable mat;
-    for (int i = 0; i < 10; ++i)
-        mat.recordAccess(0x10000 + i);   // same 1KB region
-    EXPECT_EQ(mat.countFor(0x10000), 10u);
-    EXPECT_EQ(mat.countFor(0x20000), 0u);
+    for (Addr i = 0; i < 10; ++i)
+        mat.recordAccess(ByteAddr{0x10000 + i});   // same 1KB region
+    EXPECT_EQ(mat.countFor(ByteAddr{0x10000}), 10u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x20000}), 0u);
 }
 
 TEST(Mat, RegionGranularity)
 {
     MemoryAccessTable mat;
-    mat.recordAccess(0x10000);
-    mat.recordAccess(0x103FF);  // same 1KB region
-    mat.recordAccess(0x10400);  // next region
-    EXPECT_EQ(mat.countFor(0x10000), 2u);
-    EXPECT_EQ(mat.countFor(0x10400), 1u);
+    mat.recordAccess(ByteAddr{0x10000});
+    mat.recordAccess(ByteAddr{0x103FF});  // same 1KB region
+    mat.recordAccess(ByteAddr{0x10400});  // next region
+    EXPECT_EQ(mat.countFor(ByteAddr{0x10000}), 2u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x10400}), 1u);
 }
 
 TEST(Mat, BypassWhenVictimRegionHotter)
 {
     MemoryAccessTable mat;
     for (int i = 0; i < 50; ++i)
-        mat.recordAccess(0x20000);       // hot region
-    mat.recordAccess(0x30000);           // cold region
-    EXPECT_TRUE(mat.shouldBypass(0x30000, 0x20000));
-    EXPECT_FALSE(mat.shouldBypass(0x20000, 0x30000));
+        mat.recordAccess(ByteAddr{0x20000});       // hot region
+    mat.recordAccess(ByteAddr{0x30000});           // cold region
+    EXPECT_TRUE(mat.shouldBypass(ByteAddr{0x30000}, LineAddr{0x20000}));
+    EXPECT_FALSE(mat.shouldBypass(ByteAddr{0x20000}, LineAddr{0x30000}));
 }
 
 TEST(Mat, NoBypassOnEqualCounts)
 {
     MemoryAccessTable mat;
-    mat.recordAccess(0x20000);
-    mat.recordAccess(0x30000);
-    EXPECT_FALSE(mat.shouldBypass(0x30000, 0x20000));
+    mat.recordAccess(ByteAddr{0x20000});
+    mat.recordAccess(ByteAddr{0x30000});
+    EXPECT_FALSE(mat.shouldBypass(ByteAddr{0x30000}, LineAddr{0x20000}));
 }
 
 TEST(Mat, DecayHalvesCounts)
 {
     MemoryAccessTable mat(1024, 1024, /*decay*/ 100);
     for (int i = 0; i < 99; ++i)
-        mat.recordAccess(0x20000);
-    EXPECT_EQ(mat.countFor(0x20000), 99u);
-    mat.recordAccess(0x20000);           // triggers decay
-    EXPECT_EQ(mat.countFor(0x20000), 50u);
+        mat.recordAccess(ByteAddr{0x20000});
+    EXPECT_EQ(mat.countFor(ByteAddr{0x20000}), 99u);
+    mat.recordAccess(ByteAddr{0x20000});           // triggers decay
+    EXPECT_EQ(mat.countFor(ByteAddr{0x20000}), 50u);
 }
 
 TEST(Mat, CollisionHysteresisProtectsHotRegion)
@@ -70,24 +70,24 @@ TEST(Mat, CollisionHysteresisProtectsHotRegion)
     // until the contender out-accesses it.
     MemoryAccessTable mat(1, 1024, 1 << 30);   // one entry: all alias
     for (int i = 0; i < 10; ++i)
-        mat.recordAccess(0x1000);
-    mat.recordAccess(0x9000);  // contender decrements, doesn't steal
-    EXPECT_EQ(mat.countFor(0x1000), 9u);
-    EXPECT_EQ(mat.countFor(0x9000), 0u);
+        mat.recordAccess(ByteAddr{0x1000});
+    mat.recordAccess(ByteAddr{0x9000});  // contender decrements, doesn't steal
+    EXPECT_EQ(mat.countFor(ByteAddr{0x1000}), 9u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x9000}), 0u);
     // Persistent contender eventually takes over.
     for (int i = 0; i < 20; ++i)
-        mat.recordAccess(0x9000);
-    EXPECT_GT(mat.countFor(0x9000), 0u);
-    EXPECT_EQ(mat.countFor(0x1000), 0u);
+        mat.recordAccess(ByteAddr{0x9000});
+    EXPECT_GT(mat.countFor(ByteAddr{0x9000}), 0u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x1000}), 0u);
 }
 
 TEST(Mat, CounterSaturates)
 {
     MemoryAccessTable mat(1024, 1024, 1 << 30);
     for (int i = 0; i < 10000; ++i)
-        mat.recordAccess(0x20000);
-    EXPECT_LE(mat.countFor(0x20000), 4095u);
-    EXPECT_EQ(mat.countFor(0x20000), 4095u);
+        mat.recordAccess(ByteAddr{0x20000});
+    EXPECT_LE(mat.countFor(ByteAddr{0x20000}), 4095u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x20000}), 4095u);
 }
 
 TEST(Mat, PowerOfTwoSpacedRegionsDoNotAllAlias)
@@ -95,20 +95,20 @@ TEST(Mat, PowerOfTwoSpacedRegionsDoNotAllAlias)
     // Regions exactly 1MB apart (the table span) fold to different
     // indices thanks to the XOR fold.
     MemoryAccessTable mat;
-    mat.recordAccess(0x40000000);
-    mat.recordAccess(0x40100000);
-    mat.recordAccess(0x40200000);
-    EXPECT_EQ(mat.countFor(0x40000000), 1u);
-    EXPECT_EQ(mat.countFor(0x40100000), 1u);
-    EXPECT_EQ(mat.countFor(0x40200000), 1u);
+    mat.recordAccess(ByteAddr{0x40000000});
+    mat.recordAccess(ByteAddr{0x40100000});
+    mat.recordAccess(ByteAddr{0x40200000});
+    EXPECT_EQ(mat.countFor(ByteAddr{0x40000000}), 1u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x40100000}), 1u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x40200000}), 1u);
 }
 
 TEST(Mat, ClearZeroes)
 {
     MemoryAccessTable mat;
-    mat.recordAccess(0x1234);
+    mat.recordAccess(ByteAddr{0x1234});
     mat.clear();
-    EXPECT_EQ(mat.countFor(0x1234), 0u);
+    EXPECT_EQ(mat.countFor(ByteAddr{0x1234}), 0u);
 }
 
 TEST(MatDeath, BadGeometry)
@@ -122,79 +122,79 @@ TEST(MatDeath, BadGeometry)
 TEST(History, NeutralByDefault)
 {
     MissHistoryTable h;
-    EXPECT_FALSE(h.conflictHistory(0x1000));
-    EXPECT_FALSE(h.capacityHistory(0x1000));
+    EXPECT_FALSE(h.conflictHistory(ByteAddr{0x1000}));
+    EXPECT_FALSE(h.capacityHistory(ByteAddr{0x1000}));
 }
 
 TEST(History, ConsistentConflictsSetHistory)
 {
     MissHistoryTable h;
     for (int i = 0; i < 4; ++i)
-        h.recordMiss(0x1000, MissClass::Conflict);
-    EXPECT_TRUE(h.conflictHistory(0x1000));
-    EXPECT_FALSE(h.capacityHistory(0x1000));
+        h.recordMiss(ByteAddr{0x1000}, MissClass::Conflict);
+    EXPECT_TRUE(h.conflictHistory(ByteAddr{0x1000}));
+    EXPECT_FALSE(h.capacityHistory(ByteAddr{0x1000}));
 }
 
 TEST(History, ConsistentCapacitiesSetHistory)
 {
     MissHistoryTable h;
     for (int i = 0; i < 4; ++i)
-        h.recordMiss(0x1000, MissClass::Capacity);
-    EXPECT_TRUE(h.capacityHistory(0x1000));
-    EXPECT_FALSE(h.conflictHistory(0x1000));
+        h.recordMiss(ByteAddr{0x1000}, MissClass::Capacity);
+    EXPECT_TRUE(h.capacityHistory(ByteAddr{0x1000}));
+    EXPECT_FALSE(h.conflictHistory(ByteAddr{0x1000}));
 }
 
 TEST(History, CompulsoryCountsAsCapacity)
 {
     MissHistoryTable h;
     for (int i = 0; i < 4; ++i)
-        h.recordMiss(0x1000, MissClass::Compulsory);
-    EXPECT_TRUE(h.capacityHistory(0x1000));
+        h.recordMiss(ByteAddr{0x1000}, MissClass::Compulsory);
+    EXPECT_TRUE(h.capacityHistory(ByteAddr{0x1000}));
 }
 
 TEST(History, MixedHistoryExcludesNothing)
 {
     MissHistoryTable h;
     for (int i = 0; i < 20; ++i)
-        h.recordMiss(0x1000, i % 2 == 0 ? MissClass::Conflict
+        h.recordMiss(ByteAddr{0x1000}, i % 2 == 0 ? MissClass::Conflict
                                         : MissClass::Capacity);
-    EXPECT_FALSE(h.conflictHistory(0x1000));
-    EXPECT_FALSE(h.capacityHistory(0x1000));
+    EXPECT_FALSE(h.conflictHistory(ByteAddr{0x1000}));
+    EXPECT_FALSE(h.capacityHistory(ByteAddr{0x1000}));
 }
 
 TEST(History, HistoryFlipsWithBehaviour)
 {
     MissHistoryTable h;
     for (int i = 0; i < 8; ++i)
-        h.recordMiss(0x1000, MissClass::Conflict);
-    EXPECT_TRUE(h.conflictHistory(0x1000));
+        h.recordMiss(ByteAddr{0x1000}, MissClass::Conflict);
+    EXPECT_TRUE(h.conflictHistory(ByteAddr{0x1000}));
     for (int i = 0; i < 8; ++i)
-        h.recordMiss(0x1000, MissClass::Capacity);
-    EXPECT_TRUE(h.capacityHistory(0x1000));
-    EXPECT_FALSE(h.conflictHistory(0x1000));
+        h.recordMiss(ByteAddr{0x1000}, MissClass::Capacity);
+    EXPECT_TRUE(h.capacityHistory(ByteAddr{0x1000}));
+    EXPECT_FALSE(h.conflictHistory(ByteAddr{0x1000}));
 }
 
 TEST(History, RegionsIndependent)
 {
     MissHistoryTable h;
     for (int i = 0; i < 4; ++i) {
-        h.recordMiss(0x1000, MissClass::Conflict);
-        h.recordMiss(0x9000, MissClass::Capacity);
+        h.recordMiss(ByteAddr{0x1000}, MissClass::Conflict);
+        h.recordMiss(ByteAddr{0x9000}, MissClass::Capacity);
     }
-    EXPECT_TRUE(h.conflictHistory(0x1000));
-    EXPECT_TRUE(h.capacityHistory(0x9000));
+    EXPECT_TRUE(h.conflictHistory(ByteAddr{0x1000}));
+    EXPECT_TRUE(h.capacityHistory(ByteAddr{0x9000}));
 }
 
 TEST(History, DisplacedRegionStartsNeutral)
 {
     MissHistoryTable h;
     for (int i = 0; i < 6; ++i)
-        h.recordMiss(0x1000, MissClass::Conflict);
+        h.recordMiss(ByteAddr{0x1000}, MissClass::Conflict);
     // A region aliasing to the same entry takes over fresh.
     // (With folding, find an alias by brute force.)
     h.clear();
-    h.recordMiss(0x1000, MissClass::Conflict);
-    EXPECT_FALSE(h.conflictHistory(0x1000));  // one miss isn't history
+    h.recordMiss(ByteAddr{0x1000}, MissClass::Conflict);
+    EXPECT_FALSE(h.conflictHistory(ByteAddr{0x1000}));  // one miss isn't history
 }
 
 TEST(HistoryDeath, BadGeometry)
@@ -207,69 +207,69 @@ TEST(HistoryDeath, BadGeometry)
 TEST(Tyson, FreshPcNeverBypasses)
 {
     PcMissTable t;
-    EXPECT_FALSE(t.shouldBypass(0x400));
+    EXPECT_FALSE(t.shouldBypass(ByteAddr{0x400}));
 }
 
 TEST(Tyson, ConsistentMissesTriggerBypass)
 {
     PcMissTable t;
     for (int i = 0; i < 4; ++i)
-        t.recordOutcome(0x400, true);
-    EXPECT_TRUE(t.shouldBypass(0x400));
-    EXPECT_EQ(t.counterFor(0x400), 3u);
+        t.recordOutcome(ByteAddr{0x400}, true);
+    EXPECT_TRUE(t.shouldBypass(ByteAddr{0x400}));
+    EXPECT_EQ(t.counterFor(ByteAddr{0x400}), 3u);
 }
 
 TEST(Tyson, HitsPullCounterBack)
 {
     PcMissTable t;
     for (int i = 0; i < 4; ++i)
-        t.recordOutcome(0x400, true);
-    t.recordOutcome(0x400, false);
-    EXPECT_FALSE(t.shouldBypass(0x400));   // 2-bit hysteresis
-    t.recordOutcome(0x400, true);
-    EXPECT_TRUE(t.shouldBypass(0x400));
+        t.recordOutcome(ByteAddr{0x400}, true);
+    t.recordOutcome(ByteAddr{0x400}, false);
+    EXPECT_FALSE(t.shouldBypass(ByteAddr{0x400}));   // 2-bit hysteresis
+    t.recordOutcome(ByteAddr{0x400}, true);
+    EXPECT_TRUE(t.shouldBypass(ByteAddr{0x400}));
 }
 
 TEST(Tyson, MostlyHittingPcStaysAllocating)
 {
     PcMissTable t;
     for (int i = 0; i < 100; ++i)
-        t.recordOutcome(0x400, i % 4 == 0);   // 25% misses
-    EXPECT_FALSE(t.shouldBypass(0x400));
+        t.recordOutcome(ByteAddr{0x400}, i % 4 == 0);   // 25% misses
+    EXPECT_FALSE(t.shouldBypass(ByteAddr{0x400}));
 }
 
 TEST(Tyson, PcsTrackedIndependently)
 {
     PcMissTable t;
     for (int i = 0; i < 4; ++i) {
-        t.recordOutcome(0x400, true);
-        t.recordOutcome(0x404, false);
+        t.recordOutcome(ByteAddr{0x400}, true);
+        t.recordOutcome(ByteAddr{0x404}, false);
     }
-    EXPECT_TRUE(t.shouldBypass(0x400));
-    EXPECT_FALSE(t.shouldBypass(0x404));
+    EXPECT_TRUE(t.shouldBypass(ByteAddr{0x400}));
+    EXPECT_FALSE(t.shouldBypass(ByteAddr{0x404}));
 }
 
 TEST(Tyson, DisplacedEntryStartsFresh)
 {
     PcMissTable t(16);   // small: force a collision by construction
     for (int i = 0; i < 4; ++i)
-        t.recordOutcome(0x400, true);
+        t.recordOutcome(ByteAddr{0x400}, true);
     // Find an aliasing pc (same folded index, different tag).
     Addr alias = 0x400 + 16 * 4;
-    t.recordOutcome(alias, true);
+    t.recordOutcome(ByteAddr{alias}, true);
     // The alias replaced the entry with a fresh counter.
-    EXPECT_FALSE(t.shouldBypass(alias));
-    EXPECT_FALSE(t.shouldBypass(0x400));   // tag mismatch now
+    EXPECT_FALSE(t.shouldBypass(ByteAddr{alias}));
+    EXPECT_FALSE(t.shouldBypass(ByteAddr{0x400}));   // tag mismatch now
 }
 
 TEST(Tyson, ClearResets)
 {
     PcMissTable t;
     for (int i = 0; i < 4; ++i)
-        t.recordOutcome(0x400, true);
+        t.recordOutcome(ByteAddr{0x400}, true);
     t.clear();
-    EXPECT_FALSE(t.shouldBypass(0x400));
-    EXPECT_EQ(t.counterFor(0x400), 0u);
+    EXPECT_FALSE(t.shouldBypass(ByteAddr{0x400}));
+    EXPECT_EQ(t.counterFor(ByteAddr{0x400}), 0u);
 }
 
 TEST(TysonDeath, BadGeometry)

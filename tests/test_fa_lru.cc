@@ -20,75 +20,75 @@ namespace
 TEST(FaLru, InsertAndContains)
 {
     FaLru f(4);
-    EXPECT_FALSE(f.contains(0x40));
-    EXPECT_FALSE(f.insert(0x40).has_value());
-    EXPECT_TRUE(f.contains(0x40));
+    EXPECT_FALSE(f.contains(LineAddr{0x40}));
+    EXPECT_FALSE(f.insert(LineAddr{0x40}).has_value());
+    EXPECT_TRUE(f.contains(LineAddr{0x40}));
     EXPECT_EQ(f.size(), 1u);
 }
 
 TEST(FaLru, EvictsLruWhenFull)
 {
     FaLru f(3);
-    f.insert(1);
-    f.insert(2);
-    f.insert(3);
+    f.insert(LineAddr{1});
+    f.insert(LineAddr{2});
+    f.insert(LineAddr{3});
     EXPECT_TRUE(f.full());
-    auto ev = f.insert(4);
+    auto ev = f.insert(LineAddr{4});
     ASSERT_TRUE(ev.has_value());
-    EXPECT_EQ(*ev, 1u);
-    EXPECT_FALSE(f.contains(1));
-    EXPECT_TRUE(f.contains(4));
+    EXPECT_EQ(*ev, LineAddr{1});
+    EXPECT_FALSE(f.contains(LineAddr{1}));
+    EXPECT_TRUE(f.contains(LineAddr{4}));
 }
 
 TEST(FaLru, TouchMovesToMru)
 {
     FaLru f(3);
-    f.insert(1);
-    f.insert(2);
-    f.insert(3);
-    EXPECT_TRUE(f.touch(1));          // 1 now MRU; 2 is LRU
-    auto ev = f.insert(4);
+    f.insert(LineAddr{1});
+    f.insert(LineAddr{2});
+    f.insert(LineAddr{3});
+    EXPECT_TRUE(f.touch(LineAddr{1}));          // 1 now MRU; 2 is LRU
+    auto ev = f.insert(LineAddr{4});
     ASSERT_TRUE(ev.has_value());
-    EXPECT_EQ(*ev, 2u);
-    EXPECT_TRUE(f.contains(1));
+    EXPECT_EQ(*ev, LineAddr{2});
+    EXPECT_TRUE(f.contains(LineAddr{1}));
 }
 
 TEST(FaLru, TouchMissReturnsFalse)
 {
     FaLru f(2);
-    EXPECT_FALSE(f.touch(42));
+    EXPECT_FALSE(f.touch(LineAddr{42}));
 }
 
 TEST(FaLru, EraseFreesSlot)
 {
     FaLru f(2);
-    f.insert(1);
-    f.insert(2);
-    EXPECT_TRUE(f.erase(1));
-    EXPECT_FALSE(f.erase(1));
-    EXPECT_FALSE(f.insert(3).has_value());  // no eviction needed
-    EXPECT_TRUE(f.contains(2));
-    EXPECT_TRUE(f.contains(3));
+    f.insert(LineAddr{1});
+    f.insert(LineAddr{2});
+    EXPECT_TRUE(f.erase(LineAddr{1}));
+    EXPECT_FALSE(f.erase(LineAddr{1}));
+    EXPECT_FALSE(f.insert(LineAddr{3}).has_value());  // no eviction needed
+    EXPECT_TRUE(f.contains(LineAddr{2}));
+    EXPECT_TRUE(f.contains(LineAddr{3}));
 }
 
 TEST(FaLru, LruLineReportsOldest)
 {
     FaLru f(3);
     EXPECT_FALSE(f.lruLine().has_value());
-    f.insert(10);
-    f.insert(20);
-    EXPECT_EQ(*f.lruLine(), 10u);
-    f.touch(10);
-    EXPECT_EQ(*f.lruLine(), 20u);
+    f.insert(LineAddr{10});
+    f.insert(LineAddr{20});
+    EXPECT_EQ(*f.lruLine(), LineAddr{10});
+    f.touch(LineAddr{10});
+    EXPECT_EQ(*f.lruLine(), LineAddr{20});
 }
 
 TEST(FaLru, ClearEmpties)
 {
     FaLru f(2);
-    f.insert(1);
+    f.insert(LineAddr{1});
     f.clear();
     EXPECT_EQ(f.size(), 0u);
-    EXPECT_FALSE(f.contains(1));
+    EXPECT_FALSE(f.contains(LineAddr{1}));
 }
 
 TEST(FaLruDeath, ZeroCapacityRejected)
@@ -99,8 +99,8 @@ TEST(FaLruDeath, ZeroCapacityRejected)
 TEST(FaLruDeath, DoubleInsertPanics)
 {
     FaLru f(2);
-    f.insert(1);
-    EXPECT_DEATH(f.insert(1), "resident");
+    f.insert(LineAddr{1});
+    EXPECT_DEATH(f.insert(LineAddr{1}), "resident");
 }
 
 /**
@@ -117,9 +117,9 @@ TEST_P(FaLruProperty, MatchesReferenceModel)
     const std::size_t cap = GetParam();
     FaLru f(cap);
 
-    std::list<Addr> ref;  // front = MRU
-    auto ref_contains = [&](Addr a) {
-        for (Addr x : ref)
+    std::list<LineAddr> ref;  // front = MRU
+    auto ref_contains = [&](LineAddr a) {
+        for (LineAddr x : ref)
             if (x == a)
                 return true;
         return false;
@@ -127,7 +127,7 @@ TEST_P(FaLruProperty, MatchesReferenceModel)
 
     Pcg32 rng(2024);
     for (int step = 0; step < 20000; ++step) {
-        Addr a = rng.below(static_cast<std::uint32_t>(cap * 3));
+        LineAddr a{rng.below(static_cast<std::uint32_t>(cap * 3))};
         switch (rng.below(3)) {
           case 0: {  // access (touch-or-insert)
             bool hit = f.touch(a);

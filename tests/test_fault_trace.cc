@@ -43,9 +43,10 @@ class CorruptTraceTest : public ::testing::Test
     {
         std::FILE *f = std::fopen(path.c_str(), "wb");
         ASSERT_NE(f, nullptr);
-        if (!bytes.empty())
+        if (!bytes.empty()) {
             ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
                       bytes.size());
+        }
         std::fclose(f);
     }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * Unit tests for CacheGeometry: address decomposition, derived sizes,
- * and validation, swept over the paper's cache configurations.
+ * Unit tests for CacheGeometry: typed address decomposition, derived
+ * sizes, and validation, swept over the paper's cache configurations.
  */
 
 #include <gtest/gtest.h>
@@ -29,39 +29,61 @@ TEST(Geometry, PaperL2)
     EXPECT_EQ(g.numLines(), 16384u);
 }
 
-TEST(Geometry, LineAddrClearsOffset)
+TEST(Geometry, LineOfClearsOffset)
 {
     CacheGeometry g(16 * 1024, 1, 64);
-    EXPECT_EQ(g.lineAddr(0x12345), 0x12340u);
-    EXPECT_EQ(g.lineAddr(0x12340), 0x12340u);
-    EXPECT_EQ(g.lineAddr(0x1237F), 0x12340u);
+    EXPECT_EQ(g.lineOf(ByteAddr{0x12345}), LineAddr{0x12340});
+    EXPECT_EQ(g.lineOf(ByteAddr{0x12340}), LineAddr{0x12340});
+    EXPECT_EQ(g.lineOf(ByteAddr{0x1237F}), LineAddr{0x12340});
 }
 
-TEST(Geometry, SetIndexWraps)
+TEST(Geometry, SetOfWraps)
 {
     CacheGeometry g(16 * 1024, 1, 64);
     // Addresses 16KB apart map to the same set.
-    EXPECT_EQ(g.setIndex(0x100), g.setIndex(0x100 + 16 * 1024));
-    EXPECT_NE(g.setIndex(0x100), g.setIndex(0x100 + 8 * 1024));
+    EXPECT_EQ(g.setOf(ByteAddr{0x100}),
+              g.setOf(ByteAddr{0x100 + 16 * 1024}));
+    EXPECT_NE(g.setOf(ByteAddr{0x100}),
+              g.setOf(ByteAddr{0x100 + 8 * 1024}));
 }
 
 TEST(Geometry, TagDistinguishesAliases)
 {
     CacheGeometry g(16 * 1024, 1, 64);
-    Addr a = 0x100;
-    Addr b = a + 16 * 1024;
-    EXPECT_EQ(g.setIndex(a), g.setIndex(b));
-    EXPECT_NE(g.tag(a), g.tag(b));
+    ByteAddr a{0x100};
+    ByteAddr b{0x100 + 16 * 1024};
+    EXPECT_EQ(g.setOf(a), g.setOf(b));
+    EXPECT_NE(g.tagOf(a), g.tagOf(b));
 }
 
-TEST(Geometry, BuildLineAddrInvertsDecomposition)
+TEST(Geometry, RecomposeInvertsDecomposition)
 {
     CacheGeometry g(64 * 1024, 2, 64);
-    for (Addr a : {Addr{0}, Addr{0x40}, Addr{0xdeadbe80},
-                   Addr{0x123456789ABCC0}}) {
-        Addr line = g.lineAddr(a);
-        EXPECT_EQ(g.buildLineAddr(g.tag(a), g.setIndex(a)), line);
+    for (Addr raw : {Addr{0}, Addr{0x40}, Addr{0xdeadbe80},
+                     Addr{0x123456789ABCC0}}) {
+        ByteAddr a{raw};
+        EXPECT_EQ(g.recompose(g.tagOf(a), g.setOf(a)), g.lineOf(a));
     }
+}
+
+TEST(Geometry, LineAndByteViewsAgree)
+{
+    CacheGeometry g(16 * 1024, 4, 64);
+    ByteAddr a{0xABCDE7};
+    LineAddr line = g.lineOf(a);
+    // Decomposing the line address gives the same set and tag as
+    // decomposing the byte address it came from.
+    EXPECT_EQ(g.setOf(line), g.setOf(a));
+    EXPECT_EQ(g.tagOf(line), g.tagOf(a));
+    // A line address round-trips through its byte view unchanged.
+    EXPECT_EQ(g.lineOf(line.asByte()), line);
+}
+
+TEST(Geometry, NextLineOfAdvancesOneLine)
+{
+    CacheGeometry g(16 * 1024, 1, 64);
+    LineAddr line = g.lineOf(ByteAddr{0x1000});
+    EXPECT_EQ(g.nextLineOf(line), LineAddr{0x1040});
 }
 
 TEST(Geometry, Describe)
@@ -113,24 +135,35 @@ TEST(GeometryDeath, RejectsZeroAssoc)
     EXPECT_DEATH(CacheGeometry(16 * 1024, 0, 64), "associativity");
 }
 
-/** Parameterized sweep over the paper's Figure 1 configurations. */
+/**
+ * Parameterized sweep: size x associativity x line size, covering the
+ * paper's Figure 1 configurations and more.
+ */
 class GeometrySweep
-    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>>
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, unsigned, std::size_t>>
 {
 };
 
 TEST_P(GeometrySweep, InvariantsHold)
 {
-    auto [bytes, assoc] = GetParam();
-    CacheGeometry g(bytes, assoc, 64);
+    auto [bytes, assoc, line_bytes] = GetParam();
+    CacheGeometry g(bytes, assoc, line_bytes);
     EXPECT_EQ(g.numSets() * g.assoc() * g.lineBytes(), bytes);
     EXPECT_EQ(g.sizeBytes(), bytes);
 
-    // Every address's (tag, set) round-trips to its line address.
-    for (Addr a = 0; a < 4 * bytes; a += 4096 + 64) {
-        EXPECT_EQ(g.buildLineAddr(g.tag(a), g.setIndex(a)),
-                  g.lineAddr(a));
-        EXPECT_LT(g.setIndex(a), g.numSets());
+    // Round-trip property, on an address grid that is deliberately
+    // NOT line-aligned: recompose(tagOf(a), setOf(a)) == lineOf(a),
+    // the set index is in range, and the line/byte views of the same
+    // address decompose identically.
+    for (Addr raw = 0; raw < 4 * bytes; raw += 4096 + 64) {
+        ByteAddr a{raw};
+        LineAddr line = g.lineOf(a);
+        EXPECT_EQ(g.recompose(g.tagOf(a), g.setOf(a)), line);
+        EXPECT_LT(g.setOf(a).value(), g.numSets());
+        EXPECT_EQ(g.setOf(line), g.setOf(a));
+        EXPECT_EQ(g.tagOf(line), g.tagOf(a));
+        EXPECT_EQ(g.lineOf(line.asByte()), line);
     }
 }
 
@@ -139,7 +172,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(std::size_t{16 * 1024},
                                          std::size_t{64 * 1024},
                                          std::size_t{1024 * 1024}),
-                       ::testing::Values(1u, 2u, 4u, 8u)));
+                       ::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(std::size_t{32},
+                                         std::size_t{64},
+                                         std::size_t{128})));
 
 } // namespace
 } // namespace ccm

@@ -16,27 +16,27 @@ namespace
 TEST(Mct, ColdTableClassifiesCapacity)
 {
     MissClassificationTable mct(4);
-    EXPECT_EQ(mct.classify(0, 0x123), MissClass::Capacity);
-    EXPECT_FALSE(mct.isConflictMiss(2, 0x7));
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0x123}), MissClass::Capacity);
+    EXPECT_FALSE(mct.isConflictMiss(SetIndex{2}, Tag{0x7}));
 }
 
 TEST(Mct, MatchingEvictedTagIsConflict)
 {
     MissClassificationTable mct(4);
-    mct.recordEviction(1, 0xAB);
-    EXPECT_EQ(mct.classify(1, 0xAB), MissClass::Conflict);
-    EXPECT_EQ(mct.classify(1, 0xAC), MissClass::Capacity);
+    mct.recordEviction(SetIndex{1}, Tag{0xAB});
+    EXPECT_EQ(mct.classify(SetIndex{1}, Tag{0xAB}), MissClass::Conflict);
+    EXPECT_EQ(mct.classify(SetIndex{1}, Tag{0xAC}), MissClass::Capacity);
     // Other sets unaffected.
-    EXPECT_EQ(mct.classify(0, 0xAB), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0xAB}), MissClass::Capacity);
 }
 
 TEST(Mct, OnlyMostRecentEvictionRemembered)
 {
     MissClassificationTable mct(2);
-    mct.recordEviction(0, 0x1);
-    mct.recordEviction(0, 0x2);
-    EXPECT_EQ(mct.classify(0, 0x1), MissClass::Capacity);
-    EXPECT_EQ(mct.classify(0, 0x2), MissClass::Conflict);
+    mct.recordEviction(SetIndex{0}, Tag{0x1});
+    mct.recordEviction(SetIndex{0}, Tag{0x2});
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0x1}), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0x2}), MissClass::Conflict);
 }
 
 TEST(Mct, PaperScenario)
@@ -49,54 +49,54 @@ TEST(Mct, PaperScenario)
     const std::size_t set = 17;
     const Addr tag_a = 100, tag_b = 200;
     // B misses, evicting A:
-    EXPECT_EQ(mct.classify(set, tag_b), MissClass::Capacity);
-    mct.recordEviction(set, tag_a);
+    EXPECT_EQ(mct.classify(SetIndex{set}, Tag{tag_b}), MissClass::Capacity);
+    mct.recordEviction(SetIndex{set}, Tag{tag_a});
     // A misses next: conflict.
-    EXPECT_EQ(mct.classify(set, tag_a), MissClass::Conflict);
+    EXPECT_EQ(mct.classify(SetIndex{set}, Tag{tag_a}), MissClass::Conflict);
 }
 
 TEST(Mct, InvalidateEntryForgetsSet)
 {
     MissClassificationTable mct(4);
-    mct.recordEviction(3, 0x9);
-    mct.invalidateEntry(3);
-    EXPECT_EQ(mct.classify(3, 0x9), MissClass::Capacity);
+    mct.recordEviction(SetIndex{3}, Tag{0x9});
+    mct.invalidateEntry(SetIndex{3});
+    EXPECT_EQ(mct.classify(SetIndex{3}, Tag{0x9}), MissClass::Capacity);
 }
 
 TEST(Mct, ClearForgetsEverything)
 {
     MissClassificationTable mct(4);
-    mct.recordEviction(0, 1);
-    mct.recordEviction(1, 2);
+    mct.recordEviction(SetIndex{0}, Tag{1});
+    mct.recordEviction(SetIndex{1}, Tag{2});
     mct.clear();
-    EXPECT_EQ(mct.classify(0, 1), MissClass::Capacity);
-    EXPECT_EQ(mct.classify(1, 2), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{1}), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(SetIndex{1}, Tag{2}), MissClass::Capacity);
 }
 
 TEST(Mct, PartialTagsMatchOnLowBits)
 {
     MissClassificationTable mct(4, 8);
-    mct.recordEviction(0, 0xABCD);
+    mct.recordEviction(SetIndex{0}, Tag{0xABCD});
     // Same low 8 bits -> (false) conflict match.
-    EXPECT_EQ(mct.classify(0, 0xFFCD), MissClass::Conflict);
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0xFFCD}), MissClass::Conflict);
     // Different low bits -> capacity.
-    EXPECT_EQ(mct.classify(0, 0xABCE), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0xABCE}), MissClass::Capacity);
 }
 
 TEST(Mct, FullTagHasNoFalseMatches)
 {
     MissClassificationTable mct(4, 0);
-    mct.recordEviction(0, 0xABCD);
-    EXPECT_EQ(mct.classify(0, 0xFFCD), MissClass::Capacity);
-    EXPECT_EQ(mct.classify(0, 0xABCD), MissClass::Conflict);
+    mct.recordEviction(SetIndex{0}, Tag{0xABCD});
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0xFFCD}), MissClass::Capacity);
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0xABCD}), MissClass::Conflict);
 }
 
 TEST(Mct, SingleBitTagMatchesHalfTheTags)
 {
     MissClassificationTable mct(1, 1);
-    mct.recordEviction(0, 0x0);
-    EXPECT_EQ(mct.classify(0, 0x2), MissClass::Conflict);  // even
-    EXPECT_EQ(mct.classify(0, 0x3), MissClass::Capacity);  // odd
+    mct.recordEviction(SetIndex{0}, Tag{0x0});
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0x2}), MissClass::Conflict);  // even
+    EXPECT_EQ(mct.classify(SetIndex{0}, Tag{0x3}), MissClass::Capacity);  // odd
 }
 
 TEST(Mct, StorageBitsAccounting)
@@ -206,6 +206,55 @@ TEST(MissClassNames, ToString)
     EXPECT_FALSE(isConflict(MissClass::Compulsory));
 }
 
+
+/**
+ * Golden partial-tag truncation results.
+ *
+ * The sequence and expected classifications below were produced by
+ * the pre-strong-types implementation; they pin down the stored-tag
+ * masking rule (low @c tagBits bits, full tag when 0) so that any
+ * refactor of the Tag domain that changes truncation behavior fails
+ * loudly here rather than silently skewing Figure 2.
+ */
+TEST(Mct, PartialTagTruncationGolden)
+{
+    struct Step
+    {
+        Addr evict;     // tag recorded as evicted (before the probe)
+        Addr probe;     // tag of the next miss in the same set
+    };
+    // Tags chosen to collide in the low 4 and 8 bits in known ways.
+    const Step steps[] = {
+        {0x00000'0AB, 0xFFFF0'0AB},  // equal low 16 bits
+        {0x12345'678, 0x00005'678},  // equal low 16 bits
+        {0x00000'00F, 0x00000'01F},  // differ at bit 4
+        {0xABCDE'F01, 0xABCDE'F01},  // identical full tags
+        {0x00000'100, 0x00000'200},  // equal low 8 bits (both zero)
+    };
+    struct Expect
+    {
+        unsigned bits;
+        bool conflict[5];
+    };
+    const Expect golden[] = {
+        {0,  {false, false, false, true, false}},
+        {4,  {true, true, true, true, true}},
+        {8,  {true, true, false, true, true}},
+        {12, {true, true, false, true, false}},
+        {16, {true, true, false, true, false}},
+    };
+    for (const Expect &e : golden) {
+        for (std::size_t i = 0; i < std::size(steps); ++i) {
+            MissClassificationTable mct(1, e.bits);
+            mct.recordEviction(SetIndex{0}, Tag{steps[i].evict});
+            EXPECT_EQ(mct.isConflictMiss(SetIndex{0},
+                                         Tag{steps[i].probe}),
+                      e.conflict[i])
+                << "tagBits=" << e.bits << " step=" << i;
+        }
+    }
+}
+
 /** Tag-width sweep: with w bits the false-match rate over random
  *  tags is ~2^-w. */
 class MctTagWidth : public ::testing::TestWithParam<unsigned>
@@ -216,14 +265,14 @@ TEST_P(MctTagWidth, FalseMatchRateShrinksWithWidth)
 {
     unsigned bits = GetParam();
     MissClassificationTable mct(1, bits);
-    mct.recordEviction(0, 0x12345678);
+    mct.recordEviction(SetIndex{0}, Tag{0x12345678});
 
     // Count matches over tags differing from the stored one.
     unsigned matches = 0;
     const unsigned trials = 4096;
     for (unsigned i = 1; i <= trials; ++i) {
         Addr t = 0x12345678 ^ (i * 2654435761u);
-        if (mct.classify(0, t) == MissClass::Conflict)
+        if (mct.classify(SetIndex{0}, Tag{t}) == MissClass::Conflict)
             ++matches;
     }
     double rate = double(matches) / trials;

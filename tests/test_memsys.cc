@@ -30,8 +30,8 @@ constexpr Addr setStride = 1024;   // L1-size alias distance
 TEST(MemSys, L1HitLatencyIsOneCycle)
 {
     MemorySystem m(smallConfig());
-    m.access(0, 0x40, false, 0);             // cold miss
-    AccessResult r = m.access(0, 0x40, false, 500);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);             // cold miss
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 500);
     EXPECT_TRUE(r.l1Hit);
     EXPECT_EQ(r.ready, 501u);
     EXPECT_EQ(m.stats().l1Hits, 1u);
@@ -42,7 +42,7 @@ TEST(MemSys, ColdMissGoesToMemory)
 {
     MemSysConfig cfg = smallConfig();
     MemorySystem m(cfg);
-    AccessResult r = m.access(0, 0x40, false, 0);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
     EXPECT_FALSE(r.l1Hit);
     // bank at 0, fetch starts at 1, bus grants at 1, + memLatency.
     EXPECT_EQ(r.ready, 1 + cfg.memLatency);
@@ -53,11 +53,11 @@ TEST(MemSys, L2HitIsFast)
 {
     MemSysConfig cfg = smallConfig();
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);         // memory fetch, fills L2+L1
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);         // memory fetch, fills L2+L1
     // Evict 0x40 from L1 with an alias...
-    m.access(0, 0x40 + setStride, false, 200);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);
     // ...then re-access it: L1 miss, L2 hit.
-    AccessResult r = m.access(0, 0x40, false, 400);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400);
     EXPECT_FALSE(r.l1Hit);
     EXPECT_EQ(r.ready, 401 + cfg.l2Latency);
     EXPECT_EQ(m.stats().l2Hits, 1u);
@@ -71,8 +71,8 @@ TEST(MemSys, SameLineAccessDuringFetchHitsOnce)
     // issued.
     MemSysConfig cfg = smallConfig();
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    AccessResult second = m.access(0, 0x48, false, 3);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    AccessResult second = m.access(ByteAddr{0}, ByteAddr{0x48}, false, 3);
     EXPECT_TRUE(second.l1Hit);
     EXPECT_EQ(m.stats().l2Misses, 1u);
     EXPECT_EQ(m.stats().l2Hits, 0u);
@@ -85,10 +85,10 @@ TEST(MemSys, DemandHitOnInFlightPrefetchWaitsForData)
     MemSysConfig cfg = smallConfig();
     cfg.mode = AssistMode::PrefetchBuffer;
     MemorySystem m(cfg);
-    AccessResult miss = m.access(0, 0x40, false, 0);  // prefetch 0x80
+    AccessResult miss = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);  // prefetch 0x80
     // Touch the prefetched line immediately: buffer hit, but the
     // data is still in flight.
-    AccessResult hit = m.access(0, 0x80, false, 2);
+    AccessResult hit = m.access(ByteAddr{0}, ByteAddr{0x80}, false, 2);
     EXPECT_TRUE(hit.bufHit);
     EXPECT_GE(hit.ready, miss.ready - 10);  // ~prefetch completion
     EXPECT_GT(hit.ready, 10u);              // not a 1-cycle hit
@@ -99,8 +99,8 @@ TEST(MemSys, MshrFullStallsDemandMisses)
     MemSysConfig cfg = smallConfig();
     cfg.mshrs = 1;
     MemorySystem m(cfg);
-    AccessResult a = m.access(0, 0x040, false, 0);
-    AccessResult b = m.access(0, 0x080, false, 1);
+    AccessResult a = m.access(ByteAddr{0}, ByteAddr{0x040}, false, 0);
+    AccessResult b = m.access(ByteAddr{0}, ByteAddr{0x080}, false, 1);
     // The second miss waits for the first fetch to complete.
     EXPECT_GE(b.ready, a.ready + cfg.memLatency);
     EXPECT_GT(m.stats().mshrStallCycles, 0u);
@@ -110,9 +110,9 @@ TEST(MemSys, BankContentionDelaysSameBank)
 {
     MemSysConfig cfg = smallConfig();
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);        // warm the line
-    m.access(0, 0x40, false, 500);      // bank busy at 500
-    AccessResult r = m.access(0, 0x40, false, 500);  // same bank/cycle
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);        // warm the line
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 500);      // bank busy at 500
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 500);  // same bank/cycle
     EXPECT_EQ(r.ready, 502u);           // pushed one cycle
 }
 
@@ -120,35 +120,35 @@ TEST(MemSys, DifferentBanksDontConflict)
 {
     MemSysConfig cfg = smallConfig();
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x80, false, 0);        // different bank
-    m.access(0, 0x40, false, 500);
-    AccessResult r = m.access(0, 0x80, false, 500);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x80}, false, 0);        // different bank
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 500);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x80}, false, 500);
     EXPECT_EQ(r.ready, 501u);
 }
 
 TEST(MemSys, DirtyEvictionWritesBack)
 {
     MemorySystem m(smallConfig());
-    m.access(0, 0x40, true, 0);                 // dirty fill
-    m.access(0, 0x40 + setStride, false, 200);  // evicts dirty line
+    m.access(ByteAddr{0}, ByteAddr{0x40}, true, 0);                 // dirty fill
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);  // evicts dirty line
     EXPECT_EQ(m.stats().writebacks, 1u);
 }
 
 TEST(MemSys, CleanEvictionDoesNot)
 {
     MemorySystem m(smallConfig());
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x40 + setStride, false, 200);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);
     EXPECT_EQ(m.stats().writebacks, 0u);
 }
 
 TEST(MemSys, MissClassificationCountsMatch)
 {
     MemorySystem m(smallConfig());
-    m.access(0, 0x40, false, 0);                     // capacity (cold)
-    m.access(0, 0x40 + setStride, false, 200);       // capacity
-    m.access(0, 0x40, false, 400);                   // conflict!
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);                     // capacity (cold)
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);       // capacity
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400);                   // conflict!
     const MemStats &st = m.stats();
     EXPECT_EQ(st.conflictMisses, 1u);
     EXPECT_EQ(st.capacityMisses, 2u);
@@ -162,19 +162,19 @@ TEST(Victim, TraditionalHitSwaps)
     MemSysConfig cfg = smallConfig();
     cfg.mode = AssistMode::VictimCache;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x40 + setStride, false, 200);  // evicts 0x40 -> buf
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);  // evicts 0x40 -> buf
     EXPECT_EQ(m.stats().victimFills, 1u);
 
-    AccessResult r = m.access(0, 0x40, false, 400);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400);
     EXPECT_TRUE(r.bufHit);
     EXPECT_LE(r.ready, 403u);                   // buffer-fast
     EXPECT_EQ(m.stats().bufHitVictim, 1u);
     EXPECT_EQ(m.stats().swaps, 1u);
     // After the swap, 0x40 is an L1 hit and the alias is in the
     // buffer.
-    EXPECT_TRUE(m.access(0, 0x40, false, 600).l1Hit);
-    EXPECT_TRUE(m.access(0, 0x40 + setStride, false, 800).bufHit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 800).bufHit);
 }
 
 TEST(Victim, NoSwapPolicyLeavesLineInBuffer)
@@ -184,14 +184,14 @@ TEST(Victim, NoSwapPolicyLeavesLineInBuffer)
     cfg.victim.filterSwaps = true;
     cfg.victim.filter = ConflictFilter::Or;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x40 + setStride, false, 200);
-    AccessResult r = m.access(0, 0x40, false, 400);  // conflict miss
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400);  // conflict miss
     EXPECT_TRUE(r.bufHit);
     EXPECT_EQ(m.stats().swaps, 0u);
     // The line is still in the buffer, not the cache.
-    EXPECT_FALSE(m.access(0, 0x40, false, 600).l1Hit);
-    EXPECT_TRUE(m.access(0, 0x40, false, 600).bufHit);
+    EXPECT_FALSE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600).bufHit);
 }
 
 TEST(Victim, FillFilterSkipsCapacityEvictions)
@@ -201,12 +201,12 @@ TEST(Victim, FillFilterSkipsCapacityEvictions)
     cfg.victim.filterFills = true;
     cfg.victim.filter = ConflictFilter::Or;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
     // Cold alias miss: classified capacity, evicted line's bit clear
     // -> or-filter says don't fill.
-    m.access(0, 0x40 + setStride, false, 200);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);
     EXPECT_EQ(m.stats().victimFills, 0u);
-    EXPECT_FALSE(m.access(0, 0x40, false, 400).bufHit);
+    EXPECT_FALSE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400).bufHit);
 }
 
 TEST(Victim, FillFilterAllowsConflictEvictions)
@@ -215,11 +215,11 @@ TEST(Victim, FillFilterAllowsConflictEvictions)
     cfg.mode = AssistMode::VictimCache;
     cfg.victim.filterFills = true;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x40 + setStride, false, 200);   // capacity: no fill
-    m.access(0, 0x40, false, 400);               // conflict: fills
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);   // capacity: no fill
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400);               // conflict: fills
     EXPECT_EQ(m.stats().victimFills, 1u);
-    EXPECT_TRUE(m.access(0, 0x40 + setStride, false, 600).bufHit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 600).bufHit);
 }
 
 TEST(Victim, StoreHitInBufferDirtiesEntry)
@@ -229,12 +229,12 @@ TEST(Victim, StoreHitInBufferDirtiesEntry)
     cfg.victim.filterSwaps = true;
     cfg.bufEntries = 1;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x40 + setStride, false, 200);   // 0x40 -> buffer
-    m.access(0, 0x40, true, 400);                // store, buffer hit
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);   // 0x40 -> buffer
+    m.access(ByteAddr{0}, ByteAddr{0x40}, true, 400);                // store, buffer hit
     // Displace the buffer entry: its dirtiness forces a writeback.
-    m.access(0, 0x40 + 2 * setStride, false, 600);
-    m.access(0, 0x40 + 3 * setStride, false, 800);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + 2 * setStride}, false, 600);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + 3 * setStride}, false, 800);
     EXPECT_GE(m.stats().writebacks, 1u);
 }
 
@@ -245,16 +245,16 @@ TEST(Prefetch, MissTriggersNextLinePrefetch)
     MemSysConfig cfg = smallConfig();
     cfg.mode = AssistMode::PrefetchBuffer;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
     EXPECT_EQ(m.stats().prefIssued, 1u);
     // The next line is a buffer hit, which promotes and streams on.
-    AccessResult r = m.access(0, 0x80, false, 500);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x80}, false, 500);
     EXPECT_TRUE(r.bufHit);
     EXPECT_EQ(m.stats().bufHitPrefetch, 1u);
     EXPECT_EQ(m.stats().prefUseful, 1u);
     EXPECT_EQ(m.stats().prefIssued, 2u);   // 0xC0 now prefetched
     // Promoted line is now an L1 hit.
-    EXPECT_TRUE(m.access(0, 0x80, false, 900).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x80}, false, 900).l1Hit);
 }
 
 TEST(Prefetch, NoPrefetchWhenNextLineCached)
@@ -262,9 +262,9 @@ TEST(Prefetch, NoPrefetchWhenNextLineCached)
     MemSysConfig cfg = smallConfig();
     cfg.mode = AssistMode::PrefetchBuffer;
     MemorySystem m(cfg);
-    m.access(0, 0x80, false, 0);       // brings 0x80; prefetches 0xC0
+    m.access(ByteAddr{0}, ByteAddr{0x80}, false, 0);       // brings 0x80; prefetches 0xC0
     Count issued = m.stats().prefIssued;
-    m.access(0, 0x40, false, 300);     // next line 0x80 already in L1
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 300);     // next line 0x80 already in L1
     EXPECT_EQ(m.stats().prefIssued, issued);
 }
 
@@ -274,7 +274,7 @@ TEST(Prefetch, DroppedWhenMshrsFull)
     cfg.mode = AssistMode::PrefetchBuffer;
     cfg.mshrs = 1;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);   // demand takes the only MSHR
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);   // demand takes the only MSHR
     EXPECT_EQ(m.stats().prefDropped, 1u);
     EXPECT_EQ(m.stats().prefIssued, 0u);
 }
@@ -286,10 +286,10 @@ TEST(Prefetch, FilterSuppressesConflictMissPrefetch)
     cfg.prefetch.filtered = true;
     cfg.prefetch.filter = ConflictFilter::Out;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);                   // capacity: pf
-    m.access(0, 0x40 + setStride, false, 300);     // capacity: pf
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);                   // capacity: pf
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 300);     // capacity: pf
     Count issued = m.stats().prefIssued;
-    m.access(0, 0x40, false, 600);                 // conflict: no pf
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600);                 // conflict: no pf
     EXPECT_EQ(m.stats().prefIssued, issued);
     EXPECT_EQ(m.stats().prefFiltered, 1u);
 }
@@ -300,8 +300,8 @@ TEST(Prefetch, WastedPrefetchCounted)
     cfg.mode = AssistMode::PrefetchBuffer;
     cfg.bufEntries = 1;
     MemorySystem m(cfg);
-    m.access(0, 0x040, false, 0);     // prefetches 0x080 into 1-entry
-    m.access(0, 0x400, false, 300);   // prefetches 0x440, evicting it
+    m.access(ByteAddr{0}, ByteAddr{0x040}, false, 0);     // prefetches 0x080 into 1-entry
+    m.access(ByteAddr{0}, ByteAddr{0x400}, false, 300);   // prefetches 0x440, evicting it
     EXPECT_EQ(m.stats().prefWasted, 1u);
 }
 
@@ -313,12 +313,12 @@ TEST(Exclude, CapacityMissesBypassToBuffer)
     cfg.mode = AssistMode::BypassBuffer;
     cfg.exclude.algo = ExcludeAlgo::Capacity;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);     // capacity -> buffer, not L1
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);     // capacity -> buffer, not L1
     EXPECT_EQ(m.stats().excluded, 1u);
-    AccessResult r = m.access(0, 0x48, false, 300);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x48}, false, 300);
     EXPECT_TRUE(r.bufHit);
     EXPECT_EQ(m.stats().bufHitBypass, 1u);
-    EXPECT_FALSE(m.access(0, 0x40, false, 600).l1Hit);
+    EXPECT_FALSE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600).l1Hit);
 }
 
 TEST(Exclude, MctInsertFixEnablesLaterConflict)
@@ -331,11 +331,11 @@ TEST(Exclude, MctInsertFixEnablesLaterConflict)
     cfg.exclude.algo = ExcludeAlgo::Capacity;
     cfg.bufEntries = 1;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);          // excluded; MCT learns tag
-    m.access(0, 0x400, false, 300);       // displaces it from buffer
-    m.access(0, 0x40, false, 600);        // conflict -> cached!
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);          // excluded; MCT learns tag
+    m.access(ByteAddr{0}, ByteAddr{0x400}, false, 300);       // displaces it from buffer
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600);        // conflict -> cached!
     EXPECT_EQ(m.stats().conflictMisses, 1u);
-    EXPECT_TRUE(m.access(0, 0x40, false, 900).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 900).l1Hit);
 }
 
 TEST(Exclude, WithoutInsertFixStaysCapacity)
@@ -346,9 +346,9 @@ TEST(Exclude, WithoutInsertFixStaysCapacity)
     cfg.exclude.mctInsertFix = false;
     cfg.bufEntries = 1;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x400, false, 300);
-    m.access(0, 0x40, false, 600);        // still capacity: excluded
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x400}, false, 300);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600);        // still capacity: excluded
     EXPECT_EQ(m.stats().conflictMisses, 0u);
     EXPECT_EQ(m.stats().excluded, 3u);
 }
@@ -359,12 +359,12 @@ TEST(Exclude, ConflictPolicyExcludesConflicts)
     cfg.mode = AssistMode::BypassBuffer;
     cfg.exclude.algo = ExcludeAlgo::Conflict;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);                  // capacity: cached
-    m.access(0, 0x40 + setStride, false, 300);    // capacity: cached
-    m.access(0, 0x40, false, 600);                // conflict: bypass
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);                  // capacity: cached
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 300);    // capacity: cached
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600);                // conflict: bypass
     EXPECT_EQ(m.stats().excluded, 1u);
-    EXPECT_FALSE(m.access(0, 0x40, false, 900).l1Hit);
-    EXPECT_TRUE(m.access(0, 0x40, false, 900).bufHit);
+    EXPECT_FALSE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 900).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 900).bufHit);
 }
 
 TEST(Exclude, TysonBypassesAlwaysMissingPc)
@@ -377,14 +377,15 @@ TEST(Exclude, TysonBypassesAlwaysMissingPc)
     // one hot line.
     Cycle t = 0;
     for (int i = 0; i < 16; ++i) {
-        m.access(0x400, Addr(0x100000) + i * 0x400, false, t);
-        m.access(0x500, 0x40, false, t + 5);
+        m.access(ByteAddr{0x400},
+                 ByteAddr{Addr(0x100000) + i * 0x400}, false, t);
+        m.access(ByteAddr{0x500}, ByteAddr{0x40}, false, t + 5);
         t += 10;
     }
     // The streaming pc's later misses were excluded.
     EXPECT_GT(m.stats().excluded, 0u);
     // The hot pc's line stayed cached.
-    EXPECT_TRUE(m.access(0x500, 0x40, false, t).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0x500}, ByteAddr{0x40}, false, t).l1Hit);
 }
 
 TEST(Exclude, MatBypassesColdRegionAgainstHotVictim)
@@ -395,11 +396,11 @@ TEST(Exclude, MatBypassesColdRegionAgainstHotVictim)
     MemorySystem m(cfg);
     // Make region of 0x40 hot.
     for (int i = 0; i < 50; ++i)
-        m.access(0, 0x40, false, i * 10);
+        m.access(ByteAddr{0}, ByteAddr{0x40}, false, i * 10);
     // A cold alias misses: the MAT protects the hot resident.
-    m.access(0, 0x40 + setStride, false, 1000);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 1000);
     EXPECT_EQ(m.stats().excluded, 1u);
-    EXPECT_TRUE(m.access(0, 0x40, false, 1500).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 1500).l1Hit);
 }
 
 // ---- adaptive miss buffer (§5.5) -----------------------------------
@@ -412,21 +413,21 @@ TEST(Amb, VictPrefSplitsByMissClass)
     cfg.amb.prefetchCapacity = true;
     MemorySystem m(cfg);
 
-    m.access(0, 0x40, false, 0);    // capacity: prefetch 0x80
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);    // capacity: prefetch 0x80
     EXPECT_EQ(m.stats().prefIssued, 1u);
     EXPECT_EQ(m.stats().victimFills, 0u);
 
-    m.access(0, 0x40 + setStride, false, 300);  // capacity: no fill
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 300);  // capacity: no fill
     EXPECT_EQ(m.stats().victimFills, 0u);
     EXPECT_EQ(m.stats().prefIssued, 2u);   // capacity: prefetches too
 
-    m.access(0, 0x40, false, 600);  // conflict: evictee to buffer
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 600);  // conflict: evictee to buffer
     EXPECT_EQ(m.stats().victimFills, 1u);
     // Conflict misses don't prefetch.
     EXPECT_EQ(m.stats().prefIssued, 2u);
 
     // The victim entry serves later without a swap.
-    AccessResult r = m.access(0, 0x40 + setStride, false, 900);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 900);
     EXPECT_TRUE(r.bufHit);
     EXPECT_EQ(m.stats().swaps, 0u);
 }
@@ -439,15 +440,15 @@ TEST(Amb, PrefExclTransitionsPrefetchHitToBypass)
     cfg.amb.excludeCapacity = true;
     MemorySystem m(cfg);
 
-    m.access(0, 0x40, false, 0);     // capacity: excluded + prefetch
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);     // capacity: excluded + prefetch
     EXPECT_EQ(m.stats().excluded, 1u);
     EXPECT_EQ(m.stats().prefIssued, 1u);
 
     // Hit on the prefetched 0x80: stays in the buffer as a bypass
     // entry (§5.5 transition), so it's a buffer hit again later.
-    m.access(0, 0x80, false, 500);
+    m.access(ByteAddr{0}, ByteAddr{0x80}, false, 500);
     EXPECT_EQ(m.stats().bufHitPrefetch, 1u);
-    AccessResult r = m.access(0, 0x80, false, 800);
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x80}, false, 800);
     EXPECT_TRUE(r.bufHit);
     EXPECT_EQ(m.stats().bufHitBypass, 1u);
     EXPECT_FALSE(r.l1Hit);
@@ -462,18 +463,18 @@ TEST(Amb, VicPreExcCombinesAll)
     cfg.amb.excludeCapacity = true;
     MemorySystem m(cfg);
 
-    m.access(0, 0x40, false, 0);      // capacity: exclude + prefetch
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);      // capacity: exclude + prefetch
     EXPECT_EQ(m.stats().excluded, 1u);
     EXPECT_EQ(m.stats().prefIssued, 1u);
     // 0x40 displaced from the buffer eventually misses as conflict
     // (insert fix) and is cached; its eviction victim-fills.
-    m.access(0, 0x400, false, 300);
-    m.access(0, 0x440, false, 400);
-    m.access(0, 0x480, false, 500);
-    m.access(0, 0x4C0, false, 600);   // 4-entry buffer fully churned
-    m.access(0, 0x40, false, 900);    // conflict: cached in L1
+    m.access(ByteAddr{0}, ByteAddr{0x400}, false, 300);
+    m.access(ByteAddr{0}, ByteAddr{0x440}, false, 400);
+    m.access(ByteAddr{0}, ByteAddr{0x480}, false, 500);
+    m.access(ByteAddr{0}, ByteAddr{0x4C0}, false, 600);   // 4-entry buffer fully churned
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 900);    // conflict: cached in L1
     EXPECT_GE(m.stats().conflictMisses, 1u);
-    EXPECT_TRUE(m.access(0, 0x40, false, 1200).l1Hit);
+    EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 1200).l1Hit);
 }
 
 // ---- pseudo-associative mode (§5.4) --------------------------------
@@ -483,9 +484,9 @@ TEST(PseudoMode, SecondaryHitCostsExtraCycle)
     MemSysConfig cfg = smallConfig();
     cfg.mode = AssistMode::PseudoAssoc;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x40 + setStride, false, 200);   // demotes 0x40
-    AccessResult r = m.access(0, 0x40, false, 400);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);   // demotes 0x40
+    AccessResult r = m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400);
     EXPECT_TRUE(r.l1Hit);
     EXPECT_EQ(r.ready, 400 + cfg.l1HitLatency +
                            cfg.pseudoSecondaryPenalty);
@@ -498,13 +499,13 @@ TEST(PseudoMode, AliasedPairCoexists)
     MemSysConfig cfg = smallConfig();
     cfg.mode = AssistMode::PseudoAssoc;
     MemorySystem m(cfg);
-    m.access(0, 0x40, false, 0);
-    m.access(0, 0x40 + setStride, false, 200);
+    m.access(ByteAddr{0}, ByteAddr{0x40}, false, 0);
+    m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 200);
     Count misses = m.stats().l1Misses;
     for (int i = 0; i < 10; ++i) {
-        EXPECT_TRUE(m.access(0, 0x40, false, 400 + i * 50).l1Hit);
+        EXPECT_TRUE(m.access(ByteAddr{0}, ByteAddr{0x40}, false, 400 + i * 50).l1Hit);
         EXPECT_TRUE(
-            m.access(0, 0x40 + setStride, false, 420 + i * 50).l1Hit);
+            m.access(ByteAddr{0}, ByteAddr{0x40 + setStride}, false, 420 + i * 50).l1Hit);
     }
     EXPECT_EQ(m.stats().l1Misses, misses);
 }
@@ -518,7 +519,8 @@ TEST(MemSys, AccessCountsAreConsistent)
     MemorySystem m(cfg);
     Cycle t = 0;
     for (Addr a = 0; a < 64; ++a) {
-        m.access(0, (a * 0x39C0) & 0xFFFF, a % 3 == 0, t);
+        m.access(ByteAddr{0}, ByteAddr{(a * 0x39C0) & 0xFFFF},
+                 a % 3 == 0, t);
         t += 7;
     }
     const MemStats &st = m.stats();

@@ -96,7 +96,8 @@ TEST_P(MemSysSweep, InvariantsUnderMixedTraffic)
           case 3: a = Addr(rng.next()) % 0x200000; break;       // rand
           default: a = 0x8000 + rng.below(64) * 64; break;      // warm
         }
-        AccessResult r = m.access(i * 4, a, rng.chance(0.25), now);
+        AccessResult r = m.access(ByteAddr{i * 4}, ByteAddr{a},
+                                  rng.chance(0.25), now);
         EXPECT_GE(r.ready, now) << "data before issue";
         EXPECT_LE(r.ready, now + 4000) << "absurd latency";
         now += rng.below(4);

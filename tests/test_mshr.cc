@@ -18,24 +18,24 @@ namespace
 TEST(Mshr, AllocateAndMerge)
 {
     MshrFile m(4);
-    m.allocate(0x40, 100);
-    auto ready = m.inFlight(0x40);
+    m.allocate(LineAddr{0x40}, 100);
+    auto ready = m.inFlight(LineAddr{0x40});
     ASSERT_TRUE(ready.has_value());
     EXPECT_EQ(*ready, 100u);
-    EXPECT_FALSE(m.inFlight(0x80).has_value());
+    EXPECT_FALSE(m.inFlight(LineAddr{0x80}).has_value());
     EXPECT_EQ(m.occupancy(), 1u);
 }
 
 TEST(Mshr, ExpireRetiresCompleted)
 {
     MshrFile m(4);
-    m.allocate(0x40, 100);
-    m.allocate(0x80, 200);
+    m.allocate(LineAddr{0x40}, 100);
+    m.allocate(LineAddr{0x80}, 200);
     m.expire(99);
     EXPECT_EQ(m.occupancy(), 2u);
     m.expire(100);
     EXPECT_EQ(m.occupancy(), 1u);
-    EXPECT_FALSE(m.inFlight(0x40).has_value());
+    EXPECT_FALSE(m.inFlight(LineAddr{0x40}).has_value());
     m.expire(500);
     EXPECT_EQ(m.occupancy(), 0u);
 }
@@ -45,8 +45,8 @@ TEST(Mshr, FullAndEarliest)
     MshrFile m(2);
     EXPECT_FALSE(m.full());
     EXPECT_EQ(m.earliestReady(), 0u);
-    m.allocate(0x40, 150);
-    m.allocate(0x80, 120);
+    m.allocate(LineAddr{0x40}, 150);
+    m.allocate(LineAddr{0x80}, 120);
     EXPECT_TRUE(m.full());
     EXPECT_EQ(m.earliestReady(), 120u);
 }
@@ -55,7 +55,7 @@ TEST(Mshr, PaperCapacity)
 {
     MshrFile m(16);
     for (unsigned i = 0; i < 16; ++i)
-        m.allocate(i * 64, 100 + i);
+        m.allocate(LineAddr{i * 64}, 100 + i);
     EXPECT_TRUE(m.full());
     m.expire(100);
     EXPECT_FALSE(m.full());
@@ -65,7 +65,7 @@ TEST(Mshr, PaperCapacity)
 TEST(Mshr, ClearEmpties)
 {
     MshrFile m(4);
-    m.allocate(0x40, 10);
+    m.allocate(LineAddr{0x40}, 10);
     m.clear();
     EXPECT_EQ(m.occupancy(), 0u);
 }
@@ -84,8 +84,8 @@ TEST(MshrDeath, ZeroEntriesRejected)
 TEST(MshrDeath, AllocateWhileFullPanics)
 {
     MshrFile m(1);
-    m.allocate(0x40, 10);
-    EXPECT_DEATH(m.allocate(0x80, 20), "full");
+    m.allocate(LineAddr{0x40}, 10);
+    EXPECT_DEATH(m.allocate(LineAddr{0x80}, 20), "full");
 }
 
 // ---- ResourcePool ---------------------------------------------------

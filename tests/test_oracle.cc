@@ -17,52 +17,52 @@ namespace
 TEST(Oracle, FirstTouchIsCompulsory)
 {
     OracleClassifier o(4);
-    EXPECT_EQ(o.observe(0x40, true), MissClass::Compulsory);
+    EXPECT_EQ(o.observe(LineAddr{0x40}, true), MissClass::Compulsory);
 }
 
 TEST(Oracle, RecentLineMissIsConflict)
 {
     OracleClassifier o(4);
-    o.observe(0x40, true);   // compulsory; now in FA model
+    o.observe(LineAddr{0x40}, true);   // compulsory; now in FA model
     // The real cache misses 0x40 again while the FA model still holds
     // it: a conflict miss.
-    EXPECT_EQ(o.observe(0x40, true), MissClass::Conflict);
+    EXPECT_EQ(o.observe(LineAddr{0x40}, true), MissClass::Conflict);
 }
 
 TEST(Oracle, EvictedFromFaIsCapacity)
 {
     OracleClassifier o(2);   // tiny FA model
-    o.observe(0x000, true);
-    o.observe(0x040, true);
-    o.observe(0x080, true);  // evicts 0x000 from the FA model
-    EXPECT_EQ(o.observe(0x000, true), MissClass::Capacity);
+    o.observe(LineAddr{0x000}, true);
+    o.observe(LineAddr{0x040}, true);
+    o.observe(LineAddr{0x080}, true);  // evicts 0x000 from the FA model
+    EXPECT_EQ(o.observe(LineAddr{0x000}, true), MissClass::Capacity);
 }
 
 TEST(Oracle, HitsStillUpdateFaRecency)
 {
     OracleClassifier o(2);
-    o.observe(0x000, true);
-    o.observe(0x040, true);
-    o.observe(0x000, false);  // real-cache hit refreshes 0x000
-    o.observe(0x080, true);   // evicts 0x040 (LRU), not 0x000
-    EXPECT_EQ(o.observe(0x000, true), MissClass::Conflict);
-    EXPECT_EQ(o.observe(0x040, true), MissClass::Capacity);
+    o.observe(LineAddr{0x000}, true);
+    o.observe(LineAddr{0x040}, true);
+    o.observe(LineAddr{0x000}, false);  // real-cache hit refreshes 0x000
+    o.observe(LineAddr{0x080}, true);   // evicts 0x040 (LRU), not 0x000
+    EXPECT_EQ(o.observe(LineAddr{0x000}, true), MissClass::Conflict);
+    EXPECT_EQ(o.observe(LineAddr{0x040}, true), MissClass::Capacity);
 }
 
 TEST(Oracle, FaOccupancyBounded)
 {
     OracleClassifier o(3);
     for (Addr a = 0; a < 100 * 64; a += 64)
-        o.observe(a, true);
+        o.observe(LineAddr{a}, true);
     EXPECT_LE(o.faOccupancy(), 3u);
 }
 
 TEST(Oracle, ClearForgetsSeenSet)
 {
     OracleClassifier o(4);
-    o.observe(0x40, true);
+    o.observe(LineAddr{0x40}, true);
     o.clear();
-    EXPECT_EQ(o.observe(0x40, true), MissClass::Compulsory);
+    EXPECT_EQ(o.observe(LineAddr{0x40}, true), MissClass::Compulsory);
 }
 
 TEST(Oracle, WorkingSetLargerThanFaIsCapacity)
@@ -72,7 +72,7 @@ TEST(Oracle, WorkingSetLargerThanFaIsCapacity)
     OracleClassifier o(8);
     for (int pass = 0; pass < 3; ++pass) {
         for (Addr a = 0; a < 16 * 64; a += 64) {
-            MissClass c = o.observe(a, true);
+            MissClass c = o.observe(LineAddr{a}, true);
             if (pass > 0) {
                 EXPECT_EQ(c, MissClass::Capacity);
             }

@@ -23,10 +23,10 @@ geom()
 }
 
 /** Address with set index @p set and tag @p t. */
-Addr
+ByteAddr
 mkAddr(std::size_t set, Addr t)
 {
-    return geom().buildLineAddr(t, set);
+    return geom().recompose(Tag{t}, SetIndex{set}).asByte();
 }
 
 TEST(Pseudo, ColdMissThenPrimaryHit)
@@ -41,7 +41,7 @@ TEST(Pseudo, ColdMissThenPrimaryHit)
 TEST(Pseudo, SecondSetMemberDemotesToSecondary)
 {
     PseudoAssocCache c(geom(), true);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2);
     c.access(a, false);   // a in primary slot 0
     c.access(b, false);   // a demoted to secondary (set 8), b primary
     // a now hits in its secondary location: swap back.
@@ -58,7 +58,7 @@ TEST(Pseudo, PairAbsorbedLikeTwoWay)
 {
     // After warmup, an aliased pair never misses (it 2-way fits).
     PseudoAssocCache c(geom(), true);
-    Addr a = mkAddr(3, 1), b = mkAddr(3, 2);
+    ByteAddr a = mkAddr(3, 1), b = mkAddr(3, 2);
     c.access(a, false);
     c.access(b, false);
     for (int i = 0; i < 20; ++i) {
@@ -71,7 +71,7 @@ TEST(Pseudo, PairAbsorbedLikeTwoWay)
 TEST(Pseudo, ProbeSeesBothLocations)
 {
     PseudoAssocCache c(geom(), true);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2);
     c.access(a, false);
     c.access(b, false);
     EXPECT_TRUE(c.probe(a));   // in secondary
@@ -82,14 +82,14 @@ TEST(Pseudo, ProbeSeesBothLocations)
 TEST(Pseudo, EvictionReported)
 {
     PseudoAssocCache c(geom(), false);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2), d = mkAddr(0, 3);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2), d = mkAddr(0, 3);
     c.access(a, true);    // dirty
     c.access(b, false);
     PseudoAccess res = c.access(d, false);
     EXPECT_EQ(res.kind, Kind::Miss);
     ASSERT_TRUE(res.evictedValid);
     // LRU between candidates picks a (older).
-    EXPECT_EQ(res.evictedLineAddr, a);
+    EXPECT_EQ(res.evictedLineAddr, geom().lineOf(a));
     EXPECT_TRUE(res.evictedDirty);
 }
 
@@ -98,10 +98,10 @@ TEST(Pseudo, SecondaryResidentCanConflictWithItsOwnPrimary)
     // A line displaced to its secondary set competes with lines whose
     // primary is that set.
     PseudoAssocCache c(geom(), false);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2);
     c.access(a, false);
     c.access(b, false);         // a displaced to set 8
-    Addr x = mkAddr(8, 7);      // primary = set 8
+    ByteAddr x = mkAddr(8, 7);      // primary = set 8
     c.access(x, false);         // x takes set 8's primary slot...
     EXPECT_TRUE(c.probe(x));
 }
@@ -109,7 +109,7 @@ TEST(Pseudo, SecondaryResidentCanConflictWithItsOwnPrimary)
 TEST(Pseudo, MctVetoProtectsConflictLine)
 {
     PseudoAssocCache c(geom(), true);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2), s1 = mkAddr(0, 3);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2), s1 = mkAddr(0, 3);
 
     // Warm the pair, then force an eviction/re-fetch of a so its
     // conflict bit is set: a evicted, then misses again -> MCT match.
@@ -122,7 +122,7 @@ TEST(Pseudo, MctVetoProtectsConflictLine)
     // a re-installed with its conflict bit set.  Now a stream line
     // arrives: candidates are a (bit=1) and whichever of b/s1
     // remains (bit=0): the veto evicts the unprotected one.
-    Addr s2 = mkAddr(0, 4);
+    ByteAddr s2 = mkAddr(0, 4);
     c.access(s2, false);
     EXPECT_TRUE(c.probe(a));     // protected
     EXPECT_GT(c.replacementOverrides(), 0u);
@@ -132,7 +132,7 @@ TEST(Pseudo, VetoIsOneShot)
 {
     // After a veto spends the survivor's bit, plain LRU resumes.
     PseudoAssocCache c(geom(), true);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2), s1 = mkAddr(0, 3);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2), s1 = mkAddr(0, 3);
     c.access(a, false);
     c.access(b, false);
     c.access(s1, false);
@@ -147,7 +147,7 @@ TEST(Pseudo, VetoIsOneShot)
 TEST(Pseudo, BaselineIgnoresMct)
 {
     PseudoAssocCache c(geom(), false);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2), s1 = mkAddr(0, 3);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2), s1 = mkAddr(0, 3);
     c.access(a, false);
     c.access(b, false);
     c.access(s1, false);
@@ -171,7 +171,7 @@ TEST(Pseudo, StatsAndClear)
 TEST(Pseudo, DirtyBitTravelsThroughSwap)
 {
     PseudoAssocCache c(geom(), false);
-    Addr a = mkAddr(0, 1), b = mkAddr(0, 2);
+    ByteAddr a = mkAddr(0, 1), b = mkAddr(0, 2);
     c.access(a, true);           // dirty store miss
     c.access(b, false);          // a -> secondary
     c.access(a, false);          // secondary hit: swap back
@@ -180,7 +180,7 @@ TEST(Pseudo, DirtyBitTravelsThroughSwap)
     // survived the moves.
     PseudoAccess res = c.access(mkAddr(0, 3), false);
     ASSERT_TRUE(res.evictedValid);
-    if (res.evictedLineAddr == a) {
+    if (res.evictedLineAddr == geom().lineOf(a)) {
         EXPECT_TRUE(res.evictedDirty);
     }
 }

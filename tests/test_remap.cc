@@ -20,30 +20,30 @@ namespace
 TEST(Cml, CountsPerPage)
 {
     CmlBuffer cml(4096);
-    cml.recordMiss(0x1000);
-    cml.recordMiss(0x1FFF);   // same page
-    cml.recordMiss(0x2000);   // next page
-    EXPECT_EQ(cml.count(0x1800), 2u);
-    EXPECT_EQ(cml.count(0x2000), 1u);
-    EXPECT_EQ(cml.count(0x9000), 0u);
+    cml.recordMiss(ByteAddr{0x1000});
+    cml.recordMiss(ByteAddr{0x1FFF});   // same page
+    cml.recordMiss(ByteAddr{0x2000});   // next page
+    EXPECT_EQ(cml.count(ByteAddr{0x1800}), 2u);
+    EXPECT_EQ(cml.count(ByteAddr{0x2000}), 1u);
+    EXPECT_EQ(cml.count(ByteAddr{0x9000}), 0u);
 }
 
 TEST(Cml, PageOf)
 {
     CmlBuffer cml(4096);
-    EXPECT_EQ(cml.pageOf(0x1000), 1u);
-    EXPECT_EQ(cml.pageOf(0x1FFF), 1u);
-    EXPECT_EQ(cml.pageOf(0x2000), 2u);
+    EXPECT_EQ(cml.pageOf(ByteAddr{0x1000}), 1u);
+    EXPECT_EQ(cml.pageOf(ByteAddr{0x1FFF}), 1u);
+    EXPECT_EQ(cml.pageOf(ByteAddr{0x2000}), 2u);
 }
 
 TEST(Cml, HotPagesSortedByHeat)
 {
     CmlBuffer cml(4096);
     for (int i = 0; i < 5; ++i)
-        cml.recordMiss(0x1000);
+        cml.recordMiss(ByteAddr{0x1000});
     for (int i = 0; i < 9; ++i)
-        cml.recordMiss(0x2000);
-    cml.recordMiss(0x3000);
+        cml.recordMiss(ByteAddr{0x2000});
+    cml.recordMiss(ByteAddr{0x3000});
     auto hot = cml.hotPages(5);
     ASSERT_EQ(hot.size(), 2u);
     EXPECT_EQ(hot[0], 2u);   // 9 misses
@@ -53,9 +53,9 @@ TEST(Cml, HotPagesSortedByHeat)
 TEST(Cml, NewEpochClears)
 {
     CmlBuffer cml(4096);
-    cml.recordMiss(0x1000);
+    cml.recordMiss(ByteAddr{0x1000});
     cml.newEpoch();
-    EXPECT_EQ(cml.count(0x1000), 0u);
+    EXPECT_EQ(cml.count(ByteAddr{0x1000}), 0u);
     EXPECT_TRUE(cml.hotPages(1).empty());
 }
 

@@ -16,62 +16,62 @@ namespace
 TEST(Shadow, DepthOneMatchesMctSemantics)
 {
     ShadowDirectory sd(4, 1);
-    EXPECT_EQ(sd.classify(0, 0x1), MissClass::Capacity);
-    sd.recordEviction(0, 0x1);
-    EXPECT_EQ(sd.classify(0, 0x1), MissClass::Conflict);
-    sd.recordEviction(0, 0x2);
-    EXPECT_EQ(sd.classify(0, 0x1), MissClass::Capacity);
-    EXPECT_EQ(sd.classify(0, 0x2), MissClass::Conflict);
+    EXPECT_EQ(sd.classify(SetIndex{0}, Tag{0x1}), MissClass::Capacity);
+    sd.recordEviction(SetIndex{0}, Tag{0x1});
+    EXPECT_EQ(sd.classify(SetIndex{0}, Tag{0x1}), MissClass::Conflict);
+    sd.recordEviction(SetIndex{0}, Tag{0x2});
+    EXPECT_EQ(sd.classify(SetIndex{0}, Tag{0x1}), MissClass::Capacity);
+    EXPECT_EQ(sd.classify(SetIndex{0}, Tag{0x2}), MissClass::Conflict);
 }
 
 TEST(Shadow, DeeperDirectoryRemembersMore)
 {
     ShadowDirectory sd(4, 3);
-    sd.recordEviction(0, 0x1);
-    sd.recordEviction(0, 0x2);
-    sd.recordEviction(0, 0x3);
-    EXPECT_TRUE(sd.isConflictMiss(0, 0x1));
-    EXPECT_TRUE(sd.isConflictMiss(0, 0x2));
-    EXPECT_TRUE(sd.isConflictMiss(0, 0x3));
-    EXPECT_FALSE(sd.isConflictMiss(0, 0x4));
+    sd.recordEviction(SetIndex{0}, Tag{0x1});
+    sd.recordEviction(SetIndex{0}, Tag{0x2});
+    sd.recordEviction(SetIndex{0}, Tag{0x3});
+    EXPECT_TRUE(sd.isConflictMiss(SetIndex{0}, Tag{0x1}));
+    EXPECT_TRUE(sd.isConflictMiss(SetIndex{0}, Tag{0x2}));
+    EXPECT_TRUE(sd.isConflictMiss(SetIndex{0}, Tag{0x3}));
+    EXPECT_FALSE(sd.isConflictMiss(SetIndex{0}, Tag{0x4}));
     // A fourth eviction pushes the oldest out.
-    sd.recordEviction(0, 0x4);
-    EXPECT_FALSE(sd.isConflictMiss(0, 0x1));
-    EXPECT_TRUE(sd.isConflictMiss(0, 0x4));
+    sd.recordEviction(SetIndex{0}, Tag{0x4});
+    EXPECT_FALSE(sd.isConflictMiss(SetIndex{0}, Tag{0x1}));
+    EXPECT_TRUE(sd.isConflictMiss(SetIndex{0}, Tag{0x4}));
 }
 
 TEST(Shadow, MatchDepthReportsPosition)
 {
     ShadowDirectory sd(2, 4);
-    sd.recordEviction(1, 0xA);
-    sd.recordEviction(1, 0xB);
-    sd.recordEviction(1, 0xC);
-    EXPECT_EQ(sd.matchDepth(1, 0xC), 1u);   // most recent
-    EXPECT_EQ(sd.matchDepth(1, 0xB), 2u);
-    EXPECT_EQ(sd.matchDepth(1, 0xA), 3u);
-    EXPECT_EQ(sd.matchDepth(1, 0xD), 0u);
-    EXPECT_EQ(sd.matchDepth(0, 0xA), 0u);   // other set
+    sd.recordEviction(SetIndex{1}, Tag{0xA});
+    sd.recordEviction(SetIndex{1}, Tag{0xB});
+    sd.recordEviction(SetIndex{1}, Tag{0xC});
+    EXPECT_EQ(sd.matchDepth(SetIndex{1}, Tag{0xC}), 1u);   // most recent
+    EXPECT_EQ(sd.matchDepth(SetIndex{1}, Tag{0xB}), 2u);
+    EXPECT_EQ(sd.matchDepth(SetIndex{1}, Tag{0xA}), 3u);
+    EXPECT_EQ(sd.matchDepth(SetIndex{1}, Tag{0xD}), 0u);
+    EXPECT_EQ(sd.matchDepth(SetIndex{0}, Tag{0xA}), 0u);   // other set
 }
 
 TEST(Shadow, ReEvictionMovesToFront)
 {
     ShadowDirectory sd(1, 3);
-    sd.recordEviction(0, 0x1);
-    sd.recordEviction(0, 0x2);
-    sd.recordEviction(0, 0x1);   // 0x1 re-evicted: front, no dup
-    EXPECT_EQ(sd.matchDepth(0, 0x1), 1u);
-    EXPECT_EQ(sd.matchDepth(0, 0x2), 2u);
+    sd.recordEviction(SetIndex{0}, Tag{0x1});
+    sd.recordEviction(SetIndex{0}, Tag{0x2});
+    sd.recordEviction(SetIndex{0}, Tag{0x1});   // 0x1 re-evicted: front, no dup
+    EXPECT_EQ(sd.matchDepth(SetIndex{0}, Tag{0x1}), 1u);
+    EXPECT_EQ(sd.matchDepth(SetIndex{0}, Tag{0x2}), 2u);
     // Room still for a third distinct tag.
-    sd.recordEviction(0, 0x3);
-    EXPECT_TRUE(sd.isConflictMiss(0, 0x2));
+    sd.recordEviction(SetIndex{0}, Tag{0x3});
+    EXPECT_TRUE(sd.isConflictMiss(SetIndex{0}, Tag{0x2}));
 }
 
 TEST(Shadow, PartialTagsMask)
 {
     ShadowDirectory sd(1, 2, 4);
-    sd.recordEviction(0, 0xAB);
-    EXPECT_TRUE(sd.isConflictMiss(0, 0xFB));   // low nibble matches
-    EXPECT_FALSE(sd.isConflictMiss(0, 0xAC));
+    sd.recordEviction(SetIndex{0}, Tag{0xAB});
+    EXPECT_TRUE(sd.isConflictMiss(SetIndex{0}, Tag{0xFB}));   // low nibble matches
+    EXPECT_FALSE(sd.isConflictMiss(SetIndex{0}, Tag{0xAC}));
 }
 
 TEST(Shadow, StorageBits)
@@ -84,9 +84,9 @@ TEST(Shadow, StorageBits)
 TEST(Shadow, ClearForgets)
 {
     ShadowDirectory sd(2, 2);
-    sd.recordEviction(0, 0x1);
+    sd.recordEviction(SetIndex{0}, Tag{0x1});
     sd.clear();
-    EXPECT_FALSE(sd.isConflictMiss(0, 0x1));
+    EXPECT_FALSE(sd.isConflictMiss(SetIndex{0}, Tag{0x1}));
 }
 
 TEST(Shadow, ValidateRejectsWithoutDying)
@@ -128,10 +128,10 @@ TEST_P(ShadowCycle, CycleOfDepthPlusOneTagsNeedsDepth)
             if (has_resident && resident == tag)
                 continue;      // would be a hit
             ++total;
-            if (i >= int(k) && sd.isConflictMiss(0, tag))
+            if (i >= int(k) && sd.isConflictMiss(SetIndex{0}, Tag{tag}))
                 ++caught;
             if (has_resident)
-                sd.recordEviction(0, resident);
+                sd.recordEviction(SetIndex{0}, Tag{resident});
             resident = tag;
             has_resident = true;
         }

@@ -269,25 +269,28 @@ main(int argc, char **argv)
         } else if (a == "--trace-dir") {
             o.traceDir = val();
         } else if (a == "--budget") {
-            o.budget = std::atol(val().c_str());
+            o.budget = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--tolerate-truncation") {
             o.tolerateTruncation = true;
         } else if (a == "--refs") {
-            o.refs = std::atol(val().c_str());
+            o.refs = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--seed") {
-            o.seed = std::atol(val().c_str());
+            o.seed = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--arch") {
             o.arch = val();
         } else if (a == "--l1-kb") {
-            o.l1Kb = std::atol(val().c_str());
+            o.l1Kb = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--l1-assoc") {
-            o.l1Assoc = std::atoi(val().c_str());
+            o.l1Assoc = static_cast<unsigned>(
+                std::strtoul(val().c_str(), nullptr, 10));
         } else if (a == "--l2-kb") {
-            o.l2Kb = std::atol(val().c_str());
+            o.l2Kb = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--buf-entries") {
-            o.bufEntries = std::atoi(val().c_str());
+            o.bufEntries = static_cast<unsigned>(
+                std::strtoul(val().c_str(), nullptr, 10));
         } else if (a == "--mct-bits") {
-            o.mctTagBits = std::atoi(val().c_str());
+            o.mctTagBits = static_cast<unsigned>(
+                std::strtoul(val().c_str(), nullptr, 10));
         } else if (a == "--filter") {
             o.filter = val();
         } else if (a == "--filter-swaps") {

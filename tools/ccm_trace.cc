@@ -33,9 +33,9 @@ cmdGen(int argc, char **argv)
     for (int i = 4; i + 1 < argc; i += 2) {
         std::string a = argv[i];
         if (a == "--refs")
-            refs = std::atol(argv[i + 1]);
+            refs = std::strtoull(argv[i + 1], nullptr, 10);
         else if (a == "--seed")
-            seed = std::atol(argv[i + 1]);
+            seed = std::strtoull(argv[i + 1], nullptr, 10);
     }
 
     auto wl = makeWorkload(name, refs, seed);

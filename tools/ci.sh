@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# ci.sh — the full local gate, exactly what a CI runner executes.
+#
+#   1. tier-1 verify: default preset build + full ctest suite
+#   2. strict build: tidy preset (CCM_WERROR=ON, compile_commands)
+#   3. sanitize build: ASan+UBSan preset + full ctest suite
+#   4. static analysis: tools/ccm-lint (clang-tidy when available)
+#
+# Fails on the first nonzero step.  Usage: tools/ci.sh [-j N]
+
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+cd "$repo_root"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then
+    jobs=$2
+fi
+
+step() {
+    echo
+    echo "==== ci: $* ===================================================="
+}
+
+step "tier-1 verify (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+step "strict-warning build (tidy preset, CCM_WERROR=ON)"
+cmake --preset tidy
+cmake --build --preset tidy -j "$jobs"
+
+step "sanitizer build + tests (sanitize preset)"
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$jobs"
+ctest --preset sanitize -j "$jobs"
+
+step "static analysis (ccm-lint)"
+tools/ccm-lint --build-dir "$repo_root/build-tidy" -j "$jobs"
+
+step "all green"
