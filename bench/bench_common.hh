@@ -14,10 +14,12 @@
 #ifndef CCM_BENCH_COMMON_HH
 #define CCM_BENCH_COMMON_HH
 
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/sink.hh"
 #include "trace/vector_trace.hh"
 #include "workloads/registry.hh"
 
@@ -52,6 +54,23 @@ captureWorkload(const std::string &name,
 {
     auto wl = makeWorkload(name, refs, seed);
     return VectorTrace::capture(*wl);
+}
+
+/**
+ * Leave a machine-readable BENCH_<name>.json record of the table a
+ * bench binary just printed (destination: $CCM_BENCH_JSON_DIR, else
+ * the working directory).  Failure to write is a warning, not an
+ * error — the printed table is still the primary output.
+ */
+inline void
+emitBenchJson(const std::string &name, const TextTable &table,
+              const std::string &note = "")
+{
+    Expected<std::string> path = obs::writeBenchJson(name, table, note);
+    if (path.ok())
+        std::cout << "(wrote " << path.value() << ")\n";
+    else
+        std::cerr << "warning: " << path.status().toString() << "\n";
 }
 
 } // namespace ccm::bench

@@ -17,6 +17,7 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "common/table.hh"
 #include "mct/classify_run.hh"
 #include "workloads/registry.hh"
@@ -102,6 +103,7 @@ main()
     }
 
     table.print(std::cout);
+    bench::emitBenchJson("fig1_accuracy", table);
 
     std::cout << "\nconflict share of all misses (pooled): ";
     for (std::size_t ci = 0; ci < n_cfg; ++ci) {

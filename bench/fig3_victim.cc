@@ -69,6 +69,7 @@ main()
                      std::pow(geo[p], 1.0 / double(n)), 3);
 
     table.print(std::cout);
+    emitBenchJson("fig3_victim", table);
     std::cout << "\npaper: combined policy ~3% over the traditional "
               << "victim cache, gained by reducing swaps and fills\n";
     return 0;

@@ -88,6 +88,7 @@ main()
     acc.setNum(avg, 6, cov_sum[0] / n, 1);
     acc.setNum(avg, 7, cov_sum[4] / n, 1);
     acc.print(std::cout);
+    emitBenchJson("fig4_prefetch_accuracy", acc);
 
     std::cout << "\n(b) average speedup over no prefetching "
               << "(slow L1<->L2 bus):\n";
@@ -97,6 +98,7 @@ main()
         sp.setNum(row, 1, std::pow(geo[s], 1.0 / double(n)), 3);
     }
     sp.print(std::cout);
+    emitBenchJson("fig4_prefetch_speedup", sp);
 
     std::cout << "\npaper: filtered prefetching raises accuracy by "
               << "~25%; or-conflict is the most discriminating; "

@@ -77,6 +77,7 @@ main()
     for (std::size_t p = 0; p < n_pol; ++p)
         table.setNum(avg, p + 1, std::pow(geo[p], 1.0 / double(n)), 3);
     table.print(std::cout);
+    emitBenchJson("fig5_exclusion", table);
 
     std::cout << "\naverage total hit rate (% of accesses): no-buffer "
               << base_hr / n;

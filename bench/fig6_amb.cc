@@ -83,6 +83,7 @@ main()
             table.setNum(avg, p + 1,
                          std::pow(geo[p], 1.0 / double(n)), 3);
         table.print(std::cout);
+        emitBenchJson("fig6_amb_" + std::to_string(entries), table);
         std::cout << "\n";
     }
 

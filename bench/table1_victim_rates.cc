@@ -72,6 +72,7 @@ main()
     }
 
     table.print(std::cout);
+    emitBenchJson("table1_victim_rates", table);
     std::cout << "\npaper: 88.2/6.4/94.7/1.7/6.6 for the traditional "
               << "victim cache; no-fill cuts fills by more than half; "
               << "no-swap nearly eliminates swaps\n";

@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ccm
@@ -9,7 +11,9 @@ Cache::Cache(const CacheGeometry &geometry, ReplPolicy policy,
              std::uint32_t random_seed)
     : geom(geometry), repl(policy),
       lines(geometry.numLines()),
-      rngState(random_seed == 0 ? 1 : random_seed)
+      rngState(random_seed == 0 ? 1 : random_seed),
+      setMisses_(geometry.numSets(), 0),
+      setEvictions_(geometry.numSets(), 0)
 {
 }
 
@@ -58,6 +62,7 @@ Cache::access(ByteAddr addr, bool is_store)
         return true;
     }
     ++nMisses;
+    ++setMisses_[geom.setOf(addr).value()];
     return false;
 }
 
@@ -141,6 +146,7 @@ Cache::fillWay(ByteAddr addr, WayIndex way, bool conflict_bit,
         evicted.dirty = l.dirty;
         evicted.conflictBit = l.conflictBit;
         ++nEvictions;
+        ++setEvictions_[set.value()];
     }
 
     ++tick;
@@ -209,6 +215,8 @@ Cache::clear()
         l = CacheLine{};
     tick = 0;
     nHits = nMisses = nFills = nEvictions = 0;
+    std::fill(setMisses_.begin(), setMisses_.end(), 0);
+    std::fill(setEvictions_.begin(), setEvictions_.end(), 0);
 }
 
 } // namespace ccm

@@ -116,6 +116,32 @@ class Cache
     Count evictions() const { return nEvictions; }
     double missRate() const { return safeRatio(nMisses, accesses()); }
 
+    /** Misses observed by access() in @p set. */
+    Count
+    setMisses(SetIndex set) const
+    {
+        return setMisses_[set.value()];
+    }
+
+    /** Evictions (valid-line replacements) in @p set. */
+    Count
+    setEvictions(SetIndex set) const
+    {
+        return setEvictions_[set.value()];
+    }
+
+    /** Whole per-set miss histogram, indexed by set. */
+    const std::vector<Count> &setMissHistogram() const
+    {
+        return setMisses_;
+    }
+
+    /** Whole per-set eviction histogram, indexed by set. */
+    const std::vector<Count> &setEvictionHistogram() const
+    {
+        return setEvictions_;
+    }
+
   private:
     CacheLine *lookupMutable(ByteAddr addr);
     WayIndex chooseVictimWay(SetIndex set) const;
@@ -136,6 +162,8 @@ class Cache
     Count nMisses = 0;
     Count nFills = 0;
     Count nEvictions = 0;
+    std::vector<Count> setMisses_;    ///< per-set miss histogram
+    std::vector<Count> setEvictions_; ///< per-set eviction histogram
 };
 
 } // namespace ccm

@@ -37,9 +37,26 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
+/** One named counter value in a programmatic stats snapshot. */
+struct StatEntry
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/** Ordered name/value dump of a whole group. */
+using StatSnapshot = std::vector<StatEntry>;
+
 /**
  * A group of related counters belonging to one component; supports
  * registration and formatted dumping.
+ *
+ * Counters come in two flavours: owned (add(), the group allocates
+ * the Counter) and external (addExternal(), the group records a
+ * pointer to a std::uint64_t that lives elsewhere — e.g. a MemStats
+ * field).  Both appear in dump()/snapshot() under the registered
+ * name, so one mechanism owns naming regardless of where the storage
+ * lives.
  */
 class StatGroup
 {
@@ -49,19 +66,39 @@ class StatGroup
     /** Register a counter under @p stat_name; returns the counter. */
     Counter &add(const std::string &stat_name);
 
-    /** Zero every registered counter. */
+    /**
+     * Register an externally-owned counter under @p stat_name.  The
+     * pointee must outlive the group; resetAll() leaves it untouched
+     * (its owner is responsible for resetting).
+     */
+    void addExternal(const std::string &stat_name,
+                     const std::uint64_t *value);
+
+    /** Zero every owned counter (external counters are untouched). */
     void resetAll();
 
     /** Write "group.stat value" lines to @p os. */
     void dump(std::ostream &os) const;
 
+    /** Current name/value pairs, registration-ordered. */
+    StatSnapshot snapshot() const;
+
     const std::string &name() const { return name_; }
+
+    std::size_t numStats() const { return entries.size(); }
 
   private:
     struct Entry
     {
         std::string name;
-        Counter counter;
+        Counter counter;                        ///< owned storage
+        const std::uint64_t *external = nullptr; ///< external storage
+
+        std::uint64_t
+        currentValue() const
+        {
+            return external ? *external : counter.value();
+        }
     };
 
     std::string name_;

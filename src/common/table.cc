@@ -41,6 +41,22 @@ TextTable::setNum(std::size_t row, std::size_t col, double v,
     set(row, col, os.str());
 }
 
+const std::string &
+TextTable::header(std::size_t col) const
+{
+    if (col >= headers.size())
+        ccm_panic("TextTable header ", col, " out of range");
+    return headers[col];
+}
+
+const std::string &
+TextTable::cell(std::size_t row, std::size_t col) const
+{
+    if (row >= body.size() || col >= headers.size())
+        ccm_panic("TextTable cell (", row, ",", col, ") out of range");
+    return body[row][col];
+}
+
 void
 TextTable::print(std::ostream &os) const
 {

@@ -40,6 +40,12 @@ class TextTable
     std::size_t rows() const { return body.size(); }
     std::size_t cols() const { return headers.size(); }
 
+    /** Header of column @p col (panics out of range). */
+    const std::string &header(std::size_t col) const;
+
+    /** Cell contents (panics out of range); col 0 is the label. */
+    const std::string &cell(std::size_t row, std::size_t col) const;
+
   private:
     std::vector<std::string> headers;
     std::vector<std::vector<std::string>> body;

@@ -1,0 +1,45 @@
+#include "hierarchy/memstats.hh"
+
+namespace ccm
+{
+
+void
+MemStats::dump(std::ostream &os, const char *prefix) const
+{
+    forEachField([&](const char *name, Count MemStats::*field) {
+        os << prefix << "." << name << " " << this->*field << "\n";
+    });
+    forEachDerived([&](const char *name, double v) {
+        os << prefix << "." << name << " " << v << "\n";
+    });
+}
+
+MemStats
+MemStats::minus(const MemStats &prev) const
+{
+    MemStats d;
+    forEachField([&](const char *, Count MemStats::*field) {
+        d.*field = this->*field - prev.*field;
+    });
+    return d;
+}
+
+void
+MemStats::registerCounters(StatGroup &group) const
+{
+    forEachField([&](const char *name, Count MemStats::*field) {
+        group.addExternal(name, &(this->*field));
+    });
+}
+
+StatSnapshot
+MemStats::snapshot() const
+{
+    StatSnapshot snap;
+    forEachField([&](const char *name, Count MemStats::*field) {
+        snap.push_back({name, this->*field});
+    });
+    return snap;
+}
+
+} // namespace ccm

@@ -223,9 +223,23 @@ MemorySystem::shouldExclude(ByteAddr pc, ByteAddr addr,
     ccm_panic("unreachable exclusion algorithm");
 }
 
+SetHistograms
+MemorySystem::setHistograms() const
+{
+    SetHistograms h;
+    if (!l1)
+        return h;   // pseudo-associative mode: no conventional L1
+    h.sets = l1Geom.numSets();
+    h.l1Misses = l1->setMissHistogram();
+    h.l1Evictions = l1->setEvictionHistogram();
+    h.mctLookups = mct_.setLookupHistogram();
+    h.mctConflicts = mct_.setConflictHistogram();
+    return h;
+}
+
 AccessResult
-MemorySystem::access(ByteAddr pc, ByteAddr addr, bool is_store,
-                     Cycle now)
+MemorySystem::accessImpl(ByteAddr pc, ByteAddr addr, bool is_store,
+                         Cycle now)
 {
     ++st.accesses;
     if (is_store)

@@ -13,6 +13,7 @@
 #ifndef CCM_HIERARCHY_MEMSYS_HH
 #define CCM_HIERARCHY_MEMSYS_HH
 
+#include <functional>
 #include <memory>
 
 #include "assist/buffer.hh"
@@ -44,6 +45,14 @@ struct AccessResult
     MissClass missClass = MissClass::Capacity;
 };
 
+/**
+ * Observer invoked after every completed access with the result and
+ * the running counters (the obs-layer interval sampler hangs off
+ * this).  Off by default; cost when unset is one branch.
+ */
+using MemAccessHook =
+    std::function<void(const AccessResult &, const MemStats &)>;
+
 /** The paper's three-level memory system with pluggable assists. */
 class MemorySystem
 {
@@ -58,8 +67,21 @@ class MemorySystem
      * @param is_store store vs load
      * @param now issue cycle (approximately nondecreasing)
      */
-    AccessResult access(ByteAddr pc, ByteAddr addr, bool is_store,
-                        Cycle now);
+    AccessResult
+    access(ByteAddr pc, ByteAddr addr, bool is_store, Cycle now)
+    {
+        AccessResult r = accessImpl(pc, addr, is_store, now);
+        if (accessHook)
+            accessHook(r, st);
+        return r;
+    }
+
+    /** Attach @p hook, called after every access; empty detaches. */
+    void
+    setAccessHook(MemAccessHook hook)
+    {
+        accessHook = std::move(hook);
+    }
 
     const MemStats &stats() const { return st; }
     const MemSysConfig &config() const { return cfg; }
@@ -70,7 +92,18 @@ class MemorySystem
     const AssistBuffer *buffer() const { return buf.get(); }
     const MissClassificationTable &mct() const { return mct_; }
 
+    /** Mutable MCT access for instrumentation (lookup hooks). */
+    MissClassificationTable &mct() { return mct_; }
+
+    /**
+     * Per-set activity histograms (heatmap source).  Empty in
+     * pseudo-associative mode, which has no conventional L1.
+     */
+    SetHistograms setHistograms() const;
+
   private:
+    AccessResult accessImpl(ByteAddr pc, ByteAddr addr, bool is_store,
+                            Cycle now);
     bool hasBuffer() const;
 
     /**
@@ -137,6 +170,7 @@ class MemorySystem
     ResourcePool bus;
 
     MemStats st;
+    MemAccessHook accessHook;
 };
 
 } // namespace ccm

@@ -14,6 +14,8 @@ classifyRun(TraceSource &trace, const ClassifyConfig &cfg)
     Cache cache(geom);
     // Depth 1 is exactly the MCT; deeper is the shadow directory.
     ShadowDirectory mct(geom.numSets(), cfg.mctDepth, cfg.mctTagBits);
+    if (cfg.lookupHook)
+        mct.setLookupHook(cfg.lookupHook);
     OracleClassifier oracle(geom.numLines());
 
     ClassifyResult res;
@@ -29,6 +31,8 @@ classifyRun(TraceSource &trace, const ClassifyConfig &cfg)
         LineAddr line = geom.lineOf(addr);
         bool hit = cache.access(addr, r.isStore());
         MissClass oracle_cls = oracle.observe(line, !hit);
+        if (cfg.observer)
+            cfg.observer->onReference(!hit);
         if (hit)
             continue;
 
@@ -38,6 +42,8 @@ classifyRun(TraceSource &trace, const ClassifyConfig &cfg)
 
         MissClass mct_cls = mct.classify(set, tag);
         res.scorer.record(mct_cls, oracle_cls);
+        if (cfg.observer)
+            cfg.observer->onMiss(set, tag, mct_cls, oracle_cls);
 
         // Fill and remember the evicted tag, exactly as the hardware
         // would: MCT is written only with evicted-line tags.

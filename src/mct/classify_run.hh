@@ -10,10 +10,37 @@
 
 #include "cache/geometry.hh"
 #include "mct/accuracy.hh"
+#include "mct/mct.hh"
 #include "trace/source.hh"
 
 namespace ccm
 {
+
+/**
+ * Per-reference observer for classification runs.  Implemented by the
+ * obs layer (interval sampling, event tracing); classifyRun invokes
+ * it in program order.  This is the only place MCT verdict and oracle
+ * verdict are visible together, so oracle-agreement observability
+ * hangs off it.
+ */
+class ClassifyObserver
+{
+  public:
+    virtual ~ClassifyObserver() = default;
+
+    /** Every memory reference; @p miss is the real cache's outcome. */
+    virtual void onReference(bool miss) { (void)miss; }
+
+    /** Every miss, with both classifications. */
+    virtual void
+    onMiss(SetIndex set, Tag tag, MissClass mct, MissClass oracle)
+    {
+        (void)set;
+        (void)tag;
+        (void)mct;
+        (void)oracle;
+    }
+};
 
 /** Parameters of one classification run. */
 struct ClassifyConfig
@@ -29,6 +56,15 @@ struct ClassifyConfig
      * also identifies higher-order conflict misses.
      */
     unsigned mctDepth = 1;
+
+    /** Optional observer (not owned); nullptr = no observation. */
+    ClassifyObserver *observer = nullptr;
+
+    /**
+     * Optional lookup hook installed on the classifier table for the
+     * duration of the run (stored-tag-level event tracing).
+     */
+    MctLookupHook lookupHook;
 };
 
 /** Outcome of a classification run. */

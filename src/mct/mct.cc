@@ -1,5 +1,7 @@
 #include "mct/mct.hh"
 
+#include <algorithm>
+
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -22,7 +24,8 @@ MissClassificationTable::validate(std::size_t num_sets,
 MissClassificationTable::MissClassificationTable(std::size_t num_sets,
                                                  unsigned tag_bits)
     : entries(num_sets), tagBits_(tag_bits),
-      tagMask(tag_bits == 0 ? ~Addr{0} : lowMask(tag_bits))
+      tagMask(tag_bits == 0 ? ~Addr{0} : lowMask(tag_bits)),
+      setLookups_(num_sets, 0), setConflicts_(num_sets, 0)
 {
     fatalIfError(validate(num_sets, tag_bits));
 }
@@ -32,6 +35,8 @@ MissClassificationTable::clear()
 {
     for (auto &e : entries)
         e = Entry{};
+    std::fill(setLookups_.begin(), setLookups_.end(), 0);
+    std::fill(setConflicts_.begin(), setConflicts_.end(), 0);
 }
 
 } // namespace ccm

@@ -18,6 +18,7 @@
 #define CCM_MCT_MCT_HH
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/addr_types.hh"
@@ -28,6 +29,29 @@
 
 namespace ccm
 {
+
+/**
+ * One MCT lookup, as seen by an attached classification event hook
+ * (see MissClassificationTable::setLookupHook).  Oracle agreement is
+ * not known at this layer; observers that also watch the oracle (the
+ * obs-layer event trace) annotate it afterwards.
+ */
+struct MctLookupEvent
+{
+    SetIndex set{};
+    /** Stored (possibly truncated) tag of the entry consulted. */
+    Addr storedTag = 0;
+    bool storedValid = false;
+    /** Full incoming tag of the missing line. */
+    Tag incomingTag{};
+    MissClass verdict = MissClass::Capacity;
+};
+
+/**
+ * Observer invoked on every classify() call.  Off by default; cost
+ * when unset is one branch on an empty std::function.
+ */
+using MctLookupHook = std::function<void(const MctLookupEvent &)>;
 
 /** Per-set table of most-recently-evicted tags. */
 class MissClassificationTable
@@ -55,7 +79,14 @@ class MissClassificationTable
     {
         const Entry &e = entries[set.value()];
         bool conflict = e.valid && e.storedTag == maskTag(tag);
-        return conflict ? MissClass::Conflict : MissClass::Capacity;
+        MissClass verdict =
+            conflict ? MissClass::Conflict : MissClass::Capacity;
+        ++setLookups_[set.value()];
+        if (conflict)
+            ++setConflicts_[set.value()];
+        if (hook_)
+            hook_({set, e.storedTag, e.valid, tag, verdict});
+        return verdict;
     }
 
     /** Convenience: classify(set, tag) == Conflict. */
@@ -102,8 +133,29 @@ class MissClassificationTable
         return entries.size() * per_entry;
     }
 
-    /** Forget everything. */
+    /** Forget everything (entries, histograms; the hook stays). */
     void clear();
+
+    // Observability --------------------------------------------------
+
+    /**
+     * Attach @p hook, called on every classify() with the consulted
+     * entry and the verdict.  Pass nullptr/empty to detach.  Intended
+     * for the obs-layer event trace; keep the callback cheap.
+     */
+    void setLookupHook(MctLookupHook hook) { hook_ = std::move(hook); }
+
+    /** Lookups (classify calls) per set, indexed by set. */
+    const std::vector<Count> &setLookupHistogram() const
+    {
+        return setLookups_;
+    }
+
+    /** Conflict verdicts per set, indexed by set. */
+    const std::vector<Count> &setConflictHistogram() const
+    {
+        return setConflicts_;
+    }
 
   private:
     struct Entry
@@ -122,6 +174,11 @@ class MissClassificationTable
     std::vector<Entry> entries;
     unsigned tagBits_;
     Addr tagMask;
+    MctLookupHook hook_;
+    // Lookup-side statistics; mutable because classify() is logically
+    // const (a pure lookup) but still counts itself.
+    mutable std::vector<Count> setLookups_;
+    mutable std::vector<Count> setConflicts_;
 };
 
 } // namespace ccm

@@ -1,5 +1,7 @@
 #include "mct/shadow.hh"
 
+#include <algorithm>
+
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -29,7 +31,8 @@ ShadowDirectory::ShadowDirectory(std::size_t num_sets, unsigned depth,
                                  unsigned tag_bits)
     : sets(num_sets), depth_(depth), tagBits(tag_bits),
       tagMask(tag_bits == 0 ? ~Addr{0} : lowMask(tag_bits)),
-      slots(num_sets * depth)
+      slots(num_sets * depth),
+      setLookups_(num_sets, 0), setConflicts_(num_sets, 0)
 {
     fatalIfError(validate(num_sets, depth, tag_bits));
 }
@@ -43,8 +46,17 @@ ShadowDirectory::maskTag(Tag tag) const
 MissClass
 ShadowDirectory::classify(SetIndex set, Tag tag) const
 {
-    return matchDepth(set, tag) != 0 ? MissClass::Conflict
-                                     : MissClass::Capacity;
+    bool conflict = matchDepth(set, tag) != 0;
+    MissClass verdict =
+        conflict ? MissClass::Conflict : MissClass::Capacity;
+    ++setLookups_[set.value()];
+    if (conflict)
+        ++setConflicts_[set.value()];
+    if (hook_) {
+        const Slot &front = row(set.value())[0];
+        hook_({set, front.tag, front.valid, tag, verdict});
+    }
+    return verdict;
 }
 
 unsigned
@@ -92,6 +104,8 @@ ShadowDirectory::clear()
 {
     for (auto &s : slots)
         s = Slot{};
+    std::fill(setLookups_.begin(), setLookups_.end(), 0);
+    std::fill(setConflicts_.begin(), setConflicts_.end(), 0);
 }
 
 } // namespace ccm

@@ -24,6 +24,7 @@
 #include "common/addr_types.hh"
 #include "common/status.hh"
 #include "common/types.hh"
+#include "mct/mct.hh"
 #include "mct/miss_class.hh"
 
 namespace ccm
@@ -47,6 +48,25 @@ class ShadowDirectory
 
     /** Classify a miss: conflict iff any remembered tag matches. */
     MissClass classify(SetIndex set, Tag tag) const;
+
+    /**
+     * Attach a lookup observer, as MissClassificationTable does; the
+     * event's storedTag is the most recent eviction in the set (the
+     * depth-1 MCT view of the row).
+     */
+    void setLookupHook(MctLookupHook hook) { hook_ = std::move(hook); }
+
+    /** Conflict verdicts per set, indexed by set. */
+    const std::vector<Count> &setConflictHistogram() const
+    {
+        return setConflicts_;
+    }
+
+    /** Lookups (classify calls) per set, indexed by set. */
+    const std::vector<Count> &setLookupHistogram() const
+    {
+        return setLookups_;
+    }
 
     /** Convenience: classify() == Conflict. */
     bool
@@ -94,6 +114,9 @@ class ShadowDirectory
     Addr tagMask;
     /** sets x depth, row-major; index 0 = most recent eviction. */
     std::vector<Slot> slots;
+    MctLookupHook hook_;
+    mutable std::vector<Count> setLookups_;
+    mutable std::vector<Count> setConflicts_;
 };
 
 } // namespace ccm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Interval time-series sampling: snapshot delta-counters every N
+ * memory references during a run, producing miss-rate /
+ * conflict-fraction / MCT-accuracy series instead of one end-of-run
+ * aggregate.  Interval-resolved statistics are what make cache
+ * studies analyzable (Byrne 2018; Bueno et al. 2024) — conflict
+ * misses cluster in phases, and aggregates hide that.
+ *
+ * Two feeding modes share one sampler:
+ *  - timing runs: attach via MemorySystem::setAccessHook and call
+ *    onAccess() with the live MemStats; finish(finalStats) flushes
+ *    the residual window.
+ *  - classification runs: feed onClassifiedReference()/onClassifiedMiss()
+ *    (e.g. from a ClassifyObserver) and call finishClassify(); the
+ *    sampler synthesizes the reference/miss counters internally and
+ *    additionally tracks per-interval oracle agreement.
+ *
+ * Invariant either way: the counter-wise sum of every sample's delta
+ * equals the final aggregate counters (tested in test_obs).
+ */
+
+#ifndef CCM_OBS_INTERVAL_HH
+#define CCM_OBS_INTERVAL_HH
+
+#include <vector>
+
+#include "hierarchy/memstats.hh"
+#include "mct/accuracy.hh"
+#include "mct/miss_class.hh"
+
+namespace ccm::obs
+{
+
+/** One sampling window: [firstRef, lastRef] and its counter deltas. */
+struct IntervalSample
+{
+    Count firstRef = 0;   ///< 1-based, inclusive
+    Count lastRef = 0;    ///< 1-based, inclusive
+    /** Counter deltas over the window (derived ratios apply). */
+    MemStats delta;
+    /** Oracle-agreement deltas (classification runs; else empty). */
+    AccuracyScorer accuracy;
+};
+
+/** Snapshots delta-counters every N references. */
+class IntervalSampler
+{
+  public:
+    /** @param every window length in memory references (>= 1) */
+    explicit IntervalSampler(Count every)
+        : every_(every == 0 ? 1 : every), nextBoundary(every_)
+    {
+    }
+
+    Count every() const { return every_; }
+
+    // ---- Timing-run channel ----------------------------------------
+
+    /**
+     * Observe the live counters after one access (wire to
+     * MemorySystem::setAccessHook).  Emits a sample whenever
+     * cur.accesses crosses a window boundary.
+     */
+    void
+    onAccess(const MemStats &cur)
+    {
+        if (cur.accesses >= nextBoundary)
+            emit(cur);
+    }
+
+    /** Flush the final partial window against the run's end state. */
+    void
+    finish(const MemStats &final_stats)
+    {
+        if (final_stats.accesses > lastSnap.accesses)
+            emit(final_stats);
+    }
+
+    // ---- Classification-run channel --------------------------------
+
+    /** One memory reference; @p miss is the real cache's outcome. */
+    void
+    onClassifiedReference(bool miss)
+    {
+        ++internal.accesses;
+        if (miss)
+            ++internal.l1Misses;
+    }
+
+    /** One classified miss, with both verdicts. */
+    void
+    onClassifiedMiss(MissClass mct, MissClass oracle)
+    {
+        if (isConflict(mct))
+            ++internal.conflictMisses;
+        else
+            ++internal.capacityMisses;
+        acc.record(mct, oracle);
+        // Boundary check here (not onClassifiedReference) so a miss's
+        // accuracy lands in the same window as the miss itself.
+        if (internal.accesses >= nextBoundary)
+            emit(internal);
+    }
+
+    /** Hit-path boundary check; call after onClassifiedReference. */
+    void
+    onClassifiedTick()
+    {
+        if (internal.accesses >= nextBoundary)
+            emit(internal);
+    }
+
+    /** Flush the final partial window of a classification run. */
+    void
+    finishClassify()
+    {
+        if (internal.accesses > lastSnap.accesses)
+            emit(internal);
+    }
+
+    const std::vector<IntervalSample> &samples() const
+    {
+        return samples_;
+    }
+
+  private:
+    void
+    emit(const MemStats &cur)
+    {
+        IntervalSample s;
+        s.firstRef = lastSnap.accesses + 1;
+        s.lastRef = cur.accesses;
+        s.delta = cur.minus(lastSnap);
+        s.accuracy = acc.minus(lastAcc);
+        samples_.push_back(s);
+        lastSnap = cur;
+        lastAcc = acc;
+        nextBoundary = cur.accesses + every_;
+    }
+
+    Count every_;
+    Count nextBoundary;       ///< next emit at or after this many refs
+    MemStats lastSnap;        ///< counters at the last boundary
+    MemStats internal;        ///< classification-channel counters
+    AccuracyScorer acc;       ///< running oracle agreement
+    AccuracyScorer lastAcc;   ///< agreement at the last boundary
+    std::vector<IntervalSample> samples_;
+};
+
+} // namespace ccm::obs
+
+#endif // CCM_OBS_INTERVAL_HH

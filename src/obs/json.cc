@@ -1,0 +1,642 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ccm::obs
+{
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.boolVal = b;
+    return v;
+}
+
+JsonValue
+JsonValue::uint(std::uint64_t u)
+{
+    JsonValue v;
+    v.kind_ = Kind::Uint;
+    v.uintVal = u;
+    return v;
+}
+
+JsonValue
+JsonValue::integer(std::int64_t i)
+{
+    if (i >= 0)
+        return uint(static_cast<std::uint64_t>(i));
+    JsonValue v;
+    v.kind_ = Kind::Int;
+    v.intVal = i;
+    return v;
+}
+
+JsonValue
+JsonValue::real(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Double;
+    v.dblVal = d;
+    return v;
+}
+
+JsonValue
+JsonValue::str(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.strVal = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool(bool fallback) const
+{
+    return kind_ == Kind::Bool ? boolVal : fallback;
+}
+
+std::uint64_t
+JsonValue::asU64(std::uint64_t fallback) const
+{
+    switch (kind_) {
+      case Kind::Uint:
+        return uintVal;
+      case Kind::Int:
+        return intVal < 0 ? fallback
+                          : static_cast<std::uint64_t>(intVal);
+      case Kind::Double:
+        return dblVal < 0 ? fallback
+                          : static_cast<std::uint64_t>(dblVal);
+      default:
+        return fallback;
+    }
+}
+
+std::int64_t
+JsonValue::asI64(std::int64_t fallback) const
+{
+    switch (kind_) {
+      case Kind::Uint:
+        return static_cast<std::int64_t>(uintVal);
+      case Kind::Int:
+        return intVal;
+      case Kind::Double:
+        return static_cast<std::int64_t>(dblVal);
+      default:
+        return fallback;
+    }
+}
+
+double
+JsonValue::asDouble(double fallback) const
+{
+    switch (kind_) {
+      case Kind::Uint:
+        return static_cast<double>(uintVal);
+      case Kind::Int:
+        return static_cast<double>(intVal);
+      case Kind::Double:
+        return dblVal;
+      default:
+        return fallback;
+    }
+}
+
+JsonValue &
+JsonValue::set(std::string key, JsonValue v)
+{
+    if (kind_ != Kind::Object) {
+        *this = object();
+    }
+    for (auto &m : objVal) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return *this;
+        }
+    }
+    objVal.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::get(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &m : objVal) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    static const JsonValue nullSentinel;
+    const JsonValue *v = get(key);
+    return v ? *v : nullSentinel;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ != Kind::Array) {
+        *this = array();
+    }
+    arrVal.push_back(std::move(v));
+    return *this;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return arrVal.size();
+    if (kind_ == Kind::Object)
+        return objVal.size();
+    return 0;
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+writeDouble(std::ostream &os, double d)
+{
+    if (!std::isfinite(d)) {
+        os << "null";   // JSON has no NaN/Inf
+        return;
+    }
+    // Round-trip-exact formatting; strip to a compact form.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    double back = std::strtod(buf, nullptr);
+    if (back == d) {
+        // Try shorter representations for readability.
+        for (int prec = 6; prec < 17; ++prec) {
+            char shorter[40];
+            std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+            if (std::strtod(shorter, nullptr) == d) {
+                os << shorter;
+                return;
+            }
+        }
+    }
+    os << buf;
+}
+
+} // namespace
+
+void
+JsonValue::writeIndented(std::ostream &os, unsigned depth) const
+{
+    auto indent = [&](unsigned d) {
+        for (unsigned i = 0; i < d; ++i)
+            os << "  ";
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (boolVal ? "true" : "false");
+        break;
+      case Kind::Uint:
+        os << uintVal;
+        break;
+      case Kind::Int:
+        os << intVal;
+        break;
+      case Kind::Double:
+        writeDouble(os, dblVal);
+        break;
+      case Kind::String:
+        os << '"' << jsonEscape(strVal) << '"';
+        break;
+      case Kind::Array: {
+        if (arrVal.empty()) {
+            os << "[]";
+            break;
+        }
+        // Scalar-only arrays print on one line (heatmap rows).
+        bool flat = true;
+        for (const auto &e : arrVal) {
+            if (e.isArray() || e.isObject()) {
+                flat = false;
+                break;
+            }
+        }
+        os << '[';
+        bool first = true;
+        for (const auto &e : arrVal) {
+            if (!first)
+                os << (flat ? ", " : ",");
+            if (!flat) {
+                os << '\n';
+                indent(depth + 1);
+            }
+            e.writeIndented(os, depth + 1);
+            first = false;
+        }
+        if (!flat) {
+            os << '\n';
+            indent(depth);
+        }
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        if (objVal.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{";
+        bool first = true;
+        for (const auto &m : objVal) {
+            if (!first)
+                os << ",";
+            os << '\n';
+            indent(depth + 1);
+            os << '"' << jsonEscape(m.first) << "\": ";
+            m.second.writeIndented(os, depth + 1);
+            first = false;
+        }
+        os << '\n';
+        indent(depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+JsonValue::write(std::ostream &os) const
+{
+    writeIndented(os, 0);
+    os << "\n";
+}
+
+std::string
+JsonValue::toString() const
+{
+    std::string out;
+    {
+        std::ostringstream ss;
+        write(ss);
+        out = ss.str();
+    }
+    return out;
+}
+
+// ---- Parser --------------------------------------------------------
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : s(text) {}
+
+    Expected<JsonValue>
+    parseDocument()
+    {
+        skipWs();
+        JsonValue v;
+        Status st = parseValue(v, 0);
+        if (!st.isOk())
+            return st;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    static constexpr unsigned maxDepth = 64;
+
+    Status
+    fail(const std::string &what) const
+    {
+        return Status::badConfig("json parse error at offset ",
+                                 std::to_string(pos), ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view w)
+    {
+        if (s.substr(pos, w.size()) == w) {
+            pos += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        char c = s[pos];
+        if (c == '{')
+            return parseObject(out, depth);
+        if (c == '[')
+            return parseArray(out, depth);
+        if (c == '"')
+            return parseString(out);
+        if (c == 't') {
+            if (!consumeWord("true"))
+                return fail("bad literal");
+            out = JsonValue::boolean(true);
+            return Status::ok();
+        }
+        if (c == 'f') {
+            if (!consumeWord("false"))
+                return fail("bad literal");
+            out = JsonValue::boolean(false);
+            return Status::ok();
+        }
+        if (c == 'n') {
+            if (!consumeWord("null"))
+                return fail("bad literal");
+            out = JsonValue::null();
+            return Status::ok();
+        }
+        return parseNumber(out);
+    }
+
+    Status
+    parseObject(JsonValue &out, unsigned depth)
+    {
+        ++pos;   // '{'
+        out = JsonValue::object();
+        skipWs();
+        if (consume('}'))
+            return Status::ok();
+        for (;;) {
+            skipWs();
+            JsonValue key;
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            Status st = parseString(key);
+            if (!st.isOk())
+                return st;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue val;
+            st = parseValue(val, depth + 1);
+            if (!st.isOk())
+                return st;
+            out.set(key.asString(), std::move(val));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status::ok();
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    Status
+    parseArray(JsonValue &out, unsigned depth)
+    {
+        ++pos;   // '['
+        out = JsonValue::array();
+        skipWs();
+        if (consume(']'))
+            return Status::ok();
+        for (;;) {
+            JsonValue val;
+            Status st = parseValue(val, depth + 1);
+            if (!st.isOk())
+                return st;
+            out.push(std::move(val));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status::ok();
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    Status
+    parseString(JsonValue &out)
+    {
+        ++pos;   // '"'
+        std::string str;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                out = JsonValue::str(std::move(str));
+                return Status::ok();
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail("unterminated escape");
+                char e = s[pos];
+                switch (e) {
+                  case '"':
+                    str += '"';
+                    break;
+                  case '\\':
+                    str += '\\';
+                    break;
+                  case '/':
+                    str += '/';
+                    break;
+                  case 'b':
+                    str += '\b';
+                    break;
+                  case 'f':
+                    str += '\f';
+                    break;
+                  case 'n':
+                    str += '\n';
+                    break;
+                  case 'r':
+                    str += '\r';
+                    break;
+                  case 't':
+                    str += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 >= s.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[pos + 1 +
+                                   static_cast<std::size_t>(i)];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |=
+                                static_cast<unsigned>(h - 'a') + 10u;
+                        else if (h >= 'A' && h <= 'F')
+                            code |=
+                                static_cast<unsigned>(h - 'A') + 10u;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    // UTF-8-encode the BMP code point (no surrogate
+                    // pairing — the stats schema never emits any).
+                    if (code < 0x80) {
+                        str += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        str += static_cast<char>(0xC0u | (code >> 6));
+                        str += static_cast<char>(0x80u |
+                                                 (code & 0x3Fu));
+                    } else {
+                        str += static_cast<char>(0xE0u | (code >> 12));
+                        str += static_cast<char>(
+                            0x80u | ((code >> 6) & 0x3Fu));
+                        str += static_cast<char>(0x80u |
+                                                 (code & 0x3Fu));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                ++pos;
+                continue;
+            }
+            str += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    Status
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos;
+        bool negative = consume('-');
+        bool isDouble = false;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            if (s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E')
+                isDouble = true;
+            ++pos;
+        }
+        if (pos == start + (negative ? 1u : 0u))
+            return fail("bad number");
+        std::string tok(s.substr(start, pos - start));
+        if (isDouble) {
+            out = JsonValue::real(std::strtod(tok.c_str(), nullptr));
+        } else if (negative) {
+            out = JsonValue::integer(
+                std::strtoll(tok.c_str(), nullptr, 10));
+        } else {
+            out = JsonValue::uint(
+                std::strtoull(tok.c_str(), nullptr, 10));
+        }
+        return Status::ok();
+    }
+
+    std::string_view s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+Expected<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace ccm::obs

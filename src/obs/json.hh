@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability layer: an
+ * insertion-ordered value tree, a pretty-printing writer, and a
+ * recursive-descent parser.
+ *
+ * This is deliberately small — just enough for the stats schema
+ * (docs/OBSERVABILITY.md): objects preserve insertion order so dumps
+ * are stable and diffable, unsigned 64-bit integers round-trip exactly
+ * (counters exceed 2^53), and parse errors come back as Status rather
+ * than exceptions so ccm-report can triage bad files with exit codes.
+ */
+
+#ifndef CCM_OBS_JSON_HH
+#define CCM_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace ccm::obs
+{
+
+/** One JSON value: null, bool, integer, double, string, array, object. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Uint,    ///< unsigned 64-bit integer (counters, addresses)
+        Int,     ///< negative integers only (parser normalizes)
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    // Scalar constructors.  Integral construction is explicit per
+    // width so -Wconversion stays quiet at call sites.
+    static JsonValue null() { return JsonValue(); }
+    static JsonValue boolean(bool b);
+    static JsonValue uint(std::uint64_t u);
+    static JsonValue integer(std::int64_t i);
+    static JsonValue real(double d);
+    static JsonValue str(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Uint || kind_ == Kind::Int ||
+               kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool(bool fallback = false) const;
+    std::uint64_t asU64(std::uint64_t fallback = 0) const;
+    std::int64_t asI64(std::int64_t fallback = 0) const;
+    double asDouble(double fallback = 0.0) const;
+    const std::string &asString() const { return strVal; }
+
+    // ---- Object access ---------------------------------------------
+    /** Set @p key (append or overwrite); converts this to an object. */
+    JsonValue &set(std::string key, JsonValue v);
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(std::string_view key) const;
+
+    /** get(), but a Null sentinel instead of nullptr. */
+    const JsonValue &at(std::string_view key) const;
+
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return objVal;
+    }
+
+    // ---- Array access ----------------------------------------------
+    /** Append an element; converts this to an array. */
+    JsonValue &push(JsonValue v);
+
+    const std::vector<JsonValue> &elements() const { return arrVal; }
+
+    /** Array/object element count; 0 for scalars. */
+    std::size_t size() const;
+
+    // ---- Serialization ---------------------------------------------
+    /** Pretty-print with 2-space indentation and a trailing newline. */
+    void write(std::ostream &os) const;
+
+    /** write() to a string. */
+    std::string toString() const;
+
+    /** Parse @p text; trailing non-whitespace is an error. */
+    static Expected<JsonValue> parse(std::string_view text);
+
+  private:
+    void writeIndented(std::ostream &os, unsigned depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool boolVal = false;
+    std::uint64_t uintVal = 0;
+    std::int64_t intVal = 0;
+    double dblVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> arrVal;
+    std::vector<std::pair<std::string, JsonValue>> objVal;
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace ccm::obs
+
+#endif // CCM_OBS_JSON_HH

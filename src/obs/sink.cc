@@ -1,0 +1,627 @@
+#include "obs/sink.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+
+namespace ccm::obs
+{
+
+const char *
+toString(StatsFormat f)
+{
+    switch (f) {
+      case StatsFormat::Text: return "text";
+      case StatsFormat::Json: return "json";
+      case StatsFormat::Csv: return "csv";
+    }
+    return "?";
+}
+
+Expected<StatsFormat>
+parseStatsFormat(std::string_view name)
+{
+    if (name == "text")
+        return StatsFormat::Text;
+    if (name == "json")
+        return StatsFormat::Json;
+    if (name == "csv")
+        return StatsFormat::Csv;
+    return Status::badConfig("unknown stats format '", name,
+                             "' (expected text, json or csv)");
+}
+
+// ---- Section builders ---------------------------------------------
+
+namespace
+{
+
+JsonValue
+countersJson(const MemStats &stats)
+{
+    JsonValue counters = JsonValue::object();
+    MemStats::forEachField([&](const char *name, Count MemStats::*f) {
+        counters.set(name, JsonValue::uint(stats.*f));
+    });
+    return counters;
+}
+
+JsonValue
+derivedJson(const MemStats &stats)
+{
+    JsonValue derived = JsonValue::object();
+    stats.forEachDerived([&](const char *name, double value) {
+        derived.set(name, JsonValue::real(value));
+    });
+    return derived;
+}
+
+} // namespace
+
+JsonValue
+memStatsToJson(const MemStats &stats)
+{
+    JsonValue mem = JsonValue::object();
+    mem.set("counters", countersJson(stats));
+    mem.set("derived", derivedJson(stats));
+    return mem;
+}
+
+JsonValue
+simResultToJson(const SimResult &sim)
+{
+    JsonValue v = JsonValue::object();
+    v.set("cycles", JsonValue::uint(sim.cycles));
+    v.set("instructions", JsonValue::uint(sim.instructions));
+    v.set("mem_refs", JsonValue::uint(sim.memRefs));
+    v.set("ipc", JsonValue::real(sim.ipc));
+    return v;
+}
+
+JsonValue
+accuracyToJson(const AccuracyScorer &scorer)
+{
+    JsonValue v = JsonValue::object();
+    JsonValue matrix = JsonValue::object();
+    matrix.set("conflict_as_conflict",
+               JsonValue::uint(scorer.conflictAsConflict()));
+    matrix.set("conflict_as_capacity",
+               JsonValue::uint(scorer.conflictAsCapacity()));
+    matrix.set("capacity_as_conflict",
+               JsonValue::uint(scorer.capacityAsConflict()));
+    matrix.set("capacity_as_capacity",
+               JsonValue::uint(scorer.capacityAsCapacity()));
+    v.set("matrix", std::move(matrix));
+    v.set("total_misses", JsonValue::uint(scorer.totalMisses()));
+    v.set("compulsory_misses",
+          JsonValue::uint(scorer.compulsoryMisses()));
+    v.set("conflict_accuracy_pct",
+          JsonValue::real(scorer.conflictAccuracy()));
+    v.set("capacity_accuracy_pct",
+          JsonValue::real(scorer.capacityAccuracy()));
+    v.set("overall_accuracy_pct",
+          JsonValue::real(scorer.overallAccuracy()));
+    v.set("conflict_fraction",
+          JsonValue::real(scorer.conflictFraction()));
+    return v;
+}
+
+namespace
+{
+
+JsonValue
+countArray(const std::vector<Count> &values)
+{
+    JsonValue a = JsonValue::array();
+    for (Count c : values)
+        a.push(JsonValue::uint(c));
+    return a;
+}
+
+Count
+setCount(const std::vector<Count> &values, std::size_t i)
+{
+    return i < values.size() ? values[i] : 0;
+}
+
+} // namespace
+
+JsonValue
+setHistogramsToJson(const SetHistograms &heat, std::size_t top_sets)
+{
+    JsonValue v = JsonValue::object();
+    v.set("sets", JsonValue::uint(heat.sets));
+    v.set("l1_misses", countArray(heat.l1Misses));
+    v.set("l1_evictions", countArray(heat.l1Evictions));
+    v.set("mct_lookups", countArray(heat.mctLookups));
+    v.set("mct_conflicts", countArray(heat.mctConflicts));
+
+    // Busiest sets by L1 misses, ties broken by set index.
+    std::vector<std::size_t> order(heat.sets);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  Count ma = setCount(heat.l1Misses, a);
+                  Count mb = setCount(heat.l1Misses, b);
+                  return ma != mb ? ma > mb : a < b;
+              });
+    if (order.size() > top_sets)
+        order.resize(top_sets);
+
+    JsonValue top = JsonValue::array();
+    for (std::size_t s : order) {
+        if (setCount(heat.l1Misses, s) == 0)
+            break; // idle sets aren't "hot"
+        JsonValue row = JsonValue::object();
+        row.set("set", JsonValue::uint(s));
+        row.set("l1_misses", JsonValue::uint(setCount(heat.l1Misses, s)));
+        row.set("l1_evictions",
+                JsonValue::uint(setCount(heat.l1Evictions, s)));
+        row.set("mct_lookups",
+                JsonValue::uint(setCount(heat.mctLookups, s)));
+        row.set("mct_conflicts",
+                JsonValue::uint(setCount(heat.mctConflicts, s)));
+        top.push(std::move(row));
+    }
+    v.set("top_sets", std::move(top));
+    return v;
+}
+
+JsonValue
+intervalsToJson(const IntervalSampler &sampler)
+{
+    JsonValue v = JsonValue::object();
+    v.set("every", JsonValue::uint(sampler.every()));
+    JsonValue samples = JsonValue::array();
+    for (const IntervalSample &s : sampler.samples()) {
+        JsonValue row = JsonValue::object();
+        row.set("first_ref", JsonValue::uint(s.firstRef));
+        row.set("last_ref", JsonValue::uint(s.lastRef));
+        row.set("counters", countersJson(s.delta));
+        row.set("derived", derivedJson(s.delta));
+        if (s.accuracy.totalMisses() > 0)
+            row.set("accuracy", accuracyToJson(s.accuracy));
+        samples.push(std::move(row));
+    }
+    v.set("samples", std::move(samples));
+    return v;
+}
+
+JsonValue
+eventsToJson(const ClassifyEventTrace &trace)
+{
+    JsonValue v = JsonValue::object();
+    v.set("sample_every", JsonValue::uint(trace.options().sampleEvery));
+    v.set("max_events", JsonValue::uint(trace.options().maxEvents));
+    v.set("seen", JsonValue::uint(trace.seen()));
+    v.set("recorded", JsonValue::uint(trace.recorded()));
+    v.set("dropped", JsonValue::uint(trace.dropped()));
+
+    Count known = 0;
+    Count agree = 0;
+    JsonValue list = JsonValue::array();
+    for (const ClassifyEvent &e : trace.events()) {
+        JsonValue row = JsonValue::object();
+        row.set("ref", JsonValue::uint(e.ref));
+        row.set("set", JsonValue::uint(e.set));
+        row.set("stored_valid", JsonValue::boolean(e.storedValid));
+        row.set("stored_tag", JsonValue::uint(e.storedTag));
+        row.set("incoming_tag", JsonValue::uint(e.incomingTag));
+        row.set("verdict", JsonValue::str(toString(e.verdict)));
+        if (e.oracleKnown) {
+            row.set("oracle", JsonValue::str(toString(e.oracle)));
+            row.set("agree", JsonValue::boolean(e.agrees()));
+            ++known;
+            if (e.agrees())
+                ++agree;
+        }
+        list.push(std::move(row));
+    }
+    JsonValue agreement = JsonValue::object();
+    agreement.set("with_oracle", JsonValue::uint(known));
+    agreement.set("agreeing", JsonValue::uint(agree));
+    v.set("agreement", std::move(agreement));
+    v.set("events", std::move(list));
+    return v;
+}
+
+// ---- Document builders --------------------------------------------
+
+namespace
+{
+
+JsonValue
+documentHeader(const char *kind)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::str(kStatsSchemaName));
+    doc.set("schema_version", JsonValue::uint(kStatsSchemaVersion));
+    doc.set("kind", JsonValue::str(kind));
+    return doc;
+}
+
+void
+fillRunBody(JsonValue &doc, const std::string &workload,
+            const RunOutput &out, const IntervalSampler *intervals,
+            const ClassifyEventTrace *events)
+{
+    doc.set("workload", JsonValue::str(workload));
+    doc.set("sim", simResultToJson(out.sim));
+    doc.set("mem", memStatsToJson(out.mem));
+    if (!out.heat.empty())
+        doc.set("heatmap", setHistogramsToJson(out.heat));
+    if (intervals && !intervals->samples().empty())
+        doc.set("intervals", intervalsToJson(*intervals));
+    if (events && events->seen() > 0)
+        doc.set("events", eventsToJson(*events));
+}
+
+} // namespace
+
+JsonValue
+runDocument(const std::string &workload, const RunOutput &out,
+            const IntervalSampler *intervals,
+            const ClassifyEventTrace *events)
+{
+    JsonValue doc = documentHeader("run");
+    fillRunBody(doc, workload, out, intervals, events);
+    return doc;
+}
+
+JsonValue
+suiteDocument(
+    const SuiteReport &report,
+    const std::function<const IntervalSampler *(const std::string &)>
+        &intervals_for)
+{
+    JsonValue doc = documentHeader("suite");
+    JsonValue rows = JsonValue::array();
+    for (const SuiteRow &r : report.rows) {
+        if (r.ok()) {
+            JsonValue row = JsonValue::object();
+            const IntervalSampler *iv =
+                intervals_for ? intervals_for(r.workload) : nullptr;
+            fillRunBody(row, r.workload, r.out, iv, nullptr);
+            rows.push(std::move(row));
+        } else {
+            JsonValue row = JsonValue::object();
+            row.set("workload", JsonValue::str(r.workload));
+            row.set("error", JsonValue::str(r.status.toString()));
+            rows.push(std::move(row));
+        }
+    }
+    doc.set("rows", std::move(rows));
+    JsonValue summary = JsonValue::object();
+    summary.set("runs", JsonValue::uint(report.rows.size()));
+    summary.set("errored", JsonValue::uint(report.failures()));
+    doc.set("summary", std::move(summary));
+    return doc;
+}
+
+JsonValue
+tableToJson(const TextTable &table)
+{
+    JsonValue v = JsonValue::object();
+    JsonValue headers = JsonValue::array();
+    for (std::size_t c = 0; c < table.cols(); ++c)
+        headers.push(JsonValue::str(table.header(c)));
+    v.set("headers", std::move(headers));
+    JsonValue rows = JsonValue::array();
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        JsonValue row = JsonValue::array();
+        for (std::size_t c = 0; c < table.cols(); ++c)
+            row.push(JsonValue::str(table.cell(r, c)));
+        rows.push(std::move(row));
+    }
+    v.set("rows", std::move(rows));
+    return v;
+}
+
+JsonValue
+benchDocument(const std::string &bench_name, const TextTable &table,
+              const std::string &note)
+{
+    JsonValue doc = documentHeader("bench");
+    doc.set("bench", JsonValue::str(bench_name));
+    if (!note.empty())
+        doc.set("note", JsonValue::str(note));
+    doc.set("table", tableToJson(table));
+    return doc;
+}
+
+Expected<std::string>
+writeBenchJson(const std::string &bench_name, const TextTable &table,
+               const std::string &note)
+{
+    std::string dir = ".";
+    if (const char *env = std::getenv("CCM_BENCH_JSON_DIR"))
+        dir = env;
+    std::string path = dir + "/BENCH_" + bench_name + ".json";
+    Status s = writeDocumentToFile(path, benchDocument(bench_name,
+                                                       table, note),
+                                   StatsFormat::Json);
+    if (!s.isOk())
+        return s;
+    return path;
+}
+
+// ---- Writers ------------------------------------------------------
+
+namespace
+{
+
+/** One-line rendering of a scalar (strings unquoted). */
+std::string
+scalarText(const JsonValue &v)
+{
+    if (v.isString())
+        return v.asString();
+    std::string s = v.toString();
+    while (!s.empty() && s.back() == '\n')
+        s.pop_back();
+    return s;
+}
+
+template <typename Fn>
+void
+flatten(const JsonValue &v, const std::string &path, Fn &&fn)
+{
+    if (v.isObject()) {
+        for (const auto &[key, child] : v.members()) {
+            flatten(child, path.empty() ? key : path + "." + key, fn);
+        }
+    } else if (v.isArray()) {
+        std::size_t i = 0;
+        for (const JsonValue &child : v.elements()) {
+            flatten(child, path + "." + std::to_string(i), fn);
+            ++i;
+        }
+    } else {
+        fn(path, v);
+    }
+}
+
+std::string
+csvQuote(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+writeDocument(std::ostream &os, const JsonValue &doc, StatsFormat format)
+{
+    switch (format) {
+      case StatsFormat::Json:
+        doc.write(os);
+        return;
+      case StatsFormat::Text:
+        flatten(doc, "", [&](const std::string &path, const JsonValue &v) {
+            os << path << " " << scalarText(v) << "\n";
+        });
+        return;
+      case StatsFormat::Csv:
+        os << "stat,value\n";
+        flatten(doc, "", [&](const std::string &path, const JsonValue &v) {
+            os << csvQuote(path) << "," << csvQuote(scalarText(v))
+               << "\n";
+        });
+        return;
+    }
+}
+
+Status
+writeDocumentToFile(const std::string &path, const JsonValue &doc,
+                    StatsFormat format)
+{
+    if (path == "-") {
+        writeDocument(std::cout, doc, format);
+        return Status::ok();
+    }
+    std::ofstream os(path);
+    if (!os)
+        return Status::ioError("cannot open '", path, "' for writing");
+    writeDocument(os, doc, format);
+    os.flush();
+    if (!os)
+        return Status::ioError("write to '", path, "' failed");
+    return Status::ok();
+}
+
+// ---- Validation ---------------------------------------------------
+
+namespace
+{
+
+Status
+checkHeatmap(const JsonValue &heat)
+{
+    if (!heat.isObject())
+        return Status::badConfig("heatmap is not an object");
+    const std::uint64_t sets = heat.at("sets").asU64();
+    for (const char *key :
+         {"l1_misses", "l1_evictions", "mct_lookups", "mct_conflicts"}) {
+        const JsonValue &arr = heat.at(key);
+        if (!arr.isArray())
+            return Status::badConfig("heatmap.", key,
+                                     " is not an array");
+        if (arr.size() != sets)
+            return Status::badConfig(
+                "heatmap.", key, " has ", arr.size(),
+                " entries but heatmap.sets is ", sets);
+    }
+    if (!heat.at("top_sets").isArray())
+        return Status::badConfig("heatmap.top_sets is not an array");
+    return Status::ok();
+}
+
+Status
+checkIntervals(const JsonValue &intervals, const JsonValue &counters)
+{
+    if (!intervals.isObject())
+        return Status::badConfig("intervals is not an object");
+    const JsonValue &samples = intervals.at("samples");
+    if (!samples.isArray())
+        return Status::badConfig("intervals.samples is not an array");
+
+    // Windows must tile [1, last] contiguously...
+    std::uint64_t prev_last = 0;
+    for (const JsonValue &s : samples.elements()) {
+        const std::uint64_t first = s.at("first_ref").asU64();
+        const std::uint64_t last = s.at("last_ref").asU64();
+        if (first != prev_last + 1 || last < first)
+            return Status::badConfig(
+                "interval windows are not contiguous at ref ", first);
+        prev_last = last;
+    }
+
+    // ... and the counter-wise sum of the deltas must equal the final
+    // aggregates.  This is the invariant that makes the time series
+    // trustworthy: nothing sampled twice, nothing lost.
+    for (const auto &[name, aggregate] : counters.members()) {
+        std::uint64_t sum = 0;
+        for (const JsonValue &s : samples.elements())
+            sum += s.at("counters").at(name).asU64();
+        if (sum != aggregate.asU64())
+            return Status::badConfig(
+                "interval deltas for '", name, "' sum to ", sum,
+                " but the aggregate is ", aggregate.asU64());
+    }
+    return Status::ok();
+}
+
+Status
+checkEvents(const JsonValue &events)
+{
+    if (!events.isObject())
+        return Status::badConfig("events is not an object");
+    const JsonValue &list = events.at("events");
+    if (!list.isArray())
+        return Status::badConfig("events.events is not an array");
+    const std::uint64_t recorded = events.at("recorded").asU64();
+    const std::uint64_t seen = events.at("seen").asU64();
+    if (list.size() != recorded)
+        return Status::badConfig("events.recorded is ", recorded,
+                                 " but ", list.size(),
+                                 " events are present");
+    if (recorded > seen)
+        return Status::badConfig("events.recorded exceeds events.seen");
+    return Status::ok();
+}
+
+Status
+checkRunBody(const JsonValue &doc)
+{
+    if (!doc.at("workload").isString())
+        return Status::badConfig("missing workload name");
+    const JsonValue &mem = doc.at("mem");
+    if (!mem.isObject())
+        return Status::badConfig("missing mem section");
+    const JsonValue &counters = mem.at("counters");
+    if (!counters.isObject() || counters.size() == 0)
+        return Status::badConfig("missing mem.counters");
+    if (!mem.at("derived").isObject())
+        return Status::badConfig("missing mem.derived");
+
+    if (const JsonValue *heat = doc.get("heatmap")) {
+        Status s = checkHeatmap(*heat);
+        if (!s.isOk())
+            return s;
+    }
+    if (const JsonValue *intervals = doc.get("intervals")) {
+        Status s = checkIntervals(*intervals, counters);
+        if (!s.isOk())
+            return s;
+    }
+    if (const JsonValue *events = doc.get("events")) {
+        Status s = checkEvents(*events);
+        if (!s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+validateStatsDoc(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return Status::badConfig("stats document is not a JSON object");
+    if (doc.at("schema").asString() != kStatsSchemaName)
+        return Status::badConfig("not a ", kStatsSchemaName,
+                                 " document");
+    const std::uint64_t version = doc.at("schema_version").asU64();
+    if (version != kStatsSchemaVersion)
+        return Status::unsupported("schema_version ", version,
+                                   " (this build understands ",
+                                   kStatsSchemaVersion, ")");
+
+    const std::string &kind = doc.at("kind").asString();
+    if (kind == "run")
+        return checkRunBody(doc).withContext("run document");
+    if (kind == "bench") {
+        const JsonValue &table = doc.at("table");
+        const JsonValue &headers = table.at("headers");
+        if (!headers.isArray() || headers.size() == 0)
+            return Status::badConfig(
+                "bench document: missing table.headers");
+        const JsonValue &rows = table.at("rows");
+        if (!rows.isArray())
+            return Status::badConfig(
+                "bench document: missing table.rows");
+        std::size_t i = 0;
+        for (const JsonValue &row : rows.elements()) {
+            if (!row.isArray() || row.size() != headers.size())
+                return Status::badConfig(
+                    "bench document: row ", i, " has ", row.size(),
+                    " cells but there are ", headers.size(),
+                    " headers");
+            ++i;
+        }
+        return Status::ok();
+    }
+    if (kind == "suite") {
+        const JsonValue &rows = doc.at("rows");
+        if (!rows.isArray())
+            return Status::badConfig("suite document: missing rows");
+        std::uint64_t errored = 0;
+        std::size_t i = 0;
+        for (const JsonValue &row : rows.elements()) {
+            if (row.get("error")) {
+                ++errored;
+            } else {
+                Status s = checkRunBody(row);
+                if (!s.isOk())
+                    return s.withContext("suite row " +
+                                         std::to_string(i));
+            }
+            ++i;
+        }
+        const JsonValue *summary = doc.get("summary");
+        if (!summary)
+            return Status::badConfig("suite document: missing summary");
+        if (summary->at("runs").asU64() != rows.size())
+            return Status::badConfig(
+                "suite summary.runs disagrees with rows");
+        if (summary->at("errored").asU64() != errored)
+            return Status::badConfig(
+                "suite summary.errored disagrees with rows");
+        return Status::ok();
+    }
+    return Status::badConfig("unknown document kind '", kind, "'");
+}
+
+} // namespace ccm::obs

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Stats sink: one schema-versioned document path from simulation
+ * results (MemStats, SimResult, MCT accuracy, per-set heatmaps,
+ * interval series, event traces) to text, JSON, or CSV output.
+ *
+ * Everything serializes through a JsonValue document built by the
+ * builders below; the text and CSV writers are flattenings of that
+ * same document, so the three formats can never disagree about names
+ * or values.  Field names come from MemStats::forEachField /
+ * forEachDerived — the sink never invents counter names.
+ *
+ * Schema (docs/OBSERVABILITY.md): every document carries
+ *   "schema": "ccm-stats", "schema_version": kStatsSchemaVersion,
+ *   "kind": "run" | "suite"
+ * and validateStatsDoc() checks structural invariants (including
+ * sum-of-interval-deltas == final aggregates) for both the tests and
+ * `ccm-report --check`.
+ */
+
+#ifndef CCM_OBS_SINK_HH
+#define CCM_OBS_SINK_HH
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hh"
+#include "common/table.hh"
+#include "mct/accuracy.hh"
+#include "obs/events.hh"
+#include "obs/interval.hh"
+#include "obs/json.hh"
+#include "sim/experiment.hh"
+
+namespace ccm::obs
+{
+
+/** Version stamped into every document; bump on breaking changes. */
+inline constexpr std::uint64_t kStatsSchemaVersion = 1;
+
+/** Document identifier stamped into every document. */
+inline constexpr const char *kStatsSchemaName = "ccm-stats";
+
+/** Output encodings the sink can write. */
+enum class StatsFormat
+{
+    Text, ///< flattened "path value" lines
+    Json, ///< the document itself
+    Csv,  ///< flattened "path,value" lines with a header row
+};
+
+/** @return "text" / "json" / "csv". */
+const char *toString(StatsFormat f);
+
+/** Parse a --stats-format argument ("text" | "json" | "csv"). */
+Expected<StatsFormat> parseStatsFormat(std::string_view name);
+
+// ---- Section builders ---------------------------------------------
+
+/** {"counters": {...}, "derived": {...}} via forEachField/Derived. */
+JsonValue memStatsToJson(const MemStats &stats);
+
+/** {"cycles", "instructions", "mem_refs", "ipc"}. */
+JsonValue simResultToJson(const SimResult &sim);
+
+/** Confusion matrix + accuracy percentages. */
+JsonValue accuracyToJson(const AccuracyScorer &scorer);
+
+/**
+ * Heatmap section: per-set arrays plus a "top_sets" digest of the
+ * @p top_sets busiest sets by L1 misses (ties broken by set index).
+ */
+JsonValue setHistogramsToJson(const SetHistograms &heat,
+                              std::size_t top_sets = 8);
+
+/** Interval time-series section: {"every", "samples": [...]}. */
+JsonValue intervalsToJson(const IntervalSampler &sampler);
+
+/** Event-trace section: rate-limit totals + the recorded events. */
+JsonValue eventsToJson(const ClassifyEventTrace &trace);
+
+// ---- Document builders --------------------------------------------
+
+/**
+ * Build a kind:"run" document for one finished timing run.
+ * @p intervals and @p events are optional sections (nullptr = omit;
+ * an empty sampler/trace is also omitted).  Callers may set() extra
+ * top-level fields (e.g. "config") afterwards.
+ */
+JsonValue runDocument(const std::string &workload, const RunOutput &out,
+                      const IntervalSampler *intervals = nullptr,
+                      const ClassifyEventTrace *events = nullptr);
+
+/**
+ * Build a kind:"suite" document.  Errored rows become
+ * {"workload", "error"} stubs; @p intervals_for (optional) maps a
+ * workload name to its sampler, nullptr meaning none.
+ */
+JsonValue suiteDocument(
+    const SuiteReport &report,
+    const std::function<const IntervalSampler *(const std::string &)>
+        &intervals_for = {});
+
+/** {"headers": [...], "rows": [[...], ...]} from a result table. */
+JsonValue tableToJson(const TextTable &table);
+
+/**
+ * Build a kind:"bench" document wrapping one result table of a
+ * benchmark binary (the figure/table rows it prints).
+ */
+JsonValue benchDocument(const std::string &bench_name,
+                        const TextTable &table,
+                        const std::string &note = "");
+
+/**
+ * Write @p bench_name's result table as BENCH_<bench_name>.json into
+ * $CCM_BENCH_JSON_DIR (falling back to the working directory), so a
+ * bench run leaves a machine-readable record next to its stdout.
+ * @return the path written, or why it couldn't be.
+ */
+Expected<std::string> writeBenchJson(const std::string &bench_name,
+                                     const TextTable &table,
+                                     const std::string &note = "");
+
+// ---- Writers ------------------------------------------------------
+
+/** Write @p doc to @p os in @p format. */
+void writeDocument(std::ostream &os, const JsonValue &doc,
+                   StatsFormat format);
+
+/** writeDocument to @p path ("-" = stdout). */
+Status writeDocumentToFile(const std::string &path, const JsonValue &doc,
+                           StatsFormat format);
+
+// ---- Validation ---------------------------------------------------
+
+/**
+ * Check that @p doc is a well-formed ccm-stats document: schema name
+ * and version, kind, required sections, heatmap array lengths, and —
+ * when an intervals section is present — that the counter-wise sum of
+ * every sample's deltas equals the aggregate counters.  Suite
+ * documents are checked row by row.
+ */
+Status validateStatsDoc(const JsonValue &doc);
+
+} // namespace ccm::obs
+
+#endif // CCM_OBS_SINK_HH

@@ -10,22 +10,27 @@ namespace ccm
 {
 
 RunOutput
-runTiming(TraceSource &trace, const SystemConfig &config)
+runTiming(TraceSource &trace, const SystemConfig &config,
+          const MemSysInstrument &instrument)
 {
     MemorySystem mem(config.mem);
+    if (instrument)
+        instrument(mem);
     Core core(config.core);
     RunOutput out;
     out.sim = core.run(trace, mem);
     out.mem = mem.stats();
+    out.heat = mem.setHistograms();
     return out;
 }
 
 Expected<RunOutput>
-tryRunTiming(TraceSource &trace, const SystemConfig &config)
+tryRunTiming(TraceSource &trace, const SystemConfig &config,
+             const MemSysInstrument &instrument)
 {
     try {
         ScopedFatalThrow guard;
-        return runTiming(trace, config);
+        return runTiming(trace, config, instrument);
     } catch (const FatalError &e) {
         return Status::badConfig(e.what());
     } catch (const std::exception &e) {
@@ -45,7 +50,8 @@ SuiteReport::row(const std::string &name) const
 
 SuiteReport
 runSuite(const std::vector<std::string> &names,
-         const SuiteTraceFactory &factory, const SystemConfig &config)
+         const SuiteTraceFactory &factory, const SystemConfig &config,
+         const SuiteInstrument &instrument)
 {
     SuiteReport report;
     report.rows.reserve(names.size());
@@ -72,8 +78,14 @@ runSuite(const std::vector<std::string> &names,
             row.status = Status::internal(
                 "trace factory returned null for '", name, "'");
         } else {
+            MemSysInstrument per_run;
+            if (instrument) {
+                per_run = [&](MemorySystem &m) {
+                    instrument(name, m);
+                };
+            }
             Expected<RunOutput> run =
-                tryRunTiming(*trace.value(), config);
+                tryRunTiming(*trace.value(), config, per_run);
             if (run.ok()) {
                 row.out = run.take();
             } else {

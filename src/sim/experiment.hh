@@ -34,10 +34,21 @@ struct RunOutput
 {
     SimResult sim;
     MemStats mem;
+    /** Per-set activity histograms (heatmap source). */
+    SetHistograms heat;
 };
 
+/**
+ * Callback run against the freshly built machine before the timing
+ * loop starts — the place to attach observability hooks (access
+ * hooks, MCT lookup hooks) to internals that only exist during the
+ * run.
+ */
+using MemSysInstrument = std::function<void(MemorySystem &)>;
+
 /** Run @p trace (reset first) on a machine built from @p config. */
-RunOutput runTiming(TraceSource &trace, const SystemConfig &config);
+RunOutput runTiming(TraceSource &trace, const SystemConfig &config,
+                    const MemSysInstrument &instrument = {});
 
 /**
  * Like runTiming, but recoverable: a bad configuration (or any other
@@ -45,7 +56,8 @@ RunOutput runTiming(TraceSource &trace, const SystemConfig &config);
  * machine) comes back as an error status instead of exiting.
  */
 Expected<RunOutput> tryRunTiming(TraceSource &trace,
-                                 const SystemConfig &config);
+                                 const SystemConfig &config,
+                                 const MemSysInstrument &instrument = {});
 
 /** Speedup of @p test over @p base (cycles ratio). */
 double speedup(const RunOutput &base, const RunOutput &test);
@@ -91,6 +103,13 @@ using SuiteTraceFactory = std::function<
     Expected<std::unique_ptr<TraceSource>>(const std::string &name)>;
 
 /**
+ * Per-run instrumentation for suite sweeps: called with the workload
+ * name and the machine about to run it.
+ */
+using SuiteInstrument =
+    std::function<void(const std::string &name, MemorySystem &)>;
+
+/**
  * Sweep @p config over every workload in @p names, isolating
  * failures: a run whose trace can't be produced or whose simulation
  * dies on a user error is recorded as an errored row and the rest of
@@ -98,7 +117,8 @@ using SuiteTraceFactory = std::function<
  */
 SuiteReport runSuite(const std::vector<std::string> &names,
                      const SuiteTraceFactory &factory,
-                     const SystemConfig &config);
+                     const SystemConfig &config,
+                     const SuiteInstrument &instrument = {});
 
 /** runSuite over the synthetic workload registry. */
 SuiteReport runSuite(const std::vector<std::string> &names,

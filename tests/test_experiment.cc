@@ -116,13 +116,22 @@ TEST(Experiment, StatsDumpFormat)
     EXPECT_NE(s.find("test.accesses 2000"), std::string::npos);
     EXPECT_NE(s.find("test.l1_hits "), std::string::npos);
     EXPECT_NE(s.find("test.swaps "), std::string::npos);
-    // One line per counter, all prefixed.
+    // Derived ratios ride along with the raw counters.
+    EXPECT_NE(s.find("test.l1_hit_rate_pct "), std::string::npos);
+    EXPECT_NE(s.find("test.miss_rate_pct "), std::string::npos);
+    // One line per counter plus one per derived ratio, all prefixed.
+    std::size_t counters = 0;
+    MemStats::forEachField([&](const char *, Count MemStats::*) {
+        ++counters;
+    });
+    std::size_t derived = 0;
+    r.mem.forEachDerived([&](const char *, double) { ++derived; });
     std::size_t lines = 0, pos = 0;
     while ((pos = s.find('\n', pos)) != std::string::npos) {
         ++lines;
         ++pos;
     }
-    EXPECT_EQ(lines, 25u);
+    EXPECT_EQ(lines, counters + derived);
 }
 
 TEST(Experiment, TryRunTimingMatchesRunTiming)

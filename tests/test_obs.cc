@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Observability layer: JSON model, the stats document schema, interval
+ * delta-correctness, per-set heatmaps, event tracing, and the
+ * StatGroup/MemStats naming unification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hierarchy/memsys.hh"
+#include "mct/classify_run.hh"
+#include "obs/events.hh"
+#include "obs/interval.hh"
+#include "obs/json.hh"
+#include "obs/sink.hh"
+#include "sim/experiment.hh"
+#include "trace/vector_trace.hh"
+#include "workloads/registry.hh"
+
+using namespace ccm;
+using obs::JsonValue;
+
+namespace
+{
+
+/** A small real timing run with observers attached. */
+RunOutput
+observedRun(obs::IntervalSampler *sampler,
+            obs::ClassifyEventTrace *events,
+            const SystemConfig &cfg = baselineConfig(),
+            std::size_t refs = 5000)
+{
+    auto wl = makeWorkload("go", refs, 7);
+    VectorTrace trace = VectorTrace::capture(*wl);
+    RunOutput r = runTiming(trace, cfg, [&](MemorySystem &mem) {
+        mem.setAccessHook(
+            [sampler, events](const AccessResult &, const MemStats &st) {
+                if (events)
+                    events->noteReference();
+                if (sampler)
+                    sampler->onAccess(st);
+            });
+        if (events)
+            mem.mct().setLookupHook(events->hook());
+    });
+    if (sampler)
+        sampler->finish(r.mem);
+    return r;
+}
+
+/**
+ * Alternating same-set, different-tag loads: with a direct-mapped
+ * cache every access past the second is a miss whose evicted tag
+ * matches the incoming one — the canonical conflict pattern.
+ */
+VectorTrace
+pingPongTrace(std::size_t pairs, std::size_t cache_bytes = 16 * 1024)
+{
+    VectorTrace t("pingpong", {});
+    for (std::size_t i = 0; i < pairs; ++i) {
+        t.pushLoad(0);
+        t.pushLoad(static_cast<Addr>(cache_bytes));
+    }
+    return t;
+}
+
+} // namespace
+
+// ---- JSON model ----------------------------------------------------
+
+TEST(ObsJson, ScalarRoundTrip)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("u", JsonValue::uint(18446744073709551615ull));
+    doc.set("i", JsonValue::integer(-42));
+    doc.set("d", JsonValue::real(0.1));
+    doc.set("b", JsonValue::boolean(true));
+    doc.set("n", JsonValue::null());
+    doc.set("s", JsonValue::str("hi \"there\"\n\tü"));
+
+    auto parsed = JsonValue::parse(doc.toString());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const JsonValue &p = parsed.value();
+    EXPECT_EQ(p.at("u").asU64(), 18446744073709551615ull);
+    EXPECT_EQ(p.at("i").asI64(), -42);
+    EXPECT_DOUBLE_EQ(p.at("d").asDouble(), 0.1);
+    EXPECT_TRUE(p.at("b").asBool());
+    EXPECT_TRUE(p.at("n").isNull());
+    EXPECT_EQ(p.at("s").asString(), "hi \"there\"\n\tü");
+    // A second serialize must be byte-identical (stable ordering).
+    EXPECT_EQ(p.toString(), doc.toString());
+}
+
+TEST(ObsJson, ParseErrorsAreStatusNotDeath)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "tru", "\"\\q\"", "1 2",
+          "{\"a\":1,}"}) {
+        auto r = JsonValue::parse(bad);
+        EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+    }
+}
+
+TEST(ObsJson, ObjectSetOverwritesInPlace)
+{
+    JsonValue o = JsonValue::object();
+    o.set("a", JsonValue::uint(1));
+    o.set("b", JsonValue::uint(2));
+    o.set("a", JsonValue::uint(3));
+    ASSERT_EQ(o.size(), 2u);
+    EXPECT_EQ(o.members()[0].first, "a");
+    EXPECT_EQ(o.at("a").asU64(), 3u);
+}
+
+// ---- Schema golden -------------------------------------------------
+
+TEST(ObsSchema, RunDocumentGolden)
+{
+    obs::IntervalSampler sampler(1000);
+    RunOutput r = observedRun(&sampler, nullptr);
+    JsonValue doc = obs::runDocument("go", r, &sampler);
+
+    // Golden header: these are the pinned on-disk values.  If this
+    // test breaks, readers of old files break too — bump
+    // kStatsSchemaVersion instead of silently changing the schema.
+    EXPECT_EQ(doc.at("schema").asString(), "ccm-stats");
+    EXPECT_EQ(doc.at("schema_version").asU64(), 1u);
+    EXPECT_EQ(doc.at("kind").asString(), "run");
+    EXPECT_EQ(doc.at("workload").asString(), "go");
+
+    // Required sections, by their exact names.
+    for (const char *key : {"sim", "mem", "heatmap", "intervals"})
+        EXPECT_TRUE(doc.at(key).isObject()) << key;
+    for (const char *key : {"cycles", "instructions", "mem_refs", "ipc"})
+        EXPECT_FALSE(doc.at("sim").at(key).isNull()) << key;
+
+    // Every MemStats counter and derived ratio appears under its
+    // canonical name.
+    const JsonValue &counters = doc.at("mem").at("counters");
+    MemStats::forEachField([&](const char *name, Count MemStats::*) {
+        EXPECT_FALSE(counters.at(name).isNull()) << name;
+    });
+    const JsonValue &derived = doc.at("mem").at("derived");
+    r.mem.forEachDerived([&](const char *name, double) {
+        EXPECT_FALSE(derived.at(name).isNull()) << name;
+    });
+
+    // And the whole thing validates.
+    Status s = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(s.isOk()) << s.toString();
+
+    // It still validates after a JSON round trip (on-disk form).
+    auto reparsed = JsonValue::parse(doc.toString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_TRUE(obs::validateStatsDoc(reparsed.value()).isOk());
+}
+
+TEST(ObsSchema, ValidatorRejectsTampering)
+{
+    obs::IntervalSampler sampler(1000);
+    RunOutput r = observedRun(&sampler, nullptr);
+    JsonValue doc = obs::runDocument("go", r, &sampler);
+
+    JsonValue wrong_version = doc;
+    wrong_version.set("schema_version", JsonValue::uint(99));
+    EXPECT_EQ(obs::validateStatsDoc(wrong_version).code(),
+              ErrorCode::Unsupported);
+
+    JsonValue wrong_schema = doc;
+    wrong_schema.set("schema", JsonValue::str("not-stats"));
+    EXPECT_FALSE(obs::validateStatsDoc(wrong_schema).isOk());
+
+    // Lost counters: the interval deltas no longer sum to the
+    // aggregates.
+    JsonValue torn = doc;
+    JsonValue mem = torn.at("mem");
+    JsonValue counters = mem.at("counters");
+    counters.set("accesses",
+                 JsonValue::uint(counters.at("accesses").asU64() + 1));
+    mem.set("counters", std::move(counters));
+    torn.set("mem", std::move(mem));
+    Status s = obs::validateStatsDoc(torn);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_NE(s.message().find("accesses"), std::string::npos);
+}
+
+// ---- Interval sampling ---------------------------------------------
+
+TEST(ObsInterval, TimingDeltasSumToAggregates)
+{
+    obs::IntervalSampler sampler(700); // deliberately not a divisor
+    RunOutput r = observedRun(&sampler, nullptr, victimConfig(true, true));
+
+    ASSERT_GE(sampler.samples().size(), 2u);
+
+    // Counter-wise: sum of every window's delta == final aggregate.
+    MemStats sum;
+    for (const auto &s : sampler.samples()) {
+        MemStats::forEachField([&](const char *, Count MemStats::*f) {
+            sum.*f += s.delta.*f;
+        });
+    }
+    MemStats::forEachField([&](const char *name, Count MemStats::*f) {
+        EXPECT_EQ(sum.*f, r.mem.*f) << name;
+    });
+
+    // Windows tile [1, accesses] contiguously.
+    Count prev_last = 0;
+    for (const auto &s : sampler.samples()) {
+        EXPECT_EQ(s.firstRef, prev_last + 1);
+        EXPECT_GE(s.lastRef, s.firstRef);
+        prev_last = s.lastRef;
+    }
+    EXPECT_EQ(prev_last, r.mem.accesses);
+}
+
+TEST(ObsInterval, ClassifyChannelTracksAccuracy)
+{
+    VectorTrace trace = pingPongTrace(50);
+    obs::IntervalSampler sampler(13);
+    obs::ClassifyObservation watch(&sampler, nullptr);
+    ClassifyConfig cfg;
+    cfg.observer = &watch;
+    ClassifyResult res = classifyRun(trace, cfg);
+    sampler.finishClassify();
+
+    Count refs = 0, misses = 0, scored = 0;
+    for (const auto &s : sampler.samples()) {
+        refs += s.delta.accesses;
+        misses += s.delta.l1Misses;
+        scored += s.accuracy.totalMisses();
+    }
+    EXPECT_EQ(refs, res.references);
+    EXPECT_EQ(misses, res.misses);
+    EXPECT_EQ(scored, res.scorer.totalMisses());
+}
+
+// ---- Per-set heatmaps ----------------------------------------------
+
+TEST(ObsHeatmap, HistogramTotalsMatchAggregates)
+{
+    RunOutput r = observedRun(nullptr, nullptr);
+    ASSERT_FALSE(r.heat.empty());
+    EXPECT_EQ(r.heat.l1Misses.size(), r.heat.sets);
+
+    Count miss_sum = 0, evict_sum = 0, lookup_sum = 0, conf_sum = 0;
+    for (std::size_t s = 0; s < r.heat.sets; ++s) {
+        miss_sum += r.heat.l1Misses[s];
+        evict_sum += r.heat.l1Evictions[s];
+        lookup_sum += r.heat.mctLookups[s];
+        conf_sum += r.heat.mctConflicts[s];
+    }
+    EXPECT_EQ(miss_sum, r.mem.l1Misses);
+    EXPECT_LE(evict_sum, miss_sum); // cold fills don't evict
+    EXPECT_EQ(lookup_sum, r.mem.conflictMisses + r.mem.capacityMisses);
+    EXPECT_EQ(conf_sum, r.mem.conflictMisses);
+}
+
+TEST(ObsHeatmap, PingPongConcentratesInOneSet)
+{
+    VectorTrace trace = pingPongTrace(100);
+    RunOutput r = runTiming(trace, baselineConfig());
+    ASSERT_FALSE(r.heat.empty());
+    // All the traffic maps to set 0; every other set stays cold.
+    EXPECT_GT(r.heat.l1Misses[0], 0u);
+    for (std::size_t s = 1; s < r.heat.sets; ++s)
+        EXPECT_EQ(r.heat.l1Misses[s], 0u) << "set " << s;
+
+    JsonValue heat = obs::setHistogramsToJson(r.heat);
+    ASSERT_GE(heat.at("top_sets").size(), 1u);
+    EXPECT_EQ(heat.at("top_sets").elements()[0].at("set").asU64(), 0u);
+}
+
+// ---- Event tracing -------------------------------------------------
+
+TEST(ObsEvents, CountsAndVerdictsUnderKnownConflictTrace)
+{
+    constexpr std::size_t pairs = 10;
+    VectorTrace trace = pingPongTrace(pairs);
+    obs::ClassifyEventTrace events;
+    obs::ClassifyObservation watch(nullptr, &events);
+    ClassifyConfig cfg;
+    cfg.observer = &watch;
+    cfg.lookupHook = events.hook();
+    ClassifyResult res = classifyRun(trace, cfg);
+
+    // Every access misses, every miss is one MCT lookup.
+    ASSERT_EQ(res.misses, 2 * pairs);
+    EXPECT_EQ(events.seen(), res.misses);
+    EXPECT_EQ(events.recorded(), res.misses);
+    EXPECT_EQ(events.dropped(), 0u);
+
+    // First two lookups find an empty table; after that the evicted
+    // tag always matches the incoming one.
+    const auto &evs = events.events();
+    ASSERT_EQ(evs.size(), 2 * pairs);
+    EXPECT_FALSE(evs[0].storedValid);
+    EXPECT_EQ(evs[0].verdict, MissClass::Capacity);
+    EXPECT_FALSE(evs[1].storedValid);
+    for (std::size_t i = 2; i < evs.size(); ++i) {
+        EXPECT_TRUE(evs[i].storedValid) << i;
+        EXPECT_EQ(evs[i].verdict, MissClass::Conflict) << i;
+        EXPECT_EQ(evs[i].set, 0u);
+        EXPECT_EQ(evs[i].storedTag, evs[i].incomingTag) << i;
+        // classifyRun wires the oracle verdict back onto the event.
+        EXPECT_TRUE(evs[i].oracleKnown) << i;
+        EXPECT_TRUE(evs[i].agrees()) << i;
+    }
+    // Events are stamped with their 1-based reference index.
+    EXPECT_EQ(evs[0].ref, 1u);
+    EXPECT_EQ(evs.back().ref, 2 * pairs);
+}
+
+TEST(ObsEvents, RateLimitAndCap)
+{
+    VectorTrace trace = pingPongTrace(30); // 60 lookups
+    obs::EventTraceOptions opt;
+    opt.sampleEvery = 3;
+    opt.maxEvents = 5;
+    obs::ClassifyEventTrace events(opt);
+    ClassifyConfig cfg;
+    cfg.lookupHook = events.hook();
+    classifyRun(trace, cfg);
+
+    EXPECT_EQ(events.seen(), 60u);
+    EXPECT_EQ(events.recorded(), 5u);
+    EXPECT_EQ(events.dropped(), 55u);
+    EXPECT_EQ(events.events().size(), 5u);
+}
+
+// ---- StatGroup unification -----------------------------------------
+
+TEST(ObsStats, ExternalCountersShareOneNamingMechanism)
+{
+    MemStats stats;
+    stats.accesses = 10;
+    stats.l1Misses = 3;
+
+    StatGroup group("mem");
+    group.addExternal("probe", &stats.l1Misses);
+    Counter &owned = group.add("owned");
+    ++owned;
+    stats.registerCounters(group);
+
+    std::size_t n_fields = 0;
+    MemStats::forEachField(
+        [&](const char *, Count MemStats::*) { ++n_fields; });
+    EXPECT_EQ(group.numStats(), n_fields + 2);
+
+    // External counters track live mutations of the owner...
+    stats.l1Misses = 7;
+    StatSnapshot snap = group.snapshot();
+    ASSERT_EQ(snap.size(), n_fields + 2);
+    EXPECT_EQ(snap[0].name, "probe");
+    EXPECT_EQ(snap[0].value, 7u);
+    EXPECT_EQ(snap[1].name, "owned");
+    EXPECT_EQ(snap[1].value, 1u);
+    EXPECT_EQ(snap[2].name, "accesses");
+    EXPECT_EQ(snap[2].value, 10u);
+
+    // ... and resetAll touches only owned storage.
+    group.resetAll();
+    StatSnapshot after = group.snapshot();
+    EXPECT_EQ(after[0].value, 7u);
+    EXPECT_EQ(after[1].value, 0u);
+    EXPECT_EQ(after[2].value, 10u);
+}
+
+// ---- Writers -------------------------------------------------------
+
+TEST(ObsSink, TextAndCsvAreFlattenedViews)
+{
+    obs::IntervalSampler sampler(2500);
+    RunOutput r = observedRun(&sampler, nullptr);
+    JsonValue doc = obs::runDocument("go", r, &sampler);
+
+    std::ostringstream text;
+    obs::writeDocument(text, doc, obs::StatsFormat::Text);
+    EXPECT_NE(text.str().find("schema ccm-stats"), std::string::npos);
+    EXPECT_NE(text.str().find("mem.counters.accesses 5000"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("intervals.samples.0.first_ref 1"),
+              std::string::npos);
+
+    std::ostringstream csv;
+    obs::writeDocument(csv, doc, obs::StatsFormat::Csv);
+    EXPECT_EQ(csv.str().rfind("stat,value\n", 0), 0u);
+    EXPECT_NE(csv.str().find("mem.counters.accesses,5000"),
+              std::string::npos);
+}
+
+TEST(ObsSink, SuiteDocumentRecordsErrorRows)
+{
+    SuiteReport report = runSuite(
+        {"go", "no-such-workload"},
+        [&](const std::string &name)
+            -> Expected<std::unique_ptr<TraceSource>> {
+            return makeWorkloadChecked(name, 2000, 3);
+        },
+        baselineConfig());
+    ASSERT_EQ(report.failures(), 1u);
+
+    JsonValue doc = obs::suiteDocument(report);
+    Status s = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(s.isOk()) << s.toString();
+    EXPECT_EQ(doc.at("summary").at("errored").asU64(), 1u);
+    const JsonValue &bad = doc.at("rows").elements()[1];
+    EXPECT_EQ(bad.at("workload").asString(), "no-such-workload");
+    EXPECT_TRUE(bad.at("error").isString());
+}
+
+TEST(ObsSink, BenchDocumentValidates)
+{
+    TextTable t({"policy", "speedup"});
+    std::size_t r0 = t.addRow("base");
+    t.setNum(r0, 1, 1.0, 3);
+    JsonValue doc = obs::benchDocument("unit_test", t, "note");
+    Status s = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(s.isOk()) << s.toString();
+    EXPECT_EQ(doc.at("table").at("headers").size(), 2u);
+    EXPECT_EQ(doc.at("table").at("rows").size(), 1u);
+}

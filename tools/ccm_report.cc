@@ -1,0 +1,279 @@
+/**
+ * @file
+ * ccm-report — render and validate ccm-stats documents written by
+ * ccm-sim --stats-json (and the bench binaries' BENCH_*.json files).
+ *
+ *   ccm-report out.json               human-readable report
+ *   ccm-report --top 16 out.json      more hot sets
+ *   ccm-report --check out.json       validate only
+ *
+ * Exit status follows the tracecheck convention: 0 = valid document,
+ * 1 = usage error, 2 = unreadable / malformed / invalid document.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hh"
+#include "obs/json.hh"
+#include "obs/sink.hh"
+
+namespace
+{
+
+using namespace ccm;
+using obs::JsonValue;
+
+void
+usage()
+{
+    std::cout <<
+        "usage: ccm-report [options] FILE\n"
+        "  --check        validate only (exit 0 valid, 2 invalid)\n"
+        "  --top N        hot sets to list (default 8)\n"
+        "FILE may be '-' for stdin.\n";
+}
+
+/** Fixed-precision rendering for percentage-ish values. */
+std::string
+num(double v, int precision = 2)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string
+u64str(const JsonValue &v)
+{
+    return std::to_string(v.asU64());
+}
+
+void
+renderRunBody(const JsonValue &doc, std::size_t top_n)
+{
+    const JsonValue &sim = doc.at("sim");
+    if (sim.isObject()) {
+        std::cout << "cycles            " << sim.at("cycles").asU64()
+                  << "\n"
+                  << "instructions      "
+                  << sim.at("instructions").asU64() << "\n"
+                  << "memory refs       " << sim.at("mem_refs").asU64()
+                  << "\n"
+                  << "ipc               "
+                  << num(sim.at("ipc").asDouble(), 3) << "\n";
+    }
+
+    const JsonValue &derived = doc.at("mem").at("derived");
+    const JsonValue &counters = doc.at("mem").at("counters");
+    std::cout << "L1 hit rate       "
+              << num(derived.at("l1_hit_rate_pct").asDouble()) << "%\n"
+              << "miss rate         "
+              << num(derived.at("miss_rate_pct").asDouble()) << "%\n"
+              << "conflict share    "
+              << num(derived.at("conflict_share_pct").asDouble())
+              << "% of L1 misses ("
+              << counters.at("conflict_misses").asU64() << " conflict, "
+              << counters.at("capacity_misses").asU64()
+              << " capacity)\n";
+
+    if (const JsonValue *heat = doc.get("heatmap")) {
+        const JsonValue &top = heat->at("top_sets");
+        std::cout << "\n-- top hot sets (of "
+                  << heat->at("sets").asU64() << ") --\n";
+        if (top.size() == 0) {
+            std::cout << "(no set recorded a miss)\n";
+        } else {
+            TextTable t({"set", "l1 misses", "evictions", "mct lookups",
+                         "mct conflicts"});
+            std::size_t shown = 0;
+            for (const JsonValue &row : top.elements()) {
+                if (shown++ >= top_n)
+                    break;
+                std::size_t r =
+                    t.addRow(u64str(row.at("set")));
+                t.set(r, 1, u64str(row.at("l1_misses")));
+                t.set(r, 2, u64str(row.at("l1_evictions")));
+                t.set(r, 3, u64str(row.at("mct_lookups")));
+                t.set(r, 4, u64str(row.at("mct_conflicts")));
+            }
+            t.print(std::cout);
+        }
+    }
+
+    if (const JsonValue *intervals = doc.get("intervals")) {
+        const JsonValue &samples = intervals->at("samples");
+        std::cout << "\n-- phases (every "
+                  << intervals->at("every").asU64() << " refs, "
+                  << samples.size() << " windows) --\n";
+        TextTable t({"window", "refs", "miss%", "conflict%", "mct acc%"});
+        for (const JsonValue &s : samples.elements()) {
+            const std::uint64_t first = s.at("first_ref").asU64();
+            const std::uint64_t last = s.at("last_ref").asU64();
+            std::size_t r = t.addRow(std::to_string(first) + "-" +
+                                     std::to_string(last));
+            t.set(r, 1, std::to_string(last - first + 1));
+            t.set(r, 2,
+                  num(s.at("derived").at("miss_rate_pct").asDouble()));
+            t.set(r, 3,
+                  num(s.at("derived")
+                          .at("conflict_share_pct")
+                          .asDouble()));
+            const JsonValue *acc = s.get("accuracy");
+            t.set(r, 4,
+                  acc ? num(acc->at("overall_accuracy_pct").asDouble())
+                      : std::string("-"));
+        }
+        t.print(std::cout);
+    }
+
+    if (const JsonValue *events = doc.get("events")) {
+        std::cout << "\n-- classification events --\n"
+                  << "seen " << events->at("seen").asU64()
+                  << ", recorded " << events->at("recorded").asU64()
+                  << ", dropped " << events->at("dropped").asU64()
+                  << " (sampling 1/"
+                  << events->at("sample_every").asU64() << ", cap "
+                  << events->at("max_events").asU64() << ")\n";
+        const JsonValue &agreement = events->at("agreement");
+        const std::uint64_t known =
+            agreement.at("with_oracle").asU64();
+        if (known > 0) {
+            std::cout << "oracle agreement  "
+                      << agreement.at("agreeing").asU64() << "/"
+                      << known << "\n";
+        }
+    }
+}
+
+void
+renderSuite(const JsonValue &doc)
+{
+    TextTable t({"workload", "status", "cycles", "ipc", "miss%",
+                 "conflict%"});
+    for (const JsonValue &row : doc.at("rows").elements()) {
+        std::size_t r = t.addRow(row.at("workload").asString());
+        if (const JsonValue *err = row.get("error")) {
+            t.set(r, 1, "ERROR");
+            t.set(r, 2, "-");
+            t.set(r, 3, "-");
+            t.set(r, 4, "-");
+            t.set(r, 5, "-");
+            (void)err;
+            continue;
+        }
+        const JsonValue &derived = row.at("mem").at("derived");
+        t.set(r, 1, "ok");
+        t.set(r, 2, u64str(row.at("sim").at("cycles")));
+        t.set(r, 3, num(row.at("sim").at("ipc").asDouble(), 3));
+        t.set(r, 4, num(derived.at("miss_rate_pct").asDouble()));
+        t.set(r, 5, num(derived.at("conflict_share_pct").asDouble()));
+    }
+    t.print(std::cout);
+
+    const JsonValue &summary = doc.at("summary");
+    std::cout << summary.at("runs").asU64() -
+                     summary.at("errored").asU64()
+              << "/" << summary.at("runs").asU64() << " runs ok, "
+              << summary.at("errored").asU64() << " errored\n";
+
+    for (const JsonValue &row : doc.at("rows").elements()) {
+        if (const JsonValue *err = row.get("error"))
+            std::cerr << "error: " << row.at("workload").asString()
+                      << ": " << err->asString() << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check_only = false;
+    std::size_t top_n = 8;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--check") {
+            check_only = true;
+        } else if (a == "--top") {
+            if (i + 1 >= argc) {
+                std::cerr << "--top needs a value\n";
+                return 1;
+            }
+            top_n = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!a.empty() && a[0] == '-' && a != "-") {
+            std::cerr << "unknown option '" << a << "'\n";
+            usage();
+            return 1;
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            std::cerr << "only one FILE argument is accepted\n";
+            return 1;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "missing FILE argument\n";
+        usage();
+        return 1;
+    }
+
+    std::string text;
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "error: cannot open '" << path << "'\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    ccm::Expected<JsonValue> parsed = JsonValue::parse(text);
+    if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.status().toString() << "\n";
+        return 2;
+    }
+    const JsonValue &doc = parsed.value();
+
+    ccm::Status valid = ccm::obs::validateStatsDoc(doc);
+    if (!valid.isOk()) {
+        std::cerr << "error: " << valid.toString() << "\n";
+        return 2;
+    }
+    if (check_only) {
+        std::cout << path << ": valid ccm-stats document (schema v"
+                  << doc.at("schema_version").asU64() << ")\n";
+        return 0;
+    }
+
+    const std::string &kind = doc.at("kind").asString();
+    std::string arch = doc.at("arch").isString()
+                           ? doc.at("arch").asString()
+                           : std::string("?");
+    if (kind == "run") {
+        std::cout << "== ccm-report: "
+                  << doc.at("workload").asString() << " on " << arch
+                  << " (run) ==\n";
+        renderRunBody(doc, top_n);
+    } else {
+        std::cout << "== ccm-report: suite on " << arch << " ==\n";
+        renderSuite(doc);
+    }
+    return 0;
+}

@@ -23,10 +23,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "common/table.hh"
+#include "hierarchy/memsys.hh"
+#include "obs/events.hh"
+#include "obs/interval.hh"
+#include "obs/sink.hh"
 #include "sim/experiment.hh"
 #include "trace/file_trace.hh"
 #include "workloads/registry.hh"
@@ -75,7 +80,81 @@ struct Options
     bool ambExclude = false;
 
     bool dumpRaw = false;
+
+    // structured stats output
+    std::string statsOut;
+    obs::StatsFormat statsFormat = obs::StatsFormat::Json;
+    std::size_t interval = 0;     ///< refs per sample; 0 = off
+    std::size_t traceEvents = 0;  ///< max recorded events; 0 = off
 };
+
+/**
+ * Observability state for one run: an interval sampler and/or an MCT
+ * event trace, attached to the machine right before it runs.
+ */
+struct RunObservers
+{
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    std::unique_ptr<obs::ClassifyEventTrace> events;
+
+    void
+    attach(MemorySystem &mem)
+    {
+        obs::IntervalSampler *sp = sampler.get();
+        obs::ClassifyEventTrace *ev = events.get();
+        if (sp || ev) {
+            mem.setAccessHook(
+                [sp, ev](const AccessResult &, const MemStats &st) {
+                    // Fires after each completed access, so an event
+                    // raised during reference k carries ref k-1 (the
+                    // count of references completed before it).
+                    if (ev)
+                        ev->noteReference();
+                    if (sp)
+                        sp->onAccess(st);
+                });
+        }
+        if (ev)
+            mem.mct().setLookupHook(ev->hook());
+    }
+
+    /** Flush the sampler's final window against the run's end state. */
+    void
+    finish(const MemStats &final_stats)
+    {
+        if (sampler)
+            sampler->finish(final_stats);
+    }
+};
+
+RunObservers
+makeObservers(const Options &o)
+{
+    RunObservers obsv;
+    if (o.interval > 0)
+        obsv.sampler = std::make_unique<obs::IntervalSampler>(o.interval);
+    if (o.traceEvents > 0) {
+        obs::EventTraceOptions topt;
+        topt.maxEvents = o.traceEvents;
+        obsv.events = std::make_unique<obs::ClassifyEventTrace>(topt);
+    }
+    return obsv;
+}
+
+/** Write @p doc per the --stats-* options; returns the exit code. */
+int
+emitStatsDoc(const Options &o, obs::JsonValue doc)
+{
+    if (o.statsOut.empty())
+        return 0;
+    Status s =
+        obs::writeDocumentToFile(o.statsOut, doc, o.statsFormat);
+    if (!s.isOk()) {
+        std::cerr << "error: " << s.toString() << "\n";
+        return 1;
+    }
+    return 0;
+}
 
 void
 usage()
@@ -109,7 +188,16 @@ usage()
         "  --exclude-algo A           mat | tyson | capacity |\n"
         "                             conflict | cap-hist | conf-hist\n"
         "  --victim --prefetch --exclude   AMB components\n"
-        "  --raw                      also dump raw counters\n";
+        "  --raw                      also dump raw counters\n"
+        "  --stats-json FILE          write a ccm-stats JSON document\n"
+        "                             (\"-\" = stdout)\n"
+        "  --stats-out FILE           like --stats-json, but honours\n"
+        "                             --stats-format\n"
+        "  --stats-format F           text | json | csv (default json)\n"
+        "  --interval N               sample delta-counters every N\n"
+        "                             refs into the stats document\n"
+        "  --trace-events N           record up to N MCT lookup events\n"
+        "                             into the stats document\n";
 }
 
 ConflictFilter
@@ -206,7 +294,30 @@ runSuiteMode(const Options &o)
         return std::unique_ptr<TraceSource>(rd.take().release());
     };
 
-    SuiteReport report = runSuite(workloadNames(), factory, cfg);
+    // Per-workload interval samplers, attached as each machine is
+    // built and finished against that run's final counters below.
+    std::map<std::string, std::unique_ptr<obs::IntervalSampler>>
+        samplers;
+    SuiteInstrument instrument;
+    if (o.interval > 0) {
+        instrument = [&](const std::string &name, MemorySystem &mem) {
+            auto sp = std::make_unique<obs::IntervalSampler>(o.interval);
+            obs::IntervalSampler *raw = sp.get();
+            mem.setAccessHook(
+                [raw](const AccessResult &, const MemStats &st) {
+                    raw->onAccess(st);
+                });
+            samplers[name] = std::move(sp);
+        };
+    }
+
+    SuiteReport report = runSuite(workloadNames(), factory, cfg,
+                                  instrument);
+    for (const auto &row : report.rows) {
+        auto it = samplers.find(row.workload);
+        if (it != samplers.end() && row.ok())
+            it->second->finish(row.out.mem);
+    }
 
     TextTable table({"workload", "status", "cycles", "ipc", "miss%"});
     for (const auto &row : report.rows) {
@@ -235,6 +346,20 @@ runSuiteMode(const Options &o)
     std::cout << report.rows.size() - report.failures() << "/"
               << report.rows.size() << " runs ok, "
               << report.failures() << " errored\n";
+
+    if (!o.statsOut.empty()) {
+        obs::JsonValue doc = obs::suiteDocument(
+            report,
+            [&](const std::string &name) -> const obs::IntervalSampler * {
+                auto it = samplers.find(name);
+                return it == samplers.end() ? nullptr
+                                            : it->second.get();
+            });
+        doc.set("arch", obs::JsonValue::str(o.arch));
+        int rc = emitStatsDoc(o, std::move(doc));
+        if (rc != 0)
+            return rc;
+    }
     return report.allOk() ? 0 : 2;
 }
 
@@ -311,6 +436,22 @@ main(int argc, char **argv)
             o.ambExclude = true;
         } else if (a == "--raw") {
             o.dumpRaw = true;
+        } else if (a == "--stats-json") {
+            o.statsOut = val();
+            o.statsFormat = ccm::obs::StatsFormat::Json;
+        } else if (a == "--stats-out") {
+            o.statsOut = val();
+        } else if (a == "--stats-format") {
+            auto f = ccm::obs::parseStatsFormat(val());
+            if (!f.ok()) {
+                std::cerr << f.status().toString() << "\n";
+                return 1;
+            }
+            o.statsFormat = f.value();
+        } else if (a == "--interval") {
+            o.interval = std::strtoull(val().c_str(), nullptr, 10);
+        } else if (a == "--trace-events") {
+            o.traceEvents = std::strtoull(val().c_str(), nullptr, 10);
         } else {
             std::cerr << "unknown option '" << a << "'\n";
             usage();
@@ -336,7 +477,11 @@ main(int argc, char **argv)
     }
 
     SystemConfig cfg = buildConfig(o);
-    RunOutput r = runTiming(*src, cfg);
+    RunObservers obsv = makeObservers(o);
+    RunOutput r = runTiming(*src, cfg, [&](MemorySystem &mem) {
+        obsv.attach(mem);
+    });
+    obsv.finish(r.mem);
     const MemStats &m = r.mem;
 
     std::cout << "== ccm-sim: " << src->name() << " on " << o.arch
@@ -368,6 +513,13 @@ main(int argc, char **argv)
     if (o.dumpRaw) {
         std::cout << "\n";
         m.dump(std::cout);
+    }
+
+    if (!o.statsOut.empty()) {
+        obs::JsonValue doc = obs::runDocument(
+            src->name(), r, obsv.sampler.get(), obsv.events.get());
+        doc.set("arch", obs::JsonValue::str(o.arch));
+        return emitStatsDoc(o, std::move(doc));
     }
     return 0;
 }

@@ -5,6 +5,8 @@
 #   2. strict build: tidy preset (CCM_WERROR=ON, compile_commands)
 #   3. sanitize build: ASan+UBSan preset + full ctest suite
 #   4. static analysis: tools/ccm-lint (clang-tidy when available)
+#   5. observability smoke: ccm-sim --stats-json on a tiny suite run,
+#      validated and rendered by ccm-report
 #
 # Fails on the first nonzero step.  Usage: tools/ci.sh [-j N]
 
@@ -39,5 +41,18 @@ ctest --preset sanitize -j "$jobs"
 
 step "static analysis (ccm-lint)"
 tools/ccm-lint --build-dir "$repo_root/build-tidy" -j "$jobs"
+
+step "observability smoke (ccm-sim --stats-json | ccm-report --check)"
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+build/tools/ccm-sim --suite --refs 5000 --arch victim \
+    --interval 1000 --stats-json "$obs_tmp/suite.json" > /dev/null
+build/tools/ccm-report --check "$obs_tmp/suite.json"
+build/tools/ccm-report "$obs_tmp/suite.json" > /dev/null
+build/tools/ccm-sim --workload go --refs 5000 --arch baseline \
+    --interval 1000 --trace-events 64 \
+    --stats-json "$obs_tmp/run.json" > /dev/null
+build/tools/ccm-report --check "$obs_tmp/run.json"
+build/tools/ccm-report "$obs_tmp/run.json" > /dev/null
 
 step "all green"
