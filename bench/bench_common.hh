@@ -14,11 +14,14 @@
 #ifndef CCM_BENCH_COMMON_HH
 #define CCM_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "obs/sink.hh"
 #include "trace/vector_trace.hh"
 #include "workloads/registry.hh"
@@ -71,6 +74,51 @@ emitBenchJson(const std::string &name, const TextTable &table,
         std::cout << "(wrote " << path.value() << ")\n";
     else
         std::cerr << "warning: " << path.status().toString() << "\n";
+}
+
+/**
+ * Parse the one flag the figure/table binaries accept: `--jobs N`
+ * (default 1 = the historical single-threaded behaviour, 0 = one
+ * worker per hardware thread).  Anything else is rejected so the
+ * binaries stay honest about taking no other arguments.
+ */
+inline std::size_t
+parseJobs(int argc, char **argv)
+{
+    std::size_t jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--jobs" && i + 1 < argc) {
+            jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+            std::exit(1);
+        }
+    }
+    return jobs;
+}
+
+/**
+ * Run fn(0..n-1) on @p jobs workers (resolveJobCount semantics) and
+ * wait for all of them.  Calls must be independent: each bench
+ * parallelizes over workloads, with every task owning its trace and
+ * writing only its own result slot, so per-cell results — and hence
+ * the printed tables — are identical for every jobs value.
+ */
+inline void
+forEachIndex(std::size_t n, std::size_t jobs,
+             const std::function<void(std::size_t)> &fn)
+{
+    jobs = resolveJobCount(jobs);
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(jobs < n ? jobs : n);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.waitIdle();
 }
 
 } // namespace ccm::bench

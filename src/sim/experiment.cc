@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
 #include <exception>
 
 #include "common/logging.hh"
@@ -48,6 +49,56 @@ SuiteReport::row(const std::string &name) const
     return nullptr;
 }
 
+SuiteRow
+runSuiteCell(const std::string &name, const SuiteTraceFactory &factory,
+             const SystemConfig &config,
+             const SuiteInstrument &instrument)
+{
+    const auto start = std::chrono::steady_clock::now();
+    SuiteRow row;
+    row.workload = name;
+
+    auto trace = [&]() -> Expected<std::unique_ptr<TraceSource>> {
+        try {
+            ScopedFatalThrow guard;
+            return factory(name);
+        } catch (const FatalError &e) {
+            return Status::badConfig(e.what());
+        } catch (const std::exception &e) {
+            return Status::internal("trace factory failed: ",
+                                    e.what());
+        }
+    }();
+
+    if (!trace.ok()) {
+        row.status =
+            trace.status().withContext("workload '" + name + "'");
+    } else if (!trace.value()) {
+        row.status = Status::internal(
+            "trace factory returned null for '", name, "'");
+    } else {
+        MemSysInstrument per_run;
+        if (instrument) {
+            per_run = [&](MemorySystem &m) {
+                instrument(name, m);
+            };
+        }
+        Expected<RunOutput> run =
+            tryRunTiming(*trace.value(), config, per_run);
+        if (run.ok()) {
+            row.out = run.take();
+        } else {
+            row.status = run.status().withContext("workload '" +
+                                                  name + "'");
+        }
+    }
+    row.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return row;
+}
+
 SuiteReport
 runSuite(const std::vector<std::string> &names,
          const SuiteTraceFactory &factory, const SystemConfig &config,
@@ -55,46 +106,9 @@ runSuite(const std::vector<std::string> &names,
 {
     SuiteReport report;
     report.rows.reserve(names.size());
-    for (const auto &name : names) {
-        SuiteRow row;
-        row.workload = name;
-
-        auto trace = [&]() -> Expected<std::unique_ptr<TraceSource>> {
-            try {
-                ScopedFatalThrow guard;
-                return factory(name);
-            } catch (const FatalError &e) {
-                return Status::badConfig(e.what());
-            } catch (const std::exception &e) {
-                return Status::internal("trace factory failed: ",
-                                        e.what());
-            }
-        }();
-
-        if (!trace.ok()) {
-            row.status =
-                trace.status().withContext("workload '" + name + "'");
-        } else if (!trace.value()) {
-            row.status = Status::internal(
-                "trace factory returned null for '", name, "'");
-        } else {
-            MemSysInstrument per_run;
-            if (instrument) {
-                per_run = [&](MemorySystem &m) {
-                    instrument(name, m);
-                };
-            }
-            Expected<RunOutput> run =
-                tryRunTiming(*trace.value(), config, per_run);
-            if (run.ok()) {
-                row.out = run.take();
-            } else {
-                row.status = run.status().withContext("workload '" +
-                                                      name + "'");
-            }
-        }
-        report.rows.push_back(std::move(row));
-    }
+    for (const auto &name : names)
+        report.rows.push_back(
+            runSuiteCell(name, factory, config, instrument));
     return report;
 }
 

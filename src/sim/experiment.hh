@@ -71,6 +71,14 @@ struct SuiteRow
     Status status;
     RunOutput out; ///< meaningful only when status.isOk()
 
+    /**
+     * Wall-clock time spent producing this row (trace factory +
+     * simulation), in seconds.  The only nondeterministic field: two
+     * sweeps of the same suite agree on everything else bit-for-bit
+     * regardless of --jobs (tested in test_parallel).
+     */
+    double wallSeconds = 0.0;
+
     bool ok() const { return status.isOk(); }
 };
 
@@ -108,6 +116,19 @@ using SuiteTraceFactory = std::function<
  */
 using SuiteInstrument =
     std::function<void(const std::string &name, MemorySystem &)>;
+
+/**
+ * Produce the row for one suite cell: run the trace factory and the
+ * simulation with every would-be-fatal error captured into the row's
+ * status, and the cell's wall time measured.  This is the unit of
+ * work shared by the sequential and parallel suite runners — both
+ * paths execute exactly this, so their rows can only differ in
+ * wallSeconds.
+ */
+SuiteRow runSuiteCell(const std::string &name,
+                      const SuiteTraceFactory &factory,
+                      const SystemConfig &config,
+                      const SuiteInstrument &instrument = {});
 
 /**
  * Sweep @p config over every workload in @p names, isolating

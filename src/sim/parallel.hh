@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Parallel suite execution: fan the (workload, config) cells of a
+ * suite sweep over a fixed-size worker pool (common/thread_pool.hh).
+ *
+ * Every cell of the paper's evaluation cross-product — 16 workloads ×
+ * {victim, prefetch, exclusion, pseudo-associative, AMB} × filter
+ * variants — is an independent deterministic simulation, so the sweep
+ * parallelizes without touching the simulation layers.  The runner
+ * preserves the sequential contract exactly:
+ *
+ *  - row order matches @p names;
+ *  - per-row failure isolation (a throwing cell becomes an errored
+ *    SuiteRow; the rest of the suite completes);
+ *  - bit-identical stats vs. runSuite — a row can differ from its
+ *    sequential twin only in SuiteRow::wallSeconds (tested in
+ *    tests/test_parallel.cc).
+ *
+ * ## Hook-delivery thread-safety contract
+ *
+ * Observability attaches through callbacks, and the runner makes
+ * their threading explicit so obs sinks need no locking of their own
+ * (docs/OBSERVABILITY.md "Hooks under --jobs"):
+ *
+ *  1. `instrument` (SuiteInstrument) calls are **mutually excluded**:
+ *     at most one executes at any time, on the worker thread that is
+ *     about to run the row.  Instruments may therefore mutate shared
+ *     containers (e.g. a name→sampler map) without locking.
+ *  2. Hooks an instrument attaches to a machine (access hooks, MCT
+ *     lookup hooks) fire **only on the single worker thread running
+ *     that row** — per-row observer state is single-threaded.
+ *     Observers shared across rows are the one thing that would need
+ *     their own synchronization; prefer per-row observers.
+ *  3. `onRowDone` fires on the **calling thread**, in `names` order,
+ *     as rows complete — the serialized completion channel for
+ *     streaming output or cross-row aggregation.
+ */
+
+#ifndef CCM_SIM_PARALLEL_HH
+#define CCM_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace ccm
+{
+
+/** How a parallel sweep runs and reports. */
+struct ParallelSuiteOptions
+{
+    /**
+     * Worker threads.  1 (the default) executes on the calling
+     * thread — exactly the sequential runSuite; 0 means one worker
+     * per hardware thread (resolveJobCount).
+     */
+    std::size_t jobs = 1;
+
+    /** Per-row instrumentation; serialized (contract point 1). */
+    SuiteInstrument instrument;
+
+    /**
+     * Row-completion callback, delivered on the calling thread in
+     * names order (contract point 3).  The row passed is the one
+     * that ends up in the report.
+     */
+    std::function<void(const SuiteRow &)> onRowDone;
+};
+
+/**
+ * runSuite over a worker pool.  With opts.jobs == 1 this is
+ * byte-for-byte the sequential sweep (plus onRowDone delivery); with
+ * more workers, rows compute concurrently and the report is
+ * identical except for wallSeconds.
+ */
+SuiteReport runSuiteParallel(const std::vector<std::string> &names,
+                             const SuiteTraceFactory &factory,
+                             const SystemConfig &config,
+                             const ParallelSuiteOptions &opts = {});
+
+} // namespace ccm
+
+#endif // CCM_SIM_PARALLEL_HH

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the parallel suite execution engine: the worker pool
+ * itself, sequential-vs-parallel report equality, failure isolation
+ * under concurrency, and the hook-delivery contract of
+ * sim/parallel.hh.  This binary is additionally run under
+ * ThreadSanitizer by tools/ci.sh (the "tsan" preset), so the stress
+ * tests double as data-race detectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sim/parallel.hh"
+#include "workloads/registry.hh"
+
+namespace ccm
+{
+namespace
+{
+
+// ---- ThreadPool ----------------------------------------------------
+
+TEST(ThreadPool, ResolveJobCount)
+{
+    EXPECT_EQ(resolveJobCount(1), 1u);
+    EXPECT_EQ(resolveJobCount(7), 7u);
+    // 0 = hardware concurrency (with a nonzero fallback).
+    EXPECT_GE(resolveJobCount(0), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(8);
+    EXPECT_EQ(pool.workers(), 8u);
+
+    constexpr std::size_t n = 2000;
+    std::vector<int> hits(n, 0);
+    std::atomic<std::size_t> total{0};
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&hits, &total, i] {
+            // Disjoint slots: no lock needed, and tsan verifies it.
+            hits[i] += 1;
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(total.load(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "task " << i;
+}
+
+TEST(ThreadPool, WaitIdleSeparatesWaves)
+{
+    // Two waves through one pool: waitIdle is a usable barrier, and
+    // the second wave reads what the first wrote (publication).
+    ThreadPool pool(4);
+    constexpr std::size_t n = 512;
+    std::vector<std::size_t> first(n, 0), second(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&first, i] { first[i] = i + 1; });
+    pool.waitIdle();
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&first, &second, i] { second[i] = first[i] * 2; });
+    pool.waitIdle();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(second[i], (i + 1) * 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<std::size_t> ran{0};
+    {
+        ThreadPool pool(2);
+        for (std::size_t i = 0; i < 64; ++i)
+            pool.submit([&ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No waitIdle: the destructor must drain, not drop.
+    }
+    EXPECT_EQ(ran.load(), 64u);
+}
+
+// ---- Sequential vs parallel report equality ------------------------
+
+void
+expectRowsEqual(const SuiteRow &a, const SuiteRow &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.status.code(), b.status.code());
+    EXPECT_EQ(a.status.message(), b.status.message());
+    EXPECT_EQ(a.out.sim.cycles, b.out.sim.cycles);
+    EXPECT_EQ(a.out.sim.instructions, b.out.sim.instructions);
+    EXPECT_EQ(a.out.sim.memRefs, b.out.sim.memRefs);
+    MemStats::forEachField(
+        [&](const char *name, Count MemStats::*f) {
+            EXPECT_EQ(a.out.mem.*f, b.out.mem.*f)
+                << a.workload << " counter " << name;
+        });
+    // Heat digests: the per-set histograms the heatmap section is
+    // built from.
+    EXPECT_EQ(a.out.heat.sets, b.out.heat.sets);
+    EXPECT_EQ(a.out.heat.l1Misses, b.out.heat.l1Misses);
+    EXPECT_EQ(a.out.heat.l1Evictions, b.out.heat.l1Evictions);
+    EXPECT_EQ(a.out.heat.mctLookups, b.out.heat.mctLookups);
+    EXPECT_EQ(a.out.heat.mctConflicts, b.out.heat.mctConflicts);
+}
+
+TEST(ParallelSuite, BitIdenticalToSequentialAcrossJobCounts)
+{
+    const std::vector<std::string> names = workloadNames();
+    const SystemConfig cfg = ambConfig(true, true, true);
+    auto factory = [](const std::string &name) {
+        return makeWorkloadChecked(name, 3000, 7);
+    };
+
+    SuiteReport sequential = runSuite(names, factory, cfg);
+    ASSERT_EQ(sequential.rows.size(), names.size());
+
+    for (std::size_t jobs : {1u, 2u, 8u}) {
+        ParallelSuiteOptions opts;
+        opts.jobs = jobs;
+        SuiteReport parallel =
+            runSuiteParallel(names, factory, cfg, opts);
+        ASSERT_EQ(parallel.rows.size(), names.size())
+            << "jobs=" << jobs;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            SCOPED_TRACE("jobs=" + std::to_string(jobs) + " row " +
+                         std::to_string(i));
+            // Row order matches names regardless of completion order.
+            EXPECT_EQ(parallel.rows[i].workload, names[i]);
+            expectRowsEqual(sequential.rows[i], parallel.rows[i]);
+        }
+    }
+}
+
+TEST(ParallelSuite, RowsCarryWallTime)
+{
+    SuiteReport report =
+        runSuite({"go", "perl"}, 4000, 3, baselineConfig());
+    double total = 0;
+    for (const auto &row : report.rows) {
+        EXPECT_GE(row.wallSeconds, 0.0);
+        total += row.wallSeconds;
+    }
+    EXPECT_GT(total, 0.0);
+}
+
+// ---- Failure isolation under concurrency ---------------------------
+
+TEST(ParallelSuite, ErroredRowsStayIsolatedUnderConcurrency)
+{
+    const std::vector<std::string> names = workloadNames();
+    auto factory = [&](const std::string &name)
+        -> Expected<std::unique_ptr<TraceSource>> {
+        if (name == "gcc")
+            return Status::corruptTrace("bad trace magic in gcc.bin");
+        if (name == "swim")
+            throw std::runtime_error("factory exploded");
+        return makeWorkloadChecked(name, 2000, 3);
+    };
+
+    ParallelSuiteOptions opts;
+    opts.jobs = 8;
+    SuiteReport report =
+        runSuiteParallel(names, factory, baselineConfig(), opts);
+
+    ASSERT_EQ(report.rows.size(), names.size());
+    EXPECT_EQ(report.failures(), 2u);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(report.rows[i].workload, names[i]);
+
+    const SuiteRow *corrupt = report.row("gcc");
+    ASSERT_NE(corrupt, nullptr);
+    EXPECT_EQ(corrupt->status.code(), ErrorCode::CorruptTrace);
+    EXPECT_NE(corrupt->status.message().find("workload 'gcc'"),
+              std::string::npos);
+
+    const SuiteRow *thrown = report.row("swim");
+    ASSERT_NE(thrown, nullptr);
+    EXPECT_EQ(thrown->status.code(), ErrorCode::Internal);
+
+    // Every other row completed despite its neighbours dying.
+    for (const auto &row : report.rows) {
+        if (row.workload == "gcc" || row.workload == "swim")
+            continue;
+        EXPECT_TRUE(row.ok()) << row.workload;
+        EXPECT_GT(row.out.sim.cycles, 0u);
+    }
+}
+
+// ---- Hook-delivery contract ----------------------------------------
+
+TEST(ParallelSuite, InstrumentCallsAreSerialized)
+{
+    // Contract point 1: the instrument may mutate shared state with
+    // no locking of its own.  Under tsan (ci.sh) this test fails if
+    // two instrument bodies ever overlap.
+    const std::vector<std::string> names = workloadNames();
+    std::vector<std::string> seen; // deliberately unsynchronized
+    int in_flight = 0;
+
+    ParallelSuiteOptions opts;
+    opts.jobs = 8;
+    opts.instrument = [&](const std::string &name, MemorySystem &) {
+        ++in_flight;
+        EXPECT_EQ(in_flight, 1) << "overlapping instrument calls";
+        seen.push_back(name);
+        --in_flight;
+    };
+    SuiteReport report = runSuiteParallel(
+        names,
+        [](const std::string &name) {
+            return makeWorkloadChecked(name, 1000, 3);
+        },
+        baselineConfig(), opts);
+
+    EXPECT_TRUE(report.allOk());
+    ASSERT_EQ(seen.size(), names.size());
+    // Every workload was instrumented exactly once (order is the
+    // completion order, not names order).
+    for (const auto &name : names)
+        EXPECT_NE(std::find(seen.begin(), seen.end(), name),
+                  seen.end())
+            << name;
+}
+
+TEST(ParallelSuite, OnRowDoneDeliversInNamesOrderOnCallerThread)
+{
+    const std::vector<std::string> names = workloadNames();
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::string> delivered;
+
+    ParallelSuiteOptions opts;
+    opts.jobs = 8;
+    opts.onRowDone = [&](const SuiteRow &row) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        delivered.push_back(row.workload);
+    };
+    SuiteReport report = runSuiteParallel(
+        names,
+        [](const std::string &name) {
+            return makeWorkloadChecked(name, 1000, 3);
+        },
+        baselineConfig(), opts);
+
+    EXPECT_TRUE(report.allOk());
+    ASSERT_EQ(delivered.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(delivered[i], names[i]);
+}
+
+TEST(ParallelSuite, JobsOneMatchesSequentialIncludingCallbacks)
+{
+    // jobs == 1 must be today's behaviour exactly, callbacks and all.
+    std::vector<std::string> instrumented;
+    std::vector<std::string> delivered;
+    ParallelSuiteOptions opts;
+    opts.jobs = 1;
+    opts.instrument = [&](const std::string &name, MemorySystem &) {
+        instrumented.push_back(name);
+    };
+    opts.onRowDone = [&](const SuiteRow &row) {
+        delivered.push_back(row.workload);
+    };
+    const std::vector<std::string> names = {"go", "perl", "tomcatv"};
+    SuiteReport report = runSuiteParallel(
+        names,
+        [](const std::string &name) {
+            return makeWorkloadChecked(name, 2000, 3);
+        },
+        baselineConfig(), opts);
+    EXPECT_TRUE(report.allOk());
+    EXPECT_EQ(instrumented, names);
+    EXPECT_EQ(delivered, names);
+}
+
+} // namespace
+} // namespace ccm

@@ -28,11 +28,13 @@
 #include <string>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "hierarchy/memsys.hh"
 #include "obs/events.hh"
 #include "obs/interval.hh"
 #include "obs/sink.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/file_trace.hh"
 #include "workloads/registry.hh"
 
@@ -54,6 +56,7 @@ struct Options
     std::string traceDir;
     std::size_t budget = 0;
     bool tolerateTruncation = false;
+    std::size_t jobs = 1; ///< suite workers; 0 = hardware threads
 
     // cache geometry
     std::size_t l1Kb = 16;
@@ -171,6 +174,9 @@ usage()
         "  --budget N                 tolerate N garbage runs per "
         "trace\n"
         "  --tolerate-truncation      truncated tail = end of trace\n"
+        "  --jobs N                   run suite rows on N worker\n"
+        "                             threads (default 1; 0 = one per\n"
+        "                             hardware thread)\n"
         "  --refs N                   memory references (default 1M)\n"
         "  --seed N                   workload seed (default 42)\n"
         "  --arch A                   baseline | victim | prefetch |\n"
@@ -311,15 +317,22 @@ runSuiteMode(const Options &o)
         };
     }
 
-    SuiteReport report = runSuite(workloadNames(), factory, cfg,
-                                  instrument);
+    // The instrument body mutates the shared sampler map; the runner
+    // serializes instrument calls (parallel.hh contract point 1), so
+    // this needs no locking even under --jobs N.
+    ParallelSuiteOptions popts;
+    popts.jobs = o.jobs;
+    popts.instrument = instrument;
+    SuiteReport report =
+        runSuiteParallel(workloadNames(), factory, cfg, popts);
     for (const auto &row : report.rows) {
         auto it = samplers.find(row.workload);
         if (it != samplers.end() && row.ok())
             it->second->finish(row.out.mem);
     }
 
-    TextTable table({"workload", "status", "cycles", "ipc", "miss%"});
+    TextTable table(
+        {"workload", "status", "cycles", "ipc", "miss%", "wall ms"});
     for (const auto &row : report.rows) {
         std::size_t r = table.addRow(row.workload);
         if (row.ok()) {
@@ -335,8 +348,10 @@ runSuiteMode(const Options &o)
             table.set(r, 3, "-");
             table.set(r, 4, "-");
         }
+        table.setNum(r, 5, row.wallSeconds * 1000.0, 1);
     }
-    std::cout << "== ccm-sim suite: " << o.arch << " ==\n";
+    std::cout << "== ccm-sim suite: " << o.arch << " (jobs "
+              << resolveJobCount(o.jobs) << ") ==\n";
     table.print(std::cout);
 
     for (const auto &row : report.rows) {
@@ -397,6 +412,8 @@ main(int argc, char **argv)
             o.budget = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--tolerate-truncation") {
             o.tolerateTruncation = true;
+        } else if (a == "--jobs") {
+            o.jobs = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--refs") {
             o.refs = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--seed") {

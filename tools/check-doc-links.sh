@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# check-doc-links.sh — fail on dead relative links in the doc tree.
+#
+# Scans every *.md in the repo (excluding build trees and .git) for
+# markdown links `[text](target)`, strips #anchors, skips absolute
+# URLs (http/https/mailto) and pure in-page anchors, and resolves the
+# rest relative to the file that contains them.  Any target that does
+# not exist on disk is reported and the script exits 1.
+#
+# Usage: tools/check-doc-links.sh [root]
+
+set -euo pipefail
+
+root=${1:-$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)}
+cd "$root"
+
+fail=0
+checked=0
+
+while IFS= read -r -d '' md; do
+    dir=$(dirname "$md")
+    # Pull out every (...) target of an inline markdown link.  The
+    # pattern deliberately ignores reference-style links and images
+    # pointed at URLs; everything the repo uses is inline.
+    while IFS= read -r target; do
+        # Strip surrounding whitespace and any "title" suffix.
+        target=${target%% *}
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+            '#'*) continue ;; # in-page anchor
+        esac
+        path=${target%%#*} # drop anchor suffix
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link: $md -> $target" >&2
+            fail=1
+        fi
+    done < <(awk '/^```/ { fence = !fence; next } !fence' "$md" |
+        grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//')
+done < <(find . \( -name 'build*' -o -name '.git' \) -prune -o \
+    -name '*.md' -print0)
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-doc-links: FAILED" >&2
+    exit 1
+fi
+echo "check-doc-links: $checked relative links OK"

@@ -4,9 +4,12 @@
 #   1. tier-1 verify: default preset build + full ctest suite
 #   2. strict build: tidy preset (CCM_WERROR=ON, compile_commands)
 #   3. sanitize build: ASan+UBSan preset + full ctest suite
-#   4. static analysis: tools/ccm-lint (clang-tidy when available)
-#   5. observability smoke: ccm-sim --stats-json on a tiny suite run,
-#      validated and rendered by ccm-report
+#   4. tsan: ThreadSanitizer build of the parallel-runner tests
+#   5. static analysis: tools/ccm-lint (clang-tidy when available)
+#   6. doc links: tools/check-doc-links.sh over the markdown tree
+#   7. observability smoke: ccm-sim --stats-json on a tiny suite run,
+#      validated and rendered by ccm-report; --jobs 2 must produce a
+#      stats document identical to --jobs 1 modulo wall-time fields
 #
 # Fails on the first nonzero step.  Usage: tools/ci.sh [-j N]
 
@@ -39,8 +42,17 @@ cmake --preset sanitize
 cmake --build --preset sanitize -j "$jobs"
 ctest --preset sanitize -j "$jobs"
 
+step "thread-sanitizer build + parallel-runner tests (tsan preset)"
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" --target test_parallel
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    build-tsan/tests/test_parallel
+
 step "static analysis (ccm-lint)"
 tools/ccm-lint --build-dir "$repo_root/build-tidy" -j "$jobs"
+
+step "doc link check"
+tools/check-doc-links.sh
 
 step "observability smoke (ccm-sim --stats-json | ccm-report --check)"
 obs_tmp=$(mktemp -d)
@@ -49,6 +61,15 @@ build/tools/ccm-sim --suite --refs 5000 --arch victim \
     --interval 1000 --stats-json "$obs_tmp/suite.json" > /dev/null
 build/tools/ccm-report --check "$obs_tmp/suite.json"
 build/tools/ccm-report "$obs_tmp/suite.json" > /dev/null
+
+# Parallel determinism: the suite document at --jobs 2 must match
+# --jobs 1 byte for byte once the wall-time fields are stripped.
+build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
+    --stats-json "$obs_tmp/seq.json" > /dev/null
+build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 2 \
+    --stats-json "$obs_tmp/par.json" > /dev/null
+diff <(grep -v wall_seconds "$obs_tmp/seq.json") \
+     <(grep -v wall_seconds "$obs_tmp/par.json")
 build/tools/ccm-sim --workload go --refs 5000 --arch baseline \
     --interval 1000 --trace-events 64 \
     --stats-json "$obs_tmp/run.json" > /dev/null
