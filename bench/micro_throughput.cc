@@ -1,21 +1,38 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the simulator's hot paths:
- * MCT classification, cache access, the fully-associative LRU, the
- * assist buffer, and end-to-end simulated-instruction throughput.
- * These guard the simulation speed that keeps every figure bench
- * runnable in seconds.
+ * Hot-path throughput benchmarks, in two layers:
+ *
+ *  - an explicit chrono-measured "hotpath" table covering the paths
+ *    the simulator spends its time on (trace delivery unbatched vs
+ *    batched, the flat fully-associative LRU, and the end-to-end
+ *    classification and timing pipelines), emitted as
+ *    BENCH_hotpath.json so runs can be compared against the
+ *    committed pre-optimization baseline in bench/baselines/;
+ *  - google-benchmark microbenchmarks for the individual structures
+ *    (MCT classification, cache access, FaLru, assist buffer,
+ *    memory-system access).
+ *
+ * `--hotpath-only` runs just the first layer (the CI perf smoke);
+ * any other flags are handed to google-benchmark.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
 #include "assist/buffer.hh"
+#include "bench_common.hh"
 #include "cache/cache.hh"
 #include "cache/fa_lru.hh"
 #include "common/random.hh"
+#include "common/table.hh"
 #include "cpu/core.hh"
+#include "mct/classify_run.hh"
 #include "mct/mct.hh"
 #include "sim/experiment.hh"
+#include "trace/batch_reader.hh"
 #include "trace/vector_trace.hh"
 #include "workloads/registry.hh"
 
@@ -23,6 +40,142 @@ namespace
 {
 
 using namespace ccm;
+
+// ---- explicit hotpath table -----------------------------------------
+
+/** Best-of-three wall rate, in million units per second. */
+template <typename Fn>
+double
+bestRate(std::size_t units, Fn &&fn)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        const double rate =
+            secs > 0 ? static_cast<double>(units) / secs / 1e6 : 0.0;
+        if (rate > best)
+            best = rate;
+    }
+    return best;
+}
+
+/** Consume the whole trace through the record-at-a-time interface. */
+double
+measureDeliveryNext(VectorTrace &trace)
+{
+    return bestRate(trace.size(), [&] {
+        trace.reset();
+        MemRecord r;
+        std::size_t sink = 0;
+        while (trace.next(r))
+            sink += r.isMem() ? 1 : 0;
+        benchmark::DoNotOptimize(sink);
+    });
+}
+
+/** Same stream, through the batched delivery path. */
+double
+measureDeliveryBatched(VectorTrace &trace)
+{
+    return bestRate(trace.size(), [&] {
+        trace.reset();
+        BatchReader reader(trace, maxTraceBatch);
+        MemRecord r;
+        std::size_t sink = 0;
+        while (reader.next(r))
+            sink += r.isMem() ? 1 : 0;
+        benchmark::DoNotOptimize(sink);
+    });
+}
+
+/** Mixed touch/insert at the oracle's capacity. */
+double
+measureFaLruMixed()
+{
+    constexpr std::size_t ops = 10'000'000;
+    return bestRate(ops, [&] {
+        FaLru fa(256);
+        Pcg32 rng(1);
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < ops; ++i) {
+            LineAddr a{Addr(rng.next() & 0x3FF) * 64};
+            if (fa.touch(a))
+                ++hits;
+            else
+                fa.insert(a);
+        }
+        benchmark::DoNotOptimize(hits);
+    });
+}
+
+/** The fig1/fig2 classification pipeline, end to end. */
+double
+measureClassifyE2e(VectorTrace &trace)
+{
+    return bestRate(trace.size(), [&] {
+        ClassifyConfig cfg;
+        ClassifyResult res = classifyRun(trace, cfg);
+        benchmark::DoNotOptimize(res.misses);
+    });
+}
+
+/** The fig3..7 timing pipeline, end to end. */
+double
+measureTimingE2e(VectorTrace &trace)
+{
+    const SystemConfig cfg = baselineConfig();
+    return bestRate(trace.size(), [&] {
+        RunOutput r = runTiming(trace, cfg);
+        benchmark::DoNotOptimize(r.sim.cycles);
+    });
+}
+
+int
+runHotpathTable()
+{
+    std::cout << "Hot-path throughput (best of 3, Mrec/s or Mops/s)\n"
+              << "compare against bench/baselines/BENCH_hotpath.json"
+              << "\n\n";
+
+    VectorTrace delivery = bench::captureWorkload("compress",
+                                                  2'000'000);
+    VectorTrace classify = bench::captureWorkload("gcc", 1'000'000);
+    VectorTrace timing = bench::captureWorkload("compress", 300'000);
+
+    TextTable table({"case", "Mops", "measures"});
+
+    auto row = [&](const std::string &label, double rate,
+                   const std::string &what) {
+        const std::size_t r = table.addRow(label);
+        table.setNum(r, 1, rate, 1);
+        table.set(r, 2, what);
+    };
+
+    row("trace_delivery_next", measureDeliveryNext(delivery),
+        "records/s via per-record virtual next()");
+    row("trace_delivery_batched", measureDeliveryBatched(delivery),
+        "records/s via nextBatch through BatchReader");
+    row("falru_mixed_256", measureFaLruMixed(),
+        "mixed touch/insert ops/s at oracle capacity");
+    row("classify_e2e", measureClassifyE2e(classify),
+        "records/s through the full classification pipeline");
+    row("timing_e2e", measureTimingE2e(timing),
+        "records/s through the full timing pipeline");
+
+    table.print(std::cout);
+    bench::emitBenchJson(
+        "hotpath", table,
+        "hot-path throughput; baseline for comparison lives in "
+        "bench/baselines/BENCH_hotpath.json");
+    return 0;
+}
+
+// ---- google-benchmark structure microbenchmarks ---------------------
 
 void
 BM_MctClassify(benchmark::State &state)
@@ -67,6 +220,44 @@ BM_FaLruTouch(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FaLruTouch)->Arg(8)->Arg(256);
+
+void
+BM_FaLruTouchOrInsert(benchmark::State &state)
+{
+    // The combined single-probe access the oracle uses.
+    FaLru fa(static_cast<std::size_t>(state.range(0)));
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fa.touchOrInsert(LineAddr{rng.next() & 0x3FF}));
+    }
+}
+BENCHMARK(BM_FaLruTouchOrInsert)->Arg(8)->Arg(256);
+
+void
+BM_TraceDelivery(benchmark::State &state)
+{
+    // range(0) = batch size; 1 approximates the historical
+    // record-at-a-time pull, maxTraceBatch is the batched path.
+    auto wl = makeWorkload("compress", 100'000, 42);
+    VectorTrace trace = VectorTrace::capture(*wl);
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        trace.reset();
+        BatchReader reader(trace, batch);
+        MemRecord r;
+        std::size_t sink = 0;
+        while (reader.next(r))
+            sink += r.isMem() ? 1 : 0;
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TraceDelivery)
+    ->Arg(1)
+    ->Arg(static_cast<int>(maxTraceBatch));
 
 void
 BM_AssistBufferProbe(benchmark::State &state)
@@ -117,4 +308,28 @@ BENCHMARK(BM_EndToEndSim)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool hotpath_only = false;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--hotpath-only") == 0)
+            hotpath_only = true;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
+    const int rc = runHotpathTable();
+    if (rc != 0 || hotpath_only)
+        return rc;
+
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

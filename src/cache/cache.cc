@@ -147,6 +147,8 @@ Cache::fillWay(ByteAddr addr, WayIndex way, bool conflict_bit,
         evicted.conflictBit = l.conflictBit;
         ++nEvictions;
         ++setEvictions_[set.value()];
+    } else {
+        ++nResident;
     }
 
     ++tick;
@@ -169,6 +171,7 @@ Cache::invalidate(ByteAddr addr)
     l->valid = false;
     l->dirty = false;
     l->conflictBit = false;
+    --nResident;
     return true;
 }
 
@@ -199,15 +202,6 @@ Cache::lineAddrAt(SetIndex set, WayIndex way) const
     return geom.recompose(l.tag, set);
 }
 
-std::size_t
-Cache::occupancy() const
-{
-    std::size_t n = 0;
-    for (const auto &l : lines)
-        n += l.valid ? 1 : 0;
-    return n;
-}
-
 void
 Cache::clear()
 {
@@ -215,6 +209,7 @@ Cache::clear()
         l = CacheLine{};
     tick = 0;
     nHits = nMisses = nFills = nEvictions = 0;
+    nResident = 0;
     std::fill(setMisses_.begin(), setMisses_.end(), 0);
     std::fill(setEvictions_.begin(), setEvictions_.end(), 0);
 }

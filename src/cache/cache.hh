@@ -102,8 +102,8 @@ class Cache
     /** Line-aligned address of the line in (set, way). */
     LineAddr lineAddrAt(SetIndex set, WayIndex way) const;
 
-    /** Number of valid lines currently resident. */
-    std::size_t occupancy() const;
+    /** Number of valid lines currently resident (O(1)). */
+    std::size_t occupancy() const { return nResident; }
 
     /** Clear all lines and statistics. */
     void clear();
@@ -162,6 +162,8 @@ class Cache
     Count nMisses = 0;
     Count nFills = 0;
     Count nEvictions = 0;
+    /** Valid-line count, maintained by fillWay/invalidate/clear. */
+    std::size_t nResident = 0;
     std::vector<Count> setMisses_;    ///< per-set miss histogram
     std::vector<Count> setEvictions_; ///< per-set eviction histogram
 };

@@ -6,19 +6,29 @@
  *  - the oracle in the classic (Hill) conflict/capacity classifier: a
  *    miss is a conflict miss iff a fully-associative LRU cache of the
  *    same capacity would have hit;
- *  - the tag store of small fully-associative assist buffers.
+ *  - the tag store of small fully-associative assist structures.
  *
- * Implemented as an intrusive doubly-linked LRU list over a hash map,
- * so every operation is O(1) expected.
+ * This sits on the hottest loop in the repo (one touch-or-insert per
+ * classified reference), so it is deliberately flat: an intrusive
+ * doubly-linked LRU list threaded through a contiguous node array by
+ * 32-bit indices, found through an open-addressed hash table.  No
+ * per-operation allocation ever happens after construction, nodes are
+ * recycled in place, and every operation is O(1) expected.
+ *
+ * The table hashes with a Fibonacci multiplier before taking the
+ * power-of-two slot index, so the line-aligned, power-of-two-strided
+ * addresses the workload generators emit (all sharing their low and
+ * middle bits) spread over the whole table instead of clustering the
+ * way identity hashing would.
  */
 
 #ifndef CCM_CACHE_FA_LRU_HH
 #define CCM_CACHE_FA_LRU_HH
 
 #include <cstddef>
-#include <list>
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "common/addr_types.hh"
 #include "common/types.hh"
@@ -48,22 +58,77 @@ class FaLru
      */
     std::optional<LineAddr> insert(LineAddr line);
 
+    /**
+     * Combined access: touch @p line if resident, insert it (evicting
+     * the LRU line if full) otherwise.  Equivalent to
+     * `touch(line) || (insert(line), false)` but with a single hash
+     * probe on the hit path — the shape of the oracle's per-reference
+     * update.
+     *
+     * @retval true @p line was resident before the call
+     */
+    bool touchOrInsert(LineAddr line);
+
     /** Remove @p line if resident; @return it was resident. */
     bool erase(LineAddr line);
 
     /** Least-recently-used resident line (empty if none). */
     std::optional<LineAddr> lruLine() const;
 
-    std::size_t size() const { return map.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return cap; }
-    bool full() const { return map.size() == cap; }
+    bool full() const { return size_ == cap; }
 
     void clear();
 
   private:
+    /** Intrusive LRU-list node; prev/next are node indices. */
+    struct Node
+    {
+        Addr line = 0;
+        std::uint32_t prev = nil;
+        std::uint32_t next = nil;
+    };
+
+    /** Null node index (list ends, free-list end). */
+    static constexpr std::uint32_t nil = 0xFFFFFFFFu;
+
+    /** Fibonacci mix; high bits select the slot. */
+    std::size_t
+    slotOf(Addr line) const
+    {
+        return static_cast<std::size_t>(
+            (line * 0x9E3779B97F4A7C15ull) >> hashShift);
+    }
+
+    /**
+     * Slot holding @p line, or the empty slot where a probe for it
+     * ends (load factor <= 1/2 guarantees one exists).
+     */
+    std::size_t findSlot(Addr line) const;
+
+    /** Remove @p line's table entry (backward-shift deletion). */
+    void tableErase(Addr line);
+
+    /** Shift-close the hole at occupied slot @p hole. */
+    void tableEraseAt(std::size_t hole);
+
+    /** Detach node @p idx from the LRU list. */
+    void listUnlink(std::uint32_t idx);
+
+    /** Attach node @p idx at the MRU end. */
+    void listPushFront(std::uint32_t idx);
+
     std::size_t cap;
-    std::list<LineAddr> order;  ///< front = MRU, back = LRU
-    std::unordered_map<LineAddr, std::list<LineAddr>::iterator> map;
+    std::size_t size_ = 0;
+    std::size_t slotMask;     ///< slots.size() - 1 (power of two)
+    unsigned hashShift;       ///< 64 - log2(slots.size())
+    std::uint32_t head = nil; ///< MRU
+    std::uint32_t tail = nil; ///< LRU
+    std::uint32_t freeHead = 0;
+    std::vector<Node> nodes;  ///< cap nodes, recycled in place
+    /** Open-addressed table of node index + 1; 0 = empty slot. */
+    std::vector<std::uint32_t> slots;
 };
 
 } // namespace ccm

@@ -149,6 +149,24 @@ struct WayIndex : detail::StrongValue<WayIndex, unsigned>
 inline constexpr ByteAddr invalidByteAddr{invalidAddr};
 inline constexpr LineAddr invalidLineAddr{invalidAddr};
 
+/**
+ * Fibonacci-mix hash for raw Addr keys in hash containers.  The
+ * standard library's integer hash is the identity on common
+ * implementations, which clusters the page numbers and line
+ * addresses this repo keys maps with (sequential and power-of-two
+ * strided); multiplying by the golden-ratio constant and folding the
+ * high half down spreads them.
+ */
+struct AddrMixHash
+{
+    std::size_t
+    operator()(Addr v) const noexcept
+    {
+        const Addr x = v * 0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(x ^ (x >> 32));
+    }
+};
+
 // The wrappers are free abstractions: same size, trivially copyable,
 // and (unlike the raw integers) mutually non-convertible.
 static_assert(sizeof(ByteAddr) == sizeof(Addr));

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Flat open-addressed hash set of Addr keys.
+ *
+ * Built for hot-loop membership bookkeeping (the oracle consults and
+ * extends its ever-seen set once per classified reference): probing
+ * walks one contiguous array, slots are selected by a Fibonacci mix
+ * of the key so line-aligned power-of-two-strided addresses spread
+ * instead of clustering, and the table doubles at load factor 1/2 so
+ * probe chains stay short.  A combined insertCheck() answers "was it
+ * already present?" with the same probe that performs the insert.
+ */
+
+#ifndef CCM_COMMON_FLAT_SET_HH
+#define CCM_COMMON_FLAT_SET_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Unbounded flat hash set of addresses. */
+class FlatAddrSet
+{
+  public:
+    FlatAddrSet() { slots.assign(minSlots, emptyMark); }
+
+    /**
+     * Insert @p v if absent.
+     * @return true iff @p v was already a member.
+     */
+    bool
+    insertCheck(Addr v)
+    {
+        if (v == emptyMark) {
+            // The all-ones key doubles as the empty-slot marker, so
+            // its membership lives in a side flag.
+            const bool had = hasMark;
+            hasMark = true;
+            return had;
+        }
+        std::size_t i = slotOf(v);
+        while (slots[i] != emptyMark) {
+            if (slots[i] == v)
+                return true;
+            i = (i + 1) & mask();
+        }
+        slots[i] = v;
+        ++stored;
+        if (stored * 2 >= slots.size())
+            grow();
+        return false;
+    }
+
+    /** @return true iff @p v is a member (no insert). */
+    bool
+    contains(Addr v) const
+    {
+        if (v == emptyMark)
+            return hasMark;
+        std::size_t i = slotOf(v);
+        while (slots[i] != emptyMark) {
+            if (slots[i] == v)
+                return true;
+            i = (i + 1) & mask();
+        }
+        return false;
+    }
+
+    std::size_t size() const { return stored + (hasMark ? 1 : 0); }
+
+    void
+    clear()
+    {
+        slots.assign(minSlots, emptyMark);
+        stored = 0;
+        hasMark = false;
+    }
+
+  private:
+    /** Empty-slot marker; the value itself is tracked in hasMark. */
+    static constexpr Addr emptyMark = ~Addr{0};
+    static constexpr std::size_t minSlots = 1024;
+
+    std::size_t mask() const { return slots.size() - 1; }
+
+    /** Fibonacci mix; high bits select the slot. */
+    std::size_t
+    slotOf(Addr v) const
+    {
+        return static_cast<std::size_t>(
+            (v * 0x9E3779B97F4A7C15ull) >> hashShift);
+    }
+
+    void
+    grow()
+    {
+        std::vector<Addr> old = std::move(slots);
+        slots.assign(old.size() * 2, emptyMark);
+        --hashShift;
+        for (Addr v : old) {
+            if (v == emptyMark)
+                continue;
+            std::size_t i = slotOf(v);
+            while (slots[i] != emptyMark)
+                i = (i + 1) & mask();
+            slots[i] = v;
+        }
+    }
+
+    /** 64 - log2(slots.size()), kept in sync by grow(). */
+    unsigned hashShift = 54;
+    std::size_t stored = 0;
+    bool hasMark = false;
+    std::vector<Addr> slots;
+};
+
+} // namespace ccm
+
+#endif // CCM_COMMON_FLAT_SET_HH

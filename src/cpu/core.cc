@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "trace/batch_reader.hh"
 
 namespace ccm
 {
@@ -13,6 +14,10 @@ SimResult
 Core::run(TraceSource &trace, MemorySystem &mem)
 {
     trace.reset();
+
+    // Pull records in batches: the per-record virtual next() call is
+    // the hottest dispatch in a timing run (docs/PERFORMANCE.md).
+    BatchReader reader(trace);
 
     // Deterministic wrong-path generator (squashed speculative
     // loads; see CoreConfig::wrongPathRate).
@@ -30,7 +35,7 @@ Core::run(TraceSource &trace, MemorySystem &mem)
     Cycle last_load_complete = 0;
 
     MemRecord rec;
-    bool have = trace.next(rec);
+    bool have = reader.next(rec);
 
     while (have || count > 0) {
         // In-order retire, up to retireWidth per cycle.
@@ -90,7 +95,7 @@ Core::run(TraceSource &trace, MemorySystem &mem)
             ++count;
             ++instrs;
             ++dispatched;
-            have = trace.next(rec);
+            have = reader.next(rec);
         }
 
         // Advance time; when the window is blocked, jump straight to

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "trace/batch_reader.hh"
 
 namespace ccm
 {
@@ -45,10 +46,15 @@ SmtCore::run(const std::vector<TraceSource *> &traces,
 
     const std::size_t window = cfg.robSize / nThreads;
     std::vector<Context> ctx(nThreads);
+    // One batch-buffered reader per hardware context (the contexts'
+    // traces are independent streams).
+    std::vector<BatchReader> readers;
+    readers.reserve(nThreads);
     for (unsigned t = 0; t < nThreads; ++t) {
         ctx[t].rob.assign(window, 0);
         traces[t]->reset();
-        ctx[t].havePending = traces[t]->next(ctx[t].pending);
+        readers.emplace_back(*traces[t]);
+        ctx[t].havePending = readers[t].next(ctx[t].pending);
         ctx[t].drained = !ctx[t].havePending;
     }
 
@@ -115,7 +121,7 @@ SmtCore::run(const std::vector<TraceSource *> &traces,
                 ++c.count;
                 ++c.instrs;
                 ++dispatched;
-                c.havePending = traces[t]->next(c.pending);
+                c.havePending = readers[t].next(c.pending);
                 if (!c.havePending)
                     c.drained = true;
             }

@@ -1,8 +1,11 @@
 #include "mct/classify_run.hh"
 
+#include <array>
+
 #include "cache/cache.hh"
 #include "mct/oracle.hh"
 #include "mct/shadow.hh"
+#include "trace/batch_reader.hh"
 
 namespace ccm
 {
@@ -21,36 +24,43 @@ classifyRun(TraceSource &trace, const ClassifyConfig &cfg)
     ClassifyResult res;
 
     trace.reset();
-    MemRecord r;
-    while (trace.next(r)) {
-        if (!r.isMem())
-            continue;
-        ++res.references;
+    // Loop-driven pipeline: pull fixed-size batches and walk them in
+    // place (no per-record copy-out), the hot-path delivery shape.
+    std::array<MemRecord, maxTraceBatch> buf;
+    const std::size_t batch = traceBatchSize();
+    for (std::size_t n; (n = trace.nextBatch(buf.data(), batch)) > 0;) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const MemRecord &r = buf[i];
+            if (!r.isMem())
+                continue;
+            ++res.references;
 
-        const ByteAddr addr = r.dataAddr();
-        LineAddr line = geom.lineOf(addr);
-        bool hit = cache.access(addr, r.isStore());
-        MissClass oracle_cls = oracle.observe(line, !hit);
-        if (cfg.observer)
-            cfg.observer->onReference(!hit);
-        if (hit)
-            continue;
+            const ByteAddr addr = r.dataAddr();
+            LineAddr line = geom.lineOf(addr);
+            bool hit = cache.access(addr, r.isStore());
+            MissClass oracle_cls = oracle.observe(line, !hit);
+            if (cfg.observer)
+                cfg.observer->onReference(!hit);
+            if (hit)
+                continue;
 
-        ++res.misses;
-        SetIndex set = geom.setOf(addr);
-        Tag tag = geom.tagOf(addr);
+            ++res.misses;
+            SetIndex set = geom.setOf(addr);
+            Tag tag = geom.tagOf(addr);
 
-        MissClass mct_cls = mct.classify(set, tag);
-        res.scorer.record(mct_cls, oracle_cls);
-        if (cfg.observer)
-            cfg.observer->onMiss(set, tag, mct_cls, oracle_cls);
+            MissClass mct_cls = mct.classify(set, tag);
+            res.scorer.record(mct_cls, oracle_cls);
+            if (cfg.observer)
+                cfg.observer->onMiss(set, tag, mct_cls, oracle_cls);
 
-        // Fill and remember the evicted tag, exactly as the hardware
-        // would: MCT is written only with evicted-line tags.
-        FillResult ev = cache.fill(addr, isConflict(mct_cls),
-                                   r.isStore());
-        if (ev.valid)
-            mct.recordEviction(set, geom.tagOf(ev.lineAddr));
+            // Fill and remember the evicted tag, exactly as the
+            // hardware would: MCT is written only with evicted-line
+            // tags.
+            FillResult ev = cache.fill(addr, isConflict(mct_cls),
+                                       r.isStore());
+            if (ev.valid)
+                mct.recordEviction(set, geom.tagOf(ev.lineAddr));
+        }
     }
 
     res.missRate = safeRatio(res.misses, res.references);

@@ -10,21 +10,21 @@ OracleClassifier::OracleClassifier(std::size_t num_lines) : fa(num_lines)
 MissClass
 OracleClassifier::observe(LineAddr line_addr, bool real_cache_miss)
 {
-    MissClass cls = MissClass::Capacity;
-    if (real_cache_miss) {
-        if (!seen.count(line_addr))
-            cls = MissClass::Compulsory;
-        else if (fa.contains(line_addr))
-            cls = MissClass::Conflict;
-        else
-            cls = MissClass::Capacity;
-    }
+    // One probe answers membership-before-update and performs the
+    // update; this runs once per classified reference.  A line
+    // resident in the FA model is always already in the seen-set
+    // (both are extended together below and the seen-set never
+    // shrinks), so the probe into the large seen table is skipped on
+    // the common FA-hit path.
+    const bool fa_hit = fa.touchOrInsert(line_addr);
+    const bool was_seen =
+        fa_hit || seen.insertCheck(line_addr.value());
 
-    // Update the fully-associative model with this reference.
-    if (!fa.touch(line_addr))
-        fa.insert(line_addr);
-    seen.insert(line_addr);
-    return cls;
+    if (!real_cache_miss)
+        return MissClass::Capacity;
+    if (!was_seen)
+        return MissClass::Compulsory;
+    return fa_hit ? MissClass::Conflict : MissClass::Capacity;
 }
 
 void

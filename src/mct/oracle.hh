@@ -16,10 +16,10 @@
 #define CCM_MCT_ORACLE_HH
 
 #include <cstddef>
-#include <unordered_set>
 
 #include "cache/fa_lru.hh"
 #include "common/addr_types.hh"
+#include "common/flat_set.hh"
 #include "mct/miss_class.hh"
 
 namespace ccm
@@ -51,7 +51,7 @@ class OracleClassifier
 
   private:
     FaLru fa;
-    std::unordered_set<LineAddr> seen;
+    FlatAddrSet seen;
 };
 
 } // namespace ccm

@@ -13,6 +13,9 @@ CmlBuffer::CmlBuffer(std::size_t page_bytes)
 {
     if (!isPowerOfTwo(page_bytes))
         ccm_fatal("page size must be a power of two: ", page_bytes);
+    // Pre-size for a typical hot-page working set so epoch-steady
+    // recording does not rehash.
+    counts.reserve(1024);
 }
 
 void

@@ -55,7 +55,9 @@ class CmlBuffer
 
   private:
     unsigned pageShift;
-    std::unordered_map<Addr, std::uint32_t> counts;
+    /** Mixed hash: page numbers are sequential and would cluster
+     *  under the identity hash. */
+    std::unordered_map<Addr, std::uint32_t, AddrMixHash> counts;
 };
 
 } // namespace ccm

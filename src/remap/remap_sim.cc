@@ -1,9 +1,11 @@
 #include "remap/remap_sim.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "trace/batch_reader.hh"
 
 namespace ccm
 {
@@ -23,6 +25,9 @@ PageRemapSim::PageRemapSim(const RemapConfig &config)
                   "mean anything");
     if (!isPowerOfTwo(numColors))
         ccm_fatal("colors must be a power of two: ", numColors);
+    // Pre-size for a typical page working set so the per-reference
+    // translate() lookup does not rehash mid-run.
+    colorOf.reserve(4096);
 }
 
 ByteAddr
@@ -94,28 +99,36 @@ PageRemapSim::run(TraceSource &trace)
     remaps = 0;
 
     trace.reset();
-    MemRecord r;
+    // Loop-driven pipeline: batches are walked in place, same shape
+    // as classifyRun.
+    std::array<MemRecord, maxTraceBatch> buf;
+    const std::size_t batch = traceBatchSize();
     Count since_epoch = 0;
-    while (trace.next(r)) {
-        if (!r.isMem())
-            continue;
-        ++res.references;
+    for (std::size_t n; (n = trace.nextBatch(buf.data(), batch)) > 0;) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const MemRecord &r = buf[i];
+            if (!r.isMem())
+                continue;
+            ++res.references;
 
-        ByteAddr paddr = translate(r.dataAddr());
-        if (!cache.access(paddr, r.isStore())) {
-            ++res.misses;
-            SetIndex set = geom.setOf(paddr);
-            bool conflict = mct.isConflictMiss(set, geom.tagOf(paddr));
-            if (conflict || !cfg.conflictOnly)
-                cml.recordMiss(r.dataAddr());
-            FillResult ev = cache.fill(paddr, conflict, r.isStore());
-            if (ev.valid)
-                mct.recordEviction(set, geom.tagOf(ev.lineAddr));
-        }
+            ByteAddr paddr = translate(r.dataAddr());
+            if (!cache.access(paddr, r.isStore())) {
+                ++res.misses;
+                SetIndex set = geom.setOf(paddr);
+                bool conflict =
+                    mct.isConflictMiss(set, geom.tagOf(paddr));
+                if (conflict || !cfg.conflictOnly)
+                    cml.recordMiss(r.dataAddr());
+                FillResult ev =
+                    cache.fill(paddr, conflict, r.isStore());
+                if (ev.valid)
+                    mct.recordEviction(set, geom.tagOf(ev.lineAddr));
+            }
 
-        if (++since_epoch >= cfg.epochRefs) {
-            since_epoch = 0;
-            pollAndRemap();
+            if (++since_epoch >= cfg.epochRefs) {
+                since_epoch = 0;
+                pollAndRemap();
+            }
         }
     }
 

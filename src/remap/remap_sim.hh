@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "common/addr_types.hh"
 #include "common/types.hh"
 #include "mct/mct.hh"
 #include "remap/cml.hh"
@@ -79,8 +80,8 @@ class PageRemapSim
     CmlBuffer cml;
 
     unsigned numColors;
-    /** vpage -> assigned color. */
-    std::unordered_map<Addr, unsigned> colorOf;
+    /** vpage -> assigned color (mixed hash; see AddrMixHash). */
+    std::unordered_map<Addr, unsigned, AddrMixHash> colorOf;
     /** Live page count per color (for least-loaded choice). */
     std::vector<Count> colorLoad;
 

@@ -1,0 +1,54 @@
+#include "trace/batch_reader.hh"
+
+#include <cstdlib>
+
+namespace ccm
+{
+
+namespace
+{
+
+std::size_t
+clampBatch(std::size_t n)
+{
+    if (n == 0)
+        return 1;
+    if (n > maxTraceBatch)
+        return maxTraceBatch;
+    return n;
+}
+
+std::size_t
+initialBatchSize()
+{
+    if (const char *env = std::getenv("CCM_TRACE_BATCH")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            return clampBatch(static_cast<std::size_t>(v));
+    }
+    return maxTraceBatch;
+}
+
+std::size_t &
+batchSizeSlot()
+{
+    static std::size_t n = initialBatchSize();
+    return n;
+}
+
+} // namespace
+
+std::size_t
+traceBatchSize()
+{
+    return batchSizeSlot();
+}
+
+void
+setTraceBatchSize(std::size_t n)
+{
+    batchSizeSlot() = clampBatch(n);
+}
+
+} // namespace ccm

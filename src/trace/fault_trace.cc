@@ -26,14 +26,42 @@ FaultInjectingSource::FaultInjectingSource(TraceSource &inner,
 }
 
 bool
+FaultInjectingSource::innerNext(MemRecord &out)
+{
+    if (innerPos == innerCount) {
+        innerCount = inner_.nextBatch(innerBuf.data(), maxTraceBatch);
+        innerPos = 0;
+        if (innerCount == 0)
+            return false;
+    }
+    out = innerBuf[innerPos++];
+    return true;
+}
+
+bool
 FaultInjectingSource::next(MemRecord &out)
+{
+    return emitOne(out);
+}
+
+std::size_t
+FaultInjectingSource::nextBatch(MemRecord *out, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n && emitOne(out[got]))
+        ++got;
+    return got;
+}
+
+bool
+FaultInjectingSource::emitOne(MemRecord &out)
 {
     if (plan_.truncateAfter > 0 && emitted >= plan_.truncateAfter) {
         // Drain nothing further: the dirty trace ends here even
         // though the clean source has more.
         if (!stats_.truncated) {
             MemRecord probe;
-            stats_.truncated = inner_.next(probe);
+            stats_.truncated = innerNext(probe);
         }
         return false;
     }
@@ -47,7 +75,7 @@ FaultInjectingSource::next(MemRecord &out)
 
     MemRecord r;
     for (;;) {
-        if (!inner_.next(r))
+        if (!innerNext(r))
             return false;
         if (plan_.dropRate > 0 && rng.chance(plan_.dropRate)) {
             ++stats_.drops;
@@ -85,6 +113,8 @@ FaultInjectingSource::reset()
     stats_ = FaultStats{};
     emitted = 0;
     havePendingDup = false;
+    innerPos = 0;
+    innerCount = 0;
 }
 
 } // namespace ccm

@@ -20,10 +20,12 @@
 #ifndef CCM_TRACE_FAULT_TRACE_HH
 #define CCM_TRACE_FAULT_TRACE_HH
 
+#include <array>
 #include <string>
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "trace/batch_reader.hh"
 #include "trace/source.hh"
 
 namespace ccm
@@ -72,6 +74,13 @@ class FaultInjectingSource : public TraceSource
 
     bool next(MemRecord &out) override;
 
+    /**
+     * Batch delivery: the clean source is drained in batches and the
+     * fault plan applied record by record, so the dirty stream is
+     * bit-identical to the next() path for any batch partitioning.
+     */
+    std::size_t nextBatch(MemRecord *out, std::size_t n) override;
+
     /** Rewind and reseed: the same dirty stream replays exactly. */
     void reset() override;
 
@@ -84,6 +93,12 @@ class FaultInjectingSource : public TraceSource
     const FaultPlan &plan() const { return plan_; }
 
   private:
+    /** The per-record fault pipeline shared by next()/nextBatch(). */
+    bool emitOne(MemRecord &out);
+
+    /** Pull one clean record through the batched inner buffer. */
+    bool innerNext(MemRecord &out);
+
     TraceSource &inner_;
     FaultPlan plan_;
     FaultStats stats_;
@@ -91,6 +106,11 @@ class FaultInjectingSource : public TraceSource
     std::size_t emitted = 0;
     MemRecord pendingDup;
     bool havePendingDup = false;
+
+    /** Read-ahead over the clean source (batched virtual pulls). */
+    std::array<MemRecord, maxTraceBatch> innerBuf;
+    std::size_t innerPos = 0;
+    std::size_t innerCount = 0;
 };
 
 } // namespace ccm

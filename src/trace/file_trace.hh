@@ -164,6 +164,7 @@ class TraceFileReader : public TraceSource
     open(const std::string &path, const TraceReadOptions &opts = {});
 
     bool next(MemRecord &out) override;
+    std::size_t nextBatch(MemRecord *out, std::size_t n) override;
     void reset() override { pos = 0; }
     std::string name() const override { return label; }
 

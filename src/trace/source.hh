@@ -8,6 +8,7 @@
 #ifndef CCM_TRACE_SOURCE_HH
 #define CCM_TRACE_SOURCE_HH
 
+#include <cstddef>
 #include <string>
 
 #include "trace/record.hh"
@@ -29,6 +30,31 @@ class TraceSource
      * @retval false the trace is exhausted
      */
     virtual bool next(MemRecord &out) = 0;
+
+    /**
+     * Produce up to @p n records into @p out, in stream order.
+     *
+     * Contract: the concatenation of successive nextBatch() results is
+     * the exact record sequence next() would have produced (mixing the
+     * two styles on one source is also allowed).  A return value of 0
+     * means the trace is exhausted; a short (nonzero) batch carries no
+     * end-of-trace meaning by itself, callers must pull again.
+     *
+     * The default loops over next(); implementations on the hot path
+     * override it to amortize the virtual call over the whole batch
+     * (bulk copies for in-memory traces, tight generation loops for
+     * the synthetic workloads).
+     *
+     * @return number of records produced (0 iff exhausted)
+     */
+    virtual std::size_t
+    nextBatch(MemRecord *out, std::size_t n)
+    {
+        std::size_t got = 0;
+        while (got < n && next(out[got]))
+            ++got;
+        return got;
+    }
 
     /** Rewind to the beginning so the trace can be replayed. */
     virtual void reset() = 0;

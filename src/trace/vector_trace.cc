@@ -1,5 +1,9 @@
 #include "trace/vector_trace.hh"
 
+#include <algorithm>
+
+#include "trace/batch_reader.hh"
+
 namespace ccm
 {
 
@@ -9,9 +13,10 @@ VectorTrace::capture(TraceSource &src)
     VectorTrace t;
     t.setName(src.name());
     src.reset();
-    MemRecord r;
-    while (src.next(r))
-        t.push(r);
+    MemRecord chunk[maxTraceBatch];
+    std::size_t got;
+    while ((got = src.nextBatch(chunk, maxTraceBatch)) > 0)
+        t.records.insert(t.records.end(), chunk, chunk + got);
     return t;
 }
 
@@ -22,6 +27,17 @@ VectorTrace::next(MemRecord &out)
         return false;
     out = records[pos++];
     return true;
+}
+
+std::size_t
+VectorTrace::nextBatch(MemRecord *out, std::size_t n)
+{
+    const std::size_t got = std::min(n, records.size() - pos);
+    std::copy_n(records.begin() +
+                    static_cast<std::ptrdiff_t>(pos),
+                got, out);
+    pos += got;
+    return got;
 }
 
 void

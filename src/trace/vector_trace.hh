@@ -32,6 +32,7 @@ class VectorTrace : public TraceSource
     static VectorTrace capture(TraceSource &src);
 
     bool next(MemRecord &out) override;
+    std::size_t nextBatch(MemRecord *out, std::size_t n) override;
     void reset() override { pos = 0; }
     std::string name() const override { return label; }
 

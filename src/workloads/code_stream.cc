@@ -51,6 +51,29 @@ CodeStreamWorkload::next(MemRecord &out)
     return true;
 }
 
+std::size_t
+CodeStreamWorkload::nextBatch(MemRecord *out, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n && emitted < total) {
+        const CodeFunction &f = funcs[seq[seqPos]];
+        Addr pc = f.entry + instrInFunc * 4;
+
+        out[got] = MemRecord{};
+        out[got].pc = pc;
+        out[got].addr = pc;
+        out[got].type = RecordType::Load;
+        ++got;
+
+        ++emitted;
+        if (++instrInFunc >= f.instrs) {
+            instrInFunc = 0;
+            seqPos = (seqPos + 1) % seq.size();
+        }
+    }
+    return got;
+}
+
 void
 CodeStreamWorkload::reset()
 {

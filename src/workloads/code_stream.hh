@@ -48,6 +48,7 @@ class CodeStreamWorkload : public TraceSource
                        std::size_t total_instrs);
 
     bool next(MemRecord &out) override;
+    std::size_t nextBatch(MemRecord *out, std::size_t n) override;
     void reset() override;
     std::string name() const override { return label; }
 

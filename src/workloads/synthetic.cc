@@ -17,7 +17,7 @@ SyntheticWorkload::SyntheticWorkload(std::string label,
 }
 
 bool
-SyntheticWorkload::next(MemRecord &out)
+SyntheticWorkload::emitOne(MemRecord &out)
 {
     if (memEmitted >= memRefs_)
         return false;
@@ -34,6 +34,24 @@ SyntheticWorkload::next(MemRecord &out)
     out = genMem();
     ++memEmitted;
     return true;
+}
+
+bool
+SyntheticWorkload::next(MemRecord &out)
+{
+    return emitOne(out);
+}
+
+std::size_t
+SyntheticWorkload::nextBatch(MemRecord *out, std::size_t n)
+{
+    // Tight generation loop: one virtual call per batch instead of
+    // per record (genMem() stays virtual but runs only once per
+    // gap+1 records).
+    std::size_t got = 0;
+    while (got < n && emitOne(out[got]))
+        ++got;
+    return got;
 }
 
 void

@@ -37,6 +37,7 @@ class SyntheticWorkload : public TraceSource
                       unsigned non_mem_per_mem, std::uint64_t seed);
 
     bool next(MemRecord &out) final;
+    std::size_t nextBatch(MemRecord *out, std::size_t n) final;
     void reset() final;
     std::string name() const override { return label_; }
 
@@ -79,6 +80,9 @@ class SyntheticWorkload : public TraceSource
     }
 
   private:
+    /** One generation step, shared by next()/nextBatch(). */
+    bool emitOne(MemRecord &out);
+
     std::string label_;
     std::size_t memRefs_;
     unsigned gap;

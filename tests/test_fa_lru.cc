@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <list>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "cache/fa_lru.hh"
@@ -170,6 +172,136 @@ TEST_P(FaLruProperty, MatchesReferenceModel)
 
 INSTANTIATE_TEST_SUITE_P(Capacities, FaLruProperty,
                          ::testing::Values(1, 2, 8, 64, 256));
+
+/**
+ * O(1)-per-op reference model: the std::list + iterator-map LRU the
+ * flat implementation replaced.  Mirrors the FaLru API exactly so a
+ * long random run can compare outcomes op for op.
+ */
+class ListLru
+{
+  public:
+    explicit ListLru(std::size_t num_lines) : cap(num_lines) {}
+
+    bool contains(LineAddr a) const { return map.count(a.value()) > 0; }
+
+    bool
+    touch(LineAddr a)
+    {
+        auto it = map.find(a.value());
+        if (it == map.end())
+            return false;
+        lru.splice(lru.begin(), lru, it->second);
+        return true;
+    }
+
+    std::optional<LineAddr>
+    insert(LineAddr a)
+    {
+        std::optional<LineAddr> evicted;
+        if (map.size() == cap) {
+            evicted = LineAddr{lru.back()};
+            map.erase(lru.back());
+            lru.pop_back();
+        }
+        lru.push_front(a.value());
+        map[a.value()] = lru.begin();
+        return evicted;
+    }
+
+    bool
+    touchOrInsert(LineAddr a)
+    {
+        if (touch(a))
+            return true;
+        insert(a);
+        return false;
+    }
+
+    bool
+    erase(LineAddr a)
+    {
+        auto it = map.find(a.value());
+        if (it == map.end())
+            return false;
+        lru.erase(it->second);
+        map.erase(it);
+        return true;
+    }
+
+    std::optional<LineAddr>
+    lruLine() const
+    {
+        if (lru.empty())
+            return std::nullopt;
+        return LineAddr{lru.back()};
+    }
+
+    std::size_t size() const { return map.size(); }
+
+  private:
+    std::size_t cap;
+    std::list<Addr> lru;  // front = MRU
+    std::unordered_map<Addr, std::list<Addr>::iterator> map;
+};
+
+/**
+ * Long-run equivalence: one million mixed touch / touchOrInsert /
+ * insert / erase operations against the reference model, at the
+ * oracle's capacity, with an address universe four times the
+ * capacity so the full/recycle path (and its backward-shift table
+ * deletions) runs constantly.
+ */
+TEST(FaLruProperty, MillionOpEquivalenceAgainstListReference)
+{
+    constexpr std::size_t cap = 256;
+    FaLru f(cap);
+    ListLru ref(cap);
+
+    Pcg32 rng(424242);
+    for (std::size_t step = 0; step < 1'000'000; ++step) {
+        LineAddr a{Addr(rng.below(4 * cap)) * 64};
+        switch (rng.below(8)) {
+          case 0: {  // separate touch-then-insert access
+            const bool hit = f.touch(a);
+            ASSERT_EQ(hit, ref.touch(a)) << "step " << step;
+            if (!hit) {
+                auto ev = f.insert(a);
+                auto rev = ref.insert(a);
+                ASSERT_EQ(ev.has_value(), rev.has_value())
+                    << "step " << step;
+                if (ev.has_value()) {
+                    ASSERT_EQ(*ev, *rev) << "step " << step;
+                }
+            }
+            break;
+          }
+          case 1: {  // erase
+            ASSERT_EQ(f.erase(a), ref.erase(a)) << "step " << step;
+            break;
+          }
+          case 2: {  // read-only agreement
+            ASSERT_EQ(f.contains(a), ref.contains(a))
+                << "step " << step;
+            ASSERT_EQ(f.size(), ref.size()) << "step " << step;
+            ASSERT_EQ(f.lruLine().has_value(),
+                      ref.lruLine().has_value())
+                << "step " << step;
+            if (f.lruLine().has_value()) {
+                ASSERT_EQ(*f.lruLine(), *ref.lruLine())
+                    << "step " << step;
+            }
+            break;
+          }
+          default: {  // combined access — the oracle's hot path
+            ASSERT_EQ(f.touchOrInsert(a), ref.touchOrInsert(a))
+                << "step " << step;
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(f.size(), ref.size());
+}
 
 } // namespace
 } // namespace ccm

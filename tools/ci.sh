@@ -10,6 +10,11 @@
 #   7. observability smoke: ccm-sim --stats-json on a tiny suite run,
 #      validated and rendered by ccm-report; --jobs 2 must produce a
 #      stats document identical to --jobs 1 modulo wall-time fields
+#   8. perf smoke: the micro_throughput hotpath table (writes
+#      BENCH_hotpath.json for comparison against bench/baselines/),
+#      plus batching determinism: a suite run with CCM_TRACE_BATCH=1
+#      (record-at-a-time delivery) must be byte-identical to the
+#      default batched run
 #
 # Fails on the first nonzero step.  Usage: tools/ci.sh [-j N]
 
@@ -75,5 +80,26 @@ build/tools/ccm-sim --workload go --refs 5000 --arch baseline \
     --stats-json "$obs_tmp/run.json" > /dev/null
 build/tools/ccm-report --check "$obs_tmp/run.json"
 build/tools/ccm-report "$obs_tmp/run.json" > /dev/null
+
+step "perf smoke (micro_throughput hotpath table)"
+CCM_BENCH_JSON_DIR="$obs_tmp" build/bench/micro_throughput \
+    --hotpath-only
+test -s "$obs_tmp/BENCH_hotpath.json"
+
+# Batching determinism: batched delivery must not change a single
+# simulated byte.  CCM_TRACE_BATCH=1 restores record-at-a-time pulls;
+# its suite document must equal the default batched one exactly
+# (modulo wall time).
+step "batched vs unbatched determinism"
+build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
+    --stats-json "$obs_tmp/batched.json" > /dev/null
+CCM_TRACE_BATCH=1 \
+    build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
+    --stats-json "$obs_tmp/unbatched.json" > /dev/null
+if ! diff <(grep -v wall_seconds "$obs_tmp/batched.json") \
+          <(grep -v wall_seconds "$obs_tmp/unbatched.json"); then
+    echo "FAIL: batched simulation output differs from unbatched" >&2
+    exit 1
+fi
 
 step "all green"
