@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Ingestion throughput of the ccm-serve stack (records/second), layer
+ * by layer, so a regression can be blamed on the right one:
+ *
+ *  - frame-parse: FrameParser alone over an in-memory byte stream
+ *  - queue:       RecordQueue producer/consumer hand-off alone
+ *  - serve-N:     the whole daemon over unix-domain sockets with N
+ *                 concurrent producers (simulation included — this is
+ *                 the number a capacity plan actually needs)
+ *
+ * Emits BENCH_serve.json (obs::writeBenchJson); the committed
+ * baseline lives at bench/baselines/BENCH_serve.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "serve/frame.hh"
+#include "serve/queue.hh"
+
+namespace
+{
+
+using namespace ccm;
+using namespace ccm::bench;
+
+/** Records streamed per producer (smaller than timingRefs: each
+ *  serve-N row simulates all of them through the full pipeline). */
+constexpr std::size_t kRecordsPerStream = 200'000;
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedSeconds(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** All records of one captured workload, round-robin if short. */
+std::vector<MemRecord>
+materialize(std::size_t n)
+{
+    VectorTrace trace = captureWorkload("tomcatv");
+    std::vector<MemRecord> out;
+    out.reserve(n);
+    MemRecord r;
+    while (out.size() < n) {
+        if (!trace.next(r))
+            trace.reset();
+        else
+            out.push_back(r);
+    }
+    return out;
+}
+
+double
+benchFrameParse(const std::vector<MemRecord> &recs)
+{
+    std::vector<std::uint8_t> wire;
+    serve::appendHelloFrame(wire, "bench");
+    serve::appendRecordsFrames(wire, recs.data(), recs.size());
+    serve::appendEndFrame(wire);
+
+    struct NullSink final : serve::FrameSink
+    {
+        void onHello(std::uint32_t, const std::string &) override {}
+        void onRecords(const MemRecord *, std::size_t) override {}
+        void onEnd() override {}
+    } sink;
+
+    const auto start = Clock::now();
+    serve::FrameParser parser;
+    // Feed in socket-read-sized chunks, as the daemon would see them.
+    constexpr std::size_t chunk = 64 * 1024;
+    for (std::size_t at = 0; at < wire.size(); at += chunk)
+        parser.feed(wire.data() + at,
+                    std::min(chunk, wire.size() - at), sink);
+    parser.finish(sink);
+    return elapsedSeconds(start);
+}
+
+double
+benchQueue(const std::vector<MemRecord> &recs)
+{
+    serve::RecordQueue q(8192, serve::OverflowPolicy::Block);
+    const auto start = Clock::now();
+    std::thread producer([&] {
+        constexpr std::size_t chunk = 256;
+        for (std::size_t at = 0; at < recs.size(); at += chunk)
+            q.push(recs.data() + at,
+                   std::min(chunk, recs.size() - at));
+        q.closeInput();
+    });
+    MemRecord buf[256];
+    while (q.pop(buf, 256) != 0) {
+    }
+    producer.join();
+    return elapsedSeconds(start);
+}
+
+double
+benchServe(const std::vector<MemRecord> &recs, std::size_t streams)
+{
+    serve::ServeOptions opts;
+    opts.socketPath = "/tmp/ccm_bench_serve.sock";
+    opts.maxStreams = streams;
+    serve::ServeDaemon daemon(opts);
+    Status s = daemon.start();
+    if (!s.isOk()) {
+        std::cerr << "serve bench: " << s.toString() << "\n";
+        std::exit(1);
+    }
+
+    const auto start = Clock::now();
+    std::vector<std::thread> producers;
+    producers.reserve(streams);
+    for (std::size_t i = 0; i < streams; ++i) {
+        producers.emplace_back([&, i] {
+            auto client = serve::ServeClient::connect(
+                opts.socketPath, "bench-" + std::to_string(i));
+            if (!client.ok())
+                return;
+            constexpr std::size_t chunk = serve::kMaxRecordsPerFrame;
+            for (std::size_t at = 0; at < recs.size(); at += chunk) {
+                if (!client.value()
+                         .sendRecords(recs.data() + at,
+                                      std::min(chunk,
+                                               recs.size() - at))
+                         .isOk())
+                    return;
+            }
+            (void)client.value().sendEnd();
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    daemon.drainAndStop(); // joins every simulation to completion
+    return elapsedSeconds(start);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    (void)parseJobs(argc, argv);
+
+    const std::vector<MemRecord> recs = materialize(kRecordsPerStream);
+
+    TextTable table({"stage", "streams", "records", "seconds",
+                     "records/s"});
+    auto addRow = [&](const std::string &stage, std::size_t streams,
+                      double seconds) {
+        const double total =
+            double(recs.size()) * double(streams);
+        auto row = table.addRow(stage);
+        table.set(row, 1, std::to_string(streams));
+        table.set(row, 2,
+                  std::to_string(recs.size() * streams));
+        table.setNum(row, 3, seconds, 3);
+        table.setNum(row, 4, total / seconds, 0);
+    };
+
+    addRow("frame-parse", 1, benchFrameParse(recs));
+    addRow("queue", 1, benchQueue(recs));
+    for (std::size_t n : {std::size_t{1}, std::size_t{4},
+                          std::size_t{8}})
+        addRow("serve", n, benchServe(recs, n));
+
+    table.print(std::cout);
+    emitBenchJson("serve", table);
+    std::cout << "\nframe-parse and queue bound the transport; the "
+              << "serve rows include full per-stream simulation and "
+              << "are the deployable ingest rate\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Signal-safe shutdown latch for long-running binaries.
+ *
+ * A daemon that wants graceful SIGTERM drain and SIGHUP config reload
+ * needs a way to get those requests out of an async-signal context
+ * and into threads blocked in poll()/condition waits.  ShutdownLatch
+ * is that bridge: the signal handler only touches a sig_atomic_t flag
+ * and writes one byte to a self-pipe (both async-signal-safe), and
+ * everything else — threads polling wakeFd(), threads checking
+ * stopRequested() — runs on the normal side with ordinary atomics.
+ *
+ * The latch is also usable without signals (tests call requestStop()
+ * / requestReload() directly), so drain logic is testable in-process.
+ */
+
+#ifndef CCM_COMMON_SHUTDOWN_HH
+#define CCM_COMMON_SHUTDOWN_HH
+
+#include <atomic>
+
+#include "common/status.hh"
+
+namespace ccm
+{
+
+/** One-way stop/reload latch with a pollable wake descriptor. */
+class ShutdownLatch
+{
+  public:
+    /** Creates the self-pipe; fatal only on fd exhaustion. */
+    ShutdownLatch();
+    ~ShutdownLatch();
+
+    ShutdownLatch(const ShutdownLatch &) = delete;
+    ShutdownLatch &operator=(const ShutdownLatch &) = delete;
+
+    /**
+     * Route @p stop_sig (typically SIGTERM and/or SIGINT) to
+     * requestStop() and @p reload_sig (typically SIGHUP, 0 = none) to
+     * requestReload().  Only one latch per process may install
+     * handlers; installing from a second live latch is an error.
+     * Handlers are uninstalled by the destructor.
+     */
+    Status installSignalHandlers(int stop_sig, int stop_sig2 = 0,
+                                 int reload_sig = 0);
+
+    /** Latch a stop request and wake pollers.  Async-signal-safe. */
+    void requestStop();
+
+    /** Latch a reload request and wake pollers.  Async-signal-safe. */
+    void requestReload();
+
+    bool stopRequested() const
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    /** True exactly once per latched reload request (consumes it). */
+    bool takeReloadRequest()
+    {
+        return reload_.exchange(false, std::memory_order_acq_rel);
+    }
+
+    /**
+     * Readable whenever a stop or reload has been requested since the
+     * last drainWake(); poll() this alongside sockets so blocked I/O
+     * loops notice requests promptly.
+     */
+    int wakeFd() const { return pipeFds[0]; }
+
+    /** Swallow pending wake bytes (reload handled, keep polling). */
+    void drainWake();
+
+  private:
+    static void handleSignal(int sig);
+
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> reload_{false};
+    int pipeFds[2] = {-1, -1};
+    int sigs[3] = {0, 0, 0};
+    bool installed = false;
+};
+
+} // namespace ccm
+
+#endif // CCM_COMMON_SHUTDOWN_HH

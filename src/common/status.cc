@@ -21,6 +21,10 @@ errorCodeName(ErrorCode code)
         return "unsupported";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::Aborted:
+        return "aborted";
+      case ErrorCode::Unavailable:
+        return "unavailable";
     }
     return "unknown";
 }

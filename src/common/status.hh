@@ -34,6 +34,8 @@ enum class ErrorCode
     NotFound,     ///< named entity (workload, file) does not exist
     Unsupported,  ///< recognized but unhandled (e.g. future version)
     Internal,     ///< invariant violation escaped as an error
+    Aborted,      ///< operation cut short (disconnect, drain, reap)
+    Unavailable,  ///< resource refused: backpressure shed, draining
 };
 
 /** Stable lower-case name of @p code (e.g. "corrupt-trace"). */
@@ -102,6 +104,22 @@ class Status
     internal(Args &&...args)
     {
         return error(ErrorCode::Internal,
+                     detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    aborted(Args &&...args)
+    {
+        return error(ErrorCode::Aborted,
+                     detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    unavailable(Args &&...args)
+    {
+        return error(ErrorCode::Unavailable,
                      detail::concat(std::forward<Args>(args)...));
     }
 

@@ -55,6 +55,28 @@ class IntervalSampler
 
     Count every() const { return every_; }
 
+    /**
+     * Cap retained samples at @p max_samples, turning the sampler
+     * into a rolling window: once full, emitting a new sample
+     * discards the oldest (counted in droppedSamples()).  0 restores
+     * the unbounded default.  Long-running consumers (the ccm-serve
+     * streams) need this — an unbounded series on an endless stream
+     * is an unbounded allocation.
+     *
+     * Note the sum-of-deltas == aggregate invariant only holds while
+     * droppedSamples() == 0; validateStatsDoc skips the check for
+     * rolling documents that declare drops.
+     */
+    void
+    setRollingCapacity(std::size_t max_samples)
+    {
+        rollingCap = max_samples;
+        trimToCap();
+    }
+
+    /** Samples discarded off the front of the rolling window. */
+    Count droppedSamples() const { return dropped; }
+
     // ---- Timing-run channel ----------------------------------------
 
     /**
@@ -134,12 +156,26 @@ class IntervalSampler
         s.delta = cur.minus(lastSnap);
         s.accuracy = acc.minus(lastAcc);
         samples_.push_back(s);
+        trimToCap();
         lastSnap = cur;
         lastAcc = acc;
         nextBoundary = cur.accesses + every_;
     }
 
+    void
+    trimToCap()
+    {
+        if (rollingCap == 0)
+            return;
+        while (samples_.size() > rollingCap) {
+            samples_.erase(samples_.begin());
+            ++dropped;
+        }
+    }
+
     Count every_;
+    std::size_t rollingCap = 0; ///< 0 = keep every sample
+    Count dropped = 0;          ///< samples evicted by the cap
     Count nextBoundary;       ///< next emit at or after this many refs
     MemStats lastSnap;        ///< counters at the last boundary
     MemStats internal;        ///< classification-channel counters

@@ -174,6 +174,12 @@ intervalsToJson(const IntervalSampler &sampler)
 {
     JsonValue v = JsonValue::object();
     v.set("every", JsonValue::uint(sampler.every()));
+    // Only rolling-window samplers (setRollingCapacity) ever drop;
+    // the field is omitted otherwise so batch documents are
+    // byte-stable against pre-rolling consumers.
+    if (sampler.droppedSamples() > 0)
+        v.set("dropped_samples",
+              JsonValue::uint(sampler.droppedSamples()));
     JsonValue samples = JsonValue::array();
     for (const IntervalSample &s : sampler.samples()) {
         JsonValue row = JsonValue::object();
@@ -302,6 +308,12 @@ suiteDocument(
     summary.set("wall_seconds_total", JsonValue::real(wall_total));
     doc.set("summary", std::move(summary));
     return doc;
+}
+
+JsonValue
+statsDocumentHeader(const std::string &kind)
+{
+    return documentHeader(kind.c_str());
 }
 
 JsonValue
@@ -472,7 +484,7 @@ checkHeatmap(const JsonValue &heat)
 }
 
 Status
-checkIntervals(const JsonValue &intervals, const JsonValue &counters)
+checkIntervals(const JsonValue &intervals, const JsonValue *counters)
 {
     if (!intervals.isObject())
         return Status::badConfig("intervals is not an object");
@@ -480,21 +492,41 @@ checkIntervals(const JsonValue &intervals, const JsonValue &counters)
     if (!samples.isArray())
         return Status::badConfig("intervals.samples is not an array");
 
-    // Windows must tile [1, last] contiguously...
+    // A rolling window (ccm-serve) declares how many leading samples
+    // it discarded; the retained tail must still be contiguous, it
+    // just no longer starts at ref 1.
+    const bool rolling = intervals.at("dropped_samples").asU64() > 0;
+
+    // Windows must tile [first, last] contiguously...
     std::uint64_t prev_last = 0;
+    bool have_prev = false;
     for (const JsonValue &s : samples.elements()) {
         const std::uint64_t first = s.at("first_ref").asU64();
         const std::uint64_t last = s.at("last_ref").asU64();
-        if (first != prev_last + 1 || last < first)
+        if (!have_prev) {
+            if (!rolling && first != 1)
+                return Status::badConfig(
+                    "interval windows do not start at ref 1");
+            have_prev = true;
+        } else if (first != prev_last + 1) {
             return Status::badConfig(
                 "interval windows are not contiguous at ref ", first);
+        }
+        if (last < first)
+            return Status::badConfig("interval window ends (", last,
+                                     ") before it starts (", first,
+                                     ")");
         prev_last = last;
     }
 
     // ... and the counter-wise sum of the deltas must equal the final
     // aggregates.  This is the invariant that makes the time series
-    // trustworthy: nothing sampled twice, nothing lost.
-    for (const auto &[name, aggregate] : counters.members()) {
+    // trustworthy: nothing sampled twice, nothing lost.  A rolling
+    // window that has dropped samples can no longer satisfy it, and a
+    // live document with no aggregates yet has nothing to sum to.
+    if (rolling || !counters)
+        return Status::ok();
+    for (const auto &[name, aggregate] : counters->members()) {
         std::uint64_t sum = 0;
         for (const JsonValue &s : samples.elements())
             sum += s.at("counters").at(name).asU64();
@@ -545,7 +577,7 @@ checkRunBody(const JsonValue &doc)
             return s;
     }
     if (const JsonValue *intervals = doc.get("intervals")) {
-        Status s = checkIntervals(*intervals, counters);
+        Status s = checkIntervals(*intervals, &counters);
         if (!s.isOk())
             return s;
     }
@@ -554,6 +586,98 @@ checkRunBody(const JsonValue &doc)
         if (!s.isOk())
             return s;
     }
+    return Status::ok();
+}
+
+bool
+knownStreamState(const std::string &state)
+{
+    return state == "admitted" || state == "running" ||
+           state == "draining" || state == "done" ||
+           state == "failed";
+}
+
+/**
+ * kind:"serve" documents (docs/SERVING.md): a daemon summary plus one
+ * entry per stream.  Live documents carry partial counters; finished
+ * streams carry the same sim/mem/heatmap sections as a batch run row,
+ * and failed streams carry their Status string.
+ */
+Status
+checkServeBody(const JsonValue &doc)
+{
+    const JsonValue &daemon = doc.at("daemon");
+    if (!daemon.isObject())
+        return Status::badConfig("missing daemon section");
+    for (const char *key : {"streams_total", "streams_active",
+                            "streams_done", "streams_failed",
+                            "records_total"}) {
+        if (!daemon.at(key).isNumber())
+            return Status::badConfig("daemon.", key,
+                                     " is missing or not a number");
+    }
+
+    const JsonValue &streams = doc.at("streams");
+    if (!streams.isArray())
+        return Status::badConfig("missing streams array");
+
+    std::uint64_t active = 0, done = 0, failed = 0;
+    std::size_t i = 0;
+    for (const JsonValue &s : streams.elements()) {
+        const std::string ctx = "stream " + std::to_string(i);
+        if (!s.at("name").isString())
+            return Status::badConfig(ctx, ": missing name");
+        const std::string &state = s.at("state").asString();
+        if (!knownStreamState(state))
+            return Status::badConfig(ctx, ": unknown state '", state,
+                                     "'");
+        if (!s.at("records").isNumber())
+            return Status::badConfig(ctx, ": missing records count");
+        if (state == "failed") {
+            ++failed;
+            if (!s.at("error").isString())
+                return Status::badConfig(
+                    ctx, ": failed stream carries no error");
+        } else if (state == "done") {
+            ++done;
+            const JsonValue &mem = s.at("mem");
+            if (!mem.isObject() || !mem.at("counters").isObject() ||
+                !mem.at("derived").isObject())
+                return Status::badConfig(
+                    ctx, ": done stream has no mem section");
+        } else {
+            ++active;
+        }
+        if (const JsonValue *heat = s.get("heatmap")) {
+            Status st = checkHeatmap(*heat);
+            if (!st.isOk())
+                return st.withContext(ctx);
+        }
+        if (const JsonValue *window = s.get("window")) {
+            const JsonValue *counters =
+                state == "done" ? s.at("mem").get("counters")
+                                : nullptr;
+            Status st = checkIntervals(*window, counters);
+            if (!st.isOk())
+                return st.withContext(ctx + " window");
+        }
+        ++i;
+    }
+
+    // Active streams are always present in the array; finished ones
+    // may have been evicted by report retention, so their array
+    // counts only bound the daemon totals from below.
+    if (active != daemon.at("streams_active").asU64())
+        return Status::badConfig(
+            "daemon.streams_active is ",
+            daemon.at("streams_active").asU64(), " but ", active,
+            " active streams are listed");
+    if (done > daemon.at("streams_done").asU64())
+        return Status::badConfig(
+            "more done streams listed than daemon.streams_done");
+    if (failed > daemon.at("streams_failed").asU64())
+        return Status::badConfig(
+            "more failed streams listed than daemon.streams_failed");
     return Status::ok();
 }
 
@@ -576,6 +700,8 @@ validateStatsDoc(const JsonValue &doc)
     const std::string &kind = doc.at("kind").asString();
     if (kind == "run")
         return checkRunBody(doc).withContext("run document");
+    if (kind == "serve")
+        return checkServeBody(doc).withContext("serve document");
     if (kind == "bench") {
         const JsonValue &table = doc.at("table");
         const JsonValue &headers = table.at("headers");

@@ -114,6 +114,14 @@ JsonValue benchDocument(const std::string &bench_name,
                         const std::string &note = "");
 
 /**
+ * Bare document header ({"schema", "schema_version", "kind"}) for a
+ * producer that assembles its own body — the ccm-serve daemon builds
+ * kind:"serve" documents this way (section shapes documented in
+ * docs/SERVING.md and enforced by validateStatsDoc).
+ */
+JsonValue statsDocumentHeader(const std::string &kind);
+
+/**
  * Write @p bench_name's result table as BENCH_<bench_name>.json into
  * $CCM_BENCH_JSON_DIR (falling back to the working directory), so a
  * bench run leaves a machine-readable record next to its stdout.

@@ -1,0 +1,598 @@
+#include "serve/daemon.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/sink.hh"
+
+namespace ccm::serve
+{
+
+namespace
+{
+
+std::int64_t
+nowMillis()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Bind + listen a nonblocking unix-domain socket at @p path. */
+Expected<int>
+listenUnix(const std::string &path)
+{
+    if (path.empty())
+        return Status::badConfig("socket path is empty");
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path))
+        return Status::badConfig("socket path too long: ", path);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::ioError("socket(): ", std::strerror(errno));
+
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        Status s = Status::ioError("bind ", path, ": ",
+                                   std::strerror(errno));
+        ::close(fd);
+        return s;
+    }
+    if (::listen(fd, 64) < 0) {
+        Status s = Status::ioError("listen ", path, ": ",
+                                   std::strerror(errno));
+        ::close(fd);
+        ::unlink(path.c_str());
+        return s;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    return fd;
+}
+
+/** Blocking send-all with a poll timeout per chunk. */
+bool
+sendAll(int fd, const void *data, std::size_t n, int timeout_ms)
+{
+    const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+    std::size_t off = 0;
+    while (off < n) {
+        pollfd pf{};
+        pf.fd = fd;
+        pf.events = POLLOUT;
+        const int pr = ::poll(&pf, 1, timeout_ms);
+        if (pr < 0 && errno == EINTR)
+            continue;
+        if (pr <= 0)
+            return false;
+        const ssize_t w =
+            ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+/**
+ * Frame sink for one ingest connection: admits the stream at hello,
+ * pushes records frames into its queue.  A connection that sends
+ * records before a hello is a protocol violation and is dropped.
+ */
+struct ConnectionSink final : FrameSink
+{
+    ServeDaemon &daemon;
+    int fd;
+    std::shared_ptr<StreamPipeline> pipe;
+    Status admitError;
+    bool recordsBeforeHello = false;
+
+    ConnectionSink(ServeDaemon &d, int fd_in) : daemon(d), fd(fd_in) {}
+
+    void
+    onHello(std::uint32_t, const std::string &name) override
+    {
+        if (pipe != nullptr || !admitError.isOk())
+            return; // duplicate hello: first one wins
+        auto admitted = daemon.admitStream(name, fd);
+        if (admitted.ok())
+            pipe = admitted.value();
+        else
+            admitError = admitted.status();
+    }
+
+    void
+    onRecords(const MemRecord *recs, std::size_t n) override
+    {
+        if (pipe == nullptr) {
+            recordsBeforeHello = true;
+            return;
+        }
+        pipe->queue().push(recs, n);
+    }
+
+    void onEnd() override {}
+};
+
+ServeDaemon::ServeDaemon(ServeOptions opts_in)
+    : opts(std::move(opts_in)), runtime(opts.runtime)
+{
+}
+
+ServeDaemon::~ServeDaemon()
+{
+    drainAndStop();
+}
+
+Status
+ServeDaemon::start()
+{
+    if (started_.load())
+        return Status::internal("daemon already started");
+
+    auto lf = listenUnix(opts.socketPath);
+    if (!lf.ok())
+        return lf.status().withContext("ingest socket");
+    listenFd = lf.value();
+
+    if (!opts.controlPath.empty()) {
+        auto cf = listenUnix(opts.controlPath);
+        if (!cf.ok()) {
+            ::close(listenFd);
+            ::unlink(opts.socketPath.c_str());
+            listenFd = -1;
+            return cf.status().withContext("control socket");
+        }
+        controlFd = cf.value();
+    }
+
+    stopAll.store(false);
+    started_.store(true);
+    acceptThread = std::thread([this] { acceptLoop(); });
+    if (controlFd >= 0)
+        controlThread = std::thread([this] { controlLoop(); });
+    reaperThread = std::thread([this] { reaperLoop(); });
+    return Status::ok();
+}
+
+void
+ServeDaemon::requestDrain()
+{
+    bool expected = false;
+    if (draining_.compare_exchange_strong(expected, true))
+        drainDeadlineMs.store(nowMillis() + opts.drainGraceMs);
+}
+
+bool
+ServeDaemon::draining() const
+{
+    return draining_.load();
+}
+
+Status
+ServeDaemon::reload()
+{
+    if (opts.configPath.empty())
+        return Status::unsupported(
+            "reload: daemon was started without a config file");
+    auto cfg = loadServeConfig(opts.configPath);
+    if (!cfg.ok())
+        return cfg.status().withContext(
+            "reload rejected (previous configuration kept)");
+    std::lock_guard<std::mutex> lock(mu);
+    runtime = cfg.take();
+    ++generation_;
+    return Status::ok();
+}
+
+void
+ServeDaemon::drainAndStop()
+{
+    if (!started_.load())
+        return;
+    requestDrain();
+    stopAll.store(true);
+    if (acceptThread.joinable())
+        acceptThread.join();
+    joinFinishedReaders(true);
+    if (controlThread.joinable())
+        controlThread.join();
+    if (reaperThread.joinable())
+        reaperThread.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        ::unlink(opts.socketPath.c_str());
+    }
+    if (controlFd >= 0) {
+        ::close(controlFd);
+        controlFd = -1;
+        ::unlink(opts.controlPath.c_str());
+    }
+    started_.store(false);
+}
+
+std::size_t
+ServeDaemon::activeStreams() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return active.size();
+}
+
+std::uint64_t
+ServeDaemon::streamsAdmitted() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return admitted_;
+}
+
+std::uint64_t
+ServeDaemon::generation() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return generation_;
+}
+
+Expected<std::shared_ptr<StreamPipeline>>
+ServeDaemon::admitStream(const std::string &name, int fd)
+{
+    std::shared_ptr<StreamPipeline> pipe;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (draining_.load()) {
+            ++refused_;
+            return Status::unavailable("daemon is draining; stream '",
+                                       name, "' refused");
+        }
+        if (active.size() >= opts.maxStreams) {
+            ++refused_;
+            return Status::unavailable(
+                "stream limit ", opts.maxStreams,
+                " reached; stream '", name, "' refused");
+        }
+        const std::uint64_t id = nextId++;
+        std::string label =
+            name.empty() ? "stream-" + std::to_string(id) : name;
+        pipe = std::make_shared<StreamPipeline>(
+            id, std::move(label), runtime.system, runtime.limits,
+            generation_);
+        active.emplace(id, ActiveStream{pipe, fd});
+        ++admitted_;
+    }
+    pipe->start();
+    return pipe;
+}
+
+void
+ServeDaemon::finishStream(std::uint64_t id)
+{
+    std::shared_ptr<StreamPipeline> pipe;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = active.find(id);
+        if (it == active.end())
+            return;
+        pipe = it->second.pipe;
+    }
+
+    // Queue input is already closed, so the simulation thread is on
+    // its way out; join outside the daemon lock.
+    pipe->join();
+    obs::JsonValue report = pipe->reportJson();
+    const QueueStats qs = pipe->queue().stats();
+
+    std::lock_guard<std::mutex> lock(mu);
+    active.erase(id);
+    if (pipe->state() == StreamState::Done)
+        ++done_;
+    else
+        ++failed_;
+    recordsDone += qs.pushed;
+    finishedReports.push_back(std::move(report));
+    while (finishedReports.size() > opts.finishedReports)
+        finishedReports.pop_front();
+}
+
+obs::JsonValue
+ServeDaemon::statsDocument() const
+{
+    obs::JsonValue doc = obs::statsDocumentHeader("serve");
+
+    std::lock_guard<std::mutex> lock(mu);
+
+    std::vector<obs::JsonValue> live;
+    live.reserve(active.size());
+    std::uint64_t live_active = 0, live_done = 0, live_failed = 0;
+    Count live_records = 0;
+    for (const auto &[id, as] : active) {
+        (void)id;
+        obs::JsonValue r = as.pipe->reportJson();
+        const std::string &st = r.at("state").asString();
+        if (st == "done")
+            ++live_done;
+        else if (st == "failed")
+            ++live_failed;
+        else
+            ++live_active;
+        live_records += as.pipe->queue().stats().pushed;
+        live.push_back(std::move(r));
+    }
+
+    obs::JsonValue daemon = obs::JsonValue::object();
+    daemon.set("generation", obs::JsonValue::uint(generation_));
+    daemon.set("arch", obs::JsonValue::str(runtime.arch));
+    daemon.set("draining",
+               obs::JsonValue::boolean(draining_.load()));
+    daemon.set("streams_total", obs::JsonValue::uint(admitted_));
+    daemon.set("streams_active", obs::JsonValue::uint(live_active));
+    daemon.set("streams_done",
+               obs::JsonValue::uint(done_ + live_done));
+    daemon.set("streams_failed",
+               obs::JsonValue::uint(failed_ + live_failed));
+    daemon.set("streams_refused", obs::JsonValue::uint(refused_));
+    daemon.set("records_total",
+               obs::JsonValue::uint(recordsDone + live_records));
+    doc.set("daemon", std::move(daemon));
+
+    obs::JsonValue streams = obs::JsonValue::array();
+    for (auto &r : live)
+        streams.push(std::move(r));
+    for (const auto &r : finishedReports)
+        streams.push(r);
+    doc.set("streams", std::move(streams));
+    return doc;
+}
+
+void
+ServeDaemon::joinFinishedReaders(bool all)
+{
+    std::lock_guard<std::mutex> lock(readersMu);
+    for (auto it = readers.begin(); it != readers.end();) {
+        if (all || it->done.load()) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = readers.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+ServeDaemon::acceptLoop()
+{
+    for (;;) {
+        if (stopAll.load() || draining_.load())
+            break;
+        joinFinishedReaders(false);
+
+        pollfd pf{};
+        pf.fd = listenFd;
+        pf.events = POLLIN;
+        const int pr =
+            ::poll(&pf, 1, static_cast<int>(opts.pollMs));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue;
+        const int cfd = ::accept(listenFd, nullptr, nullptr);
+        if (cfd < 0)
+            continue; // EAGAIN / aborted handshake
+
+        std::lock_guard<std::mutex> lock(readersMu);
+        ReaderSlot &slot = readers.emplace_back();
+        std::atomic<bool> *done = &slot.done;
+        slot.thread = std::thread(
+            [this, cfd, done] { serveConnection(cfd, done); });
+    }
+}
+
+void
+ServeDaemon::serveConnection(int fd, std::atomic<bool> *done_flag)
+{
+    FrameParser parser;
+    ConnectionSink sink(*this, fd);
+    std::vector<std::uint8_t> buf(64 * 1024);
+    bool cut_by_drain = false;
+
+    for (;;) {
+        if (draining_.load() &&
+            nowMillis() >= drainDeadlineMs.load()) {
+            cut_by_drain = true;
+            break;
+        }
+        if (!sink.admitError.isOk() || sink.recordsBeforeHello)
+            break;
+        if (parser.sawEnd())
+            break;
+
+        pollfd pf{};
+        pf.fd = fd;
+        pf.events = POLLIN;
+        const int pr =
+            ::poll(&pf, 1, static_cast<int>(opts.pollMs));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue;
+        const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+        if (n == 0)
+            break; // producer closed its end
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            break; // reset / reaper shutdown
+        }
+        parser.feed(buf.data(), static_cast<std::size_t>(n), sink);
+
+        if (sink.pipe != nullptr) {
+            sink.pipe->noteActivity();
+            sink.pipe->setFrameStats(parser.stats());
+            const Count budget =
+                sink.pipe->streamLimits().defectBudget;
+            if (parser.stats().defects() > budget) {
+                sink.pipe->failWith(Status::corruptTrace(
+                    "stream '", sink.pipe->name(), "': ",
+                    parser.stats().defects(),
+                    " frame defects exceed budget ", budget,
+                    " (first: ",
+                    frameDefectName(parser.stats().firstDefect),
+                    ")"));
+                break;
+            }
+        }
+    }
+
+    parser.finish(sink);
+    if (sink.pipe != nullptr) {
+        sink.pipe->setFrameStats(parser.stats());
+        if (!parser.sawEnd()) {
+            if (cut_by_drain)
+                sink.pipe->failWith(Status::aborted(
+                    "stream '", sink.pipe->name(),
+                    "' cut by drain before its end frame"));
+            else
+                sink.pipe->failWith(Status::aborted(
+                    "stream '", sink.pipe->name(),
+                    "' disconnected before its end frame"));
+        }
+        sink.pipe->queue().closeInput();
+        finishStream(sink.pipe->id());
+    }
+    ::close(fd);
+    if (done_flag != nullptr)
+        done_flag->store(true);
+}
+
+void
+ServeDaemon::reaperLoop()
+{
+    while (!stopAll.load()) {
+        ::poll(nullptr, 0, static_cast<int>(opts.pollMs));
+        if (opts.idleTtlMs <= 0)
+            continue;
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto &[id, as] : active) {
+            (void)id;
+            StreamPipeline &pipe = *as.pipe;
+            if (pipe.finished() ||
+                pipe.idleMillis() <= opts.idleTtlMs)
+                continue;
+            pipe.failWith(Status::aborted(
+                "stream '", pipe.name(), "' idle for ",
+                pipe.idleMillis(), " ms (ttl ", opts.idleTtlMs,
+                " ms), reaped"));
+            pipe.queue().abort();
+            // Kick the reader off its socket; it retires the stream.
+            ::shutdown(as.fd, SHUT_RDWR);
+        }
+    }
+}
+
+void
+ServeDaemon::controlLoop()
+{
+    for (;;) {
+        if (stopAll.load())
+            break;
+        pollfd pf{};
+        pf.fd = controlFd;
+        pf.events = POLLIN;
+        const int pr =
+            ::poll(&pf, 1, static_cast<int>(opts.pollMs));
+        if (pr <= 0)
+            continue;
+        const int cfd = ::accept(controlFd, nullptr, nullptr);
+        if (cfd < 0)
+            continue;
+        handleControlClient(cfd);
+    }
+}
+
+std::string
+ServeDaemon::runControlCommand(const std::string &command)
+{
+    if (command == "stats")
+        return statsDocument().toString();
+    if (command == "ping")
+        return "pong\n";
+    if (command == "drain") {
+        requestDrain();
+        return "ok\n";
+    }
+    if (command == "reload") {
+        Status s = reload();
+        return s.isOk() ? "ok\n" : "error: " + s.toString() + "\n";
+    }
+    return "error: unknown command '" + command + "'\n";
+}
+
+void
+ServeDaemon::handleControlClient(int fd)
+{
+    // One short request line, then one response, then close.
+    std::string command;
+    const std::int64_t deadline = nowMillis() + 10 * opts.pollMs;
+    while (nowMillis() < deadline && command.find('\n') ==
+                                         std::string::npos &&
+           command.size() < 256) {
+        pollfd pf{};
+        pf.fd = fd;
+        pf.events = POLLIN;
+        const int pr =
+            ::poll(&pf, 1, static_cast<int>(opts.pollMs));
+        if (pr < 0 && errno != EINTR)
+            break;
+        if (pr <= 0)
+            continue;
+        char chunk[256];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            break;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            break;
+        }
+        command.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t eol = command.find_first_of("\r\n");
+    if (eol != std::string::npos)
+        command.erase(eol);
+
+    const std::string reply = runControlCommand(command);
+    sendAll(fd, reply.data(), reply.size(), 1000);
+    ::close(fd);
+}
+
+} // namespace ccm::serve

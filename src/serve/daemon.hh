@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The ccm-serve daemon: accepts trace streams from many concurrent
+ * producers on a unix-domain socket (the CCMF frame protocol of
+ * serve/frame.hh), runs one simulation pipeline per stream with
+ * bounded memory, and answers live stats queries on a control socket
+ * with schema-versioned kind:"serve" ccm-stats JSON.
+ *
+ * Thread model (one daemon, docs/SERVING.md):
+ *
+ *  - one acceptor thread: accepts ingest connections and spawns one
+ *    reader thread per connection;
+ *  - one reader thread per connection: parses frames, feeds the
+ *    stream's bounded queue, owns the stream lifecycle end to end
+ *    (admit at hello, finish/fail at EOF, retire the report);
+ *  - one simulation thread per stream (inside StreamPipeline);
+ *  - one control thread: one-shot "stats" / "drain" / "reload" /
+ *    "ping" request-response connections;
+ *  - one reaper thread: fails and disconnects streams idle past the
+ *    TTL.
+ *
+ * Fault isolation: any per-stream failure (corrupt frames past the
+ * defect budget, producer disconnect without the end frame, idle-TTL
+ * reap, a bad geometry) marks that stream Failed with a Status and
+ * leaves every other stream — and the daemon — running.
+ *
+ * Lifecycle: requestDrain() (SIGTERM, or the control "drain" command)
+ * stops admission, gives connected producers a grace period to send
+ * their end frames, then cuts the stragglers; drainAndStop() joins
+ * everything.  reload() (SIGHUP) re-reads the config file and swaps
+ * the runtime configuration under the admission lock — streams in
+ * flight finish on the configuration they were admitted with, marked
+ * by their generation number.
+ */
+
+#ifndef CCM_SERVE_DAEMON_HH
+#define CCM_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/json.hh"
+#include "serve/config.hh"
+#include "serve/stream.hh"
+
+namespace ccm::serve
+{
+
+/** Everything the daemon needs to run. */
+struct ServeOptions
+{
+    /** Ingest socket path (unix-domain, created at start). */
+    std::string socketPath;
+
+    /** Control socket path; empty disables the control plane. */
+    std::string controlPath;
+
+    /** Config file reload() re-reads; empty disables reload. */
+    std::string configPath;
+
+    /** Initial machine configuration + per-stream limits. */
+    ServeRuntimeConfig runtime;
+
+    /** Admission cap on concurrently active streams. */
+    std::size_t maxStreams = 64;
+
+    /** Reap streams idle longer than this; 0 = never. */
+    std::int64_t idleTtlMs = 0;
+
+    /** Internal poll tick for all daemon threads. */
+    std::int64_t pollMs = 100;
+
+    /** Drain: how long producers get to deliver their end frames. */
+    std::int64_t drainGraceMs = 2000;
+
+    /** Finished-stream reports retained for the stats document. */
+    std::size_t finishedReports = 64;
+};
+
+/** A multi-stream trace-serving daemon (see file comment). */
+class ServeDaemon
+{
+  public:
+    explicit ServeDaemon(ServeOptions opts);
+
+    /** Drains and stops if still running. */
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon &) = delete;
+    ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+    /** Bind the sockets and spawn the service threads. */
+    Status start();
+
+    /**
+     * Begin graceful drain: no new streams, connected producers get
+     * drainGraceMs to finish, stragglers are cut and marked Failed.
+     * Idempotent and async-signal-unsafe (call from the main loop on
+     * a ShutdownLatch wakeup, not from a handler).
+     */
+    void requestDrain();
+
+    /** True once a drain was requested (signal or control socket). */
+    bool draining() const;
+
+    /**
+     * Re-read the config file and swap the runtime configuration for
+     * subsequently admitted streams (generation() increments).
+     * Streams in flight are not disturbed.  On error the old
+     * configuration stays in force.
+     */
+    Status reload();
+
+    /** requestDrain(), wait for every stream to retire, join all. */
+    void drainAndStop();
+
+    /**
+     * The live kind:"serve" ccm-stats document: daemon aggregates +
+     * one entry per active stream + retained finished-stream reports
+     * (passes obs::validateStatsDoc at any moment).
+     */
+    obs::JsonValue statsDocument() const;
+
+    /** Streams currently admitted and not yet retired. */
+    std::size_t activeStreams() const;
+
+    /** Total streams ever admitted (tests). */
+    std::uint64_t streamsAdmitted() const;
+
+    /** Configuration generation (bumped by reload). */
+    std::uint64_t generation() const;
+
+    const ServeOptions &options() const { return opts; }
+
+  private:
+    struct ActiveStream
+    {
+        std::shared_ptr<StreamPipeline> pipe;
+        int fd = -1; ///< connection fd (for reap-time shutdown)
+    };
+
+    struct ReaderSlot
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    friend struct ConnectionSink;
+
+    void acceptLoop();
+    void controlLoop();
+    void reaperLoop();
+    void serveConnection(int fd, std::atomic<bool> *done_flag);
+    void handleControlClient(int fd);
+    std::string runControlCommand(const std::string &command);
+
+    /** Register a new stream at hello time (or refuse admission). */
+    Expected<std::shared_ptr<StreamPipeline>>
+    admitStream(const std::string &name, int fd);
+
+    /** Retire a stream: join its simulation, keep its final report. */
+    void finishStream(std::uint64_t id);
+
+    void joinFinishedReaders(bool all);
+
+    const ServeOptions opts;
+
+    int listenFd = -1;
+    int controlFd = -1;
+
+    std::thread acceptThread;
+    std::thread controlThread;
+    std::thread reaperThread;
+
+    std::mutex readersMu;
+    std::list<ReaderSlot> readers;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopAll{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<std::int64_t> drainDeadlineMs{0};
+
+    mutable std::mutex mu;
+    ServeRuntimeConfig runtime; ///< current config (reload swaps)
+    std::uint64_t generation_ = 1;
+    std::uint64_t nextId = 1;
+    std::map<std::uint64_t, ActiveStream> active;
+    std::deque<obs::JsonValue> finishedReports;
+    Count admitted_ = 0;
+    Count refused_ = 0;
+    Count done_ = 0;
+    Count failed_ = 0;
+    Count recordsDone = 0; ///< records of retired streams
+};
+
+} // namespace ccm::serve
+
+#endif // CCM_SERVE_DAEMON_HH

@@ -1,0 +1,306 @@
+#include "serve/frame.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "trace/wire.hh"
+
+namespace ccm::serve
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic[4] = {'C', 'C', 'M', 'F'};
+
+std::uint32_t
+fnv1a(const std::uint8_t *data, std::size_t n,
+      std::uint32_t h = 2166136261u)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+void
+putU16(std::uint8_t *buf, std::uint16_t v)
+{
+    buf[0] = static_cast<std::uint8_t>(v & 0xff);
+    buf[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+putU32(std::uint8_t *buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+std::uint16_t
+getU16(const std::uint8_t *buf)
+{
+    return static_cast<std::uint16_t>(buf[0] |
+                                      (std::uint16_t{buf[1]} << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *buf)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{buf[i]} << (8 * i);
+    return v;
+}
+
+void
+appendFrame(std::vector<std::uint8_t> &out, FrameType type,
+            const std::uint8_t *payload, std::size_t len)
+{
+    const std::size_t base = out.size();
+    out.resize(base + kFrameHeaderBytes + len);
+    std::uint8_t *hdr = out.data() + base;
+    std::memcpy(hdr, kMagic, 4);
+    hdr[4] = static_cast<std::uint8_t>(type);
+    hdr[5] = 0;
+    putU16(hdr + 6, static_cast<std::uint16_t>(len));
+    if (len > 0)
+        std::memcpy(hdr + kFrameHeaderBytes, payload, len);
+    std::uint32_t sum = fnv1a(hdr + 4, 4);
+    sum = fnv1a(hdr + kFrameHeaderBytes, len, sum);
+    putU32(hdr + 8, sum);
+}
+
+/**
+ * True when the 12 bytes at @p hdr could begin a real frame: known
+ * type, zero flags, in-range length with the per-type shape
+ * constraints.  Used both to validate the frame under the cursor and
+ * to find a believable boundary during resync.
+ */
+bool
+plausibleHeader(const std::uint8_t *hdr)
+{
+    if (std::memcmp(hdr, kMagic, 4) != 0)
+        return false;
+    const std::uint8_t type = hdr[4];
+    if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
+        type > static_cast<std::uint8_t>(FrameType::End))
+        return false;
+    if (hdr[5] != 0)
+        return false;
+    const std::size_t len = getU16(hdr + 6);
+    if (len > kMaxFramePayload)
+        return false;
+    switch (static_cast<FrameType>(type)) {
+      case FrameType::Hello:
+        return len >= 5 && len <= 5 + kMaxStreamName;
+      case FrameType::Records:
+        return len > 0 && len % wire::recordBytes == 0;
+      case FrameType::End:
+        return len == 0;
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+frameDefectName(FrameDefect d)
+{
+    switch (d) {
+      case FrameDefect::None:
+        return "none";
+      case FrameDefect::BadMagic:
+        return "bad-magic";
+      case FrameDefect::BadHeader:
+        return "bad-header";
+      case FrameDefect::BadChecksum:
+        return "bad-checksum";
+      case FrameDefect::BadRecord:
+        return "bad-record";
+      case FrameDefect::BadHello:
+        return "bad-hello";
+      case FrameDefect::TruncatedTail:
+        return "truncated-tail";
+    }
+    return "unknown";
+}
+
+// ---- Encoding -----------------------------------------------------
+
+void
+appendHelloFrame(std::vector<std::uint8_t> &out, const std::string &name)
+{
+    std::string clipped = name.substr(0, kMaxStreamName);
+    std::vector<std::uint8_t> payload(5 + clipped.size());
+    putU32(payload.data(), kFrameProtoVersion);
+    payload[4] = static_cast<std::uint8_t>(clipped.size());
+    std::memcpy(payload.data() + 5, clipped.data(), clipped.size());
+    appendFrame(out, FrameType::Hello, payload.data(), payload.size());
+}
+
+void
+appendRecordsFrames(std::vector<std::uint8_t> &out, const MemRecord *recs,
+                    std::size_t n)
+{
+    std::uint8_t payload[kMaxFramePayload];
+    std::size_t off = 0;
+    while (off < n) {
+        const std::size_t take =
+            std::min(n - off, kMaxRecordsPerFrame);
+        for (std::size_t i = 0; i < take; ++i)
+            wire::packRecord(recs[off + i],
+                             payload + i * wire::recordBytes);
+        appendFrame(out, FrameType::Records, payload,
+                    take * wire::recordBytes);
+        off += take;
+    }
+}
+
+void
+appendEndFrame(std::vector<std::uint8_t> &out)
+{
+    appendFrame(out, FrameType::End, nullptr, 0);
+}
+
+// ---- Decoding -----------------------------------------------------
+
+void
+FrameParser::skipGarbage(std::size_t n, FrameDefect why, FrameSink &sink)
+{
+    if (!inGarbageRun) {
+        inGarbageRun = true;
+        ++stats_.resyncEvents;
+        if (stats_.firstDefect == FrameDefect::None)
+            stats_.firstDefect = why;
+        sink.onDefect(why, std::string("resync: skipping bytes (") +
+                               frameDefectName(why) + ")");
+    }
+    stats_.bytesSkipped += n;
+    pos += n;
+}
+
+void
+FrameParser::dispatchFrame(FrameType type, const std::uint8_t *payload,
+                           std::size_t len, FrameSink &sink)
+{
+    switch (type) {
+      case FrameType::Hello: {
+        const std::uint32_t version = getU32(payload);
+        const std::size_t name_len = payload[4];
+        if (version != kFrameProtoVersion || name_len != len - 5) {
+            ++stats_.malformedFrames;
+            if (stats_.firstDefect == FrameDefect::None)
+                stats_.firstDefect = FrameDefect::BadHello;
+            sink.onDefect(FrameDefect::BadHello,
+                          "hello frame with version " +
+                              std::to_string(version));
+            return;
+        }
+        ++stats_.frames;
+        ++stats_.helloFrames;
+        sink.onHello(version,
+                     std::string(reinterpret_cast<const char *>(
+                                     payload + 5),
+                                 name_len));
+        return;
+      }
+      case FrameType::Records: {
+        const std::size_t n = len / wire::recordBytes;
+        MemRecord recs[kMaxRecordsPerFrame];
+        std::size_t good = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint8_t *r = payload + i * wire::recordBytes;
+            if (wire::plausibleRecord(r)) {
+                recs[good++] = wire::unpackRecord(r);
+            } else {
+                ++stats_.badRecords;
+                if (stats_.firstDefect == FrameDefect::None)
+                    stats_.firstDefect = FrameDefect::BadRecord;
+            }
+        }
+        if (good < n)
+            sink.onDefect(FrameDefect::BadRecord,
+                          std::to_string(n - good) +
+                              " implausible records dropped");
+        ++stats_.frames;
+        stats_.records += good;
+        if (good > 0)
+            sink.onRecords(recs, good);
+        return;
+      }
+      case FrameType::End:
+        ++stats_.frames;
+        ++stats_.endFrames;
+        sawEnd_ = true;
+        sink.onEnd();
+        return;
+    }
+}
+
+void
+FrameParser::parseBuffer(FrameSink &sink)
+{
+    while (buf.size() - pos >= kFrameHeaderBytes) {
+        const std::uint8_t *hdr = buf.data() + pos;
+        if (!plausibleHeader(hdr)) {
+            const FrameDefect why = std::memcmp(hdr, kMagic, 4) == 0
+                                        ? FrameDefect::BadHeader
+                                        : FrameDefect::BadMagic;
+            skipGarbage(1, why, sink);
+            continue;
+        }
+        const std::size_t len = getU16(hdr + 6);
+        if (buf.size() - pos < kFrameHeaderBytes + len)
+            break; // incomplete frame: wait for more bytes
+        std::uint32_t sum = fnv1a(hdr + 4, 4);
+        sum = fnv1a(hdr + kFrameHeaderBytes, len, sum);
+        if (sum != getU32(hdr + 8)) {
+            // The header looked right but the contents are damaged;
+            // resync rather than trust the claimed length.
+            skipGarbage(1, FrameDefect::BadChecksum, sink);
+            continue;
+        }
+        inGarbageRun = false;
+        dispatchFrame(static_cast<FrameType>(hdr[4]),
+                      hdr + kFrameHeaderBytes, len, sink);
+        pos += kFrameHeaderBytes + len;
+    }
+
+    // Compact the consumed prefix so the buffer stays bounded by one
+    // maximum-size frame plus one read chunk.
+    if (pos > 0) {
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(pos));
+        pos = 0;
+    }
+}
+
+void
+FrameParser::feed(const std::uint8_t *data, std::size_t n,
+                  FrameSink &sink)
+{
+    buf.insert(buf.end(), data, data + n);
+    parseBuffer(sink);
+}
+
+void
+FrameParser::finish(FrameSink &sink)
+{
+    parseBuffer(sink);
+    const std::size_t left = buf.size() - pos;
+    if (left > 0) {
+        ++stats_.malformedFrames;
+        stats_.bytesSkipped += left;
+        if (stats_.firstDefect == FrameDefect::None)
+            stats_.firstDefect = FrameDefect::TruncatedTail;
+        sink.onDefect(FrameDefect::TruncatedTail,
+                      "stream ended inside a frame (" +
+                          std::to_string(left) + " bytes)");
+        buf.clear();
+        pos = 0;
+    }
+}
+
+} // namespace ccm::serve

@@ -1,0 +1,102 @@
+#include "serve/queue.hh"
+
+#include <algorithm>
+
+namespace ccm::serve
+{
+
+const char *
+toString(OverflowPolicy p)
+{
+    return p == OverflowPolicy::Block ? "block" : "shed";
+}
+
+Expected<OverflowPolicy>
+parseOverflowPolicy(std::string_view name)
+{
+    if (name == "block")
+        return OverflowPolicy::Block;
+    if (name == "shed")
+        return OverflowPolicy::Shed;
+    return Status::badConfig("unknown overflow policy '", name,
+                             "' (expected block or shed)");
+}
+
+RecordQueue::RecordQueue(std::size_t capacity, OverflowPolicy policy)
+    : cap(capacity == 0 ? 1 : capacity), policy_(policy), ring(cap)
+{
+}
+
+std::size_t
+RecordQueue::push(const MemRecord *recs, std::size_t n)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    std::size_t accepted = 0;
+    while (accepted < n) {
+        if (inputClosed || aborted_)
+            break;
+        if (count == cap) {
+            if (policy_ == OverflowPolicy::Shed) {
+                stats_.shed += n - accepted;
+                break;
+            }
+            canPush.wait(lock, [&] {
+                return count < cap || inputClosed || aborted_;
+            });
+            continue;
+        }
+        const std::size_t tail = (head + count) % cap;
+        const std::size_t run = std::min(
+            {n - accepted, cap - count, cap - tail});
+        std::copy(recs + accepted, recs + accepted + run,
+                  ring.begin() + static_cast<std::ptrdiff_t>(tail));
+        count += run;
+        accepted += run;
+        stats_.pushed += run;
+        stats_.maxDepth = std::max<Count>(stats_.maxDepth, count);
+        canPop.notify_one();
+    }
+    return accepted;
+}
+
+std::size_t
+RecordQueue::pop(MemRecord *out, std::size_t max)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    canPop.wait(lock, [&] {
+        return count > 0 || inputClosed || aborted_;
+    });
+    if (aborted_ || (count == 0 && inputClosed))
+        return 0;
+    const std::size_t take = std::min(max, count);
+    for (std::size_t i = 0; i < take; ++i)
+        out[i] = ring[(head + i) % cap];
+    head = (head + take) % cap;
+    count -= take;
+    stats_.popped += take;
+    canPush.notify_one();
+    return take;
+}
+
+void
+RecordQueue::closeInput()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    inputClosed = true;
+    canPush.notify_all();
+    canPop.notify_all();
+}
+
+void
+RecordQueue::abort()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    aborted_ = true;
+    inputClosed = true;
+    count = 0;
+    head = 0;
+    canPush.notify_all();
+    canPop.notify_all();
+}
+
+} // namespace ccm::serve

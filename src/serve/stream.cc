@@ -1,0 +1,243 @@
+#include "serve/stream.hh"
+
+#include <chrono>
+
+#include "hierarchy/memsys.hh"
+#include "obs/sink.hh"
+
+namespace ccm::serve
+{
+
+namespace
+{
+
+std::int64_t
+nowMillis()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+obs::JsonValue
+frameStatsToJson(const FrameStats &fs)
+{
+    obs::JsonValue j = obs::JsonValue::object();
+    j.set("frames", obs::JsonValue::uint(fs.frames));
+    j.set("records", obs::JsonValue::uint(fs.records));
+    j.set("malformed_frames", obs::JsonValue::uint(fs.malformedFrames));
+    j.set("resync_events", obs::JsonValue::uint(fs.resyncEvents));
+    j.set("bytes_skipped", obs::JsonValue::uint(fs.bytesSkipped));
+    j.set("bad_records", obs::JsonValue::uint(fs.badRecords));
+    j.set("first_defect",
+          obs::JsonValue::str(frameDefectName(fs.firstDefect)));
+    return j;
+}
+
+} // namespace
+
+const char *
+toString(StreamState s)
+{
+    switch (s) {
+      case StreamState::Admitted:
+        return "admitted";
+      case StreamState::Running:
+        return "running";
+      case StreamState::Done:
+        return "done";
+      case StreamState::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+StreamPipeline::StreamPipeline(std::uint64_t id, std::string name,
+                               const SystemConfig &system_in,
+                               const StreamLimits &limits_in,
+                               std::uint64_t generation_in)
+    : id_(id), name_(std::move(name)), system(system_in),
+      limits(limits_in), generation(generation_in),
+      q(limits_in.queueRecords, limits_in.policy)
+{
+    lastActivityMs.store(nowMillis(), std::memory_order_relaxed);
+}
+
+StreamPipeline::~StreamPipeline()
+{
+    q.abort();
+    join();
+}
+
+void
+StreamPipeline::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        state_ = StreamState::Running;
+    }
+    simThread = std::thread([this] { runBody(); });
+}
+
+void
+StreamPipeline::join()
+{
+    if (simThread.joinable())
+        simThread.join();
+}
+
+bool
+StreamPipeline::finished() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return finished_;
+}
+
+StreamState
+StreamPipeline::state() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return state_;
+}
+
+Status
+StreamPipeline::status() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return failStatus;
+}
+
+void
+StreamPipeline::failWith(const Status &why)
+{
+    if (why.isOk())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (state_ == StreamState::Done || state_ == StreamState::Failed)
+        return;
+    if (failStatus.isOk())
+        failStatus = why;
+}
+
+void
+StreamPipeline::setFrameStats(const FrameStats &fs)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    frames = fs;
+}
+
+void
+StreamPipeline::noteActivity()
+{
+    lastActivityMs.store(nowMillis(), std::memory_order_relaxed);
+}
+
+std::int64_t
+StreamPipeline::idleMillis() const
+{
+    return nowMillis() -
+           lastActivityMs.load(std::memory_order_relaxed);
+}
+
+void
+StreamPipeline::refreshSnapshot(const MemStats &st)
+{
+    noteActivity();
+    std::lock_guard<std::mutex> lock(mu);
+    liveStats = st;
+    if (sampler != nullptr) {
+        windowJson = obs::intervalsToJson(*sampler);
+        haveWindow = !sampler->samples().empty();
+    }
+}
+
+void
+StreamPipeline::runBody()
+{
+    if (limits.windowEvery > 0) {
+        sampler =
+            std::make_unique<obs::IntervalSampler>(limits.windowEvery);
+        sampler->setRollingCapacity(limits.windowSamples);
+    }
+
+    QueueSource src(q, name_);
+    const Count snap_every =
+        limits.snapshotEvery == 0 ? 1 : limits.snapshotEvery;
+    MemSysInstrument instrument = [this,
+                                   snap_every](MemorySystem &mem) {
+        mem.setAccessHook(
+            [this, snap_every](const AccessResult &,
+                               const MemStats &st) {
+                if (sampler != nullptr)
+                    sampler->onAccess(st);
+                if (++refsSinceSnap >= snap_every) {
+                    refsSinceSnap = 0;
+                    refreshSnapshot(st);
+                }
+            });
+    };
+
+    // The exact batch code path: Core::run over a MemorySystem built
+    // from this stream's config, with fatal user errors captured.
+    Expected<RunOutput> run = tryRunTiming(src, system, instrument);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (run.ok()) {
+        out = run.take();
+        liveStats = out.mem;
+        if (sampler != nullptr) {
+            sampler->finish(out.mem);
+            windowJson = obs::intervalsToJson(*sampler);
+            haveWindow = !sampler->samples().empty();
+        }
+    } else if (failStatus.isOk()) {
+        failStatus = run.status();
+    }
+    state_ = failStatus.isOk() && run.ok() ? StreamState::Done
+                                           : StreamState::Failed;
+    finished_ = true;
+}
+
+obs::JsonValue
+StreamPipeline::reportJson() const
+{
+    const QueueStats qs = q.stats();
+
+    std::lock_guard<std::mutex> lock(mu);
+    obs::JsonValue s = obs::JsonValue::object();
+    s.set("name", obs::JsonValue::str(name_));
+    s.set("id", obs::JsonValue::uint(id_));
+    s.set("generation", obs::JsonValue::uint(generation));
+    s.set("state", obs::JsonValue::str(toString(state_)));
+    s.set("records", obs::JsonValue::uint(qs.pushed));
+    s.set("refs", obs::JsonValue::uint(liveStats.accesses));
+
+    obs::JsonValue queue_j = obs::JsonValue::object();
+    queue_j.set("capacity", obs::JsonValue::uint(q.capacity()));
+    queue_j.set("policy",
+                obs::JsonValue::str(toString(q.policy())));
+    queue_j.set("shed_records", obs::JsonValue::uint(qs.shed));
+    queue_j.set("max_depth", obs::JsonValue::uint(qs.maxDepth));
+    s.set("queue", std::move(queue_j));
+
+    s.set("frames", frameStatsToJson(frames));
+
+    if (state_ == StreamState::Failed)
+        s.set("error", obs::JsonValue::str(failStatus.toString()));
+
+    if (state_ == StreamState::Done) {
+        s.set("sim", obs::simResultToJson(out.sim));
+        s.set("mem", obs::memStatsToJson(out.mem));
+        s.set("heatmap", obs::setHistogramsToJson(out.heat));
+    } else if (liveStats.accesses > 0) {
+        s.set("mem_live", obs::memStatsToJson(liveStats));
+    }
+
+    if (haveWindow)
+        s.set("window", windowJson);
+
+    return s;
+}
+
+} // namespace ccm::serve

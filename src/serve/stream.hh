@@ -1,0 +1,196 @@
+/**
+ * @file
+ * One live trace stream inside the ccm-serve daemon: a bounded
+ * record queue fed by a connection reader, a simulation thread
+ * running the exact batch pipeline (Core::run over a MemorySystem via
+ * tryRunTiming), and a mutex-guarded stats snapshot the control
+ * socket can read while the stream is in flight.
+ *
+ * Fault isolation is the design rule: everything that can go wrong
+ * with one stream — corrupt frames, a producer vanishing mid-stream,
+ * a bad geometry, an idle-TTL reap — lands in this object as a
+ * Status and a Failed state.  Nothing here may take the daemon down.
+ *
+ * Determinism guarantee: a stream whose producer delivers trace T and
+ * a clean end frame, with no records shed, finishes with sim/mem/heat
+ * stats byte-identical to `runTiming(T, config)` — the simulation
+ * thread runs that exact code over the queue.  Tests and the CI smoke
+ * step hold the daemon to this.
+ */
+
+#ifndef CCM_SERVE_STREAM_HH
+#define CCM_SERVE_STREAM_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/interval.hh"
+#include "obs/json.hh"
+#include "serve/frame.hh"
+#include "serve/queue.hh"
+#include "sim/experiment.hh"
+
+namespace ccm::serve
+{
+
+/** Per-stream resource and observability knobs. */
+struct StreamLimits
+{
+    /** Queue capacity in records (the per-stream memory bound). */
+    std::size_t queueRecords = 8192;
+
+    OverflowPolicy policy = OverflowPolicy::Block;
+
+    /** Rolling-window sample length in refs; 0 disables the window. */
+    Count windowEvery = 0;
+
+    /** Samples retained in the rolling window. */
+    std::size_t windowSamples = 32;
+
+    /** Refs between live stats-snapshot refreshes. */
+    Count snapshotEvery = 32768;
+
+    /** Frame defects tolerated before the stream is declared failed. */
+    Count defectBudget = 0;
+};
+
+/** Where a stream is in its life. */
+enum class StreamState
+{
+    Admitted, ///< registered, simulation not yet started
+    Running,  ///< simulation thread consuming the queue
+    Done,     ///< clean end-of-stream, final stats available
+    Failed,   ///< carries the Status explaining why
+};
+
+/** Stable lower-case name of @p s ("running", "done", ...). */
+const char *toString(StreamState s);
+
+/** TraceSource adapter over the stream queue (blocking pulls). */
+class QueueSource : public TraceSource
+{
+  public:
+    QueueSource(RecordQueue &queue, std::string label)
+        : q(queue), label_(std::move(label))
+    {
+    }
+
+    bool
+    next(MemRecord &out) override
+    {
+        return q.pop(&out, 1) == 1;
+    }
+
+    std::size_t
+    nextBatch(MemRecord *out, std::size_t n) override
+    {
+        return q.pop(out, n);
+    }
+
+    /** Streams are not replayable; reset is the start-of-run no-op. */
+    void reset() override {}
+
+    std::string name() const override { return label_; }
+
+  private:
+    RecordQueue &q;
+    std::string label_;
+};
+
+/** One stream: queue + simulation thread + live stats snapshot. */
+class StreamPipeline
+{
+  public:
+    StreamPipeline(std::uint64_t id, std::string name,
+                   const SystemConfig &system,
+                   const StreamLimits &limits,
+                   std::uint64_t generation);
+
+    /** Joins the simulation thread (after aborting input). */
+    ~StreamPipeline();
+
+    StreamPipeline(const StreamPipeline &) = delete;
+    StreamPipeline &operator=(const StreamPipeline &) = delete;
+
+    std::uint64_t id() const { return id_; }
+    const std::string &name() const { return name_; }
+    RecordQueue &queue() { return q; }
+    const StreamLimits &streamLimits() const { return limits; }
+
+    /** Spawn the simulation thread (Admitted -> Running). */
+    void start();
+
+    /** Wait for the simulation thread to finish. */
+    void join();
+
+    /** True once the simulation thread has produced the final state. */
+    bool finished() const;
+
+    StreamState state() const;
+
+    /** Failure reason; Ok unless state() == Failed. */
+    Status status() const;
+
+    /**
+     * Record the first failure (disconnect, defect budget, reap).
+     * Ignored once the stream already reached a final state; call
+     * before closing/aborting the queue so the simulation thread's
+     * final state sees it.
+     */
+    void failWith(const Status &why);
+
+    /** Reader-side: publish the connection's frame counters. */
+    void setFrameStats(const FrameStats &fs);
+
+    /** Touch the activity clock (reader bytes / simulation pops). */
+    void noteActivity();
+
+    /** Milliseconds since the last activity touch. */
+    std::int64_t idleMillis() const;
+
+    /**
+     * The stream's entry in the kind:"serve" stats document —
+     * live counters while Running, full sim/mem/heatmap sections once
+     * Done, the error string once Failed (docs/SERVING.md).
+     */
+    obs::JsonValue reportJson() const;
+
+    /** Final output; valid only once state() == Done (tests). */
+    const RunOutput &output() const { return out; }
+
+  private:
+    void runBody();
+    void refreshSnapshot(const MemStats &st);
+
+    const std::uint64_t id_;
+    const std::string name_;
+    const SystemConfig system;
+    const StreamLimits limits;
+    const std::uint64_t generation;
+
+    RecordQueue q;
+    std::thread simThread;
+
+    /** Sim-thread-private observability (never touched elsewhere). */
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    Count refsSinceSnap = 0;
+
+    std::atomic<std::int64_t> lastActivityMs{0};
+
+    mutable std::mutex mu;
+    StreamState state_ = StreamState::Admitted;
+    Status failStatus;
+    FrameStats frames;
+    MemStats liveStats;
+    obs::JsonValue windowJson;
+    bool haveWindow = false;
+    bool finished_ = false;
+    RunOutput out; ///< valid once Done
+};
+
+} // namespace ccm::serve
+
+#endif // CCM_SERVE_STREAM_HH

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "trace/batch_reader.hh"
+#include "trace/wire.hh"
 
 namespace ccm
 {
@@ -13,54 +14,17 @@ namespace ccm
 namespace
 {
 
+// The per-record codec (packRecord/unpackRecord/plausibleRecord,
+// recordBytes) lives in trace/wire.hh, shared with the serve-stream
+// frame protocol.
+using wire::packRecord;
+using wire::plausibleRecord;
+using wire::recordBytes;
+using wire::unpackRecord;
+
 constexpr char magic[8] = {'C', 'C', 'M', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t traceVersion = 1;
 constexpr std::size_t headerBytes = 16;
-constexpr std::size_t recordBytes = 24;
-
-constexpr std::uint8_t flagDependsOnPrevLoad = 0x1;
-constexpr std::uint8_t knownFlags = flagDependsOnPrevLoad;
-
-void
-packRecord(const MemRecord &r, std::uint8_t *buf)
-{
-    std::memcpy(buf + 0, &r.pc, 8);
-    std::memcpy(buf + 8, &r.addr, 8);
-    buf[16] = static_cast<std::uint8_t>(r.type);
-    buf[17] = r.dependsOnPrevLoad ? flagDependsOnPrevLoad : 0;
-    std::memset(buf + 18, 0, 6);
-}
-
-MemRecord
-unpackRecord(const std::uint8_t *buf)
-{
-    MemRecord r;
-    std::memcpy(&r.pc, buf + 0, 8);
-    std::memcpy(&r.addr, buf + 8, 8);
-    r.type = static_cast<RecordType>(buf[16]);
-    r.dependsOnPrevLoad = (buf[17] & flagDependsOnPrevLoad) != 0;
-    return r;
-}
-
-/**
- * A 24-byte window can only be a record if the type is a known
- * RecordType, no unknown flag bits are set, and the padding is zero —
- * the invariants packRecord establishes.  Used to find the next
- * believable record boundary when resyncing past garbage.
- */
-bool
-plausibleRecord(const std::uint8_t *buf)
-{
-    if (buf[16] > static_cast<std::uint8_t>(RecordType::Store))
-        return false;
-    if ((buf[17] & ~knownFlags) != 0)
-        return false;
-    for (int i = 18; i < 24; ++i) {
-        if (buf[i] != 0)
-            return false;
-    }
-    return true;
-}
 
 std::string
 errnoSuffix()

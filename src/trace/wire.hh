@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The 24-byte packed MemRecord wire codec shared by every byte-level
+ * carrier of records: the CCMTRACE file format (file_trace) and the
+ * ccm-serve stream frame protocol (serve/frame).
+ *
+ * Keeping pack/unpack/plausibility in one place means a record that
+ * round-trips through a trace file and one that round-trips through a
+ * stream frame are byte-for-byte the same 24 bytes, and both carriers
+ * resync past garbage using the identical believability test.
+ */
+
+#ifndef CCM_TRACE_WIRE_HH
+#define CCM_TRACE_WIRE_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "trace/record.hh"
+
+namespace ccm::wire
+{
+
+/** Packed size of one MemRecord on any byte carrier. */
+inline constexpr std::size_t recordBytes = 24;
+
+inline constexpr std::uint8_t flagDependsOnPrevLoad = 0x1;
+inline constexpr std::uint8_t knownFlags = flagDependsOnPrevLoad;
+
+/** Serialize @p r into 24 bytes at @p buf (little-endian fields). */
+inline void
+packRecord(const MemRecord &r, std::uint8_t *buf)
+{
+    std::memcpy(buf + 0, &r.pc, 8);
+    std::memcpy(buf + 8, &r.addr, 8);
+    buf[16] = static_cast<std::uint8_t>(r.type);
+    buf[17] = r.dependsOnPrevLoad ? flagDependsOnPrevLoad : 0;
+    std::memset(buf + 18, 0, 6);
+}
+
+/** Deserialize 24 bytes at @p buf (assumed plausible) into a record. */
+inline MemRecord
+unpackRecord(const std::uint8_t *buf)
+{
+    MemRecord r;
+    std::memcpy(&r.pc, buf + 0, 8);
+    std::memcpy(&r.addr, buf + 8, 8);
+    r.type = static_cast<RecordType>(buf[16]);
+    r.dependsOnPrevLoad = (buf[17] & flagDependsOnPrevLoad) != 0;
+    return r;
+}
+
+/**
+ * A 24-byte window can only be a record if the type is a known
+ * RecordType, no unknown flag bits are set, and the padding is zero —
+ * the invariants packRecord establishes.  Used to find the next
+ * believable record boundary when resyncing past garbage.
+ */
+inline bool
+plausibleRecord(const std::uint8_t *buf)
+{
+    if (buf[16] > static_cast<std::uint8_t>(RecordType::Store))
+        return false;
+    if ((buf[17] & ~knownFlags) != 0)
+        return false;
+    for (int i = 18; i < 24; ++i) {
+        if (buf[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace ccm::wire
+
+#endif // CCM_TRACE_WIRE_HH

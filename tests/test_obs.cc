@@ -216,6 +216,33 @@ TEST(ObsInterval, TimingDeltasSumToAggregates)
     EXPECT_EQ(prev_last, r.mem.accesses);
 }
 
+TEST(ObsInterval, RollingWindowBoundsSamplesAndValidates)
+{
+    obs::IntervalSampler sampler(500);
+    sampler.setRollingCapacity(4);
+    RunOutput r = observedRun(&sampler, nullptr);
+
+    // The window is bounded and the overflow is declared, not hidden.
+    EXPECT_LE(sampler.samples().size(), 4u);
+    EXPECT_GT(sampler.droppedSamples(), 0u);
+
+    // The retained tail is still contiguous and ends at the last ref.
+    const auto &samples = sampler.samples();
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_EQ(samples[i].firstRef, samples[i - 1].lastRef + 1);
+    EXPECT_EQ(samples.back().lastRef, r.mem.accesses);
+
+    // dropped_samples rides along in the JSON, and a run document
+    // carrying a rolling window still validates (the sum-of-deltas
+    // invariant is skipped for documents that declare drops).
+    JsonValue iv = obs::intervalsToJson(sampler);
+    EXPECT_EQ(iv.at("dropped_samples").asU64(),
+              sampler.droppedSamples());
+    JsonValue doc = obs::runDocument("go", r, &sampler);
+    Status s = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(s.isOk()) << s.toString();
+}
+
 TEST(ObsInterval, ClassifyChannelTracksAccuracy)
 {
     VectorTrace trace = pingPongTrace(50);

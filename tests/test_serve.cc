@@ -1,0 +1,746 @@
+/**
+ * @file
+ * The ccm-serve streaming subsystem: frame protocol (encode, parse,
+ * resync), the bounded record queue (block vs shed backpressure),
+ * daemon config parsing, the per-stream pipeline's byte-identity with
+ * the batch path, and the daemon end to end over real unix-domain
+ * sockets — including the fault-isolation acceptance gate (N
+ * concurrent streams, some fault-injected, the rest unharmed).
+ *
+ * Everything here is expected to pass under the tsan preset: the
+ * daemon's thread model (acceptor + per-connection readers +
+ * per-stream simulators + control + reaper) gets its concurrency
+ * shakedown in these tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/sink.hh"
+#include "serve/client.hh"
+#include "serve/config.hh"
+#include "serve/daemon.hh"
+#include "serve/frame.hh"
+#include "serve/queue.hh"
+#include "serve/stream.hh"
+#include "sim/experiment.hh"
+#include "trace/fault_trace.hh"
+#include "workloads/registry.hh"
+
+using namespace ccm;
+using obs::JsonValue;
+
+namespace
+{
+
+/** Collecting sink for frame-parser tests. */
+struct CollectSink final : serve::FrameSink
+{
+    std::vector<MemRecord> records;
+    std::vector<std::string> hellos;
+    int ends = 0;
+
+    void
+    onHello(std::uint32_t, const std::string &name) override
+    {
+        hellos.push_back(name);
+    }
+
+    void
+    onRecords(const MemRecord *recs, std::size_t n) override
+    {
+        records.insert(records.end(), recs, recs + n);
+    }
+
+    void onEnd() override { ++ends; }
+};
+
+/** Small, plausible records the wire codec will accept. */
+std::vector<MemRecord>
+someRecords(std::size_t n, std::uint64_t salt = 0)
+{
+    std::vector<MemRecord> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i].pc = 0x400000 + 4 * i;
+        out[i].addr = 0x10000 + 64 * (i + salt);
+        out[i].type =
+            (i % 3 == 0) ? RecordType::Store : RecordType::Load;
+    }
+    return out;
+}
+
+/** Poll @p pred every 5 ms until it holds or @p ms elapse. */
+bool
+waitFor(const std::function<bool()> &pred, int ms = 10000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+std::string
+sockPath(const char *tag)
+{
+    return ::testing::TempDir() + "ccm_" + tag + ".sock";
+}
+
+std::uint64_t
+counter(const serve::ServeDaemon &d, const char *key)
+{
+    return d.statsDocument().at("daemon").at(key).asU64();
+}
+
+} // namespace
+
+// ---- Frame protocol ------------------------------------------------
+
+TEST(ServeFrame, RoundTripHelloRecordsEnd)
+{
+    std::vector<std::uint8_t> wire;
+    serve::appendHelloFrame(wire, "unit-1");
+    std::vector<MemRecord> recs = someRecords(600); // > one frame
+    serve::appendRecordsFrames(wire, recs.data(), recs.size());
+    serve::appendEndFrame(wire);
+
+    CollectSink sink;
+    serve::FrameParser parser;
+    // Drip-feed in awkward chunk sizes to exercise reassembly.
+    for (std::size_t at = 0; at < wire.size();) {
+        std::size_t n = std::min<std::size_t>(7, wire.size() - at);
+        parser.feed(wire.data() + at, n, sink);
+        at += n;
+    }
+    parser.finish(sink);
+
+    ASSERT_EQ(sink.hellos.size(), 1u);
+    EXPECT_EQ(sink.hellos[0], "unit-1");
+    EXPECT_EQ(sink.ends, 1);
+    EXPECT_TRUE(parser.sawEnd());
+    ASSERT_EQ(sink.records.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(sink.records[i].addr, recs[i].addr);
+        EXPECT_EQ(sink.records[i].pc, recs[i].pc);
+    }
+    const serve::FrameStats &fs = parser.stats();
+    EXPECT_TRUE(fs.clean());
+    EXPECT_EQ(fs.records, recs.size());
+    EXPECT_EQ(fs.defects(), 0u);
+}
+
+TEST(ServeFrame, ResyncsPastGarbageBetweenFrames)
+{
+    std::vector<std::uint8_t> wire;
+    serve::appendHelloFrame(wire, "dirty");
+    std::vector<MemRecord> first = someRecords(100);
+    serve::appendRecordsFrames(wire, first.data(), first.size());
+    // A run of garbage that contains no believable frame boundary.
+    wire.insert(wire.end(), 57, 0xa5);
+    std::vector<MemRecord> second = someRecords(100, 7);
+    serve::appendRecordsFrames(wire, second.data(), second.size());
+    serve::appendEndFrame(wire);
+
+    CollectSink sink;
+    serve::FrameParser parser;
+    parser.feed(wire.data(), wire.size(), sink);
+    parser.finish(sink);
+
+    // Both record frames survive; the garbage is counted, not fatal.
+    EXPECT_EQ(sink.records.size(), 200u);
+    EXPECT_TRUE(parser.sawEnd());
+    const serve::FrameStats &fs = parser.stats();
+    EXPECT_EQ(fs.firstDefect, serve::FrameDefect::BadMagic);
+    EXPECT_EQ(fs.resyncEvents, 1u);
+    EXPECT_EQ(fs.bytesSkipped, 57u);
+}
+
+TEST(ServeFrame, ChecksumMismatchDropsOnlyThatFrame)
+{
+    std::vector<std::uint8_t> wire;
+    std::vector<MemRecord> recs = someRecords(10);
+    serve::appendRecordsFrames(wire, recs.data(), recs.size());
+    const std::size_t frame1 = wire.size();
+    serve::appendRecordsFrames(wire, recs.data(), recs.size());
+    // Corrupt one payload byte of the second frame.
+    wire[frame1 + serve::kFrameHeaderBytes + 3] ^= 0xff;
+    serve::appendEndFrame(wire);
+
+    CollectSink sink;
+    serve::FrameParser parser;
+    parser.feed(wire.data(), wire.size(), sink);
+    parser.finish(sink);
+
+    EXPECT_EQ(sink.records.size(), 10u);
+    EXPECT_TRUE(parser.sawEnd());
+    // A bad checksum means the claimed length cannot be trusted, so
+    // the parser resyncs byte-by-byte rather than skipping a "frame".
+    EXPECT_EQ(parser.stats().firstDefect,
+              serve::FrameDefect::BadChecksum);
+    EXPECT_GE(parser.stats().resyncEvents, 1u);
+    EXPECT_GT(parser.stats().bytesSkipped, 0u);
+}
+
+TEST(ServeFrame, TruncatedTailIsDiagnosedAtFinish)
+{
+    std::vector<std::uint8_t> wire;
+    std::vector<MemRecord> recs = someRecords(64);
+    serve::appendRecordsFrames(wire, recs.data(), recs.size());
+    wire.resize(wire.size() - 13); // cut mid-frame
+
+    CollectSink sink;
+    serve::FrameParser parser;
+    parser.feed(wire.data(), wire.size(), sink);
+    EXPECT_TRUE(parser.stats().clean()); // nothing wrong *yet*
+    parser.finish(sink);
+    EXPECT_EQ(parser.stats().firstDefect,
+              serve::FrameDefect::TruncatedTail);
+    EXPECT_FALSE(parser.sawEnd());
+    EXPECT_TRUE(sink.records.empty());
+}
+
+// ---- Record queue --------------------------------------------------
+
+TEST(ServeQueue, BlockPolicyIsLossless)
+{
+    serve::RecordQueue q(64, serve::OverflowPolicy::Block);
+    const std::size_t total = 10'000;
+
+    std::thread producer([&] {
+        std::vector<MemRecord> recs = someRecords(128);
+        std::size_t sent = 0;
+        while (sent < total) {
+            std::size_t n = std::min(recs.size(), total - sent);
+            EXPECT_EQ(q.push(recs.data(), n), n);
+            sent += n;
+        }
+        q.closeInput();
+    });
+
+    MemRecord buf[96];
+    std::size_t got = 0, n = 0;
+    while ((n = q.pop(buf, 96)) != 0)
+        got += n;
+    producer.join();
+
+    EXPECT_EQ(got, total);
+    serve::QueueStats st = q.stats();
+    EXPECT_EQ(st.pushed, total);
+    EXPECT_EQ(st.popped, total);
+    EXPECT_EQ(st.shed, 0u);
+    EXPECT_LE(st.maxDepth, 64u);
+}
+
+TEST(ServeQueue, ShedPolicyDropsOverflowAndCounts)
+{
+    serve::RecordQueue q(8, serve::OverflowPolicy::Shed);
+    std::vector<MemRecord> recs = someRecords(32);
+    EXPECT_EQ(q.push(recs.data(), recs.size()), 8u);
+    q.closeInput();
+
+    MemRecord buf[32];
+    EXPECT_EQ(q.pop(buf, 32), 8u);
+    EXPECT_EQ(q.pop(buf, 32), 0u); // drained + closed
+
+    serve::QueueStats st = q.stats();
+    EXPECT_EQ(st.pushed, 8u);
+    EXPECT_EQ(st.shed, 24u);
+}
+
+TEST(ServeQueue, AbortUnblocksAWaitingConsumer)
+{
+    serve::RecordQueue q(8, serve::OverflowPolicy::Block);
+    std::atomic<bool> popped{false};
+    std::thread consumer([&] {
+        MemRecord r;
+        EXPECT_EQ(q.pop(&r, 1), 0u); // blocks until the abort
+        popped = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(popped.load());
+    q.abort();
+    consumer.join();
+    EXPECT_TRUE(popped.load());
+    EXPECT_TRUE(q.aborted());
+}
+
+TEST(ServeQueue, PolicyNamesRoundTrip)
+{
+    EXPECT_STREQ(serve::toString(serve::OverflowPolicy::Block),
+                 "block");
+    EXPECT_STREQ(serve::toString(serve::OverflowPolicy::Shed), "shed");
+    auto p = serve::parseOverflowPolicy("shed");
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value(), serve::OverflowPolicy::Shed);
+    EXPECT_FALSE(serve::parseOverflowPolicy("drop-newest").ok());
+}
+
+// ---- Daemon configuration ------------------------------------------
+
+TEST(ServeConfig, ParsesKeysCommentsAndBlankLines)
+{
+    auto cfg = serve::parseServeConfig("# serving config\n"
+                                       "arch victim\n"
+                                       "\n"
+                                       "l1-kb 16\n"
+                                       "queue-records 4096\n"
+                                       "policy shed\n"
+                                       "defect-budget 5\n"
+                                       "window-every 10000\n");
+    ASSERT_TRUE(cfg.ok()) << cfg.status().toString();
+    EXPECT_EQ(cfg.value().arch, "victim");
+    EXPECT_EQ(cfg.value().system.mem.l1Bytes, 16u * 1024);
+    EXPECT_EQ(cfg.value().limits.queueRecords, 4096u);
+    EXPECT_EQ(cfg.value().limits.policy, serve::OverflowPolicy::Shed);
+    EXPECT_EQ(cfg.value().limits.defectBudget, 5u);
+    EXPECT_EQ(cfg.value().limits.windowEvery, 10000u);
+}
+
+TEST(ServeConfig, RejectsUnknownKeysAndBadValues)
+{
+    EXPECT_FALSE(serve::parseServeConfig("l1-size 16\n").ok());
+    EXPECT_FALSE(serve::parseServeConfig("arch ternary\n").ok());
+    EXPECT_FALSE(serve::parseServeConfig("l1-kb sixteen\n").ok());
+    EXPECT_FALSE(serve::parseServeConfig("policy maybe\n").ok());
+    Status s = serve::parseServeConfig("bogus 1\n").status();
+    EXPECT_NE(s.message().find("bogus"), std::string::npos);
+}
+
+TEST(ServeConfig, LoadReportsMissingFileWithPathContext)
+{
+    auto cfg = serve::loadServeConfig(::testing::TempDir() +
+                                      "ccm_no_such_config");
+    ASSERT_FALSE(cfg.ok());
+    EXPECT_NE(cfg.status().message().find("config file"),
+              std::string::npos);
+}
+
+// ---- Stream pipeline: byte-identity with the batch path ------------
+
+TEST(ServeStream, PipelineMatchesBatchRunExactly)
+{
+    const std::size_t refs = 20'000;
+    auto batch_wl = makeWorkload("tomcatv", refs, 42);
+    ASSERT_TRUE(batch_wl);
+    RunOutput batch = runTiming(*batch_wl, baselineConfig());
+
+    serve::StreamPipeline pipe(1, "t", baselineConfig(),
+                               serve::StreamLimits{}, 1);
+    pipe.start();
+    auto stream_wl = makeWorkload("tomcatv", refs, 42);
+    MemRecord buf[256];
+    std::size_t n = 0;
+    while ((n = stream_wl->nextBatch(buf, 256)) != 0)
+        pipe.queue().push(buf, n);
+    pipe.queue().closeInput();
+    pipe.join();
+
+    ASSERT_EQ(pipe.state(), serve::StreamState::Done);
+    EXPECT_TRUE(pipe.status().isOk());
+
+    // The determinism guarantee, literally: the streamed stats
+    // serialize byte-for-byte identical to the batch run's.
+    EXPECT_EQ(obs::memStatsToJson(pipe.output().mem).toString(),
+              obs::memStatsToJson(batch.mem).toString());
+    EXPECT_EQ(obs::simResultToJson(pipe.output().sim).toString(),
+              obs::simResultToJson(batch.sim).toString());
+    EXPECT_EQ(obs::setHistogramsToJson(pipe.output().heat).toString(),
+              obs::setHistogramsToJson(batch.heat).toString());
+}
+
+TEST(ServeStream, FailWithIsFirstWinsAndFinal)
+{
+    serve::StreamPipeline pipe(2, "f", baselineConfig(),
+                               serve::StreamLimits{}, 1);
+    pipe.start();
+    pipe.failWith(Status::corruptTrace("first reason"));
+    pipe.failWith(Status::aborted("second reason"));
+    pipe.queue().abort();
+    pipe.join();
+
+    EXPECT_EQ(pipe.state(), serve::StreamState::Failed);
+    EXPECT_EQ(pipe.status().code(), ErrorCode::CorruptTrace);
+    EXPECT_EQ(pipe.status().message(), "first reason");
+
+    // After the final state, further failWith calls are no-ops.
+    pipe.failWith(Status::internal("too late"));
+    EXPECT_EQ(pipe.status().message(), "first reason");
+}
+
+// ---- Daemon end to end ---------------------------------------------
+
+namespace
+{
+
+serve::ServeOptions
+daemonOptions(const char *tag)
+{
+    serve::ServeOptions o;
+    o.socketPath = sockPath(tag);
+    o.controlPath = sockPath((std::string(tag) + "c").c_str());
+    o.pollMs = 20;
+    return o;
+}
+
+/** Stream workload @p wl cleanly into the daemon, return sent count. */
+void
+produceClean(const std::string &socket, const std::string &name,
+             const std::string &wl, std::size_t refs,
+             std::uint64_t seed)
+{
+    auto src = makeWorkload(wl, refs, seed);
+    ASSERT_TRUE(src);
+    auto client = serve::ServeClient::connect(socket, name);
+    ASSERT_TRUE(client.ok()) << client.status().toString();
+    Status s = client.value().streamAll(*src);
+    EXPECT_TRUE(s.isOk()) << s.toString();
+}
+
+} // namespace
+
+/**
+ * The fault-isolation acceptance gate: eight concurrent streams, one
+ * wire-corrupted and one cut mid-stream; the daemon serves the other
+ * six to completion with stats byte-identical to batch runs of the
+ * same traces, reports both failures per-stream via Status, and
+ * drains cleanly.
+ */
+TEST(ServeDaemon, FaultIsolationAcrossEightConcurrentStreams)
+{
+    serve::ServeOptions o = daemonOptions("gate");
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    const char *kWorkloads[6] = {"tomcatv", "gcc",      "swim",
+                                 "go",      "compress", "wave5"};
+    const std::size_t kRefs = 6000;
+
+    std::vector<std::thread> producers;
+    producers.reserve(8);
+    for (int i = 0; i < 6; ++i) {
+        producers.emplace_back([&, i] {
+            produceClean(o.socketPath, std::string("clean-") +
+                                           kWorkloads[i],
+                         kWorkloads[i], kRefs, 42);
+        });
+    }
+    // Producer 7: wire corruption (garbage past the defect budget).
+    producers.emplace_back([&] {
+        auto client =
+            serve::ServeClient::connect(o.socketPath, "corrupt");
+        ASSERT_TRUE(client.ok());
+        std::vector<MemRecord> recs = someRecords(256);
+        (void)client.value().sendRecords(recs.data(), recs.size());
+        std::vector<std::uint8_t> junk(96, 0xa5);
+        (void)client.value().sendRawBytes(junk.data(), junk.size());
+        // The daemon cuts us after the defect; nothing more to send.
+    });
+    // Producer 8: crash mid-stream (no end frame).
+    producers.emplace_back([&] {
+        auto client =
+            serve::ServeClient::connect(o.socketPath, "crash");
+        ASSERT_TRUE(client.ok());
+        std::vector<MemRecord> recs = someRecords(512, 3);
+        (void)client.value().sendRecords(recs.data(), recs.size());
+        client.value().closeAbrupt();
+    });
+    for (auto &t : producers)
+        t.join();
+
+    // Every stream retires: 6 done, 2 failed, none stuck.
+    ASSERT_TRUE(waitFor([&] {
+        return counter(daemon, "streams_done") == 6 &&
+               counter(daemon, "streams_failed") == 2 &&
+               daemon.activeStreams() == 0;
+    })) << daemon.statsDocument().toString();
+
+    JsonValue doc = daemon.statsDocument();
+    Status valid = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(valid.isOk()) << valid.toString();
+    EXPECT_EQ(doc.at("daemon").at("streams_total").asU64(), 8u);
+
+    // Index the per-stream reports by name.
+    std::map<std::string, const JsonValue *> byName;
+    for (const JsonValue &s : doc.at("streams").elements())
+        byName[s.at("name").asString()] = &s;
+    ASSERT_EQ(byName.size(), 8u);
+
+    // The six clean streams: Done, and byte-identical to batch runs.
+    for (int i = 0; i < 6; ++i) {
+        const std::string name =
+            std::string("clean-") + kWorkloads[i];
+        ASSERT_TRUE(byName.count(name)) << name;
+        const JsonValue &s = *byName[name];
+        EXPECT_EQ(s.at("state").asString(), "done") << name;
+        auto wl = makeWorkload(kWorkloads[i], kRefs, 42);
+        RunOutput batch = runTiming(*wl, baselineConfig());
+        EXPECT_EQ(s.at("mem").toString(),
+                  obs::memStatsToJson(batch.mem).toString())
+            << name;
+        EXPECT_EQ(s.at("sim").toString(),
+                  obs::simResultToJson(batch.sim).toString())
+            << name;
+    }
+
+    // The two faulty streams: Failed, with a Status explaining why.
+    ASSERT_TRUE(byName.count("corrupt"));
+    EXPECT_EQ(byName["corrupt"]->at("state").asString(), "failed");
+    EXPECT_NE(byName["corrupt"]->at("error").asString().find(
+                  "corrupt-trace"),
+              std::string::npos);
+    ASSERT_TRUE(byName.count("crash"));
+    EXPECT_EQ(byName["crash"]->at("state").asString(), "failed");
+    EXPECT_NE(byName["crash"]->at("error").asString().find(
+                  "end frame"),
+              std::string::npos);
+
+    daemon.drainAndStop();
+}
+
+TEST(ServeDaemon, RecordLevelFaultsAreServedNotRejected)
+{
+    // FaultInjectingSource produces structurally valid records; the
+    // daemon must simulate them like any other trace (defect budgets
+    // are about wire damage, not trace content).
+    serve::ServeOptions o = daemonOptions("flt");
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    auto base = makeWorkload("gcc", 5000, 9);
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.bitFlipRate = 0.01;
+    plan.dropRate = 0.01;
+    plan.duplicateRate = 0.01;
+    FaultInjectingSource faulty(*base, plan);
+
+    auto client = serve::ServeClient::connect(o.socketPath, "noisy");
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value().streamAll(faulty).isOk());
+
+    ASSERT_TRUE(
+        waitFor([&] { return counter(daemon, "streams_done") == 1; }));
+    JsonValue doc = daemon.statsDocument();
+    EXPECT_EQ(doc.at("daemon").at("streams_failed").asU64(), 0u);
+    EXPECT_EQ(doc.at("streams").elements().at(0).at("frames")
+                  .at("malformed_frames").asU64(),
+              0u);
+    daemon.drainAndStop();
+}
+
+TEST(ServeDaemon, IdleStreamsAreReapedAfterTtl)
+{
+    serve::ServeOptions o = daemonOptions("ttl");
+    o.idleTtlMs = 100;
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    auto client = serve::ServeClient::connect(o.socketPath, "stalled");
+    ASSERT_TRUE(client.ok());
+    std::vector<MemRecord> recs = someRecords(64);
+    ASSERT_TRUE(
+        client.value().sendRecords(recs.data(), recs.size()).isOk());
+    // ...and then the producer goes silent, connection still open.
+
+    ASSERT_TRUE(waitFor(
+        [&] { return counter(daemon, "streams_failed") == 1; }));
+    JsonValue doc = daemon.statsDocument();
+    const std::string err =
+        doc.at("streams").elements().at(0).at("error").asString();
+    EXPECT_NE(err.find("idle"), std::string::npos) << err;
+    EXPECT_NE(err.find("reaped"), std::string::npos) << err;
+    daemon.drainAndStop();
+}
+
+TEST(ServeDaemon, AdmissionRefusedBeyondMaxStreams)
+{
+    serve::ServeOptions o = daemonOptions("cap");
+    o.maxStreams = 1;
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    auto first = serve::ServeClient::connect(o.socketPath, "one");
+    ASSERT_TRUE(first.ok());
+    std::vector<MemRecord> recs = someRecords(16);
+    ASSERT_TRUE(
+        first.value().sendRecords(recs.data(), recs.size()).isOk());
+    ASSERT_TRUE(waitFor([&] { return daemon.activeStreams() == 1; }));
+
+    auto second = serve::ServeClient::connect(o.socketPath, "two");
+    ASSERT_TRUE(second.ok()); // connect works; admission refuses
+    ASSERT_TRUE(waitFor(
+        [&] { return counter(daemon, "streams_refused") == 1; }));
+    EXPECT_EQ(daemon.activeStreams(), 1u);
+
+    ASSERT_TRUE(first.value().sendEnd().isOk());
+    ASSERT_TRUE(waitFor(
+        [&] { return counter(daemon, "streams_done") == 1; }));
+    daemon.drainAndStop();
+}
+
+TEST(ServeDaemon, DrainCutsStragglersAndRefusesNewStreams)
+{
+    serve::ServeOptions o = daemonOptions("drn");
+    o.drainGraceMs = 80;
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    auto straggler =
+        serve::ServeClient::connect(o.socketPath, "straggler");
+    ASSERT_TRUE(straggler.ok());
+    std::vector<MemRecord> recs = someRecords(64);
+    ASSERT_TRUE(straggler.value()
+                    .sendRecords(recs.data(), recs.size())
+                    .isOk());
+    ASSERT_TRUE(waitFor([&] { return daemon.activeStreams() == 1; }));
+
+    daemon.requestDrain();
+    EXPECT_TRUE(daemon.draining());
+    daemon.drainAndStop(); // must not hang on the open connection
+
+    JsonValue doc = daemon.statsDocument();
+    EXPECT_EQ(doc.at("daemon").at("streams_failed").asU64(), 1u);
+    EXPECT_NE(
+        doc.at("streams").elements().at(0).at("error").asString().find("drain"),
+        std::string::npos);
+}
+
+TEST(ServeDaemon, ConcurrentConnectDisconnectChurn)
+{
+    serve::ServeOptions o = daemonOptions("chrn");
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    // A mix of producers that finish, vanish, or never say hello,
+    // connecting and disconnecting concurrently.
+    std::vector<std::thread> churn;
+    for (int i = 0; i < 4; ++i) {
+        churn.emplace_back([&, i] {
+            for (int round = 0; round < 3; ++round) {
+                const std::string name = "churn-" +
+                                         std::to_string(i) + "-" +
+                                         std::to_string(round);
+                auto c =
+                    serve::ServeClient::connect(o.socketPath, name);
+                if (!c.ok())
+                    continue;
+                std::vector<MemRecord> recs = someRecords(
+                    128, static_cast<std::uint64_t>(i * 7 + round));
+                (void)c.value().sendRecords(recs.data(), recs.size());
+                if ((i + round) % 2 == 0)
+                    (void)c.value().sendEnd();
+                else
+                    c.value().closeAbrupt();
+            }
+        });
+    }
+    for (auto &t : churn)
+        t.join();
+
+    ASSERT_TRUE(waitFor([&] {
+        return counter(daemon, "streams_done") +
+                   counter(daemon, "streams_failed") ==
+               12;
+    }));
+    JsonValue doc = daemon.statsDocument();
+    EXPECT_TRUE(obs::validateStatsDoc(doc).isOk());
+    EXPECT_EQ(doc.at("daemon").at("streams_total").asU64(), 12u);
+    daemon.drainAndStop();
+}
+
+TEST(ServeDaemon, ReloadSwapsConfigForNewStreamsOnly)
+{
+    const std::string cfg_path =
+        ::testing::TempDir() + "ccm_reload.conf";
+    {
+        std::ofstream f(cfg_path);
+        f << "arch baseline\n";
+    }
+    serve::ServeOptions o = daemonOptions("rld");
+    o.configPath = cfg_path;
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+    EXPECT_EQ(daemon.generation(), 1u);
+
+    {
+        std::ofstream f(cfg_path);
+        f << "arch twoway\nqueue-records 2048\n";
+    }
+    ASSERT_TRUE(daemon.reload().isOk());
+    EXPECT_EQ(daemon.generation(), 2u);
+
+    produceClean(o.socketPath, "post-reload", "swim", 3000, 5);
+    ASSERT_TRUE(
+        waitFor([&] { return counter(daemon, "streams_done") == 1; }));
+    JsonValue doc = daemon.statsDocument();
+    EXPECT_EQ(doc.at("streams").elements().at(0).at("generation").asU64(), 2u);
+    EXPECT_EQ(doc.at("streams").elements().at(0).at("queue")
+                  .at("capacity").asU64(),
+              2048u);
+
+    // A broken file is rejected and the old config stays in force.
+    {
+        std::ofstream f(cfg_path);
+        f << "arch nonsense\n";
+    }
+    Status bad = daemon.reload();
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_NE(bad.message().find("previous configuration kept"),
+              std::string::npos);
+    EXPECT_EQ(daemon.generation(), 2u);
+    daemon.drainAndStop();
+}
+
+TEST(ServeDaemon, ControlSocketAnswersCommands)
+{
+    serve::ServeOptions o = daemonOptions("ctl");
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    auto pong = serve::controlRequest(o.controlPath, "ping");
+    ASSERT_TRUE(pong.ok()) << pong.status().toString();
+    EXPECT_EQ(pong.value(), "pong\n");
+
+    auto stats = serve::controlRequest(o.controlPath, "stats");
+    ASSERT_TRUE(stats.ok());
+    auto parsed = JsonValue::parse(stats.value());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_TRUE(obs::validateStatsDoc(parsed.value()).isOk());
+    EXPECT_EQ(parsed.value().at("kind").asString(), "serve");
+
+    auto junk = serve::controlRequest(o.controlPath, "frobnicate");
+    ASSERT_TRUE(junk.ok());
+    EXPECT_EQ(junk.value().rfind("error:", 0), 0u);
+
+    auto drain = serve::controlRequest(o.controlPath, "drain");
+    ASSERT_TRUE(drain.ok());
+    EXPECT_EQ(drain.value(), "ok\n");
+    EXPECT_TRUE(daemon.draining());
+    daemon.drainAndStop();
+}
+
+TEST(ServeClient, ConnectRetriesThenReportsAttempts)
+{
+    serve::ClientOptions copts;
+    copts.connectRetries = 3;
+    copts.backoffInitialMs = 1;
+    auto c = serve::ServeClient::connect(
+        ::testing::TempDir() + "ccm_nowhere.sock", "x", copts);
+    ASSERT_FALSE(c.ok());
+    EXPECT_NE(c.status().message().find("3 attempts"),
+              std::string::npos)
+        << c.status().toString();
+}

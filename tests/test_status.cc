@@ -39,6 +39,9 @@ TEST(Status, FactoriesSetCodeAndMessage)
     EXPECT_EQ(Status::unsupported("x").code(),
               ErrorCode::Unsupported);
     EXPECT_EQ(Status::internal("x").code(), ErrorCode::Internal);
+    EXPECT_EQ(Status::aborted("x").code(), ErrorCode::Aborted);
+    EXPECT_EQ(Status::unavailable("x").code(),
+              ErrorCode::Unavailable);
 }
 
 TEST(Status, CodeNamesAreStable)
@@ -52,6 +55,9 @@ TEST(Status, CodeNamesAreStable)
     EXPECT_STREQ(errorCodeName(ErrorCode::Unsupported),
                  "unsupported");
     EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Aborted), "aborted");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Unavailable),
+                 "unavailable");
 }
 
 TEST(Status, ToStringCombinesCodeAndMessage)

@@ -6,9 +6,13 @@
  *   ccm-report out.json               human-readable report
  *   ccm-report --top 16 out.json      more hot sets
  *   ccm-report --check out.json       validate only
+ *   ccm-report --flat out.json        flattened "path value" lines
  *
- * Exit status follows the tracecheck convention: 0 = valid document,
- * 1 = usage error, 2 = unreadable / malformed / invalid document.
+ * Exit status separates input damage from schema violations so
+ * scripts can triage: 0 = valid document, 1 = usage error or
+ * unreadable/unparseable input (a truncated or interleaved JSON file
+ * lands here — the bytes never were one document), 2 = parseable JSON
+ * that is not a valid ccm-stats document.
  */
 
 #include <cstdlib>
@@ -33,8 +37,11 @@ usage()
     std::cout <<
         "usage: ccm-report [options] FILE\n"
         "  --check        validate only (exit 0 valid, 2 invalid)\n"
+        "  --flat         print the flattened \"path value\" form\n"
         "  --top N        hot sets to list (default 8)\n"
-        "FILE may be '-' for stdin.\n";
+        "FILE may be '-' for stdin.\n"
+        "exit: 0 valid, 1 usage or unreadable/unparseable input,\n"
+        "      2 invalid ccm-stats document\n";
 }
 
 /** Fixed-precision rendering for percentage-ish values. */
@@ -189,12 +196,60 @@ renderSuite(const JsonValue &doc)
     }
 }
 
+void
+renderServe(const JsonValue &doc)
+{
+    const JsonValue &daemon = doc.at("daemon");
+    std::cout << "generation        " << daemon.at("generation").asU64()
+              << (daemon.at("draining").asBool() ? " (draining)" : "")
+              << "\n"
+              << "streams           "
+              << daemon.at("streams_total").asU64() << " admitted, "
+              << daemon.at("streams_active").asU64() << " active, "
+              << daemon.at("streams_done").asU64() << " done, "
+              << daemon.at("streams_failed").asU64() << " failed\n"
+              << "records           "
+              << daemon.at("records_total").asU64() << "\n";
+
+    TextTable t({"stream", "state", "records", "refs", "miss%",
+                 "defects"});
+    for (const JsonValue &s : doc.at("streams").elements()) {
+        std::size_t r = t.addRow(s.at("name").asString());
+        t.set(r, 1, s.at("state").asString());
+        t.set(r, 2, u64str(s.at("records")));
+        t.set(r, 3, u64str(s.at("refs")));
+        const JsonValue *mem = s.get("mem");
+        if (!mem)
+            mem = s.get("mem_live");
+        t.set(r, 4,
+              mem != nullptr
+                  ? num(mem->at("derived")
+                            .at("miss_rate_pct")
+                            .asDouble())
+                  : std::string("-"));
+        const JsonValue &frames = s.at("frames");
+        const std::uint64_t defects =
+            frames.at("malformed_frames").asU64() +
+            frames.at("resync_events").asU64() +
+            frames.at("bad_records").asU64();
+        t.set(r, 5, std::to_string(defects));
+    }
+    t.print(std::cout);
+
+    for (const JsonValue &s : doc.at("streams").elements()) {
+        if (const JsonValue *err = s.get("error"))
+            std::cerr << "error: " << s.at("name").asString() << ": "
+                      << err->asString() << "\n";
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool check_only = false;
+    bool flat = false;
     std::size_t top_n = 8;
     std::string path;
 
@@ -205,6 +260,8 @@ main(int argc, char **argv)
             return 0;
         } else if (a == "--check") {
             check_only = true;
+        } else if (a == "--flat") {
+            flat = true;
         } else if (a == "--top") {
             if (i + 1 >= argc) {
                 std::cerr << "--top needs a value\n";
@@ -237,17 +294,19 @@ main(int argc, char **argv)
         std::ifstream in(path);
         if (!in) {
             std::cerr << "error: cannot open '" << path << "'\n";
-            return 2;
+            return 1;
         }
         std::ostringstream buf;
         buf << in.rdbuf();
         text = buf.str();
     }
 
+    // Parse failures are input damage (truncated writes, interleaved
+    // concurrent writers), not schema violations: exit 1.
     ccm::Expected<JsonValue> parsed = JsonValue::parse(text);
     if (!parsed.ok()) {
         std::cerr << "error: " << parsed.status().toString() << "\n";
-        return 2;
+        return 1;
     }
     const JsonValue &doc = parsed.value();
 
@@ -261,6 +320,11 @@ main(int argc, char **argv)
                   << doc.at("schema_version").asU64() << ")\n";
         return 0;
     }
+    if (flat) {
+        ccm::obs::writeDocument(std::cout, doc,
+                                ccm::obs::StatsFormat::Text);
+        return 0;
+    }
 
     const std::string &kind = doc.at("kind").asString();
     std::string arch = doc.at("arch").isString()
@@ -271,6 +335,11 @@ main(int argc, char **argv)
                   << doc.at("workload").asString() << " on " << arch
                   << " (run) ==\n";
         renderRunBody(doc, top_n);
+    } else if (kind == "serve") {
+        const JsonValue &daemon = doc.at("daemon");
+        std::cout << "== ccm-report: ccm-serve on "
+                  << daemon.at("arch").asString() << " ==\n";
+        renderServe(doc);
     } else {
         std::cout << "== ccm-report: suite on " << arch << " ==\n";
         renderSuite(doc);

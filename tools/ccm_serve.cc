@@ -1,0 +1,218 @@
+/**
+ * @file
+ * ccm-serve — the streaming trace-serving daemon (docs/SERVING.md).
+ *
+ *   ccm-serve --socket /run/ccm.sock --control /run/ccm-ctl.sock \
+ *             --config serve.conf --idle-ttl-ms 30000
+ *
+ * Producers connect to the ingest socket and stream CCMF frames
+ * (tools/ccm-stream, or the ServeClient library); each stream runs on
+ * its own bounded simulation pipeline.  The control socket answers
+ * one-line commands: "stats" (live kind:"serve" ccm-stats JSON),
+ * "drain", "reload", "ping".
+ *
+ * Signals: SIGTERM/SIGINT start a graceful drain (grace period for
+ * producers to finish, then cut) and the process exits 0; SIGHUP
+ * re-reads --config and swaps the runtime configuration for new
+ * streams.  A failed reload keeps the old configuration and the
+ * daemon keeps serving.
+ *
+ * Exit status: 0 after a drain (signal or control command), 1 on
+ * usage/startup errors.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <poll.h>
+
+#include "common/shutdown.hh"
+#include "obs/sink.hh"
+#include "serve/daemon.hh"
+
+namespace
+{
+
+using namespace ccm;
+
+void
+usage()
+{
+    std::cout <<
+        "usage: ccm-serve --socket PATH [options]\n"
+        "  --socket PATH          ingest unix-domain socket (required)\n"
+        "  --control PATH         control socket (stats/drain/reload)\n"
+        "  --config FILE          runtime config file; SIGHUP re-reads\n"
+        "                         it (keys: see docs/SERVING.md)\n"
+        "  --arch A               architecture for new streams\n"
+        "                         (overrides the config file)\n"
+        "  --max-streams N        admission cap (default 64)\n"
+        "  --idle-ttl-ms N        reap streams idle > N ms (0 = never)\n"
+        "  --drain-grace-ms N     drain grace period (default 2000)\n"
+        "  --poll-ms N            internal poll tick (default 100)\n"
+        "  --queue-records N      per-stream queue bound (default 8192)\n"
+        "  --policy P             block | shed (default block)\n"
+        "  --window-every N       rolling-window sample length in refs\n"
+        "  --window-samples N     rolling-window samples kept\n"
+        "  --defect-budget N      frame defects tolerated per stream\n"
+        "  --stats-out FILE       write the final stats document on\n"
+        "                         exit (\"-\" = stdout)\n";
+}
+
+std::uint64_t
+parseNum(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::cerr << flag << " needs a number, got '" << text << "'\n";
+        std::exit(1);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServeOptions opts;
+    std::string statsOut;
+    std::string archOverride;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << a << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--socket") {
+            opts.socketPath = val();
+        } else if (a == "--control") {
+            opts.controlPath = val();
+        } else if (a == "--config") {
+            opts.configPath = val();
+        } else if (a == "--arch") {
+            archOverride = val();
+        } else if (a == "--max-streams") {
+            opts.maxStreams = parseNum("--max-streams", val());
+        } else if (a == "--idle-ttl-ms") {
+            opts.idleTtlMs = static_cast<std::int64_t>(
+                parseNum("--idle-ttl-ms", val()));
+        } else if (a == "--drain-grace-ms") {
+            opts.drainGraceMs = static_cast<std::int64_t>(
+                parseNum("--drain-grace-ms", val()));
+        } else if (a == "--poll-ms") {
+            opts.pollMs = static_cast<std::int64_t>(
+                parseNum("--poll-ms", val()));
+        } else if (a == "--queue-records") {
+            opts.runtime.limits.queueRecords =
+                parseNum("--queue-records", val());
+        } else if (a == "--policy") {
+            auto p = serve::parseOverflowPolicy(val());
+            if (!p.ok()) {
+                std::cerr << p.status().toString() << "\n";
+                return 1;
+            }
+            opts.runtime.limits.policy = p.value();
+        } else if (a == "--window-every") {
+            opts.runtime.limits.windowEvery =
+                parseNum("--window-every", val());
+        } else if (a == "--window-samples") {
+            opts.runtime.limits.windowSamples =
+                parseNum("--window-samples", val());
+        } else if (a == "--defect-budget") {
+            opts.runtime.limits.defectBudget =
+                parseNum("--defect-budget", val());
+        } else if (a == "--stats-out") {
+            statsOut = val();
+        } else {
+            std::cerr << "unknown option '" << a << "'\n";
+            usage();
+            return 1;
+        }
+    }
+
+    if (opts.socketPath.empty()) {
+        std::cerr << "--socket is required\n";
+        usage();
+        return 1;
+    }
+
+    if (!opts.configPath.empty()) {
+        auto cfg = serve::loadServeConfig(opts.configPath);
+        if (!cfg.ok()) {
+            std::cerr << "error: " << cfg.status().toString() << "\n";
+            return 1;
+        }
+        opts.runtime = cfg.take();
+    }
+    if (!archOverride.empty()) {
+        auto sys = serve::buildArchConfig(archOverride);
+        if (!sys.ok()) {
+            std::cerr << "error: " << sys.status().toString() << "\n";
+            return 1;
+        }
+        opts.runtime.arch = archOverride;
+        opts.runtime.system = sys.take();
+    }
+
+    std::signal(SIGPIPE, SIG_IGN);
+
+    ShutdownLatch latch;
+    Status sig = latch.installSignalHandlers(SIGTERM, SIGINT, SIGHUP);
+    if (!sig.isOk()) {
+        std::cerr << "error: " << sig.toString() << "\n";
+        return 1;
+    }
+
+    serve::ServeDaemon daemon(opts);
+    Status started = daemon.start();
+    if (!started.isOk()) {
+        std::cerr << "error: " << started.toString() << "\n";
+        return 1;
+    }
+    std::cout << "ccm-serve: listening on " << opts.socketPath;
+    if (!opts.controlPath.empty())
+        std::cout << " (control " << opts.controlPath << ")";
+    std::cout << ", arch " << opts.runtime.arch << std::endl;
+
+    while (!latch.stopRequested() && !daemon.draining()) {
+        if (latch.takeReloadRequest()) {
+            latch.drainWake();
+            Status s = daemon.reload();
+            if (s.isOk())
+                std::cerr << "ccm-serve: configuration reloaded "
+                             "(generation "
+                          << daemon.generation() << ")\n";
+            else
+                std::cerr << "ccm-serve: " << s.toString() << "\n";
+            continue;
+        }
+        pollfd pf{};
+        pf.fd = latch.wakeFd();
+        pf.events = POLLIN;
+        ::poll(&pf, 1, 200);
+    }
+
+    std::cerr << "ccm-serve: draining...\n";
+    daemon.drainAndStop();
+
+    if (!statsOut.empty()) {
+        Status ws = obs::writeDocumentToFile(
+            statsOut, daemon.statsDocument(), obs::StatsFormat::Json);
+        if (!ws.isOk())
+            std::cerr << "ccm-serve: " << ws.toString() << "\n";
+    }
+    std::cerr << "ccm-serve: drained, exiting\n";
+    return 0;
+}

@@ -453,11 +453,24 @@ main(int argc, char **argv)
             o.ambExclude = true;
         } else if (a == "--raw") {
             o.dumpRaw = true;
-        } else if (a == "--stats-json") {
-            o.statsOut = val();
-            o.statsFormat = ccm::obs::StatsFormat::Json;
-        } else if (a == "--stats-out") {
-            o.statsOut = val();
+        } else if (a == "--stats-json" || a == "--stats-out") {
+            // One stats document per invocation: silently honouring
+            // only the last of two different targets would leave the
+            // other file stale without anyone noticing.
+            const std::string target = val();
+            if (!o.statsOut.empty() && o.statsOut != target) {
+                std::cerr << ccm::Status::badConfig(
+                                 "conflicting stats targets '",
+                                 o.statsOut, "' and '", target,
+                                 "' (use one --stats-json/--stats-out "
+                                 "destination)")
+                                 .toString()
+                          << "\n";
+                return 1;
+            }
+            o.statsOut = target;
+            if (a == "--stats-json")
+                o.statsFormat = ccm::obs::StatsFormat::Json;
         } else if (a == "--stats-format") {
             auto f = ccm::obs::parseStatsFormat(val());
             if (!f.ok()) {

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * ccm-stream — producer and control client for ccm-serve
+ * (docs/SERVING.md).
+ *
+ * Producer mode streams a workload (or trace file) to the daemon:
+ *
+ *   ccm-stream --socket /run/ccm.sock --name web-1 \
+ *              --workload tomcatv --refs 200000
+ *
+ * Fault-injection flags make it double as the robustness test rig:
+ * --fault-* decorate the trace with FaultInjectingSource's
+ * record-level defects, --corrupt-after injects raw garbage bytes
+ * into the frame stream (wire corruption), and --disconnect-after
+ * drops the connection without an end frame (producer crash).
+ * --frames-out captures the exact byte stream for `tracecheck frames`.
+ *
+ * Control mode sends one command and prints the reply:
+ *
+ *   ccm-stream --control /run/ccm-ctl.sock --cmd stats
+ *
+ * Exit status: 0 success (including an intentional
+ * --disconnect-after), 1 usage errors, 2 connect/send failures or an
+ * "error:" control reply.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/frame.hh"
+#include "trace/fault_trace.hh"
+#include "trace/file_trace.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace ccm;
+
+void
+usage()
+{
+    std::cout <<
+        "usage: ccm-stream --socket PATH --name NAME [options]\n"
+        "       ccm-stream --control PATH --cmd COMMAND\n"
+        "producer options:\n"
+        "  --workload W           synthetic workload (default tomcatv)\n"
+        "  --refs N               workload length (default 100000)\n"
+        "  --seed N               workload seed (default 42)\n"
+        "  --trace FILE           stream a binary trace file instead\n"
+        "  --chunk N              records per frame batch (default 256)\n"
+        "  --fault-bitflip R      FaultInjectingSource bit-flip rate\n"
+        "  --fault-drop R         record drop rate\n"
+        "  --fault-dup R          record duplication rate\n"
+        "  --fault-truncate N     stop the source after N records\n"
+        "  --fault-seed N         fault plan seed (default 1)\n"
+        "  --corrupt-after N      after N records, inject raw garbage\n"
+        "  --corrupt-bytes N      garbage byte count (default 64)\n"
+        "  --disconnect-after N   close without an end frame after N\n"
+        "                         records (simulated producer crash)\n"
+        "  --frames-out FILE      capture the framed byte stream\n"
+        "connection options:\n"
+        "  --retries N            connect attempts (default 5)\n"
+        "  --backoff-ms N         initial backoff, doubles (default 10)\n"
+        "  --timeout-ms N         per-send/reply timeout (default 5000)\n";
+}
+
+std::uint64_t
+parseNum(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::cerr << flag << " needs a number, got '" << text << "'\n";
+        std::exit(1);
+    }
+    return v;
+}
+
+double
+parseRate(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0 || v > 1.0) {
+        std::cerr << flag << " needs a rate in [0,1], got '" << text
+                  << "'\n";
+        std::exit(1);
+    }
+    return v;
+}
+
+struct Options
+{
+    std::string socketPath;
+    std::string controlPath;
+    std::string command;
+    std::string name;
+    std::string workload = "tomcatv";
+    std::string tracePath;
+    std::string framesOut;
+    std::size_t refs = 100'000;
+    std::uint64_t seed = 42;
+    std::size_t chunk = serve::kMaxRecordsPerFrame;
+    FaultPlan faults;
+    std::size_t corruptAfter = 0; ///< 0 = no wire corruption
+    std::size_t corruptBytes = 64;
+    std::size_t disconnectAfter = 0; ///< 0 = finish cleanly
+    serve::ClientOptions client;
+};
+
+int
+runControl(const Options &o)
+{
+    auto reply = serve::controlRequest(o.controlPath, o.command,
+                                       o.client);
+    if (!reply.ok()) {
+        std::cerr << "error: " << reply.status().toString() << "\n";
+        return 2;
+    }
+    std::cout << reply.value();
+    if (!reply.value().empty() && reply.value().back() != '\n')
+        std::cout << "\n";
+    return reply.value().rfind("error:", 0) == 0 ? 2 : 0;
+}
+
+int
+runProducer(const Options &o)
+{
+    std::unique_ptr<TraceSource> base;
+    if (!o.tracePath.empty()) {
+        auto rd = TraceFileReader::open(o.tracePath);
+        if (!rd.ok()) {
+            std::cerr << "error: " << rd.status().toString() << "\n";
+            return 2;
+        }
+        base = std::unique_ptr<TraceSource>(rd.take().release());
+    } else {
+        base = makeWorkload(o.workload, o.refs, o.seed);
+        if (!base) {
+            std::cerr << "unknown workload '" << o.workload << "'\n";
+            return 1;
+        }
+    }
+
+    TraceSource *src = base.get();
+    std::unique_ptr<FaultInjectingSource> faulty;
+    if (o.faults.enabled()) {
+        faulty = std::make_unique<FaultInjectingSource>(*base, o.faults);
+        src = faulty.get();
+    }
+
+    auto connected =
+        serve::ServeClient::connect(o.socketPath, o.name, o.client);
+    if (!connected.ok()) {
+        std::cerr << "error: " << connected.status().toString()
+                  << "\n";
+        return 2;
+    }
+    serve::ServeClient client = connected.take();
+
+    // Capture mirrors every byte that goes on the wire, hello first.
+    std::vector<std::uint8_t> capture;
+    const bool capturing = !o.framesOut.empty();
+    if (capturing)
+        serve::appendHelloFrame(capture, o.name);
+
+    const std::size_t chunk =
+        std::min(o.chunk == 0 ? std::size_t{1} : o.chunk,
+                 serve::kMaxRecordsPerFrame);
+    std::vector<MemRecord> batch(chunk);
+    std::size_t sent = 0;
+    bool corrupted = false;
+    bool disconnected = false;
+
+    for (;;) {
+        if (o.corruptAfter > 0 && !corrupted &&
+            sent >= o.corruptAfter) {
+            corrupted = true;
+            // Garbage with no believable frame boundary in it: the
+            // daemon must resync past every byte.
+            std::vector<std::uint8_t> junk(o.corruptBytes, 0xa5);
+            Status s = client.sendRawBytes(junk.data(), junk.size());
+            if (!s.isOk()) {
+                std::cerr << "error: " << s.toString() << "\n";
+                return 2;
+            }
+            if (capturing)
+                capture.insert(capture.end(), junk.begin(),
+                               junk.end());
+        }
+
+        std::size_t want = chunk;
+        if (o.disconnectAfter > 0)
+            want = std::min(want, o.disconnectAfter - sent);
+        if (want == 0) {
+            client.closeAbrupt();
+            disconnected = true;
+            break;
+        }
+        const std::size_t n = src->nextBatch(batch.data(), want);
+        if (n == 0)
+            break;
+
+        std::vector<std::uint8_t> bytes;
+        serve::appendRecordsFrames(bytes, batch.data(), n);
+        Status s = client.sendRawBytes(bytes.data(), bytes.size());
+        if (!s.isOk()) {
+            std::cerr << "error: " << s.toString() << "\n";
+            return 2;
+        }
+        if (capturing)
+            capture.insert(capture.end(), bytes.begin(), bytes.end());
+        sent += n;
+    }
+
+    if (!disconnected) {
+        Status s = client.sendEnd();
+        if (!s.isOk()) {
+            std::cerr << "error: " << s.toString() << "\n";
+            return 2;
+        }
+        if (capturing)
+            serve::appendEndFrame(capture);
+    }
+
+    if (capturing) {
+        std::ofstream out(o.framesOut, std::ios::binary);
+        if (!out ||
+            !out.write(reinterpret_cast<const char *>(capture.data()),
+                       static_cast<std::streamsize>(capture.size()))) {
+            std::cerr << "error: cannot write " << o.framesOut << "\n";
+            return 2;
+        }
+    }
+
+    std::cout << "ccm-stream: " << o.name << ": " << sent
+              << " records sent"
+              << (disconnected ? " (abrupt disconnect)" : "")
+              << (corrupted ? " (wire corruption injected)" : "")
+              << "\n";
+    if (faulty) {
+        const FaultStats &fs = faulty->stats();
+        std::cout << "ccm-stream: faults injected: " << fs.bitFlips
+                  << " bit flips, " << fs.drops << " drops, "
+                  << fs.duplicates << " duplicates"
+                  << (fs.truncated ? ", truncated" : "") << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << a << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--socket") {
+            o.socketPath = val();
+        } else if (a == "--control") {
+            o.controlPath = val();
+        } else if (a == "--cmd") {
+            o.command = val();
+        } else if (a == "--name") {
+            o.name = val();
+        } else if (a == "--workload") {
+            o.workload = val();
+        } else if (a == "--trace") {
+            o.tracePath = val();
+        } else if (a == "--frames-out") {
+            o.framesOut = val();
+        } else if (a == "--refs") {
+            o.refs = parseNum("--refs", val());
+        } else if (a == "--seed") {
+            o.seed = parseNum("--seed", val());
+        } else if (a == "--chunk") {
+            o.chunk = parseNum("--chunk", val());
+        } else if (a == "--fault-bitflip") {
+            o.faults.bitFlipRate = parseRate("--fault-bitflip", val());
+        } else if (a == "--fault-drop") {
+            o.faults.dropRate = parseRate("--fault-drop", val());
+        } else if (a == "--fault-dup") {
+            o.faults.duplicateRate = parseRate("--fault-dup", val());
+        } else if (a == "--fault-truncate") {
+            o.faults.truncateAfter =
+                parseNum("--fault-truncate", val());
+        } else if (a == "--fault-seed") {
+            o.faults.seed = parseNum("--fault-seed", val());
+        } else if (a == "--corrupt-after") {
+            o.corruptAfter = parseNum("--corrupt-after", val());
+        } else if (a == "--corrupt-bytes") {
+            o.corruptBytes = parseNum("--corrupt-bytes", val());
+        } else if (a == "--disconnect-after") {
+            o.disconnectAfter = parseNum("--disconnect-after", val());
+        } else if (a == "--retries") {
+            o.client.connectRetries =
+                static_cast<int>(parseNum("--retries", val()));
+        } else if (a == "--backoff-ms") {
+            o.client.backoffInitialMs =
+                static_cast<int>(parseNum("--backoff-ms", val()));
+        } else if (a == "--timeout-ms") {
+            o.client.ioTimeoutMs =
+                static_cast<int>(parseNum("--timeout-ms", val()));
+        } else {
+            std::cerr << "unknown option '" << a << "'\n";
+            usage();
+            return 1;
+        }
+    }
+
+    if (!o.controlPath.empty()) {
+        if (o.command.empty()) {
+            std::cerr << "--control needs --cmd COMMAND\n";
+            return 1;
+        }
+        return runControl(o);
+    }
+    if (o.socketPath.empty() || o.name.empty()) {
+        std::cerr << "--socket and --name are required\n";
+        usage();
+        return 1;
+    }
+    return runProducer(o);
+}

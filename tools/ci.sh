@@ -4,7 +4,8 @@
 #   1. tier-1 verify: default preset build + full ctest suite
 #   2. strict build: tidy preset (CCM_WERROR=ON, compile_commands)
 #   3. sanitize build: ASan+UBSan preset + full ctest suite
-#   4. tsan: ThreadSanitizer build of the parallel-runner tests
+#   4. tsan: ThreadSanitizer build of the parallel-runner and
+#      serve-daemon tests
 #   5. static analysis: tools/ccm-lint (clang-tidy when available)
 #   6. doc links: tools/check-doc-links.sh over the markdown tree
 #   7. observability smoke: ccm-sim --stats-json on a tiny suite run,
@@ -15,6 +16,10 @@
 #      plus batching determinism: a suite run with CCM_TRACE_BATCH=1
 #      (record-at-a-time delivery) must be byte-identical to the
 #      default batched run
+#   9. serve smoke: ccm-serve with three concurrent producers, one of
+#      them wire-corrupted; the live stats document must validate,
+#      the clean streams must match batch ccm-sim byte for byte, and
+#      a SIGTERM drain must exit 0 (docs/SERVING.md)
 #
 # Fails on the first nonzero step.  Usage: tools/ci.sh [-j N]
 
@@ -49,9 +54,12 @@ ctest --preset sanitize -j "$jobs"
 
 step "thread-sanitizer build + parallel-runner tests (tsan preset)"
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_parallel
+cmake --build --preset tsan -j "$jobs" --target test_parallel \
+    --target test_serve
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     build-tsan/tests/test_parallel
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    build-tsan/tests/test_serve
 
 step "static analysis (ccm-lint)"
 tools/ccm-lint --build-dir "$repo_root/build-tidy" -j "$jobs"
@@ -101,5 +109,67 @@ if ! diff <(grep -v wall_seconds "$obs_tmp/batched.json") \
     echo "FAIL: batched simulation output differs from unbatched" >&2
     exit 1
 fi
+
+step "serve smoke (ccm-serve + concurrent producers + drain)"
+serve_sock="$obs_tmp/ing.sock"
+serve_ctl="$obs_tmp/ctl.sock"
+build/tools/ccm-serve --socket "$serve_sock" --control "$serve_ctl" \
+    --stats-out "$obs_tmp/serve_final.json" &
+serve_pid=$!
+for _ in $(seq 50); do
+    if build/tools/ccm-stream --control "$serve_ctl" --cmd ping \
+        > /dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+
+build/tools/ccm-stream --socket "$serve_sock" --name clean-1 \
+    --workload tomcatv --refs 20000 &
+producer1=$!
+build/tools/ccm-stream --socket "$serve_sock" --name clean-2 \
+    --workload gcc --refs 20000 &
+producer2=$!
+# Wire corruption past the defect budget: the daemon cuts this
+# connection mid-stream, so the producer is allowed to fail.
+build/tools/ccm-stream --socket "$serve_sock" --name corrupt-1 \
+    --workload swim --refs 20000 --corrupt-after 5000 || true
+wait "$producer1" "$producer2"
+
+# The live stats document must validate once all three streams have
+# retired: two served to completion, the corrupted one failed.
+for _ in $(seq 100); do
+    build/tools/ccm-stream --control "$serve_ctl" --cmd stats \
+        > "$obs_tmp/serve_live.json"
+    if grep -q '"streams_active": 0' "$obs_tmp/serve_live.json" &&
+        grep -q '"streams_total": 3' "$obs_tmp/serve_live.json"; then
+        break
+    fi
+    sleep 0.1
+done
+build/tools/ccm-report --check "$obs_tmp/serve_live.json"
+grep -q '"streams_done": 2' "$obs_tmp/serve_live.json"
+grep -q '"streams_failed": 1' "$obs_tmp/serve_live.json"
+
+# Fault isolation, byte for byte: the clean streams' mem sections
+# must equal a batch ccm-sim run of the same trace exactly.
+build/tools/ccm-sim --workload tomcatv --refs 20000 \
+    --stats-json "$obs_tmp/serve_batch.json" > /dev/null
+build/tools/ccm-report --flat "$obs_tmp/serve_live.json" \
+    > "$obs_tmp/serve_flat.txt"
+idx=$(awk '$2 == "clean-1" && $1 ~ /^streams\.[0-9]+\.name$/ \
+        {split($1, a, "."); print a[2]; exit}' \
+    "$obs_tmp/serve_flat.txt")
+test -n "$idx"
+grep "^streams\.$idx\.mem\." "$obs_tmp/serve_flat.txt" |
+    sed "s/^streams\.$idx\.//" | sort > "$obs_tmp/served_mem.txt"
+build/tools/ccm-report --flat "$obs_tmp/serve_batch.json" |
+    grep '^mem\.' | sort > "$obs_tmp/batch_mem.txt"
+diff "$obs_tmp/served_mem.txt" "$obs_tmp/batch_mem.txt"
+
+# Graceful drain: SIGTERM must exit 0 and leave a valid final doc.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+build/tools/ccm-report --check "$obs_tmp/serve_final.json"
 
 step "all green"

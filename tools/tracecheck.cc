@@ -1,9 +1,11 @@
 /**
  * @file
- * tracecheck — validate and repair CCMTRACE files.
+ * tracecheck — validate and repair CCMTRACE files, and validate CCMF
+ * frame-stream captures (ccm-stream --frames-out).
  *
  *   tracecheck validate TRACE.bin [--quiet]
  *   tracecheck repair IN.bin OUT.bin [--budget N]
+ *   tracecheck frames CAPTURE.bin [--quiet]
  *
  * `validate` classifies the file and exits with a deterministic code
  * per defect class, so sweep scripts can triage a directory of traces
@@ -20,6 +22,18 @@
  *   8  mid-file garbage
  *   9  repair failed
  *
+ * `frames` runs the ccm-serve frame parser over a captured stream and
+ * reports its FrameStats; codes continue the scheme (12+ so they
+ * never collide with the file codes above):
+ *
+ *   12  no end frame (stream was cut off)
+ *   13  garbage between frames (bad-magic)
+ *   14  implausible frame header
+ *   15  checksum mismatch
+ *   16  implausible records inside a frame
+ *   17  malformed hello frame
+ *   18  truncated trailing frame
+ *
  * `repair` re-reads IN tolerantly (resyncing past garbage, treating a
  * truncated tail as end-of-trace) and writes the surviving records to
  * OUT as a clean v1 trace.  It exits 0 when OUT was written — even
@@ -32,10 +46,12 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "serve/frame.hh"
 #include "trace/file_trace.hh"
 
 namespace
@@ -72,15 +88,43 @@ defectExitCode(TraceDefect d)
     return exitUsage;
 }
 
+/** Frame-stream defect -> exit-code mapping (documented above). */
+int
+frameDefectExitCode(serve::FrameDefect d)
+{
+    switch (d) {
+      case serve::FrameDefect::None:
+        return exitOk;
+      case serve::FrameDefect::BadMagic:
+        return 13;
+      case serve::FrameDefect::BadHeader:
+        return 14;
+      case serve::FrameDefect::BadChecksum:
+        return 15;
+      case serve::FrameDefect::BadRecord:
+        return 16;
+      case serve::FrameDefect::BadHello:
+        return 17;
+      case serve::FrameDefect::TruncatedTail:
+        return 18;
+    }
+    return exitUsage;
+}
+
 void
 usage()
 {
     std::cerr <<
         "usage: tracecheck validate TRACE.bin [--quiet]\n"
         "       tracecheck repair IN.bin OUT.bin [--budget N]\n"
+        "       tracecheck frames CAPTURE.bin [--quiet]\n"
         "validate exit codes: 0 ok, 2 io-error, 3 zero-length,\n"
         "  4 truncated-header, 5 bad-magic, 6 bad-version,\n"
-        "  7 partial-tail, 8 mid-file-garbage\n";
+        "  7 partial-tail, 8 mid-file-garbage\n"
+        "frames exit codes: 0 ok, 2 io-error, 3 zero-length,\n"
+        "  12 no-end-frame, 13 bad-magic, 14 bad-header,\n"
+        "  15 bad-checksum, 16 bad-record, 17 bad-hello,\n"
+        "  18 truncated-tail\n";
 }
 
 int
@@ -170,6 +214,74 @@ cmdRepair(int argc, char **argv)
     return exitOk;
 }
 
+int
+cmdFrames(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage();
+        return exitUsage;
+    }
+    std::string path = argv[2];
+    bool quiet = argc > 3 && std::strcmp(argv[3], "--quiet") == 0;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (!quiet)
+            std::cerr << "cannot open '" << path << "'\n";
+        return 2;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        if (!quiet)
+            std::cerr << "cannot read '" << path << "'\n";
+        return 2;
+    }
+    if (bytes.empty())
+        return 3;
+
+    // Count-only sink: the parser's FrameStats carry the verdict.
+    struct CountingSink final : serve::FrameSink
+    {
+        std::string streamName;
+        void
+        onHello(std::uint32_t, const std::string &name) override
+        {
+            if (streamName.empty())
+                streamName = name;
+        }
+        void onRecords(const ccm::MemRecord *, std::size_t) override {}
+        void onEnd() override {}
+    } sink;
+
+    serve::FrameParser parser;
+    parser.feed(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                bytes.size(), sink);
+    parser.finish(sink);
+    const serve::FrameStats &fs = parser.stats();
+
+    if (!quiet) {
+        std::cout << "file           " << path << "\n"
+                  << "stream         "
+                  << (sink.streamName.empty() ? "(no hello)"
+                                              : sink.streamName)
+                  << "\n"
+                  << "frames         " << fs.frames << "\n"
+                  << "records        " << fs.records << "\n"
+                  << "end frame      "
+                  << (parser.sawEnd() ? "yes" : "no") << "\n"
+                  << "malformed      " << fs.malformedFrames << "\n"
+                  << "resync events  " << fs.resyncEvents << "\n"
+                  << "bytes skipped  " << fs.bytesSkipped << "\n"
+                  << "bad records    " << fs.badRecords << "\n"
+                  << "first defect   "
+                  << serve::frameDefectName(fs.firstDefect) << "\n";
+    }
+    if (!fs.clean())
+        return frameDefectExitCode(fs.firstDefect);
+    return parser.sawEnd() ? exitOk : 12;
+}
+
 } // namespace
 
 int
@@ -184,6 +296,8 @@ main(int argc, char **argv)
         return cmdValidate(argc, argv);
     if (cmd == "repair")
         return cmdRepair(argc, argv);
+    if (cmd == "frames")
+        return cmdFrames(argc, argv);
     usage();
     return exitUsage;
 }
