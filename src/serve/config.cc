@@ -5,11 +5,37 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.hh"
+#include "hierarchy/memsys.hh"
+
 namespace ccm::serve
 {
 
 namespace
 {
+
+/**
+ * Reject any machine configuration MemorySystem would fatal on at
+ * stream start (zero associativity, non-power-of-two sizes, ...) by
+ * probe-constructing one.  Catching this at parse time means a broken
+ * file never becomes the running configuration: reload() keeps the
+ * previous good one instead of accepting a config under which every
+ * subsequent stream fails at simulation start.
+ */
+Status
+validateSystem(const SystemConfig &system)
+{
+    try {
+        ScopedFatalThrow guard;
+        MemorySystem probe(system.mem);
+    } catch (const FatalError &e) {
+        return Status::badConfig(e.what());
+    } catch (const std::exception &e) {
+        return Status::badConfig("configuration rejected: ",
+                                 e.what());
+    }
+    return Status::ok();
+}
 
 /** Strict unsigned parse: the whole token must be digits. */
 Expected<std::uint64_t>
@@ -127,6 +153,9 @@ parseServeConfig(std::string_view text)
             return Status::badConfig("unknown config key '", key, "'");
         }
     }
+    Status geom = validateSystem(cfg.system);
+    if (!geom.isOk())
+        return geom.withContext("invalid geometry");
     return cfg;
 }
 

@@ -430,6 +430,11 @@ ServeDaemon::serveConnection(int fd, std::atomic<bool> *done_flag)
             break;
         if (parser.sawEnd())
             break;
+        // The simulation thread can end first (failed run, reap):
+        // retire the stream now instead of pumping the rest of the
+        // producer's trace into a dead pipeline.
+        if (sink.pipe != nullptr && sink.pipe->finished())
+            break;
 
         pollfd pf{};
         pf.fd = fd;
@@ -498,13 +503,20 @@ ServeDaemon::reaperLoop()
 {
     while (!stopAll.load()) {
         ::poll(nullptr, 0, static_cast<int>(opts.pollMs));
-        if (opts.idleTtlMs <= 0)
-            continue;
         std::lock_guard<std::mutex> lock(mu);
         for (auto &[id, as] : active) {
             (void)id;
             StreamPipeline &pipe = *as.pipe;
-            if (pipe.finished() ||
+            if (pipe.finished()) {
+                // The simulation ended but the reader still owns the
+                // connection (e.g. a run that failed mid-stream):
+                // make sure no producer is parked in push() and cut
+                // the socket so the reader retires the stream.
+                pipe.queue().abort();
+                ::shutdown(as.fd, SHUT_RDWR);
+                continue;
+            }
+            if (opts.idleTtlMs <= 0 ||
                 pipe.idleMillis() <= opts.idleTtlMs)
                 continue;
             pipe.failWith(Status::aborted(

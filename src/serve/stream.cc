@@ -182,21 +182,30 @@ StreamPipeline::runBody()
     // from this stream's config, with fatal user errors captured.
     Expected<RunOutput> run = tryRunTiming(src, system, instrument);
 
-    std::lock_guard<std::mutex> lock(mu);
-    if (run.ok()) {
-        out = run.take();
-        liveStats = out.mem;
-        if (sampler != nullptr) {
-            sampler->finish(out.mem);
-            windowJson = obs::intervalsToJson(*sampler);
-            haveWindow = !sampler->samples().empty();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (run.ok()) {
+            out = run.take();
+            liveStats = out.mem;
+            if (sampler != nullptr) {
+                sampler->finish(out.mem);
+                windowJson = obs::intervalsToJson(*sampler);
+                haveWindow = !sampler->samples().empty();
+            }
+        } else if (failStatus.isOk()) {
+            failStatus = run.status();
         }
-    } else if (failStatus.isOk()) {
-        failStatus = run.status();
+        state_ = failStatus.isOk() && run.ok() ? StreamState::Done
+                                               : StreamState::Failed;
+        finished_ = true;
     }
-    state_ = failStatus.isOk() && run.ok() ? StreamState::Done
-                                           : StreamState::Failed;
-    finished_ = true;
+
+    // Once this thread is gone nothing will ever pop again, so the
+    // queue must not take more input: a run that failed (e.g. a bad
+    // geometry) leaves records in flight, and under the Block policy
+    // the connection reader would otherwise wait in push() forever —
+    // holding its admission slot and hanging drain.
+    q.abort();
 }
 
 obs::JsonValue

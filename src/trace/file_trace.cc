@@ -67,9 +67,9 @@ TraceFileWriter::openFile()
             errnoSuffix());
     }
     std::fwrite(magic, 1, 8, fp);
-    std::uint32_t ver = traceVersion, reserved = 0;
-    std::fwrite(&ver, 4, 1, fp);
-    if (std::fwrite(&reserved, 4, 1, fp) != 1) {
+    std::uint8_t verbuf[8] = {}; // version LE, then 4 reserved bytes
+    wire::storeLe32(traceVersion, verbuf);
+    if (std::fwrite(verbuf, 1, 8, fp) != 8) {
         Status s = Status::ioError(
             "short write of trace header to ", path_, errnoSuffix());
         std::fclose(fp);
@@ -235,8 +235,7 @@ loadTraceFile(const std::string &path, const TraceReadOptions &opts,
         noteDefect(stats, TraceDefect::BadMagic);
         return Status::corruptTrace("bad trace magic in ", path);
     }
-    std::uint32_t ver = 0;
-    std::memcpy(&ver, header + 8, 4);
+    const std::uint32_t ver = wire::loadLe32(header + 8);
     if (ver != traceVersion) {
         std::fclose(fp);
         noteDefect(stats, TraceDefect::BadVersion);

@@ -27,12 +27,53 @@ inline constexpr std::size_t recordBytes = 24;
 inline constexpr std::uint8_t flagDependsOnPrevLoad = 0x1;
 inline constexpr std::uint8_t knownFlags = flagDependsOnPrevLoad;
 
-/** Serialize @p r into 24 bytes at @p buf (little-endian fields). */
+/** Store @p v at @p buf as 8 little-endian bytes. */
+inline void
+storeLe64(std::uint64_t v, std::uint8_t *buf)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Read 8 little-endian bytes at @p buf. */
+inline std::uint64_t
+loadLe64(const std::uint8_t *buf)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{buf[i]} << (8 * i);
+    return v;
+}
+
+/** Store @p v at @p buf as 4 little-endian bytes. */
+inline void
+storeLe32(std::uint32_t v, std::uint8_t *buf)
+{
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Read 4 little-endian bytes at @p buf. */
+inline std::uint32_t
+loadLe32(const std::uint8_t *buf)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{buf[i]} << (8 * i);
+    return v;
+}
+
+/**
+ * Serialize @p r into 24 bytes at @p buf.  Fields are little-endian
+ * by explicit byte packing, not host memcpy, so traces and stream
+ * frames produced on any host decode identically everywhere
+ * (docs/TRACE_FORMAT.md: "All integers are little-endian").
+ */
 inline void
 packRecord(const MemRecord &r, std::uint8_t *buf)
 {
-    std::memcpy(buf + 0, &r.pc, 8);
-    std::memcpy(buf + 8, &r.addr, 8);
+    storeLe64(r.pc, buf + 0);
+    storeLe64(r.addr, buf + 8);
     buf[16] = static_cast<std::uint8_t>(r.type);
     buf[17] = r.dependsOnPrevLoad ? flagDependsOnPrevLoad : 0;
     std::memset(buf + 18, 0, 6);
@@ -43,8 +84,8 @@ inline MemRecord
 unpackRecord(const std::uint8_t *buf)
 {
     MemRecord r;
-    std::memcpy(&r.pc, buf + 0, 8);
-    std::memcpy(&r.addr, buf + 8, 8);
+    r.pc = loadLe64(buf + 0);
+    r.addr = loadLe64(buf + 8);
     r.type = static_cast<RecordType>(buf[16]);
     r.dependsOnPrevLoad = (buf[17] & flagDependsOnPrevLoad) != 0;
     return r;

@@ -319,6 +319,23 @@ TEST(ServeConfig, RejectsUnknownKeysAndBadValues)
     EXPECT_NE(s.message().find("bogus"), std::string::npos);
 }
 
+TEST(ServeConfig, RejectsGeometryTheSimulatorWouldFatalOn)
+{
+    // Numerically valid values that MemorySystem would fatal on at
+    // stream start must be rejected at parse time, not accepted and
+    // left to fail every subsequent stream.
+    EXPECT_FALSE(serve::parseServeConfig("l1-assoc 0\n").ok());
+    EXPECT_FALSE(serve::parseServeConfig("l1-kb 3\n").ok());
+    EXPECT_FALSE(serve::parseServeConfig("l2-kb 7\n").ok());
+    Status s = serve::parseServeConfig("l1-assoc 0\n").status();
+    EXPECT_EQ(s.code(), ErrorCode::BadConfig);
+    EXPECT_NE(s.message().find("invalid geometry"),
+              std::string::npos);
+
+    auto ok = serve::parseServeConfig("l1-kb 16\nl1-assoc 2\n");
+    EXPECT_TRUE(ok.ok()) << ok.status().toString();
+}
+
 TEST(ServeConfig, LoadReportsMissingFileWithPathContext)
 {
     auto cfg = serve::loadServeConfig(::testing::TempDir() +
@@ -378,6 +395,33 @@ TEST(ServeStream, FailWithIsFirstWinsAndFinal)
     // After the final state, further failWith calls are no-ops.
     pipe.failWith(Status::internal("too late"));
     EXPECT_EQ(pipe.status().message(), "first reason");
+}
+
+TEST(ServeStream, FailedRunNeverBlocksAProducer)
+{
+    // A geometry the simulator rejects at start: the simulation
+    // thread dies immediately, so nothing will ever pop the queue.
+    SystemConfig bad = baselineConfig();
+    bad.mem.l1Assoc = 3;
+
+    serve::StreamLimits lim;
+    lim.queueRecords = 16;
+    lim.policy = serve::OverflowPolicy::Block;
+    serve::StreamPipeline pipe(7, "doomed", bad, lim, 1);
+    pipe.start();
+
+    // Push far more than the queue holds.  Before runBody aborted the
+    // queue on failure, this deadlocked in push() once the dead
+    // queue filled — stranding the connection reader forever.
+    std::vector<MemRecord> recs = someRecords(64);
+    for (int i = 0; i < 16; ++i)
+        pipe.queue().push(recs.data(), recs.size());
+    pipe.queue().closeInput();
+    pipe.join();
+
+    EXPECT_EQ(pipe.state(), serve::StreamState::Failed);
+    EXPECT_EQ(pipe.status().code(), ErrorCode::BadConfig);
+    EXPECT_TRUE(pipe.queue().aborted());
 }
 
 // ---- Daemon end to end ---------------------------------------------
@@ -508,6 +552,44 @@ TEST(ServeDaemon, FaultIsolationAcrossEightConcurrentStreams)
               std::string::npos);
 
     daemon.drainAndStop();
+}
+
+TEST(ServeDaemon, SimulationFailureRetiresStreamAndStillDrains)
+{
+    // Inject a geometry that fails at simulation start directly into
+    // the runtime (the config loader rejects such files now), standing
+    // in for any mid-flight simulation failure.  The stream must
+    // retire as Failed, release its admission slot, and never strand
+    // the connection reader in a blocked push.
+    serve::ServeOptions o = daemonOptions("sfl");
+    o.runtime.system.mem.l1Assoc = 3;
+    o.runtime.limits.queueRecords = 16;
+    o.runtime.limits.policy = serve::OverflowPolicy::Block;
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    auto client = serve::ServeClient::connect(o.socketPath, "doomed");
+    ASSERT_TRUE(client.ok()) << client.status().toString();
+    std::vector<MemRecord> recs = someRecords(256);
+    for (int i = 0; i < 64; ++i) {
+        // Keep feeding until the daemon cuts the connection; send
+        // errors past that point are expected.
+        if (!client.value().sendRecords(recs.data(), recs.size())
+                 .isOk())
+            break;
+    }
+
+    ASSERT_TRUE(waitFor([&] {
+        return counter(daemon, "streams_failed") == 1 &&
+               daemon.activeStreams() == 0;
+    })) << daemon.statsDocument().toString();
+
+    JsonValue doc = daemon.statsDocument();
+    const std::string err =
+        doc.at("streams").elements().at(0).at("error").asString();
+    EXPECT_NE(err.find("bad-config"), std::string::npos) << err;
+
+    daemon.drainAndStop(); // must not hang on the retired stream
 }
 
 TEST(ServeDaemon, RecordLevelFaultsAreServedNotRejected)
@@ -699,6 +781,18 @@ TEST(ServeDaemon, ReloadSwapsConfigForNewStreamsOnly)
     Status bad = daemon.reload();
     ASSERT_FALSE(bad.isOk());
     EXPECT_NE(bad.message().find("previous configuration kept"),
+              std::string::npos);
+    EXPECT_EQ(daemon.generation(), 2u);
+
+    // Same for a file whose geometry the simulator would fatal on:
+    // it must never become the running configuration.
+    {
+        std::ofstream f(cfg_path);
+        f << "arch twoway\nl1-assoc 0\n";
+    }
+    Status geom = daemon.reload();
+    ASSERT_FALSE(geom.isOk());
+    EXPECT_NE(geom.message().find("invalid geometry"),
               std::string::npos);
     EXPECT_EQ(daemon.generation(), 2u);
     daemon.drainAndStop();

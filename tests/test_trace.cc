@@ -14,11 +14,43 @@
 
 #include "trace/file_trace.hh"
 #include "trace/vector_trace.hh"
+#include "trace/wire.hh"
 
 namespace ccm
 {
 namespace
 {
+
+TEST(WireCodec, PackedRecordIsLittleEndianOnAnyHost)
+{
+    MemRecord r;
+    r.pc = 0x0102030405060708ULL;
+    r.addr = 0x1112131415161718ULL;
+    r.type = RecordType::Load;
+    r.dependsOnPrevLoad = true;
+
+    std::uint8_t buf[wire::recordBytes];
+    wire::packRecord(r, buf);
+
+    // The exact bytes the format doc promises ("All integers are
+    // little-endian"), independent of the host's endianness.
+    const std::uint8_t expect[wire::recordBytes] = {
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // pc LE
+        0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11, // addr LE
+        0x01,                                           // Load
+        0x01,                                           // depends flag
+        0,    0,    0,    0,    0,    0,                // padding
+    };
+    for (std::size_t i = 0; i < wire::recordBytes; ++i)
+        EXPECT_EQ(buf[i], expect[i]) << "byte " << i;
+
+    const MemRecord back = wire::unpackRecord(buf);
+    EXPECT_EQ(back.pc, r.pc);
+    EXPECT_EQ(back.addr, r.addr);
+    EXPECT_EQ(back.type, r.type);
+    EXPECT_TRUE(back.dependsOnPrevLoad);
+    EXPECT_TRUE(wire::plausibleRecord(buf));
+}
 
 TEST(MemRecord, TypePredicates)
 {
