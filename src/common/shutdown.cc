@@ -30,7 +30,7 @@ ShutdownLatch::ShutdownLatch()
 {
     if (::pipe(pipeFds) != 0)
         ccm_fatal("ShutdownLatch: pipe() failed: ",
-                  std::strerror(errno));
+                  errnoString(errno));
     // Nonblocking on both ends: the handler must never block in
     // write() and drainWake() must never block in read().
     for (int fd : pipeFds)
@@ -54,15 +54,23 @@ Status
 ShutdownLatch::installSignalHandlers(int stop_sig, int stop_sig2,
                                      int reload_sig)
 {
-    ShutdownLatch *expected = nullptr;
-    if (!installedLatch.compare_exchange_strong(
-            expected, this, std::memory_order_acq_rel))
-        return Status::internal(
-            "another ShutdownLatch already owns the signal handlers");
-
+    // Write the routing table BEFORE the CAS publishes `this`: the
+    // release CAS is what hands the latch to handleSignal (possibly
+    // running on another thread that already had a handler pending),
+    // and the handler reads sigs[2] to route reload vs stop.  Filling
+    // sigs afterwards would let a handler observe a half-initialized
+    // table.
     sigs[0] = stop_sig;
     sigs[1] = stop_sig2;
     sigs[2] = reload_sig;
+
+    ShutdownLatch *expected = nullptr;
+    if (!installedLatch.compare_exchange_strong(
+            expected, this, std::memory_order_acq_rel)) {
+        sigs[0] = sigs[1] = sigs[2] = 0;
+        return Status::internal(
+            "another ShutdownLatch already owns the signal handlers");
+    }
 
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
@@ -76,7 +84,7 @@ ShutdownLatch::installSignalHandlers(int stop_sig, int stop_sig2,
             installedLatch.store(nullptr, std::memory_order_release);
             return Status::ioError("sigaction(", sigs[i],
                                    ") failed: ",
-                                   std::strerror(errno));
+                                   errnoString(errno));
         }
     }
     installed = true;

@@ -1,7 +1,43 @@
 #include "common/status.hh"
 
+#include <cstring>
+
 namespace ccm
 {
+
+namespace
+{
+
+/**
+ * Overload dispatch over the two strerror_r flavours: glibc's GNU
+ * variant returns the message pointer, the XSI variant returns an
+ * int and fills the buffer.  Overloading sidesteps the #ifdef soup;
+ * exactly one overload is used per libc, hence maybe_unused.
+ */
+[[maybe_unused]] const char *
+sysErrorText(char *returned, const char *)
+{
+    return returned;
+}
+
+[[maybe_unused]] const char *
+sysErrorText(int rc, const char *buf)
+{
+    return rc == 0 ? buf : nullptr;
+}
+
+} // namespace
+
+std::string
+errnoString(int err)
+{
+    char buf[128] = {};
+    const char *text =
+        sysErrorText(::strerror_r(err, buf, sizeof(buf)), buf);
+    if (text != nullptr && text[0] != '\0')
+        return text;
+    return "errno " + std::to_string(err);
+}
 
 const char *
 errorCodeName(ErrorCode code)

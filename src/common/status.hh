@@ -41,6 +41,14 @@ enum class ErrorCode
 /** Stable lower-case name of @p code (e.g. "corrupt-trace"). */
 const char *errorCodeName(ErrorCode code);
 
+/**
+ * Thread-safe strerror replacement for building Status messages.
+ * std::strerror writes into shared static storage and is flagged by
+ * clang-tidy's concurrency-mt-unsafe — daemon error paths run on many
+ * threads, so errno formatting goes through strerror_r here instead.
+ */
+std::string errnoString(int err);
+
 /** The result of a fallible operation: Ok, or a code plus message. */
 class Status
 {

@@ -24,10 +24,10 @@ ThreadPool::~ThreadPool()
 {
     waitIdle();
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         stopping = true;
     }
-    workAvailable.notify_all();
+    workAvailable.notifyAll();
     for (std::thread &t : threads)
         t.join();
 }
@@ -36,17 +36,19 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         queue.push_back(std::move(task));
     }
-    workAvailable.notify_one();
+    workAvailable.notifyOne();
 }
 
 void
 ThreadPool::waitIdle()
 {
-    std::unique_lock<std::mutex> lock(mtx);
-    allDone.wait(lock, [this] { return queue.empty() && busy == 0; });
+    MutexLock lock(mtx);
+    allDone.wait(mtx, [this]() CCM_REQUIRES(mtx) {
+        return queue.empty() && busy == 0;
+    });
 }
 
 void
@@ -55,9 +57,10 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mtx);
-            workAvailable.wait(
-                lock, [this] { return stopping || !queue.empty(); });
+            MutexLock lock(mtx);
+            workAvailable.wait(mtx, [this]() CCM_REQUIRES(mtx) {
+                return stopping || !queue.empty();
+            });
             if (queue.empty())
                 return; // stopping and drained
             task = std::move(queue.front());
@@ -66,10 +69,10 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mtx);
+            MutexLock lock(mtx);
             --busy;
             if (queue.empty() && busy == 0)
-                allDone.notify_all();
+                allDone.notifyAll();
         }
     }
 }

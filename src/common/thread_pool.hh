@@ -11,18 +11,22 @@
  * submit() fire-and-forget closures, wait for them with waitIdle(),
  * and the destructor drains and joins.  Anything fancier (futures,
  * work stealing, priorities) is left to callers.
+ *
+ * Locking contract: one LockRank::ThreadPool mutex guards the task
+ * queue and the busy/stopping flags; it is a leaf lock — tasks run
+ * with it released, so a task may take any other lock in the program.
  */
 
 #ifndef CCM_COMMON_THREAD_POOL_HH
 #define CCM_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace ccm
 {
@@ -59,21 +63,24 @@ class ThreadPool
      * process (catch and record failures inside the task; the suite
      * runner turns them into errored rows).
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) CCM_EXCLUDES(mtx);
 
     /** Block until the queue is empty and every worker is idle. */
-    void waitIdle();
+    void waitIdle() CCM_EXCLUDES(mtx);
 
   private:
-    void workerLoop();
+    void workerLoop() CCM_EXCLUDES(mtx);
 
     std::vector<std::thread> threads;
-    std::deque<std::function<void()>> queue;
-    std::mutex mtx;
-    std::condition_variable workAvailable; ///< workers wait here
-    std::condition_variable allDone;       ///< waitIdle waits here
-    std::size_t busy = 0;                  ///< tasks currently running
-    bool stopping = false;
+
+    Mutex mtx{LockRank::ThreadPool, "thread-pool"};
+    CondVar workAvailable; ///< workers wait here
+    CondVar allDone;       ///< waitIdle waits here
+
+    std::deque<std::function<void()>> queue CCM_GUARDED_BY(mtx);
+    /** Tasks currently running. */
+    std::size_t busy CCM_GUARDED_BY(mtx) = 0;
+    bool stopping CCM_GUARDED_BY(mtx) = false;
 };
 
 } // namespace ccm

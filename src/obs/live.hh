@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Mutex-guarded live-stats publication cell: the bridge between a
+ * simulation thread that produces MemStats snapshots mid-run and the
+ * observer threads (control socket, stats document builders) that
+ * read them while the run is in flight.
+ *
+ * The sim thread calls publish() at its snapshot cadence; readers
+ * call snapshot() and get a consistent copy (stats + the optional
+ * rolling-window JSON taken under one lock).  This is the one
+ * concurrency primitive in the observability layer, and it carries
+ * the full capability-annotation contract of src/common/sync.hh:
+ * every field is CCM_GUARDED_BY the cell's LockRank::ObsLive mutex,
+ * so a build with Clang thread-safety analysis proves no reader ever
+ * touches a half-written snapshot.
+ */
+
+#ifndef CCM_OBS_LIVE_HH
+#define CCM_OBS_LIVE_HH
+
+#include "common/sync.hh"
+#include "hierarchy/memstats.hh"
+#include "obs/json.hh"
+
+namespace ccm::obs
+{
+
+/** One publish/read cell for in-flight run statistics. */
+class LiveStatsCell
+{
+  public:
+    /** Consistent copy of everything published so far. */
+    struct Snapshot
+    {
+        MemStats stats;
+        JsonValue window;
+        bool haveWindow = false;
+    };
+
+    /** Publish counters only (no interval window configured). */
+    void
+    publish(const MemStats &stats) CCM_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        stats_ = stats;
+    }
+
+    /** Publish counters plus the current rolling-window section. */
+    void
+    publish(const MemStats &stats, JsonValue window, bool have_window)
+        CCM_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        stats_ = stats;
+        window_ = std::move(window);
+        haveWindow_ = have_window;
+    }
+
+    /** Copy out the latest published state, atomically. */
+    Snapshot
+    snapshot() const CCM_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return Snapshot{stats_, window_, haveWindow_};
+    }
+
+  private:
+    mutable Mutex mu{LockRank::ObsLive, "obs-live-stats"};
+    MemStats stats_ CCM_GUARDED_BY(mu);
+    JsonValue window_ CCM_GUARDED_BY(mu);
+    bool haveWindow_ CCM_GUARDED_BY(mu) = false;
+};
+
+} // namespace ccm::obs
+
+#endif // CCM_OBS_LIVE_HH

@@ -352,6 +352,9 @@ writeBenchJson(const std::string &bench_name, const TextTable &table,
                const std::string &note)
 {
     std::string dir = ".";
+    // Bench harnesses are single-threaded and nothing in this process
+    // calls setenv, so the lookup cannot race a mutation.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *env = std::getenv("CCM_BENCH_JSON_DIR"))
         dir = env;
     std::string path = dir + "/BENCH_" + bench_name + ".json";

@@ -25,13 +25,13 @@ connectOnce(const std::string &path)
         return Status::badConfig("socket path too long: ", path);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        return Status::ioError("socket(): ", std::strerror(errno));
+        return Status::ioError("socket(): ", errnoString(errno));
     addr.sun_family = AF_UNIX;
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
     if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
                   sizeof(addr)) < 0) {
         Status s = Status::unavailable("connect ", path, ": ",
-                                       std::strerror(errno));
+                                       errnoString(errno));
         ::close(fd);
         return s;
     }
@@ -128,14 +128,14 @@ ServeClient::sendAllBytes(const std::uint8_t *data, std::size_t n)
                 "send timed out after ", opts.ioTimeoutMs,
                 " ms (daemon backpressure or stall)");
         if (pr < 0)
-            return Status::ioError("poll(): ", std::strerror(errno));
+            return Status::ioError("poll(): ", errnoString(errno));
         const ssize_t w =
             ::send(fd, data + off, n - off, MSG_NOSIGNAL);
         if (w < 0) {
             if (errno == EINTR || errno == EAGAIN ||
                 errno == EWOULDBLOCK)
                 continue;
-            return Status::ioError("send(): ", std::strerror(errno));
+            return Status::ioError("send(): ", errnoString(errno));
         }
         off += static_cast<std::size_t>(w);
     }
@@ -218,7 +218,7 @@ controlRequest(const std::string &control_path,
                 " ms"));
         if (pr < 0)
             return fail(
-                Status::ioError("poll(): ", std::strerror(errno)));
+                Status::ioError("poll(): ", errnoString(errno)));
         const ssize_t w = ::send(fd, line.data() + off,
                                  line.size() - off, MSG_NOSIGNAL);
         if (w < 0) {
@@ -226,7 +226,7 @@ controlRequest(const std::string &control_path,
                 errno == EWOULDBLOCK)
                 continue;
             return fail(
-                Status::ioError("send(): ", std::strerror(errno)));
+                Status::ioError("send(): ", errnoString(errno)));
         }
         off += static_cast<std::size_t>(w);
     }
@@ -247,7 +247,7 @@ controlRequest(const std::string &control_path,
                 " ms"));
         if (pr < 0)
             return fail(
-                Status::ioError("poll(): ", std::strerror(errno)));
+                Status::ioError("poll(): ", errnoString(errno)));
         const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n == 0)
             break;
@@ -255,7 +255,7 @@ controlRequest(const std::string &control_path,
             if (errno == EINTR)
                 continue;
             return fail(
-                Status::ioError("recv(): ", std::strerror(errno)));
+                Status::ioError("recv(): ", errnoString(errno)));
         }
         reply.append(chunk, static_cast<std::size_t>(n));
     }

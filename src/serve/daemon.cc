@@ -41,7 +41,7 @@ listenUnix(const std::string &path)
 
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        return Status::ioError("socket(): ", std::strerror(errno));
+        return Status::ioError("socket(): ", errnoString(errno));
 
     ::unlink(path.c_str());
     addr.sun_family = AF_UNIX;
@@ -49,13 +49,13 @@ listenUnix(const std::string &path)
     if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
                sizeof(addr)) < 0) {
         Status s = Status::ioError("bind ", path, ": ",
-                                   std::strerror(errno));
+                                   errnoString(errno));
         ::close(fd);
         return s;
     }
     if (::listen(fd, 64) < 0) {
         Status s = Status::ioError("listen ", path, ": ",
-                                   std::strerror(errno));
+                                   errnoString(errno));
         ::close(fd);
         ::unlink(path.c_str());
         return s;
@@ -201,7 +201,7 @@ ServeDaemon::reload()
     if (!cfg.ok())
         return cfg.status().withContext(
             "reload rejected (previous configuration kept)");
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     runtime = cfg.take();
     ++generation_;
     return Status::ok();
@@ -237,21 +237,21 @@ ServeDaemon::drainAndStop()
 std::size_t
 ServeDaemon::activeStreams() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return active.size();
 }
 
 std::uint64_t
 ServeDaemon::streamsAdmitted() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return admitted_;
 }
 
 std::uint64_t
 ServeDaemon::generation() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return generation_;
 }
 
@@ -260,7 +260,7 @@ ServeDaemon::admitStream(const std::string &name, int fd)
 {
     std::shared_ptr<StreamPipeline> pipe;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (draining_.load()) {
             ++refused_;
             return Status::unavailable("daemon is draining; stream '",
@@ -290,7 +290,7 @@ ServeDaemon::finishStream(std::uint64_t id)
 {
     std::shared_ptr<StreamPipeline> pipe;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         auto it = active.find(id);
         if (it == active.end())
             return;
@@ -303,7 +303,7 @@ ServeDaemon::finishStream(std::uint64_t id)
     obs::JsonValue report = pipe->reportJson();
     const QueueStats qs = pipe->queue().stats();
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     active.erase(id);
     if (pipe->state() == StreamState::Done)
         ++done_;
@@ -320,7 +320,7 @@ ServeDaemon::statsDocument() const
 {
     obs::JsonValue doc = obs::statsDocumentHeader("serve");
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
 
     std::vector<obs::JsonValue> live;
     live.reserve(active.size());
@@ -368,7 +368,7 @@ ServeDaemon::statsDocument() const
 void
 ServeDaemon::joinFinishedReaders(bool all)
 {
-    std::lock_guard<std::mutex> lock(readersMu);
+    MutexLock lock(readersMu);
     for (auto it = readers.begin(); it != readers.end();) {
         if (all || it->done.load()) {
             if (it->thread.joinable())
@@ -404,7 +404,7 @@ ServeDaemon::acceptLoop()
         if (cfd < 0)
             continue; // EAGAIN / aborted handshake
 
-        std::lock_guard<std::mutex> lock(readersMu);
+        MutexLock lock(readersMu);
         ReaderSlot &slot = readers.emplace_back();
         std::atomic<bool> *done = &slot.done;
         slot.thread = std::thread(
@@ -503,7 +503,7 @@ ServeDaemon::reaperLoop()
 {
     while (!stopAll.load()) {
         ::poll(nullptr, 0, static_cast<int>(opts.pollMs));
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         for (auto &[id, as] : active) {
             (void)id;
             StreamPipeline &pipe = *as.pipe;

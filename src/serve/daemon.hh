@@ -31,6 +31,16 @@
  * the runtime configuration under the admission lock — streams in
  * flight finish on the configuration they were admitted with, marked
  * by their generation number.
+ *
+ * Locking contract (machine-checked, src/common/sync.hh): the daemon
+ * lock (LockRank::ServeDaemon, the lowest-ranked lock in the serve
+ * layer) guards admission state, the active-stream map, the retained
+ * reports, and the aggregate counters; it may be held across calls
+ * into a stream's public interface (reportJson, failWith, queue
+ * abort), which take the higher-ranked stream/queue locks.  The
+ * reader-thread registry has its own never-nested lock
+ * (LockRank::ServeDaemonReaders).  Lifecycle flags are atomics so
+ * signal-driven paths never block.
  */
 
 #ifndef CCM_SERVE_DAEMON_HH
@@ -45,6 +55,7 @@
 #include <string>
 #include <thread>
 
+#include "common/sync.hh"
 #include "obs/json.hh"
 #include "serve/config.hh"
 #include "serve/stream.hh"
@@ -115,7 +126,7 @@ class ServeDaemon
      * Streams in flight are not disturbed.  On error the old
      * configuration stays in force.
      */
-    Status reload();
+    Status reload() CCM_EXCLUDES(mu);
 
     /** requestDrain(), wait for every stream to retire, join all. */
     void drainAndStop();
@@ -125,16 +136,16 @@ class ServeDaemon
      * one entry per active stream + retained finished-stream reports
      * (passes obs::validateStatsDoc at any moment).
      */
-    obs::JsonValue statsDocument() const;
+    obs::JsonValue statsDocument() const CCM_EXCLUDES(mu);
 
     /** Streams currently admitted and not yet retired. */
-    std::size_t activeStreams() const;
+    std::size_t activeStreams() const CCM_EXCLUDES(mu);
 
     /** Total streams ever admitted (tests). */
-    std::uint64_t streamsAdmitted() const;
+    std::uint64_t streamsAdmitted() const CCM_EXCLUDES(mu);
 
     /** Configuration generation (bumped by reload). */
-    std::uint64_t generation() const;
+    std::uint64_t generation() const CCM_EXCLUDES(mu);
 
     const ServeOptions &options() const { return opts; }
 
@@ -162,12 +173,12 @@ class ServeDaemon
 
     /** Register a new stream at hello time (or refuse admission). */
     Expected<std::shared_ptr<StreamPipeline>>
-    admitStream(const std::string &name, int fd);
+    admitStream(const std::string &name, int fd) CCM_EXCLUDES(mu);
 
     /** Retire a stream: join its simulation, keep its final report. */
-    void finishStream(std::uint64_t id);
+    void finishStream(std::uint64_t id) CCM_EXCLUDES(mu);
 
-    void joinFinishedReaders(bool all);
+    void joinFinishedReaders(bool all) CCM_EXCLUDES(readersMu);
 
     const ServeOptions opts;
 
@@ -178,25 +189,28 @@ class ServeDaemon
     std::thread controlThread;
     std::thread reaperThread;
 
-    std::mutex readersMu;
-    std::list<ReaderSlot> readers;
+    Mutex readersMu{LockRank::ServeDaemonReaders,
+                    "serve-daemon-readers"};
+    std::list<ReaderSlot> readers CCM_GUARDED_BY(readersMu);
 
     std::atomic<bool> started_{false};
     std::atomic<bool> stopAll{false};
     std::atomic<bool> draining_{false};
     std::atomic<std::int64_t> drainDeadlineMs{0};
 
-    mutable std::mutex mu;
-    ServeRuntimeConfig runtime; ///< current config (reload swaps)
-    std::uint64_t generation_ = 1;
-    std::uint64_t nextId = 1;
-    std::map<std::uint64_t, ActiveStream> active;
-    std::deque<obs::JsonValue> finishedReports;
-    Count admitted_ = 0;
-    Count refused_ = 0;
-    Count done_ = 0;
-    Count failed_ = 0;
-    Count recordsDone = 0; ///< records of retired streams
+    mutable Mutex mu{LockRank::ServeDaemon, "serve-daemon"};
+    /** Current config (reload swaps). */
+    ServeRuntimeConfig runtime CCM_GUARDED_BY(mu);
+    std::uint64_t generation_ CCM_GUARDED_BY(mu) = 1;
+    std::uint64_t nextId CCM_GUARDED_BY(mu) = 1;
+    std::map<std::uint64_t, ActiveStream> active CCM_GUARDED_BY(mu);
+    std::deque<obs::JsonValue> finishedReports CCM_GUARDED_BY(mu);
+    Count admitted_ CCM_GUARDED_BY(mu) = 0;
+    Count refused_ CCM_GUARDED_BY(mu) = 0;
+    Count done_ CCM_GUARDED_BY(mu) = 0;
+    Count failed_ CCM_GUARDED_BY(mu) = 0;
+    /** Records of retired streams. */
+    Count recordsDone CCM_GUARDED_BY(mu) = 0;
 };
 
 } // namespace ccm::serve

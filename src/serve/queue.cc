@@ -27,10 +27,21 @@ RecordQueue::RecordQueue(std::size_t capacity, OverflowPolicy policy)
 {
 }
 
+void
+RecordQueue::enqueueRun(const MemRecord *recs, std::size_t n)
+{
+    const std::size_t tail = (head + count) % cap;
+    std::copy(recs, recs + n,
+              ring.begin() + static_cast<std::ptrdiff_t>(tail));
+    count += n;
+    stats_.pushed += n;
+    stats_.maxDepth = std::max<Count>(stats_.maxDepth, count);
+}
+
 std::size_t
 RecordQueue::push(const MemRecord *recs, std::size_t n)
 {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     std::size_t accepted = 0;
     while (accepted < n) {
         if (inputClosed || aborted_)
@@ -40,7 +51,7 @@ RecordQueue::push(const MemRecord *recs, std::size_t n)
                 stats_.shed += n - accepted;
                 break;
             }
-            canPush.wait(lock, [&] {
+            canPush.wait(mu, [this]() CCM_REQUIRES(mu) {
                 return count < cap || inputClosed || aborted_;
             });
             continue;
@@ -48,13 +59,9 @@ RecordQueue::push(const MemRecord *recs, std::size_t n)
         const std::size_t tail = (head + count) % cap;
         const std::size_t run = std::min(
             {n - accepted, cap - count, cap - tail});
-        std::copy(recs + accepted, recs + accepted + run,
-                  ring.begin() + static_cast<std::ptrdiff_t>(tail));
-        count += run;
+        enqueueRun(recs + accepted, run);
         accepted += run;
-        stats_.pushed += run;
-        stats_.maxDepth = std::max<Count>(stats_.maxDepth, count);
-        canPop.notify_one();
+        canPop.notifyOne();
     }
     return accepted;
 }
@@ -62,8 +69,8 @@ RecordQueue::push(const MemRecord *recs, std::size_t n)
 std::size_t
 RecordQueue::pop(MemRecord *out, std::size_t max)
 {
-    std::unique_lock<std::mutex> lock(mu);
-    canPop.wait(lock, [&] {
+    MutexLock lock(mu);
+    canPop.wait(mu, [this]() CCM_REQUIRES(mu) {
         return count > 0 || inputClosed || aborted_;
     });
     if (aborted_ || (count == 0 && inputClosed))
@@ -74,29 +81,29 @@ RecordQueue::pop(MemRecord *out, std::size_t max)
     head = (head + take) % cap;
     count -= take;
     stats_.popped += take;
-    canPush.notify_one();
+    canPush.notifyOne();
     return take;
 }
 
 void
 RecordQueue::closeInput()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     inputClosed = true;
-    canPush.notify_all();
-    canPop.notify_all();
+    canPush.notifyAll();
+    canPop.notifyAll();
 }
 
 void
 RecordQueue::abort()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     aborted_ = true;
     inputClosed = true;
     count = 0;
     head = 0;
-    canPush.notify_all();
-    canPop.notify_all();
+    canPush.notifyAll();
+    canPop.notifyAll();
 }
 
 } // namespace ccm::serve

@@ -19,17 +19,21 @@
  * drain the remainder, then pop() returns 0); abort() additionally
  * discards everything queued and unblocks both sides immediately
  * (drain kill and idle-TTL reaping).
+ *
+ * Locking contract (machine-checked, src/common/sync.hh): one
+ * LockRank::ServeQueue mutex guards the ring and the counters; both
+ * condvars wait on it.  Callers never hold the queue lock — every
+ * entry point acquires and releases it internally (CCM_EXCLUDES).
  */
 
 #ifndef CCM_SERVE_QUEUE_HH
 #define CCM_SERVE_QUEUE_HH
 
-#include <condition_variable>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "common/status.hh"
+#include "common/sync.hh"
 #include "common/types.hh"
 #include "trace/record.hh"
 
@@ -73,50 +77,57 @@ class RecordQueue
      * accepted (always n for Block unless input was closed/aborted
      * mid-wait, in which case the rest is discarded).
      */
-    std::size_t push(const MemRecord *recs, std::size_t n);
+    std::size_t push(const MemRecord *recs, std::size_t n)
+        CCM_EXCLUDES(mu);
 
     /**
      * Dequeue up to @p max records, blocking until at least one is
      * available or input has ended.  @return records produced; 0
      * means end-of-stream (input closed and drained, or aborted).
      */
-    std::size_t pop(MemRecord *out, std::size_t max);
+    std::size_t pop(MemRecord *out, std::size_t max) CCM_EXCLUDES(mu);
 
     /** No more input; consumers drain the remainder. */
-    void closeInput();
+    void closeInput() CCM_EXCLUDES(mu);
 
     /** Discard queued records and unblock both sides immediately. */
-    void abort();
+    void abort() CCM_EXCLUDES(mu);
 
     bool
-    aborted() const
+    aborted() const CCM_EXCLUDES(mu)
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         return aborted_;
     }
 
     QueueStats
-    stats() const
+    stats() const CCM_EXCLUDES(mu)
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         return stats_;
     }
 
   private:
+    /** Copy a contiguous run of @p n records in at the tail. */
+    void enqueueRun(const MemRecord *recs, std::size_t n)
+        CCM_REQUIRES(mu);
+
     const std::size_t cap;
     const OverflowPolicy policy_;
 
-    mutable std::mutex mu;
-    std::condition_variable canPush;
-    std::condition_variable canPop;
+    mutable Mutex mu{LockRank::ServeQueue, "serve-queue"};
+    CondVar canPush;
+    CondVar canPop;
 
-    std::vector<MemRecord> ring;
-    std::size_t head = 0;  ///< index of the oldest queued record
-    std::size_t count = 0; ///< queued records
+    std::vector<MemRecord> ring CCM_GUARDED_BY(mu);
+    /** Index of the oldest queued record. */
+    std::size_t head CCM_GUARDED_BY(mu) = 0;
+    /** Queued records. */
+    std::size_t count CCM_GUARDED_BY(mu) = 0;
 
-    bool inputClosed = false;
-    bool aborted_ = false;
-    QueueStats stats_;
+    bool inputClosed CCM_GUARDED_BY(mu) = false;
+    bool aborted_ CCM_GUARDED_BY(mu) = false;
+    QueueStats stats_ CCM_GUARDED_BY(mu);
 };
 
 } // namespace ccm::serve

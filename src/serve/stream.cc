@@ -74,7 +74,7 @@ void
 StreamPipeline::start()
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         state_ = StreamState::Running;
     }
     simThread = std::thread([this] { runBody(); });
@@ -90,21 +90,21 @@ StreamPipeline::join()
 bool
 StreamPipeline::finished() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return finished_;
 }
 
 StreamState
 StreamPipeline::state() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return state_;
 }
 
 Status
 StreamPipeline::status() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return failStatus;
 }
 
@@ -113,7 +113,7 @@ StreamPipeline::failWith(const Status &why)
 {
     if (why.isOk())
         return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (state_ == StreamState::Done || state_ == StreamState::Failed)
         return;
     if (failStatus.isOk())
@@ -123,7 +123,7 @@ StreamPipeline::failWith(const Status &why)
 void
 StreamPipeline::setFrameStats(const FrameStats &fs)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     frames = fs;
 }
 
@@ -140,16 +140,22 @@ StreamPipeline::idleMillis() const
            lastActivityMs.load(std::memory_order_relaxed);
 }
 
+const RunOutput &
+StreamPipeline::output() const
+{
+    MutexLock lock(mu);
+    return out;
+}
+
 void
 StreamPipeline::refreshSnapshot(const MemStats &st)
 {
     noteActivity();
-    std::lock_guard<std::mutex> lock(mu);
-    liveStats = st;
-    if (sampler != nullptr) {
-        windowJson = obs::intervalsToJson(*sampler);
-        haveWindow = !sampler->samples().empty();
-    }
+    if (sampler != nullptr)
+        live.publish(st, obs::intervalsToJson(*sampler),
+                     !sampler->samples().empty());
+    else
+        live.publish(st);
 }
 
 void
@@ -182,16 +188,24 @@ StreamPipeline::runBody()
     // from this stream's config, with fatal user errors captured.
     Expected<RunOutput> run = tryRunTiming(src, system, instrument);
 
+    if (run.ok()) {
+        // Publish the final counters to the live cell first so a
+        // reader racing the state flip below never sees Done with a
+        // stale mid-run snapshot.
+        const RunOutput &res = run.value();
+        if (sampler != nullptr) {
+            sampler->finish(res.mem);
+            live.publish(res.mem, obs::intervalsToJson(*sampler),
+                         !sampler->samples().empty());
+        } else {
+            live.publish(res.mem);
+        }
+    }
+
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (run.ok()) {
             out = run.take();
-            liveStats = out.mem;
-            if (sampler != nullptr) {
-                sampler->finish(out.mem);
-                windowJson = obs::intervalsToJson(*sampler);
-                haveWindow = !sampler->samples().empty();
-            }
         } else if (failStatus.isOk()) {
             failStatus = run.status();
         }
@@ -211,16 +225,20 @@ StreamPipeline::runBody()
 obs::JsonValue
 StreamPipeline::reportJson() const
 {
+    // Three locks, taken strictly one after another (never nested):
+    // queue stats (rank 50), the live cell (rank 40), then the stream
+    // mutex (rank 30).
     const QueueStats qs = q.stats();
+    const obs::LiveStatsCell::Snapshot snap = live.snapshot();
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     obs::JsonValue s = obs::JsonValue::object();
     s.set("name", obs::JsonValue::str(name_));
     s.set("id", obs::JsonValue::uint(id_));
     s.set("generation", obs::JsonValue::uint(generation));
     s.set("state", obs::JsonValue::str(toString(state_)));
     s.set("records", obs::JsonValue::uint(qs.pushed));
-    s.set("refs", obs::JsonValue::uint(liveStats.accesses));
+    s.set("refs", obs::JsonValue::uint(snap.stats.accesses));
 
     obs::JsonValue queue_j = obs::JsonValue::object();
     queue_j.set("capacity", obs::JsonValue::uint(q.capacity()));
@@ -239,12 +257,12 @@ StreamPipeline::reportJson() const
         s.set("sim", obs::simResultToJson(out.sim));
         s.set("mem", obs::memStatsToJson(out.mem));
         s.set("heatmap", obs::setHistogramsToJson(out.heat));
-    } else if (liveStats.accesses > 0) {
-        s.set("mem_live", obs::memStatsToJson(liveStats));
+    } else if (snap.stats.accesses > 0) {
+        s.set("mem_live", obs::memStatsToJson(snap.stats));
     }
 
-    if (haveWindow)
-        s.set("window", windowJson);
+    if (snap.haveWindow)
+        s.set("window", snap.window);
 
     return s;
 }

@@ -16,6 +16,14 @@
  * stats byte-identical to `runTiming(T, config)` — the simulation
  * thread runs that exact code over the queue.  Tests and the CI smoke
  * step hold the daemon to this.
+ *
+ * Locking contract (machine-checked, src/common/sync.hh): the
+ * LockRank::ServeStream mutex guards the state machine (state,
+ * failure Status, frame counters, final RunOutput); live mid-run
+ * counters go through an obs::LiveStatsCell (LockRank::ObsLive); the
+ * queue has its own LockRank::ServeQueue lock.  A caller of the
+ * public interface never holds any of them (CCM_EXCLUDES), so the
+ * daemon lock (rank 10) may be held across any call here.
  */
 
 #ifndef CCM_SERVE_STREAM_HH
@@ -27,8 +35,10 @@
 #include <string>
 #include <thread>
 
+#include "common/sync.hh"
 #include "obs/interval.hh"
 #include "obs/json.hh"
+#include "obs/live.hh"
 #include "serve/frame.hh"
 #include "serve/queue.hh"
 #include "sim/experiment.hh"
@@ -121,18 +131,18 @@ class StreamPipeline
     const StreamLimits &streamLimits() const { return limits; }
 
     /** Spawn the simulation thread (Admitted -> Running). */
-    void start();
+    void start() CCM_EXCLUDES(mu);
 
     /** Wait for the simulation thread to finish. */
     void join();
 
     /** True once the simulation thread has produced the final state. */
-    bool finished() const;
+    bool finished() const CCM_EXCLUDES(mu);
 
-    StreamState state() const;
+    StreamState state() const CCM_EXCLUDES(mu);
 
     /** Failure reason; Ok unless state() == Failed. */
-    Status status() const;
+    Status status() const CCM_EXCLUDES(mu);
 
     /**
      * Record the first failure (disconnect, defect budget, reap).
@@ -140,10 +150,10 @@ class StreamPipeline
      * before closing/aborting the queue so the simulation thread's
      * final state sees it.
      */
-    void failWith(const Status &why);
+    void failWith(const Status &why) CCM_EXCLUDES(mu);
 
     /** Reader-side: publish the connection's frame counters. */
-    void setFrameStats(const FrameStats &fs);
+    void setFrameStats(const FrameStats &fs) CCM_EXCLUDES(mu);
 
     /** Touch the activity clock (reader bytes / simulation pops). */
     void noteActivity();
@@ -156,13 +166,15 @@ class StreamPipeline
      * live counters while Running, full sim/mem/heatmap sections once
      * Done, the error string once Failed (docs/SERVING.md).
      */
-    obs::JsonValue reportJson() const;
+    obs::JsonValue reportJson() const CCM_EXCLUDES(mu);
 
     /** Final output; valid only once state() == Done (tests). */
-    const RunOutput &output() const { return out; }
+    const RunOutput &output() const CCM_EXCLUDES(mu);
 
   private:
-    void runBody();
+    void runBody() CCM_EXCLUDES(mu);
+
+    /** Sim-thread side: push a mid-run snapshot into the live cell. */
     void refreshSnapshot(const MemStats &st);
 
     const std::uint64_t id_;
@@ -180,15 +192,16 @@ class StreamPipeline
 
     std::atomic<std::int64_t> lastActivityMs{0};
 
-    mutable std::mutex mu;
-    StreamState state_ = StreamState::Admitted;
-    Status failStatus;
-    FrameStats frames;
-    MemStats liveStats;
-    obs::JsonValue windowJson;
-    bool haveWindow = false;
-    bool finished_ = false;
-    RunOutput out; ///< valid once Done
+    /** Mid-run counters, published at the snapshot cadence. */
+    obs::LiveStatsCell live;
+
+    mutable Mutex mu{LockRank::ServeStream, "serve-stream"};
+    StreamState state_ CCM_GUARDED_BY(mu) = StreamState::Admitted;
+    Status failStatus CCM_GUARDED_BY(mu);
+    FrameStats frames CCM_GUARDED_BY(mu);
+    bool finished_ CCM_GUARDED_BY(mu) = false;
+    /** Valid once Done. */
+    RunOutput out CCM_GUARDED_BY(mu);
 };
 
 } // namespace ccm::serve

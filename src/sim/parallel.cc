@@ -1,9 +1,8 @@
 #include "sim/parallel.hh"
 
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 
+#include "common/sync.hh"
 #include "common/thread_pool.hh"
 
 namespace ccm
@@ -46,11 +45,12 @@ runSuiteParallel(const std::vector<std::string> &names,
     report.rows.resize(names.size());
 
     // Contract point 1: instrument invocations are mutually excluded.
-    std::mutex instrument_mtx;
+    Mutex instrument_mtx(LockRank::SuiteInstrumentGate,
+                         "suite-instrument");
     SuiteInstrument serialized;
     if (opts.instrument) {
         serialized = [&](const std::string &name, MemorySystem &m) {
-            std::lock_guard<std::mutex> lock(instrument_mtx);
+            MutexLock lock(instrument_mtx);
             opts.instrument(name, m);
         };
     }
@@ -58,8 +58,8 @@ runSuiteParallel(const std::vector<std::string> &names,
     // Row slots are disjoint, so workers write them unlocked; the
     // done-flag handshake under `mtx` publishes each slot to the
     // calling thread before it reads the row.
-    std::mutex mtx;
-    std::condition_variable row_done;
+    Mutex mtx(LockRank::SuiteRowDone, "suite-row-done");
+    CondVar row_done;
     std::vector<char> done(names.size(), 0);
 
     ThreadPool pool(jobs < names.size() ? jobs : names.size());
@@ -79,19 +79,21 @@ runSuiteParallel(const std::vector<std::string> &names,
             }
             report.rows[i] = std::move(row);
             {
-                std::lock_guard<std::mutex> lock(mtx);
+                MutexLock lock(mtx);
                 done[i] = 1;
             }
-            row_done.notify_all();
+            row_done.notifyAll();
         });
     }
 
     // Contract point 3: completion delivery on the calling thread, in
     // names order, as soon as each prefix row is finished.
     for (std::size_t i = 0; i < names.size(); ++i) {
-        std::unique_lock<std::mutex> lock(mtx);
-        row_done.wait(lock, [&] { return done[i] != 0; });
-        lock.unlock();
+        {
+            MutexLock lock(mtx);
+            row_done.wait(
+                mtx, [&]() CCM_REQUIRES(mtx) { return done[i] != 0; });
+        }
         if (opts.onRowDone)
             opts.onRowDone(report.rows[i]);
     }

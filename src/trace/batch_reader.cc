@@ -21,6 +21,9 @@ clampBatch(std::size_t n)
 std::size_t
 initialBatchSize()
 {
+    // Read once before any worker thread exists; nothing in this
+    // process calls setenv, so the lookup cannot race a mutation.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *env = std::getenv("CCM_TRACE_BATCH")) {
         char *end = nullptr;
         unsigned long long v = std::strtoull(env, &end, 10);

@@ -29,7 +29,7 @@ constexpr std::size_t headerBytes = 16;
 std::string
 errnoSuffix()
 {
-    return std::string(" (") + std::strerror(errno) + ")";
+    return std::string(" (") + errnoString(errno) + ")";
 }
 
 } // namespace

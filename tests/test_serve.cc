@@ -277,6 +277,137 @@ TEST(ServeQueue, AbortUnblocksAWaitingConsumer)
     EXPECT_TRUE(q.aborted());
 }
 
+// ---- Queue interleaving races (tsan shakedown) ---------------------
+//
+// Each test forces one specific cross-thread interleaving the daemon
+// depends on: a producer parked in push() must be released by
+// abort()/closeInput() with a truthful accepted count, a parked
+// consumer must be released by abort(), and the two policies must
+// keep their invariants (Shed never blocks, Block never exceeds the
+// capacity bound) while both sides hammer the lock.  All of them run
+// under the tsan preset in CI.
+
+TEST(ServeQueue, AbortReleasesABlockedProducer)
+{
+    serve::RecordQueue q(4, serve::OverflowPolicy::Block);
+    std::vector<MemRecord> recs = someRecords(8);
+
+    std::size_t accepted = 0;
+    std::thread producer([&] {
+        // Accepts 4, then parks in push() on the full ring.
+        accepted = q.push(recs.data(), recs.size());
+    });
+    // The producer is provably mid-push once the first 4 records have
+    // landed and nothing has drained them.
+    waitFor([&] { return q.stats().pushed == 4; });
+    q.abort();
+    producer.join();
+
+    EXPECT_EQ(accepted, 4u);
+    EXPECT_TRUE(q.aborted());
+    MemRecord buf[4];
+    EXPECT_EQ(q.pop(buf, 4), 0u); // aborted queues deliver nothing
+}
+
+TEST(ServeQueue, CloseInputReleasesABlockedProducer)
+{
+    serve::RecordQueue q(4, serve::OverflowPolicy::Block);
+    std::vector<MemRecord> recs = someRecords(8);
+
+    std::size_t accepted = 0;
+    std::thread producer(
+        [&] { accepted = q.push(recs.data(), recs.size()); });
+    waitFor([&] { return q.stats().pushed == 4; });
+    q.closeInput();
+    producer.join();
+
+    // Unlike abort, closeInput keeps what was already accepted: the
+    // consumer still drains the 4 in-flight records.
+    EXPECT_EQ(accepted, 4u);
+    MemRecord buf[8];
+    EXPECT_EQ(q.pop(buf, 8), 4u);
+    EXPECT_EQ(q.pop(buf, 8), 0u); // drained + closed
+}
+
+TEST(ServeQueue, AbortReleasesEveryBlockedConsumer)
+{
+    serve::RecordQueue q(8, serve::OverflowPolicy::Block);
+    std::atomic<int> released{0};
+    std::vector<std::thread> consumers;
+    consumers.reserve(3);
+    for (int i = 0; i < 3; ++i) {
+        consumers.emplace_back([&] {
+            MemRecord r;
+            EXPECT_EQ(q.pop(&r, 1), 0u);
+            ++released;
+        });
+    }
+    // No producer exists, so every consumer is parked in pop().
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(released.load(), 0);
+    q.abort();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(released.load(), 3);
+}
+
+TEST(ServeQueue, ShedNeverBlocksUnderConcurrentDrain)
+{
+    serve::RecordQueue q(8, serve::OverflowPolicy::Shed);
+    const std::size_t batches = 200;
+    std::vector<MemRecord> recs = someRecords(32);
+
+    std::thread consumer([&] {
+        MemRecord buf[16];
+        while (q.pop(buf, 16) != 0) {
+        }
+    });
+    // Every push must return immediately, full ring or not; with a
+    // cap of 8 and batches of 32 the overflow is always shed.
+    for (std::size_t i = 0; i < batches; ++i)
+        q.push(recs.data(), recs.size());
+    q.closeInput();
+    consumer.join();
+
+    serve::QueueStats st = q.stats();
+    EXPECT_EQ(st.pushed + st.shed, batches * recs.size());
+    EXPECT_EQ(st.popped, st.pushed);
+    EXPECT_GT(st.shed, 0u);
+    EXPECT_LE(st.maxDepth, 8u);
+}
+
+TEST(ServeQueue, BlockPolicyBoundsDepthUnderRacingPushPop)
+{
+    serve::RecordQueue q(4, serve::OverflowPolicy::Block);
+    const std::size_t total = 4'000;
+    std::vector<MemRecord> recs = someRecords(16);
+
+    std::thread producer([&] {
+        std::size_t sent = 0;
+        while (sent < total) {
+            std::size_t n = std::min(recs.size(), total - sent);
+            EXPECT_EQ(q.push(recs.data(), n), n);
+            sent += n;
+        }
+        q.closeInput();
+    });
+
+    MemRecord buf[3];
+    std::size_t got = 0, n = 0;
+    while ((n = q.pop(buf, 3)) != 0)
+        got += n;
+    producer.join();
+
+    // The backpressure handshake is airtight: lossless, and the ring
+    // never held more than its capacity.
+    EXPECT_EQ(got, total);
+    serve::QueueStats st = q.stats();
+    EXPECT_EQ(st.pushed, total);
+    EXPECT_EQ(st.popped, total);
+    EXPECT_EQ(st.shed, 0u);
+    EXPECT_EQ(st.maxDepth, 4u);
+}
+
 TEST(ServeQueue, PolicyNamesRoundTrip)
 {
     EXPECT_STREQ(serve::toString(serve::OverflowPolicy::Block),
