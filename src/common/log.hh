@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Leveled structured logging: the one sanctioned path to stderr.
+ *
+ * Every line carries the same prefix —
+ *
+ *   [E 12.345678 t3 s7] message
+ *
+ * level letter (T/D/I/W/E), monotonic seconds since process start,
+ * a dense per-thread id (t0 is the first thread that ever logged),
+ * and, inside a LogStreamScope, the serve stream id the thread is
+ * working on.  The whole line is formatted into one buffer and
+ * written with a single fwrite, so concurrent writers cannot
+ * interleave mid-line — no lock is taken and no LockRank is involved,
+ * which means logging is safe while holding any mutex.
+ *
+ * The threshold comes from the CCM_LOG_LEVEL environment variable
+ * (trace | debug | info | warn | error | off; default info), read
+ * once.  The CCM_LOG_* macros evaluate their arguments only when the
+ * level is enabled, so a disabled debug line costs one atomic load.
+ *
+ * Raw `std::cerr` / `fprintf(stderr, ...)` anywhere else in src/ or
+ * tools/ is a lint error (tools/ccm-lint), mirroring the raw-sync ban:
+ * ad-hoc writes would bypass the prefix, the threshold, and the
+ * atomicity guarantee.  gem5-flavoured ccm_panic/ccm_fatal/ccm_warn/
+ * ccm_inform (common/logging.hh) route through this layer too.
+ */
+
+#ifndef CCM_COMMON_LOG_HH
+#define CCM_COMMON_LOG_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "common/status.hh"
+
+namespace ccm
+{
+
+/** Severity levels, ascending; Off disables everything. */
+enum class LogLevel : int
+{
+    Trace = 0,
+    Debug = 1,
+    Info = 2,
+    Warn = 3,
+    Error = 4,
+    Off = 5,
+};
+
+/** Stable lower-case name ("trace", ..., "off"). */
+const char *toString(LogLevel level);
+
+/** Parse a CCM_LOG_LEVEL value (lower-case level names). */
+Expected<LogLevel> parseLogLevel(std::string_view name);
+
+/** The active threshold (CCM_LOG_LEVEL, cached at first use). */
+LogLevel logThreshold();
+
+/** Override the threshold at runtime (tools' --log-level, tests). */
+void setLogThreshold(LogLevel level);
+
+/** True when a message at @p level would be written. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return level != LogLevel::Off && level >= logThreshold();
+}
+
+/**
+ * Dense id of the calling thread: 0, 1, 2, ... in first-log order.
+ * Stable for the thread's lifetime; also stamped into span traces so
+ * log lines and trace rows correlate.
+ */
+int logThreadId();
+
+/** Monotonic seconds since process start (the line timestamps). */
+double logUptimeSeconds();
+
+/**
+ * While alive, log lines from this thread carry "s<id>" — used by the
+ * serve daemon so per-stream work is attributable in shared logs.
+ * Nests; the innermost scope wins.
+ */
+class LogStreamScope
+{
+  public:
+    explicit LogStreamScope(std::uint64_t stream_id);
+    ~LogStreamScope();
+
+    LogStreamScope(const LogStreamScope &) = delete;
+    LogStreamScope &operator=(const LogStreamScope &) = delete;
+
+  private:
+    std::uint64_t saved_;
+    bool savedActive_;
+};
+
+namespace detail
+{
+
+/** Format the prefix and write one complete line (no level check). */
+void logWrite(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+} // namespace ccm
+
+/** Log at an explicit level; arguments are streamed like ccm_warn. */
+#define CCM_LOG(level, ...) \
+    do { \
+        if (::ccm::logEnabled(level)) \
+            ::ccm::detail::logWrite( \
+                level, ::ccm::detail::concat(__VA_ARGS__)); \
+    } while (false)
+
+#define CCM_LOG_TRACE(...) CCM_LOG(::ccm::LogLevel::Trace, __VA_ARGS__)
+#define CCM_LOG_DEBUG(...) CCM_LOG(::ccm::LogLevel::Debug, __VA_ARGS__)
+#define CCM_LOG_INFO(...) CCM_LOG(::ccm::LogLevel::Info, __VA_ARGS__)
+#define CCM_LOG_WARN(...) CCM_LOG(::ccm::LogLevel::Warn, __VA_ARGS__)
+#define CCM_LOG_ERROR(...) CCM_LOG(::ccm::LogLevel::Error, __VA_ARGS__)
+
+#endif // CCM_COMMON_LOG_HH

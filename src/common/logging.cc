@@ -1,7 +1,8 @@
 #include "common/logging.hh"
 
 #include <cstdlib>
-#include <iostream>
+
+#include "common/log.hh"
 
 namespace ccm
 {
@@ -26,11 +27,14 @@ ScopedFatalThrow::~ScopedFatalThrow()
 namespace detail
 {
 
+// panic/fatal terminate the process, so they bypass the threshold:
+// the one line explaining the exit must never be filtered out.
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    logWrite(LogLevel::Error, concat("panic: ", msg, " @ ", file, ":",
+                                     line));
     std::abort();
 }
 
@@ -39,21 +43,21 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     if (fatalThrowDepth > 0)
         throw FatalError(msg);
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    logWrite(LogLevel::Error, concat("fatal: ", msg, " @ ", file, ":",
+                                     line));
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    CCM_LOG_WARN("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cout << "info: " << msg << std::endl;
+    CCM_LOG_INFO(msg);
 }
 
 } // namespace detail

@@ -130,6 +130,8 @@ enum class LockRank : int
     SuiteInstrumentGate = 60,   ///< runSuiteParallel instrument serializer
     SuiteRowDone = 70,      ///< runSuiteParallel row-done handshake
     ThreadPool = 80,        ///< ThreadPool task queue (leaf)
+    ObsMetrics = 90,        ///< obs::MetricsRegistry (register/render)
+    ObsSpans = 92,          ///< obs::SpanTracer event buffer (leaf)
 };
 
 /** True when this build enforces lock ranks (CCM_LOCK_RANK_CHECK). */

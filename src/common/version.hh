@@ -1,0 +1,19 @@
+/**
+ * @file
+ * The one place the release version string lives.  Surfaced by the
+ * ccm-serve control plane (stats "version" field) so monitors can
+ * detect upgrades across daemon restarts without parsing logs.
+ */
+
+#ifndef CCM_COMMON_VERSION_HH
+#define CCM_COMMON_VERSION_HH
+
+namespace ccm
+{
+
+/** Repository release version ("major.minor.patch"). */
+inline constexpr const char *kCcmVersion = "0.8.0";
+
+} // namespace ccm
+
+#endif // CCM_COMMON_VERSION_HH

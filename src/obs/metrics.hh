@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and fixed
+ * log2-bucket latency histograms with derived p50/p95/p99, rendered
+ * as Prometheus text exposition or a kind:"metrics" ccm-stats JSON
+ * document (docs/OBSERVABILITY.md "Metrics").
+ *
+ * Telemetry is strictly observational — nothing in here feeds back
+ * into simulation results — and the hot path is lock-free: updates
+ * are relaxed atomic adds on instruments whose addresses are stable
+ * for the registry's lifetime.  The LockRank::ObsMetrics mutex is
+ * taken only to register a new instrument or to render, both of
+ * which happen off the classify path, so a caller may hold any
+ * lower-ranked lock (it is the highest rank but ObsSpans — see
+ * docs/STATIC_ANALYSIS.md).
+ *
+ * Renders are racy by design: a snapshot taken while writers are
+ * active may be mid-update by a few counts.  Every individual load
+ * is atomic, totals are monotone, and a quiesced registry renders
+ * exact values — which is what the tests pin down.
+ */
+
+#ifndef CCM_OBS_METRICS_HH
+#define CCM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.hh"
+#include "obs/json.hh"
+
+namespace ccm::obs
+{
+
+/** What a registered instrument is. */
+enum class MetricType
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** Stable lower-case name ("counter", "gauge", "histogram"). */
+const char *toString(MetricType type);
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t delta = 1)
+    {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Point-in-time level (queue depth, active streams, generation). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t value)
+    {
+        v_.store(value, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Fixed log2-bucket histogram of non-negative samples (latencies in
+ * microseconds, sizes).  Bucket i holds samples whose bit width is i:
+ * bucket 0 = {0}, bucket i = [2^(i-1), 2^i - 1] — 65 buckets cover
+ * all of uint64 with no configuration and a branch-free index
+ * (std::bit_width), so observe() is two relaxed adds.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 65;
+
+    void
+    observe(std::uint64_t sample)
+    {
+        buckets_[bucketIndex(sample)].fetch_add(
+            1, std::memory_order_relaxed);
+        sum_.fetch_add(sample, std::memory_order_relaxed);
+    }
+
+    /** Index of the bucket holding @p sample (its bit width). */
+    static std::size_t bucketIndex(std::uint64_t sample);
+
+    /** Smallest value bucket @p i can hold. */
+    static std::uint64_t bucketLo(std::size_t i);
+
+    /** Largest value bucket @p i can hold (inclusive). */
+    static std::uint64_t bucketHi(std::size_t i);
+
+    /** A consistent-enough copy of the bucket counts (see file doc). */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        /**
+         * Quantile estimate for @p q in (0,1]: find the bucket of the
+         * rank-ceil(q*count) sample and interpolate linearly from the
+         * bucket's lower to its upper bound by the sample's position
+         * within it.  Deterministic, so goldens can pin it down; 0.0
+         * for an empty histogram.
+         */
+        double percentile(double q) const;
+    };
+
+    Snapshot snapshot() const;
+
+  private:
+    std::atomic<std::uint64_t> sum_{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/**
+ * Named instrument registry.  counter()/gauge()/histogram() return a
+ * reference that stays valid for the registry's lifetime — callers
+ * look an instrument up once and keep the reference, so steady-state
+ * updates never touch the registry lock.  Re-registering an existing
+ * name returns the same instrument; registering it as a different
+ * type is a ccm_panic (a programmer error, not input).
+ *
+ * Names must match the Prometheus charset
+ * ([a-zA-Z_:][a-zA-Z0-9_:]*); the convention is
+ * ccm_<layer>_<what>_<unit> with counters suffixed _total.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry every subsystem registers into. */
+    static MetricsRegistry &global();
+
+    Counter &counter(std::string_view name, std::string_view help)
+        CCM_EXCLUDES(mu);
+    Gauge &gauge(std::string_view name, std::string_view help)
+        CCM_EXCLUDES(mu);
+    Histogram &histogram(std::string_view name, std::string_view help)
+        CCM_EXCLUDES(mu);
+
+    /** Registered instrument count (tests). */
+    std::size_t size() const CCM_EXCLUDES(mu);
+
+    /**
+     * Prometheus text exposition (version 0.0.4): # HELP / # TYPE
+     * per metric, cumulative _bucket{le="..."} / _sum / _count rows
+     * for histograms (empty buckets above the highest occupied one
+     * are elided; the +Inf bucket is always present).
+     */
+    std::string prometheusText() const CCM_EXCLUDES(mu);
+
+    /**
+     * The "metrics" array of a kind:"metrics" document: one object
+     * per instrument in registration order, histograms carrying
+     * count/sum/p50/p95/p99 and cumulative {le, count} buckets
+     * (obs::metricsDocument wraps this in the schema header).
+     */
+    JsonValue metricsJson() const CCM_EXCLUDES(mu);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string help;
+        MetricType type;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &findOrCreate(std::string_view name, std::string_view help,
+                        MetricType type) CCM_EXCLUDES(mu);
+
+    mutable Mutex mu{LockRank::ObsMetrics, "obs-metrics"};
+    /** Stable addresses: entries are never erased or reallocated. */
+    std::vector<std::unique_ptr<Entry>> entries_ CCM_GUARDED_BY(mu);
+};
+
+} // namespace ccm::obs
+
+#endif // CCM_OBS_METRICS_HH

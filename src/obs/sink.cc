@@ -317,6 +317,14 @@ statsDocumentHeader(const std::string &kind)
 }
 
 JsonValue
+metricsDocument(const MetricsRegistry &registry)
+{
+    JsonValue doc = documentHeader("metrics");
+    doc.set("metrics", registry.metricsJson());
+    return doc;
+}
+
+JsonValue
 tableToJson(const TextTable &table)
 {
     JsonValue v = JsonValue::object();
@@ -684,6 +692,72 @@ checkServeBody(const JsonValue &doc)
     return Status::ok();
 }
 
+/**
+ * kind:"metrics" documents (docs/OBSERVABILITY.md): one entry per
+ * instrument with a known type; histograms carry count/sum and
+ * cumulative, non-decreasing {le, count} buckets whose final count
+ * matches the histogram count.
+ */
+Status
+checkMetricsBody(const JsonValue &doc)
+{
+    const JsonValue &metrics = doc.at("metrics");
+    if (!metrics.isArray())
+        return Status::badConfig("missing metrics array");
+
+    std::size_t i = 0;
+    for (const JsonValue &m : metrics.elements()) {
+        const std::string ctx = "metric " + std::to_string(i);
+        if (!m.at("name").isString())
+            return Status::badConfig(ctx, ": missing name");
+        const std::string ctxn = "metric '" + m.at("name").asString() +
+                                 "'";
+        const std::string &type = m.at("type").asString();
+        if (type == "counter" || type == "gauge") {
+            if (!m.at("value").isNumber())
+                return Status::badConfig(ctxn, ": missing value");
+        } else if (type == "histogram") {
+            for (const char *key :
+                 {"count", "sum", "p50", "p95", "p99"}) {
+                if (!m.at(key).isNumber())
+                    return Status::badConfig(ctxn, ": ", key,
+                                             " is missing or not a "
+                                             "number");
+            }
+            const JsonValue &buckets = m.at("buckets");
+            if (!buckets.isArray())
+                return Status::badConfig(ctxn,
+                                         ": missing buckets array");
+            std::uint64_t prev_le = 0, prev_count = 0;
+            bool first = true;
+            for (const JsonValue &b : buckets.elements()) {
+                if (!b.at("le").isNumber() ||
+                    !b.at("count").isNumber())
+                    return Status::badConfig(
+                        ctxn, ": malformed bucket row");
+                const std::uint64_t le = b.at("le").asU64();
+                const std::uint64_t count = b.at("count").asU64();
+                if (!first &&
+                    (le <= prev_le || count < prev_count))
+                    return Status::badConfig(
+                        ctxn, ": buckets are not cumulative");
+                prev_le = le;
+                prev_count = count;
+                first = false;
+            }
+            if (prev_count != m.at("count").asU64())
+                return Status::badConfig(
+                    ctxn, ": bucket counts sum to ", prev_count,
+                    " but count is ", m.at("count").asU64());
+        } else {
+            return Status::badConfig(ctxn, ": unknown type '", type,
+                                     "'");
+        }
+        ++i;
+    }
+    return Status::ok();
+}
+
 } // namespace
 
 Status
@@ -705,6 +779,8 @@ validateStatsDoc(const JsonValue &doc)
         return checkRunBody(doc).withContext("run document");
     if (kind == "serve")
         return checkServeBody(doc).withContext("serve document");
+    if (kind == "metrics")
+        return checkMetricsBody(doc).withContext("metrics document");
     if (kind == "bench") {
         const JsonValue &table = doc.at("table");
         const JsonValue &headers = table.at("headers");

@@ -31,6 +31,7 @@
 #include "obs/events.hh"
 #include "obs/interval.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "sim/experiment.hh"
 
 namespace ccm::obs
@@ -112,6 +113,15 @@ JsonValue tableToJson(const TextTable &table);
 JsonValue benchDocument(const std::string &bench_name,
                         const TextTable &table,
                         const std::string &note = "");
+
+/**
+ * Build a kind:"metrics" document from @p registry (default: the
+ * process-wide registry): the schema header plus a "metrics" array as
+ * rendered by MetricsRegistry::metricsJson().  Served by the daemon's
+ * `metrics json` control command and rendered by ccm-report.
+ */
+JsonValue metricsDocument(
+    const MetricsRegistry &registry = MetricsRegistry::global());
 
 /**
  * Bare document header ({"schema", "schema_version", "kind"}) for a

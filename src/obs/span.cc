@@ -1,0 +1,127 @@
+#include "obs/span.hh"
+
+#include <chrono>
+#include <fstream>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace ccm::obs
+{
+
+namespace
+{
+
+std::uint64_t
+steadyNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+SpanTracer::SpanTracer() : epochNanos_(steadyNanos()) {}
+
+SpanTracer &
+SpanTracer::global()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+Status
+SpanTracer::enableToFile(const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return Status::ioError("cannot open trace file '", path,
+                               "' for writing");
+    MutexLock lock(mu);
+    path_ = path;
+    events_.reserve(1024);
+    enabled_.store(true, std::memory_order_relaxed);
+    return Status::ok();
+}
+
+std::uint64_t
+SpanTracer::nowMicros() const
+{
+    return (steadyNanos() - epochNanos_) / 1000;
+}
+
+void
+SpanTracer::record(std::string_view name, std::string_view cat,
+                   std::uint64_t begin_us, std::uint64_t end_us)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t dur =
+        end_us >= begin_us ? end_us - begin_us : 0;
+    MutexLock lock(mu);
+    if (events_.size() >= kMaxEvents) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    events_.push_back(Event{std::string(name), std::string(cat),
+                            begin_us, dur, logThreadId()});
+}
+
+std::size_t
+SpanTracer::size() const
+{
+    MutexLock lock(mu);
+    return events_.size();
+}
+
+std::string
+SpanTracer::traceJson() const
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue rows = JsonValue::array();
+    {
+        MutexLock lock(mu);
+        for (const Event &e : events_) {
+            JsonValue row = JsonValue::object();
+            row.set("name", JsonValue::str(e.name));
+            row.set("cat", JsonValue::str(e.cat));
+            row.set("ph", JsonValue::str("X"));
+            row.set("ts", JsonValue::uint(e.ts_us));
+            row.set("dur", JsonValue::uint(e.dur_us));
+            row.set("pid", JsonValue::uint(1));
+            row.set("tid",
+                    JsonValue::uint(static_cast<std::uint64_t>(e.tid)));
+            rows.push(std::move(row));
+        }
+    }
+    doc.set("traceEvents", std::move(rows));
+    JsonValue meta = JsonValue::object();
+    meta.set("dropped_spans", JsonValue::uint(dropped()));
+    doc.set("ccm", std::move(meta));
+    return doc.toString();
+}
+
+Status
+SpanTracer::flush() const
+{
+    if (!enabled())
+        return Status::ok();
+    std::string path;
+    {
+        MutexLock lock(mu);
+        path = path_;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return Status::ioError("cannot open trace file '", path,
+                               "' for writing");
+    out << traceJson() << "\n";
+    if (!out.good())
+        return Status::ioError("short write to trace file '", path,
+                               "'");
+    return Status::ok();
+}
+
+} // namespace ccm::obs

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Span tracing: named, timed phases (a suite row, a serve stream, a
+ * control request) recorded as Chrome trace-event JSON, loadable in
+ * Perfetto / chrome://tracing (docs/OBSERVABILITY.md "Spans").
+ *
+ * Tracing is off by default and costs one relaxed atomic load per
+ * span when disabled.  `--trace-spans <file>` on ccm-sim / ccm-serve
+ * enables the global tracer; each completed span appends one complete
+ * "X" (duration) event under LockRank::ObsSpans — the highest rank,
+ * so a span may end while the caller holds any other lock.  The
+ * buffer is bounded (kMaxEvents); overflow increments a drop counter
+ * reported in the flushed file rather than growing without bound.
+ *
+ * Like the metrics layer, spans are strictly observational: nothing
+ * here feeds back into simulation results.
+ */
+
+#ifndef CCM_OBS_SPAN_HH
+#define CCM_OBS_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/sync.hh"
+
+namespace ccm::obs
+{
+
+/**
+ * Collects completed spans and writes them as one Chrome trace-event
+ * JSON document ({"traceEvents": [...]}).  Disabled until
+ * enableToFile() succeeds; record() is a no-op while disabled.
+ */
+class SpanTracer
+{
+  public:
+    /** Buffer cap; further spans are counted as dropped. */
+    static constexpr std::size_t kMaxEvents = 1u << 18;
+
+    SpanTracer();
+
+    SpanTracer(const SpanTracer &) = delete;
+    SpanTracer &operator=(const SpanTracer &) = delete;
+
+    /** The process-wide tracer the --trace-spans flags enable. */
+    static SpanTracer &global();
+
+    /**
+     * Start tracing and remember @p path for flush().  The file is
+     * created (truncated) immediately so an unwritable path fails the
+     * flag parse, not the exit path.
+     */
+    Status enableToFile(const std::string &path) CCM_EXCLUDES(mu);
+
+    /** True once enableToFile() succeeded (one relaxed load). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds since tracer construction (span timestamps). */
+    std::uint64_t nowMicros() const;
+
+    /**
+     * Append one completed span.  @p begin_us / @p end_us come from
+     * nowMicros(); @p cat groups spans in the viewer ("suite",
+     * "serve", "control", ...).  No-op while disabled.
+     */
+    void record(std::string_view name, std::string_view cat,
+                std::uint64_t begin_us, std::uint64_t end_us)
+        CCM_EXCLUDES(mu);
+
+    /** Buffered span count (tests). */
+    std::size_t size() const CCM_EXCLUDES(mu);
+
+    /** Spans rejected because the buffer was full. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Render the buffered spans as a trace-event JSON string —
+     * {"traceEvents": [{"name","cat","ph":"X","ts","dur","pid","tid"},
+     * ...]} plus a "ccm" metadata object carrying the drop count.
+     */
+    std::string traceJson() const CCM_EXCLUDES(mu);
+
+    /**
+     * Write traceJson() to the path given to enableToFile().  Safe to
+     * call when disabled (returns ok, writes nothing).  Does not clear
+     * the buffer, so flushing twice writes the same spans plus any
+     * recorded in between.
+     */
+    Status flush() const CCM_EXCLUDES(mu);
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        std::uint64_t ts_us;
+        std::uint64_t dur_us;
+        int tid;
+    };
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::uint64_t epochNanos_;
+
+    mutable Mutex mu{LockRank::ObsSpans, "obs-spans"};
+    std::string path_ CCM_GUARDED_BY(mu);
+    std::vector<Event> events_ CCM_GUARDED_BY(mu);
+};
+
+/**
+ * RAII span: captures nowMicros() at construction and records the
+ * span at destruction.  When the tracer is disabled the constructor
+ * is one relaxed load and the destructor does nothing.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(SpanTracer &tracer, std::string name, std::string cat)
+        : tracer_(tracer), name_(std::move(name)), cat_(std::move(cat)),
+          begin_(tracer_.enabled() ? tracer_.nowMicros() : 0)
+    {
+    }
+
+    /** Span on the global tracer. */
+    ScopedSpan(std::string name, std::string cat)
+        : ScopedSpan(SpanTracer::global(), std::move(name),
+                     std::move(cat))
+    {
+    }
+
+    ~ScopedSpan()
+    {
+        if (tracer_.enabled())
+            tracer_.record(name_, cat_, begin_, tracer_.nowMicros());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    SpanTracer &tracer_;
+    std::string name_;
+    std::string cat_;
+    std::uint64_t begin_;
+};
+
+} // namespace ccm::obs
+
+#endif // CCM_OBS_SPAN_HH

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -12,7 +13,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/log.hh"
+#include "common/version.hh"
 #include "obs/sink.hh"
+#include "obs/span.hh"
+#include "serve/telemetry.hh"
 
 namespace ccm::serve
 {
@@ -168,6 +173,17 @@ ServeDaemon::start()
         controlFd = cf.value();
     }
 
+    startTime_ = std::chrono::steady_clock::now();
+    {
+        MutexLock lock(mu);
+        serveMetrics().configGeneration.set(
+            static_cast<std::int64_t>(generation_));
+    }
+    CCM_LOG_INFO("daemon listening on ", opts.socketPath,
+                 opts.controlPath.empty()
+                     ? ""
+                     : " (control " + opts.controlPath + ")");
+
     stopAll.store(false);
     started_.store(true);
     acceptThread = std::thread([this] { acceptLoop(); });
@@ -204,6 +220,11 @@ ServeDaemon::reload()
     MutexLock lock(mu);
     runtime = cfg.take();
     ++generation_;
+    serveMetrics().reloads.inc();
+    serveMetrics().configGeneration.set(
+        static_cast<std::int64_t>(generation_));
+    CCM_LOG_INFO("config reloaded from ", opts.configPath,
+                 " (generation ", generation_, ")");
     return Status::ok();
 }
 
@@ -263,11 +284,17 @@ ServeDaemon::admitStream(const std::string &name, int fd)
         MutexLock lock(mu);
         if (draining_.load()) {
             ++refused_;
+            serveMetrics().streamsRefused.inc();
+            CCM_LOG_WARN("stream '", name,
+                         "' refused: daemon is draining");
             return Status::unavailable("daemon is draining; stream '",
                                        name, "' refused");
         }
         if (active.size() >= opts.maxStreams) {
             ++refused_;
+            serveMetrics().streamsRefused.inc();
+            CCM_LOG_WARN("stream '", name, "' refused: stream limit ",
+                         opts.maxStreams, " reached");
             return Status::unavailable(
                 "stream limit ", opts.maxStreams,
                 " reached; stream '", name, "' refused");
@@ -280,7 +307,11 @@ ServeDaemon::admitStream(const std::string &name, int fd)
             generation_);
         active.emplace(id, ActiveStream{pipe, fd});
         ++admitted_;
+        serveMetrics().streamsAdmitted.inc();
+        serveMetrics().streamsActive.add(1);
     }
+    CCM_LOG_INFO("stream '", pipe->name(), "' admitted (id ",
+                 pipe->id(), ")");
     pipe->start();
     return pipe;
 }
@@ -302,10 +333,27 @@ ServeDaemon::finishStream(std::uint64_t id)
     pipe->join();
     obs::JsonValue report = pipe->reportJson();
     const QueueStats qs = pipe->queue().stats();
+    const bool ok = pipe->state() == StreamState::Done;
+
+    ServeMetrics &sm = serveMetrics();
+    (ok ? sm.streamsDone : sm.streamsFailed).inc();
+    sm.streamsActive.add(-1);
+    sm.records.inc(qs.pushed);
+    sm.recordsShed.inc(qs.shed);
+    obs::SpanTracer &tracer = obs::SpanTracer::global();
+    if (tracer.enabled())
+        tracer.record("stream:" + pipe->name(), "serve",
+                      pipe->spanBeginMicros(), tracer.nowMicros());
+    if (ok)
+        CCM_LOG_INFO("stream '", pipe->name(), "' done (", qs.pushed,
+                     " records)");
+    else
+        CCM_LOG_WARN("stream '", pipe->name(),
+                     "' failed: ", pipe->status().toString());
 
     MutexLock lock(mu);
     active.erase(id);
-    if (pipe->state() == StreamState::Done)
+    if (ok)
         ++done_;
     else
         ++failed_;
@@ -342,6 +390,13 @@ ServeDaemon::statsDocument() const
 
     obs::JsonValue daemon = obs::JsonValue::object();
     daemon.set("generation", obs::JsonValue::uint(generation_));
+    daemon.set("config_generation", obs::JsonValue::uint(generation_));
+    daemon.set("version", obs::JsonValue::str(kCcmVersion));
+    daemon.set("uptime_seconds",
+               obs::JsonValue::real(
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - startTime_)
+                       .count()));
     daemon.set("arch", obs::JsonValue::str(runtime.arch));
     daemon.set("draining",
                obs::JsonValue::boolean(draining_.load()));
@@ -457,7 +512,17 @@ ServeDaemon::serveConnection(int fd, std::atomic<bool> *done_flag)
                 continue;
             break; // reset / reaper shutdown
         }
-        parser.feed(buf.data(), static_cast<std::size_t>(n), sink);
+        {
+            using namespace std::chrono;
+            const auto t0 = steady_clock::now();
+            parser.feed(buf.data(), static_cast<std::size_t>(n),
+                        sink);
+            serveMetrics().frameDecodeUs.observe(
+                static_cast<std::uint64_t>(
+                    duration_cast<microseconds>(steady_clock::now() -
+                                                t0)
+                        .count()));
+        }
 
         if (sink.pipe != nullptr) {
             sink.pipe->noteActivity();
@@ -504,6 +569,13 @@ ServeDaemon::reaperLoop()
     while (!stopAll.load()) {
         ::poll(nullptr, 0, static_cast<int>(opts.pollMs));
         MutexLock lock(mu);
+        std::size_t queued = 0;
+        for (const auto &[id, as] : active) {
+            (void)id;
+            queued += as.pipe->queue().depth();
+        }
+        serveMetrics().queueDepth.set(
+            static_cast<std::int64_t>(queued));
         for (auto &[id, as] : active) {
             (void)id;
             StreamPipeline &pipe = *as.pipe;
@@ -553,16 +625,29 @@ ServeDaemon::controlLoop()
 std::string
 ServeDaemon::runControlCommand(const std::string &command)
 {
+    serveMetrics().controlRequests.inc();
+    obs::ScopedSpan span("control:" + command, "control");
     if (command == "stats")
         return statsDocument().toString();
+    if (command == "metrics")
+        return obs::MetricsRegistry::global().prometheusText();
+    if (command == "metrics json") {
+        std::ostringstream os;
+        obs::writeDocument(os, obs::metricsDocument(),
+                           obs::StatsFormat::Json);
+        return os.str();
+    }
     if (command == "ping")
         return "pong\n";
     if (command == "drain") {
+        CCM_LOG_INFO("drain requested via control socket");
         requestDrain();
         return "ok\n";
     }
     if (command == "reload") {
         Status s = reload();
+        if (!s.isOk())
+            CCM_LOG_WARN("reload failed: ", s.toString());
         return s.isOk() ? "ok\n" : "error: " + s.toString() + "\n";
     }
     return "error: unknown command '" + command + "'\n";

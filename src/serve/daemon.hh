@@ -47,6 +47,7 @@
 #define CCM_SERVE_DAEMON_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -192,6 +193,10 @@ class ServeDaemon
     Mutex readersMu{LockRank::ServeDaemonReaders,
                     "serve-daemon-readers"};
     std::list<ReaderSlot> readers CCM_GUARDED_BY(readersMu);
+
+    /** For the stats document's uptime_seconds (reset by start()). */
+    std::chrono::steady_clock::time_point startTime_ =
+        std::chrono::steady_clock::now();
 
     std::atomic<bool> started_{false};
     std::atomic<bool> stopAll{false};

@@ -107,6 +107,14 @@ class RecordQueue
         return stats_;
     }
 
+    /** Records queued right now (the reaper's depth-gauge sample). */
+    std::size_t
+    depth() const CCM_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return count;
+    }
+
   private:
     /** Copy a contiguous run of @p n records in at the tail. */
     void enqueueRun(const MemRecord *recs, std::size_t n)

@@ -2,8 +2,11 @@
 
 #include <chrono>
 
+#include "common/log.hh"
 #include "hierarchy/memsys.hh"
 #include "obs/sink.hh"
+#include "obs/span.hh"
+#include "serve/telemetry.hh"
 
 namespace ccm::serve
 {
@@ -16,6 +19,15 @@ nowMillis()
 {
     using namespace std::chrono;
     return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::int64_t
+nowMicros()
+{
+    using namespace std::chrono;
+    return duration_cast<microseconds>(
                steady_clock::now().time_since_epoch())
         .count();
 }
@@ -36,6 +48,34 @@ frameStatsToJson(const FrameStats &fs)
 }
 
 } // namespace
+
+QueueSource::QueueSource(RecordQueue &queue, std::string label)
+    : q(queue), label_(std::move(label)),
+      classifyUs_(serveMetrics().batchClassifyUs),
+      classified_(serveMetrics().classifiedRecords)
+{
+}
+
+std::size_t
+QueueSource::nextBatch(MemRecord *out, std::size_t n)
+{
+    // The gap since the previous batch was handed out is the classify
+    // time of that batch; the blocking pop below is queue wait and
+    // deliberately not part of it.  An armed lastHandoffUs_ means the
+    // previous batch was the 1-in-N sample to time.
+    if (lastHandoffUs_ != 0) {
+        classifyUs_.observe(
+            static_cast<std::uint64_t>(nowMicros() - lastHandoffUs_));
+        lastHandoffUs_ = 0;
+    }
+
+    const std::size_t got = q.pop(out, n);
+
+    classified_.inc(got);
+    if (got > 0 && ++tick_ % kClassifySampleEvery == 0)
+        lastHandoffUs_ = nowMicros();
+    return got;
+}
 
 const char *
 toString(StreamState s)
@@ -59,6 +99,7 @@ StreamPipeline::StreamPipeline(std::uint64_t id, std::string name,
                                std::uint64_t generation_in)
     : id_(id), name_(std::move(name)), system(system_in),
       limits(limits_in), generation(generation_in),
+      spanBeginUs_(obs::SpanTracer::global().nowMicros()),
       q(limits_in.queueRecords, limits_in.policy)
 {
     lastActivityMs.store(nowMillis(), std::memory_order_relaxed);
@@ -161,6 +202,9 @@ StreamPipeline::refreshSnapshot(const MemStats &st)
 void
 StreamPipeline::runBody()
 {
+    LogStreamScope log_scope(id_);
+    CCM_LOG_DEBUG("stream '", name_, "': simulation thread started");
+
     if (limits.windowEvery > 0) {
         sampler =
             std::make_unique<obs::IntervalSampler>(limits.windowEvery);

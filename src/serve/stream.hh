@@ -39,6 +39,7 @@
 #include "obs/interval.hh"
 #include "obs/json.hh"
 #include "obs/live.hh"
+#include "obs/metrics.hh"
 #include "serve/frame.hh"
 #include "serve/queue.hh"
 #include "sim/experiment.hh"
@@ -79,14 +80,25 @@ enum class StreamState
 /** Stable lower-case name of @p s ("running", "done", ...). */
 const char *toString(StreamState s);
 
-/** TraceSource adapter over the stream queue (blocking pulls). */
+/**
+ * TraceSource adapter over the stream queue (blocking pulls).
+ *
+ * Also the serve layer's classify-latency probe: the wall time from
+ * one nextBatch() return to the next call is the time the simulation
+ * thread spent classifying that batch (queue wait inside pop() is
+ * excluded), observed into ccm_serve_batch_classify_us.  The probe is
+ * sampled — one in kClassifySampleEvery batches is gap-timed, so the
+ * steady-state cost is one relaxed add per batch plus two clock reads
+ * per sample window; the per-record classify path itself is untouched
+ * (bench/telemetry_overhead holds the total to < 2%).
+ */
 class QueueSource : public TraceSource
 {
   public:
-    QueueSource(RecordQueue &queue, std::string label)
-        : q(queue), label_(std::move(label))
-    {
-    }
+    /** 1-in-N batch sampling rate of the classify-latency probe. */
+    static constexpr unsigned kClassifySampleEvery = 8;
+
+    QueueSource(RecordQueue &queue, std::string label);
 
     bool
     next(MemRecord &out) override
@@ -94,11 +106,7 @@ class QueueSource : public TraceSource
         return q.pop(&out, 1) == 1;
     }
 
-    std::size_t
-    nextBatch(MemRecord *out, std::size_t n) override
-    {
-        return q.pop(out, n);
-    }
+    std::size_t nextBatch(MemRecord *out, std::size_t n) override;
 
     /** Streams are not replayable; reset is the start-of-run no-op. */
     void reset() override {}
@@ -108,6 +116,13 @@ class QueueSource : public TraceSource
   private:
     RecordQueue &q;
     std::string label_;
+
+    obs::Histogram &classifyUs_;
+    obs::Counter &classified_;
+    /** Batch counter driving the 1-in-N sampling. */
+    unsigned tick_ = 0;
+    /** Handoff time of the sampled batch (0 = none armed). */
+    std::int64_t lastHandoffUs_ = 0;
 };
 
 /** One stream: queue + simulation thread + live stats snapshot. */
@@ -171,6 +186,12 @@ class StreamPipeline
     /** Final output; valid only once state() == Done (tests). */
     const RunOutput &output() const CCM_EXCLUDES(mu);
 
+    /**
+     * SpanTracer::nowMicros() at admission — the daemon records one
+     * span per stream, from here to retirement.
+     */
+    std::uint64_t spanBeginMicros() const { return spanBeginUs_; }
+
   private:
     void runBody() CCM_EXCLUDES(mu);
 
@@ -182,6 +203,7 @@ class StreamPipeline
     const SystemConfig system;
     const StreamLimits limits;
     const std::uint64_t generation;
+    const std::uint64_t spanBeginUs_;
 
     RecordQueue q;
     std::thread simThread;

@@ -1,0 +1,43 @@
+#include "serve/telemetry.hh"
+
+namespace ccm::serve
+{
+
+ServeMetrics &
+serveMetrics()
+{
+    auto &reg = obs::MetricsRegistry::global();
+    static ServeMetrics metrics{
+        reg.counter("ccm_serve_streams_admitted_total",
+                    "Streams admitted at hello"),
+        reg.counter("ccm_serve_streams_refused_total",
+                    "Streams refused admission (drain or limit)"),
+        reg.counter("ccm_serve_streams_done_total",
+                    "Streams retired with a clean end frame"),
+        reg.counter("ccm_serve_streams_failed_total",
+                    "Streams retired failed"),
+        reg.counter("ccm_serve_records_total",
+                    "Records accepted into stream queues"),
+        reg.counter("ccm_serve_records_shed_total",
+                    "Records dropped by the Shed overflow policy"),
+        reg.counter("ccm_serve_classified_records_total",
+                    "Records pulled by stream simulation threads"),
+        reg.counter("ccm_serve_control_requests_total",
+                    "Control-socket requests handled"),
+        reg.counter("ccm_serve_reloads_total",
+                    "Successful config reloads"),
+        reg.gauge("ccm_serve_streams_active",
+                  "Streams admitted and not yet retired"),
+        reg.gauge("ccm_serve_queue_depth_records",
+                  "Records queued across active streams"),
+        reg.gauge("ccm_serve_config_generation",
+                  "Current configuration generation"),
+        reg.histogram("ccm_serve_frame_decode_us",
+                      "Frame parse time per ingest read (us)"),
+        reg.histogram("ccm_serve_batch_classify_us",
+                      "Classify time per queue batch (us)"),
+    };
+    return metrics;
+}
+
+} // namespace ccm::serve

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The serve layer's instruments in the process-wide metrics registry
+ * (docs/OBSERVABILITY.md "Metrics").  Every subsystem that updates a
+ * counter on a hot path resolves its instrument once through
+ * serveMetrics() and keeps the reference, so steady-state updates are
+ * single relaxed atomic adds and never touch the registry lock.
+ *
+ * Strictly observational: these counters mirror (never replace) the
+ * mutex-guarded daemon aggregates the stats document is built from.
+ */
+
+#ifndef CCM_SERVE_TELEMETRY_HH
+#define CCM_SERVE_TELEMETRY_HH
+
+#include "obs/metrics.hh"
+
+namespace ccm::serve
+{
+
+/** References into MetricsRegistry::global(), resolved once. */
+struct ServeMetrics
+{
+    obs::Counter &streamsAdmitted;
+    obs::Counter &streamsRefused;
+    obs::Counter &streamsDone;
+    obs::Counter &streamsFailed;
+    obs::Counter &records;
+    obs::Counter &recordsShed;
+    obs::Counter &classifiedRecords;
+    obs::Counter &controlRequests;
+    obs::Counter &reloads;
+    obs::Gauge &streamsActive;
+    obs::Gauge &queueDepth;
+    obs::Gauge &configGeneration;
+    obs::Histogram &frameDecodeUs;
+    obs::Histogram &batchClassifyUs;
+};
+
+/** The serve instruments (registered on first use, then cached). */
+ServeMetrics &serveMetrics();
+
+} // namespace ccm::serve
+
+#endif // CCM_SERVE_TELEMETRY_HH

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "hierarchy/memsys.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "workloads/registry.hh"
 
 namespace ccm
@@ -54,6 +56,16 @@ runSuiteCell(const std::string &name, const SuiteTraceFactory &factory,
              const SystemConfig &config,
              const SuiteInstrument &instrument)
 {
+    // Suite telemetry: one span and one wall-time sample per row,
+    // covering the sequential and thread-pool runners alike.
+    static obs::Histogram &row_wall_us =
+        obs::MetricsRegistry::global().histogram(
+            "ccm_suite_row_wall_us", "Suite row wall time (us)");
+    static obs::Counter &rows_total =
+        obs::MetricsRegistry::global().counter(
+            "ccm_suite_rows_total", "Suite rows executed");
+    obs::ScopedSpan span("row:" + name, "suite");
+
     const auto start = std::chrono::steady_clock::now();
     SuiteRow row;
     row.workload = name;
@@ -96,6 +108,9 @@ runSuiteCell(const std::string &name, const SuiteTraceFactory &factory,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    row_wall_us.observe(
+        static_cast<std::uint64_t>(row.wallSeconds * 1e6));
+    rows_total.inc();
     return row;
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/addr_types.hh"
 #include "common/bitutil.hh"
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/shutdown.hh"
@@ -592,4 +593,57 @@ TEST(ShutdownLatch, SecondLatchCannotStealTheHandlers)
 }
 
 } // namespace
+
+// ---- Structured logging --------------------------------------------
+
+TEST(Log, LevelNamesRoundTrip)
+{
+    for (LogLevel l : {LogLevel::Trace, LogLevel::Debug,
+                       LogLevel::Info, LogLevel::Warn,
+                       LogLevel::Error, LogLevel::Off}) {
+        auto parsed = parseLogLevel(toString(l));
+        ASSERT_TRUE(parsed.ok()) << toString(l);
+        EXPECT_EQ(parsed.value(), l);
+    }
+    EXPECT_FALSE(parseLogLevel("loud").ok());
+    EXPECT_FALSE(parseLogLevel("").ok());
+    EXPECT_FALSE(parseLogLevel("INFO").ok()); // lower-case contract
+}
+
+TEST(Log, ThresholdGatesLevels)
+{
+    const LogLevel saved = logThreshold();
+    setLogThreshold(LogLevel::Warn);
+    EXPECT_FALSE(logEnabled(LogLevel::Trace));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    setLogThreshold(LogLevel::Off);
+    EXPECT_FALSE(logEnabled(LogLevel::Error));
+    // Off is a threshold, never a message level.
+    EXPECT_FALSE(logEnabled(LogLevel::Off));
+    setLogThreshold(saved);
+}
+
+TEST(Log, ThreadIdsAreDenseAndStable)
+{
+    const int mine = logThreadId();
+    EXPECT_GE(mine, 0);
+    EXPECT_EQ(logThreadId(), mine); // stable within a thread
+
+    int other = -1;
+    std::thread t([&other] { other = logThreadId(); });
+    t.join();
+    EXPECT_GE(other, 0);
+    EXPECT_NE(other, mine);
+}
+
+TEST(Log, UptimeIsMonotonic)
+{
+    const double a = logUptimeSeconds();
+    const double b = logUptimeSeconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+}
+
 } // namespace ccm

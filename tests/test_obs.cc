@@ -7,13 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "hierarchy/memsys.hh"
 #include "mct/classify_run.hh"
 #include "obs/events.hh"
 #include "obs/interval.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/sink.hh"
 #include "sim/experiment.hh"
 #include "trace/vector_trace.hh"
@@ -448,4 +454,261 @@ TEST(ObsSink, BenchDocumentValidates)
     EXPECT_TRUE(s.isOk()) << s.toString();
     EXPECT_EQ(doc.at("table").at("headers").size(), 2u);
     EXPECT_EQ(doc.at("table").at("rows").size(), 1u);
+}
+
+// ---- Metrics: histogram bucket math --------------------------------
+
+TEST(ObsMetrics, HistogramBucketBoundaries)
+{
+    using H = obs::Histogram;
+    // Bucket i holds samples of bit width i: {0}, {1}, [2,3], [4,7]...
+    EXPECT_EQ(H::bucketIndex(0), 0u);
+    EXPECT_EQ(H::bucketIndex(1), 1u);
+    EXPECT_EQ(H::bucketIndex(2), 2u);
+    EXPECT_EQ(H::bucketIndex(3), 2u);
+    EXPECT_EQ(H::bucketIndex(4), 3u);
+    EXPECT_EQ(H::bucketIndex(7), 3u);
+    EXPECT_EQ(H::bucketIndex(8), 4u);
+    EXPECT_EQ(H::bucketIndex(~std::uint64_t{0}), 64u);
+
+    EXPECT_EQ(H::bucketLo(0), 0u);
+    EXPECT_EQ(H::bucketHi(0), 0u);
+    EXPECT_EQ(H::bucketLo(64), std::uint64_t{1} << 63);
+    EXPECT_EQ(H::bucketHi(64), ~std::uint64_t{0});
+
+    // Every bucket's bounds map back into that bucket, and buckets
+    // tile the uint64 range with no gap or overlap.
+    for (std::size_t i = 0; i < H::kBuckets; ++i) {
+        EXPECT_EQ(H::bucketIndex(H::bucketLo(i)), i) << i;
+        EXPECT_EQ(H::bucketIndex(H::bucketHi(i)), i) << i;
+        if (i > 0)
+            EXPECT_EQ(H::bucketLo(i), H::bucketHi(i - 1) + 1) << i;
+    }
+}
+
+TEST(ObsMetrics, HistogramPercentileGoldens)
+{
+    obs::Histogram h;
+    // Empty: every percentile is 0 by definition.
+    EXPECT_DOUBLE_EQ(h.snapshot().percentile(0.5), 0.0);
+
+    // Five samples of 10 land in bucket 4 ([8,15]).  rank =
+    // ceil(q*5), interpolated lo + (hi-lo)*rank/n within the bucket.
+    for (int i = 0; i < 5; ++i)
+        h.observe(10);
+    obs::Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_EQ(s.sum, 50u);
+    EXPECT_DOUBLE_EQ(s.percentile(0.50), 8.0 + 7.0 * 3.0 / 5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 15.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.00), 15.0);
+
+    // Uniform 1..100: p50's rank-50 sample sits in bucket 6 ([32,63],
+    // 32 samples, 31 before it), 19 deep.
+    obs::Histogram u;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        u.observe(v);
+    obs::Histogram::Snapshot us = u.snapshot();
+    EXPECT_EQ(us.count, 100u);
+    EXPECT_DOUBLE_EQ(us.percentile(0.50),
+                     32.0 + (63.0 - 32.0) * 19.0 / 32.0);
+
+    // A single zero sample collapses to the point bucket.
+    obs::Histogram z;
+    z.observe(0);
+    EXPECT_DOUBLE_EQ(z.snapshot().percentile(0.5), 0.0);
+}
+
+// ---- Metrics: registry ---------------------------------------------
+
+TEST(ObsMetrics, RegistryReturnsStableInstruments)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &a = reg.counter("t_hits_total", "hits");
+    obs::Counter &b = reg.counter("t_hits_total", "hits");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.size(), 1u);
+    a.inc();
+    b.inc(2);
+    EXPECT_EQ(a.value(), 3u);
+
+    obs::Gauge &g = reg.gauge("t_depth", "depth");
+    g.set(5);
+    g.add(-7);
+    EXPECT_EQ(g.value(), -2);
+    EXPECT_EQ(reg.size(), 2u);
+
+    // Re-registering a name as a different type — or registering a
+    // name outside the Prometheus charset — is a programmer error:
+    // ccm_panic, which aborts (it is a bug, not input).
+    EXPECT_DEATH(reg.gauge("t_hits_total", "no"), "re-registered");
+    EXPECT_DEATH(reg.counter("bad name", "no"), "invalid metric name");
+}
+
+TEST(ObsMetrics, PrometheusExpositionGolden)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("t_requests_total", "Total requests").inc(3);
+    reg.gauge("t_depth", "Queue depth").set(-2);
+    obs::Histogram &h = reg.histogram("t_lat_us", "Latency");
+    h.observe(0);
+    h.observe(5);
+    h.observe(5);
+    h.observe(100);
+
+    // Pinned byte-for-byte: Prometheus text exposition v0.0.4 with
+    // cumulative buckets up to the highest occupied one, then +Inf.
+    EXPECT_EQ(reg.prometheusText(),
+              "# HELP t_requests_total Total requests\n"
+              "# TYPE t_requests_total counter\n"
+              "t_requests_total 3\n"
+              "# HELP t_depth Queue depth\n"
+              "# TYPE t_depth gauge\n"
+              "t_depth -2\n"
+              "# HELP t_lat_us Latency\n"
+              "# TYPE t_lat_us histogram\n"
+              "t_lat_us_bucket{le=\"0\"} 1\n"
+              "t_lat_us_bucket{le=\"1\"} 1\n"
+              "t_lat_us_bucket{le=\"3\"} 1\n"
+              "t_lat_us_bucket{le=\"7\"} 3\n"
+              "t_lat_us_bucket{le=\"15\"} 3\n"
+              "t_lat_us_bucket{le=\"31\"} 3\n"
+              "t_lat_us_bucket{le=\"63\"} 3\n"
+              "t_lat_us_bucket{le=\"127\"} 4\n"
+              "t_lat_us_bucket{le=\"+Inf\"} 4\n"
+              "t_lat_us_sum 110\n"
+              "t_lat_us_count 4\n");
+}
+
+TEST(ObsMetrics, MetricsDocumentValidatesAndRejectsTampering)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("t_total", "a counter").inc(7);
+    obs::Histogram &h = reg.histogram("t_us", "a histogram");
+    h.observe(1);
+    h.observe(1000);
+
+    JsonValue doc = obs::metricsDocument(reg);
+    EXPECT_EQ(doc.at("kind").asString(), "metrics");
+    Status ok = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(ok.isOk()) << ok.toString();
+
+    // Survives the on-disk round trip.
+    auto reparsed = JsonValue::parse(doc.toString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_TRUE(obs::validateStatsDoc(reparsed.value()).isOk());
+
+    // An unknown instrument type is rejected...
+    JsonValue bad_type = doc;
+    JsonValue metrics = bad_type.at("metrics");
+    JsonValue first = metrics.elements()[0];
+    first.set("type", JsonValue::str("bogus"));
+    JsonValue patched = JsonValue::array();
+    patched.push(std::move(first));
+    patched.push(metrics.elements()[1]);
+    bad_type.set("metrics", std::move(patched));
+    EXPECT_FALSE(obs::validateStatsDoc(bad_type).isOk());
+
+    // ... and so is a histogram whose buckets disagree with count.
+    JsonValue torn = doc;
+    JsonValue arr = torn.at("metrics");
+    JsonValue hist = arr.elements()[1];
+    hist.set("count", JsonValue::uint(hist.at("count").asU64() + 1));
+    JsonValue arr2 = JsonValue::array();
+    arr2.push(arr.elements()[0]);
+    arr2.push(std::move(hist));
+    torn.set("metrics", std::move(arr2));
+    EXPECT_FALSE(obs::validateStatsDoc(torn).isOk());
+}
+
+TEST(ObsMetrics, RegistryConcurrencyIsRaceFree)
+{
+    // TSan gate: concurrent registration of the same names plus hot
+    // instrument updates from many threads.
+    obs::MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            obs::Counter &c = reg.counter("t_conc_total", "x");
+            obs::Histogram &h = reg.histogram("t_conc_us", "x");
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                c.inc();
+                h.observe(i & 1023);
+            }
+            (void)reg.prometheusText(); // render while racing
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(reg.size(), 2u);
+    obs::Counter &c = reg.counter("t_conc_total", "x");
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    obs::Histogram::Snapshot s =
+        reg.histogram("t_conc_us", "x").snapshot();
+    EXPECT_EQ(s.count, kThreads * kPerThread);
+}
+
+// ---- Span tracing --------------------------------------------------
+
+TEST(ObsSpan, DisabledTracerRecordsNothing)
+{
+    obs::SpanTracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    tracer.record("x", "test", 0, 1);
+    {
+        obs::ScopedSpan span(tracer, "scoped", "test");
+    }
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    EXPECT_TRUE(tracer.flush().isOk()); // no path: a clean no-op
+}
+
+TEST(ObsSpan, TraceJsonIsWellFormedChromeTraceEvents)
+{
+    const std::string path =
+        ::testing::TempDir() + "ccm_spans_test.json";
+    obs::SpanTracer tracer;
+    ASSERT_TRUE(tracer.enableToFile(path).isOk());
+    ASSERT_TRUE(tracer.enabled());
+
+    const std::uint64_t t0 = tracer.nowMicros();
+    tracer.record("alpha", "suite", t0, t0 + 25);
+    {
+        obs::ScopedSpan span(tracer, "beta", "serve");
+    }
+    EXPECT_EQ(tracer.size(), 2u);
+
+    auto parsed = obs::JsonValue::parse(tracer.traceJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const JsonValue &doc = parsed.value();
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_EQ(events.size(), 2u);
+    for (const auto &e : events.elements()) {
+        EXPECT_TRUE(e.at("name").isString());
+        EXPECT_TRUE(e.at("cat").isString());
+        EXPECT_EQ(e.at("ph").asString(), "X");
+        EXPECT_TRUE(e.at("ts").isNumber());
+        EXPECT_TRUE(e.at("dur").isNumber());
+        EXPECT_FALSE(e.at("pid").isNull());
+        EXPECT_FALSE(e.at("tid").isNull());
+    }
+    EXPECT_EQ(events.elements()[0].at("name").asString(), "alpha");
+    EXPECT_EQ(events.elements()[0].at("dur").asU64(), 25u);
+    EXPECT_EQ(doc.at("ccm").at("dropped_spans").asU64(), 0u);
+
+    // flush() writes the same document to the enable-time path and
+    // is non-destructive.
+    ASSERT_TRUE(tracer.flush().isOk());
+    std::ifstream in(path);
+    std::stringstream file;
+    file << in.rdbuf();
+    auto reread = obs::JsonValue::parse(file.str());
+    ASSERT_TRUE(reread.ok()) << reread.status().toString();
+    EXPECT_EQ(reread.value().at("traceEvents").size(), 2u);
+    EXPECT_EQ(tracer.size(), 2u);
+    std::remove(path.c_str());
 }

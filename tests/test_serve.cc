@@ -969,3 +969,62 @@ TEST(ServeClient, ConnectRetriesThenReportsAttempts)
               std::string::npos)
         << c.status().toString();
 }
+
+TEST(ServeDaemon, MetricsCommandServesTelemetry)
+{
+    serve::ServeOptions o = daemonOptions("met");
+    serve::ServeDaemon daemon(o);
+    ASSERT_TRUE(daemon.start().isOk());
+
+    // Three concurrent producers so the scraped instruments reflect
+    // real multi-stream traffic (the acceptance shape).
+    std::vector<std::thread> producers;
+    for (int i = 0; i < 3; ++i) {
+        producers.emplace_back([&o, i] {
+            produceClean(o.socketPath,
+                         "met-" + std::to_string(i), "go", 4000,
+                         static_cast<std::uint64_t>(i) + 1);
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    ASSERT_TRUE(waitFor([&] {
+        return counter(daemon, "streams_done") >= 3;
+    }));
+
+    // Prometheus text exposition over the control socket.
+    auto text = serve::controlRequest(o.controlPath, "metrics");
+    ASSERT_TRUE(text.ok()) << text.status().toString();
+    for (const char *needle :
+         {"# TYPE ccm_serve_streams_admitted_total counter",
+          "# TYPE ccm_serve_batch_classify_us histogram",
+          "ccm_serve_batch_classify_us_bucket{le=\"+Inf\"}",
+          "ccm_serve_frame_decode_us_count"})
+        EXPECT_NE(text.value().find(needle), std::string::npos)
+            << needle;
+
+    // The JSON rendering is a valid kind:"metrics" ccm-stats doc.
+    auto json = serve::controlRequest(o.controlPath, "metrics json");
+    ASSERT_TRUE(json.ok()) << json.status().toString();
+    auto parsed = JsonValue::parse(json.value());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const JsonValue &doc = parsed.value();
+    EXPECT_EQ(doc.at("kind").asString(), "metrics");
+    Status valid = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(valid.isOk()) << valid.toString();
+
+    // The serve instruments saw this test's traffic (the registry is
+    // process-global, so compare with >=, not ==).
+    std::uint64_t admitted = 0, classify_count = 0;
+    for (const auto &m : doc.at("metrics").elements()) {
+        const std::string &name = m.at("name").asString();
+        if (name == "ccm_serve_streams_admitted_total")
+            admitted = m.at("value").asU64();
+        else if (name == "ccm_serve_batch_classify_us")
+            classify_count = m.at("count").asU64();
+    }
+    EXPECT_GE(admitted, 3u);
+    EXPECT_GE(classify_count, 1u);
+
+    daemon.drainAndStop();
+}

@@ -1,7 +1,8 @@
 /**
  * @file
  * ccm-report — render and validate ccm-stats documents written by
- * ccm-sim --stats-json (and the bench binaries' BENCH_*.json files).
+ * ccm-sim --stats-json, the ccm-serve control socket ("stats",
+ * "metrics json"), and the bench binaries' BENCH_*.json files.
  *
  *   ccm-report out.json               human-readable report
  *   ccm-report --top 16 out.json      more hot sets
@@ -20,7 +21,9 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/log.hh"
 #include "common/table.hh"
 #include "obs/json.hh"
 #include "obs/sink.hh"
@@ -191,8 +194,8 @@ renderSuite(const JsonValue &doc)
 
     for (const JsonValue &row : doc.at("rows").elements()) {
         if (const JsonValue *err = row.get("error"))
-            std::cerr << "error: " << row.at("workload").asString()
-                      << ": " << err->asString() << "\n";
+            CCM_LOG_ERROR(row.at("workload").asString(), ": ",
+                          err->asString());
     }
 }
 
@@ -238,9 +241,63 @@ renderServe(const JsonValue &doc)
 
     for (const JsonValue &s : doc.at("streams").elements()) {
         if (const JsonValue *err = s.get("error"))
-            std::cerr << "error: " << s.at("name").asString() << ": "
-                      << err->asString() << "\n";
+            CCM_LOG_ERROR(s.at("name").asString(), ": ",
+                          err->asString());
     }
+}
+
+void
+renderBench(const JsonValue &doc)
+{
+    const JsonValue &table = doc.at("table");
+    const JsonValue &headers = table.at("headers");
+    std::vector<std::string> head;
+    for (const JsonValue &h : headers.elements())
+        head.push_back(h.asString());
+    TextTable t(head);
+    for (const JsonValue &row : table.at("rows").elements()) {
+        std::vector<std::string> cells;
+        for (const JsonValue &c : row.elements())
+            cells.push_back(c.asString());
+        if (cells.empty())
+            continue;
+        std::size_t r = t.addRow(cells[0]);
+        for (std::size_t c = 1; c < cells.size(); ++c)
+            t.set(r, c, cells[c]);
+    }
+    t.print(std::cout);
+    if (const JsonValue *note = doc.get("note")) {
+        if (note->isString() && !note->asString().empty())
+            std::cout << note->asString() << "\n";
+    }
+}
+
+void
+renderMetrics(const JsonValue &doc)
+{
+    TextTable t({"metric", "type", "value", "p50", "p95", "p99"});
+    for (const JsonValue &m : doc.at("metrics").elements()) {
+        std::size_t r = t.addRow(m.at("name").asString());
+        const std::string &type = m.at("type").asString();
+        t.set(r, 1, type);
+        if (type == "histogram") {
+            t.set(r, 2,
+                  u64str(m.at("count")) + " obs, sum " +
+                      u64str(m.at("sum")));
+            t.set(r, 3, num(m.at("p50").asDouble(), 1));
+            t.set(r, 4, num(m.at("p95").asDouble(), 1));
+            t.set(r, 5, num(m.at("p99").asDouble(), 1));
+        } else {
+            t.set(r, 2,
+                  type == "counter"
+                      ? u64str(m.at("value"))
+                      : std::to_string(m.at("value").asI64()));
+            t.set(r, 3, "-");
+            t.set(r, 4, "-");
+            t.set(r, 5, "-");
+        }
+    }
+    t.print(std::cout);
 }
 
 } // namespace
@@ -264,23 +321,23 @@ main(int argc, char **argv)
             flat = true;
         } else if (a == "--top") {
             if (i + 1 >= argc) {
-                std::cerr << "--top needs a value\n";
+                CCM_LOG_ERROR("--top needs a value");
                 return 1;
             }
             top_n = std::strtoull(argv[++i], nullptr, 10);
         } else if (!a.empty() && a[0] == '-' && a != "-") {
-            std::cerr << "unknown option '" << a << "'\n";
+            CCM_LOG_ERROR("unknown option '", a, "'");
             usage();
             return 1;
         } else if (path.empty()) {
             path = a;
         } else {
-            std::cerr << "only one FILE argument is accepted\n";
+            CCM_LOG_ERROR("only one FILE argument is accepted");
             return 1;
         }
     }
     if (path.empty()) {
-        std::cerr << "missing FILE argument\n";
+        CCM_LOG_ERROR("missing FILE argument");
         usage();
         return 1;
     }
@@ -293,7 +350,7 @@ main(int argc, char **argv)
     } else {
         std::ifstream in(path);
         if (!in) {
-            std::cerr << "error: cannot open '" << path << "'\n";
+            CCM_LOG_ERROR("cannot open '", path, "'");
             return 1;
         }
         std::ostringstream buf;
@@ -305,14 +362,14 @@ main(int argc, char **argv)
     // concurrent writers), not schema violations: exit 1.
     ccm::Expected<JsonValue> parsed = JsonValue::parse(text);
     if (!parsed.ok()) {
-        std::cerr << "error: " << parsed.status().toString() << "\n";
+        CCM_LOG_ERROR(parsed.status().toString());
         return 1;
     }
     const JsonValue &doc = parsed.value();
 
     ccm::Status valid = ccm::obs::validateStatsDoc(doc);
     if (!valid.isOk()) {
-        std::cerr << "error: " << valid.toString() << "\n";
+        CCM_LOG_ERROR(valid.toString());
         return 2;
     }
     if (check_only) {
@@ -340,9 +397,22 @@ main(int argc, char **argv)
         std::cout << "== ccm-report: ccm-serve on "
                   << daemon.at("arch").asString() << " ==\n";
         renderServe(doc);
-    } else {
+    } else if (kind == "suite") {
         std::cout << "== ccm-report: suite on " << arch << " ==\n";
         renderSuite(doc);
+    } else if (kind == "bench") {
+        std::cout << "== ccm-report: bench "
+                  << doc.at("bench").asString() << " ==\n";
+        renderBench(doc);
+    } else if (kind == "metrics") {
+        std::cout << "== ccm-report: metrics ==\n";
+        renderMetrics(doc);
+    } else {
+        // validateStatsDoc rejects unknown kinds, so this is a new
+        // kind this renderer predates: say so rather than guessing.
+        CCM_LOG_ERROR("no renderer for document kind '", kind,
+                      "' (try --flat)");
+        return 2;
     }
     return 0;
 }

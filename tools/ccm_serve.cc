@@ -9,6 +9,7 @@
  * (tools/ccm-stream, or the ServeClient library); each stream runs on
  * its own bounded simulation pipeline.  The control socket answers
  * one-line commands: "stats" (live kind:"serve" ccm-stats JSON),
+ * "metrics" (Prometheus text), "metrics json" (kind:"metrics" JSON),
  * "drain", "reload", "ping".
  *
  * Signals: SIGTERM/SIGINT start a graceful drain (grace period for
@@ -29,8 +30,10 @@
 
 #include <poll.h>
 
+#include "common/log.hh"
 #include "common/shutdown.hh"
 #include "obs/sink.hh"
+#include "obs/span.hh"
 #include "serve/daemon.hh"
 
 namespace
@@ -59,7 +62,11 @@ usage()
         "  --window-samples N     rolling-window samples kept\n"
         "  --defect-budget N      frame defects tolerated per stream\n"
         "  --stats-out FILE       write the final stats document on\n"
-        "                         exit (\"-\" = stdout)\n";
+        "                         exit (\"-\" = stdout)\n"
+        "  --trace-spans FILE     write a Chrome trace-event JSON of\n"
+        "                         stream/control spans on exit\n"
+        "  --log-level L          trace|debug|info|warn|error|off\n"
+        "                         (default $CCM_LOG_LEVEL or info)\n";
 }
 
 std::uint64_t
@@ -68,7 +75,7 @@ parseNum(const char *flag, const char *text)
     char *end = nullptr;
     const std::uint64_t v = std::strtoull(text, &end, 10);
     if (end == text || *end != '\0') {
-        std::cerr << flag << " needs a number, got '" << text << "'\n";
+        CCM_LOG_ERROR(flag, " needs a number, got '", text, "'");
         std::exit(1);
     }
     return v;
@@ -81,13 +88,14 @@ main(int argc, char **argv)
 {
     serve::ServeOptions opts;
     std::string statsOut;
+    std::string traceSpans;
     std::string archOverride;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto val = [&]() -> const char * {
             if (i + 1 >= argc) {
-                std::cerr << a << " needs a value\n";
+                CCM_LOG_ERROR(a, " needs a value");
                 std::exit(1);
             }
             return argv[++i];
@@ -120,7 +128,7 @@ main(int argc, char **argv)
         } else if (a == "--policy") {
             auto p = serve::parseOverflowPolicy(val());
             if (!p.ok()) {
-                std::cerr << p.status().toString() << "\n";
+                CCM_LOG_ERROR(p.status().toString());
                 return 1;
             }
             opts.runtime.limits.policy = p.value();
@@ -135,23 +143,40 @@ main(int argc, char **argv)
                 parseNum("--defect-budget", val());
         } else if (a == "--stats-out") {
             statsOut = val();
+        } else if (a == "--trace-spans") {
+            traceSpans = val();
+        } else if (a == "--log-level") {
+            auto lvl = parseLogLevel(val());
+            if (!lvl.ok()) {
+                CCM_LOG_ERROR(lvl.status().toString());
+                return 1;
+            }
+            setLogThreshold(lvl.value());
         } else {
-            std::cerr << "unknown option '" << a << "'\n";
+            CCM_LOG_ERROR("unknown option '", a, "'");
             usage();
             return 1;
         }
     }
 
     if (opts.socketPath.empty()) {
-        std::cerr << "--socket is required\n";
+        CCM_LOG_ERROR("--socket is required");
         usage();
         return 1;
+    }
+
+    if (!traceSpans.empty()) {
+        Status ts = obs::SpanTracer::global().enableToFile(traceSpans);
+        if (!ts.isOk()) {
+            CCM_LOG_ERROR(ts.toString());
+            return 1;
+        }
     }
 
     if (!opts.configPath.empty()) {
         auto cfg = serve::loadServeConfig(opts.configPath);
         if (!cfg.ok()) {
-            std::cerr << "error: " << cfg.status().toString() << "\n";
+            CCM_LOG_ERROR(cfg.status().toString());
             return 1;
         }
         opts.runtime = cfg.take();
@@ -159,7 +184,7 @@ main(int argc, char **argv)
     if (!archOverride.empty()) {
         auto sys = serve::buildArchConfig(archOverride);
         if (!sys.ok()) {
-            std::cerr << "error: " << sys.status().toString() << "\n";
+            CCM_LOG_ERROR(sys.status().toString());
             return 1;
         }
         opts.runtime.arch = archOverride;
@@ -171,14 +196,14 @@ main(int argc, char **argv)
     ShutdownLatch latch;
     Status sig = latch.installSignalHandlers(SIGTERM, SIGINT, SIGHUP);
     if (!sig.isOk()) {
-        std::cerr << "error: " << sig.toString() << "\n";
+        CCM_LOG_ERROR(sig.toString());
         return 1;
     }
 
     serve::ServeDaemon daemon(opts);
     Status started = daemon.start();
     if (!started.isOk()) {
-        std::cerr << "error: " << started.toString() << "\n";
+        CCM_LOG_ERROR(started.toString());
         return 1;
     }
     std::cout << "ccm-serve: listening on " << opts.socketPath;
@@ -190,12 +215,8 @@ main(int argc, char **argv)
         if (latch.takeReloadRequest()) {
             latch.drainWake();
             Status s = daemon.reload();
-            if (s.isOk())
-                std::cerr << "ccm-serve: configuration reloaded "
-                             "(generation "
-                          << daemon.generation() << ")\n";
-            else
-                std::cerr << "ccm-serve: " << s.toString() << "\n";
+            if (!s.isOk())
+                CCM_LOG_WARN(s.toString());
             continue;
         }
         pollfd pf{};
@@ -204,15 +225,18 @@ main(int argc, char **argv)
         ::poll(&pf, 1, 200);
     }
 
-    std::cerr << "ccm-serve: draining...\n";
+    CCM_LOG_INFO("draining...");
     daemon.drainAndStop();
 
     if (!statsOut.empty()) {
         Status ws = obs::writeDocumentToFile(
             statsOut, daemon.statsDocument(), obs::StatsFormat::Json);
         if (!ws.isOk())
-            std::cerr << "ccm-serve: " << ws.toString() << "\n";
+            CCM_LOG_ERROR(ws.toString());
     }
-    std::cerr << "ccm-serve: drained, exiting\n";
+    Status fs = obs::SpanTracer::global().flush();
+    if (!fs.isOk())
+        CCM_LOG_ERROR(fs.toString());
+    CCM_LOG_INFO("drained, exiting");
     return 0;
 }

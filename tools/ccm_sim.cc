@@ -27,12 +27,14 @@
 #include <memory>
 #include <string>
 
+#include "common/log.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "hierarchy/memsys.hh"
 #include "obs/events.hh"
 #include "obs/interval.hh"
 #include "obs/sink.hh"
+#include "obs/span.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 #include "trace/file_trace.hh"
@@ -86,6 +88,7 @@ struct Options
 
     // structured stats output
     std::string statsOut;
+    std::string traceSpans;
     obs::StatsFormat statsFormat = obs::StatsFormat::Json;
     std::size_t interval = 0;     ///< refs per sample; 0 = off
     std::size_t traceEvents = 0;  ///< max recorded events; 0 = off
@@ -153,7 +156,7 @@ emitStatsDoc(const Options &o, obs::JsonValue doc)
     Status s =
         obs::writeDocumentToFile(o.statsOut, doc, o.statsFormat);
     if (!s.isOk()) {
-        std::cerr << "error: " << s.toString() << "\n";
+        CCM_LOG_ERROR(s.toString());
         return 1;
     }
     return 0;
@@ -203,7 +206,12 @@ usage()
         "  --interval N               sample delta-counters every N\n"
         "                             refs into the stats document\n"
         "  --trace-events N           record up to N MCT lookup events\n"
-        "                             into the stats document\n";
+        "                             into the stats document\n"
+        "  --trace-spans FILE         write a Chrome trace-event JSON\n"
+        "                             of run/row spans on exit\n"
+        "  --log-level L              trace|debug|info|warn|error|off\n"
+        "                             (default $CCM_LOG_LEVEL or "
+        "info)\n";
 }
 
 ConflictFilter
@@ -217,7 +225,7 @@ parseFilter(const std::string &f)
         return ConflictFilter::And;
     if (f == "or")
         return ConflictFilter::Or;
-    std::cerr << "unknown filter '" << f << "'\n";
+    CCM_LOG_ERROR("unknown filter '", f, "'");
     std::exit(1);
 }
 
@@ -236,7 +244,7 @@ parseExcludeAlgo(const std::string &a)
         return ExcludeAlgo::CapacityHistory;
     if (a == "conf-hist")
         return ExcludeAlgo::ConflictHistory;
-    std::cerr << "unknown exclusion algorithm '" << a << "'\n";
+    CCM_LOG_ERROR("unknown exclusion algorithm '", a, "'");
     std::exit(1);
 }
 
@@ -265,7 +273,7 @@ buildConfig(const Options &o)
     } else if (o.arch == "amb") {
         cfg = ambConfig(o.ambVictim, o.ambPrefetch, o.ambExclude);
     } else {
-        std::cerr << "unknown arch '" << o.arch << "'\n";
+        CCM_LOG_ERROR("unknown arch '", o.arch, "'");
         std::exit(1);
     }
 
@@ -283,6 +291,7 @@ buildConfig(const Options &o)
 int
 runSuiteMode(const Options &o)
 {
+    obs::ScopedSpan span("suite:" + o.arch, "sim");
     SystemConfig cfg = buildConfig(o);
 
     TraceReadOptions ropts;
@@ -356,7 +365,7 @@ runSuiteMode(const Options &o)
 
     for (const auto &row : report.rows) {
         if (!row.ok())
-            std::cerr << "error: " << row.status.toString() << "\n";
+            CCM_LOG_ERROR(row.status.toString());
     }
     std::cout << report.rows.size() - report.failures() << "/"
               << report.rows.size() << " runs ok, "
@@ -388,7 +397,7 @@ main(int argc, char **argv)
         std::string a = argv[i];
         auto val = [&]() -> std::string {
             if (i + 1 >= argc) {
-                std::cerr << a << " needs a value\n";
+                CCM_LOG_ERROR(a, " needs a value");
                 std::exit(1);
             }
             return argv[++i];
@@ -459,13 +468,13 @@ main(int argc, char **argv)
             // other file stale without anyone noticing.
             const std::string target = val();
             if (!o.statsOut.empty() && o.statsOut != target) {
-                std::cerr << ccm::Status::badConfig(
-                                 "conflicting stats targets '",
-                                 o.statsOut, "' and '", target,
-                                 "' (use one --stats-json/--stats-out "
-                                 "destination)")
-                                 .toString()
-                          << "\n";
+                CCM_LOG_ERROR(
+                    ccm::Status::badConfig(
+                        "conflicting stats targets '", o.statsOut,
+                        "' and '", target,
+                        "' (use one --stats-json/--stats-out "
+                        "destination)")
+                        .toString());
                 return 1;
             }
             o.statsOut = target;
@@ -474,7 +483,7 @@ main(int argc, char **argv)
         } else if (a == "--stats-format") {
             auto f = ccm::obs::parseStatsFormat(val());
             if (!f.ok()) {
-                std::cerr << f.status().toString() << "\n";
+                CCM_LOG_ERROR(f.status().toString());
                 return 1;
             }
             o.statsFormat = f.value();
@@ -482,8 +491,17 @@ main(int argc, char **argv)
             o.interval = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--trace-events") {
             o.traceEvents = std::strtoull(val().c_str(), nullptr, 10);
+        } else if (a == "--trace-spans") {
+            o.traceSpans = val();
+        } else if (a == "--log-level") {
+            auto lvl = ccm::parseLogLevel(val());
+            if (!lvl.ok()) {
+                CCM_LOG_ERROR(lvl.status().toString());
+                return 1;
+            }
+            ccm::setLogThreshold(lvl.value());
         } else {
-            std::cerr << "unknown option '" << a << "'\n";
+            CCM_LOG_ERROR("unknown option '", a, "'");
             usage();
             return 1;
         }
@@ -491,8 +509,21 @@ main(int argc, char **argv)
 
     using namespace ccm;
 
-    if (o.suite)
-        return runSuiteMode(o);
+    if (!o.traceSpans.empty()) {
+        Status ts = obs::SpanTracer::global().enableToFile(o.traceSpans);
+        if (!ts.isOk()) {
+            CCM_LOG_ERROR(ts.toString());
+            return 1;
+        }
+    }
+
+    if (o.suite) {
+        const int rc = runSuiteMode(o);
+        Status fs = obs::SpanTracer::global().flush();
+        if (!fs.isOk())
+            CCM_LOG_ERROR(fs.toString());
+        return rc;
+    }
 
     std::unique_ptr<TraceSource> src;
     if (!o.tracePath.empty()) {
@@ -500,17 +531,20 @@ main(int argc, char **argv)
     } else {
         src = makeWorkload(o.workload, o.refs, o.seed);
         if (!src) {
-            std::cerr << "unknown workload '" << o.workload
-                      << "' (try --list)\n";
+            CCM_LOG_ERROR("unknown workload '", o.workload,
+                          "' (try --list)");
             return 1;
         }
     }
 
     SystemConfig cfg = buildConfig(o);
     RunObservers obsv = makeObservers(o);
-    RunOutput r = runTiming(*src, cfg, [&](MemorySystem &mem) {
-        obsv.attach(mem);
-    });
+    RunOutput r = [&] {
+        obs::ScopedSpan span("run:" + src->name(), "sim");
+        return runTiming(*src, cfg, [&](MemorySystem &mem) {
+            obsv.attach(mem);
+        });
+    }();
     obsv.finish(r.mem);
     const MemStats &m = r.mem;
 
@@ -545,11 +579,15 @@ main(int argc, char **argv)
         m.dump(std::cout);
     }
 
+    int rc = 0;
     if (!o.statsOut.empty()) {
         obs::JsonValue doc = obs::runDocument(
             src->name(), r, obsv.sampler.get(), obsv.events.get());
         doc.set("arch", obs::JsonValue::str(o.arch));
-        return emitStatsDoc(o, std::move(doc));
+        rc = emitStatsDoc(o, std::move(doc));
     }
-    return 0;
+    Status fs = obs::SpanTracer::global().flush();
+    if (!fs.isOk())
+        CCM_LOG_ERROR(fs.toString());
+    return rc;
 }

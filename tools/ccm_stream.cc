@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "serve/client.hh"
 #include "serve/frame.hh"
 #include "trace/fault_trace.hh"
@@ -77,7 +78,7 @@ parseNum(const char *flag, const char *text)
     char *end = nullptr;
     const std::uint64_t v = std::strtoull(text, &end, 10);
     if (end == text || *end != '\0') {
-        std::cerr << flag << " needs a number, got '" << text << "'\n";
+        CCM_LOG_ERROR(flag, " needs a number, got '", text, "'");
         std::exit(1);
     }
     return v;
@@ -89,8 +90,8 @@ parseRate(const char *flag, const char *text)
     char *end = nullptr;
     const double v = std::strtod(text, &end);
     if (end == text || *end != '\0' || v < 0.0 || v > 1.0) {
-        std::cerr << flag << " needs a rate in [0,1], got '" << text
-                  << "'\n";
+        CCM_LOG_ERROR(flag, " needs a rate in [0,1], got '", text,
+                      "'");
         std::exit(1);
     }
     return v;
@@ -121,7 +122,7 @@ runControl(const Options &o)
     auto reply = serve::controlRequest(o.controlPath, o.command,
                                        o.client);
     if (!reply.ok()) {
-        std::cerr << "error: " << reply.status().toString() << "\n";
+        CCM_LOG_ERROR(reply.status().toString());
         return 2;
     }
     std::cout << reply.value();
@@ -137,14 +138,14 @@ runProducer(const Options &o)
     if (!o.tracePath.empty()) {
         auto rd = TraceFileReader::open(o.tracePath);
         if (!rd.ok()) {
-            std::cerr << "error: " << rd.status().toString() << "\n";
+            CCM_LOG_ERROR(rd.status().toString());
             return 2;
         }
         base = std::unique_ptr<TraceSource>(rd.take().release());
     } else {
         base = makeWorkload(o.workload, o.refs, o.seed);
         if (!base) {
-            std::cerr << "unknown workload '" << o.workload << "'\n";
+            CCM_LOG_ERROR("unknown workload '", o.workload, "'");
             return 1;
         }
     }
@@ -159,8 +160,7 @@ runProducer(const Options &o)
     auto connected =
         serve::ServeClient::connect(o.socketPath, o.name, o.client);
     if (!connected.ok()) {
-        std::cerr << "error: " << connected.status().toString()
-                  << "\n";
+        CCM_LOG_ERROR(connected.status().toString());
         return 2;
     }
     serve::ServeClient client = connected.take();
@@ -188,7 +188,7 @@ runProducer(const Options &o)
             std::vector<std::uint8_t> junk(o.corruptBytes, 0xa5);
             Status s = client.sendRawBytes(junk.data(), junk.size());
             if (!s.isOk()) {
-                std::cerr << "error: " << s.toString() << "\n";
+                CCM_LOG_ERROR(s.toString());
                 return 2;
             }
             if (capturing)
@@ -212,7 +212,7 @@ runProducer(const Options &o)
         serve::appendRecordsFrames(bytes, batch.data(), n);
         Status s = client.sendRawBytes(bytes.data(), bytes.size());
         if (!s.isOk()) {
-            std::cerr << "error: " << s.toString() << "\n";
+            CCM_LOG_ERROR(s.toString());
             return 2;
         }
         if (capturing)
@@ -223,7 +223,7 @@ runProducer(const Options &o)
     if (!disconnected) {
         Status s = client.sendEnd();
         if (!s.isOk()) {
-            std::cerr << "error: " << s.toString() << "\n";
+            CCM_LOG_ERROR(s.toString());
             return 2;
         }
         if (capturing)
@@ -235,7 +235,7 @@ runProducer(const Options &o)
         if (!out ||
             !out.write(reinterpret_cast<const char *>(capture.data()),
                        static_cast<std::streamsize>(capture.size()))) {
-            std::cerr << "error: cannot write " << o.framesOut << "\n";
+            CCM_LOG_ERROR("cannot write ", o.framesOut);
             return 2;
         }
     }
@@ -265,7 +265,7 @@ main(int argc, char **argv)
         const std::string a = argv[i];
         auto val = [&]() -> const char * {
             if (i + 1 >= argc) {
-                std::cerr << a << " needs a value\n";
+                CCM_LOG_ERROR(a, " needs a value");
                 std::exit(1);
             }
             return argv[++i];
@@ -320,7 +320,7 @@ main(int argc, char **argv)
             o.client.ioTimeoutMs =
                 static_cast<int>(parseNum("--timeout-ms", val()));
         } else {
-            std::cerr << "unknown option '" << a << "'\n";
+            CCM_LOG_ERROR("unknown option '", a, "'");
             usage();
             return 1;
         }
@@ -328,13 +328,13 @@ main(int argc, char **argv)
 
     if (!o.controlPath.empty()) {
         if (o.command.empty()) {
-            std::cerr << "--control needs --cmd COMMAND\n";
+            CCM_LOG_ERROR("--control needs --cmd COMMAND");
             return 1;
         }
         return runControl(o);
     }
     if (o.socketPath.empty() || o.name.empty()) {
-        std::cerr << "--socket and --name are required\n";
+        CCM_LOG_ERROR("--socket and --name are required");
         usage();
         return 1;
     }

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/log.hh"
 #include "trace/file_trace.hh"
 #include "workloads/registry.hh"
 
@@ -22,8 +23,8 @@ cmdGen(int argc, char **argv)
 {
     using namespace ccm;
     if (argc < 4) {
-        std::cerr << "usage: ccm-trace gen WORKLOAD OUT.bin "
-                  << "[--refs N] [--seed N]\n";
+        CCM_LOG_ERROR("usage: ccm-trace gen WORKLOAD OUT.bin "
+                      "[--refs N] [--seed N]");
         return 1;
     }
     std::string name = argv[2];
@@ -40,7 +41,7 @@ cmdGen(int argc, char **argv)
 
     auto wl = makeWorkload(name, refs, seed);
     if (!wl) {
-        std::cerr << "unknown workload '" << name << "'\n";
+        CCM_LOG_ERROR("unknown workload '", name, "'");
         return 1;
     }
     TraceFileWriter writer(path);
@@ -55,7 +56,7 @@ cmdInfo(int argc, char **argv)
 {
     using namespace ccm;
     if (argc < 3) {
-        std::cerr << "usage: ccm-trace info TRACE.bin\n";
+        CCM_LOG_ERROR("usage: ccm-trace info TRACE.bin");
         return 1;
     }
     TraceFileReader rd(argv[2]);
@@ -95,7 +96,7 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: ccm-trace gen|info ...\n";
+        CCM_LOG_ERROR("usage: ccm-trace gen|info ...");
         return 1;
     }
     std::string cmd = argv[1];
@@ -103,6 +104,6 @@ main(int argc, char **argv)
         return cmdGen(argc, argv);
     if (cmd == "info")
         return cmdInfo(argc, argv);
-    std::cerr << "unknown subcommand '" << cmd << "'\n";
+    CCM_LOG_ERROR("unknown subcommand '", cmd, "'");
     return 1;
 }

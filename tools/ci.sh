@@ -9,7 +9,8 @@
 #      SKIPPED with a notice when no clang++ is installed
 #   4. sanitize build: ASan+UBSan preset + full ctest suite
 #   5. tsan: ThreadSanitizer build of the parallel-runner,
-#      serve-daemon, and common (sync/shutdown) tests
+#      serve-daemon, common (sync/shutdown/log), and metrics-registry
+#      tests
 #   6. static analysis: tools/ccm-lint (sync-primitive ban always;
 #      clang-tidy when available)
 #   7. doc links: tools/check-doc-links.sh over the markdown tree
@@ -24,7 +25,14 @@
 #  10. serve smoke: ccm-serve with three concurrent producers, one of
 #      them wire-corrupted; the live stats document must validate,
 #      the clean streams must match batch ccm-sim byte for byte, and
-#      a SIGTERM drain must exit 0 (docs/SERVING.md)
+#      a SIGTERM drain must exit 0 (docs/SERVING.md).  The telemetry
+#      plane is scraped mid-run: Prometheus text via the `metrics`
+#      command, `metrics json` validated by ccm-report, and a
+#      ccm-top --once snapshot
+#  11. telemetry smoke: suite stats must stay byte-identical with
+#      span tracing on (telemetry is strictly observational), the
+#      span file must be well-formed, and bench/telemetry_overhead
+#      must hold the classify hot-path overhead under its 2% budget
 #
 # Fails on the first nonzero step.  Steps that need a tool the
 # container lacks are skipped, not failed, and listed in the summary
@@ -84,13 +92,16 @@ ctest --preset sanitize -j "$jobs"
 step "thread-sanitizer build + concurrency tests (tsan preset)"
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target test_parallel \
-    --target test_serve --target test_common
+    --target test_serve --target test_common --target test_obs
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     build-tsan/tests/test_parallel
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     build-tsan/tests/test_serve
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     build-tsan/tests/test_common
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    build-tsan/tests/test_obs \
+    --gtest_filter='ObsMetrics.*:ObsSpan.*'
 
 step "static analysis (ccm-lint)"
 tools/ccm-lint --build-dir "$repo_root/build-tidy" -j "$jobs"
@@ -182,6 +193,23 @@ build/tools/ccm-report --check "$obs_tmp/serve_live.json"
 grep -q '"streams_done": 2' "$obs_tmp/serve_live.json"
 grep -q '"streams_failed": 1' "$obs_tmp/serve_live.json"
 
+# Telemetry plane, scraped live from the same daemon: Prometheus
+# text, the kind:"metrics" JSON document, and a ccm-top snapshot.
+build/tools/ccm-stream --control "$serve_ctl" --cmd metrics \
+    > "$obs_tmp/serve_metrics.txt"
+grep -q '^ccm_serve_streams_admitted_total 3' \
+    "$obs_tmp/serve_metrics.txt"
+grep -q '^# TYPE ccm_serve_batch_classify_us histogram' \
+    "$obs_tmp/serve_metrics.txt"
+build/tools/ccm-stream --control "$serve_ctl" --cmd 'metrics json' \
+    > "$obs_tmp/serve_metrics.json"
+build/tools/ccm-report --check "$obs_tmp/serve_metrics.json"
+build/tools/ccm-report "$obs_tmp/serve_metrics.json" > /dev/null
+build/tools/ccm-top --control "$serve_ctl" --once \
+    > "$obs_tmp/serve_top.txt"
+grep -q '^records_total ' "$obs_tmp/serve_top.txt"
+grep -q '^config_generation 1' "$obs_tmp/serve_top.txt"
+
 # Fault isolation, byte for byte: the clean streams' mem sections
 # must equal a batch ccm-sim run of the same trace exactly.
 build/tools/ccm-sim --workload tomcatv --refs 20000 \
@@ -202,6 +230,24 @@ diff "$obs_tmp/served_mem.txt" "$obs_tmp/batch_mem.txt"
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 build/tools/ccm-report --check "$obs_tmp/serve_final.json"
+
+step "telemetry smoke (span tracing + overhead budget)"
+# Spans on must not change a single byte of the stats document (the
+# seq.json reference was produced without tracing above).
+build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
+    --trace-spans "$obs_tmp/spans.json" \
+    --stats-json "$obs_tmp/traced.json" > /dev/null
+diff <(grep -v wall_seconds "$obs_tmp/seq.json") \
+     <(grep -v wall_seconds "$obs_tmp/traced.json")
+test -s "$obs_tmp/spans.json"
+grep -q '"traceEvents"' "$obs_tmp/spans.json"
+grep -q '"ph": "X"' "$obs_tmp/spans.json"
+
+# The enforced < 2% classify hot-path budget: the bench exits 1 on a
+# breach, and the JSON record must land for baseline diffing.
+CCM_BENCH_JSON_DIR="$obs_tmp" build/bench/telemetry_overhead
+test -s "$obs_tmp/BENCH_telemetry.json"
+build/tools/ccm-report --check "$obs_tmp/BENCH_telemetry.json"
 
 step "all green"
 if [ ${#skipped_steps[@]} -gt 0 ]; then

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "serve/frame.hh"
 #include "trace/file_trace.hh"
 
@@ -114,7 +115,8 @@ frameDefectExitCode(serve::FrameDefect d)
 void
 usage()
 {
-    std::cerr <<
+    // Usage goes to stdout like the other tools' --help text.
+    std::cout <<
         "usage: tracecheck validate TRACE.bin [--quiet]\n"
         "       tracecheck repair IN.bin OUT.bin [--budget N]\n"
         "       tracecheck frames CAPTURE.bin [--quiet]\n"
@@ -165,8 +167,8 @@ cmdRepair(int argc, char **argv)
             char *end = nullptr;
             unsigned long v = std::strtoul(argv[i + 1], &end, 10);
             if (end == argv[i + 1] || *end != '\0') {
-                std::cerr << "--budget needs a number, got '"
-                          << argv[i + 1] << "'\n";
+                CCM_LOG_ERROR("--budget needs a number, got '",
+                              argv[i + 1], "'");
                 return exitUsage;
             }
             opts.corruptionBudget = v;
@@ -179,7 +181,7 @@ cmdRepair(int argc, char **argv)
     if (!s.isOk()) {
         // Header-level damage (or budget exhaustion): nothing we can
         // trust enough to salvage.
-        std::cerr << "cannot repair: " << s.toString() << "\n";
+        CCM_LOG_ERROR("cannot repair: ", s.toString());
         return stats.firstDefect == TraceDefect::None
                    ? exitRepairFailed
                    : defectExitCode(stats.firstDefect);
@@ -187,20 +189,20 @@ cmdRepair(int argc, char **argv)
 
     auto writer = TraceFileWriter::create(out);
     if (!writer.ok()) {
-        std::cerr << "cannot repair: " << writer.status().toString()
-                  << "\n";
+        CCM_LOG_ERROR("cannot repair: ",
+                      writer.status().toString());
         return exitRepairFailed;
     }
     for (const auto &r : records) {
         Status ws = writer.value()->writeChecked(r);
         if (!ws.isOk()) {
-            std::cerr << "cannot repair: " << ws.toString() << "\n";
+            CCM_LOG_ERROR("cannot repair: ", ws.toString());
             return exitRepairFailed;
         }
     }
     Status cs = writer.value()->close();
     if (!cs.isOk()) {
-        std::cerr << "cannot repair: " << cs.toString() << "\n";
+        CCM_LOG_ERROR("cannot repair: ", cs.toString());
         return exitRepairFailed;
     }
 
@@ -227,14 +229,14 @@ cmdFrames(int argc, char **argv)
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         if (!quiet)
-            std::cerr << "cannot open '" << path << "'\n";
+            CCM_LOG_ERROR("cannot open '", path, "'");
         return 2;
     }
     std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
     if (in.bad()) {
         if (!quiet)
-            std::cerr << "cannot read '" << path << "'\n";
+            CCM_LOG_ERROR("cannot read '", path, "'");
         return 2;
     }
     if (bytes.empty())
