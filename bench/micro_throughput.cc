@@ -4,23 +4,28 @@
  *
  *  - an explicit chrono-measured "hotpath" table covering the paths
  *    the simulator spends its time on (trace delivery unbatched vs
- *    batched, the flat fully-associative LRU, and the end-to-end
- *    classification and timing pipelines), emitted as
- *    BENCH_hotpath.json so runs can be compared against the
- *    committed pre-optimization baseline in bench/baselines/;
+ *    batched, the flat fully-associative LRU, the end-to-end
+ *    classification / sharded-classification / timing pipelines, and
+ *    zero-copy mmap ingestion), emitted as BENCH_hotpath.json so runs
+ *    can be compared against the committed baseline in
+ *    bench/baselines/;
  *  - google-benchmark microbenchmarks for the individual structures
  *    (MCT classification, cache access, FaLru, assist buffer,
  *    memory-system access).
  *
  * `--hotpath-only` runs just the first layer (the CI perf smoke);
- * any other flags are handed to google-benchmark.
+ * `--shards N` sets the shard count for classify_sharded_e2e; any
+ * other flags are handed to google-benchmark.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "assist/buffer.hh"
 #include "bench_common.hh"
@@ -32,7 +37,10 @@
 #include "mct/classify_run.hh"
 #include "mct/mct.hh"
 #include "sim/experiment.hh"
+#include "sim/sharded.hh"
 #include "trace/batch_reader.hh"
+#include "trace/file_trace.hh"
+#include "trace/mmap_trace.hh"
 #include "trace/vector_trace.hh"
 #include "workloads/registry.hh"
 
@@ -135,10 +143,62 @@ measureTimingE2e(VectorTrace &trace)
     });
 }
 
-int
-runHotpathTable()
+/** The sharded (oracle-free) classification engine over a raw span. */
+double
+measureClassifySharded(VectorTrace &trace, unsigned shards)
 {
-    std::cout << "Hot-path throughput (best of 3, Mrec/s or Mops/s)\n"
+    ShardedClassifyConfig cfg;
+    cfg.shards = shards;
+    return bestRate(trace.size(), [&] {
+        ShardedClassifyResult res = runShardedClassify(
+            trace.records().data(), trace.records().size(), cfg);
+        benchmark::DoNotOptimize(res.misses);
+    });
+}
+
+/** Zero-copy mapped ingestion: decode every record from the map. */
+double
+measureMmapIngest(VectorTrace &trace)
+{
+    const char *tmpdir = std::getenv("TMPDIR");
+    const std::string path = std::string(tmpdir != nullptr ? tmpdir
+                                                           : "/tmp") +
+                             "/ccm_bench_mmap.bin";
+    {
+        TraceFileWriter writer(path);
+        writer.writeAll(trace);
+        trace.reset();
+    }
+    double rate = 0.0;
+    {
+        auto rd = MappedTraceReader::open(path);
+        if (!rd.ok()) {
+            std::cerr << "mmap_ingest: " << rd.status().toString()
+                      << "\n";
+            std::remove(path.c_str());
+            return 0.0;
+        }
+        // Open (and its validation scan) is a one-time cost per
+        // trace; the steady-state rate is reset-and-consume.
+        rate = bestRate(trace.size(), [&] {
+            rd.value()->reset();
+            std::vector<MemRecord> buf(maxTraceBatch);
+            std::size_t n = 0, sink = 0;
+            while ((n = rd.value()->nextBatch(buf.data(),
+                                              buf.size())) > 0)
+                sink += n;
+            benchmark::DoNotOptimize(sink);
+        });
+    }
+    std::remove(path.c_str());
+    return rate;
+}
+
+int
+runHotpathTable(unsigned shards)
+{
+    std::cout << "Hot-path throughput (best of 3, Mrec/s or Mops/s; "
+              << "classify_sharded_e2e at --shards " << shards << ")\n"
               << "compare against bench/baselines/BENCH_hotpath.json"
               << "\n\n";
 
@@ -164,6 +224,11 @@ runHotpathTable()
         "mixed touch/insert ops/s at oracle capacity");
     row("classify_e2e", measureClassifyE2e(classify),
         "records/s through the full classification pipeline");
+    row("classify_sharded_e2e",
+        measureClassifySharded(classify, shards),
+        "records/s through runShardedClassify (oracle-free)");
+    row("mmap_ingest", measureMmapIngest(delivery),
+        "records/s via zero-copy MappedTraceReader batches");
     row("timing_e2e", measureTimingE2e(timing),
         "records/s through the full timing pipeline");
 
@@ -312,16 +377,22 @@ int
 main(int argc, char **argv)
 {
     bool hotpath_only = false;
+    unsigned shards = 1;
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--hotpath-only") == 0)
+        if (std::strcmp(argv[i], "--hotpath-only") == 0) {
             hotpath_only = true;
-        else
+        } else if (std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            shards = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
             argv[kept++] = argv[i];
+        }
     }
     argc = kept;
 
-    const int rc = runHotpathTable();
+    const int rc = runHotpathTable(shards == 0 ? 1 : shards);
     if (rc != 0 || hotpath_only)
         return rc;
 

@@ -129,6 +129,7 @@ enum class LockRank : int
     ServeQueue = 50,        ///< serve::RecordQueue (ring + condvars)
     SuiteInstrumentGate = 60,   ///< runSuiteParallel instrument serializer
     SuiteRowDone = 70,      ///< runSuiteParallel row-done handshake
+    ShardMerge = 75,        ///< runShardedClassify result merge
     ThreadPool = 80,        ///< ThreadPool task queue (leaf)
     ObsMetrics = 90,        ///< obs::MetricsRegistry (register/render)
     ObsSpans = 92,          ///< obs::SpanTracer event buffer (leaf)

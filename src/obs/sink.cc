@@ -169,6 +169,28 @@ setHistogramsToJson(const SetHistograms &heat, std::size_t top_sets)
     return v;
 }
 
+namespace
+{
+
+JsonValue
+intervalSampleRows(const std::vector<IntervalSample> &samples)
+{
+    JsonValue out = JsonValue::array();
+    for (const IntervalSample &s : samples) {
+        JsonValue row = JsonValue::object();
+        row.set("first_ref", JsonValue::uint(s.firstRef));
+        row.set("last_ref", JsonValue::uint(s.lastRef));
+        row.set("counters", countersJson(s.delta));
+        row.set("derived", derivedJson(s.delta));
+        if (s.accuracy.totalMisses() > 0)
+            row.set("accuracy", accuracyToJson(s.accuracy));
+        out.push(std::move(row));
+    }
+    return out;
+}
+
+} // namespace
+
 JsonValue
 intervalsToJson(const IntervalSampler &sampler)
 {
@@ -180,18 +202,17 @@ intervalsToJson(const IntervalSampler &sampler)
     if (sampler.droppedSamples() > 0)
         v.set("dropped_samples",
               JsonValue::uint(sampler.droppedSamples()));
-    JsonValue samples = JsonValue::array();
-    for (const IntervalSample &s : sampler.samples()) {
-        JsonValue row = JsonValue::object();
-        row.set("first_ref", JsonValue::uint(s.firstRef));
-        row.set("last_ref", JsonValue::uint(s.lastRef));
-        row.set("counters", countersJson(s.delta));
-        row.set("derived", derivedJson(s.delta));
-        if (s.accuracy.totalMisses() > 0)
-            row.set("accuracy", accuracyToJson(s.accuracy));
-        samples.push(std::move(row));
-    }
-    v.set("samples", std::move(samples));
+    v.set("samples", intervalSampleRows(sampler.samples()));
+    return v;
+}
+
+JsonValue
+intervalSamplesToJson(Count every,
+                      const std::vector<IntervalSample> &samples)
+{
+    JsonValue v = JsonValue::object();
+    v.set("every", JsonValue::uint(every));
+    v.set("samples", intervalSampleRows(samples));
     return v;
 }
 
@@ -305,6 +326,72 @@ suiteDocument(
     JsonValue summary = JsonValue::object();
     summary.set("runs", JsonValue::uint(report.rows.size()));
     summary.set("errored", JsonValue::uint(report.failures()));
+    summary.set("wall_seconds_total", JsonValue::real(wall_total));
+    doc.set("summary", std::move(summary));
+    return doc;
+}
+
+namespace
+{
+
+/** Shared body of kind:"classify" docs and classify-suite rows. */
+void
+fillClassifyBody(JsonValue &doc, const std::string &workload,
+                 const ShardedClassifyResult &out)
+{
+    doc.set("workload", JsonValue::str(workload));
+    JsonValue cls = JsonValue::object();
+    cls.set("references", JsonValue::uint(out.references));
+    cls.set("misses", JsonValue::uint(out.misses));
+    cls.set("miss_rate_pct", JsonValue::real(out.missRate * 100.0));
+    doc.set("classify", std::move(cls));
+    doc.set("mem", memStatsToJson(out.mem));
+    if (!out.heat.empty())
+        doc.set("heatmap", setHistogramsToJson(out.heat));
+    if (!out.intervals.empty())
+        doc.set("intervals",
+                intervalSamplesToJson(out.interval, out.intervals));
+}
+
+} // namespace
+
+JsonValue
+classifyDocument(const std::string &workload,
+                 const ShardedClassifyResult &out)
+{
+    JsonValue doc = documentHeader("classify");
+    fillClassifyBody(doc, workload, out);
+    return doc;
+}
+
+JsonValue
+classifySuiteDocument(const std::vector<ClassifyRow> &rows)
+{
+    JsonValue doc = documentHeader("classify-suite");
+    JsonValue out_rows = JsonValue::array();
+    double wall_total = 0.0;
+    for (const ClassifyRow &r : rows) {
+        JsonValue row = JsonValue::object();
+        if (r.ok()) {
+            fillClassifyBody(row, r.workload, r.out);
+        } else {
+            row.set("workload", JsonValue::str(r.workload));
+            row.set("error", JsonValue::str(r.status.toString()));
+        }
+        // As in suite documents: wall_seconds is the one
+        // nondeterministic field (ci strips it before byte-diffs).
+        row.set("wall_seconds", JsonValue::real(r.wallSeconds));
+        wall_total += r.wallSeconds;
+        out_rows.push(std::move(row));
+    }
+    doc.set("rows", std::move(out_rows));
+    JsonValue summary = JsonValue::object();
+    summary.set("runs", JsonValue::uint(rows.size()));
+    std::uint64_t errored = 0;
+    for (const ClassifyRow &r : rows)
+        if (!r.ok())
+            ++errored;
+    summary.set("errored", JsonValue::uint(errored));
     summary.set("wall_seconds_total", JsonValue::real(wall_total));
     doc.set("summary", std::move(summary));
     return doc;
@@ -600,6 +687,24 @@ checkRunBody(const JsonValue &doc)
     return Status::ok();
 }
 
+/** Run-body invariants plus the classify summary block. */
+Status
+checkClassifyBody(const JsonValue &doc)
+{
+    Status s = checkRunBody(doc);
+    if (!s.isOk())
+        return s;
+    const JsonValue &cls = doc.at("classify");
+    if (!cls.isObject())
+        return Status::badConfig("missing classify section");
+    for (const char *key : {"references", "misses"}) {
+        if (!cls.at(key).isNumber())
+            return Status::badConfig("classify.", key,
+                                     " is missing or not a number");
+    }
+    return Status::ok();
+}
+
 bool
 knownStreamState(const std::string &state)
 {
@@ -777,6 +882,11 @@ validateStatsDoc(const JsonValue &doc)
     const std::string &kind = doc.at("kind").asString();
     if (kind == "run")
         return checkRunBody(doc).withContext("run document");
+    // Classify documents share the run-body schema minus the sim
+    // section (which checkRunBody never required) plus a "classify"
+    // summary block.
+    if (kind == "classify")
+        return checkClassifyBody(doc).withContext("classify document");
     if (kind == "serve")
         return checkServeBody(doc).withContext("serve document");
     if (kind == "metrics")
@@ -802,7 +912,7 @@ validateStatsDoc(const JsonValue &doc)
         }
         return Status::ok();
     }
-    if (kind == "suite") {
+    if (kind == "suite" || kind == "classify-suite") {
         const JsonValue &rows = doc.at("rows");
         if (!rows.isArray())
             return Status::badConfig("suite document: missing rows");
@@ -812,7 +922,9 @@ validateStatsDoc(const JsonValue &doc)
             if (row.get("error")) {
                 ++errored;
             } else {
-                Status s = checkRunBody(row);
+                Status s = kind == "classify-suite"
+                               ? checkClassifyBody(row)
+                               : checkRunBody(row);
                 if (!s.isOk())
                     return s.withContext("suite row " +
                                          std::to_string(i));

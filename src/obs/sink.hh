@@ -33,6 +33,7 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "sim/experiment.hh"
+#include "sim/sharded.hh"
 
 namespace ccm::obs
 {
@@ -78,6 +79,13 @@ JsonValue setHistogramsToJson(const SetHistograms &heat,
 /** Interval time-series section: {"every", "samples": [...]}. */
 JsonValue intervalsToJson(const IntervalSampler &sampler);
 
+/**
+ * Same section from a bare sample vector (the merged series of a
+ * sharded classification run, which never owns a sampler).
+ */
+JsonValue intervalSamplesToJson(
+    Count every, const std::vector<IntervalSample> &samples);
+
 /** Event-trace section: rate-limit totals + the recorded events. */
 JsonValue eventsToJson(const ClassifyEventTrace &trace);
 
@@ -102,6 +110,36 @@ JsonValue suiteDocument(
     const SuiteReport &report,
     const std::function<const IntervalSampler *(const std::string &)>
         &intervals_for = {});
+
+/**
+ * One row of a classify sweep (the sharded fast path's analogue of
+ * SuiteRow): a result, or why this workload's run failed.
+ */
+struct ClassifyRow
+{
+    std::string workload;
+    Status status;
+    ShardedClassifyResult out; ///< meaningful only when status.isOk()
+    /** Wall time for this row; the one nondeterministic field. */
+    double wallSeconds = 0.0;
+
+    bool ok() const { return status.isOk(); }
+};
+
+/**
+ * Build a kind:"classify" document for one sharded classification
+ * run.  Deliberately omits the shard count: like --jobs, --shards is
+ * an execution knob, and the document is byte-identical for every K
+ * (the ci.sh sharded-determinism gate diffs exactly these bytes).
+ */
+JsonValue classifyDocument(const std::string &workload,
+                           const ShardedClassifyResult &out);
+
+/**
+ * Build a kind:"classify-suite" document: the same rows/summary shape
+ * as kind:"suite", with classify bodies and no sim section.
+ */
+JsonValue classifySuiteDocument(const std::vector<ClassifyRow> &rows);
 
 /** {"headers": [...], "rows": [[...], ...]} from a result table. */
 JsonValue tableToJson(const TextTable &table);

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "trace/batch_reader.hh"
+#include "trace/delta.hh"
 #include "trace/wire.hh"
 
 namespace ccm
@@ -36,21 +37,30 @@ errnoSuffix()
 
 // ---- Writer -------------------------------------------------------
 
-TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
+const char *
+toString(TraceEncoding e)
+{
+    return e == TraceEncoding::Delta ? "delta" : "packed";
+}
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 TraceEncoding encoding)
+    : path_(path), encoding_(encoding)
 {
     fatalIfError(openFile());
 }
 
-TraceFileWriter::TraceFileWriter(Unchecked, const std::string &path)
-    : path_(path)
+TraceFileWriter::TraceFileWriter(Unchecked, const std::string &path,
+                                 TraceEncoding encoding)
+    : path_(path), encoding_(encoding)
 {
 }
 
 Expected<std::unique_ptr<TraceFileWriter>>
-TraceFileWriter::create(const std::string &path)
+TraceFileWriter::create(const std::string &path, TraceEncoding encoding)
 {
     std::unique_ptr<TraceFileWriter> w(
-        new TraceFileWriter(Unchecked{}, path));
+        new TraceFileWriter(Unchecked{}, path, encoding));
     Status s = w->openFile();
     if (!s.isOk())
         return s;
@@ -66,7 +76,9 @@ TraceFileWriter::openFile()
             "cannot open trace file for writing: ", path_,
             errnoSuffix());
     }
-    std::fwrite(magic, 1, 8, fp);
+    std::fwrite(encoding_ == TraceEncoding::Delta ? delta::magic
+                                                  : magic,
+                1, 8, fp);
     std::uint8_t verbuf[8] = {}; // version LE, then 4 reserved bytes
     wire::storeLe32(traceVersion, verbuf);
     if (std::fwrite(verbuf, 1, 8, fp) != 8) {
@@ -100,9 +112,19 @@ TraceFileWriter::writeChecked(const MemRecord &r)
     if (!fp) {
         return Status::ioError("write to closed trace file ", path_);
     }
-    std::uint8_t buf[recordBytes];
-    packRecord(r, buf);
-    if (std::fwrite(buf, 1, recordBytes, fp) != recordBytes) {
+    // Scratch big enough for either encoding's worst case.
+    constexpr std::size_t bufBytes =
+        delta::maxRecordBytes > recordBytes ? delta::maxRecordBytes
+                                            : recordBytes;
+    std::uint8_t buf[bufBytes];
+    std::size_t n;
+    if (encoding_ == TraceEncoding::Delta) {
+        n = delta::encodeRecord(codec_, r, buf);
+    } else {
+        packRecord(r, buf);
+        n = recordBytes;
+    }
+    if (std::fwrite(buf, 1, n, fp) != n) {
         return Status::ioError("short write to trace file ", path_,
                                errnoSuffix());
     }
@@ -164,6 +186,10 @@ traceDefectName(TraceDefect d)
         return "partial-tail";
       case TraceDefect::MidFileGarbage:
         return "mid-file-garbage";
+      case TraceDefect::BadControlByte:
+        return "bad-control-byte";
+      case TraceDefect::BadVarint:
+        return "bad-varint";
     }
     return "unknown";
 }
@@ -191,6 +217,63 @@ noteDefect(TraceReadStats &stats, TraceDefect d)
 {
     if (stats.firstDefect == TraceDefect::None)
         stats.firstDefect = d;
+}
+
+/**
+ * Decode a delta-encoded body.  No resync exists here (every record
+ * depends on the ones before it), so the corruption budget does not
+ * apply: a bad control byte or varint is an error even when a budget
+ * is set, and only a clean truncation at end-of-body can be tolerated.
+ */
+Status
+decodeDeltaBody(const std::string &path,
+                const std::vector<std::uint8_t> &body,
+                const TraceReadOptions &opts,
+                std::vector<MemRecord> &out, TraceReadStats &stats)
+{
+    delta::Codec codec;
+    const std::uint8_t *p = body.data();
+    const std::uint8_t *end = body.data() + body.size();
+    while (p < end) {
+        MemRecord r;
+        std::size_t used = 0;
+        switch (delta::decodeRecord(codec, p, end, r, used)) {
+          case delta::DecodeStatus::Ok:
+            out.push_back(r);
+            ++stats.recordsRead;
+            p += used;
+            continue;
+          case delta::DecodeStatus::NeedMore:
+            noteDefect(stats, TraceDefect::PartialTail);
+            if (!opts.tolerateTruncatedTail) {
+                out.clear();
+                return Status::corruptTrace(
+                    "trailing partial record in delta trace ", path);
+            }
+            stats.truncatedTail = true;
+            stats.bytesSkipped += static_cast<Count>(end - p);
+            if (!opts.quiet) {
+                ccm_warn("trace ", path, ": truncated delta tail (",
+                         end - p, " bytes); treating as end of trace");
+            }
+            return Status::ok();
+          case delta::DecodeStatus::BadControlByte:
+            noteDefect(stats, TraceDefect::BadControlByte);
+            out.clear();
+            return Status::corruptTrace(
+                "bad control byte in delta trace ", path, " at byte ",
+                headerBytes + static_cast<std::size_t>(p - body.data()),
+                " (delta streams cannot be resynced)");
+          case delta::DecodeStatus::BadVarint:
+            noteDefect(stats, TraceDefect::BadVarint);
+            out.clear();
+            return Status::corruptTrace(
+                "overlong varint in delta trace ", path, " at byte ",
+                headerBytes + static_cast<std::size_t>(p - body.data()),
+                " (delta streams cannot be resynced)");
+        }
+    }
+    return Status::ok();
 }
 
 } // namespace
@@ -230,7 +313,11 @@ loadTraceFile(const std::string &path, const TraceReadOptions &opts,
         noteDefect(stats, TraceDefect::TruncatedHeader);
         return Status::corruptTrace("truncated trace header: ", path);
     }
-    if (std::memcmp(header, magic, 8) != 0) {
+    bool is_delta = false;
+    if (std::memcmp(header, delta::magic, 8) == 0) {
+        is_delta = true;
+        stats.encoding = TraceEncoding::Delta;
+    } else if (std::memcmp(header, magic, 8) != 0) {
         std::fclose(fp);
         noteDefect(stats, TraceDefect::BadMagic);
         return Status::corruptTrace("bad trace magic in ", path);
@@ -258,6 +345,9 @@ loadTraceFile(const std::string &path, const TraceReadOptions &opts,
                                    path, errnoSuffix());
         }
     }
+
+    if (is_delta)
+        return decodeDeltaBody(path, body, opts, out, stats);
 
     std::size_t off = 0;
     while (off + recordBytes <= body.size()) {
@@ -331,7 +421,7 @@ probeTraceFile(const std::string &path, TraceReadStats *stats)
 
 TraceFileReader::TraceFileReader(const std::string &path) : label(path)
 {
-    fatalIfError(loadTraceFile(path, TraceReadOptions{}, records,
+    fatalIfError(loadTraceFile(path, TraceReadOptions{}, records_,
                                stats_));
 }
 
@@ -341,7 +431,7 @@ TraceFileReader::open(const std::string &path,
 {
     std::unique_ptr<TraceFileReader> rd(new TraceFileReader());
     rd->label = path;
-    Status s = loadTraceFile(path, opts, rd->records, rd->stats_);
+    Status s = loadTraceFile(path, opts, rd->records_, rd->stats_);
     if (!s.isOk())
         return s;
     return rd;
@@ -350,9 +440,9 @@ TraceFileReader::open(const std::string &path,
 bool
 TraceFileReader::next(MemRecord &out)
 {
-    if (pos >= records.size())
+    if (pos >= records_.size())
         return false;
-    out = records[pos++];
+    out = records_[pos++];
     return true;
 }
 
@@ -363,8 +453,8 @@ TraceFileReader::nextBatch(MemRecord *out, std::size_t n)
     // so batch delivery is a bulk copy of already-validated records —
     // the defect semantics of docs/TRACE_FORMAT.md are unaffected by
     // where batch boundaries fall.
-    const std::size_t got = std::min(n, records.size() - pos);
-    std::copy_n(records.begin() +
+    const std::size_t got = std::min(n, records_.size() - pos);
+    std::copy_n(records_.begin() +
                     static_cast<std::ptrdiff_t>(pos),
                 got, out);
     pos += got;

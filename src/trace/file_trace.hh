@@ -2,19 +2,29 @@
  * @file
  * Binary trace file I/O.
  *
- * Format: 16-byte header ("CCMTRACE", u32 version, u32 reserved)
- * followed by packed little-endian records:
- *   u64 pc | u64 addr | u8 type | u8 flags | 6 bytes padding
- * 24 bytes per record.  Simple enough to write from any tracer (e.g. a
- * Pin/DynamoRIO tool or a converted ChampSim trace) and replay here.
- * The full on-disk layout and its error-recovery semantics are
- * documented in docs/TRACE_FORMAT.md.
+ * Two on-disk encodings share the 16-byte header shape
+ * (8-byte magic, u32 version, u32 reserved):
+ *
+ *  - "CCMTRACE": packed little-endian records,
+ *      u64 pc | u64 addr | u8 type | u8 flags | 6 bytes padding
+ *    24 bytes per record.  Simple enough to write from any tracer
+ *    (e.g. a Pin/DynamoRIO tool or a converted ChampSim trace).
+ *  - "CCMTRACD": delta-compressed records (control byte + zigzag
+ *    LEB128 varints of pc/addr deltas; trace/delta.hh), a fraction of
+ *    the packed size for real traces.
+ *
+ * Readers sniff the magic, so every consumer takes either encoding
+ * transparently.  The full layouts and their error-recovery semantics
+ * are documented in docs/TRACE_FORMAT.md.
  *
  * Reading comes in two flavours: the strict constructor (any defect
  * is fatal — unchanged legacy behaviour) and TraceFileReader::open,
  * which returns a Status instead of dying and can optionally tolerate
  * bounded corruption: garbage bytes are resynced past (up to a
  * configurable budget) and a truncated tail is demoted to a warning.
+ * Resync only exists for the packed encoding — a delta stream decodes
+ * relative to all earlier bytes, so mid-stream damage is fatal there
+ * regardless of budget.
  */
 
 #ifndef CCM_TRACE_FILE_TRACE_HH
@@ -27,17 +37,30 @@
 #include <vector>
 
 #include "common/status.hh"
+#include "trace/delta.hh"
 #include "trace/source.hh"
 
 namespace ccm
 {
+
+/** Which on-disk record encoding a trace file uses. */
+enum class TraceEncoding
+{
+    Packed, ///< "CCMTRACE": fixed 24-byte records, resyncable
+    Delta,  ///< "CCMTRACD": varint pc/addr deltas, not resyncable
+};
+
+/** Stable lower-case name ("packed" / "delta"). */
+const char *toString(TraceEncoding e);
 
 /** Write records to a binary trace file. */
 class TraceFileWriter
 {
   public:
     /** Open @p path for writing; fatal on failure. */
-    explicit TraceFileWriter(const std::string &path);
+    explicit TraceFileWriter(const std::string &path,
+                             TraceEncoding encoding =
+                                 TraceEncoding::Packed);
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
@@ -45,7 +68,8 @@ class TraceFileWriter
 
     /** Open @p path for writing; error status instead of dying. */
     static Expected<std::unique_ptr<TraceFileWriter>>
-    create(const std::string &path);
+    create(const std::string &path,
+           TraceEncoding encoding = TraceEncoding::Packed);
 
     /** Append one record; fatal on a short write. */
     void write(const MemRecord &r);
@@ -63,16 +87,22 @@ class TraceFileWriter
      */
     Status close();
 
+    TraceEncoding encoding() const { return encoding_; }
+
   private:
     struct Unchecked
     {
     };
-    TraceFileWriter(Unchecked, const std::string &path);
+    TraceFileWriter(Unchecked, const std::string &path,
+                    TraceEncoding encoding);
 
     Status openFile();
 
     std::FILE *fp = nullptr;
     std::string path_;
+    TraceEncoding encoding_ = TraceEncoding::Packed;
+    /** Delta predictor state (unused for packed writes). */
+    delta::Codec codec_;
 };
 
 /** What, if anything, is wrong with a trace file. */
@@ -86,6 +116,8 @@ enum class TraceDefect
     BadVersion,      ///< recognized header, unsupported version
     PartialTail,     ///< trailing bytes form no complete record
     MidFileGarbage,  ///< implausible record bytes inside the body
+    BadControlByte,  ///< delta record with an invalid control byte
+    BadVarint,       ///< delta record with an overlong varint
 };
 
 /** Stable lower-case name of @p d (e.g. "bad-magic"). */
@@ -112,9 +144,12 @@ struct TraceReadOptions
 struct TraceReadStats
 {
     Count recordsRead = 0;
-    Count resyncEvents = 0;   ///< garbage runs skipped
+    Count resyncEvents = 0;   ///< garbage runs skipped (packed only)
     Count bytesSkipped = 0;   ///< total garbage bytes passed over
     bool truncatedTail = false;
+
+    /** Which encoding the header announced (meaningful when read). */
+    TraceEncoding encoding = TraceEncoding::Packed;
 
     /** First defect seen, including ones that were tolerated. */
     TraceDefect firstDefect = TraceDefect::None;
@@ -168,7 +203,10 @@ class TraceFileReader : public TraceSource
     void reset() override { pos = 0; }
     std::string name() const override { return label; }
 
-    std::size_t size() const { return records.size(); }
+    std::size_t size() const { return records_.size(); }
+
+    /** The decoded record sequence (shard views, conversions). */
+    const std::vector<MemRecord> &records() const { return records_; }
 
     /** Diagnostics from the load (skips, resyncs, truncation). */
     const TraceReadStats &readStats() const { return stats_; }
@@ -176,7 +214,7 @@ class TraceFileReader : public TraceSource
   private:
     TraceFileReader() = default;
 
-    std::vector<MemRecord> records;
+    std::vector<MemRecord> records_;
     std::size_t pos = 0;
     std::string label;
     TraceReadStats stats_;

@@ -16,24 +16,24 @@ VectorTrace::capture(TraceSource &src)
     MemRecord chunk[maxTraceBatch];
     std::size_t got;
     while ((got = src.nextBatch(chunk, maxTraceBatch)) > 0)
-        t.records.insert(t.records.end(), chunk, chunk + got);
+        t.records_.insert(t.records_.end(), chunk, chunk + got);
     return t;
 }
 
 bool
 VectorTrace::next(MemRecord &out)
 {
-    if (pos >= records.size())
+    if (pos >= records_.size())
         return false;
-    out = records[pos++];
+    out = records_[pos++];
     return true;
 }
 
 std::size_t
 VectorTrace::nextBatch(MemRecord *out, std::size_t n)
 {
-    const std::size_t got = std::min(n, records.size() - pos);
-    std::copy_n(records.begin() +
+    const std::size_t got = std::min(n, records_.size() - pos);
+    std::copy_n(records_.begin() +
                     static_cast<std::ptrdiff_t>(pos),
                 got, out);
     pos += got;
@@ -44,20 +44,20 @@ void
 VectorTrace::pushLoad(Addr addr, Addr pc)
 {
     MemRecord r;
-    r.pc = pc == invalidAddr ? records.size() * 4 : pc;
+    r.pc = pc == invalidAddr ? records_.size() * 4 : pc;
     r.addr = addr;
     r.type = RecordType::Load;
-    records.push_back(r);
+    records_.push_back(r);
 }
 
 void
 VectorTrace::pushStore(Addr addr, Addr pc)
 {
     MemRecord r;
-    r.pc = pc == invalidAddr ? records.size() * 4 : pc;
+    r.pc = pc == invalidAddr ? records_.size() * 4 : pc;
     r.addr = addr;
     r.type = RecordType::Store;
-    records.push_back(r);
+    records_.push_back(r);
 }
 
 void
@@ -65,10 +65,28 @@ VectorTrace::pushNonMem(std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i) {
         MemRecord r;
-        r.pc = records.size() * 4;
+        r.pc = records_.size() * 4;
         r.type = RecordType::NonMem;
-        records.push_back(r);
+        records_.push_back(r);
     }
+}
+
+bool
+RecordSpanTrace::next(MemRecord &out)
+{
+    if (pos >= count_)
+        return false;
+    out = data_[pos++];
+    return true;
+}
+
+std::size_t
+RecordSpanTrace::nextBatch(MemRecord *out, std::size_t n)
+{
+    const std::size_t got = std::min(n, count_ - pos);
+    std::copy_n(data_ + pos, got, out);
+    pos += got;
+    return got;
 }
 
 } // namespace ccm

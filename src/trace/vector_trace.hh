@@ -1,8 +1,10 @@
 /**
  * @file
- * An in-memory trace: a vector of records replayed in order.  Useful
- * for tests (hand-written access patterns) and for capturing a
- * generator's output once and replaying it against many configurations.
+ * In-memory traces: VectorTrace owns a vector of records replayed in
+ * order (hand-written test patterns, captured generator output), and
+ * RecordSpanTrace replays a borrowed span of records without copying
+ * — the shape the sharded classify engine uses to hand one captured
+ * trace to K workers at once.
  */
 
 #ifndef CCM_TRACE_VECTOR_TRACE_HH
@@ -25,7 +27,7 @@ class VectorTrace : public TraceSource
     VectorTrace() = default;
 
     VectorTrace(std::string trace_name, std::vector<MemRecord> recs)
-        : records(std::move(recs)), label(std::move(trace_name))
+        : records_(std::move(recs)), label(std::move(trace_name))
     {}
 
     /** Capture every record of @p src (which is reset first). */
@@ -37,7 +39,7 @@ class VectorTrace : public TraceSource
     std::string name() const override { return label; }
 
     /** Append one record (builder-style use in tests). */
-    void push(const MemRecord &r) { records.push_back(r); }
+    void push(const MemRecord &r) { records_.push_back(r); }
 
     /** Append a load to @p addr (pc defaults to the record index). */
     void pushLoad(Addr addr, Addr pc = invalidAddr);
@@ -46,15 +48,53 @@ class VectorTrace : public TraceSource
     /** Append @p n non-memory instructions. */
     void pushNonMem(std::size_t n = 1);
 
-    std::size_t size() const { return records.size(); }
-    const MemRecord &at(std::size_t i) const { return records.at(i); }
+    std::size_t size() const { return records_.size(); }
+    const MemRecord &at(std::size_t i) const { return records_.at(i); }
+
+    /** The backing record sequence (span views, conversions). */
+    const std::vector<MemRecord> &records() const { return records_; }
 
     void setName(std::string n) { label = std::move(n); }
 
   private:
-    std::vector<MemRecord> records;
+    std::vector<MemRecord> records_;
     std::size_t pos = 0;
     std::string label = "vector";
+};
+
+/**
+ * TraceSource view over records owned by someone else.  Copy-free:
+ * the caller guarantees the span outlives the view.  Several views
+ * over the same records are independent cursors, which is exactly
+ * what the sharded classify engine needs — one captured trace, K
+ * concurrent readers.
+ */
+class RecordSpanTrace : public TraceSource
+{
+  public:
+    RecordSpanTrace(std::string trace_name, const MemRecord *data,
+                    std::size_t count)
+        : data_(data), count_(count), label(std::move(trace_name))
+    {}
+
+    RecordSpanTrace(std::string trace_name,
+                    const std::vector<MemRecord> &recs)
+        : RecordSpanTrace(std::move(trace_name), recs.data(),
+                          recs.size())
+    {}
+
+    bool next(MemRecord &out) override;
+    std::size_t nextBatch(MemRecord *out, std::size_t n) override;
+    void reset() override { pos = 0; }
+    std::string name() const override { return label; }
+
+    std::size_t size() const { return count_; }
+
+  private:
+    const MemRecord *data_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t pos = 0;
+    std::string label = "span";
 };
 
 } // namespace ccm

@@ -200,6 +200,55 @@ renderSuite(const JsonValue &doc)
 }
 
 void
+renderClassifyBody(const JsonValue &doc, std::size_t top_n)
+{
+    const JsonValue &cls = doc.at("classify");
+    std::cout << "references        " << cls.at("references").asU64()
+              << "\n"
+              << "L1 misses         " << cls.at("misses").asU64()
+              << "\n";
+    // The rest of the body (mem/heatmap/intervals) is shared with
+    // kind:"run"; renderRunBody skips the absent sim section.
+    renderRunBody(doc, top_n);
+}
+
+void
+renderClassifySuite(const JsonValue &doc)
+{
+    TextTable t({"workload", "status", "refs", "miss%", "conflict%",
+                 "wall ms"});
+    for (const JsonValue &row : doc.at("rows").elements()) {
+        std::size_t r = t.addRow(row.at("workload").asString());
+        if (row.get("error") != nullptr) {
+            t.set(r, 1, "ERROR");
+            for (std::size_t c = 2; c <= 5; ++c)
+                t.set(r, c, "-");
+            continue;
+        }
+        const JsonValue &derived = row.at("mem").at("derived");
+        t.set(r, 1, "ok");
+        t.set(r, 2, u64str(row.at("classify").at("references")));
+        t.set(r, 3, num(derived.at("miss_rate_pct").asDouble()));
+        t.set(r, 4, num(derived.at("conflict_share_pct").asDouble()));
+        t.set(r, 5,
+              num(row.at("wall_seconds").asDouble() * 1e3, 1));
+    }
+    t.print(std::cout);
+
+    const JsonValue &summary = doc.at("summary");
+    std::cout << summary.at("runs").asU64() -
+                     summary.at("errored").asU64()
+              << "/" << summary.at("runs").asU64() << " runs ok, "
+              << summary.at("errored").asU64() << " errored\n";
+
+    for (const JsonValue &row : doc.at("rows").elements()) {
+        if (const JsonValue *err = row.get("error"))
+            CCM_LOG_ERROR(row.at("workload").asString(), ": ",
+                          err->asString());
+    }
+}
+
+void
 renderServe(const JsonValue &doc)
 {
     const JsonValue &daemon = doc.at("daemon");
@@ -400,6 +449,15 @@ main(int argc, char **argv)
     } else if (kind == "suite") {
         std::cout << "== ccm-report: suite on " << arch << " ==\n";
         renderSuite(doc);
+    } else if (kind == "classify") {
+        std::cout << "== ccm-report: "
+                  << doc.at("workload").asString() << " on " << arch
+                  << " (classify) ==\n";
+        renderClassifyBody(doc, top_n);
+    } else if (kind == "classify-suite") {
+        std::cout << "== ccm-report: classify suite on " << arch
+                  << " ==\n";
+        renderClassifySuite(doc);
     } else if (kind == "bench") {
         std::cout << "== ccm-report: bench "
                   << doc.at("bench").asString() << " ==\n";

@@ -19,6 +19,7 @@
  * finished with one or more errored rows.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/table.hh"
@@ -37,7 +39,9 @@
 #include "obs/span.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
+#include "sim/sharded.hh"
 #include "trace/file_trace.hh"
+#include "trace/mmap_trace.hh"
 #include "workloads/registry.hh"
 
 namespace
@@ -59,6 +63,11 @@ struct Options
     std::size_t budget = 0;
     bool tolerateTruncation = false;
     std::size_t jobs = 1; ///< suite workers; 0 = hardware threads
+
+    // classify fast path (no timing model)
+    bool classify = false;
+    unsigned shards = 1; ///< set-index shards per classify run
+    unsigned mctDepth = 1;
 
     // cache geometry
     std::size_t l1Kb = 16;
@@ -177,9 +186,25 @@ usage()
         "  --budget N                 tolerate N garbage runs per "
         "trace\n"
         "  --tolerate-truncation      truncated tail = end of trace\n"
-        "  --jobs N                   run suite rows on N worker\n"
-        "                             threads (default 1; 0 = one per\n"
-        "                             hardware thread)\n"
+        "  --classify                 cache+MCT classification only\n"
+        "                             (no timing model); composes with\n"
+        "                             --suite, --trace, --shards\n"
+        "  --mct-depth N              evicted tags per set (default 1)\n"
+        "\n"
+        "parallelism (two independent knobs):\n"
+        "  --jobs N                   timing suite only: run suite\n"
+        "                             rows on N worker threads\n"
+        "                             (default 1; 0 = one per hardware\n"
+        "                             thread); output is byte-identical\n"
+        "                             for every N\n"
+        "  --shards N                 classify runs only: partition the\n"
+        "                             set-index space across N workers\n"
+        "                             within each run (default 1);\n"
+        "                             output is byte-identical for\n"
+        "                             every N.  A classify suite runs\n"
+        "                             its rows sequentially, each row\n"
+        "                             sharded N ways\n"
+        "\n"
         "  --refs N                   memory references (default 1M)\n"
         "  --seed N                   workload seed (default 42)\n"
         "  --arch A                   baseline | victim | prefetch |\n"
@@ -387,6 +412,158 @@ runSuiteMode(const Options &o)
     return report.allOk() ? 0 : 2;
 }
 
+ShardedClassifyConfig
+buildClassifyConfig(const Options &o)
+{
+    ShardedClassifyConfig cfg;
+    cfg.cacheBytes = o.l1Kb * 1024;
+    cfg.assoc = o.l1Assoc;
+    cfg.mctTagBits = o.mctTagBits;
+    cfg.mctDepth = o.mctDepth;
+    cfg.shards = o.shards;
+    cfg.interval = o.interval;
+    return cfg;
+}
+
+/** Classify-mode trace factory: file (mmap-first) or synthetic. */
+Expected<std::unique_ptr<TraceSource>>
+openClassifyTrace(const Options &o, const std::string &name)
+{
+    TraceReadOptions ropts;
+    ropts.corruptionBudget = o.budget;
+    ropts.tolerateTruncatedTail = o.tolerateTruncation;
+    if (!o.traceDir.empty())
+        return openTraceMappedOrFile(o.traceDir + "/" + name + ".bin",
+                                     ropts);
+    if (!o.tracePath.empty())
+        return openTraceMappedOrFile(o.tracePath, ropts);
+    return makeWorkloadChecked(name, o.refs, o.seed);
+}
+
+int
+runClassifySuiteMode(const Options &o)
+{
+    obs::ScopedSpan span("classify-suite", "sim");
+    const ShardedClassifyConfig ccfg = buildClassifyConfig(o);
+
+    // Rows run sequentially: --shards already parallelizes within
+    // each run, and stacking --jobs on top would just oversubscribe.
+    std::vector<obs::ClassifyRow> rows;
+    for (const auto &name : workloadNames()) {
+        obs::ClassifyRow row;
+        row.workload = name;
+        const auto start = std::chrono::steady_clock::now();
+        auto trace = openClassifyTrace(o, name);
+        if (!trace.ok()) {
+            row.status = trace.status();
+        } else {
+            row.out = runShardedClassify(*trace.value(), ccfg);
+        }
+        row.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        rows.push_back(std::move(row));
+    }
+
+    TextTable table({"workload", "status", "refs", "miss%",
+                     "conflict%", "wall ms"});
+    std::size_t errored = 0;
+    for (const auto &row : rows) {
+        std::size_t r = table.addRow(row.workload);
+        if (row.ok()) {
+            table.set(r, 1, "ok");
+            table.set(r, 2, std::to_string(row.out.references));
+            table.setNum(r, 3, row.out.mem.missRatePct());
+            table.setNum(r, 4,
+                         pct(row.out.mem.conflictMisses,
+                             row.out.mem.l1Misses));
+        } else {
+            table.set(r, 1,
+                      std::string("ERROR[") +
+                          errorCodeName(row.status.code()) + "]");
+            table.set(r, 2, "-");
+            table.set(r, 3, "-");
+            table.set(r, 4, "-");
+            ++errored;
+        }
+        table.setNum(r, 5, row.wallSeconds * 1000.0, 1);
+    }
+    std::cout << "== ccm-sim classify suite (shards "
+              << (o.shards == 0 ? 1U : o.shards) << ") ==\n";
+    table.print(std::cout);
+    for (const auto &row : rows) {
+        if (!row.ok())
+            CCM_LOG_ERROR(row.status.toString());
+    }
+    std::cout << rows.size() - errored << "/" << rows.size()
+              << " runs ok, " << errored << " errored\n";
+
+    if (!o.statsOut.empty()) {
+        obs::JsonValue doc = obs::classifySuiteDocument(rows);
+        doc.set("arch", obs::JsonValue::str(o.arch));
+        int rc = emitStatsDoc(o, std::move(doc));
+        if (rc != 0)
+            return rc;
+    }
+    return errored == 0 ? 0 : 2;
+}
+
+int
+runClassifyMode(const Options &o)
+{
+    if (!o.suite && o.traceDir.empty() && o.tracePath.empty() &&
+        !makeWorkload(o.workload, 1, o.seed)) {
+        CCM_LOG_ERROR("unknown workload '", o.workload,
+                      "' (try --list)");
+        return 1;
+    }
+    if (o.suite)
+        return runClassifySuiteMode(o);
+
+    obs::ScopedSpan span("classify:" + o.workload, "sim");
+    auto trace = openClassifyTrace(o, o.workload);
+    if (!trace.ok()) {
+        CCM_LOG_ERROR(trace.status().toString());
+        return 1;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    ShardedClassifyResult res =
+        runShardedClassify(*trace.value(), buildClassifyConfig(o));
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    const MemStats &m = res.mem;
+    std::cout << "== ccm-sim classify: " << trace.value()->name()
+              << " ==\n"
+              << "memory refs       " << res.references << "\n"
+              << "L1 misses         " << res.misses << "\n"
+              << "miss rate         " << m.missRatePct() << "%\n"
+              << "conflict misses   " << m.conflictMisses << " ("
+              << pct(m.conflictMisses, m.l1Misses)
+              << "% of L1 misses)\n"
+              << "capacity misses   " << m.capacityMisses << "\n"
+              << "shards            " << res.shards << "\n"
+              << "records/sec       "
+              << (wall > 0.0
+                      ? static_cast<std::uint64_t>(
+                            static_cast<double>(res.references) / wall)
+                      : 0)
+              << "\n";
+    if (o.dumpRaw) {
+        std::cout << "\n";
+        m.dump(std::cout);
+    }
+
+    if (!o.statsOut.empty()) {
+        obs::JsonValue doc =
+            obs::classifyDocument(trace.value()->name(), res);
+        doc.set("arch", obs::JsonValue::str(o.arch));
+        return emitStatsDoc(o, std::move(doc));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -423,6 +600,14 @@ main(int argc, char **argv)
             o.tolerateTruncation = true;
         } else if (a == "--jobs") {
             o.jobs = std::strtoull(val().c_str(), nullptr, 10);
+        } else if (a == "--classify") {
+            o.classify = true;
+        } else if (a == "--shards") {
+            o.shards = static_cast<unsigned>(
+                std::strtoul(val().c_str(), nullptr, 10));
+        } else if (a == "--mct-depth") {
+            o.mctDepth = static_cast<unsigned>(
+                std::strtoul(val().c_str(), nullptr, 10));
         } else if (a == "--refs") {
             o.refs = std::strtoull(val().c_str(), nullptr, 10);
         } else if (a == "--seed") {
@@ -515,6 +700,32 @@ main(int argc, char **argv)
             CCM_LOG_ERROR(ts.toString());
             return 1;
         }
+    }
+
+    // --shards parallelizes the classify pipeline only: the timing
+    // model couples sets (MSHRs, bus contention) and cannot shard.
+    if (o.shards != 1 && !o.classify) {
+        CCM_LOG_ERROR(Status::badConfig(
+                          "--shards requires --classify (the timing "
+                          "model cannot be sharded; use --jobs for "
+                          "suite-level parallelism)")
+                          .toString());
+        return 1;
+    }
+    if (o.classify && o.traceEvents > 0) {
+        CCM_LOG_ERROR(Status::badConfig(
+                          "--trace-events is not supported in "
+                          "--classify mode")
+                          .toString());
+        return 1;
+    }
+
+    if (o.classify) {
+        const int rc = runClassifyMode(o);
+        Status fs = obs::SpanTracer::global().flush();
+        if (!fs.isOk())
+            CCM_LOG_ERROR(fs.toString());
+        return rc;
     }
 
     if (o.suite) {

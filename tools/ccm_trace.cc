@@ -1,9 +1,13 @@
 /**
  * @file
  * ccm-trace — trace-file utility: generate binary traces from the
- * synthetic workloads, and inspect existing trace files.
+ * synthetic workloads, convert between the packed and delta
+ * encodings, and inspect existing trace files.
  *
  *   ccm-trace gen tomcatv out.bin --refs 1000000 --seed 7
+ *   ccm-trace gen tomcatv out.bin --delta
+ *   ccm-trace pack in.bin out.bin      # any encoding -> delta
+ *   ccm-trace unpack in.bin out.bin    # any encoding -> packed
  *   ccm-trace info out.bin
  */
 
@@ -24,19 +28,26 @@ cmdGen(int argc, char **argv)
     using namespace ccm;
     if (argc < 4) {
         CCM_LOG_ERROR("usage: ccm-trace gen WORKLOAD OUT.bin "
-                      "[--refs N] [--seed N]");
+                      "[--refs N] [--seed N] [--delta]");
         return 1;
     }
     std::string name = argv[2];
     std::string path = argv[3];
     std::size_t refs = 1'000'000;
     std::uint64_t seed = 42;
-    for (int i = 4; i + 1 < argc; i += 2) {
+    TraceEncoding enc = TraceEncoding::Packed;
+    for (int i = 4; i < argc; ++i) {
         std::string a = argv[i];
-        if (a == "--refs")
-            refs = std::strtoull(argv[i + 1], nullptr, 10);
-        else if (a == "--seed")
-            seed = std::strtoull(argv[i + 1], nullptr, 10);
+        if (a == "--delta") {
+            enc = TraceEncoding::Delta;
+        } else if (a == "--refs" && i + 1 < argc) {
+            refs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            CCM_LOG_ERROR("unknown gen option '", a, "'");
+            return 1;
+        }
     }
 
     auto wl = makeWorkload(name, refs, seed);
@@ -44,10 +55,44 @@ cmdGen(int argc, char **argv)
         CCM_LOG_ERROR("unknown workload '", name, "'");
         return 1;
     }
-    TraceFileWriter writer(path);
+    TraceFileWriter writer(path, enc);
     std::size_t n = writer.writeAll(*wl);
     std::cout << "wrote " << n << " records (" << refs
-              << " memory refs) to " << path << "\n";
+              << " memory refs, " << toString(enc) << ") to " << path
+              << "\n";
+    return 0;
+}
+
+/** Shared body of pack/unpack: re-encode @p in as @p enc at @p out. */
+int
+cmdConvert(int argc, char **argv, ccm::TraceEncoding enc)
+{
+    using namespace ccm;
+    if (argc < 4) {
+        CCM_LOG_ERROR("usage: ccm-trace ",
+                      enc == TraceEncoding::Delta ? "pack" : "unpack",
+                      " IN.bin OUT.bin");
+        return 1;
+    }
+    auto rd = TraceFileReader::open(argv[2]);
+    if (!rd.ok()) {
+        CCM_LOG_ERROR(rd.status().toString());
+        return 1;
+    }
+    auto wr = TraceFileWriter::create(argv[3], enc);
+    if (!wr.ok()) {
+        CCM_LOG_ERROR(wr.status().toString());
+        return 1;
+    }
+    std::size_t n = wr.value()->writeAll(*rd.value());
+    Status s = wr.value()->close();
+    if (!s.isOk()) {
+        CCM_LOG_ERROR(s.toString());
+        return 1;
+    }
+    std::cout << "wrote " << n << " records ("
+              << toString(rd.value()->readStats().encoding) << " -> "
+              << toString(enc) << ") to " << argv[3] << "\n";
     return 0;
 }
 
@@ -76,7 +121,9 @@ cmdInfo(int argc, char **argv)
             deps += r.dependsOnPrevLoad ? 1 : 0;
         }
     }
-    std::cout << "records        " << rd.size() << "\n"
+    std::cout << "encoding       "
+              << toString(rd.readStats().encoding) << "\n"
+              << "records        " << rd.size() << "\n"
               << "loads          " << loads << "\n"
               << "stores         " << stores << "\n"
               << "non-memory     " << nonmem << "\n"
@@ -96,12 +143,16 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        CCM_LOG_ERROR("usage: ccm-trace gen|info ...");
+        CCM_LOG_ERROR("usage: ccm-trace gen|pack|unpack|info ...");
         return 1;
     }
     std::string cmd = argv[1];
     if (cmd == "gen")
         return cmdGen(argc, argv);
+    if (cmd == "pack")
+        return cmdConvert(argc, argv, ccm::TraceEncoding::Delta);
+    if (cmd == "unpack")
+        return cmdConvert(argc, argv, ccm::TraceEncoding::Packed);
     if (cmd == "info")
         return cmdInfo(argc, argv);
     CCM_LOG_ERROR("unknown subcommand '", cmd, "'");

@@ -9,19 +9,22 @@
 #      SKIPPED with a notice when no clang++ is installed
 #   4. sanitize build: ASan+UBSan preset + full ctest suite
 #   5. tsan: ThreadSanitizer build of the parallel-runner,
-#      serve-daemon, common (sync/shutdown/log), and metrics-registry
-#      tests
+#      serve-daemon, common (sync/shutdown/log), metrics-registry,
+#      and sharded-classification tests
 #   6. static analysis: tools/ccm-lint (sync-primitive ban always;
 #      clang-tidy when available)
 #   7. doc links: tools/check-doc-links.sh over the markdown tree
 #   8. observability smoke: ccm-sim --stats-json on a tiny suite run,
 #      validated and rendered by ccm-report; --jobs 2 must produce a
-#      stats document identical to --jobs 1 modulo wall-time fields
+#      stats document identical to --jobs 1 modulo wall-time fields;
+#      the sharded classify engine (--classify --suite --shards 4)
+#      must produce a stats document byte-identical to --shards 1
 #   9. perf smoke: the micro_throughput hotpath table (writes
-#      BENCH_hotpath.json for comparison against bench/baselines/),
-#      plus batching determinism: a suite run with CCM_TRACE_BATCH=1
-#      (record-at-a-time delivery) must be byte-identical to the
-#      default batched run
+#      BENCH_hotpath.json for comparison against bench/baselines/,
+#      which must carry the classify_sharded_e2e and mmap_ingest
+#      records/sec rows), plus batching determinism: a suite run with
+#      CCM_TRACE_BATCH=1 (record-at-a-time delivery) must be
+#      byte-identical to the default batched run
 #  10. serve smoke: ccm-serve with three concurrent producers, one of
 #      them wire-corrupted; the live stats document must validate,
 #      the clean streams must match batch ccm-sim byte for byte, and
@@ -92,7 +95,8 @@ ctest --preset sanitize -j "$jobs"
 step "thread-sanitizer build + concurrency tests (tsan preset)"
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" --target test_parallel \
-    --target test_serve --target test_common --target test_obs
+    --target test_serve --target test_common --target test_obs \
+    --target test_sharded
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     build-tsan/tests/test_parallel
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
@@ -102,6 +106,9 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     build-tsan/tests/test_obs \
     --gtest_filter='ObsMetrics.*:ObsSpan.*'
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    build-tsan/tests/test_sharded \
+    --gtest_filter='ShardedClassify.*'
 
 step "static analysis (ccm-lint)"
 tools/ccm-lint --build-dir "$repo_root/build-tidy" -j "$jobs"
@@ -131,10 +138,30 @@ build/tools/ccm-sim --workload go --refs 5000 --arch baseline \
 build/tools/ccm-report --check "$obs_tmp/run.json"
 build/tools/ccm-report "$obs_tmp/run.json" > /dev/null
 
+step "sharded classify determinism (--shards 4 vs --shards 1)"
+# The set-sharded engine must not change a single byte of the stats
+# document for any shard count (docs/PERFORMANCE.md "Sharding
+# semantics"); wall_seconds is the one sanctioned difference.
+build/tools/ccm-sim --classify --suite --refs 5000 --interval 1000 \
+    --shards 1 --stats-json "$obs_tmp/classify_s1.json" > /dev/null
+build/tools/ccm-sim --classify --suite --refs 5000 --interval 1000 \
+    --shards 4 --stats-json "$obs_tmp/classify_s4.json" > /dev/null
+if ! diff <(grep -v wall_seconds "$obs_tmp/classify_s1.json") \
+          <(grep -v wall_seconds "$obs_tmp/classify_s4.json"); then
+    echo "FAIL: sharded classify output differs from sequential" >&2
+    exit 1
+fi
+build/tools/ccm-report --check "$obs_tmp/classify_s1.json"
+build/tools/ccm-report "$obs_tmp/classify_s1.json" > /dev/null
+
 step "perf smoke (micro_throughput hotpath table)"
 CCM_BENCH_JSON_DIR="$obs_tmp" build/bench/micro_throughput \
     --hotpath-only
 test -s "$obs_tmp/BENCH_hotpath.json"
+# The raw-speed rows must be present: an end-to-end records/sec
+# number for the sharded classify engine and for mmap ingestion.
+grep -q '"classify_sharded_e2e"' "$obs_tmp/BENCH_hotpath.json"
+grep -q '"mmap_ingest"' "$obs_tmp/BENCH_hotpath.json"
 
 # Batching determinism: batched delivery must not change a single
 # simulated byte.  CCM_TRACE_BATCH=1 restores record-at-a-time pulls;

@@ -21,6 +21,8 @@
  *   7  trailing partial record
  *   8  mid-file garbage
  *   9  repair failed
+ *   10 bad delta control byte
+ *   11 bad / overlong varint
  *
  * `frames` runs the ccm-serve frame parser over a captured stream and
  * reports its FrameStats; codes continue the scheme (12+ so they
@@ -85,6 +87,10 @@ defectExitCode(TraceDefect d)
         return 7;
       case TraceDefect::MidFileGarbage:
         return 8;
+      case TraceDefect::BadControlByte:
+        return 10;
+      case TraceDefect::BadVarint:
+        return 11;
     }
     return exitUsage;
 }
@@ -122,7 +128,8 @@ usage()
         "       tracecheck frames CAPTURE.bin [--quiet]\n"
         "validate exit codes: 0 ok, 2 io-error, 3 zero-length,\n"
         "  4 truncated-header, 5 bad-magic, 6 bad-version,\n"
-        "  7 partial-tail, 8 mid-file-garbage\n"
+        "  7 partial-tail, 8 mid-file-garbage,\n"
+        "  10 bad-control-byte, 11 bad-varint (delta traces)\n"
         "frames exit codes: 0 ok, 2 io-error, 3 zero-length,\n"
         "  12 no-end-frame, 13 bad-magic, 14 bad-header,\n"
         "  15 bad-checksum, 16 bad-record, 17 bad-hello,\n"
