@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic, seedable spatial-sampling predicate.
+ *
+ * SHARDS-style spatial sampling (src/sample) keeps a reference iff
+ *
+ *     hash(line) mod P < T
+ *
+ * so that the sampled subset is a fixed, pseudo-random R = T/P
+ * fraction of the *line population* — every access to a sampled line
+ * is kept, which preserves per-line reuse behaviour exactly.  The
+ * hash therefore has to be
+ *
+ *  - uniform over the line-aligned, power-of-two-strided addresses the
+ *    workload generators emit (an identity hash would alias whole
+ *    strides into or out of the sample);
+ *  - bit-reproducible across platforms, processes and shard counts —
+ *    which rules out std::hash (implementation-defined) and rand()
+ *    (stateful).  Everything here is fixed-width uint64 arithmetic.
+ *
+ * The mixer is the splitmix64 finalizer seeded AddrMixHash-style: the
+ * seed enters through a golden-ratio multiply (the same constant
+ * AddrMixHash uses) before the two multiply-xorshift rounds, so
+ * different seeds select statistically independent sample sets while
+ * seed 0 still mixes well.  Uniformity is property-tested in
+ * tests/test_common.cc.
+ */
+
+#ifndef CCM_COMMON_SAMPLE_HASH_HH
+#define CCM_COMMON_SAMPLE_HASH_HH
+
+#include <cstdint>
+
+#include "common/addr_types.hh"
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace ccm
+{
+
+/** Seedable 64-bit mixer; same value on every platform. */
+class SampleHash
+{
+  public:
+    explicit constexpr SampleHash(std::uint64_t seed = 0)
+        : seedMix(seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull)
+    {}
+
+    /** Mix @p v (splitmix64 finalizer over the seed-offset value). */
+    constexpr std::uint64_t
+    mix(Addr v) const
+    {
+        std::uint64_t x = v + seedMix;
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+        return x ^ (x >> 31);
+    }
+
+  private:
+    std::uint64_t seedMix;
+};
+
+/**
+ * The SHARDS admission test over line addresses: a line is sampled
+ * iff hash(line) mod P < T, with P fixed at 2^24 (the resolution
+ * floor: the lowest expressible nonzero rate is 1/P ≈ 6e-8, far
+ * below the 0.1% the sampling engine supports).
+ *
+ * The threshold is mutable by design — the fixed-size (SHARDS-adj)
+ * variant lowers it as the tracked-line budget fills — but only ever
+ * downward, so a line's bucket never re-enters the sample.
+ */
+class SamplingPredicate
+{
+  public:
+    /** Fixed modulus P (power of two: mod is a mask). */
+    static constexpr std::uint64_t kModulus = std::uint64_t{1} << 24;
+
+    /**
+     * @param rate   target sampling rate in (0, 1]
+     * @param seed   sample-set selector (same rate, different lines)
+     */
+    static Expected<SamplingPredicate>
+    make(double rate, std::uint64_t seed)
+    {
+        if (!(rate > 0.0) || rate > 1.0)
+            return Status::badConfig("sampling rate ", rate,
+                                     " out of (0, 1]");
+        auto threshold = static_cast<std::uint64_t>(
+            rate * static_cast<double>(kModulus) + 0.5);
+        if (threshold == 0)
+            threshold = 1;
+        if (threshold > kModulus)
+            threshold = kModulus;
+        return SamplingPredicate(threshold, seed);
+    }
+
+    /** hash(line) mod P — the line's fixed admission bucket. */
+    std::uint64_t
+    bucketOf(LineAddr line) const
+    {
+        return hash.mix(line.value()) & (kModulus - 1);
+    }
+
+    /** The SHARDS test: bucket < threshold. */
+    bool sampled(LineAddr line) const { return bucketOf(line) < thr; }
+
+    /** Current threshold T. */
+    std::uint64_t threshold() const { return thr; }
+
+    /** Effective sampling rate T/P. */
+    double
+    rate() const
+    {
+        return static_cast<double>(thr) /
+               static_cast<double>(kModulus);
+    }
+
+    /**
+     * Lower the threshold (SHARDS-adj).  Raising it would re-admit
+     * lines whose history was never tracked, so that is refused.
+     */
+    void
+    lowerThreshold(std::uint64_t new_threshold)
+    {
+        if (new_threshold < thr && new_threshold > 0)
+            thr = new_threshold;
+    }
+
+  private:
+    SamplingPredicate(std::uint64_t threshold, std::uint64_t seed)
+        : hash(seed), thr(threshold)
+    {}
+
+    SampleHash hash;
+    std::uint64_t thr;
+};
+
+} // namespace ccm
+
+#endif // CCM_COMMON_SAMPLE_HASH_HH

@@ -1,6 +1,7 @@
 #include "obs/sink.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -378,9 +379,19 @@ classifySuiteDocument(const std::vector<ClassifyRow> &rows)
             row.set("workload", JsonValue::str(r.workload));
             row.set("error", JsonValue::str(r.status.toString()));
         }
-        // As in suite documents: wall_seconds is the one
-        // nondeterministic field (ci strips it before byte-diffs).
+        // As in suite documents: wall_seconds is nondeterministic
+        // (ci strips it before byte-diffs), and so is the throughput
+        // derived from it — the same records_per_sec metric the BENCH
+        // documents report, so suite and bench outputs agree.
         row.set("wall_seconds", JsonValue::real(r.wallSeconds));
+        if (r.ok()) {
+            const double rps =
+                r.wallSeconds > 0.0
+                    ? static_cast<double>(r.out.references) /
+                          r.wallSeconds
+                    : 0.0;
+            row.set("records_per_sec", JsonValue::real(rps));
+        }
         wall_total += r.wallSeconds;
         out_rows.push(std::move(row));
     }
@@ -394,6 +405,136 @@ classifySuiteDocument(const std::vector<ClassifyRow> &rows)
     summary.set("errored", JsonValue::uint(errored));
     summary.set("wall_seconds_total", JsonValue::real(wall_total));
     doc.set("summary", std::move(summary));
+    return doc;
+}
+
+JsonValue
+sampleDocument(const std::string &workload,
+               const sample::SampleReport &rep)
+{
+    JsonValue doc = documentHeader("sample");
+    doc.set("workload", JsonValue::str(workload));
+
+    JsonValue sampling = JsonValue::object();
+    sampling.set("rate_configured",
+                 JsonValue::real(rep.mrc.configuredRate));
+    sampling.set("rate_final", JsonValue::real(rep.mrc.finalRate));
+    sampling.set("seed", JsonValue::uint(rep.mrc.seed));
+    sampling.set("variant",
+                 JsonValue::str(sample::toString(rep.mrc.variant)));
+    sampling.set("rate_corrected",
+                 JsonValue::boolean(rep.mrc.rateCorrected));
+    sampling.set("threshold_halvings",
+                 JsonValue::uint(rep.mrc.thresholdHalvings));
+    sampling.set("min_lines_boost",
+                 JsonValue::boolean(rep.mrc.minLinesBoost));
+    sampling.set("total_refs", JsonValue::uint(rep.mrc.totalRefs));
+    sampling.set("sampled_refs",
+                 JsonValue::uint(rep.mrc.sampledRefs));
+    sampling.set("lines_sampled",
+                 JsonValue::uint(rep.mrc.linesSampled));
+    doc.set("sampling", std::move(sampling));
+
+    JsonValue mrc = JsonValue::object();
+    mrc.set("line_bytes", JsonValue::uint(rep.mrc.lineBytes));
+    JsonValue points = JsonValue::array();
+    for (std::size_t i = 0; i < rep.mrc.points.size(); ++i) {
+        const sample::MrcPoint &p = rep.mrc.points[i];
+        JsonValue pt = JsonValue::object();
+        pt.set("capacity_bytes", JsonValue::uint(p.capacityBytes));
+        pt.set("bank_lines", JsonValue::uint(p.bankLines));
+        pt.set("sampled_misses", JsonValue::uint(p.sampledMisses));
+        pt.set("miss_ratio", JsonValue::real(p.missRatio));
+        if (rep.hasExact && i < rep.exactMrc.points.size()) {
+            const double exact = rep.exactMrc.points[i].missRatio;
+            pt.set("exact_miss_ratio", JsonValue::real(exact));
+            pt.set("abs_error",
+                   JsonValue::real(std::fabs(p.missRatio - exact)));
+        }
+        points.push(std::move(pt));
+    }
+    mrc.set("points", std::move(points));
+    doc.set("mrc", std::move(mrc));
+
+    const sample::GeometryRecommendation &rec = rep.recommendation;
+    JsonValue r = JsonValue::object();
+    r.set("buf_entries", JsonValue::uint(rec.bufEntries));
+    r.set("victim_conflicts",
+          JsonValue::boolean(rec.victimConflicts));
+    r.set("prefetch_capacity",
+          JsonValue::boolean(rec.prefetchCapacity));
+    r.set("exclude_capacity",
+          JsonValue::boolean(rec.excludeCapacity));
+    r.set("mr_at_l1", JsonValue::real(rec.missRatioAtL1));
+    r.set("gain_2x", JsonValue::real(rec.gainDouble));
+    r.set("gain_4x", JsonValue::real(rec.gainQuad));
+    r.set("mr_at_max", JsonValue::real(rec.missRatioAtMax));
+    r.set("rationale", JsonValue::str(rec.rationale));
+    doc.set("recommendation", std::move(r));
+
+    if (rep.hasIntervals) {
+        const sample::IntervalResult &ivl = rep.intervals;
+        JsonValue sec = JsonValue::object();
+        sec.set("windows", JsonValue::uint(ivl.windows));
+        sec.set("clusters", JsonValue::uint(ivl.clusters));
+        sec.set("window_refs", JsonValue::uint(ivl.windowRefs));
+        sec.set("total_refs", JsonValue::uint(ivl.totalRefs));
+        sec.set("replayed_refs", JsonValue::uint(ivl.replayedRefs));
+        sec.set("confidence", JsonValue::real(ivl.confidence));
+
+        JsonValue reps = JsonValue::array();
+        for (const sample::RepresentativeWindow &w : ivl.reps) {
+            JsonValue row = JsonValue::object();
+            row.set("window_index", JsonValue::uint(w.windowIndex));
+            row.set("weight", JsonValue::real(w.weight));
+            row.set("cluster_size", JsonValue::uint(w.clusterSize));
+            row.set("first_ref", JsonValue::uint(w.firstRef));
+            row.set("last_ref", JsonValue::uint(w.lastRef));
+            row.set("refs", JsonValue::uint(w.refs));
+            row.set("rel_spread", JsonValue::real(w.relSpread));
+            reps.push(std::move(row));
+        }
+        sec.set("representatives", std::move(reps));
+
+        JsonValue stats = JsonValue::array();
+        for (const sample::StatEstimate &est : ivl.stats) {
+            JsonValue row = JsonValue::object();
+            row.set("name", JsonValue::str(est.name));
+            row.set("predicted", JsonValue::real(est.predicted));
+            row.set("error_bar", JsonValue::real(est.errorBar));
+            if (rep.hasExact) {
+                Count exact_v = 0;
+                MemStats::forEachField(
+                    [&](const char *name, Count MemStats::*f) {
+                        if (est.name == name)
+                            exact_v = rep.exactClassify.mem.*f;
+                    });
+                row.set("exact", JsonValue::uint(exact_v));
+                row.set("abs_error",
+                        JsonValue::real(std::fabs(
+                            est.predicted -
+                            static_cast<double>(exact_v))));
+            }
+            stats.push(std::move(row));
+        }
+        sec.set("stats", std::move(stats));
+        doc.set("intervals", std::move(sec));
+    }
+
+    if (rep.hasExact) {
+        JsonValue err = JsonValue::object();
+        err.set("mrc_mae", JsonValue::real(rep.mrcMae));
+        err.set("mrc_max_error", JsonValue::real(rep.mrcMaxError));
+        err.set("max_stat_rel_error",
+                JsonValue::real(rep.maxStatRelError));
+        doc.set("error", std::move(err));
+    }
+
+    doc.set("wall_seconds_sampled",
+            JsonValue::real(rep.wallSecondsSampled));
+    if (rep.hasExact)
+        doc.set("wall_seconds_exact",
+                JsonValue::real(rep.wallSecondsExact));
     return doc;
 }
 
@@ -863,6 +1004,110 @@ checkMetricsBody(const JsonValue &doc)
     return Status::ok();
 }
 
+/**
+ * kind:"sample" documents (docs/OBSERVABILITY.md): sampling
+ * parameters, a non-empty monotone non-increasing miss-ratio curve
+ * over strictly ascending capacities, a geometry recommendation,
+ * and — when the interval pillar ran — per-stat estimates that all
+ * carry error bars and representative weights that sum to 1.
+ */
+Status
+checkSampleBody(const JsonValue &doc)
+{
+    if (!doc.at("workload").isString())
+        return Status::badConfig("missing workload name");
+
+    const JsonValue &sampling = doc.at("sampling");
+    if (!sampling.isObject())
+        return Status::badConfig("missing sampling section");
+    for (const char *key :
+         {"rate_configured", "rate_final", "total_refs",
+          "sampled_refs", "lines_sampled"}) {
+        if (!sampling.at(key).isNumber())
+            return Status::badConfig("sampling.", key,
+                                     " is missing or not a number");
+    }
+    const double rate = sampling.at("rate_final").asDouble();
+    if (!(rate > 0.0) || rate > 1.0)
+        return Status::badConfig("sampling.rate_final ", rate,
+                                 " out of (0, 1]");
+
+    const JsonValue &mrc = doc.at("mrc");
+    if (!mrc.isObject())
+        return Status::badConfig("missing mrc section");
+    const JsonValue &points = mrc.at("points");
+    if (!points.isArray() || points.size() == 0)
+        return Status::badConfig("mrc.points is missing or empty");
+    std::uint64_t prev_cap = 0;
+    double prev_mr = 2.0;
+    bool first = true;
+    for (const JsonValue &p : points.elements()) {
+        const std::uint64_t cap = p.at("capacity_bytes").asU64();
+        const double mr = p.at("miss_ratio").asDouble();
+        if (mr < 0.0 || mr > 1.0)
+            return Status::badConfig("mrc miss_ratio ", mr,
+                                     " out of [0, 1]");
+        if (!first) {
+            if (cap <= prev_cap)
+                return Status::badConfig(
+                    "mrc capacities are not strictly ascending at ",
+                    cap);
+            // LRU inclusion makes the curve non-increasing; allow
+            // float-rounding slack only.
+            if (mr > prev_mr + 1e-9)
+                return Status::badConfig(
+                    "mrc miss_ratio rises from ", prev_mr, " to ",
+                    mr, " at capacity ", cap);
+        }
+        prev_cap = cap;
+        prev_mr = mr;
+        first = false;
+    }
+
+    if (!doc.at("recommendation").isObject())
+        return Status::badConfig("missing recommendation section");
+
+    if (const JsonValue *ivl = doc.get("intervals")) {
+        for (const char *key :
+             {"windows", "clusters", "window_refs", "confidence"}) {
+            if (!ivl->at(key).isNumber())
+                return Status::badConfig(
+                    "intervals.", key, " is missing or not a number");
+        }
+        const JsonValue &reps = ivl->at("representatives");
+        if (!reps.isArray() || reps.size() == 0)
+            return Status::badConfig(
+                "intervals.representatives is missing or empty");
+        double weight_sum = 0.0;
+        for (const JsonValue &w : reps.elements())
+            weight_sum += w.at("weight").asDouble();
+        if (std::fabs(weight_sum - 1.0) > 1e-6)
+            return Status::badConfig(
+                "representative weights sum to ", weight_sum,
+                ", not 1");
+        const JsonValue &stats = ivl->at("stats");
+        if (!stats.isArray() || stats.size() == 0)
+            return Status::badConfig(
+                "intervals.stats is missing or empty");
+        for (const JsonValue &s : stats.elements()) {
+            if (!s.at("name").isString())
+                return Status::badConfig(
+                    "interval stat row without a name");
+            const std::string ctx =
+                "stat '" + s.at("name").asString() + "'";
+            // Error bars are the point of the reconstruction — a
+            // document without them does not validate.
+            for (const char *key : {"predicted", "error_bar"}) {
+                if (!s.at(key).isNumber())
+                    return Status::badConfig(
+                        ctx, ": ", key,
+                        " is missing or not a number");
+            }
+        }
+    }
+    return Status::ok();
+}
+
 } // namespace
 
 Status
@@ -891,6 +1136,8 @@ validateStatsDoc(const JsonValue &doc)
         return checkServeBody(doc).withContext("serve document");
     if (kind == "metrics")
         return checkMetricsBody(doc).withContext("metrics document");
+    if (kind == "sample")
+        return checkSampleBody(doc).withContext("sample document");
     if (kind == "bench") {
         const JsonValue &table = doc.at("table");
         const JsonValue &headers = table.at("headers");

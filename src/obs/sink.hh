@@ -32,6 +32,7 @@
 #include "obs/interval.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "sample/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/sharded.hh"
 
@@ -140,6 +141,18 @@ JsonValue classifyDocument(const std::string &workload,
  * as kind:"suite", with classify bodies and no sim section.
  */
 JsonValue classifySuiteDocument(const std::vector<ClassifyRow> &rows);
+
+/**
+ * Build a kind:"sample" document for one sampling analysis
+ * (src/sample): the sampling parameters, the miss-ratio curve, the
+ * geometry recommendation, the interval reconstruction with its
+ * per-stat error bars, and — when the report carries exact
+ * references — predicted-vs-exact error columns.  The wall_seconds_*
+ * fields are the only nondeterministic ones (same strip pattern as
+ * every other document's wall_seconds).
+ */
+JsonValue sampleDocument(const std::string &workload,
+                         const sample::SampleReport &rep);
 
 /** {"headers": [...], "rows": [[...], ...]} from a result table. */
 JsonValue tableToJson(const TextTable &table);

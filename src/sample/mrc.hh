@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Single-pass miss-ratio-curve construction with SHARDS spatial
+ * sampling (Byrne, "A Survey of Miss-Ratio Curve Construction
+ * Techniques"; Waldspurger et al.'s SHARDS — see PAPERS.md).
+ *
+ * ## What one pass computes
+ *
+ * A fully-associative LRU cache of capacity c hits a reference iff
+ * the reference's *stack distance* (its line's 1-based position in
+ * the LRU stack) is <= c — Mattson's inclusion property.  So the miss
+ * ratio at every capacity in a fixed grid falls out of one scan: the
+ * profiler keeps one flat FaLru "bank" per curve point and counts the
+ * references each bank misses.  Each bank operation is O(1) expected
+ * (open-addressed hash + intrusive list; src/cache/fa_lru.hh), and
+ * the grid has a fixed handful of points, so the per-reference cost
+ * is O(points) = O(1) — not the naive O(N) Mattson list walk.
+ *
+ * ## SHARDS sampling
+ *
+ * A line is sampled iff hash(line) mod P < T (common/sample_hash.hh),
+ * giving rate R = T/P.  Sampling lines (not references) preserves
+ * per-line reuse exactly; the sampled trace behaves like the full
+ * trace shrunk by R, so a sampled stack distance d estimates a true
+ * distance d/R and the bank for true capacity C holds floor(C*R)
+ * lines (a miss at capacity C is "d > C*R", and distances are
+ * integers, so the test is exact — no capacity rounding error beyond
+ * the floor).  Two variants:
+ *
+ *  - fixed-rate: T is constant; memory grows with the sampled
+ *    working set;
+ *  - fixed-size (SHARDS-adj): when the tracked-line set exceeds
+ *    maxSampledLines, T halves and lines with bucket >= T are evicted
+ *    from every bank, bounding memory at the cost of a coarser early
+ *    history.  Each kept reference is weighted by 1/R_at_sample-time.
+ *
+ * The standard rate correction ("SHARDS-adj" in the literature) adds
+ * the difference between expected (N*R) and actual weighted sampled
+ * references to the hit side of every point — misses are measured,
+ * total mass is corrected — which removes most of the bias of an
+ * unlucky sample at low rates.
+ *
+ * Everything is deterministic: same records + config => identical
+ * MrcResult bytes, any platform (the sampling hash is seedable and
+ * bit-reproducible; no rand()/std::hash anywhere).
+ */
+
+#ifndef CCM_SAMPLE_MRC_HH
+#define CCM_SAMPLE_MRC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "trace/record.hh"
+
+namespace ccm::sample
+{
+
+/** Which SHARDS flavour bounds the profiler's memory. */
+enum class ShardsVariant
+{
+    FixedRate, ///< constant threshold, unbounded tracked set
+    FixedSize, ///< threshold halves to cap the tracked set
+};
+
+/** @return "fixed-rate" / "fixed-size". */
+const char *toString(ShardsVariant v);
+
+/** Parameters of one MRC construction pass. */
+struct MrcConfig
+{
+    /** Reuse granularity (power of two). */
+    unsigned lineBytes = 64;
+
+    /**
+     * Cache capacities (bytes) the curve is evaluated at, ascending.
+     * Empty = defaultCapacities().
+     */
+    std::vector<std::size_t> capacitiesBytes;
+
+    /** Initial sampling rate in (0, 1]; 1.0 = exact (no sampling). */
+    double rate = 0.01;
+
+    /** Sample-set selector (common/sample_hash.hh). */
+    std::uint64_t seed = 42;
+
+    ShardsVariant variant = ShardsVariant::FixedRate;
+
+    /** FixedSize only: tracked-line budget before T halves. */
+    std::size_t maxSampledLines = 8192;
+
+    /** Apply the standard expected-vs-actual mass correction. */
+    bool rateCorrection = true;
+
+    /**
+     * Also record a per-window miss signature every this many memory
+     * references (0 = off) — the cheap feature vectors the
+     * representative-interval selector (intervals.hh) clusters.
+     */
+    Count windowRefs = 0;
+
+    /**
+     * Degenerate-footprint guard (0 = off).  Spatial sampling is only
+     * sound when the sample holds enough distinct lines; a pass that
+     * finishes with fewer than this many re-runs once at a
+     * proportionally boosted rate (MrcResult::minLinesBoost reports
+     * it).  The retry is deterministic and cheap exactly when it
+     * triggers: a small footprint means small banks at any rate.
+     */
+    std::size_t minSampledLines = 512;
+
+    /**
+     * Ceiling for the boosted retry rate (the guard never exceeds
+     * max(rate, maxBoostedRate)).  Tiny footprints would otherwise
+     * demand near-exact rates and forfeit the sampling speedup; a
+     * capped boost already multiplies the sample severalfold.
+     */
+    double maxBoostedRate = 0.08;
+};
+
+/** The default 16KB..8MB power-of-two capacity grid. */
+std::vector<std::size_t> defaultCapacities();
+
+/** One point of the curve. */
+struct MrcPoint
+{
+    std::size_t capacityBytes = 0;
+    std::size_t capacityLines = 0;
+    /** Scaled bank size actually simulated: floor(lines * rate). */
+    std::size_t bankLines = 0;
+    /** Raw sampled references that missed this bank. */
+    Count sampledMisses = 0;
+    /** Rate-corrected miss-ratio estimate in [0, 1]. */
+    double missRatio = 0.0;
+};
+
+/**
+ * Per-window reuse/miss signature — the feature vector of one
+ * fixed-length interval, produced when MrcConfig::windowRefs > 0.
+ */
+struct WindowSignature
+{
+    Count firstRef = 0; ///< 1-based, inclusive
+    Count lastRef = 0;  ///< inclusive
+    /** Record-span [begin, end) covering the window. */
+    std::size_t recordBegin = 0;
+    std::size_t recordEnd = 0;
+    Count sampledRefs = 0;
+    /** Sampled misses per curve point within this window. */
+    std::vector<Count> sampledMisses;
+    /**
+     * Exact (not miss-estimate) phase discriminators: sampled lines
+     * first seen in this window, and distinct sampled lines touched.
+     * Cold/streaming phases show high first-touch rates; tight
+     * conflict loops show small footprints — signals the sparse
+     * per-capacity miss counts alone cannot separate.
+     */
+    Count sampledNewLines = 0;
+    Count sampledUniqueLines = 0;
+};
+
+/** Everything one MRC pass produces. */
+struct MrcResult
+{
+    std::vector<MrcPoint> points;
+
+    Count totalRefs = 0;    ///< memory references scanned
+    Count sampledRefs = 0;  ///< references past the admission test
+    Count linesSampled = 0; ///< distinct sampled lines seen
+    /** Weighted sampled references (each 1/R at sample time). */
+    double weightedRefs = 0.0;
+
+    double configuredRate = 0.0;
+    /** Final threshold rate (== configuredRate for fixed-rate). */
+    double finalRate = 0.0;
+    std::uint64_t seed = 0;
+    unsigned lineBytes = 64;
+    ShardsVariant variant = ShardsVariant::FixedRate;
+    bool rateCorrected = true;
+    /** Times the fixed-size variant halved the threshold. */
+    unsigned thresholdHalvings = 0;
+    /** MrcConfig::minSampledLines triggered a boosted re-run. */
+    bool minLinesBoost = false;
+
+    /** Window series (empty unless cfg.windowRefs > 0). */
+    Count windowRefs = 0;
+    std::vector<WindowSignature> windows;
+
+    /** Curve value at the smallest point >= @p capacity_bytes. */
+    double missRatioAt(std::size_t capacity_bytes) const;
+};
+
+/**
+ * Build the miss-ratio curve of @p count records in one pass.
+ * Deterministic for a given (records, cfg).
+ */
+Expected<MrcResult> buildMrc(const MemRecord *records,
+                             std::size_t count, const MrcConfig &cfg);
+
+/**
+ * Pre-register the sampling instruments (ccm_sample_lines_sampled
+ * _total, ccm_sample_rate, ccm_sample_mrc_build_us) with the global
+ * metrics registry so telemetry consumers (ccm-top) see them at
+ * their zero values before the first pass runs.
+ */
+void touchSampleMetrics();
+
+} // namespace ccm::sample
+
+#endif // CCM_SAMPLE_MRC_HH

@@ -1,0 +1,84 @@
+#include "sample/recommend.hh"
+
+#include <sstream>
+
+namespace ccm::sample
+{
+
+namespace
+{
+
+/** Steepness ladder: deeper buffers for steeper curves. */
+unsigned
+bufferDepthFor(double gain_double)
+{
+    if (gain_double < 0.005)
+        return 4;
+    if (gain_double < 0.02)
+        return 8;
+    if (gain_double < 0.05)
+        return 16;
+    return 32;
+}
+
+} // namespace
+
+GeometryRecommendation
+recommendGeometry(const MrcResult &mrc, std::size_t l1_bytes)
+{
+    GeometryRecommendation rec;
+    rec.missRatioAtL1 = mrc.missRatioAt(l1_bytes);
+    rec.gainDouble =
+        rec.missRatioAtL1 - mrc.missRatioAt(l1_bytes * 2);
+    rec.gainQuad = rec.missRatioAtL1 - mrc.missRatioAt(l1_bytes * 4);
+    rec.missRatioAtMax = mrc.points.empty()
+                             ? 0.0
+                             : mrc.points.back().missRatio;
+
+    rec.bufEntries = bufferDepthFor(rec.gainDouble);
+
+    // Steep just past C: near-capacity reuse a small buffer catches.
+    rec.victimConflicts = rec.gainDouble >= 0.005;
+    // Still missing hard at the largest capacity: streaming access
+    // no capacity fixes — prefetch the next line instead.
+    rec.prefetchCapacity = rec.missRatioAtMax > 0.2;
+    // Big gains only far beyond C: capacity thrash — bypass the
+    // never-reused fills to protect the resident set.
+    rec.excludeCapacity = rec.gainQuad > 0.05;
+
+    std::ostringstream why;
+    why << "mr(C)=" << rec.missRatioAtL1
+        << " gain2x=" << rec.gainDouble << " gain4x=" << rec.gainQuad
+        << " mr(max)=" << rec.missRatioAtMax << " -> buf="
+        << rec.bufEntries;
+    if (rec.useAssist()) {
+        why << " amb=";
+        if (rec.victimConflicts)
+            why << "V";
+        if (rec.prefetchCapacity)
+            why << "P";
+        if (rec.excludeCapacity)
+            why << "X";
+    } else {
+        why << " (no assist indicated)";
+    }
+    rec.rationale = why.str();
+    return rec;
+}
+
+SystemConfig
+applyRecommendation(const SystemConfig &base,
+                    const GeometryRecommendation &rec)
+{
+    SystemConfig cfg = base;
+    cfg.mem.bufEntries = rec.bufEntries;
+    if (rec.useAssist()) {
+        cfg.mem.mode = AssistMode::Amb;
+        cfg.mem.amb.victimConflicts = rec.victimConflicts;
+        cfg.mem.amb.prefetchCapacity = rec.prefetchCapacity;
+        cfg.mem.amb.excludeCapacity = rec.excludeCapacity;
+    }
+    return cfg;
+}
+
+} // namespace ccm::sample

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-workload geometry recommendations derived from a miss-ratio
+ * curve — the planning half of the sampling engine: one cheap
+ * sampled pass (mrc.hh) suggests the victim-buffer depth and AMB
+ * partition to sweep, instead of brute-forcing every combination.
+ *
+ * The mapping is a documented heuristic, not a guarantee (an MRC is
+ * fully associative, so it sees capacity pressure, not mapping
+ * conflicts directly):
+ *
+ *  - a steep curve just past the L1 capacity (mr(C) - mr(2C) large)
+ *    means the working set barely exceeds the cache, so the lines a
+ *    small victim/assist buffer can hold are exactly the ones about
+ *    to be re-referenced — deeper buffers for steeper curves;
+ *  - a curve still high at the largest grid capacity means streaming
+ *    reuse the cache can never capture — prefetching is the only
+ *    lever that helps;
+ *  - gains that only materialize at several times the capacity mean
+ *    capacity-bound thrash — cache exclusion (bypassing the
+ *    never-reused fills) protects the resident set.
+ *
+ * The suite's --auto-size mode applies these per workload via
+ * applyRecommendation; EXPERIMENTS.md has the recipe.
+ */
+
+#ifndef CCM_SAMPLE_RECOMMEND_HH
+#define CCM_SAMPLE_RECOMMEND_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sample/mrc.hh"
+#include "sim/experiment.hh"
+
+namespace ccm::sample
+{
+
+/** MRC-derived geometry suggestion for one workload. */
+struct GeometryRecommendation
+{
+    /** Suggested assist-buffer depth (4/8/16/32 entries). */
+    unsigned bufEntries = 8;
+
+    /** Suggested AMB allocation partition. */
+    bool victimConflicts = false;
+    bool prefetchCapacity = false;
+    bool excludeCapacity = false;
+
+    /** True when any partition flag is set (assist worth running). */
+    bool useAssist() const
+    {
+        return victimConflicts || prefetchCapacity || excludeCapacity;
+    }
+
+    // Curve evidence the suggestion was read from.
+    double missRatioAtL1 = 0.0; ///< mr(C)
+    double gainDouble = 0.0;    ///< mr(C) - mr(2C)
+    double gainQuad = 0.0;      ///< mr(C) - mr(4C)
+    double missRatioAtMax = 0.0;
+
+    /** One-line human-readable justification. */
+    std::string rationale;
+};
+
+/**
+ * Read a recommendation off @p mrc for an L1 of @p l1_bytes.
+ * Pure function of the curve — deterministic.
+ */
+GeometryRecommendation recommendGeometry(const MrcResult &mrc,
+                                         std::size_t l1_bytes);
+
+/**
+ * @p base with the recommendation applied: buffer depth, and — when
+ * the curve argues for an assist at all — AssistMode::Amb with the
+ * suggested partition.  A flat curve leaves @p base untouched except
+ * for the buffer depth.
+ */
+SystemConfig applyRecommendation(const SystemConfig &base,
+                                 const GeometryRecommendation &rec);
+
+} // namespace ccm::sample
+
+#endif // CCM_SAMPLE_RECOMMEND_HH

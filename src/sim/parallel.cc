@@ -21,8 +21,10 @@ runSequential(const std::vector<std::string> &names,
     SuiteReport report;
     report.rows.reserve(names.size());
     for (const auto &name : names) {
+        const SystemConfig cfg =
+            opts.configFor ? opts.configFor(name, config) : config;
         report.rows.push_back(
-            runSuiteCell(name, factory, config, opts.instrument));
+            runSuiteCell(name, factory, cfg, opts.instrument));
         if (opts.onRowDone)
             opts.onRowDone(report.rows.back());
     }
@@ -67,7 +69,10 @@ runSuiteParallel(const std::vector<std::string> &names,
         pool.submit([&, i] {
             SuiteRow row;
             try {
-                row = runSuiteCell(names[i], factory, config,
+                const SystemConfig cfg =
+                    opts.configFor ? opts.configFor(names[i], config)
+                                   : config;
+                row = runSuiteCell(names[i], factory, cfg,
                                    serialized);
             } catch (const std::exception &e) {
                 // runSuiteCell already captures fatal/user errors;

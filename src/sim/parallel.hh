@@ -68,6 +68,18 @@ struct ParallelSuiteOptions
      * that ends up in the report.
      */
     std::function<void(const SuiteRow &)> onRowDone;
+
+    /**
+     * Per-workload configuration override: called once per row with
+     * the workload name and the sweep's base config, returning the
+     * config that row actually runs.  This is how --auto-size applies
+     * MRC-derived geometry per workload (src/sample/recommend.hh).
+     * Must be pure (it may run concurrently under --jobs); absent
+     * means every row runs the base config.
+     */
+    std::function<SystemConfig(const std::string &,
+                               const SystemConfig &)>
+        configFor;
 };
 
 /**

@@ -3,14 +3,17 @@
  * Unit tests for src/common: bit utilities, the PCG32 generator, the
  * statistics helpers, the text-table formatter, the capability-
  * annotated synchronization layer (including the runtime lock-rank
- * checker), and the signal-safe shutdown latch.  The sync and
+ * checker), the signal-safe shutdown latch, and the seedable
+ * spatial-sampling hash (uniformity property tests).  The sync and
  * shutdown tests run under the tsan preset in CI.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <sstream>
 #include <thread>
@@ -23,6 +26,7 @@
 #include "common/log.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/sample_hash.hh"
 #include "common/shutdown.hh"
 #include "common/stats.hh"
 #include "common/sync.hh"
@@ -644,6 +648,116 @@ TEST(Log, UptimeIsMonotonic)
     const double b = logUptimeSeconds();
     EXPECT_GE(a, 0.0);
     EXPECT_GE(b, a);
+}
+
+// ---- sample hash / sampling predicate -----------------------------
+
+TEST(SampleHash, DeterministicAcrossInstances)
+{
+    SampleHash a(9), b(9);
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        EXPECT_EQ(a.mix(v * 64), b.mix(v * 64));
+}
+
+TEST(SampleHash, BucketsUniformOverStridedLines)
+{
+    // Workload generators emit line populations with power-of-two
+    // strides; an identity (or weak) hash aliases whole strides into
+    // a handful of buckets.  Property: for every stride, the bucket
+    // histogram over 256 coarse bins passes a chi-square flatness
+    // check (255 dof: mean 255, sigma ~22.6; 360 is > 4 sigma, and
+    // the inputs are fixed so the test is deterministic).
+    constexpr int kBins = 256;
+    constexpr std::uint64_t kLines = 1 << 16;
+    for (std::uint64_t stride : {std::uint64_t{1}, std::uint64_t{2},
+                                 std::uint64_t{16},
+                                 std::uint64_t{1024}}) {
+        const auto pred = SamplingPredicate::make(1.0, 4).value();
+        std::vector<std::uint64_t> bins(kBins, 0);
+        for (std::uint64_t i = 0; i < kLines; ++i) {
+            const auto b = pred.bucketOf(LineAddr(i * stride));
+            ++bins[b * kBins / SamplingPredicate::kModulus];
+        }
+        const double expect =
+            static_cast<double>(kLines) / kBins;
+        double chi2 = 0.0;
+        for (auto n : bins) {
+            const double d = static_cast<double>(n) - expect;
+            chi2 += d * d / expect;
+        }
+        EXPECT_LT(chi2, 360.0) << "stride " << stride;
+    }
+}
+
+TEST(SamplingPredicate, SampledFractionTracksRate)
+{
+    // The admitted fraction of a large strided line population must
+    // match the configured rate within binomial noise at every rate
+    // the engine supports (0.1% .. 100%).
+    constexpr std::uint64_t kLines = 1 << 18;
+    for (double rate : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+        const auto pred = SamplingPredicate::make(rate, 42).value();
+        std::uint64_t hits = 0;
+        for (std::uint64_t i = 0; i < kLines; ++i)
+            hits += pred.sampled(LineAddr(i * 8)) ? 1 : 0;
+        const double got =
+            static_cast<double>(hits) / static_cast<double>(kLines);
+        // 5 sigma of binomial noise, floored at 10% relative.
+        const double sigma =
+            std::sqrt(rate * (1.0 - rate) /
+                      static_cast<double>(kLines));
+        const double tol = std::max(5.0 * sigma, 0.1 * rate);
+        EXPECT_NEAR(got, rate, tol) << "rate " << rate;
+        EXPECT_NEAR(pred.rate(), rate, 1.0 / (1 << 24));
+    }
+}
+
+TEST(SamplingPredicate, SeedsSelectIndependentSampleSets)
+{
+    // Different seeds must pick statistically independent line sets:
+    // the overlap of two rate-R samples is ~R^2 of the population,
+    // not ~R (which a seed-insensitive hash would give).
+    constexpr std::uint64_t kLines = 1 << 17;
+    constexpr double kRate = 0.05;
+    const auto a = SamplingPredicate::make(kRate, 1).value();
+    const auto b = SamplingPredicate::make(kRate, 2).value();
+    std::uint64_t both = 0, inA = 0;
+    for (std::uint64_t i = 0; i < kLines; ++i) {
+        const LineAddr line(i * 4);
+        const bool sa = a.sampled(line);
+        inA += sa ? 1 : 0;
+        both += (sa && b.sampled(line)) ? 1 : 0;
+    }
+    const double expected = kRate * kRate * kLines; // ~328
+    EXPECT_GT(static_cast<double>(both), expected * 0.5);
+    EXPECT_LT(static_cast<double>(both), expected * 2.0);
+    // And the overlap is far below the seed-insensitive outcome inA.
+    EXPECT_LT(both * 4, inA);
+}
+
+TEST(SamplingPredicate, LoweringThresholdShrinksTheSampleSet)
+{
+    // SHARDS-adj correctness hinges on monotone eviction: after the
+    // threshold drops, the surviving set is a strict subset (a line's
+    // bucket is fixed, so no line can re-enter).  Raising is refused.
+    constexpr std::uint64_t kLines = 1 << 15;
+    auto pred = SamplingPredicate::make(0.2, 7).value();
+    std::vector<bool> before(kLines);
+    for (std::uint64_t i = 0; i < kLines; ++i)
+        before[i] = pred.sampled(LineAddr(i));
+
+    const auto origThr = pred.threshold();
+    pred.lowerThreshold(origThr / 2);
+    EXPECT_EQ(pred.threshold(), origThr / 2);
+    for (std::uint64_t i = 0; i < kLines; ++i) {
+        if (pred.sampled(LineAddr(i)))
+            EXPECT_TRUE(before[i]) << "line " << i << " re-entered";
+    }
+
+    pred.lowerThreshold(origThr); // raise attempt: refused
+    EXPECT_EQ(pred.threshold(), origThr / 2);
+    pred.lowerThreshold(0); // zero would admit nothing: refused
+    EXPECT_EQ(pred.threshold(), origThr / 2);
 }
 
 } // namespace ccm

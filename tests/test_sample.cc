@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the statistical sampling engine (src/sample): the SHARDS
+ * miss-ratio-curve profiler, the representative-interval selector,
+ * the geometry recommendation, the top-level analysis entry point,
+ * and the kind:"sample" observability document.
+ *
+ * The load-bearing properties:
+ *  - rate 1.0 is *exact*: the profiler's per-capacity miss counts
+ *    must equal a brute-force FaLru simulation at each capacity;
+ *  - everything is deterministic for a fixed (records, config);
+ *  - k == #windows interval replay reconstructs the whole-trace
+ *    classify counters exactly (every window replayed, weights tile);
+ *  - the degenerate-footprint guard re-runs tiny-footprint traces at
+ *    a boosted rate instead of shipping a vacuous curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cache/fa_lru.hh"
+#include "obs/sink.hh"
+#include "sample/engine.hh"
+#include "sample/intervals.hh"
+#include "sample/mrc.hh"
+#include "sample/recommend.hh"
+#include "sim/sharded.hh"
+#include "trace/vector_trace.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace ccm;
+using namespace ccm::sample;
+
+std::vector<MemRecord>
+captureRecords(const std::string &name, std::size_t refs)
+{
+    auto wl = makeWorkload(name, refs, 42);
+    EXPECT_NE(wl, nullptr) << name;
+    return VectorTrace::capture(*wl).records();
+}
+
+/** Brute-force misses of a fully-associative LRU of @p lines. */
+Count
+faLruMisses(const std::vector<MemRecord> &recs, std::size_t lines)
+{
+    const CacheGeometry geom(64, 1, 64);
+    FaLru fa(lines);
+    Count misses = 0;
+    for (const MemRecord &r : recs) {
+        if (!r.isMem())
+            continue;
+        const LineAddr line = geom.lineOf(r.dataAddr());
+        if (!fa.touchOrInsert(line))
+            ++misses;
+    }
+    return misses;
+}
+
+TEST(SampleMrc, RateOneMatchesBruteForcePerCapacity)
+{
+    const auto recs = captureRecords("tomcatv", 50'000);
+
+    MrcConfig cfg;
+    cfg.rate = 1.0;
+    auto mrc = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(mrc.ok()) << mrc.status().toString();
+
+    for (const MrcPoint &p : mrc.value().points) {
+        SCOPED_TRACE(p.capacityBytes);
+        EXPECT_EQ(p.bankLines, p.capacityLines); // no scaling at 1.0
+        EXPECT_EQ(p.sampledMisses,
+                  faLruMisses(recs, p.capacityLines));
+        EXPECT_NEAR(p.missRatio,
+                    double(p.sampledMisses) /
+                        double(mrc.value().totalRefs),
+                    1e-12);
+    }
+}
+
+TEST(SampleMrc, CurveIsMonotoneNonIncreasing)
+{
+    const auto recs = captureRecords("gcc", 80'000);
+    MrcConfig cfg;
+    cfg.rate = 0.05;
+    cfg.minSampledLines = 0; // observe the raw 5% pass
+    auto mrc = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(mrc.ok());
+    const auto &pts = mrc.value().points;
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        EXPECT_LE(pts[i].missRatio, pts[i - 1].missRatio + 1e-12);
+}
+
+TEST(SampleMrc, DeterministicAcrossRuns)
+{
+    const auto recs = captureRecords("perl", 60'000);
+    MrcConfig cfg;
+    cfg.rate = 0.02;
+    cfg.windowRefs = 5'000;
+    auto a = buildMrc(recs.data(), recs.size(), cfg);
+    auto b = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().sampledRefs, b.value().sampledRefs);
+    EXPECT_EQ(a.value().linesSampled, b.value().linesSampled);
+    ASSERT_EQ(a.value().points.size(), b.value().points.size());
+    for (std::size_t i = 0; i < a.value().points.size(); ++i) {
+        EXPECT_EQ(a.value().points[i].sampledMisses,
+                  b.value().points[i].sampledMisses);
+        EXPECT_EQ(a.value().points[i].missRatio,
+                  b.value().points[i].missRatio);
+    }
+    ASSERT_EQ(a.value().windows.size(), b.value().windows.size());
+    for (std::size_t w = 0; w < a.value().windows.size(); ++w)
+        EXPECT_EQ(a.value().windows[w].sampledMisses,
+                  b.value().windows[w].sampledMisses);
+}
+
+TEST(SampleMrc, SeedSelectsADifferentSampleSet)
+{
+    const auto recs = captureRecords("vortex", 60'000);
+    MrcConfig cfg;
+    cfg.rate = 0.05;
+    cfg.minSampledLines = 0;
+    auto a = buildMrc(recs.data(), recs.size(), cfg);
+    cfg.seed = 1234;
+    auto b = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // Different seeds sample different line sets; identical counts
+    // for every point would mean the seed is ignored.
+    EXPECT_NE(a.value().sampledRefs, b.value().sampledRefs);
+}
+
+TEST(SampleMrc, FixedSizeVariantHalvesAndBoundsTracking)
+{
+    const auto recs = captureRecords("gcc", 200'000);
+    MrcConfig cfg;
+    cfg.rate = 1.0; // start exact so halving must engage
+    cfg.variant = ShardsVariant::FixedSize;
+    cfg.maxSampledLines = 64;
+    cfg.minSampledLines = 0;
+    auto mrc = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(mrc.ok());
+    EXPECT_GT(mrc.value().thresholdHalvings, 0u);
+    EXPECT_LT(mrc.value().finalRate, 1.0);
+    // Each halving exactly halves the admission threshold.
+    EXPECT_NEAR(mrc.value().finalRate,
+                mrc.value().configuredRate /
+                    std::pow(2.0, mrc.value().thresholdHalvings),
+                1e-9);
+    // Weighted mass still estimates the full reference count.
+    EXPECT_GT(mrc.value().weightedRefs, 0.0);
+}
+
+TEST(SampleMrc, RateCorrectionPinsTotalMass)
+{
+    const auto recs = captureRecords("swim", 100'000);
+    MrcConfig cfg;
+    cfg.rate = 0.02;
+    cfg.minSampledLines = 0;
+    auto corrected = buildMrc(recs.data(), recs.size(), cfg);
+    cfg.rateCorrection = false;
+    auto raw = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(corrected.ok());
+    ASSERT_TRUE(raw.ok());
+    // Same sample set either way; only the estimate mapping differs.
+    EXPECT_EQ(corrected.value().sampledRefs, raw.value().sampledRefs);
+    EXPECT_TRUE(corrected.value().rateCorrected);
+    EXPECT_FALSE(raw.value().rateCorrected);
+}
+
+TEST(SampleMrc, MinLinesGuardBoostsTinyFootprints)
+{
+    // A synthetic loop over a handful of lines: at 1% the sample
+    // would hold almost nothing, so the guard must re-run boosted.
+    std::vector<MemRecord> recs;
+    MemRecord r;
+    r.type = RecordType::Load;
+    for (std::size_t i = 0; i < 200'000; ++i) {
+        r.pc = 64 * (i % 7);
+        r.addr = 64 * (i % 100); // 100-line footprint
+        recs.push_back(r);
+    }
+
+    MrcConfig cfg;
+    cfg.rate = 0.01;
+    auto mrc = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(mrc.ok());
+    EXPECT_TRUE(mrc.value().minLinesBoost);
+    EXPECT_GT(mrc.value().finalRate, cfg.rate);
+    EXPECT_LE(mrc.value().finalRate,
+              std::max(cfg.rate, cfg.maxBoostedRate) + 1e-12);
+
+    // With the guard off the same pass ships the vacuous sample.
+    cfg.minSampledLines = 0;
+    auto raw = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(raw.ok());
+    EXPECT_FALSE(raw.value().minLinesBoost);
+    EXPECT_LT(raw.value().linesSampled, 16u);
+}
+
+TEST(SampleMrc, WindowsTileTheWholeTrace)
+{
+    const auto recs = captureRecords("li", 64'000);
+    MrcConfig cfg;
+    cfg.rate = 0.05;
+    cfg.windowRefs = 10'000;
+    auto mrc = buildMrc(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(mrc.ok());
+    const auto &ws = mrc.value().windows;
+    ASSERT_FALSE(ws.empty());
+    Count covered = 0;
+    Count expect_first = 1;
+    for (const WindowSignature &w : ws) {
+        EXPECT_EQ(w.firstRef, expect_first);
+        EXPECT_GE(w.lastRef, w.firstRef);
+        covered += w.lastRef - w.firstRef + 1;
+        expect_first = w.lastRef + 1;
+        EXPECT_LE(w.sampledUniqueLines, w.sampledRefs);
+        EXPECT_LE(w.sampledNewLines, w.sampledUniqueLines);
+    }
+    EXPECT_EQ(covered, mrc.value().totalRefs);
+}
+
+TEST(SampleIntervals, AllWindowsReplayedIsExact)
+{
+    const auto recs = captureRecords("mgrid", 60'000);
+    MrcConfig mcfg;
+    mcfg.rate = 0.05;
+    mcfg.windowRefs = 10'000;
+    auto mrc = buildMrc(recs.data(), recs.size(), mcfg);
+    ASSERT_TRUE(mrc.ok());
+
+    ShardedClassifyConfig ccfg;
+    IntervalConfig icfg;
+    icfg.k = mrc.value().windows.size(); // replay everything
+    icfg.warmupRefs = 0;
+    auto res = reconstructFromIntervals(recs.data(), recs.size(),
+                                        mrc.value(), ccfg, icfg);
+    ASSERT_TRUE(res.ok()) << res.status().toString();
+
+    const ShardedClassifyResult exact =
+        runShardedClassify(recs.data(), recs.size(), ccfg);
+
+    // Every window is its own cluster with weight refs/total, so the
+    // reconstruction is the exact whole-trace count, stat by stat.
+    double wsum = 0.0;
+    for (const auto &rep : res.value().reps)
+        wsum += rep.weight;
+    EXPECT_NEAR(wsum, 1.0, 1e-9);
+    const auto *misses = res.value().find("l1_misses");
+    ASSERT_NE(misses, nullptr);
+    EXPECT_NEAR(misses->predicted, double(exact.mem.l1Misses),
+                double(exact.mem.l1Misses) * 1e-9 + 1e-6);
+    const auto *accesses = res.value().find("accesses");
+    ASSERT_NE(accesses, nullptr);
+    EXPECT_NEAR(accesses->predicted, double(exact.mem.accesses),
+                1e-6);
+}
+
+TEST(SampleIntervals, DeterministicSelection)
+{
+    const auto recs = captureRecords("applu", 120'000);
+    MrcConfig mcfg;
+    mcfg.rate = 0.05;
+    mcfg.windowRefs = 10'000;
+    auto mrc = buildMrc(recs.data(), recs.size(), mcfg);
+    ASSERT_TRUE(mrc.ok());
+
+    ShardedClassifyConfig ccfg;
+    IntervalConfig icfg;
+    icfg.k = 3;
+    auto a = reconstructFromIntervals(recs.data(), recs.size(),
+                                      mrc.value(), ccfg, icfg);
+    auto b = reconstructFromIntervals(recs.data(), recs.size(),
+                                      mrc.value(), ccfg, icfg);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value().reps.size(), b.value().reps.size());
+    for (std::size_t i = 0; i < a.value().reps.size(); ++i) {
+        EXPECT_EQ(a.value().reps[i].windowIndex,
+                  b.value().reps[i].windowIndex);
+        EXPECT_EQ(a.value().reps[i].weight,
+                  b.value().reps[i].weight);
+    }
+    for (std::size_t i = 0; i < a.value().stats.size(); ++i)
+        EXPECT_EQ(a.value().stats[i].predicted,
+                  b.value().stats[i].predicted);
+}
+
+TEST(SampleIntervals, ColdStartWindowIsPinnedAsRepresentative)
+{
+    const auto recs = captureRecords("turb3d", 120'000);
+    MrcConfig mcfg;
+    mcfg.rate = 0.05;
+    mcfg.windowRefs = 10'000;
+    auto mrc = buildMrc(recs.data(), recs.size(), mcfg);
+    ASSERT_TRUE(mrc.ok());
+
+    ShardedClassifyConfig ccfg;
+    IntervalConfig icfg;
+    icfg.k = 4;
+    auto res = reconstructFromIntervals(recs.data(), recs.size(),
+                                        mrc.value(), ccfg, icfg);
+    ASSERT_TRUE(res.ok());
+    // Window 0 carries the cold-start first-touch misses no steady
+    // phase resembles; it must survive as its own singleton cluster.
+    bool window0 = false;
+    for (const auto &rep : res.value().reps) {
+        if (rep.windowIndex == 0) {
+            window0 = true;
+            EXPECT_EQ(rep.clusterSize, 1u);
+        }
+    }
+    EXPECT_TRUE(window0);
+}
+
+TEST(SampleRecommend, SteeperCurvesGetDeeperBuffers)
+{
+    MrcResult mrc;
+    auto point = [&](std::size_t kb, double ratio) {
+        MrcPoint p;
+        p.capacityBytes = kb * 1024;
+        p.capacityLines = p.capacityBytes / 64;
+        p.missRatio = ratio;
+        mrc.points.push_back(p);
+    };
+    // Flat curve: shallow buffer, no assist.
+    point(16, 0.10);
+    point(32, 0.099);
+    point(64, 0.098);
+    auto flat = recommendGeometry(mrc, 16 * 1024);
+    EXPECT_EQ(flat.bufEntries, 4u);
+    EXPECT_FALSE(flat.useAssist());
+
+    // Steep knee right past 16KB: deep buffer, victim partition.
+    mrc.points.clear();
+    point(16, 0.30);
+    point(32, 0.05);
+    point(64, 0.04);
+    auto steep = recommendGeometry(mrc, 16 * 1024);
+    EXPECT_EQ(steep.bufEntries, 32u);
+    EXPECT_TRUE(steep.victimConflicts);
+    EXPECT_TRUE(steep.excludeCapacity); // gain4x 0.26 > 0.05
+    EXPECT_FALSE(steep.prefetchCapacity);
+
+    // Still missing hard at the top of the grid: prefetch indicated.
+    mrc.points.clear();
+    point(16, 0.5);
+    point(32, 0.5);
+    point(64, 0.45);
+    auto stream = recommendGeometry(mrc, 16 * 1024);
+    EXPECT_TRUE(stream.prefetchCapacity);
+    EXPECT_FALSE(stream.rationale.empty());
+}
+
+TEST(SampleEngine, EndToEndWithExactComparison)
+{
+    const auto recs = captureRecords("compress", 100'000);
+    SampleRunConfig cfg;
+    cfg.mrc.rate = 0.05;
+    cfg.intervals = 4;
+    cfg.compareExact = true;
+    auto rep = runSampleAnalysis(recs.data(), recs.size(), cfg);
+    ASSERT_TRUE(rep.ok()) << rep.status().toString();
+
+    EXPECT_TRUE(rep.value().hasIntervals);
+    EXPECT_TRUE(rep.value().hasExact);
+    EXPECT_GE(rep.value().mrcMaxError, rep.value().mrcMae);
+    EXPECT_GT(rep.value().wallSecondsSampled, 0.0);
+    EXPECT_GT(rep.value().wallSecondsExact, 0.0);
+    // The exact reference really is exact.
+    EXPECT_EQ(rep.value().exactMrc.finalRate, 1.0);
+
+    // The document round-trips through the validator and carries
+    // the error bars the acceptance criteria require.
+    obs::JsonValue doc = obs::sampleDocument("compress", rep.value());
+    Status valid = obs::validateStatsDoc(doc);
+    EXPECT_TRUE(valid.isOk()) << valid.toString();
+    const obs::JsonValue *stats =
+        doc.at("intervals").get("stats");
+    ASSERT_NE(stats, nullptr);
+    ASSERT_FALSE(stats->elements().empty());
+    for (const auto &s : stats->elements()) {
+        EXPECT_NE(s.get("error_bar"), nullptr);
+        EXPECT_NE(s.get("predicted"), nullptr);
+    }
+    const obs::JsonValue *sampling = doc.get("sampling");
+    ASSERT_NE(sampling, nullptr);
+    EXPECT_NE(sampling->get("min_lines_boost"), nullptr);
+}
+
+TEST(SampleEngine, RejectsBadConfigs)
+{
+    const auto recs = captureRecords("go", 10'000);
+    SampleRunConfig cfg;
+    cfg.mrc.rate = 0.0;
+    EXPECT_FALSE(runSampleAnalysis(recs.data(), recs.size(), cfg).ok());
+    cfg.mrc.rate = 1.5;
+    EXPECT_FALSE(runSampleAnalysis(recs.data(), recs.size(), cfg).ok());
+    cfg.mrc.rate = 0.5;
+    cfg.mrc.capacitiesBytes = {32 * 1024, 16 * 1024}; // not ascending
+    EXPECT_FALSE(runSampleAnalysis(recs.data(), recs.size(), cfg).ok());
+}
+
+} // namespace

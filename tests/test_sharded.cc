@@ -377,6 +377,36 @@ TEST_F(MappedTraceTest, OpenMappedOrFileFallsBackForTolerantOpts)
         EXPECT_EQ(a[i].addr, b[i].addr);
 }
 
+TEST_F(MappedTraceTest, OpenMappedOrFileHandlesDeltaTraces)
+{
+    // CCMTRACD: the mapped lane decodes delta in place, and the
+    // TraceFileReader fallback (tolerant options) must produce the
+    // identical stream — including the mem/non-mem mix and the
+    // dependent-load bits the delta control byte packs.
+    writeWorkload("vortex", 10'000, TraceEncoding::Delta);
+
+    auto ref = TraceFileReader::open(path);
+    ASSERT_TRUE(ref.ok()) << ref.status().toString();
+    ASSERT_EQ(ref.value()->readStats().encoding,
+              TraceEncoding::Delta);
+
+    bool usedMmap = false;
+    auto strict = openTraceMappedOrFile(path, {}, &usedMmap);
+    ASSERT_TRUE(strict.ok()) << strict.status().toString();
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(usedMmap);
+#endif
+    expectSameRecords(ref.value()->records(), *strict.value());
+
+    TraceReadOptions tolerant;
+    tolerant.tolerateTruncatedTail = true;
+    tolerant.quiet = true;
+    auto fallback = openTraceMappedOrFile(path, tolerant, &usedMmap);
+    ASSERT_TRUE(fallback.ok()) << fallback.status().toString();
+    EXPECT_FALSE(usedMmap);
+    expectSameRecords(ref.value()->records(), *fallback.value());
+}
+
 // ---- delta codec --------------------------------------------------
 
 TEST(DeltaCodec, RoundTripsNegativeAndLargeJumps)

@@ -216,12 +216,12 @@ void
 renderClassifySuite(const JsonValue &doc)
 {
     TextTable t({"workload", "status", "refs", "miss%", "conflict%",
-                 "wall ms"});
+                 "wall ms", "Mrec/s"});
     for (const JsonValue &row : doc.at("rows").elements()) {
         std::size_t r = t.addRow(row.at("workload").asString());
         if (row.get("error") != nullptr) {
             t.set(r, 1, "ERROR");
-            for (std::size_t c = 2; c <= 5; ++c)
+            for (std::size_t c = 2; c <= 6; ++c)
                 t.set(r, c, "-");
             continue;
         }
@@ -232,6 +232,10 @@ renderClassifySuite(const JsonValue &doc)
         t.set(r, 4, num(derived.at("conflict_share_pct").asDouble()));
         t.set(r, 5,
               num(row.at("wall_seconds").asDouble() * 1e3, 1));
+        const JsonValue *rps = row.get("records_per_sec");
+        t.set(r, 6,
+              rps != nullptr ? num(rps->asDouble() / 1e6, 1)
+                             : std::string("-"));
     }
     t.print(std::cout);
 
@@ -318,6 +322,111 @@ renderBench(const JsonValue &doc)
     if (const JsonValue *note = doc.get("note")) {
         if (note->isString() && !note->asString().empty())
             std::cout << note->asString() << "\n";
+    }
+}
+
+/** Human form of a byte capacity (power-of-two grid values). */
+std::string
+capStr(std::uint64_t bytes)
+{
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+        return std::to_string(bytes / (1024 * 1024)) + "MB";
+    if (bytes >= 1024 && bytes % 1024 == 0)
+        return std::to_string(bytes / 1024) + "KB";
+    return std::to_string(bytes) + "B";
+}
+
+void
+renderSample(const JsonValue &doc)
+{
+    const JsonValue &sampling = doc.at("sampling");
+    std::cout << "sampling rate     "
+              << num(sampling.at("rate_final").asDouble() * 100.0, 3)
+              << "% (" << sampling.at("variant").asString()
+              << ", seed " << sampling.at("seed").asU64() << ")\n"
+              << "references        "
+              << sampling.at("sampled_refs").asU64() << " sampled of "
+              << sampling.at("total_refs").asU64() << " ("
+              << sampling.at("lines_sampled").asU64()
+              << " distinct lines)\n";
+
+    std::cout << "\n-- miss-ratio curve --\n";
+    const bool exact = doc.get("error") != nullptr;
+    TextTable mrc(exact ? std::vector<std::string>{"capacity",
+                                                   "miss ratio",
+                                                   "exact", "abs err"}
+                        : std::vector<std::string>{"capacity",
+                                                   "miss ratio"});
+    for (const JsonValue &p : doc.at("mrc").at("points").elements()) {
+        std::size_t r =
+            mrc.addRow(capStr(p.at("capacity_bytes").asU64()));
+        mrc.set(r, 1, num(p.at("miss_ratio").asDouble(), 4));
+        if (exact) {
+            mrc.set(r, 2, num(p.at("exact_miss_ratio").asDouble(), 4));
+            mrc.set(r, 3, num(p.at("abs_error").asDouble(), 4));
+        }
+    }
+    mrc.print(std::cout);
+
+    const JsonValue &rec = doc.at("recommendation");
+    std::cout << "\nrecommendation    buf=" << rec.at("buf_entries").asU64()
+              << " " << rec.at("rationale").asString() << "\n";
+
+    if (const JsonValue *ivl = doc.get("intervals")) {
+        std::cout << "\n-- representative intervals ("
+                  << ivl->at("clusters").asU64() << " of "
+                  << ivl->at("windows").asU64() << " windows of "
+                  << ivl->at("window_refs").asU64() << " refs, "
+                  << num(ivl->at("confidence").asDouble() * 100.0, 0)
+                  << "% confidence) --\n";
+        TextTable reps({"window", "weight", "members", "refs"});
+        for (const JsonValue &w :
+             ivl->at("representatives").elements()) {
+            std::size_t r = reps.addRow(
+                u64str(w.at("first_ref")) + "-" +
+                u64str(w.at("last_ref")));
+            reps.set(r, 1, num(w.at("weight").asDouble(), 3));
+            reps.set(r, 2, u64str(w.at("cluster_size")));
+            reps.set(r, 3, u64str(w.at("refs")));
+        }
+        reps.print(std::cout);
+
+        std::cout << "\n-- reconstructed stats --\n";
+        TextTable st(exact
+                         ? std::vector<std::string>{"stat",
+                                                    "predicted",
+                                                    "+/-", "exact",
+                                                    "abs err"}
+                         : std::vector<std::string>{"stat",
+                                                    "predicted",
+                                                    "+/-"});
+        for (const JsonValue &s : ivl->at("stats").elements()) {
+            // Skip the always-zero timing-only counters.
+            if (s.at("predicted").asDouble() == 0.0 &&
+                (!exact || s.at("exact").asU64() == 0))
+                continue;
+            std::size_t r = st.addRow(s.at("name").asString());
+            st.set(r, 1, num(s.at("predicted").asDouble(), 0));
+            st.set(r, 2, num(s.at("error_bar").asDouble(), 0));
+            if (exact) {
+                st.set(r, 3, u64str(s.at("exact")));
+                st.set(r, 4, num(s.at("abs_error").asDouble(), 0));
+            }
+        }
+        st.print(std::cout);
+    }
+
+    if (const JsonValue *err = doc.get("error")) {
+        std::cout << "\nMRC error         mae "
+                  << num(err->at("mrc_mae").asDouble(), 4) << ", max "
+                  << num(err->at("mrc_max_error").asDouble(), 4)
+                  << "\n";
+        if (doc.get("intervals") != nullptr)
+            std::cout << "stat error        max "
+                      << num(err->at("max_stat_rel_error").asDouble() *
+                                 100.0,
+                             2)
+                      << "% relative\n";
     }
 }
 
@@ -462,6 +571,11 @@ main(int argc, char **argv)
         std::cout << "== ccm-report: bench "
                   << doc.at("bench").asString() << " ==\n";
         renderBench(doc);
+    } else if (kind == "sample") {
+        std::cout << "== ccm-report: "
+                  << doc.at("workload").asString() << " on " << arch
+                  << " (sample) ==\n";
+        renderSample(doc);
     } else if (kind == "metrics") {
         std::cout << "== ccm-report: metrics ==\n";
         renderMetrics(doc);

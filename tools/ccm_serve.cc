@@ -34,6 +34,7 @@
 #include "common/shutdown.hh"
 #include "obs/sink.hh"
 #include "obs/span.hh"
+#include "sample/mrc.hh"
 #include "serve/daemon.hh"
 
 namespace
@@ -192,6 +193,10 @@ main(int argc, char **argv)
     }
 
     std::signal(SIGPIPE, SIG_IGN);
+
+    // Register the sampling instruments at zero so scrapers (and
+    // ccm-top) see the full metric surface before any MRC pass runs.
+    sample::touchSampleMetrics();
 
     ShutdownLatch latch;
     Status sig = latch.installSignalHandlers(SIGTERM, SIGINT, SIGHUP);

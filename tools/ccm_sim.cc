@@ -37,11 +37,13 @@
 #include "obs/interval.hh"
 #include "obs/sink.hh"
 #include "obs/span.hh"
+#include "sample/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 #include "sim/sharded.hh"
 #include "trace/file_trace.hh"
 #include "trace/mmap_trace.hh"
+#include "trace/vector_trace.hh"
 #include "workloads/registry.hh"
 
 namespace
@@ -94,6 +96,12 @@ struct Options
     bool ambExclude = false;
 
     bool dumpRaw = false;
+
+    // statistical sampling engine (src/sample)
+    double sampleRate = 0.0;         ///< SHARDS rate; 0 = off
+    std::size_t sampleIntervals = 0; ///< representative windows K
+    bool sampleExact = false;        ///< also run exact references
+    bool autoSize = false;           ///< MRC-sized suite geometry
 
     // structured stats output
     std::string statsOut;
@@ -223,6 +231,24 @@ usage()
         "                             conflict | cap-hist | conf-hist\n"
         "  --victim --prefetch --exclude   AMB components\n"
         "  --raw                      also dump raw counters\n"
+        "\n"
+        "statistical sampling (requires --classify; docs/PERFORMANCE"
+        ".md):\n"
+        "  --sample-rate R            SHARDS-sampled analysis at rate\n"
+        "                             R in (0,1] (e.g. 0.01): one\n"
+        "                             cheap pass emits a miss-ratio\n"
+        "                             curve + geometry recommendation\n"
+        "                             as a kind:\"sample\" document\n"
+        "  --sample-intervals K       also pick K representative\n"
+        "                             windows, replay only those, and\n"
+        "                             reconstruct whole-trace stats\n"
+        "                             with error bars\n"
+        "  --sample-exact             additionally run the exact\n"
+        "                             references and report errors\n"
+        "  --auto-size                timing suite only: size each\n"
+        "                             workload's assist geometry from\n"
+        "                             a sampled MRC pass before the\n"
+        "                             sweep (EXPERIMENTS.md recipe)\n"
         "  --stats-json FILE          write a ccm-stats JSON document\n"
         "                             (\"-\" = stdout)\n"
         "  --stats-out FILE           like --stats-json, but honours\n"
@@ -357,6 +383,43 @@ runSuiteMode(const Options &o)
     ParallelSuiteOptions popts;
     popts.jobs = o.jobs;
     popts.instrument = instrument;
+
+    // --auto-size: one cheap SHARDS pass per workload sizes its
+    // assist geometry before the sweep (src/sample/recommend.hh).
+    // A workload whose sizing pass fails just runs the base config;
+    // the real run will surface any real trace problem as its row.
+    std::map<std::string, SystemConfig> sized;
+    if (o.autoSize) {
+        obs::ScopedSpan sizing("auto-size", "sample");
+        for (const auto &name : workloadNames()) {
+            auto tr = factory(name);
+            if (!tr.ok())
+                continue;
+            VectorTrace captured = VectorTrace::capture(*tr.value());
+            sample::MrcConfig mcfg;
+            mcfg.rate = o.sampleRate > 0.0 ? o.sampleRate : 0.01;
+            mcfg.seed = o.seed;
+            auto mrc = sample::buildMrc(captured.records().data(),
+                                        captured.records().size(),
+                                        mcfg);
+            if (!mrc.ok()) {
+                CCM_LOG_WARN("auto-size ", name, ": ",
+                             mrc.status().toString());
+                continue;
+            }
+            sample::GeometryRecommendation rec =
+                sample::recommendGeometry(mrc.value(),
+                                          cfg.mem.l1Bytes);
+            CCM_LOG_INFO("auto-size ", name, ": ", rec.rationale);
+            sized[name] = sample::applyRecommendation(cfg, rec);
+        }
+        popts.configFor = [&sized](const std::string &name,
+                                   const SystemConfig &base) {
+            auto it = sized.find(name);
+            return it != sized.end() ? it->second : base;
+        };
+    }
+
     SuiteReport report =
         runSuiteParallel(workloadNames(), factory, cfg, popts);
     for (const auto &row : report.rows) {
@@ -508,6 +571,75 @@ runClassifySuiteMode(const Options &o)
     return errored == 0 ? 0 : 2;
 }
 
+/** --classify --sample-rate/--sample-intervals: sampled analysis. */
+int
+runSampleMode(const Options &o)
+{
+    obs::ScopedSpan span("sample:" + o.workload, "sim");
+    auto trace = openClassifyTrace(o, o.workload);
+    if (!trace.ok()) {
+        CCM_LOG_ERROR(trace.status().toString());
+        return 1;
+    }
+    VectorTrace captured = VectorTrace::capture(*trace.value());
+
+    sample::SampleRunConfig scfg;
+    scfg.mrc.rate = o.sampleRate > 0.0 ? o.sampleRate : 0.01;
+    scfg.mrc.seed = o.seed;
+    scfg.intervals = o.sampleIntervals;
+    scfg.classify = buildClassifyConfig(o);
+    scfg.compareExact = o.sampleExact;
+
+    auto rep = sample::runSampleAnalysis(captured.records().data(),
+                                         captured.records().size(),
+                                         scfg);
+    if (!rep.ok()) {
+        CCM_LOG_ERROR(rep.status().toString());
+        return 1;
+    }
+    const sample::SampleReport &r = rep.value();
+
+    std::cout << "== ccm-sim sample: " << trace.value()->name()
+              << " ==\n"
+              << "sampling rate     " << r.mrc.finalRate * 100.0
+              << "% (" << sample::toString(r.mrc.variant) << ")\n"
+              << "references        " << r.mrc.sampledRefs
+              << " sampled of " << r.mrc.totalRefs << "\n"
+              << "lines sampled     " << r.mrc.linesSampled << "\n\n"
+              << "capacity    miss ratio\n";
+    for (const sample::MrcPoint &p : r.mrc.points)
+        std::cout << p.capacityBytes / 1024 << "KB\t    "
+                  << p.missRatio << "\n";
+    std::cout << "\nrecommendation    "
+              << r.recommendation.rationale << "\n";
+    if (r.hasIntervals) {
+        std::cout << "intervals         " << r.intervals.clusters
+                  << " of " << r.intervals.windows
+                  << " windows replayed (" << r.intervals.replayedRefs
+                  << " of " << r.intervals.totalRefs << " refs)\n";
+        const sample::StatEstimate *miss =
+            r.intervals.find("l1_misses");
+        if (miss != nullptr)
+            std::cout << "predicted misses  " << miss->predicted
+                      << " +/- " << miss->errorBar << "\n";
+    }
+    if (r.hasExact) {
+        std::cout << "MRC error         mae " << r.mrcMae << ", max "
+                  << r.mrcMaxError << "\n";
+        if (r.hasIntervals)
+            std::cout << "stat error        max "
+                      << r.maxStatRelError * 100.0 << "% relative\n";
+    }
+
+    if (!o.statsOut.empty()) {
+        obs::JsonValue doc =
+            obs::sampleDocument(trace.value()->name(), r);
+        doc.set("arch", obs::JsonValue::str(o.arch));
+        return emitStatsDoc(o, std::move(doc));
+    }
+    return 0;
+}
+
 int
 runClassifyMode(const Options &o)
 {
@@ -519,6 +651,8 @@ runClassifyMode(const Options &o)
     }
     if (o.suite)
         return runClassifySuiteMode(o);
+    if (o.sampleRate > 0.0 || o.sampleIntervals > 0)
+        return runSampleMode(o);
 
     obs::ScopedSpan span("classify:" + o.workload, "sim");
     auto trace = openClassifyTrace(o, o.workload);
@@ -647,6 +781,15 @@ main(int argc, char **argv)
             o.ambExclude = true;
         } else if (a == "--raw") {
             o.dumpRaw = true;
+        } else if (a == "--sample-rate") {
+            o.sampleRate = std::strtod(val().c_str(), nullptr);
+        } else if (a == "--sample-intervals") {
+            o.sampleIntervals =
+                std::strtoull(val().c_str(), nullptr, 10);
+        } else if (a == "--sample-exact") {
+            o.sampleExact = true;
+        } else if (a == "--auto-size") {
+            o.autoSize = true;
         } else if (a == "--stats-json" || a == "--stats-out") {
             // One stats document per invocation: silently honouring
             // only the last of two different targets would leave the
@@ -716,6 +859,22 @@ main(int argc, char **argv)
         CCM_LOG_ERROR(Status::badConfig(
                           "--trace-events is not supported in "
                           "--classify mode")
+                          .toString());
+        return 1;
+    }
+    if ((o.sampleRate > 0.0 || o.sampleIntervals > 0) &&
+        (!o.classify || o.suite)) {
+        CCM_LOG_ERROR(Status::badConfig(
+                          "--sample-rate/--sample-intervals require "
+                          "--classify on a single workload (use "
+                          "ccm-sample for richer sweeps)")
+                          .toString());
+        return 1;
+    }
+    if (o.autoSize && (!o.suite || o.classify)) {
+        CCM_LOG_ERROR(Status::badConfig(
+                          "--auto-size requires the timing suite "
+                          "(--suite without --classify)")
                           .toString());
         return 1;
     }

@@ -277,6 +277,23 @@ renderOnce(const Sample &s)
         out += "classify_p99_us " +
                fmtDouble(classify->at("p99").asDouble(), 1) + "\n";
     }
+    // Sampling-engine instruments (src/sample); present whenever the
+    // daemon registered them, zero until an MRC pass runs.
+    const obs::JsonValue *lines =
+        findMetric(s.metrics, "ccm_sample_lines_sampled_total");
+    if (lines != nullptr)
+        out += "sample_lines_total " +
+               std::to_string(lines->at("value").asU64()) + "\n";
+    const obs::JsonValue *srate =
+        findMetric(s.metrics, "ccm_sample_rate");
+    if (srate != nullptr)
+        out += "sample_rate_ppm " +
+               std::to_string(srate->at("value").asI64()) + "\n";
+    const obs::JsonValue *mrc =
+        findMetric(s.metrics, "ccm_sample_mrc_build_us");
+    if (mrc != nullptr)
+        out += "sample_mrc_build_p50_us " +
+               fmtDouble(mrc->at("p50").asDouble(), 1) + "\n";
     std::fwrite(out.data(), 1, out.size(), stdout);
     std::fflush(stdout);
 }

@@ -130,8 +130,8 @@ build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
     --stats-json "$obs_tmp/seq.json" > /dev/null
 build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 2 \
     --stats-json "$obs_tmp/par.json" > /dev/null
-diff <(grep -v wall_seconds "$obs_tmp/seq.json") \
-     <(grep -v wall_seconds "$obs_tmp/par.json")
+diff <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/seq.json") \
+     <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/par.json")
 build/tools/ccm-sim --workload go --refs 5000 --arch baseline \
     --interval 1000 --trace-events 64 \
     --stats-json "$obs_tmp/run.json" > /dev/null
@@ -146,13 +146,41 @@ build/tools/ccm-sim --classify --suite --refs 5000 --interval 1000 \
     --shards 1 --stats-json "$obs_tmp/classify_s1.json" > /dev/null
 build/tools/ccm-sim --classify --suite --refs 5000 --interval 1000 \
     --shards 4 --stats-json "$obs_tmp/classify_s4.json" > /dev/null
-if ! diff <(grep -v wall_seconds "$obs_tmp/classify_s1.json") \
-          <(grep -v wall_seconds "$obs_tmp/classify_s4.json"); then
+if ! diff <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/classify_s1.json") \
+          <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/classify_s4.json"); then
     echo "FAIL: sharded classify output differs from sequential" >&2
     exit 1
 fi
 build/tools/ccm-report --check "$obs_tmp/classify_s1.json"
 build/tools/ccm-report "$obs_tmp/classify_s1.json" > /dev/null
+
+step "sampling smoke + determinism (kind:\"sample\" document)"
+# The sampled classify path must emit a valid kind:"sample" document,
+# render cleanly, and be byte-deterministic (modulo wall time) — the
+# SHARDS predicate and the k-means interval selection are seeded.
+build/tools/ccm-sim --workload tomcatv --refs 20000 --classify \
+    --sample-rate 0.05 --sample-intervals 3 \
+    --stats-json "$obs_tmp/sample_a.json" > /dev/null
+build/tools/ccm-report --check "$obs_tmp/sample_a.json"
+build/tools/ccm-report "$obs_tmp/sample_a.json" > /dev/null
+build/tools/ccm-sim --workload tomcatv --refs 20000 --classify \
+    --sample-rate 0.05 --sample-intervals 3 \
+    --stats-json "$obs_tmp/sample_b.json" > /dev/null
+diff <(grep -v wall_seconds "$obs_tmp/sample_a.json") \
+     <(grep -v wall_seconds "$obs_tmp/sample_b.json")
+# The ccm-sample CLI end to end, including the error columns.
+build/tools/ccm-sample --workload gcc --refs 20000 --rate 0.05 \
+    --intervals 3 --exact \
+    --stats-out "$obs_tmp/sample_cli.json" > /dev/null
+build/tools/ccm-report --check "$obs_tmp/sample_cli.json"
+
+step "sampling accuracy gate (bench/sampling_accuracy --gate-only)"
+# 1% SHARDS pass + 12-interval reconstruction on the full 16-workload
+# suite at 8M references; fails when any workload's MRC mean absolute
+# error exceeds 0.02 or any reconstructed tier-1 stat is off by more
+# than 5% (the wall-clock sweep columns are skipped — speedup numbers
+# live in bench/baselines/BENCH_sampling.json).
+build/bench/sampling_accuracy --gate-only
 
 step "perf smoke (micro_throughput hotpath table)"
 CCM_BENCH_JSON_DIR="$obs_tmp" build/bench/micro_throughput \
@@ -173,8 +201,8 @@ build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
 CCM_TRACE_BATCH=1 \
     build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
     --stats-json "$obs_tmp/unbatched.json" > /dev/null
-if ! diff <(grep -v wall_seconds "$obs_tmp/batched.json") \
-          <(grep -v wall_seconds "$obs_tmp/unbatched.json"); then
+if ! diff <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/batched.json") \
+          <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/unbatched.json"); then
     echo "FAIL: batched simulation output differs from unbatched" >&2
     exit 1
 fi
@@ -236,6 +264,12 @@ build/tools/ccm-top --control "$serve_ctl" --once \
     > "$obs_tmp/serve_top.txt"
 grep -q '^records_total ' "$obs_tmp/serve_top.txt"
 grep -q '^config_generation 1' "$obs_tmp/serve_top.txt"
+# The sampling instruments are pre-registered at startup, so the
+# scrape and the dashboard must carry them even before any MRC pass.
+grep -q '^ccm_sample_lines_sampled_total 0' \
+    "$obs_tmp/serve_metrics.txt"
+grep -q '^sample_lines_total 0' "$obs_tmp/serve_top.txt"
+grep -q '^sample_rate_ppm 0' "$obs_tmp/serve_top.txt"
 
 # Fault isolation, byte for byte: the clean streams' mem sections
 # must equal a batch ccm-sim run of the same trace exactly.
@@ -264,8 +298,8 @@ step "telemetry smoke (span tracing + overhead budget)"
 build/tools/ccm-sim --suite --refs 5000 --arch victim --jobs 1 \
     --trace-spans "$obs_tmp/spans.json" \
     --stats-json "$obs_tmp/traced.json" > /dev/null
-diff <(grep -v wall_seconds "$obs_tmp/seq.json") \
-     <(grep -v wall_seconds "$obs_tmp/traced.json")
+diff <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/seq.json") \
+     <(grep -v -e wall_seconds -e records_per_sec "$obs_tmp/traced.json")
 test -s "$obs_tmp/spans.json"
 grep -q '"traceEvents"' "$obs_tmp/spans.json"
 grep -q '"ph": "X"' "$obs_tmp/spans.json"
